@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the BSP engine on the paper's three
+//! applications (scaled datasets): these calibrate the relative execution
+//! times the simulator's performance model uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hourglass_engine::apps::{GraphColoring, PageRank, Sssp};
+use hourglass_engine::{BspEngine, EngineConfig};
+use hourglass_graph::generators::{self, RmatParams};
+use hourglass_partition::hash::HashPartitioner;
+use hourglass_partition::Partitioner;
+
+fn bench_apps(c: &mut Criterion) {
+    let g = generators::rmat(12, 12, RmatParams::SOCIAL, 5).expect("generate");
+    let part = HashPartitioner.partition(&g, 4).expect("partition");
+    let mut group = c.benchmark_group("bsp_apps");
+    group.sample_size(10);
+    group.bench_function("pagerank_10it", |b| {
+        b.iter(|| {
+            let mut e = BspEngine::new(
+                PageRank::fixed(10),
+                &g,
+                part.clone(),
+                EngineConfig::default(),
+            )
+            .expect("engine");
+            e.run().expect("run")
+        })
+    });
+    group.bench_function("sssp", |b| {
+        b.iter(|| {
+            let mut e = BspEngine::new(
+                Sssp { source: 0 },
+                &g,
+                part.clone(),
+                EngineConfig::default(),
+            )
+            .expect("engine");
+            e.run().expect("run")
+        })
+    });
+    group.bench_function("graph_coloring", |b| {
+        b.iter(|| {
+            let mut e = BspEngine::new(
+                GraphColoring::default(),
+                &g,
+                part.clone(),
+                EngineConfig::default(),
+            )
+            .expect("engine");
+            e.run().expect("run")
+        })
+    });
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let g = generators::rmat(12, 12, RmatParams::SOCIAL, 5).expect("generate");
+    let mut group = c.benchmark_group("pagerank_workers");
+    group.sample_size(10);
+    for k in [1u32, 2, 4, 8] {
+        let part = HashPartitioner.partition(&g, k).expect("partition");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &part, |b, part| {
+            b.iter(|| {
+                let mut e = BspEngine::new(
+                    PageRank::fixed(5),
+                    &g,
+                    part.clone(),
+                    EngineConfig::default(),
+                )
+                .expect("engine");
+                e.run().expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_worker_scaling);
+criterion_main!(benches);

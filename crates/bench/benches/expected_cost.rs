@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the expected-cost estimators (the
+//! measured counterpart of Figure 9): a provisioning decision with the
+//! §5.3 approximation must cost milliseconds even for the 4-hour GC job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hourglass_bench::World;
+use hourglass_core::expected_cost::{expected_cost_approx, expected_cost_exact, EcParams};
+use hourglass_core::DecisionContext;
+use hourglass_sim::job::{PaperJob, ReloadMode};
+use hourglass_sim::runner::build_decision_candidates;
+use std::time::Duration;
+
+fn bench_decisions(c: &mut Criterion) {
+    let world = World::build(42);
+    let setup = world.setup();
+    let mut group = c.benchmark_group("ec_decision");
+    group.sample_size(20);
+    for job_kind in PaperJob::ALL {
+        let job = job_kind
+            .description(50.0, ReloadMode::Fast)
+            .expect("job construction");
+        let candidates =
+            build_decision_candidates(&setup, &job, 3600.0, false).expect("candidates");
+        let ctx = DecisionContext {
+            now: 0.0,
+            deadline: job.deadline,
+            work_left: 1.0,
+            t_boot: job.t_boot,
+            candidates: &candidates,
+            current: None,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("approx", job_kind.name()),
+            &ctx,
+            |b, ctx| b.iter(|| expected_cost_approx(ctx, &EcParams::default()).expect("ec")),
+        );
+        // The exact formulation is only benchmarked where it terminates
+        // quickly (SSSP); GC/PageRank are the DNF cases of Figure 9.
+        if matches!(job_kind, PaperJob::Sssp) {
+            group.bench_with_input(
+                BenchmarkId::new("exact_1s", job_kind.name()),
+                &ctx,
+                |b, ctx| {
+                    b.iter(|| {
+                        expected_cost_exact(ctx, 10.0, Some(Duration::from_secs(30)))
+                            .expect("exact ec within budget")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

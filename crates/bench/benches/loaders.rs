@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the physical loaders (the measured
+//! counterpart of Figure 6): stream vs hash vs micro loading wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hourglass_engine::loaders::{hash_load, micro_load, stream_load, EdgeListStore};
+use hourglass_graph::generators::{self, RmatParams};
+use hourglass_partition::cluster::cluster_micro_partitions;
+use hourglass_partition::hash::HashPartitioner;
+use hourglass_partition::micro::MicroPartitioner;
+use hourglass_partition::Partitioner;
+
+fn bench_loaders(c: &mut Criterion) {
+    let g = generators::rmat(13, 12, RmatParams::SOCIAL, 3).expect("generate");
+    let k = 8u32;
+    let part = HashPartitioner.partition(&g, k).expect("partition");
+    let flat = EdgeListStore::flat_from_graph(&g);
+    let mp = MicroPartitioner::new(HashPartitioner, 64)
+        .run(&g)
+        .expect("micro");
+    let micro_store = EdgeListStore::micro_from_graph(&g, mp.micro()).expect("store");
+    let clustering = cluster_micro_partitions(&mp, k, 1).expect("cluster");
+
+    let mut group = c.benchmark_group("load_8_workers");
+    group.sample_size(10);
+    group.bench_function("stream", |b| b.iter(|| stream_load(&flat, &part)));
+    group.bench_function("hash", |b| b.iter(|| hash_load(&flat, &part)));
+    group.bench_function("micro", |b| {
+        b.iter(|| {
+            micro_load(&micro_store, mp.micro(), clustering.micro_to_macro(), k)
+                .expect("micro load")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loaders);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the partitioning substrate: the
+//! offline/online asymmetry these numbers show is the foundation of fast
+//! reload — clustering the quotient graph must be orders of magnitude
+//! cheaper than partitioning the original graph ("we were able to obtain
+//! a solution in few milliseconds", §6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hourglass_graph::generators::{self, RmatParams};
+use hourglass_partition::cluster::cluster_micro_partitions;
+use hourglass_partition::fennel::Fennel;
+use hourglass_partition::hash::HashPartitioner;
+use hourglass_partition::micro::MicroPartitioner;
+use hourglass_partition::multilevel::Multilevel;
+use hourglass_partition::Partitioner;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = generators::rmat(13, 12, RmatParams::SOCIAL, 7).expect("generate");
+    let mut group = c.benchmark_group("partition_8");
+    group.sample_size(10);
+    group.bench_function("hash", |b| {
+        b.iter(|| HashPartitioner.partition(&g, 8).expect("partition"))
+    });
+    group.bench_function("fennel", |b| {
+        b.iter(|| Fennel::new().partition(&g, 8).expect("partition"))
+    });
+    group.bench_function("multilevel", |b| {
+        b.iter(|| Multilevel::new().partition(&g, 8).expect("partition"))
+    });
+    group.finish();
+}
+
+fn bench_online_clustering(c: &mut Criterion) {
+    // The decisive comparison: re-partitioning from scratch vs clustering
+    // 64 micro-partitions for a new worker count.
+    let g = generators::rmat(13, 12, RmatParams::SOCIAL, 7).expect("generate");
+    let mp = MicroPartitioner::new(Multilevel::new(), 64)
+        .run(&g)
+        .expect("micro");
+    let mut group = c.benchmark_group("reconfigure_to_k");
+    group.sample_size(10);
+    for k in [4u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("full_repartition", k), &k, |b, &k| {
+            b.iter(|| Multilevel::new().partition(&g, k).expect("partition"))
+        });
+        group.bench_with_input(BenchmarkId::new("cluster_micros", k), &k, |b, &k| {
+            b.iter(|| cluster_micro_partitions(&mp, k, 1).expect("cluster"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_online_clustering);
+criterion_main!(benches);

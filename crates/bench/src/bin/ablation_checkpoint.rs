@@ -1,0 +1,65 @@
+//! Ablation: Daly's optimal checkpoint interval versus fixed intervals.
+//!
+//! The paper adopts `t_ckpt = √(2·t_save·MTTF)` (§5.1, following Flint and
+//! Daly [14]). This sweep overrides the interval with fixed values and
+//! measures the effect on GC cost — too-frequent checkpoints waste paid
+//! time on saves; too-rare ones lose big chunks of work to evictions.
+
+use hourglass_bench::{Cli, World};
+use hourglass_core::strategies::HourglassStrategy;
+use hourglass_sim::job::{PaperJob, ReloadMode};
+use hourglass_sim::report::render_series_table;
+use hourglass_sim::Experiment;
+
+fn main() {
+    let cli = Cli::parse();
+    let world = World::build(cli.seed);
+    let runs = cli.runs_or(120);
+    let job = PaperJob::GraphColoring
+        .description(50.0, ReloadMode::Fast)
+        .expect("job construction");
+
+    let mttf = world
+        .eviction_models
+        .iter()
+        .map(|(_, m)| m.mttf())
+        .fold(f64::INFINITY, f64::min);
+    let daly = hourglass_core::checkpoint::daly_interval(job.configs[0].t_save, mttf);
+
+    let policies: Vec<(String, Option<f64>)> = vec![
+        ("2min".into(), Some(120.0)),
+        ("10min".into(), Some(600.0)),
+        (format!("Daly~{daly:.0}s"), None),
+        ("1h".into(), Some(3600.0)),
+        ("4h".into(), Some(14_400.0)),
+    ];
+
+    let mut cost_row = Vec::new();
+    let mut missed_row = Vec::new();
+    for (_, interval) in &policies {
+        let mut setup = world.setup();
+        setup.checkpoint_interval_override = *interval;
+        let summary = Experiment::new(runs, cli.seed ^ 0xC4)
+            .run(&setup, &job, &HourglassStrategy::new())
+            .expect("simulation");
+        cost_row.push(summary.normalized_cost);
+        missed_row.push(summary.missed_pct);
+    }
+    println!(
+        "{}",
+        render_series_table(
+            "Ablation: checkpoint interval policy (GC, 50% slack, Hourglass)",
+            "policy",
+            &policies.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            &[
+                ("normalized cost".into(), cost_row),
+                ("missed %".into(), missed_row),
+            ],
+        )
+    );
+    println!("(expectation: Daly's interval at the cost minimum; very short intervals");
+    println!(" pay save overhead. Very long intervals are partially protected by the");
+    println!(" slack guard — chunks are clamped to the useful interval regardless —");
+    println!(" so the right side of the U flattens under Hourglass. Deadlines stay");
+    println!(" safe in every column.)");
+}

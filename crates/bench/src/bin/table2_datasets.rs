@@ -1,0 +1,63 @@
+//! Table 2: graph datasets.
+//!
+//! Prints the paper's dataset inventory next to the synthetic stand-ins
+//! actually generated (scaled per DESIGN.md §6), with measured statistics
+//! of the generated graphs.
+
+use hourglass_bench::Cli;
+use hourglass_graph::datasets::Dataset;
+use hourglass_graph::stats::stats;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("== Table 2: Graph datasets ==");
+    println!(
+        "{:<12} {:>14} {:>16} {:<14} | {:>12} {:>14} {:>10}",
+        "name", "#vertices", "#edges", "type", "ours |V|", "ours |E|", "avg deg"
+    );
+    let mut json_rows = Vec::new();
+    for d in Dataset::TABLE2 {
+        let g = if cli.quick {
+            d.generate_tiny(cli.seed)
+        } else {
+            d.generate(cli.seed)
+        }
+        .expect("dataset generation is infallible for catalog parameters");
+        let s = stats(&g);
+        println!(
+            "{:<12} {:>14} {:>16} {:<14} | {:>12} {:>14} {:>10.1}",
+            d.name(),
+            group_digits(d.paper_vertices()),
+            group_digits(d.paper_edges()),
+            d.network_type(),
+            group_digits(s.num_vertices as u64),
+            group_digits(s.num_edges as u64),
+            s.avg_degree,
+        );
+        json_rows.push(serde_json::json!({
+            "name": d.name(),
+            "type": d.network_type(),
+            "paper_vertices": d.paper_vertices(),
+            "paper_edges": d.paper_edges(),
+            "ours_vertices": s.num_vertices,
+            "ours_edges": s.num_edges,
+            "avg_degree": s.avg_degree,
+            "max_degree": s.max_degree,
+        }));
+    }
+    cli.maybe_write_json(
+        &serde_json::to_string_pretty(&json_rows).expect("plain json cannot fail"),
+    );
+}
+
+fn group_digits(v: u64) -> String {
+    let raw = v.to_string();
+    let mut out = String::new();
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 {
+            out.push(' ');
+        }
+        out.push(c);
+    }
+    out
+}

@@ -1,0 +1,146 @@
+//! Shared scaffolding for the figure/table reproduction binaries.
+//!
+//! Every binary accepts:
+//!
+//! - `--seed <u64>`   — master seed (default 42); market traces, eviction
+//!   statistics and start-point sampling all derive from it;
+//! - `--runs <n>`     — Monte-Carlo runs per (job, slack, strategy) cell
+//!   (default varies per figure; the paper uses ~2000);
+//! - `--quick`        — shrink everything for a fast smoke run;
+//! - `--json <path>`  — additionally dump machine-readable results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hourglass_cloud::{tracegen, EvictionModel, InstanceType, Market};
+use hourglass_sim::runner::derive_eviction_models;
+
+/// Parsed command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Master seed.
+    pub seed: u64,
+    /// Monte-Carlo runs per cell (None = figure default).
+    pub runs: Option<usize>,
+    /// Quick smoke mode.
+    pub quick: bool,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`; exits with a usage message on error.
+    pub fn parse() -> Cli {
+        let mut cli = Cli {
+            seed: 42,
+            runs: None,
+            quick: false,
+            json: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    i += 1;
+                    cli.seed = parse_or_die(&args, i, "--seed");
+                }
+                "--runs" => {
+                    i += 1;
+                    cli.runs = Some(parse_or_die(&args, i, "--runs"));
+                }
+                "--quick" => cli.quick = true,
+                "--json" => {
+                    i += 1;
+                    cli.json = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--json needs a path"))
+                            .clone(),
+                    );
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: <bin> [--seed N] [--runs N] [--quick] [--json PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown argument {other:?}")),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// Effective run count given a figure default.
+    pub fn runs_or(&self, default: usize) -> usize {
+        let n = self.runs.unwrap_or(default);
+        if self.quick {
+            n.min(25)
+        } else {
+            n
+        }
+    }
+
+    /// Writes the JSON artifact when `--json` was given.
+    pub fn maybe_write_json(&self, contents: &str) {
+        if let Some(path) = &self.json {
+            if let Err(e) = std::fs::write(path, contents) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("json written to {path}");
+            }
+        }
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a numeric value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// The simulation world every provisioning experiment replays: the
+/// "November" market plus eviction statistics derived from the independent
+/// "October" market (§8.1 methodology).
+pub struct World {
+    /// The simulation market.
+    pub market: Market,
+    /// Per-instance-type eviction models.
+    pub eviction_models: Vec<(InstanceType, EvictionModel)>,
+}
+
+impl World {
+    /// Builds the world for a master seed.
+    pub fn build(seed: u64) -> World {
+        let market = tracegen::simulation_market(seed).expect("market generation cannot fail");
+        let history = tracegen::history_market(seed).expect("market generation cannot fail");
+        let eviction_models = derive_eviction_models(&history, 24.0 * 3600.0, 2000, seed ^ 0xE7)
+            .expect("eviction derivation cannot fail on a month-long trace");
+        World {
+            market,
+            eviction_models,
+        }
+    }
+
+    /// A [`hourglass_sim::SimulationSetup`] view of this world.
+    pub fn setup(&self) -> hourglass_sim::runner::SimulationSetup<'_> {
+        hourglass_sim::runner::SimulationSetup::new(&self.market, &self.eviction_models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds() {
+        let w = World::build(1);
+        assert_eq!(w.eviction_models.len(), 4);
+        assert!(w.market.horizon() > 20.0 * 86_400.0);
+    }
+}

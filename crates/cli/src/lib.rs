@@ -1,0 +1,575 @@
+//! Implementation of the `hourglass` command-line tool.
+//!
+//! Subcommands:
+//!
+//! - `market generate` — create a synthetic spot-market trace file;
+//! - `market stats` — summarize a market (discounts, spikes, MTTFs);
+//! - `simulate` — run a provisioning strategy over a market and report
+//!   cost/deadline statistics;
+//! - `explain` — print a per-candidate expected-cost breakdown for one
+//!   decision instant;
+//! - `partition` — partition an edge-list file and report quality;
+//! - `run` — execute a graph application on the BSP engine.
+//!
+//! Parsing is hand-rolled (the workspace's dependency policy has no CLI
+//! crate); every subcommand is a pure function from parsed options to
+//! output so the logic is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hourglass_cloud::eviction::EvictionModel;
+use hourglass_cloud::stats::market_stats;
+use hourglass_cloud::tracegen::{generate_market, TraceGenConfig};
+use hourglass_cloud::{InstanceType, Market};
+use hourglass_core::expected_cost::EcParams;
+use hourglass_core::explain::explain;
+use hourglass_core::strategies::{
+    DeadlineProtected, EagerStrategy, HourglassStrategy, OnDemandStrategy, ProteusStrategy,
+};
+use hourglass_core::{DecisionContext, Strategy};
+use hourglass_engine::apps::{
+    color_count, coloring_is_proper, GraphColoring, PageRank, Sssp, Wcc,
+};
+use hourglass_engine::{BspEngine, EngineConfig};
+use hourglass_graph::Graph;
+use hourglass_partition::fennel::Fennel;
+use hourglass_partition::hash::HashPartitioner;
+use hourglass_partition::ldg::Ldg;
+use hourglass_partition::multilevel::Multilevel;
+use hourglass_partition::quality::{edge_cut_fraction, imbalance};
+use hourglass_partition::{Balance, Partitioner};
+use hourglass_sim::job::{PaperJob, ReloadMode};
+use hourglass_sim::runner::{build_decision_candidates, derive_eviction_models, SimulationSetup};
+use hourglass_sim::Experiment;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A CLI error: message plus exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError {
+        message: msg.into(),
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses raw arguments: `--key value` pairs and bare positionals.
+    pub fn parse(args: &[String]) -> Result<Options> {
+        let mut out = Options::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| err(format!("--{key} needs a value")))?;
+                out.flags.insert(key.to_string(), value.clone());
+                i += 2;
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// A parsed numeric/typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+hourglass — deadline-aware transient-resource provisioning (EuroSys '19)
+
+USAGE:
+  hourglass market generate [--seed N] [--days D] --out FILE
+  hourglass market stats [--market FILE | --seed N]
+  hourglass simulate --job sssp|pagerank|gc [--slack PCT] [--strategy NAME]
+                     [--runs N] [--seed N]
+                     (strategies: hourglass, spoton, proteus, spoton-dp,
+                      proteus-dp, on-demand)
+  hourglass explain --job sssp|pagerank|gc [--slack PCT] [--at HOURS]
+                    [--work FRac] [--seed N]
+  hourglass partition --input EDGELIST --parts K
+                      [--algorithm multilevel|fennel|ldg|hash] [--seed N]
+  hourglass run --input EDGELIST --app pagerank|sssp|coloring|wcc
+                [--workers K] [--source V] [--iterations N]
+";
+
+/// Dispatches a full command line (without argv[0]); returns the text to
+/// print.
+pub fn dispatch(args: &[String]) -> Result<String> {
+    match args.first().map(|s| s.as_str()) {
+        Some("market") => match args.get(1).map(|s| s.as_str()) {
+            Some("generate") => cmd_market_generate(&Options::parse(&args[2..])?),
+            Some("stats") => cmd_market_stats(&Options::parse(&args[2..])?),
+            _ => Err(err("usage: hourglass market <generate|stats> ...")),
+        },
+        Some("simulate") => cmd_simulate(&Options::parse(&args[1..])?),
+        Some("explain") => cmd_explain(&Options::parse(&args[1..])?),
+        Some("partition") => cmd_partition(&Options::parse(&args[1..])?),
+        Some("run") => cmd_run(&Options::parse(&args[1..])?),
+        Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_market_generate(opts: &Options) -> Result<String> {
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let days: f64 = opts.get_or("days", 30.0)?;
+    let out = opts
+        .get("out")
+        .ok_or_else(|| err("market generate: --out FILE is required"))?;
+    let cfg = TraceGenConfig {
+        seed,
+        days,
+        ..TraceGenConfig::default()
+    };
+    let market = generate_market(&cfg).map_err(|e| err(e.to_string()))?;
+    market.save(out).map_err(|e| err(e.to_string()))?;
+    Ok(format!(
+        "wrote {days}-day market (seed {seed}, {} instance types) to {out}\n",
+        InstanceType::ALL.len()
+    ))
+}
+
+fn load_or_generate_market(opts: &Options) -> Result<Market> {
+    match opts.get("market") {
+        Some(path) => Market::load(path).map_err(|e| err(e.to_string())),
+        None => {
+            let seed: u64 = opts.get_or("seed", 42)?;
+            generate_market(&TraceGenConfig {
+                seed,
+                ..TraceGenConfig::default()
+            })
+            .map_err(|e| err(e.to_string()))
+        }
+    }
+}
+
+fn cmd_market_stats(opts: &Options) -> Result<String> {
+    let market = load_or_generate_market(opts)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>12} {:>10} {:>8} {:>12} {:>12}",
+        "type", "OD $/h", "mean spot", "avail %", "spikes", "mean out (m)", "MTTF (h)"
+    );
+    for ty in market.instance_types().collect::<Vec<_>>() {
+        let trace = market.trace(ty).map_err(|e| err(e.to_string()))?;
+        let bid = ty.on_demand_price();
+        let s = market_stats(trace, bid).map_err(|e| err(e.to_string()))?;
+        let model = EvictionModel::from_trace(trace, bid, 24.0 * 3600.0, 2000, 7)
+            .map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10.3} {:>12.4} {:>10.1} {:>8} {:>12.1} {:>12.1}",
+            ty.api_name(),
+            bid,
+            s.mean_price,
+            100.0 * s.availability,
+            s.spike_count,
+            s.mean_spike_duration / 60.0,
+            model.mttf() / 3600.0,
+        );
+    }
+    Ok(out)
+}
+
+fn parse_job(opts: &Options) -> Result<PaperJob> {
+    match opts.get("job") {
+        Some("sssp") => Ok(PaperJob::Sssp),
+        Some("pagerank") => Ok(PaperJob::PageRank),
+        Some("gc") | Some("coloring") => Ok(PaperJob::GraphColoring),
+        Some(other) => Err(err(format!("unknown job {other:?}"))),
+        None => Err(err("--job sssp|pagerank|gc is required")),
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<Box<dyn Strategy>> {
+    Ok(match name {
+        "hourglass" => Box::new(HourglassStrategy::new()),
+        "spoton" => Box::new(EagerStrategy),
+        "proteus" => Box::new(ProteusStrategy),
+        "spoton-dp" => Box::new(DeadlineProtected::new(EagerStrategy)),
+        "proteus-dp" => Box::new(DeadlineProtected::new(ProteusStrategy)),
+        "on-demand" => Box::new(OnDemandStrategy),
+        other => return Err(err(format!("unknown strategy {other:?}"))),
+    })
+}
+
+fn cmd_simulate(opts: &Options) -> Result<String> {
+    let job_kind = parse_job(opts)?;
+    let slack: f64 = opts.get_or("slack", 50.0)?;
+    let runs: usize = opts.get_or("runs", 200)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let strategy = parse_strategy(opts.get("strategy").unwrap_or("hourglass"))?;
+
+    let market = load_or_generate_market(opts)?;
+    let history = generate_market(&TraceGenConfig {
+        seed: seed ^ 0x0C70_BE55,
+        ..TraceGenConfig::default()
+    })
+    .map_err(|e| err(e.to_string()))?;
+    let models = derive_eviction_models(&history, 24.0 * 3600.0, 2000, seed)
+        .map_err(|e| err(e.to_string()))?;
+    let setup = SimulationSetup::new(&market, &models);
+    let job = job_kind
+        .description(slack, ReloadMode::Fast)
+        .map_err(|e| err(e.to_string()))?;
+    let summary = Experiment::new(runs, seed)
+        .run(&setup, &job, strategy.as_ref())
+        .map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} | {} | slack {slack:.0}% | {runs} runs",
+        summary.strategy, summary.job
+    );
+    let _ = writeln!(
+        out,
+        "  normalized cost : {:.3} (savings {:.1}%)",
+        summary.normalized_cost,
+        summary.savings_pct()
+    );
+    let _ = writeln!(out, "  missed deadlines: {:.1}%", summary.missed_pct);
+    let _ = writeln!(
+        out,
+        "  cost            : ${:.2} mean, ${:.2} p95, ±${:.2} stddev",
+        summary.mean_cost, summary.cost_p95, summary.cost_stddev
+    );
+    let _ = writeln!(
+        out,
+        "  evictions/run   : {:.2} | mean finish {:.0}s (deadline {:.0}s)",
+        summary.mean_evictions, summary.mean_finish, job.deadline
+    );
+    Ok(out)
+}
+
+fn cmd_explain(opts: &Options) -> Result<String> {
+    let job_kind = parse_job(opts)?;
+    let slack: f64 = opts.get_or("slack", 50.0)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let at_hours: f64 = opts.get_or("at", 24.0)?;
+    let work: f64 = opts.get_or("work", 1.0)?;
+    if !(0.0..=1.0).contains(&work) {
+        return Err(err("--work must be in [0,1]"));
+    }
+    let market = load_or_generate_market(opts)?;
+    let history = generate_market(&TraceGenConfig {
+        seed: seed ^ 0x0C70_BE55,
+        ..TraceGenConfig::default()
+    })
+    .map_err(|e| err(e.to_string()))?;
+    let models = derive_eviction_models(&history, 24.0 * 3600.0, 2000, seed)
+        .map_err(|e| err(e.to_string()))?;
+    let setup = SimulationSetup::new(&market, &models);
+    let job = job_kind
+        .description(slack, ReloadMode::Fast)
+        .map_err(|e| err(e.to_string()))?;
+    let candidates = build_decision_candidates(&setup, &job, at_hours * 3600.0, false)
+        .map_err(|e| err(e.to_string()))?;
+    let ctx = DecisionContext {
+        now: 0.0,
+        deadline: job.deadline,
+        work_left: work,
+        t_boot: job.t_boot,
+        candidates: &candidates,
+        current: None,
+    };
+    let report = explain(&ctx, &EcParams::default()).map_err(|e| err(e.to_string()))?;
+    Ok(report.to_string())
+}
+
+fn cmd_partition(opts: &Options) -> Result<String> {
+    let input = opts
+        .get("input")
+        .ok_or_else(|| err("partition: --input EDGELIST is required"))?;
+    let k: u32 = opts.get_or("parts", 0)?;
+    if k == 0 {
+        return Err(err("partition: --parts K is required"));
+    }
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let g = load_graph(input)?;
+    let algorithm = opts.get("algorithm").unwrap_or("multilevel");
+    let partitioner: Box<dyn Partitioner> = match algorithm {
+        "multilevel" | "metis" => Box::new(Multilevel::with_seed(seed)),
+        "fennel" => Box::new(Fennel::new()),
+        "ldg" => Box::new(Ldg::new()),
+        "hash" => Box::new(HashPartitioner),
+        other => return Err(err(format!("unknown algorithm {other:?}"))),
+    };
+    let p = partitioner
+        .partition(&g, k)
+        .map_err(|e| err(e.to_string()))?;
+    let loads = p.part_loads(&Balance::Edges.loads(&g));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} vertices, {} edges → {k} parts via {}",
+        input,
+        g.num_vertices(),
+        g.num_edges(),
+        partitioner.name()
+    );
+    let _ = writeln!(
+        out,
+        "  edge cut : {:.2}%",
+        100.0 * edge_cut_fraction(&g, &p)
+    );
+    let _ = writeln!(out, "  imbalance: {:.3}", imbalance(&loads));
+    if let Some(path) = opts.get("out") {
+        let text: String = p
+            .assignment()
+            .iter()
+            .enumerate()
+            .map(|(v, part)| format!("{v} {part}\n"))
+            .collect();
+        std::fs::write(path, text).map_err(|e| err(format!("write {path}: {e}")))?;
+        let _ = writeln!(out, "  assignment written to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_run(opts: &Options) -> Result<String> {
+    let input = opts
+        .get("input")
+        .ok_or_else(|| err("run: --input EDGELIST is required"))?;
+    let g = load_graph(input)?;
+    let workers: u32 = opts.get_or("workers", 4)?;
+    let p = HashPartitioner
+        .partition(&g, workers)
+        .map_err(|e| err(e.to_string()))?;
+    let app = opts.get("app").unwrap_or("pagerank");
+    let mut out = String::new();
+    let report = match app {
+        "pagerank" => {
+            let iterations: usize = opts.get_or("iterations", 30)?;
+            let mut e = BspEngine::new(PageRank::fixed(iterations), &g, p, EngineConfig::default())
+                .map_err(|e| err(e.to_string()))?;
+            let r = e.run().map_err(|e| err(e.to_string()))?;
+            let mut top: Vec<(usize, f64)> =
+                e.values().iter().copied().enumerate().collect();
+            top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ranks"));
+            let _ = writeln!(out, "top-5 ranked vertices:");
+            for (v, rank) in top.into_iter().take(5) {
+                let _ = writeln!(out, "  vertex {v:>8}  rank {rank:.6}");
+            }
+            r
+        }
+        "sssp" => {
+            let source: u32 = opts.get_or("source", 0)?;
+            let mut e = BspEngine::new(Sssp { source }, &g, p, EngineConfig::default())
+                .map_err(|e| err(e.to_string()))?;
+            let r = e.run().map_err(|e| err(e.to_string()))?;
+            let reached = e.values().iter().filter(|d| d.is_finite()).count();
+            let _ = writeln!(
+                out,
+                "reached {reached}/{} vertices from source {source}",
+                g.num_vertices()
+            );
+            r
+        }
+        "coloring" => {
+            let mut e =
+                BspEngine::new(GraphColoring::default(), &g, p, EngineConfig::default())
+                    .map_err(|e| err(e.to_string()))?;
+            let r = e.run().map_err(|e| err(e.to_string()))?;
+            let proper = coloring_is_proper(&g, e.values());
+            let _ = writeln!(
+                out,
+                "colors used: {} (proper: {proper})",
+                color_count(e.values())
+            );
+            r
+        }
+        "wcc" => {
+            let mut e = BspEngine::new(Wcc, &g, p, EngineConfig::default())
+                .map_err(|e| err(e.to_string()))?;
+            let r = e.run().map_err(|e| err(e.to_string()))?;
+            let mut labels: Vec<u32> = e.values().to_vec();
+            labels.sort_unstable();
+            labels.dedup();
+            let _ = writeln!(out, "connected components: {}", labels.len());
+            r
+        }
+        other => return Err(err(format!("unknown app {other:?}"))),
+    };
+    let _ = writeln!(
+        out,
+        "{app} on {workers} workers: {} supersteps, {} messages ({:.0}% remote), {:.2}s",
+        report.supersteps,
+        report.total_messages,
+        100.0 * report.remote_messages as f64 / report.total_messages.max(1) as f64,
+        report.wall_seconds
+    );
+    Ok(out)
+}
+
+fn load_graph(path: &str) -> Result<Graph> {
+    if path.ends_with(".hgg") || path.ends_with(".bin") {
+        let file =
+            std::fs::File::open(path).map_err(|e| err(format!("open {path}: {e}")))?;
+        hourglass_graph::io_binary::read_binary(std::io::BufReader::new(file))
+            .map_err(|e| err(e.to_string()))
+    } else {
+        hourglass_graph::io::read_edge_list_file(path, false).map_err(|e| err(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_flags_and_positionals() {
+        let o = Options::parse(&args("--seed 7 pos1 --runs 10 pos2")).expect("parse");
+        assert_eq!(o.get("seed"), Some("7"));
+        assert_eq!(o.get_or::<usize>("runs", 0).expect("parse"), 10);
+        assert_eq!(o.positional(), &["pos1", "pos2"]);
+        assert_eq!(o.get_or::<u64>("missing", 5).expect("default"), 5);
+        assert!(Options::parse(&args("--dangling")).is_err());
+        let o = Options::parse(&args("--seed notanumber")).expect("parse");
+        assert!(o.get_or::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&args("help")).expect("help").contains("USAGE"));
+        assert!(dispatch(&[]).expect("no args").contains("USAGE"));
+        assert!(dispatch(&args("frobnicate")).is_err());
+        assert!(dispatch(&args("market frobnicate")).is_err());
+    }
+
+    #[test]
+    fn market_roundtrip_and_stats() {
+        let dir = std::env::temp_dir().join(format!("hourglass-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("market.json");
+        let path_s = path.to_str().expect("utf8").to_string();
+        let msg = dispatch(&[
+            "market".into(),
+            "generate".into(),
+            "--seed".into(),
+            "3".into(),
+            "--days".into(),
+            "2".into(),
+            "--out".into(),
+            path_s.clone(),
+        ])
+        .expect("generate");
+        assert!(msg.contains("wrote"));
+        let stats = dispatch(&[
+            "market".into(),
+            "stats".into(),
+            "--market".into(),
+            path_s,
+        ])
+        .expect("stats");
+        assert!(stats.contains("r4.8xlarge"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_smoke() {
+        let out = dispatch(&args(
+            "simulate --job pagerank --slack 60 --runs 3 --strategy hourglass --seed 5",
+        ))
+        .expect("simulate");
+        assert!(out.contains("normalized cost"));
+        assert!(out.contains("missed deadlines: 0.0%"));
+        assert!(dispatch(&args("simulate --job nope")).is_err());
+        assert!(dispatch(&args("simulate --job gc --strategy nope")).is_err());
+    }
+
+    #[test]
+    fn explain_smoke() {
+        let out = dispatch(&args("explain --job gc --slack 50 --at 12 --seed 5"))
+            .expect("explain");
+        assert!(out.contains("slack"));
+        assert!(out.contains("r4.8xlarge"));
+        assert!(dispatch(&args("explain --job gc --work 2.0")).is_err());
+    }
+
+    #[test]
+    fn partition_and_run_smoke() {
+        let dir = std::env::temp_dir().join(format!("hourglass-cli2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let edges = dir.join("g.txt");
+        let g = hourglass_graph::generators::erdos_renyi(200, 600, 1).expect("gen");
+        hourglass_graph::io::write_edge_list_file(&g, &edges).expect("write");
+        let edges_s = edges.to_str().expect("utf8").to_string();
+        let assign = dir.join("parts.txt").to_str().expect("utf8").to_string();
+
+        let out = dispatch(&args(&format!(
+            "partition --input {edges_s} --parts 4 --algorithm fennel --out {assign}"
+        )))
+        .expect("partition");
+        assert!(out.contains("edge cut"));
+        assert!(std::path::Path::new(&assign).exists());
+
+        let out = dispatch(&args(&format!(
+            "run --input {edges_s} --app wcc --workers 2"
+        )))
+        .expect("run");
+        assert!(out.contains("connected components"));
+
+        let out = dispatch(&args(&format!(
+            "run --input {edges_s} --app pagerank --iterations 5"
+        )))
+        .expect("run");
+        assert!(out.contains("top-5"));
+
+        assert!(dispatch(&args("partition --input /nonexistent --parts 2")).is_err());
+        assert!(dispatch(&args(&format!(
+            "run --input {edges_s} --app nope"
+        )))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,15 @@
+//! The `hourglass` command-line tool. All logic lives in the library; this
+//! binary only glues argv to [`hourglass_cli::dispatch`].
+
+#![forbid(unsafe_code)]
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hourglass_cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

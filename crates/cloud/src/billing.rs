@@ -1,0 +1,159 @@
+//! Cost accounting for deployments over market traces.
+
+use crate::config::{DeploymentConfig, ResourceClass};
+use crate::trace::Market;
+use crate::Result;
+
+/// Computes the cost in dollars of running `config` over `[from, to]`.
+///
+/// On-demand deployments pay the fixed published rate; transient
+/// deployments pay the integrated market price (AWS per-second billing at
+/// the current spot price). The caller is responsible for not billing a
+/// transient deployment past its eviction instant.
+pub fn deployment_cost(
+    market: &Market,
+    config: &DeploymentConfig,
+    from: f64,
+    to: f64,
+) -> Result<f64> {
+    let per_machine = match config.class {
+        ResourceClass::OnDemand => {
+            config.instance_type.on_demand_price() * (to - from).max(0.0) / 3600.0
+        }
+        ResourceClass::Transient => market.trace(config.instance_type)?.cost_between(from, to)?,
+    };
+    Ok(per_machine * config.num_workers as f64)
+}
+
+/// Running cost ledger for a simulated job: accumulates per-deployment
+/// charges and exposes the total.
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+/// One billed interval.
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    /// The deployment billed.
+    pub config: DeploymentConfig,
+    /// Interval start (seconds).
+    pub from: f64,
+    /// Interval end (seconds).
+    pub to: f64,
+    /// Dollars charged.
+    pub cost: f64,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bills `config` for `[from, to]` against `market` and records the
+    /// entry.
+    pub fn bill(
+        &mut self,
+        market: &Market,
+        config: &DeploymentConfig,
+        from: f64,
+        to: f64,
+    ) -> Result<f64> {
+        let cost = deployment_cost(market, config, from, to)?;
+        self.entries.push(LedgerEntry {
+            config: *config,
+            from,
+            to,
+            cost,
+        });
+        Ok(cost)
+    }
+
+    /// Total dollars billed.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|e| e.cost).sum()
+    }
+
+    /// Dollars billed to transient deployments only.
+    pub fn transient_total(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.config.is_transient())
+            .map(|e| e.cost)
+            .sum()
+    }
+
+    /// Total machine-seconds billed.
+    pub fn machine_seconds(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| (e.to - e.from) * e.config.num_workers as f64)
+            .sum()
+    }
+
+    /// The recorded entries, in billing order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceType;
+    use crate::trace::PriceTrace;
+
+    fn flat_market(price: f64) -> Market {
+        let traces = InstanceType::ALL
+            .iter()
+            .map(|&ty| {
+                (
+                    ty,
+                    PriceTrace::new(60.0, vec![price; 60]).expect("valid"),
+                )
+            })
+            .collect();
+        Market::new(traces).expect("valid")
+    }
+
+    #[test]
+    fn on_demand_cost_fixed() {
+        let m = flat_market(0.1);
+        let c = DeploymentConfig::new(InstanceType::R42xlarge, 16, ResourceClass::OnDemand);
+        // One hour at 16 * 0.532.
+        let cost = deployment_cost(&m, &c, 0.0, 3600.0).expect("cost");
+        assert!((cost - 16.0 * 0.532).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_cost_follows_market() {
+        let m = flat_market(0.1);
+        let c = DeploymentConfig::new(InstanceType::R42xlarge, 16, ResourceClass::Transient);
+        let cost = deployment_cost(&m, &c, 0.0, 3600.0).expect("cost");
+        assert!((cost - 16.0 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_interval_bills_zero_for_on_demand() {
+        let m = flat_market(0.1);
+        let c = DeploymentConfig::new(InstanceType::R4Xlarge, 1, ResourceClass::OnDemand);
+        assert_eq!(deployment_cost(&m, &c, 10.0, 10.0).expect("cost"), 0.0);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let m = flat_market(0.2);
+        let spot = DeploymentConfig::new(InstanceType::R44xlarge, 8, ResourceClass::Transient);
+        let od = DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::OnDemand);
+        let mut ledger = CostLedger::new();
+        ledger.bill(&m, &spot, 0.0, 1800.0).expect("bill");
+        ledger.bill(&m, &od, 1800.0, 3600.0).expect("bill");
+        let expect_spot = 8.0 * 0.2 * 0.5;
+        let expect_od = 4.0 * 2.128 * 0.5;
+        assert!((ledger.total() - expect_spot - expect_od).abs() < 1e-9);
+        assert!((ledger.transient_total() - expect_spot).abs() < 1e-9);
+        assert_eq!(ledger.entries().len(), 2);
+        assert!((ledger.machine_seconds() - (8.0 + 4.0) * 1800.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Deployment configurations: the sets `C`, `C_T` and `C_D` of the system
+//! model (Table 1).
+//!
+//! The paper considers nine homogeneous deployments — r4.2xlarge,
+//! r4.4xlarge and r4.8xlarge in clusters of 16, 8 and 4 workers — each
+//! available with transient (spot) or on-demand resources.
+
+use crate::instance::InstanceType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a deployment uses reliable or revocable resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceClass {
+    /// On-demand: expensive but never evicted (`C_D`).
+    OnDemand,
+    /// Transient (spot): discounted but revocable (`C_T`).
+    Transient,
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceClass::OnDemand => f.write_str("on-demand"),
+            ResourceClass::Transient => f.write_str("spot"),
+        }
+    }
+}
+
+/// A homogeneous deployment configuration: `num_workers` machines of one
+/// instance type, all transient or all on-demand (§8.1 justifies
+/// homogeneity by Giraph's synchronous execution model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// The machine type of every worker.
+    pub instance_type: InstanceType,
+    /// Number of worker machines.
+    pub num_workers: u32,
+    /// Spot or on-demand.
+    pub class: ResourceClass,
+}
+
+impl DeploymentConfig {
+    /// Creates a configuration.
+    pub fn new(instance_type: InstanceType, num_workers: u32, class: ResourceClass) -> Self {
+        DeploymentConfig {
+            instance_type,
+            num_workers,
+            class,
+        }
+    }
+
+    /// On-demand cost of the whole deployment in dollars per hour; for
+    /// transient deployments the actual cost follows the market price and
+    /// this is the *bid* (the paper bids the on-demand price, §7).
+    pub fn on_demand_rate(&self) -> f64 {
+        self.instance_type.on_demand_price() * self.num_workers as f64
+    }
+
+    /// Total vCPUs across workers.
+    pub fn total_vcpus(&self) -> u32 {
+        self.instance_type.vcpus() * self.num_workers
+    }
+
+    /// Total memory across workers in GiB.
+    pub fn total_memory_gib(&self) -> f64 {
+        self.instance_type.memory_gib() * self.num_workers as f64
+    }
+
+    /// True for transient configurations.
+    pub fn is_transient(&self) -> bool {
+        self.class == ResourceClass::Transient
+    }
+
+    /// Short identifier, e.g. `16x r4.2xlarge (spot)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}x {} ({})",
+            self.num_workers, self.instance_type, self.class
+        )
+    }
+}
+
+impl fmt::Display for DeploymentConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Worker counts used by the paper's configurations.
+pub const PAPER_WORKER_COUNTS: [u32; 3] = [16, 8, 4];
+
+/// Builds the paper's configuration set: every (type, size) pair in both
+/// resource classes — 9 transient plus 9 on-demand configurations.
+pub fn paper_configurations() -> Vec<DeploymentConfig> {
+    let mut out = Vec::with_capacity(18);
+    for class in [ResourceClass::Transient, ResourceClass::OnDemand] {
+        for ty in InstanceType::PAPER {
+            for &workers in &PAPER_WORKER_COUNTS {
+                out.push(DeploymentConfig::new(ty, workers, class));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_18_configs() {
+        let cfgs = paper_configurations();
+        assert_eq!(cfgs.len(), 18);
+        assert_eq!(cfgs.iter().filter(|c| c.is_transient()).count(), 9);
+    }
+
+    #[test]
+    fn rates_scale_with_size() {
+        let c = DeploymentConfig::new(InstanceType::R42xlarge, 16, ResourceClass::OnDemand);
+        assert!((c.on_demand_rate() - 16.0 * 0.532).abs() < 1e-9);
+        assert_eq!(c.total_vcpus(), 128);
+    }
+
+    #[test]
+    fn equal_budget_configs_have_equal_vcpus() {
+        // 16x2xlarge, 8x4xlarge and 4x8xlarge are iso-resource deployments.
+        let a = DeploymentConfig::new(InstanceType::R42xlarge, 16, ResourceClass::OnDemand);
+        let b = DeploymentConfig::new(InstanceType::R44xlarge, 8, ResourceClass::OnDemand);
+        let c = DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::OnDemand);
+        assert_eq!(a.total_vcpus(), b.total_vcpus());
+        assert_eq!(b.total_vcpus(), c.total_vcpus());
+        assert!((a.on_demand_rate() - c.on_demand_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let c = DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::Transient);
+        assert_eq!(c.label(), "4x r4.8xlarge (spot)");
+    }
+}

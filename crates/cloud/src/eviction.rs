@@ -1,0 +1,245 @@
+//! Empirical eviction models (§5.1, "Eviction Model").
+//!
+//! "Without loss of generality, we assume that the eviction model provides
+//! a cumulative distribution function (CDF) of the probability of being
+//! revoked before reaching a certain uptime." The model is derived from a
+//! *historical* trace (the paper uses October 2016; we use an independently
+//! seeded synthetic month) by sampling random start times and measuring the
+//! time until the market price first exceeds the bid.
+
+use crate::trace::PriceTrace;
+use crate::{CloudError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Empirical CDF of time-to-eviction for one market at one bid level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvictionModel {
+    /// Sorted uptimes (seconds) at which sampled launches were evicted.
+    /// Shared so cloning a model (one per candidate per decision) is O(1).
+    eviction_times: Arc<Vec<f64>>,
+    /// Total number of samples, including launches that survived the whole
+    /// observation window (censored).
+    total_samples: usize,
+    /// Observation window (seconds); survivors are censored here.
+    window: f64,
+    /// Cached mean time to failure.
+    mttf: f64,
+}
+
+impl EvictionModel {
+    /// Derives a model from a historical price trace.
+    ///
+    /// Samples `samples` uniformly random start times; each launch is
+    /// evicted when the price first exceeds `bid`, or censored at
+    /// `window` seconds (or the trace end, whichever is sooner).
+    pub fn from_trace(
+        trace: &PriceTrace,
+        bid: f64,
+        window: f64,
+        samples: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if samples == 0 {
+            return Err(CloudError::InvalidParameter(
+                "need at least one sample".into(),
+            ));
+        }
+        if !(window > 0.0) {
+            return Err(CloudError::InvalidParameter(
+                "window must be positive".into(),
+            ));
+        }
+        let horizon = trace.horizon();
+        if horizon <= window {
+            return Err(CloudError::InvalidParameter(format!(
+                "trace horizon {horizon}s shorter than observation window {window}s"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut eviction_times = Vec::new();
+        for _ in 0..samples {
+            let start = rng.gen::<f64>() * (horizon - window);
+            match trace.next_crossing_above(start, bid) {
+                Some(t) if t - start <= window => eviction_times.push(t - start),
+                _ => {} // Censored: survived the window.
+            }
+        }
+        eviction_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mttf = Self::compute_mttf(&eviction_times, samples, window);
+        Ok(EvictionModel {
+            eviction_times: Arc::new(eviction_times),
+            total_samples: samples,
+            window,
+            mttf,
+        })
+    }
+
+    /// Builds a model directly from observed eviction times (used by tests
+    /// and by what-if analyses).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hourglass_cloud::EvictionModel;
+    ///
+    /// // 2 evictions observed among 4 launches watched for 100 s.
+    /// let m = EvictionModel::from_samples(vec![10.0, 30.0], 4, 100.0).unwrap();
+    /// assert_eq!(m.cdf(20.0), 0.25);
+    /// assert_eq!(m.survival_rate(), 0.5);
+    /// ```
+    pub fn from_samples(mut eviction_times: Vec<f64>, total_samples: usize, window: f64) -> Result<Self> {
+        if total_samples == 0 || eviction_times.len() > total_samples {
+            return Err(CloudError::InvalidParameter(
+                "total_samples must cover all evictions".into(),
+            ));
+        }
+        if !(window > 0.0) {
+            return Err(CloudError::InvalidParameter(
+                "window must be positive".into(),
+            ));
+        }
+        eviction_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mttf = Self::compute_mttf(&eviction_times, total_samples, window);
+        Ok(EvictionModel {
+            eviction_times: Arc::new(eviction_times),
+            total_samples,
+            window,
+            mttf,
+        })
+    }
+
+    fn compute_mttf(evictions: &[f64], total: usize, window: f64) -> f64 {
+        // Censored samples contribute the full window (a lower bound on
+        // their true lifetime, making the MTTF conservative).
+        let survived = (total - evictions.len()) as f64;
+        let sum: f64 = evictions.iter().sum::<f64>() + survived * window;
+        sum / total as f64
+    }
+
+    /// `F(u)`: probability of being evicted before uptime `u` seconds.
+    ///
+    /// Monotone non-decreasing, `F(0) = 0` (assuming no instantaneous
+    /// evictions), `F(∞) ≤ 1`.
+    pub fn cdf(&self, uptime: f64) -> f64 {
+        if uptime <= 0.0 {
+            return 0.0;
+        }
+        // Number of eviction samples <= uptime via binary search.
+        let idx = self
+            .eviction_times
+            .partition_point(|&t| t <= uptime);
+        idx as f64 / self.total_samples as f64
+    }
+
+    /// Probability mass of eviction inside `(from, to]` uptime.
+    pub fn prob_between(&self, from: f64, to: f64) -> f64 {
+        (self.cdf(to) - self.cdf(from)).max(0.0)
+    }
+
+    /// Mean time to failure in seconds (censored samples counted at the
+    /// observation window).
+    pub fn mttf(&self) -> f64 {
+        self.mttf
+    }
+
+    /// Fraction of sampled launches that survived the whole window.
+    pub fn survival_rate(&self) -> f64 {
+        1.0 - self.eviction_times.len() as f64 / self.total_samples as f64
+    }
+
+    /// The observation window (seconds).
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+}
+
+/// An eviction model for reliable (on-demand) resources: never evicts.
+pub fn reliable() -> EvictionModel {
+    EvictionModel {
+        eviction_times: Arc::new(Vec::new()),
+        total_samples: 1,
+        window: f64::MAX,
+        mttf: f64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::{generate_trace, TraceGenConfig};
+    use crate::InstanceType;
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let m = EvictionModel::from_samples(vec![10.0, 20.0, 30.0], 6, 100.0).expect("valid");
+        assert_eq!(m.cdf(0.0), 0.0);
+        assert_eq!(m.cdf(5.0), 0.0);
+        assert!((m.cdf(10.0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((m.cdf(25.0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((m.cdf(1e9) - 0.5).abs() < 1e-12);
+        let mut last = 0.0;
+        for u in [0.0, 1.0, 10.0, 15.0, 20.0, 99.0, 1e6] {
+            let c = m.cdf(u);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn mttf_with_censoring() {
+        let m = EvictionModel::from_samples(vec![50.0], 2, 100.0).expect("valid");
+        // One eviction at 50 s plus one survivor censored at 100 s.
+        assert!((m.mttf() - 75.0).abs() < 1e-12);
+        assert!((m.survival_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_between() {
+        let m = EvictionModel::from_samples(vec![10.0, 20.0], 4, 100.0).expect("valid");
+        assert!((m.prob_between(5.0, 15.0) - 0.25).abs() < 1e-12);
+        assert_eq!(m.prob_between(50.0, 40.0), 0.0);
+    }
+
+    #[test]
+    fn from_trace_matches_spike_frequency() {
+        let cfg = TraceGenConfig::default();
+        let t = generate_trace(InstanceType::R48xlarge, &cfg, 5).expect("gen");
+        let bid = InstanceType::R48xlarge.on_demand_price();
+        let m = EvictionModel::from_trace(&t, bid, 6.0 * 3600.0, 2000, 1).expect("model");
+        // With ~2.4 spikes/day, a 6-hour window should often contain one.
+        let f6h = m.cdf(6.0 * 3600.0);
+        assert!(
+            (0.2..0.95).contains(&f6h),
+            "6-hour eviction probability {f6h:.3} implausible"
+        );
+        assert!(m.mttf() > 1800.0, "MTTF {} too small", m.mttf());
+    }
+
+    #[test]
+    fn higher_bid_means_fewer_evictions() {
+        let cfg = TraceGenConfig::default();
+        let t = generate_trace(InstanceType::R44xlarge, &cfg, 9).expect("gen");
+        let od = InstanceType::R44xlarge.on_demand_price();
+        let low = EvictionModel::from_trace(&t, od * 0.4, 4.0 * 3600.0, 1000, 2).expect("model");
+        let high = EvictionModel::from_trace(&t, od * 2.0, 4.0 * 3600.0, 1000, 2).expect("model");
+        assert!(low.cdf(4.0 * 3600.0) > high.cdf(4.0 * 3600.0));
+    }
+
+    #[test]
+    fn reliable_never_evicts() {
+        let m = reliable();
+        assert_eq!(m.cdf(1e12), 0.0);
+        assert_eq!(m.mttf(), f64::MAX);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EvictionModel::from_samples(vec![1.0], 0, 10.0).is_err());
+        assert!(EvictionModel::from_samples(vec![1.0, 2.0], 1, 10.0).is_err());
+        let t = PriceTrace::new(60.0, vec![1.0; 10]).expect("valid");
+        assert!(EvictionModel::from_trace(&t, 2.0, 6000.0, 10, 0).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! EC2 instance-type catalog.
+//!
+//! The paper deploys on the "memory optimized" r4 family (§8.1). Prices
+//! are the published us-east-1 on-demand rates of the 2016/2017 period the
+//! trace covers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An EC2 instance type from the r4 (memory-optimized) family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceType {
+    /// r4.xlarge — 4 vCPU, 30.5 GiB.
+    R4Xlarge,
+    /// r4.2xlarge — 8 vCPU, 61 GiB.
+    R42xlarge,
+    /// r4.4xlarge — 16 vCPU, 122 GiB.
+    R44xlarge,
+    /// r4.8xlarge — 32 vCPU, 244 GiB.
+    R48xlarge,
+}
+
+impl InstanceType {
+    /// Every catalog entry, smallest first.
+    pub const ALL: [InstanceType; 4] = [
+        InstanceType::R4Xlarge,
+        InstanceType::R42xlarge,
+        InstanceType::R44xlarge,
+        InstanceType::R48xlarge,
+    ];
+
+    /// The three types used in the paper's nine deployment configurations.
+    pub const PAPER: [InstanceType; 3] = [
+        InstanceType::R42xlarge,
+        InstanceType::R44xlarge,
+        InstanceType::R48xlarge,
+    ];
+
+    /// AWS API name.
+    pub fn api_name(&self) -> &'static str {
+        match self {
+            InstanceType::R4Xlarge => "r4.xlarge",
+            InstanceType::R42xlarge => "r4.2xlarge",
+            InstanceType::R44xlarge => "r4.4xlarge",
+            InstanceType::R48xlarge => "r4.8xlarge",
+        }
+    }
+
+    /// On-demand price in dollars per hour (us-east-1, 2016/2017).
+    pub fn on_demand_price(&self) -> f64 {
+        match self {
+            InstanceType::R4Xlarge => 0.266,
+            InstanceType::R42xlarge => 0.532,
+            InstanceType::R44xlarge => 1.064,
+            InstanceType::R48xlarge => 2.128,
+        }
+    }
+
+    /// Number of virtual CPUs.
+    pub fn vcpus(&self) -> u32 {
+        match self {
+            InstanceType::R4Xlarge => 4,
+            InstanceType::R42xlarge => 8,
+            InstanceType::R44xlarge => 16,
+            InstanceType::R48xlarge => 32,
+        }
+    }
+
+    /// Memory in GiB.
+    pub fn memory_gib(&self) -> f64 {
+        match self {
+            InstanceType::R4Xlarge => 30.5,
+            InstanceType::R42xlarge => 61.0,
+            InstanceType::R44xlarge => 122.0,
+            InstanceType::R48xlarge => 244.0,
+        }
+    }
+
+    /// Network bandwidth in Gbit/s ("up to 10 Gigabit" for the family;
+    /// only the 8xlarge has dedicated 10 Gbit/s).
+    pub fn network_gbps(&self) -> f64 {
+        match self {
+            InstanceType::R4Xlarge => 1.25,
+            InstanceType::R42xlarge => 2.5,
+            InstanceType::R44xlarge => 5.0,
+            InstanceType::R48xlarge => 10.0,
+        }
+    }
+}
+
+impl fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.api_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_double_with_size() {
+        let prices: Vec<f64> = InstanceType::ALL.iter().map(|t| t.on_demand_price()).collect();
+        for w in prices.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9, "r4 prices double per size");
+        }
+    }
+
+    #[test]
+    fn resources_scale_linearly_with_price() {
+        for t in InstanceType::ALL {
+            let per_dollar = t.vcpus() as f64 / t.on_demand_price();
+            assert!((per_dollar - 15.037).abs() < 0.1, "{t}: {per_dollar}");
+        }
+    }
+
+    #[test]
+    fn api_names_roundtrip_display() {
+        assert_eq!(InstanceType::R42xlarge.to_string(), "r4.2xlarge");
+    }
+
+    #[test]
+    fn paper_subset_is_largest_three() {
+        assert!(!InstanceType::PAPER.contains(&InstanceType::R4Xlarge));
+        assert_eq!(InstanceType::PAPER.len(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulated cloud market substrate: instance catalog, deployment
+//! configurations, spot price traces, eviction models and billing.
+//!
+//! The paper evaluates Hourglass against a public trace of Amazon
+//! spot-instance prices (us-east-1, November 2016) and derives eviction
+//! statistics from the preceding month. We have neither trace, so this
+//! crate generates statistically faithful synthetic markets: a
+//! mean-reverting log-price process with Poisson demand spikes, calibrated
+//! so that discounts and mean-times-to-failure fall in the ranges reported
+//! for 2016 us-east-1 (see `DESIGN.md` §2). Everything downstream consumes
+//! only the [`trace::PriceTrace`] and [`eviction::EvictionModel`]
+//! abstractions, exactly like the paper's simulator.
+//!
+//! Conventions: simulation time is `f64` **seconds** from trace start;
+//! prices are `f64` **dollars per hour** (matching AWS quoting); costs are
+//! `f64` dollars.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod config;
+pub mod eviction;
+pub mod instance;
+pub mod stats;
+pub mod trace;
+pub mod tracegen;
+
+pub use config::{DeploymentConfig, ResourceClass};
+pub use eviction::EvictionModel;
+pub use instance::InstanceType;
+pub use trace::{Market, PriceTrace};
+
+use std::fmt;
+
+/// Errors produced by the cloud substrate.
+#[derive(Debug)]
+pub enum CloudError {
+    /// A parameter was out of range.
+    InvalidParameter(String),
+    /// A market lookup referenced an instance type with no trace.
+    UnknownMarket(InstanceType),
+    /// A time fell outside the trace horizon.
+    OutOfTrace {
+        /// The requested time (seconds).
+        time: f64,
+        /// The trace horizon (seconds).
+        horizon: f64,
+    },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            CloudError::UnknownMarket(t) => write!(f, "no trace for instance type {t}"),
+            CloudError::OutOfTrace { time, horizon } => {
+                write!(f, "time {time}s outside trace horizon {horizon}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CloudError>;

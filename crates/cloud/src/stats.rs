@@ -1,0 +1,145 @@
+//! Market statistics: the summary quantities the provisioning literature
+//! reports about spot markets (discount, volatility, spike structure,
+//! availability at a bid level).
+
+use crate::trace::PriceTrace;
+use crate::{CloudError, Result};
+
+/// Summary statistics of one market trace at a given bid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketStats {
+    /// Mean price over the trace, $/h.
+    pub mean_price: f64,
+    /// Minimum and maximum sample.
+    pub min_price: f64,
+    /// Maximum sample.
+    pub max_price: f64,
+    /// Standard deviation of the price.
+    pub stddev: f64,
+    /// Fraction of time the price is at or below the bid (availability).
+    pub availability: f64,
+    /// Number of distinct outage episodes (price above bid).
+    pub spike_count: usize,
+    /// Mean outage duration in seconds.
+    pub mean_spike_duration: f64,
+    /// Longest outage in seconds.
+    pub max_spike_duration: f64,
+}
+
+/// Computes [`MarketStats`] for `trace` against `bid`.
+///
+/// # Examples
+///
+/// ```
+/// use hourglass_cloud::stats::market_stats;
+/// use hourglass_cloud::PriceTrace;
+///
+/// let trace = PriceTrace::new(60.0, vec![0.5, 0.6, 1.4, 0.5]).unwrap();
+/// let s = market_stats(&trace, 1.0).unwrap();
+/// assert_eq!(s.spike_count, 1);
+/// assert_eq!(s.availability, 0.75);
+/// ```
+pub fn market_stats(trace: &PriceTrace, bid: f64) -> Result<MarketStats> {
+    if !(bid > 0.0) {
+        return Err(CloudError::InvalidParameter(format!(
+            "bid must be positive, got {bid}"
+        )));
+    }
+    let samples = trace.samples();
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+
+    let mut available = 0usize;
+    let mut spikes = 0usize;
+    let mut spike_len_sum = 0usize;
+    let mut spike_len_max = 0usize;
+    let mut current_spike = 0usize;
+    for &p in samples {
+        if p <= bid {
+            available += 1;
+            if current_spike > 0 {
+                spikes += 1;
+                spike_len_sum += current_spike;
+                spike_len_max = spike_len_max.max(current_spike);
+                current_spike = 0;
+            }
+        } else {
+            current_spike += 1;
+        }
+    }
+    if current_spike > 0 {
+        spikes += 1;
+        spike_len_sum += current_spike;
+        spike_len_max = spike_len_max.max(current_spike);
+    }
+    Ok(MarketStats {
+        mean_price: mean,
+        min_price: min,
+        max_price: max,
+        stddev: var.sqrt(),
+        availability: available as f64 / n,
+        spike_count: spikes,
+        mean_spike_duration: if spikes == 0 {
+            0.0
+        } else {
+            spike_len_sum as f64 / spikes as f64 * trace.step()
+        },
+        max_spike_duration: spike_len_max as f64 * trace.step(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::{generate_trace, TraceGenConfig};
+    use crate::InstanceType;
+
+    #[test]
+    fn stats_of_synthetic_square_wave() {
+        // 1,1,3,3,1,3 at bid 2: two spikes (len 2 and len 1).
+        let t = PriceTrace::new(60.0, vec![1.0, 1.0, 3.0, 3.0, 1.0, 3.0]).expect("valid");
+        let s = market_stats(&t, 2.0).expect("stats");
+        assert_eq!(s.spike_count, 2);
+        assert!((s.availability - 0.5).abs() < 1e-12);
+        assert!((s.mean_spike_duration - 1.5 * 60.0).abs() < 1e-12);
+        assert_eq!(s.max_spike_duration, 120.0);
+        assert_eq!(s.min_price, 1.0);
+        assert_eq!(s.max_price, 3.0);
+        assert!((s.mean_price - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_spikes_when_bid_above_max() {
+        let t = PriceTrace::new(60.0, vec![1.0, 2.0, 1.5]).expect("valid");
+        let s = market_stats(&t, 10.0).expect("stats");
+        assert_eq!(s.spike_count, 0);
+        assert_eq!(s.availability, 1.0);
+        assert_eq!(s.mean_spike_duration, 0.0);
+    }
+
+    #[test]
+    fn generated_markets_have_high_availability() {
+        let t = generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 3)
+            .expect("gen");
+        let bid = InstanceType::R48xlarge.on_demand_price();
+        let s = market_stats(&t, bid).expect("stats");
+        assert!(
+            s.availability > 0.8,
+            "spot should be available most of the month: {}",
+            s.availability
+        );
+        assert!(s.spike_count > 10, "a month should contain many spikes");
+        assert!(s.mean_spike_duration > 60.0);
+        assert!(s.max_spike_duration >= s.mean_spike_duration);
+    }
+
+    #[test]
+    fn rejects_bad_bid() {
+        let t = PriceTrace::new(60.0, vec![1.0]).expect("valid");
+        assert!(market_stats(&t, 0.0).is_err());
+        assert!(market_stats(&t, -1.0).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Spot price traces: piecewise-constant price histories per market.
+
+use crate::{CloudError, InstanceType, Result};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant price history for one market (one instance type in
+/// one availability zone).
+///
+/// `prices[i]` holds between `i * step` and `(i + 1) * step` seconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PriceTrace {
+    step: f64,
+    prices: Vec<f64>,
+}
+
+impl PriceTrace {
+    /// Creates a trace from samples spaced `step` seconds apart.
+    pub fn new(step: f64, prices: Vec<f64>) -> Result<Self> {
+        if !(step > 0.0) {
+            return Err(CloudError::InvalidParameter(format!(
+                "step must be positive, got {step}"
+            )));
+        }
+        if prices.is_empty() {
+            return Err(CloudError::InvalidParameter("empty price trace".into()));
+        }
+        if prices.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(CloudError::InvalidParameter(
+                "prices must be finite and non-negative".into(),
+            ));
+        }
+        Ok(PriceTrace { step, prices })
+    }
+
+    /// Sampling interval in seconds.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Trace horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.step * self.prices.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the trace holds no samples (never true for a constructed
+    /// trace).
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Price in effect at time `t` (seconds). Errors outside the horizon.
+    pub fn price_at(&self, t: f64) -> Result<f64> {
+        if t < 0.0 || t >= self.horizon() {
+            return Err(CloudError::OutOfTrace {
+                time: t,
+                horizon: self.horizon(),
+            });
+        }
+        Ok(self.prices[(t / self.step) as usize])
+    }
+
+    /// First instant at or after `from` where the price strictly exceeds
+    /// `threshold`, or `None` if it never does before the horizon.
+    ///
+    /// With `threshold` set to the bid this is the eviction instant of a
+    /// spot request issued at `from` (post-2017 AWS semantics: instances are
+    /// reclaimed when the market price crosses the bid).
+    pub fn next_crossing_above(&self, from: f64, threshold: f64) -> Option<f64> {
+        if from >= self.horizon() {
+            return None;
+        }
+        let start = (from.max(0.0) / self.step) as usize;
+        for i in start..self.prices.len() {
+            if self.prices[i] > threshold {
+                let t = i as f64 * self.step;
+                return Some(t.max(from));
+            }
+        }
+        None
+    }
+
+    /// First instant at or after `from` where the price is at or below
+    /// `threshold`, or `None` if it never is before the horizon.
+    ///
+    /// A spot request submitted while the market clears above the bid is
+    /// fulfilled at this instant.
+    pub fn next_at_or_below(&self, from: f64, threshold: f64) -> Option<f64> {
+        if from >= self.horizon() || from < 0.0 {
+            return None;
+        }
+        let start = (from / self.step) as usize;
+        for i in start..self.prices.len() {
+            if self.prices[i] <= threshold {
+                let t = i as f64 * self.step;
+                return Some(t.max(from));
+            }
+        }
+        None
+    }
+
+    /// Integral of the price over `[from, to]`, divided by 3600: the cost in
+    /// dollars of renting **one** machine for that interval at market price.
+    pub fn cost_between(&self, from: f64, to: f64) -> Result<f64> {
+        if to < from {
+            return Err(CloudError::InvalidParameter(format!(
+                "interval end {to} before start {from}"
+            )));
+        }
+        if from < 0.0 || to > self.horizon() + 1e-9 {
+            return Err(CloudError::OutOfTrace {
+                time: to,
+                horizon: self.horizon(),
+            });
+        }
+        let mut cost = 0.0;
+        let mut t = from;
+        while t < to - 1e-12 {
+            let idx = ((t / self.step) as usize).min(self.prices.len() - 1);
+            let seg_end = ((idx + 1) as f64 * self.step).min(to);
+            cost += self.prices[idx] * (seg_end - t) / 3600.0;
+            t = seg_end;
+        }
+        Ok(cost)
+    }
+
+    /// Mean price over the whole trace.
+    pub fn mean_price(&self) -> f64 {
+        self.prices.iter().sum::<f64>() / self.prices.len() as f64
+    }
+
+    /// Raw samples (mostly for tests and reports).
+    pub fn samples(&self) -> &[f64] {
+        &self.prices
+    }
+}
+
+/// A complete market: one price trace per instance type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Market {
+    traces: Vec<(InstanceType, PriceTrace)>,
+}
+
+impl Market {
+    /// Creates a market from per-type traces.
+    pub fn new(traces: Vec<(InstanceType, PriceTrace)>) -> Result<Self> {
+        if traces.is_empty() {
+            return Err(CloudError::InvalidParameter("empty market".into()));
+        }
+        Ok(Market { traces })
+    }
+
+    /// The trace of `ty`.
+    pub fn trace(&self, ty: InstanceType) -> Result<&PriceTrace> {
+        self.traces
+            .iter()
+            .find(|(t, _)| *t == ty)
+            .map(|(_, tr)| tr)
+            .ok_or(CloudError::UnknownMarket(ty))
+    }
+
+    /// Shortest horizon across all traces (the usable simulation window).
+    pub fn horizon(&self) -> f64 {
+        self.traces
+            .iter()
+            .map(|(_, t)| t.horizon())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The instance types with traces.
+    pub fn instance_types(&self) -> impl Iterator<Item = InstanceType> + '_ {
+        self.traces.iter().map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PriceTrace {
+        // 4 samples of 60 s: 1, 2, 3, 1 $/h.
+        PriceTrace::new(60.0, vec![1.0, 2.0, 3.0, 1.0]).expect("valid")
+    }
+
+    #[test]
+    fn price_lookup() {
+        let t = trace();
+        assert_eq!(t.price_at(0.0).expect("in range"), 1.0);
+        assert_eq!(t.price_at(59.9).expect("in range"), 1.0);
+        assert_eq!(t.price_at(60.0).expect("in range"), 2.0);
+        assert!(t.price_at(240.0).is_err());
+        assert!(t.price_at(-1.0).is_err());
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let t = trace();
+        assert_eq!(t.next_crossing_above(0.0, 1.5), Some(60.0));
+        assert_eq!(t.next_crossing_above(0.0, 2.5), Some(120.0));
+        assert_eq!(t.next_crossing_above(130.0, 2.5), Some(130.0));
+        assert_eq!(t.next_crossing_above(0.0, 5.0), None);
+        assert_eq!(t.next_crossing_above(999.0, 0.0), None);
+    }
+
+    #[test]
+    fn cost_integration() {
+        let t = trace();
+        // Full trace: (1+2+3+1) $/h * 60 s = 7 * 60 / 3600.
+        let c = t.cost_between(0.0, 240.0).expect("in range");
+        assert!((c - 7.0 * 60.0 / 3600.0).abs() < 1e-12);
+        // Half a segment.
+        let c = t.cost_between(30.0, 90.0).expect("in range");
+        assert!((c - (1.0 * 30.0 + 2.0 * 30.0) / 3600.0).abs() < 1e-12);
+        // Empty interval.
+        assert_eq!(t.cost_between(10.0, 10.0).expect("in range"), 0.0);
+        assert!(t.cost_between(10.0, 5.0).is_err());
+        assert!(t.cost_between(0.0, 500.0).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_traces() {
+        assert!(PriceTrace::new(0.0, vec![1.0]).is_err());
+        assert!(PriceTrace::new(60.0, vec![]).is_err());
+        assert!(PriceTrace::new(60.0, vec![-1.0]).is_err());
+        assert!(PriceTrace::new(60.0, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn market_lookup() {
+        let m = Market::new(vec![(InstanceType::R42xlarge, trace())]).expect("valid");
+        assert!(m.trace(InstanceType::R42xlarge).is_ok());
+        assert!(m.trace(InstanceType::R48xlarge).is_err());
+        assert_eq!(m.horizon(), 240.0);
+    }
+
+    #[test]
+    fn mean_price() {
+        assert!((trace().mean_price() - 1.75).abs() < 1e-12);
+    }
+}
+
+/// Persistence helpers: markets serialize to JSON so generated traces can
+/// be archived and replayed exactly (the role of the paper's public trace
+/// archive [44]).
+impl Market {
+    /// Serializes the market to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("market serialization cannot fail")
+    }
+
+    /// Restores a market from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| CloudError::InvalidParameter(format!("bad market json: {e}")))
+    }
+
+    /// Writes the market to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path.as_ref(), self.to_json())
+            .map_err(|e| CloudError::InvalidParameter(format!("write market: {e}")))
+    }
+
+    /// Loads a market from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| CloudError::InvalidParameter(format!("read market: {e}")))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn market_json_roundtrip() {
+        let t = PriceTrace::new(60.0, vec![0.5, 0.7, 0.4]).expect("valid");
+        let m = Market::new(vec![(InstanceType::R42xlarge, t)]).expect("valid");
+        let restored = Market::from_json(&m.to_json()).expect("roundtrip");
+        assert_eq!(
+            restored
+                .trace(InstanceType::R42xlarge)
+                .expect("trace")
+                .samples(),
+            m.trace(InstanceType::R42xlarge).expect("trace").samples()
+        );
+        assert!(Market::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn market_file_roundtrip() {
+        let t = PriceTrace::new(30.0, vec![1.0, 2.0]).expect("valid");
+        let m = Market::new(vec![(InstanceType::R4Xlarge, t)]).expect("valid");
+        let path = std::env::temp_dir().join(format!("hourglass-market-{}.json", std::process::id()));
+        m.save(&path).expect("save");
+        let restored = Market::load(&path).expect("load");
+        assert_eq!(restored.horizon(), m.horizon());
+        std::fs::remove_file(&path).ok();
+        assert!(Market::load("/nonexistent/market.json").is_err());
+    }
+}

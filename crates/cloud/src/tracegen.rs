@@ -1,0 +1,283 @@
+//! Synthetic spot-market generation.
+//!
+//! Stand-in for the public price trace the paper replays ([44], Amazon
+//! us-east-1, November 2016). The generator follows the stylized facts
+//! reported by spot-market studies of that period:
+//!
+//! - prices hover at a deep discount (60–90% below on-demand) most of the
+//!   time, mean-reverting around a per-market base level;
+//! - occasional demand spikes push the price *above* the on-demand price
+//!   for minutes to hours — these are what evict instances bid at the
+//!   on-demand price;
+//! - markets for bigger instances are thinner and spike more often.
+//!
+//! The process is an Ornstein–Uhlenbeck random walk in log-price plus a
+//! Poisson spike overlay, sampled at one-minute resolution.
+
+use crate::instance::InstanceType;
+use crate::trace::{Market, PriceTrace};
+use crate::{CloudError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic market generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceGenConfig {
+    /// Trace length in days.
+    pub days: f64,
+    /// Sampling step in seconds (the paper's prices change at ≥1 s; one
+    /// minute keeps month-long traces small without affecting results).
+    pub step_secs: f64,
+    /// Mean spot discount: base price = `mean_discount · on_demand`.
+    pub mean_discount: f64,
+    /// OU volatility per √hour of the log price.
+    pub volatility: f64,
+    /// OU mean-reversion rate per hour.
+    pub reversion: f64,
+    /// Demand spikes per day (for the *smallest* paper instance; larger
+    /// instances get proportionally more, see [`spike_rate_multiplier`]).
+    pub spikes_per_day: f64,
+    /// Mean spike duration in seconds.
+    pub spike_duration_mean: f64,
+    /// Multiplier applied to the on-demand price at the peak of a spike.
+    pub spike_level: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceGenConfig {
+    fn default() -> Self {
+        TraceGenConfig {
+            days: 30.0,
+            step_secs: 60.0,
+            mean_discount: 0.27,
+            volatility: 0.08,
+            reversion: 0.35,
+            spikes_per_day: 1.1,
+            spike_duration_mean: 1500.0,
+            spike_level: 1.35,
+            seed: 0x5447, // "TG"
+        }
+    }
+}
+
+/// Spike-rate multiplier per instance type: thinner markets (bigger
+/// machines) are evicted more often, as observed empirically.
+pub fn spike_rate_multiplier(ty: InstanceType) -> f64 {
+    match ty {
+        InstanceType::R4Xlarge => 0.7,
+        InstanceType::R42xlarge => 1.0,
+        InstanceType::R44xlarge => 1.5,
+        InstanceType::R48xlarge => 2.2,
+    }
+}
+
+/// Discount multiplier per instance type. Popular mid sizes clear closer
+/// to on-demand; thin big-machine markets clear at deep discounts — the
+/// 2016 us-east-1 pattern that makes greedy cost-per-work provisioners
+/// prefer big-but-risky deployments (and that Figure 5 depends on).
+pub fn discount_multiplier(ty: InstanceType) -> f64 {
+    match ty {
+        InstanceType::R4Xlarge => 2.2,
+        InstanceType::R42xlarge => 2.0,
+        InstanceType::R44xlarge => 1.15,
+        InstanceType::R48xlarge => 0.75,
+    }
+}
+
+/// Generates the price trace of a single market.
+pub fn generate_trace(ty: InstanceType, cfg: &TraceGenConfig, seed: u64) -> Result<PriceTrace> {
+    validate(cfg)?;
+    let od = ty.on_demand_price();
+    let base = (cfg.mean_discount * discount_multiplier(ty)).min(0.92) * od;
+    let steps = ((cfg.days * 86_400.0) / cfg.step_secs).ceil() as usize;
+    let dt_hours = cfg.step_secs / 3600.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log_x = 0.0f64; // Log deviation from the base price.
+    let spike_rate_per_step =
+        cfg.spikes_per_day * spike_rate_multiplier(ty) * cfg.step_secs / 86_400.0;
+    let mut spike_left = 0.0f64; // Remaining seconds of the active spike.
+    let mut prices = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        // OU step in log space.
+        let noise: f64 = gaussian(&mut rng);
+        log_x += -cfg.reversion * log_x * dt_hours + cfg.volatility * dt_hours.sqrt() * noise;
+        // Poisson spike arrivals.
+        if spike_left <= 0.0 && rng.gen::<f64>() < spike_rate_per_step {
+            // Exponential duration.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            spike_left = -cfg.spike_duration_mean * u.ln();
+        }
+        let price = if spike_left > 0.0 {
+            spike_left -= cfg.step_secs;
+            // During a spike the market clears above on-demand.
+            od * cfg.spike_level * (1.0 + 0.15 * rng.gen::<f64>())
+        } else {
+            (base * log_x.exp()).min(od * 0.95)
+        };
+        prices.push(price.max(0.001));
+    }
+    PriceTrace::new(cfg.step_secs, prices)
+}
+
+/// Generates a full market (every catalog instance type) with per-type
+/// decorrelated seeds.
+pub fn generate_market(cfg: &TraceGenConfig) -> Result<Market> {
+    let traces = InstanceType::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &ty)| {
+            let seed = cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 + 1);
+            generate_trace(ty, cfg, seed).map(|t| (ty, t))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Market::new(traces)
+}
+
+/// The "November" market replayed by simulations (paper: Nov 2016 trace).
+pub fn simulation_market(seed: u64) -> Result<Market> {
+    generate_market(&TraceGenConfig {
+        seed,
+        ..TraceGenConfig::default()
+    })
+}
+
+/// The "October" market used only to derive historical statistics
+/// (paper: Oct 2016 trace). Independently seeded.
+pub fn history_market(seed: u64) -> Result<Market> {
+    generate_market(&TraceGenConfig {
+        seed: seed.wrapping_add(0x0C70_BE55),
+        ..TraceGenConfig::default()
+    })
+}
+
+fn validate(cfg: &TraceGenConfig) -> Result<()> {
+    if !(cfg.days > 0.0) || !(cfg.step_secs > 0.0) {
+        return Err(CloudError::InvalidParameter(
+            "days and step_secs must be positive".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&cfg.mean_discount) {
+        return Err(CloudError::InvalidParameter(format!(
+            "mean_discount must be in (0,1), got {}",
+            cfg.mean_discount
+        )));
+    }
+    if cfg.spike_level <= 1.0 {
+        return Err(CloudError::InvalidParameter(
+            "spike_level must exceed 1 (spikes must cross on-demand)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Box–Muller standard normal sample.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 7)
+            .expect("gen");
+        let b = generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 7)
+            .expect("gen");
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn discount_in_expected_band() {
+        // Popular mid size: shallow discount.
+        let t = generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 1)
+            .expect("gen");
+        let mid = t.mean_price() / InstanceType::R42xlarge.on_demand_price();
+        assert!(
+            (0.45..0.75).contains(&mid),
+            "r4.2xlarge mean discount {mid:.3} outside band"
+        );
+        // Thin big-machine market: deep discount (with spike lift).
+        let t = generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 1)
+            .expect("gen");
+        let big = t.mean_price() / InstanceType::R48xlarge.on_demand_price();
+        assert!(
+            (0.15..0.45).contains(&big),
+            "r4.8xlarge mean discount {big:.3} outside band"
+        );
+        assert!(big < mid, "big machines must be relatively cheaper");
+    }
+
+    #[test]
+    fn spikes_cross_on_demand() {
+        let t = generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 2)
+            .expect("gen");
+        let od = InstanceType::R48xlarge.on_demand_price();
+        let above = t.samples().iter().filter(|&&p| p > od).count();
+        assert!(above > 0, "a month of r4.8xlarge must contain evictions");
+        // But the market is below on-demand the vast majority of the time.
+        assert!((above as f64) < 0.25 * t.len() as f64);
+    }
+
+    #[test]
+    fn bigger_instances_spike_more() {
+        let cfg = TraceGenConfig::default();
+        let count = |ty: InstanceType, seed| {
+            let t = generate_trace(ty, &cfg, seed).expect("gen");
+            let od = ty.on_demand_price();
+            t.samples().iter().filter(|&&p| p > od).count()
+        };
+        // Average over a few seeds to dodge run-to-run noise.
+        let small: usize = (0..4).map(|s| count(InstanceType::R42xlarge, s)).sum();
+        let big: usize = (0..4).map(|s| count(InstanceType::R48xlarge, s)).sum();
+        assert!(big > small, "8xlarge ({big}) should spike more than 2xlarge ({small})");
+    }
+
+    #[test]
+    fn horizon_matches_days() {
+        let cfg = TraceGenConfig {
+            days: 2.0,
+            ..TraceGenConfig::default()
+        };
+        let t = generate_trace(InstanceType::R4Xlarge, &cfg, 1).expect("gen");
+        assert!((t.horizon() - 2.0 * 86_400.0).abs() < cfg.step_secs);
+    }
+
+    #[test]
+    fn market_has_all_types() {
+        let m = simulation_market(3).expect("gen");
+        for ty in InstanceType::ALL {
+            assert!(m.trace(ty).is_ok());
+        }
+    }
+
+    #[test]
+    fn history_and_simulation_differ() {
+        let sim = simulation_market(3).expect("gen");
+        let hist = history_market(3).expect("gen");
+        let a = sim.trace(InstanceType::R42xlarge).expect("trace");
+        let b = hist.trace(InstanceType::R42xlarge).expect("trace");
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad = TraceGenConfig {
+            mean_discount: 1.5,
+            ..TraceGenConfig::default()
+        };
+        assert!(generate_trace(InstanceType::R4Xlarge, &bad, 0).is_err());
+        let bad = TraceGenConfig {
+            spike_level: 0.9,
+            ..TraceGenConfig::default()
+        };
+        assert!(generate_trace(InstanceType::R4Xlarge, &bad, 0).is_err());
+    }
+}

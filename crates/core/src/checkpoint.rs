@@ -1,0 +1,85 @@
+//! Optimal checkpoint intervals.
+//!
+//! The paper (§5.1) adopts Daly's higher-order estimate of the optimal
+//! restart-dump interval [14]; like Flint [34], it uses the first-order
+//! form `t_ckpt = √(2 · t_save · MTTF)`.
+
+/// Daly's first-order optimal checkpoint interval in seconds.
+///
+/// Returns a very large value for effectively reliable resources
+/// (`mttf = f64::MAX`), so reliable deployments simply never checkpoint.
+/// The result is clamped below by `t_save` — checkpointing more often than
+/// a checkpoint takes to write is never useful.
+///
+/// # Examples
+///
+/// ```
+/// use hourglass_core::checkpoint::daly_interval;
+///
+/// // A 100 s checkpoint against a ~5.5 h MTTF: checkpoint every ~2000 s.
+/// assert_eq!(daly_interval(100.0, 20_000.0), 2000.0);
+/// ```
+pub fn daly_interval(t_save: f64, mttf: f64) -> f64 {
+    if mttf >= f64::MAX / 4.0 {
+        return f64::MAX / 4.0;
+    }
+    let raw = (2.0 * t_save.max(0.0) * mttf.max(0.0)).sqrt();
+    raw.max(t_save)
+}
+
+/// Expected wasted time per failure for a given checkpoint interval: on
+/// average half an interval of lost work plus the recovery fixed costs.
+/// Used by ablation benches comparing Daly against fixed intervals.
+pub fn expected_waste_per_failure(interval: f64, t_recover: f64) -> f64 {
+    interval / 2.0 + t_recover
+}
+
+/// Fraction of running time spent writing checkpoints.
+pub fn checkpoint_overhead(interval: f64, t_save: f64) -> f64 {
+    if interval <= 0.0 {
+        return 1.0;
+    }
+    t_save / (interval + t_save)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daly_formula() {
+        // sqrt(2 * 100 * 20000) = 2000.
+        assert!((daly_interval(100.0, 20_000.0) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daly_monotone_in_mttf() {
+        let a = daly_interval(60.0, 1800.0);
+        let b = daly_interval(60.0, 7200.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn daly_clamped_below_by_save_time() {
+        // Pathological MTTF shorter than the save time itself.
+        assert_eq!(daly_interval(100.0, 1.0), 100.0);
+    }
+
+    #[test]
+    fn daly_reliable_is_effectively_infinite() {
+        assert!(daly_interval(100.0, f64::MAX) > 1e300);
+    }
+
+    #[test]
+    fn overhead_shrinks_with_interval() {
+        let hi = checkpoint_overhead(100.0, 50.0);
+        let lo = checkpoint_overhead(10_000.0, 50.0);
+        assert!(lo < hi);
+        assert_eq!(checkpoint_overhead(0.0, 50.0), 1.0);
+    }
+
+    #[test]
+    fn waste_accounting() {
+        assert!((expected_waste_per_failure(2000.0, 300.0) - 1300.0).abs() < 1e-12);
+    }
+}

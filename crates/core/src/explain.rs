@@ -1,0 +1,194 @@
+//! Decision explanation: a transparent per-candidate breakdown of one
+//! provisioning decision.
+//!
+//! Operators (and tests) want to know *why* Hourglass picked a
+//! configuration. [`explain`] evaluates every candidate exactly like the
+//! slack-aware strategy would and reports the intermediate quantities of
+//! the Table 1 model — slack, useful interval, checkpoint interval,
+//! eviction probability over the next interval, expected cost.
+
+use crate::expected_cost::{expected_cost_approx, expected_cost_of_candidate, EcParams};
+use crate::model::DecisionContext;
+use crate::Result;
+use std::fmt;
+
+/// One candidate's evaluation.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Candidate index in the decision context.
+    pub index: usize,
+    /// Deployment label.
+    pub label: String,
+    /// Whether the candidate is transient.
+    pub transient: bool,
+    /// Current price of the whole deployment, $/h.
+    pub price_rate: f64,
+    /// `t_exec^c` (seconds).
+    pub t_exec: f64,
+    /// `useful(c, t)` (seconds; meaningless for on-demand candidates).
+    pub useful: f64,
+    /// `t_ckpt^c` (seconds).
+    pub checkpoint_interval: f64,
+    /// Probability of eviction within the next interval.
+    pub p_fail_next_interval: f64,
+    /// `EC(t, w)|c` in dollars (∞ = not selectable).
+    pub expected_cost: f64,
+}
+
+/// A full decision explanation.
+#[derive(Debug, Clone)]
+pub struct DecisionReport {
+    /// Current slack in seconds.
+    pub slack: f64,
+    /// Remaining work fraction.
+    pub work_left: f64,
+    /// Index of the last-resort configuration.
+    pub lrc: usize,
+    /// The winning candidate (None when nothing is feasible).
+    pub chosen: Option<usize>,
+    /// Per-candidate detail, in candidate order.
+    pub candidates: Vec<CandidateReport>,
+}
+
+impl fmt::Display for DecisionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "slack {:.0}s | work left {:.1}% | lrc = candidate {}",
+            self.slack,
+            100.0 * self.work_left,
+            self.lrc
+        )?;
+        writeln!(
+            f,
+            "{:<4} {:<26} {:>9} {:>9} {:>9} {:>8} {:>10}",
+            "#", "deployment", "$/h", "useful", "t_ckpt", "p_evict", "EC($)"
+        )?;
+        for c in &self.candidates {
+            let marker = if Some(c.index) == self.chosen { "*" } else { " " };
+            let ec = if c.expected_cost.is_finite() {
+                format!("{:.2}", c.expected_cost)
+            } else {
+                "inf".to_string()
+            };
+            let useful = if c.transient {
+                format!("{:.0}s", c.useful)
+            } else {
+                "-".to_string()
+            };
+            let ckpt = if c.checkpoint_interval < 1e12 {
+                format!("{:.0}s", c.checkpoint_interval)
+            } else {
+                "-".to_string()
+            };
+            writeln!(
+                f,
+                "{marker}{:<3} {:<26} {:>9.2} {:>9} {:>9} {:>8.3} {:>10}",
+                c.index, c.label, c.price_rate, useful, ckpt, c.p_fail_next_interval, ec
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates every candidate the way [`crate::strategies::HourglassStrategy`]
+/// does and returns the full breakdown.
+pub fn explain(ctx: &DecisionContext<'_>, params: &EcParams) -> Result<DecisionReport> {
+    let lrc = ctx.lrc_index()?;
+    let slack = ctx.slack()?;
+    let mut candidates = Vec::with_capacity(ctx.candidates.len());
+    for (i, c) in ctx.candidates.iter().enumerate() {
+        let useful = ctx.useful(i).unwrap_or(f64::NAN);
+        let t_int = useful.max(0.0) + c.t_save;
+        let u0 = if ctx.is_continuation(i) {
+            ctx.current.map(|cur| cur.uptime).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        let f0 = c.eviction.cdf(u0);
+        let p_fail = if f0 >= 1.0 {
+            1.0
+        } else {
+            ((c.eviction.cdf(u0 + t_int) - f0) / (1.0 - f0)).clamp(0.0, 1.0)
+        };
+        candidates.push(CandidateReport {
+            index: i,
+            label: c.config.label(),
+            transient: c.is_transient(),
+            price_rate: c.price_rate,
+            t_exec: c.t_exec,
+            useful,
+            checkpoint_interval: c.checkpoint_interval(),
+            p_fail_next_interval: if c.is_transient() { p_fail } else { 0.0 },
+            expected_cost: f64::NAN, // Filled below.
+        });
+    }
+    // Fill expected costs: exactly what the strategy's minimization sees.
+    let global = expected_cost_approx(ctx, params)?;
+    for report in candidates.iter_mut() {
+        report.expected_cost = expected_cost_of_candidate(ctx, report.index, params)?;
+    }
+    Ok(DecisionReport {
+        slack,
+        work_left: ctx.work_left,
+        lrc,
+        chosen: global.best,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testkit::{candidates, context};
+
+    #[test]
+    fn explains_a_decision() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        let report = explain(&ctx, &EcParams::default()).expect("explain");
+        assert_eq!(report.lrc, 0);
+        assert_eq!(report.candidates.len(), 4);
+        assert!(report.chosen.is_some());
+        let chosen = report.chosen.expect("chosen");
+        assert!(cands[chosen].is_transient(), "ample slack → spot");
+        // The rendering contains the winner marker and all labels.
+        let text = report.to_string();
+        assert!(text.contains("*"));
+        assert!(text.contains("r4.8xlarge"));
+    }
+
+    #[test]
+    fn infeasible_candidates_show_infinite_cost() {
+        let cands = candidates();
+        let mut ctx = context(&cands);
+        // A few minutes before the point of no return: every transient
+        // candidate must show EC = ∞.
+        ctx.now = ctx.deadline - (cands[0].t_exec + cands[0].t_fixed(ctx.t_boot)) - 30.0;
+        let report = explain(&ctx, &EcParams::default()).expect("explain");
+        for c in &report.candidates {
+            if c.transient {
+                assert!(
+                    !c.expected_cost.is_finite(),
+                    "candidate {} should be unselectable",
+                    c.index
+                );
+            }
+        }
+        assert_eq!(report.chosen, Some(0));
+        assert!(report.to_string().contains("inf"));
+    }
+
+    #[test]
+    fn eviction_probability_in_unit_range() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        let report = explain(&ctx, &EcParams::default()).expect("explain");
+        for c in &report.candidates {
+            assert!((0.0..=1.0).contains(&c.p_fail_next_interval));
+            if !c.transient {
+                assert_eq!(c.p_fail_next_interval, 0.0);
+            }
+        }
+    }
+}

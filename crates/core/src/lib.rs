@@ -1,0 +1,58 @@
+//! The Hourglass provisioning engine: system model, expected-cost
+//! estimation and provisioning strategies.
+//!
+//! This crate implements §5 of the paper — the *slack-aware provisioning
+//! strategy* — plus the baselines it is evaluated against (§8.2):
+//!
+//! - [`strategies::HourglassStrategy`] — picks the candidate minimizing the
+//!   expected cost `EC(t, w)` (§5.2) computed with the fast approximation
+//!   of §5.3 (or the exact integral formulation for Figure 9);
+//! - [`strategies::EagerStrategy`] — SpotOn-like greedy cost-per-work over
+//!   transient deployments, no deadline awareness;
+//! - [`strategies::ProteusStrategy`] — greedy cost-per-work over *all*
+//!   deployments;
+//! - [`strategies::DeadlineProtected`] — the "+DP" wrapper that falls back
+//!   to the last-resort configuration when the slack is exhausted;
+//! - [`strategies::OnDemandStrategy`] — the normalization baseline;
+//! - [`strategies::RelaxedDeadline`] — the `relaxed-Hourglass` variant of
+//!   §8.2 that operates against an inflated deadline.
+//!
+//! Terminology follows Table 1 of the paper: see [`model`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod expected_cost;
+pub mod explain;
+pub mod model;
+pub mod strategies;
+
+pub use model::{Candidate, CurrentDeployment, DecisionContext, JobProfile};
+pub use strategies::{Decision, Strategy};
+
+use std::fmt;
+
+/// Errors produced by the provisioning engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The candidate set cannot satisfy the job (e.g. no on-demand
+    /// configuration can meet the deadline).
+    Infeasible(String),
+    /// A parameter was out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            CoreError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,401 @@
+//! The system model of §5.1 (Table 1 notation).
+//!
+//! | Paper symbol            | Here                                        |
+//! |-------------------------|---------------------------------------------|
+//! | `t_exec^c`              | [`Candidate::t_exec`]                       |
+//! | `t_boot`                | [`DecisionContext::t_boot`]                 |
+//! | `t_load^c`, `t_save^c`  | [`Candidate::t_load`], [`Candidate::t_save`]|
+//! | `t_fixed^c`             | [`Candidate::t_fixed`]                      |
+//! | `lrc`                   | [`DecisionContext::lrc_index`]              |
+//! | `t_deadline`            | [`DecisionContext::deadline`]               |
+//! | `slack(t)`              | [`DecisionContext::slack`]                  |
+//! | `ω_c`                   | [`DecisionContext::omega`]                  |
+//! | `t_ckpt^c`              | [`Candidate::checkpoint_interval`]          |
+//! | `useful(c, t)`          | [`DecisionContext::useful`]                 |
+//! | `expected_progress`     | [`DecisionContext::expected_progress`]      |
+//!
+//! All times are **seconds**, all rates **dollars per hour** for the whole
+//! deployment, and work is the fraction `w(t) ∈ [0, 1]` left to execute
+//! under the paper's uniform-progress assumption.
+
+use crate::checkpoint::daly_interval;
+use crate::{CoreError, Result};
+use hourglass_cloud::{DeploymentConfig, EvictionModel};
+
+/// A deployment configuration annotated with everything the provisioning
+/// strategy needs: performance-model estimates, the current market rate and
+/// the eviction model.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The deployment (instance type, worker count, resource class).
+    pub config: DeploymentConfig,
+    /// `t_exec^c`: estimated full-job execution time on this configuration.
+    pub t_exec: f64,
+    /// `t_load^c`: estimated time to load the graph from the datastore.
+    pub t_load: f64,
+    /// `t_save^c`: estimated time to checkpoint the job state.
+    pub t_save: f64,
+    /// Current price of the whole deployment in dollars per hour (market
+    /// price × workers for transient; published rate × workers otherwise).
+    pub price_rate: f64,
+    /// Eviction model of the deployment (reliable for on-demand).
+    pub eviction: EvictionModel,
+}
+
+impl Candidate {
+    /// `t_fixed^c = t_boot + t_load^c + t_save^c` (§5.1).
+    pub fn t_fixed(&self, t_boot: f64) -> f64 {
+        t_boot + self.t_load + self.t_save
+    }
+
+    /// `t_ckpt^c = √(2 · t_save^c · MTTF_c)` (Daly's optimum, §5.1).
+    ///
+    /// Reliable candidates effectively never checkpoint.
+    pub fn checkpoint_interval(&self) -> f64 {
+        daly_interval(self.t_save, self.eviction.mttf())
+    }
+
+    /// True for transient (spot) candidates.
+    pub fn is_transient(&self) -> bool {
+        self.config.is_transient()
+    }
+}
+
+/// A static description of the job used to build decision contexts.
+#[derive(Debug, Clone)]
+pub struct JobProfile {
+    /// Human-readable name ("PageRank", "GC", ...).
+    pub name: String,
+    /// Absolute completion deadline in seconds from job start.
+    pub deadline: f64,
+    /// `t_boot`: machine acquisition + boot time (configuration
+    /// independent, as in the paper).
+    pub t_boot: f64,
+}
+
+/// The deployment currently holding the job, if any.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentDeployment {
+    /// Index into [`DecisionContext::candidates`].
+    pub index: usize,
+    /// Uptime of the deployment in seconds (for eviction-CDF conditioning).
+    pub uptime: f64,
+}
+
+/// Everything a [`crate::Strategy`] sees when asked for a decision.
+#[derive(Debug, Clone)]
+pub struct DecisionContext<'a> {
+    /// Current time in seconds since job start.
+    pub now: f64,
+    /// Absolute deadline (`t_deadline`).
+    pub deadline: f64,
+    /// Fraction of work left, `w(t) ∈ [0, 1]`.
+    pub work_left: f64,
+    /// `t_boot`.
+    pub t_boot: f64,
+    /// The candidate configurations (the set `C`).
+    pub candidates: &'a [Candidate],
+    /// The currently held deployment (None right after an eviction or at
+    /// job start).
+    pub current: Option<CurrentDeployment>,
+}
+
+impl<'a> DecisionContext<'a> {
+    /// Index of the last-resort configuration: the fastest on-demand
+    /// candidate (ties broken by lower price).
+    pub fn lrc_index(&self) -> Result<usize> {
+        self.candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_transient())
+            .min_by(|(_, a), (_, b)| {
+                (a.t_exec, a.price_rate)
+                    .partial_cmp(&(b.t_exec, b.price_rate))
+                    .expect("finite times")
+            })
+            .map(|(i, _)| i)
+            .ok_or_else(|| CoreError::Infeasible("no on-demand candidate available".into()))
+    }
+
+    /// `horizon(t) = t_deadline − t`.
+    pub fn horizon(&self) -> f64 {
+        self.deadline - self.now
+    }
+
+    /// `slack(t) = horizon(t) − t_fixed^lrc − w(t) · t_exec^lrc` (§5.1).
+    pub fn slack(&self) -> Result<f64> {
+        let lrc = &self.candidates[self.lrc_index()?];
+        Ok(self.horizon() - lrc.t_fixed(self.t_boot) - self.work_left * lrc.t_exec)
+    }
+
+    /// `ω_c = t_exec^lrc / t_exec^c`: normalized capacity of candidate `i`.
+    pub fn omega(&self, i: usize) -> Result<f64> {
+        let lrc = &self.candidates[self.lrc_index()?];
+        Ok(lrc.t_exec / self.candidates[i].t_exec)
+    }
+
+    /// Whether selecting candidate `i` keeps the current deployment (no
+    /// boot/load required).
+    pub fn is_continuation(&self, i: usize) -> bool {
+        matches!(self.current, Some(cur) if cur.index == i)
+    }
+
+    /// `useful(c, t)`: compute time available to candidate `i` before it
+    /// must stop (job end, slack exhaustion, or checkpoint) — §5.1.
+    ///
+    /// For a fresh deployment the slack budget is charged `t_fixed^c`; for
+    /// a continuation only `t_save^c` (the distinction the paper notes
+    /// below the `useful` definition).
+    pub fn useful(&self, i: usize) -> Result<f64> {
+        let c = &self.candidates[i];
+        let burn = if self.is_continuation(i) {
+            c.t_save
+        } else {
+            c.t_fixed(self.t_boot)
+        };
+        let slack = self.slack()?;
+        Ok((self.work_left * c.t_exec)
+            .min(slack - burn)
+            .min(c.checkpoint_interval()))
+    }
+
+    /// `expected_progress(c, t) = ω_c · useful(c, t) / t_exec^lrc`: the work
+    /// fraction completed during the next useful interval absent evictions.
+    pub fn expected_progress(&self, i: usize) -> Result<f64> {
+        let useful = self.useful(i)?.max(0.0);
+        Ok(useful / self.candidates[i].t_exec)
+    }
+
+    /// Whether on-demand candidate `i` can finish the remaining work before
+    /// the deadline (used for the "fails deadline → ∞" branch of EC).
+    pub fn on_demand_feasible(&self, i: usize) -> bool {
+        let c = &self.candidates[i];
+        let setup = if self.is_continuation(i) {
+            0.0
+        } else {
+            self.t_boot + c.t_load
+        };
+        self.now + setup + self.work_left * c.t_exec + c.t_save <= self.deadline
+    }
+
+    /// A copy of this context with a different clock/work state (used by
+    /// the EC recursion).
+    pub fn at(&self, now: f64, work_left: f64, current: Option<CurrentDeployment>) -> Self {
+        DecisionContext {
+            now,
+            deadline: self.deadline,
+            work_left,
+            t_boot: self.t_boot,
+            candidates: self.candidates,
+            current,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! Shared fixtures for the core crate's tests.
+
+    use super::*;
+    use hourglass_cloud::{eviction, EvictionModel, InstanceType, ResourceClass};
+
+    /// An eviction model with a given MTTF shape: evictions uniformly
+    /// spread on `[0, 2·mttf]`.
+    pub fn uniform_eviction(mttf: f64) -> EvictionModel {
+        let n = 100;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) * 2.0 * mttf / n as f64).collect();
+        EvictionModel::from_samples(samples, n, 2.0 * mttf).expect("valid")
+    }
+
+    /// A candidate set mirroring the paper's setup: a fast on-demand lrc,
+    /// a slower cheap on-demand and two transient options.
+    pub fn candidates() -> Vec<Candidate> {
+        let lrc_cfg =
+            DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::OnDemand);
+        let slow_od =
+            DeploymentConfig::new(InstanceType::R42xlarge, 4, ResourceClass::OnDemand);
+        let spot_fast =
+            DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::Transient);
+        let spot_slow =
+            DeploymentConfig::new(InstanceType::R42xlarge, 4, ResourceClass::Transient);
+        vec![
+            Candidate {
+                config: lrc_cfg,
+                t_exec: 4.0 * 3600.0,
+                t_load: 300.0,
+                t_save: 120.0,
+                price_rate: lrc_cfg.on_demand_rate(),
+                eviction: eviction::reliable(),
+            },
+            Candidate {
+                config: slow_od,
+                t_exec: 10.0 * 3600.0,
+                t_load: 400.0,
+                t_save: 150.0,
+                price_rate: slow_od.on_demand_rate(),
+                eviction: eviction::reliable(),
+            },
+            Candidate {
+                config: spot_fast,
+                t_exec: 4.0 * 3600.0,
+                t_load: 300.0,
+                t_save: 120.0,
+                price_rate: lrc_cfg.on_demand_rate() * 0.3,
+                eviction: uniform_eviction(3.0 * 3600.0),
+            },
+            Candidate {
+                config: spot_slow,
+                t_exec: 10.0 * 3600.0,
+                t_load: 400.0,
+                t_save: 150.0,
+                price_rate: slow_od.on_demand_rate() * 0.25,
+                eviction: uniform_eviction(5.0 * 3600.0),
+            },
+        ]
+    }
+
+    /// A context with 6 h deadline for a 4 h (lrc) job — the motivating
+    /// example of §2 (2 h slack).
+    pub fn context(candidates: &[Candidate]) -> DecisionContext<'_> {
+        DecisionContext {
+            now: 0.0,
+            deadline: 6.0 * 3600.0,
+            work_left: 1.0,
+            t_boot: 120.0,
+            candidates,
+            current: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::{candidates, context};
+    use super::*;
+
+    #[test]
+    fn lrc_is_fastest_on_demand() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        assert_eq!(ctx.lrc_index().expect("lrc"), 0);
+    }
+
+    #[test]
+    fn no_on_demand_is_infeasible() {
+        let cands: Vec<Candidate> = candidates()
+            .into_iter()
+            .filter(|c| c.is_transient())
+            .collect();
+        let ctx = context(&cands);
+        assert!(ctx.lrc_index().is_err());
+    }
+
+    #[test]
+    fn slack_matches_hand_computation() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        // horizon 6 h; t_fixed^lrc = 120 + 300 + 120 = 540; w·t_exec = 4 h.
+        let expect = 6.0 * 3600.0 - 540.0 - 4.0 * 3600.0;
+        assert!((ctx.slack().expect("slack") - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_shrinks_with_time_and_work() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        let s0 = ctx.slack().expect("slack");
+        let later = ctx.at(3600.0, 1.0, None);
+        assert!(later.slack().expect("slack") < s0);
+        let progressed = ctx.at(3600.0, 0.5, None);
+        assert!(progressed.slack().expect("slack") > later.slack().expect("slack"));
+    }
+
+    #[test]
+    fn omega_of_lrc_is_one() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        assert!((ctx.omega(0).expect("omega") - 1.0).abs() < 1e-12);
+        assert!((ctx.omega(1).expect("omega") - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useful_bounded_by_work() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        // Nearly finished job: useful capped by w·t_exec.
+        let nearly = ctx.at(0.0, 0.01, None);
+        let u = nearly.useful(2).expect("useful");
+        assert!((u - 0.01 * cands[2].t_exec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn useful_bounded_by_slack() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        // 2 h slack minus fixed costs, well below the checkpoint interval
+        // for the fast spot config? Daly: sqrt(2·120·10800) ≈ 1610 s, so
+        // the checkpoint interval binds at full slack. Shrink the horizon
+        // so the slack term binds instead.
+        let tight = DecisionContext {
+            deadline: 4.0 * 3600.0 + 1200.0,
+            ..ctx.clone()
+        };
+        let u = tight.useful(2).expect("useful");
+        let slack = tight.slack().expect("slack");
+        let fixed = cands[2].t_fixed(tight.t_boot);
+        assert!((u - (slack - fixed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuation_burns_less_slack() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        let tight = DecisionContext {
+            deadline: 4.0 * 3600.0 + 1200.0,
+            current: Some(CurrentDeployment {
+                index: 2,
+                uptime: 600.0,
+            }),
+            ..ctx.clone()
+        };
+        let fresh = DecisionContext {
+            current: None,
+            ..tight.clone()
+        };
+        assert!(tight.useful(2).expect("useful") > fresh.useful(2).expect("useful"));
+    }
+
+    #[test]
+    fn expected_progress_full_job() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        // With a huge checkpoint interval and slack the progress equals
+        // useful / t_exec.
+        let p = ctx.expected_progress(2).expect("progress");
+        let u = ctx.useful(2).expect("useful");
+        assert!((p - u / cands[2].t_exec).abs() < 1e-12);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn on_demand_feasibility() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        assert!(ctx.on_demand_feasible(0));
+        // The slow on-demand config (10 h) cannot meet a 6 h deadline.
+        assert!(!ctx.on_demand_feasible(1));
+        // Past the point of no return even the lrc fails.
+        let doomed = ctx.at(5.0 * 3600.0, 1.0, None);
+        assert!(!doomed.on_demand_feasible(0));
+    }
+
+    #[test]
+    fn daly_checkpoint_interval() {
+        let cands = candidates();
+        // sqrt(2 · 120 · 3·3600) ≈ 1609.97.
+        let got = cands[2].checkpoint_interval();
+        assert!((got - (2.0f64 * 120.0 * 3.0 * 3600.0).sqrt()).abs() < 1e-9);
+        // Reliable candidates never need to checkpoint.
+        assert!(cands[0].checkpoint_interval() > 1e15);
+    }
+}

@@ -1,0 +1,521 @@
+//! Provisioning strategies: Hourglass and the baselines of §2 and §8.2.
+
+use crate::expected_cost::{expected_cost_approx, expected_cost_exact, EcParams};
+use crate::model::DecisionContext;
+use crate::Result;
+use std::time::Duration;
+
+/// A provisioning decision: which candidate to (re)deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Index into [`DecisionContext::candidates`].
+    pub pick: usize,
+}
+
+/// A resource-provisioning strategy, invoked at job start, after every
+/// checkpoint and after every eviction (§4, step 4).
+pub trait Strategy: Send + Sync {
+    /// Name used in experiment reports ("Hourglass", "SpotOn+DP", ...).
+    fn name(&self) -> String;
+
+    /// Chooses the next deployment.
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision>;
+
+    /// Upper bound, in seconds, on the compute chunk the executor may run
+    /// before the next checkpoint/decision for the picked candidate.
+    ///
+    /// Deadline-aware strategies return `useful(c, t)` so a chunk can
+    /// never burn more slack than an eviction could recover from;
+    /// deadline-oblivious strategies return `None` and run full
+    /// checkpoint intervals (which is how they miss deadlines).
+    fn chunk_limit(&self, _ctx: &DecisionContext<'_>, _pick: usize) -> Option<f64> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hourglass.
+// ---------------------------------------------------------------------------
+
+/// The Hourglass slack-aware strategy (§5): minimize the expected cost
+/// `EC(t, w)` over all candidates; the slack guard inside `useful(c, t)`
+/// prices any deadline-endangering transient choice at `∞`, so the
+/// last-resort configuration is selected exactly when (and only when) the
+/// target deadline is at risk.
+#[derive(Debug, Clone)]
+pub struct HourglassStrategy {
+    /// Approximation tuning.
+    pub params: EcParams,
+}
+
+impl Default for HourglassStrategy {
+    fn default() -> Self {
+        HourglassStrategy {
+            params: EcParams::default(),
+        }
+    }
+}
+
+impl HourglassStrategy {
+    /// Creates the strategy with default approximation parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Strategy for HourglassStrategy {
+    fn name(&self) -> String {
+        "Hourglass".into()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        let est = expected_cost_approx(ctx, &self.params)?;
+        match est.best {
+            Some(i) => Ok(Decision { pick: i }),
+            // Nothing feasible (deadline unmeetable even by the lrc):
+            // run the lrc anyway and finish as early as possible.
+            None => Ok(Decision {
+                pick: ctx.lrc_index()?,
+            }),
+        }
+    }
+
+    fn chunk_limit(&self, ctx: &DecisionContext<'_>, pick: usize) -> Option<f64> {
+        slack_aware_chunk_limit(ctx, pick)
+    }
+}
+
+/// Shared chunk bound of the deadline-aware strategies: transient chunks
+/// never exceed `useful(c, t)`.
+fn slack_aware_chunk_limit(ctx: &DecisionContext<'_>, pick: usize) -> Option<f64> {
+    if ctx.candidates.get(pick).map(|c| c.is_transient()) == Some(true) {
+        Some(ctx.useful(pick).unwrap_or(0.0))
+    } else {
+        None
+    }
+}
+
+/// Hourglass driven by the *exact* EC formulation (§5.2). Only usable for
+/// short jobs — kept for Figure 9 and for validating the approximation.
+#[derive(Debug, Clone)]
+pub struct ExactHourglassStrategy {
+    /// Integration step `dx` in seconds (the paper discretizes at 1 s).
+    pub dx: f64,
+    /// Wall-clock budget per decision.
+    pub budget: Duration,
+}
+
+impl Strategy for ExactHourglassStrategy {
+    fn name(&self) -> String {
+        "Hourglass(exact)".into()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        let est = expected_cost_exact(ctx, self.dx, Some(self.budget))?;
+        match est.best {
+            Some(i) => Ok(Decision { pick: i }),
+            None => Ok(Decision {
+                pick: ctx.lrc_index()?,
+            }),
+        }
+    }
+
+    fn chunk_limit(&self, ctx: &DecisionContext<'_>, pick: usize) -> Option<f64> {
+        slack_aware_chunk_limit(ctx, pick)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy baselines.
+// ---------------------------------------------------------------------------
+
+/// Eviction-aware greedy cost-per-work metric shared by the SpotOn and
+/// Proteus baselines: expected dollars spent per unit of expected work over
+/// the next checkpoint interval.
+fn cost_per_work(ctx: &DecisionContext<'_>, i: usize) -> f64 {
+    let c = &ctx.candidates[i];
+    let setup = if ctx.is_continuation(i) {
+        0.0
+    } else {
+        ctx.t_boot + c.t_load
+    };
+    // Ignore the slack bound: greedy provisioners are deadline-oblivious.
+    // Interval = work left, capped by the checkpoint interval.
+    let useful = (ctx.work_left * c.t_exec).min(c.checkpoint_interval());
+    if useful <= 0.0 {
+        return f64::INFINITY;
+    }
+    let wall = setup + useful + c.t_save;
+    let u0 = if ctx.is_continuation(i) {
+        ctx.current.map(|cur| cur.uptime).unwrap_or(0.0)
+    } else {
+        0.0
+    };
+    let f0 = c.eviction.cdf(u0);
+    let p_fail = if f0 >= 1.0 {
+        1.0
+    } else {
+        ((c.eviction.cdf(u0 + wall) - f0) / (1.0 - f0)).clamp(0.0, 1.0)
+    };
+    let expected_work = (1.0 - p_fail) * useful / c.t_exec;
+    if expected_work <= 0.0 {
+        return f64::INFINITY;
+    }
+    let expected_cost = c.price_rate / 3600.0 * wall;
+    expected_cost / expected_work
+}
+
+/// SpotOn-like eager strategy [38]: greedily minimize cost per unit of
+/// work over **transient** deployments only, with no deadline awareness
+/// (the `Eager` bar of Figure 1 and the `SpotOn` lines of Figure 5).
+///
+/// Simplification vs. the original system: SpotOn may also replicate the
+/// job across transient markets instead of checkpointing; with the paper's
+/// homogeneous single-market deployments replication at least doubles cost
+/// for marginal protection, so the checkpointing mode always wins and is
+/// the only one modeled (see DESIGN.md).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EagerStrategy;
+
+impl Strategy for EagerStrategy {
+    fn name(&self) -> String {
+        "SpotOn".into()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        let best = (0..ctx.candidates.len())
+            .filter(|&i| ctx.candidates[i].is_transient())
+            .map(|i| (cost_per_work(ctx, i), i))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+        match best {
+            Some((m, i)) if m.is_finite() => Ok(Decision { pick: i }),
+            // No transient candidate at all: degrade to on-demand.
+            _ => Ok(Decision {
+                pick: ctx.lrc_index()?,
+            }),
+        }
+    }
+}
+
+/// Proteus-like greedy strategy [19]: minimize cost per unit of work over
+/// **all** deployments (transient and on-demand), still with no deadline
+/// awareness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProteusStrategy;
+
+impl Strategy for ProteusStrategy {
+    fn name(&self) -> String {
+        "Proteus".into()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        let best = (0..ctx.candidates.len())
+            .map(|i| (cost_per_work(ctx, i), i))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+        match best {
+            Some((m, i)) if m.is_finite() => Ok(Decision { pick: i }),
+            _ => Ok(Decision {
+                pick: ctx.lrc_index()?,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wrappers.
+// ---------------------------------------------------------------------------
+
+/// The deadline-protection ("+DP") wrapper of §8.2: run the inner strategy
+/// while slack remains; once the slack left cannot absorb another eviction
+/// (or the inner strategy picks an unsafe transient deployment), switch to
+/// the last-resort configuration. `SpotOn+DP` is exactly the
+/// `Hourglass Naive` bar of Figure 1.
+#[derive(Debug, Clone)]
+pub struct DeadlineProtected<S> {
+    inner: S,
+}
+
+impl<S: Strategy> DeadlineProtected<S> {
+    /// Wraps `inner` with deadline protection.
+    pub fn new(inner: S) -> Self {
+        DeadlineProtected { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for DeadlineProtected<S> {
+    fn name(&self) -> String {
+        format!("{}+DP", self.inner.name())
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        let lrc = ctx.lrc_index()?;
+        let d = self.inner.decide(ctx)?;
+        let pick = &ctx.candidates[d.pick];
+        if pick.is_transient() {
+            // Unsafe if the candidate has no useful compute time left
+            // within the slack (same guard Hourglass applies internally).
+            if ctx.useful(d.pick)? <= 0.0 {
+                return Ok(Decision { pick: lrc });
+            }
+        } else if !ctx.on_demand_feasible(d.pick) {
+            return Ok(Decision { pick: lrc });
+        }
+        Ok(d)
+    }
+
+    fn chunk_limit(&self, ctx: &DecisionContext<'_>, pick: usize) -> Option<f64> {
+        slack_aware_chunk_limit(ctx, pick)
+    }
+}
+
+/// Always run the last-resort configuration: the normalization baseline of
+/// every figure ("cost w.r.t. on-demand").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnDemandStrategy;
+
+impl Strategy for OnDemandStrategy {
+    fn name(&self) -> String {
+        "OnDemand".into()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        Ok(Decision {
+            pick: ctx.lrc_index()?,
+        })
+    }
+}
+
+/// The `relaxed-Hourglass` variant (§8.2, "Relaxing the Deadlines"):
+/// presents the inner strategy with a deadline inflated by
+/// `extension` seconds, trading occasional deadline misses for the larger
+/// effective slack.
+#[derive(Debug, Clone)]
+pub struct RelaxedDeadline<S> {
+    inner: S,
+    /// Seconds added to the deadline the inner strategy sees.
+    pub extension: f64,
+}
+
+impl<S: Strategy> RelaxedDeadline<S> {
+    /// Wraps `inner`, inflating its view of the deadline by `extension`
+    /// seconds.
+    pub fn new(inner: S, extension: f64) -> Self {
+        RelaxedDeadline { inner, extension }
+    }
+}
+
+impl<S: Strategy> Strategy for RelaxedDeadline<S> {
+    fn name(&self) -> String {
+        format!("relaxed-{}", self.inner.name())
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        let relaxed = DecisionContext {
+            deadline: ctx.deadline + self.extension,
+            ..ctx.clone()
+        };
+        self.inner.decide(&relaxed)
+    }
+
+    fn chunk_limit(&self, ctx: &DecisionContext<'_>, pick: usize) -> Option<f64> {
+        let relaxed = DecisionContext {
+            deadline: ctx.deadline + self.extension,
+            ..ctx.clone()
+        };
+        self.inner.chunk_limit(&relaxed, pick)
+    }
+}
+
+/// Boxed strategies for heterogeneous strategy lists in experiments.
+pub type BoxedStrategy = Box<dyn Strategy>;
+
+/// Builds the strategy roster of Figure 5 in the paper's order:
+/// Hourglass, Proteus, SpotOn, Proteus+DP, SpotOn+DP.
+pub fn figure5_roster() -> Vec<BoxedStrategy> {
+    vec![
+        Box::new(HourglassStrategy::new()),
+        Box::new(ProteusStrategy),
+        Box::new(EagerStrategy),
+        Box::new(DeadlineProtected::new(ProteusStrategy)),
+        Box::new(DeadlineProtected::new(EagerStrategy)),
+    ]
+}
+
+impl Strategy for BoxedStrategy {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
+        self.as_ref().decide(ctx)
+    }
+
+    fn chunk_limit(&self, ctx: &DecisionContext<'_>, pick: usize) -> Option<f64> {
+        self.as_ref().chunk_limit(ctx, pick)
+    }
+}
+
+/// Convenience: did this context run out of options entirely (even the lrc
+/// cannot meet the deadline)? Strategies still return the lrc then, but
+/// experiment reports may want the flag.
+pub fn deadline_unreachable(ctx: &DecisionContext<'_>) -> bool {
+    match ctx.lrc_index() {
+        Ok(lrc) => !ctx.on_demand_feasible(lrc),
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testkit::{candidates, context};
+    use crate::model::CurrentDeployment;
+
+    #[test]
+    fn hourglass_prefers_transient_with_slack() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        let d = HourglassStrategy::new().decide(&ctx).expect("decide");
+        assert!(cands[d.pick].is_transient());
+    }
+
+    #[test]
+    fn hourglass_switches_to_lrc_when_slack_exhausted() {
+        let cands = candidates();
+        let mut ctx = context(&cands);
+        ctx.now = ctx.deadline - (cands[0].t_exec + cands[0].t_fixed(ctx.t_boot)) - 30.0;
+        let d = HourglassStrategy::new().decide(&ctx).expect("decide");
+        assert_eq!(d.pick, 0, "must pick the last-resort configuration");
+    }
+
+    #[test]
+    fn hourglass_never_picks_unsafe_transient() {
+        let cands = candidates();
+        let base = context(&cands);
+        // Sweep the clock toward the deadline; every pick must be safe.
+        let mut t = 0.0;
+        while t < base.deadline {
+            let ctx = base.at(t, 1.0, None);
+            let d = HourglassStrategy::new().decide(&ctx).expect("decide");
+            if cands[d.pick].is_transient() {
+                assert!(
+                    ctx.useful(d.pick).expect("useful") > 0.0,
+                    "unsafe transient pick at t={t}"
+                );
+            }
+            t += 600.0;
+        }
+    }
+
+    #[test]
+    fn eager_ignores_deadline() {
+        let cands = candidates();
+        let mut ctx = context(&cands);
+        // Even with no slack left, eager keeps picking spot.
+        ctx.now = ctx.deadline - 1800.0;
+        let d = EagerStrategy.decide(&ctx).expect("decide");
+        assert!(cands[d.pick].is_transient());
+    }
+
+    #[test]
+    fn eager_picks_cheapest_per_work() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        let d = EagerStrategy.decide(&ctx).expect("decide");
+        // Candidate 2: rate 2.55 $/h, t_exec 4 h → ~10.2 $/job.
+        // Candidate 3: rate 0.53 $/h, t_exec 10 h → ~5.3 $/job.
+        assert_eq!(d.pick, 3, "slow cheap spot wins on cost per work");
+    }
+
+    #[test]
+    fn proteus_considers_on_demand() {
+        // Make spot absurdly expensive: Proteus should pick on-demand.
+        let mut cands = candidates();
+        cands[2].price_rate = 100.0;
+        cands[3].price_rate = 100.0;
+        let ctx = context(&cands);
+        let d = ProteusStrategy.decide(&ctx).expect("decide");
+        assert!(!cands[d.pick].is_transient());
+    }
+
+    #[test]
+    fn dp_wrapper_protects_deadline() {
+        let cands = candidates();
+        let mut ctx = context(&cands);
+        ctx.now = ctx.deadline - (cands[0].t_exec + cands[0].t_fixed(ctx.t_boot)) - 10.0;
+        let d = DeadlineProtected::new(EagerStrategy)
+            .decide(&ctx)
+            .expect("decide");
+        assert_eq!(d.pick, 0, "DP must force the lrc");
+        assert_eq!(
+            DeadlineProtected::new(EagerStrategy).name(),
+            "SpotOn+DP"
+        );
+    }
+
+    #[test]
+    fn dp_wrapper_transparent_with_slack() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        let inner = EagerStrategy.decide(&ctx).expect("decide");
+        let wrapped = DeadlineProtected::new(EagerStrategy)
+            .decide(&ctx)
+            .expect("decide");
+        assert_eq!(inner, wrapped);
+    }
+
+    #[test]
+    fn on_demand_always_lrc() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        assert_eq!(OnDemandStrategy.decide(&ctx).expect("decide").pick, 0);
+    }
+
+    #[test]
+    fn relaxed_sees_inflated_deadline() {
+        let cands = candidates();
+        let mut ctx = context(&cands);
+        // Hourglass at zero slack goes lrc; relaxed by 2 h stays on spot.
+        ctx.now = ctx.deadline - (cands[0].t_exec + cands[0].t_fixed(ctx.t_boot)) - 30.0;
+        let strict = HourglassStrategy::new().decide(&ctx).expect("decide");
+        let relaxed = RelaxedDeadline::new(HourglassStrategy::new(), 2.0 * 3600.0)
+            .decide(&ctx)
+            .expect("decide");
+        assert_eq!(strict.pick, 0);
+        assert!(cands[relaxed.pick].is_transient());
+    }
+
+    #[test]
+    fn continuation_biases_greedy_choice() {
+        let cands = candidates();
+        let mut ctx = context(&cands);
+        // Holding candidate 2 removes its setup cost from the metric; with
+        // prices tweaked to near-parity the incumbent should win.
+        ctx.current = Some(CurrentDeployment {
+            index: 2,
+            uptime: 60.0,
+        });
+        let with_current = cost_per_work(&ctx, 2);
+        ctx.current = None;
+        let fresh = cost_per_work(&ctx, 2);
+        assert!(with_current < fresh);
+    }
+
+    #[test]
+    fn roster_matches_figure5() {
+        let names: Vec<String> = figure5_roster().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Hourglass", "Proteus", "SpotOn", "Proteus+DP", "SpotOn+DP"]
+        );
+    }
+
+    #[test]
+    fn deadline_unreachable_flag() {
+        let cands = candidates();
+        let mut ctx = context(&cands);
+        assert!(!deadline_unreachable(&ctx));
+        ctx.now = ctx.deadline - 10.0;
+        assert!(deadline_unreachable(&ctx));
+    }
+}

@@ -1,0 +1,187 @@
+//! Durable checkpoint stores (the S3 stand-in).
+//!
+//! The paper modifies Giraph to write checkpoints to Amazon S3 rather than
+//! the cluster filesystem, "allowing a recovery from a full system failure
+//! that may occur due to evictions" (§7). [`CheckpointStore`] abstracts
+//! that durable external store; [`MemoryStore`] keeps blobs in RAM (for
+//! tests and simulations), [`DirStore`] writes them to a directory.
+
+use crate::{EngineError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A durable key→blob store surviving full-cluster failures.
+pub trait CheckpointStore: Send + Sync {
+    /// Persists `data` under `key`, replacing any previous blob.
+    fn put(&self, key: &str, data: &[u8]) -> Result<()>;
+
+    /// Fetches the blob stored under `key`.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
+
+    /// Removes `key` (idempotent).
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Lists all stored keys.
+    fn keys(&self) -> Result<Vec<String>>;
+}
+
+/// In-memory store for tests and simulation.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blobs: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes stored (used by save-time cost models).
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.lock().values().map(|v| v.len()).sum()
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        self.blobs.lock().insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.blobs.lock().get(key).cloned())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.blobs.lock().remove(key);
+        Ok(())
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let mut keys: Vec<String> = self.blobs.lock().keys().cloned().collect();
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+/// Filesystem-backed store; each key maps to one file under the root.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Creates (if needed) and opens a directory-backed store.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| EngineError::Checkpoint(format!("create {root:?}: {e}")))?;
+        Ok(DirStore { root })
+    }
+
+    fn path_of(&self, key: &str) -> Result<PathBuf> {
+        if key.is_empty() || key.contains('/') || key.contains("..") {
+            return Err(EngineError::Checkpoint(format!(
+                "invalid checkpoint key {key:?}"
+            )));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        let path = self.path_of(key)?;
+        // Write-then-rename for atomicity against partial writes.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, data)
+            .map_err(|e| EngineError::Checkpoint(format!("write {tmp:?}: {e}")))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| EngineError::Checkpoint(format!("rename {path:?}: {e}")))?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        let path = self.path_of(key)?;
+        match std::fs::read(&path) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(EngineError::Checkpoint(format!("read {path:?}: {e}"))),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_of(key)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(EngineError::Checkpoint(format!("delete {path:?}: {e}"))),
+        }
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let mut keys = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| EngineError::Checkpoint(format!("list {:?}: {e}", self.root)))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| EngineError::Checkpoint(format!("list entry: {e}")))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if !name.ends_with(".tmp") {
+                    keys.push(name.to_string());
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn CheckpointStore) {
+        assert_eq!(store.get("a").expect("get"), None);
+        store.put("a", b"hello").expect("put");
+        store.put("b", b"world").expect("put");
+        assert_eq!(store.get("a").expect("get").as_deref(), Some(&b"hello"[..]));
+        assert_eq!(store.keys().expect("keys"), vec!["a", "b"]);
+        store.put("a", b"rewritten").expect("put");
+        assert_eq!(
+            store.get("a").expect("get").as_deref(),
+            Some(&b"rewritten"[..])
+        );
+        store.delete("a").expect("delete");
+        store.delete("a").expect("idempotent delete");
+        assert_eq!(store.get("a").expect("get"), None);
+        assert_eq!(store.keys().expect("keys"), vec!["b"]);
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        let s = MemoryStore::new();
+        exercise(&s);
+        assert_eq!(s.total_bytes(), 5);
+    }
+
+    #[test]
+    fn dir_store_contract() {
+        let dir = std::env::temp_dir().join(format!("hourglass-ckpt-{}", std::process::id()));
+        let s = DirStore::open(&dir).expect("open");
+        exercise(&s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_store_rejects_path_traversal() {
+        let dir = std::env::temp_dir().join(format!("hourglass-ckpt2-{}", std::process::id()));
+        let s = DirStore::open(&dir).expect("open");
+        assert!(s.put("../evil", b"x").is_err());
+        assert!(s.put("a/b", b"x").is_err());
+        assert!(s.put("", b"x").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

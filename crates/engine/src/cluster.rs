@@ -1,0 +1,466 @@
+//! A cluster-style runtime: long-lived worker threads exchanging message
+//! batches over channels.
+//!
+//! [`crate::BspEngine`] re-partitions state between supersteps from a
+//! master loop — simple and good for simulation. This runtime is the
+//! faithful Giraph-shaped alternative: each worker is a thread that lives
+//! for the whole computation, owns its vertices' state, applies the
+//! program's combiner **at the sender** per destination worker (the real
+//! Pregel network optimization), and exchanges one batch per peer per
+//! superstep. Results are bit-identical to [`crate::BspEngine`] for
+//! programs with associative/commutative combiners and order-insensitive
+//! `compute` functions (all the bundled apps).
+//!
+//! The synchronization protocol per superstep:
+//!
+//! 1. the master broadcasts `Start { superstep, aggregates }`;
+//! 2. every worker computes its active vertices, accumulating outgoing
+//!    messages per destination worker (combined eagerly);
+//! 3. every worker sends exactly one (possibly empty) batch to every
+//!    peer, then receives the `W − 1` batches addressed to it;
+//! 4. every worker reports `Done { active, sent, aggregates }`;
+//! 5. the master decides whether another superstep is needed.
+
+use crate::metrics::{RunMetrics, SuperstepMetrics};
+use crate::program::{Aggregates, ComputeContext, VertexProgram};
+use crate::{EngineError, ExecutionReport, Result};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hourglass_graph::{Graph, VertexId};
+use hourglass_partition::Partitioning;
+use std::time::Instant;
+
+/// Messages from the master to a worker.
+enum Control {
+    Start { superstep: usize, aggregates: Aggregates },
+    Finish,
+}
+
+/// One superstep's batch of vertex messages from one worker to another.
+struct Batch<M> {
+    messages: Vec<(VertexId, M)>,
+}
+
+/// Per-superstep report from a worker to the master.
+struct WorkerDone {
+    active: u64,
+    sent: u64,
+    remote: u64,
+    any_alive: bool,
+    aggregates: Aggregates,
+}
+
+/// Runs `program` on `graph`/`partitioning` with one OS thread per worker,
+/// returning the final per-vertex values (global order) and the report.
+pub fn run_cluster<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    partitioning: &Partitioning,
+    max_supersteps: usize,
+) -> Result<(Vec<P::Value>, ExecutionReport)> {
+    if partitioning.num_vertices() != graph.num_vertices() {
+        return Err(EngineError::InvalidConfig(format!(
+            "partitioning covers {} vertices, graph has {}",
+            partitioning.num_vertices(),
+            graph.num_vertices()
+        )));
+    }
+    let w = partitioning.num_parts() as usize;
+    let members = partitioning.members();
+    let t0 = Instant::now();
+
+    // Channels: control per worker, one shared done-channel, and a full
+    // mesh of batch channels (workers send batches directly to peers).
+    let (done_tx, done_rx) = unbounded::<WorkerDone>();
+    let mut control_txs = Vec::with_capacity(w);
+    let mut control_rxs = Vec::with_capacity(w);
+    for _ in 0..w {
+        let (tx, rx) = bounded::<Control>(1);
+        control_txs.push(tx);
+        control_rxs.push(rx);
+    }
+    let mut batch_txs: Vec<Vec<Sender<Batch<P::Message>>>> = Vec::with_capacity(w);
+    let mut batch_rxs: Vec<Receiver<Batch<P::Message>>> = Vec::with_capacity(w);
+    {
+        let mut per_dest: Vec<(Sender<Batch<P::Message>>, Receiver<Batch<P::Message>>)> =
+            (0..w).map(|_| unbounded()).collect();
+        // batch_txs[src][dst] clones the dst channel's sender.
+        for _src in 0..w {
+            let row: Vec<Sender<Batch<P::Message>>> =
+                per_dest.iter().map(|(tx, _)| tx.clone()).collect();
+            batch_txs.push(row);
+        }
+        for (_, rx) in per_dest.drain(..) {
+            batch_rxs.push(rx);
+        }
+    }
+
+    // Vertex → (worker, slot) index for message routing.
+    let mut slot_of = vec![0u32; graph.num_vertices()];
+    for ws in &members {
+        for (slot, &v) in ws.iter().enumerate() {
+            slot_of[v as usize] = slot as u32;
+        }
+    }
+    let slot_of = &slot_of;
+
+    let mut metrics = RunMetrics::default();
+    let mut final_values: Vec<Option<Vec<P::Value>>> = (0..w).map(|_| None).collect();
+    let mut converged = false;
+
+    crossbeam::thread::scope(|scope| -> Result<()> {
+        // Spawn workers.
+        let mut handles = Vec::with_capacity(w);
+        for (worker, ws) in members.iter().enumerate() {
+            let control_rx = control_rxs.remove(0);
+            let done_tx = done_tx.clone();
+            let my_batch_rx = batch_rxs.remove(0);
+            let my_batch_txs = batch_txs[worker].clone();
+            handles.push(scope.spawn(move |_| {
+                worker_main::<P>(
+                    worker,
+                    ws,
+                    program,
+                    graph,
+                    partitioning,
+                    slot_of,
+                    control_rx,
+                    done_tx,
+                    my_batch_rx,
+                    my_batch_txs,
+                )
+            }));
+        }
+        drop(done_tx);
+
+        // Master loop.
+        let mut superstep = 0usize;
+        let mut aggregates = Aggregates::new();
+        while superstep < max_supersteps {
+            for tx in &control_txs {
+                tx.send(Control::Start {
+                    superstep,
+                    aggregates: aggregates.clone(),
+                })
+                .map_err(|_| EngineError::InvalidConfig("worker hung up".into()))?;
+            }
+            let mut active = 0u64;
+            let mut sent = 0u64;
+            let mut remote = 0u64;
+            let mut any_alive = false;
+            let mut next_aggregates = Aggregates::new();
+            for _ in 0..w {
+                let done = done_rx
+                    .recv()
+                    .map_err(|_| EngineError::InvalidConfig("worker died".into()))?;
+                active += done.active;
+                sent += done.sent;
+                remote += done.remote;
+                any_alive |= done.any_alive;
+                next_aggregates.merge(&done.aggregates);
+            }
+            metrics.push(SuperstepMetrics {
+                superstep,
+                active_vertices: active,
+                messages: sent,
+                remote_messages: remote,
+            });
+            aggregates = next_aggregates;
+            superstep += 1;
+            if !any_alive {
+                converged = true;
+                break;
+            }
+        }
+        // Collect final values.
+        for tx in &control_txs {
+            tx.send(Control::Finish)
+                .map_err(|_| EngineError::InvalidConfig("worker hung up".into()))?;
+        }
+        for h in handles {
+            let (worker, values) = h.join().expect("worker thread panicked");
+            final_values[worker] = Some(values);
+        }
+        Ok(())
+    })
+    .expect("scope panicked")?;
+
+    if !converged {
+        return Err(EngineError::DidNotConverge { max_supersteps });
+    }
+
+    // Stitch worker-local values back into global vertex order.
+    let mut values: Vec<Option<P::Value>> = (0..graph.num_vertices()).map(|_| None).collect();
+    for (worker, ws) in members.iter().enumerate() {
+        let local = final_values[worker].take().expect("collected");
+        for (&v, val) in ws.iter().zip(local) {
+            values[v as usize] = Some(val);
+        }
+    }
+    let values: Vec<P::Value> = values
+        .into_iter()
+        .map(|v| v.expect("every vertex belongs to a worker"))
+        .collect();
+    let report = ExecutionReport {
+        supersteps: metrics.steps().len(),
+        converged: true,
+        total_messages: metrics.total_messages(),
+        remote_messages: metrics.total_remote_messages(),
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        metrics,
+    };
+    Ok((values, report))
+}
+
+/// The worker thread body: owns its vertices for the whole run.
+#[allow(clippy::too_many_arguments)]
+fn worker_main<P: VertexProgram>(
+    worker: usize,
+    my_vertices: &[VertexId],
+    program: &P,
+    graph: &Graph,
+    partitioning: &Partitioning,
+    slot_of: &[u32],
+    control_rx: Receiver<Control>,
+    done_tx: Sender<WorkerDone>,
+    batch_rx: Receiver<Batch<P::Message>>,
+    batch_txs: Vec<Sender<Batch<P::Message>>>,
+) -> (usize, Vec<P::Value>) {
+    let w = batch_txs.len();
+    let mut values: Vec<P::Value> = my_vertices
+        .iter()
+        .map(|&v| program.init(v, graph))
+        .collect();
+    let mut halted = vec![false; my_vertices.len()];
+    let mut inbox: Vec<Vec<P::Message>> = (0..my_vertices.len()).map(|_| Vec::new()).collect();
+
+    loop {
+        match control_rx.recv() {
+            Ok(Control::Start {
+                superstep,
+                aggregates,
+            }) => {
+                // Compute phase: accumulate per-destination batches with
+                // sender-side combining (messages to the same target vertex
+                // fold eagerly when the program provides a combiner).
+                let mut out_batches: Vec<Vec<(VertexId, P::Message)>> =
+                    (0..w).map(|_| Vec::new()).collect();
+                let mut next_aggregates = Aggregates::new();
+                let mut active = 0u64;
+                let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
+                for (slot, &v) in my_vertices.iter().enumerate() {
+                    let has_messages = !inbox[slot].is_empty();
+                    if halted[slot] && !has_messages {
+                        continue;
+                    }
+                    halted[slot] = false;
+                    active += 1;
+                    let mut ctx = ComputeContext {
+                        vertex: v,
+                        superstep,
+                        graph,
+                        prev_aggregates: &aggregates,
+                        value: &mut values[slot],
+                        halted: &mut halted[slot],
+                        outbox: &mut outbox,
+                        next_aggregates: &mut next_aggregates,
+                    };
+                    program.compute(&mut ctx, &inbox[slot]);
+                    inbox[slot].clear();
+                    // Route this vertex's output with sender-side combining.
+                    for (target, msg) in outbox.drain(..) {
+                        let dest = partitioning.part_of(target) as usize;
+                        let batch = &mut out_batches[dest];
+                        if let Some(last) = batch.last_mut() {
+                            if last.0 == target {
+                                if let Some(combined) = program.combine(&last.1, &msg) {
+                                    last.1 = combined;
+                                    continue;
+                                }
+                            }
+                        }
+                        batch.push((target, msg));
+                    }
+                }
+                // Exchange phase: one batch to every peer (self included,
+                // delivered locally), then drain W−1 incoming batches.
+                let mut sent = 0u64;
+                let mut remote = 0u64;
+                for dest in 0..w {
+                    let batch = std::mem::take(&mut out_batches[dest]);
+                    sent += batch.len() as u64;
+                    if dest == worker {
+                        deliver::<P>(program, &mut inbox, slot_of, batch);
+                    } else {
+                        remote += batch.len() as u64;
+                        batch_txs[dest]
+                            .send(Batch { messages: batch })
+                            .expect("peer hung up mid-superstep");
+                    }
+                }
+                for _ in 0..w.saturating_sub(1) {
+                    let batch = batch_rx.recv().expect("peer hung up mid-superstep");
+                    deliver::<P>(program, &mut inbox, slot_of, batch.messages);
+                }
+                let any_alive =
+                    halted.iter().any(|&h| !h) || inbox.iter().any(|m| !m.is_empty());
+                done_tx
+                    .send(WorkerDone {
+                        active,
+                        sent,
+                        remote,
+                        any_alive,
+                        aggregates: next_aggregates,
+                    })
+                    .expect("master hung up");
+            }
+            Ok(Control::Finish) | Err(_) => break,
+        }
+    }
+    (worker, values)
+}
+
+/// Receiver-side delivery with combining against the existing inbox tail.
+fn deliver<P: VertexProgram>(
+    program: &P,
+    inbox: &mut [Vec<P::Message>],
+    slot_of: &[u32],
+    messages: Vec<(VertexId, P::Message)>,
+) {
+    for (target, msg) in messages {
+        let slot = slot_of[target as usize] as usize;
+        if let Some(last) = inbox[slot].last_mut() {
+            if let Some(combined) = program.combine(last, &msg) {
+                *last = combined;
+                continue;
+            }
+        }
+        inbox[slot].push(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{coloring_is_proper, GraphColoring, PageRank, Sssp, Wcc};
+    use crate::engine::{BspEngine, EngineConfig};
+    use hourglass_graph::generators;
+    use hourglass_partition::{hash::HashPartitioner, Partitioner};
+
+    fn graph() -> Graph {
+        generators::rmat(9, 8, generators::RmatParams::SOCIAL, 6).expect("gen")
+    }
+
+    fn bsp_values<P: VertexProgram>(program: P, g: &Graph, p: &Partitioning) -> Vec<P::Value> {
+        let mut e = BspEngine::new(program, g, p.clone(), EngineConfig::default())
+            .expect("engine");
+        e.run().expect("run");
+        e.into_values()
+    }
+
+    #[test]
+    fn sssp_matches_bsp_engine() {
+        let g = graph();
+        let p = HashPartitioner.partition(&g, 4).expect("partition");
+        let reference = bsp_values(Sssp { source: 0 }, &g, &p);
+        let (values, report) =
+            run_cluster(&Sssp { source: 0 }, &g, &p, 10_000).expect("cluster run");
+        assert_eq!(values, reference);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn pagerank_matches_bsp_engine_closely() {
+        let g = graph();
+        let p = HashPartitioner.partition(&g, 4).expect("partition");
+        let reference = bsp_values(PageRank::fixed(15), &g, &p);
+        let (values, _) = run_cluster(&PageRank::fixed(15), &g, &p, 10_000).expect("run");
+        // Float summation order differs (sender-side combining), so allow
+        // an epsilon.
+        let max_diff = reference
+            .iter()
+            .zip(&values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-12, "drift {max_diff}");
+    }
+
+    #[test]
+    fn wcc_matches_bsp_engine() {
+        let g = generators::erdos_renyi(500, 700, 3).expect("gen");
+        let p = HashPartitioner.partition(&g, 8).expect("partition");
+        let reference = bsp_values(Wcc, &g, &p);
+        let (values, _) = run_cluster(&Wcc, &g, &p, 10_000).expect("run");
+        assert_eq!(values, reference);
+    }
+
+    #[test]
+    fn coloring_is_proper_on_cluster_runtime() {
+        let g = graph();
+        let p = HashPartitioner.partition(&g, 4).expect("partition");
+        let (values, _) =
+            run_cluster(&GraphColoring::default(), &g, &p, 10_000).expect("run");
+        assert!(coloring_is_proper(&g, &values));
+    }
+
+    #[test]
+    fn single_worker_cluster_works() {
+        let g = graph();
+        let p = HashPartitioner.partition(&g, 1).expect("partition");
+        let (values, report) =
+            run_cluster(&Sssp { source: 0 }, &g, &p, 10_000).expect("run");
+        assert_eq!(report.remote_messages, 0);
+        assert_eq!(values, bsp_values(Sssp { source: 0 }, &g, &p));
+    }
+
+    #[test]
+    fn superstep_cap_is_enforced() {
+        struct Forever;
+        impl VertexProgram for Forever {
+            type Value = u8;
+            type Message = u8;
+            fn init(&self, _: VertexId, _: &Graph) -> u8 {
+                0
+            }
+            fn compute(&self, ctx: &mut ComputeContext<'_, u8, u8>, _m: &[u8]) {
+                ctx.send_to_neighbors(0);
+            }
+        }
+        let g = graph();
+        let p = HashPartitioner.partition(&g, 2).expect("partition");
+        assert!(matches!(
+            run_cluster(&Forever, &g, &p, 5),
+            Err(EngineError::DidNotConverge { max_supersteps: 5 })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_partitioning() {
+        let g = graph();
+        let other = generators::erdos_renyi(10, 20, 1).expect("gen");
+        let p = HashPartitioner.partition(&other, 2).expect("partition");
+        assert!(run_cluster(&Wcc, &g, &p, 100).is_err());
+    }
+
+    #[test]
+    fn sender_side_combining_reduces_traffic() {
+        // A star graph with a min-combiner: every leaf messages the hub,
+        // but each worker sends at most one combined message per superstep.
+        let mut b = hourglass_graph::GraphBuilder::undirected(257);
+        for v in 1..257 {
+            b.add_edge(0, v);
+        }
+        let g = b.build().expect("build");
+        let p = HashPartitioner.partition(&g, 4).expect("partition");
+        let (_, cluster_report) =
+            run_cluster(&Sssp { source: 5 }, &g, &p, 10_000).expect("run");
+        let mut e = BspEngine::new(Sssp { source: 5 }, &g, p, EngineConfig::default())
+            .expect("engine");
+        let bsp_report = e.run().expect("run");
+        assert!(
+            cluster_report.total_messages < bsp_report.total_messages,
+            "sender-side combining should shrink traffic: {} vs {}",
+            cluster_report.total_messages,
+            bsp_report.total_messages
+        );
+    }
+}

@@ -1,0 +1,515 @@
+//! The BSP master: superstep orchestration, message delivery, halting.
+
+use crate::metrics::{RunMetrics, SuperstepMetrics};
+use crate::program::{Aggregates, ComputeContext, VertexProgram};
+use crate::{EngineError, Result};
+use hourglass_graph::{Graph, VertexId};
+use hourglass_partition::Partitioning;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Hard cap on supersteps (a convergence backstop).
+    pub max_supersteps: usize,
+    /// Execute workers as OS threads (one per partition) instead of
+    /// sequentially. Results are identical; only wall time differs.
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_supersteps: 10_000,
+            parallel: true,
+        }
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Whether every vertex halted with no pending messages.
+    pub converged: bool,
+    /// Total messages delivered.
+    pub total_messages: u64,
+    /// Messages whose source and target lived on different workers.
+    pub remote_messages: u64,
+    /// Wall-clock seconds of the compute phase.
+    pub wall_seconds: f64,
+    /// Per-superstep detail.
+    pub metrics: RunMetrics,
+}
+
+/// Serializable engine state written by [`BspEngine::checkpoint_state`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint<V, M> {
+    /// Superstep the engine will execute next.
+    pub superstep: usize,
+    /// Per-vertex values, in global vertex order.
+    pub values: Vec<V>,
+    /// Per-vertex halt flags.
+    pub halted: Vec<bool>,
+    /// Per-vertex inboxes for the next superstep.
+    pub inbox: Vec<Vec<M>>,
+    /// Aggregates produced by the last executed superstep.
+    pub prev_aggregates: Aggregates,
+}
+
+/// A Pregel-style synchronous engine over a shared immutable graph.
+pub struct BspEngine<'g, P: VertexProgram> {
+    program: P,
+    graph: &'g Graph,
+    partitioning: Partitioning,
+    config: EngineConfig,
+    values: Vec<P::Value>,
+    halted: Vec<bool>,
+    inbox: Vec<Vec<P::Message>>,
+    superstep: usize,
+    prev_aggregates: Aggregates,
+    metrics: RunMetrics,
+}
+
+impl<'g, P: VertexProgram> BspEngine<'g, P> {
+    /// Creates an engine; vertex values are initialized via
+    /// [`VertexProgram::init`] and every vertex starts active.
+    pub fn new(
+        program: P,
+        graph: &'g Graph,
+        partitioning: Partitioning,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        if partitioning.num_vertices() != graph.num_vertices() {
+            return Err(EngineError::InvalidConfig(format!(
+                "partitioning covers {} vertices, graph has {}",
+                partitioning.num_vertices(),
+                graph.num_vertices()
+            )));
+        }
+        let n = graph.num_vertices();
+        let values = (0..n as u32).map(|v| program.init(v, graph)).collect();
+        Ok(BspEngine {
+            program,
+            graph,
+            partitioning,
+            config,
+            values,
+            halted: vec![false; n],
+            inbox: (0..n).map(|_| Vec::new()).collect(),
+            superstep: 0,
+            prev_aggregates: Aggregates::new(),
+            metrics: RunMetrics::default(),
+        })
+    }
+
+    /// The superstep the engine will execute next.
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    /// Read access to per-vertex values (global vertex order).
+    pub fn values(&self) -> &[P::Value] {
+        &self.values
+    }
+
+    /// Consumes the engine, returning the per-vertex values.
+    pub fn into_values(self) -> Vec<P::Value> {
+        self.values
+    }
+
+    /// Aggregates produced by the most recent superstep.
+    pub fn aggregates(&self) -> &Aggregates {
+        &self.prev_aggregates
+    }
+
+    /// Whether every vertex has halted and no messages are pending.
+    pub fn is_done(&self) -> bool {
+        self.halted.iter().all(|&h| h) && self.inbox.iter().all(|m| m.is_empty())
+    }
+
+    /// Executes one superstep; returns `true` when the computation is done.
+    pub fn step(&mut self) -> Result<bool> {
+        if self.is_done() {
+            return Ok(true);
+        }
+        let n = self.graph.num_vertices();
+        let num_workers = self.partitioning.num_parts() as usize;
+        // Take the inboxes; vertices read them this superstep.
+        let inbox = std::mem::replace(&mut self.inbox, (0..n).map(|_| Vec::new()).collect());
+
+        // Per-worker vertex lists.
+        let members = self.partitioning.members();
+
+        // Extract per-worker state slices (each worker owns a disjoint
+        // vertex set; copying in/out keeps the sharing story trivially
+        // safe on both the threaded and sequential paths).
+        let mut per_worker_values: Vec<Vec<P::Value>> = members
+            .iter()
+            .map(|ws| ws.iter().map(|&v| self.values[v as usize].clone()).collect())
+            .collect();
+        let mut per_worker_halted: Vec<Vec<bool>> = members
+            .iter()
+            .map(|ws| ws.iter().map(|&v| self.halted[v as usize]).collect())
+            .collect();
+        let program = &self.program;
+        let graph = self.graph;
+        let prev = &self.prev_aggregates;
+        let superstep = self.superstep;
+        let inbox_ref = &inbox;
+        type WorkerOut<M> = (Vec<(VertexId, M)>, Aggregates, u64);
+        let outs: Vec<WorkerOut<P::Message>> = if self.config.parallel && num_workers > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = members
+                    .iter()
+                    .zip(per_worker_values.iter_mut())
+                    .zip(per_worker_halted.iter_mut())
+                    .map(|((ws, vals), hs)| {
+                        scope.spawn(move |_| {
+                            run_worker_local::<P>(
+                                ws, vals, hs, program, graph, prev, superstep, inbox_ref,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("scope panicked")
+        } else {
+            members
+                .iter()
+                .zip(per_worker_values.iter_mut())
+                .zip(per_worker_halted.iter_mut())
+                .map(|((ws, vals), hs)| {
+                    run_worker_local::<P>(ws, vals, hs, program, graph, prev, superstep, inbox_ref)
+                })
+                .collect()
+        };
+        // Write back per-worker state.
+        for (ws, vals) in members.iter().zip(per_worker_values) {
+            for (&v, val) in ws.iter().zip(vals) {
+                self.values[v as usize] = val;
+            }
+        }
+        for (ws, hs) in members.iter().zip(per_worker_halted) {
+            for (&v, h) in ws.iter().zip(hs) {
+                self.halted[v as usize] = h;
+            }
+        }
+
+        // Deliver messages (with combining) and reduce aggregates.
+        let mut next_aggregates = Aggregates::new();
+        let mut total_messages = 0u64;
+        let mut remote_messages = 0u64;
+        let mut active = 0u64;
+        for (worker, (outbox, aggregates, worker_active)) in outs.into_iter().enumerate() {
+            active += worker_active;
+            next_aggregates.merge(&aggregates);
+            for (target, msg) in outbox {
+                total_messages += 1;
+                if self.partitioning.part_of(target) as usize != worker {
+                    remote_messages += 1;
+                }
+                let slot = &mut self.inbox[target as usize];
+                if let Some(last) = slot.last_mut() {
+                    if let Some(combined) = self.program.combine(last, &msg) {
+                        *last = combined;
+                        continue;
+                    }
+                }
+                slot.push(msg);
+            }
+        }
+        self.metrics.push(SuperstepMetrics {
+            superstep: self.superstep,
+            active_vertices: active,
+            messages: total_messages,
+            remote_messages,
+        });
+        self.prev_aggregates = next_aggregates;
+        self.superstep += 1;
+        Ok(self.is_done())
+    }
+
+    /// Runs to completion (or the superstep cap).
+    pub fn run(&mut self) -> Result<ExecutionReport> {
+        let t0 = Instant::now();
+        let mut converged = false;
+        while self.superstep < self.config.max_supersteps {
+            if self.step()? {
+                converged = true;
+                break;
+            }
+        }
+        if !converged && !self.is_done() {
+            return Err(EngineError::DidNotConverge {
+                max_supersteps: self.config.max_supersteps,
+            });
+        }
+        Ok(ExecutionReport {
+            supersteps: self.superstep,
+            converged: true,
+            total_messages: self.metrics.total_messages(),
+            remote_messages: self.metrics.total_remote_messages(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            metrics: self.metrics.clone(),
+        })
+    }
+
+    /// Captures the engine state for checkpointing.
+    pub fn checkpoint_state(&self) -> EngineCheckpoint<P::Value, P::Message> {
+        EngineCheckpoint {
+            superstep: self.superstep,
+            values: self.values.clone(),
+            halted: self.halted.clone(),
+            inbox: self.inbox.clone(),
+            prev_aggregates: self.prev_aggregates.clone(),
+        }
+    }
+
+    /// Restores engine state from a checkpoint (graph and partitioning must
+    /// match the original run; the partitioning may differ in worker count
+    /// — that is exactly the fast-reload scenario).
+    pub fn restore_state(&mut self, ckpt: EngineCheckpoint<P::Value, P::Message>) -> Result<()> {
+        let n = self.graph.num_vertices();
+        if ckpt.values.len() != n || ckpt.halted.len() != n || ckpt.inbox.len() != n {
+            return Err(EngineError::Checkpoint(format!(
+                "checkpoint covers {} vertices, graph has {n}",
+                ckpt.values.len()
+            )));
+        }
+        self.superstep = ckpt.superstep;
+        self.values = ckpt.values;
+        self.halted = ckpt.halted;
+        self.inbox = ckpt.inbox;
+        self.prev_aggregates = ckpt.prev_aggregates;
+        Ok(())
+    }
+}
+
+/// The worker kernel: computes one superstep for the vertices of a single
+/// worker, operating on worker-local slices (`vals[slot]`/`halted[slot]`
+/// aligned with `worker_vertices`).
+#[allow(clippy::too_many_arguments)]
+fn run_worker_local<P: VertexProgram>(
+    worker_vertices: &[VertexId],
+    vals: &mut [P::Value],
+    halted: &mut [bool],
+    program: &P,
+    graph: &Graph,
+    prev_aggregates: &Aggregates,
+    superstep: usize,
+    inbox: &[Vec<P::Message>],
+) -> (Vec<(VertexId, P::Message)>, Aggregates, u64) {
+    let mut outbox = Vec::new();
+    let mut aggregates = Aggregates::new();
+    let mut active = 0u64;
+    for (slot, &v) in worker_vertices.iter().enumerate() {
+        let vi = v as usize;
+        let has_messages = !inbox[vi].is_empty();
+        if halted[slot] && !has_messages {
+            continue;
+        }
+        halted[slot] = false;
+        active += 1;
+        let mut ctx = ComputeContext {
+            vertex: v,
+            superstep,
+            graph,
+            prev_aggregates,
+            value: &mut vals[slot],
+            halted: &mut halted[slot],
+            outbox: &mut outbox,
+            next_aggregates: &mut aggregates,
+        };
+        program.compute(&mut ctx, &inbox[vi]);
+    }
+    (outbox, aggregates, active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hourglass_graph::generators;
+    use hourglass_partition::{hash::HashPartitioner, Partitioner};
+
+    /// Toy program: every vertex floods its id once, then records the max
+    /// id it heard and halts.
+    struct MaxId;
+
+    impl VertexProgram for MaxId {
+        type Value = u32;
+        type Message = u32;
+
+        fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+            v
+        }
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, u32, u32>, messages: &[u32]) {
+            if ctx.superstep == 0 {
+                let me = *ctx.value_ref();
+                ctx.send_to_neighbors(me);
+            } else {
+                let best = messages.iter().copied().max().unwrap_or(0);
+                if best > *ctx.value_ref() {
+                    *ctx.value() = best;
+                }
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn combine(&self, a: &u32, b: &u32) -> Option<u32> {
+            Some(*a.max(b))
+        }
+    }
+
+    fn ring(n: usize) -> Graph {
+        let mut b = hourglass_graph::GraphBuilder::undirected(n);
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32);
+        }
+        b.build().expect("build")
+    }
+
+    fn engine_on<'g>(g: &'g Graph, k: u32, parallel: bool) -> BspEngine<'g, MaxId> {
+        let p = HashPartitioner.partition(g, k).expect("partition");
+        BspEngine::new(
+            MaxId,
+            g,
+            p,
+            EngineConfig {
+                parallel,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("engine")
+    }
+
+    #[test]
+    fn max_id_one_hop() {
+        let g = ring(8);
+        let mut e = engine_on(&g, 2, false);
+        let report = e.run().expect("run");
+        assert!(report.converged);
+        assert_eq!(report.supersteps, 2);
+        // Vertex 0 hears from 1 and 7 → 7.
+        assert_eq!(e.values()[0], 7);
+        assert_eq!(e.values()[3], 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generators::erdos_renyi(300, 900, 5).expect("gen");
+        let mut seq = engine_on(&g, 4, false);
+        let mut par = engine_on(&g, 4, true);
+        seq.run().expect("run");
+        par.run().expect("run");
+        assert_eq!(seq.values(), par.values());
+    }
+
+    #[test]
+    fn combiner_reduces_messages() {
+        // A star: all leaves message the center in superstep 0.
+        let mut b = hourglass_graph::GraphBuilder::undirected(64);
+        for v in 1..64 {
+            b.add_edge(0, v);
+        }
+        let g = b.build().expect("build");
+        let p = HashPartitioner.partition(&g, 1).expect("partition");
+        let mut e = BspEngine::new(MaxId, &g, p, EngineConfig::default()).expect("engine");
+        e.run().expect("run");
+        // With a single worker and a max-combiner, the center's inbox never
+        // held more than one message; it ends with the max leaf id.
+        assert_eq!(e.values()[0], 63);
+    }
+
+    #[test]
+    fn remote_messages_counted() {
+        let g = ring(8);
+        let mut e = engine_on(&g, 4, false);
+        let report = e.run().expect("run");
+        // Hash partitioning of a ring: most edges cross workers.
+        assert!(report.remote_messages > 0);
+        assert!(report.remote_messages <= report.total_messages);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let g = generators::erdos_renyi(100, 300, 9).expect("gen");
+        let p = HashPartitioner.partition(&g, 2).expect("partition");
+        // Run one superstep, checkpoint, run to completion.
+        let mut a = BspEngine::new(MaxId, &g, p.clone(), EngineConfig::default()).expect("engine");
+        a.step().expect("step");
+        let ckpt = a.checkpoint_state();
+        let json = serde_json::to_vec(&ckpt).expect("serialize");
+        a.run().expect("run");
+
+        // Restore into a *different* worker count (fast-reload scenario).
+        let p8 = HashPartitioner.partition(&g, 8).expect("partition");
+        let mut b = BspEngine::new(MaxId, &g, p8, EngineConfig::default()).expect("engine");
+        let restored: EngineCheckpoint<u32, u32> =
+            serde_json::from_slice(&json).expect("deserialize");
+        b.restore_state(restored).expect("restore");
+        assert_eq!(b.superstep(), 1);
+        b.run().expect("run");
+        assert_eq!(a.values(), b.values(), "recovery must not change results");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_graph() {
+        let g1 = ring(8);
+        let g2 = ring(9);
+        let p1 = HashPartitioner.partition(&g1, 2).expect("partition");
+        let p2 = HashPartitioner.partition(&g2, 2).expect("partition");
+        let a = BspEngine::new(MaxId, &g1, p1, EngineConfig::default()).expect("engine");
+        let ckpt = a.checkpoint_state();
+        let mut b = BspEngine::new(MaxId, &g2, p2, EngineConfig::default()).expect("engine");
+        assert!(b.restore_state(ckpt).is_err());
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_partitioning() {
+        let g = ring(8);
+        let p = HashPartitioner
+            .partition(&ring(4), 2)
+            .expect("partition");
+        assert!(BspEngine::new(MaxId, &g, p, EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn superstep_cap_errors() {
+        /// Never halts.
+        struct Forever;
+        impl VertexProgram for Forever {
+            type Value = u8;
+            type Message = u8;
+            fn init(&self, _: VertexId, _: &Graph) -> u8 {
+                0
+            }
+            fn compute(&self, ctx: &mut ComputeContext<'_, u8, u8>, _m: &[u8]) {
+                ctx.send_to_neighbors(0);
+            }
+        }
+        let g = ring(4);
+        let p = HashPartitioner.partition(&g, 1).expect("partition");
+        let mut e = BspEngine::new(
+            Forever,
+            &g,
+            p,
+            EngineConfig {
+                max_supersteps: 5,
+                parallel: false,
+            },
+        )
+        .expect("engine");
+        assert!(matches!(
+            e.run(),
+            Err(EngineError::DidNotConverge { max_supersteps: 5 })
+        ));
+    }
+}

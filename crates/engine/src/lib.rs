@@ -1,0 +1,69 @@
+//! A Pregel-style BSP graph-processing engine (the Giraph stand-in).
+//!
+//! The paper's prototype runs a modified Apache Giraph; we build the same
+//! class of engine from scratch: vertex-centric programs executed in
+//! synchronous supersteps by a set of workers, with message passing,
+//! combiners, aggregators, checkpoint/restore to a durable store, and the
+//! three graph-loading strategies contrasted in §6/§8.3.1 (stream, hash
+//! and micro loading).
+//!
+//! The engine executes workers as threads over a shared immutable graph;
+//! partition ownership decides which messages are "remote" (they cross
+//! workers and are tallied separately, since the paper's partition-quality
+//! metric §8.3.3 estimates exactly this traffic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod checkpoint;
+pub mod cluster;
+pub mod engine;
+pub mod loaders;
+pub mod metrics;
+pub mod program;
+
+pub use engine::{BspEngine, EngineConfig, ExecutionReport};
+pub use program::{ComputeContext, VertexProgram};
+
+use std::fmt;
+
+/// Errors produced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Configuration was invalid for the given graph/partitioning.
+    InvalidConfig(String),
+    /// Checkpoint serialization or IO failed.
+    Checkpoint(String),
+    /// A partitioning error bubbled up.
+    Partition(hourglass_partition::PartitionError),
+    /// The program exceeded the superstep limit without halting.
+    DidNotConverge {
+        /// The limit that was hit.
+        max_supersteps: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig(m) => write!(f, "invalid engine config: {m}"),
+            EngineError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            EngineError::Partition(e) => write!(f, "partition error: {e}"),
+            EngineError::DidNotConverge { max_supersteps } => {
+                write!(f, "program did not halt within {max_supersteps} supersteps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<hourglass_partition::PartitionError> for EngineError {
+    fn from(e: hourglass_partition::PartitionError) -> Self {
+        EngineError::Partition(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

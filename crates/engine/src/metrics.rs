@@ -1,0 +1,84 @@
+//! Per-superstep execution metrics.
+
+/// Metrics of one superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperstepMetrics {
+    /// Superstep number.
+    pub superstep: usize,
+    /// Vertices that executed `compute`.
+    pub active_vertices: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Messages that crossed workers.
+    pub remote_messages: u64,
+}
+
+/// Metrics of a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    steps: Vec<SuperstepMetrics>,
+}
+
+impl RunMetrics {
+    /// Records one superstep.
+    pub fn push(&mut self, m: SuperstepMetrics) {
+        self.steps.push(m);
+    }
+
+    /// Per-superstep detail.
+    pub fn steps(&self) -> &[SuperstepMetrics] {
+        &self.steps
+    }
+
+    /// Total messages across supersteps.
+    pub fn total_messages(&self) -> u64 {
+        self.steps.iter().map(|s| s.messages).sum()
+    }
+
+    /// Total remote messages across supersteps.
+    pub fn total_remote_messages(&self) -> u64 {
+        self.steps.iter().map(|s| s.remote_messages).sum()
+    }
+
+    /// Fraction of message traffic that crossed workers (0 when no
+    /// messages were sent).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_messages();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_remote_messages() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut m = RunMetrics::default();
+        m.push(SuperstepMetrics {
+            superstep: 0,
+            active_vertices: 10,
+            messages: 100,
+            remote_messages: 40,
+        });
+        m.push(SuperstepMetrics {
+            superstep: 1,
+            active_vertices: 5,
+            messages: 50,
+            remote_messages: 10,
+        });
+        assert_eq!(m.total_messages(), 150);
+        assert_eq!(m.total_remote_messages(), 50);
+        assert!((m.remote_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.steps().len(), 2);
+    }
+
+    #[test]
+    fn empty_run_fraction_zero() {
+        assert_eq!(RunMetrics::default().remote_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The vertex-program abstraction ("think like a vertex", Pregel [27]).
+
+use hourglass_graph::{Graph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Global aggregates exchanged between supersteps.
+///
+/// Two merge semantics are provided, keyed by name: sums and maxima. The
+/// values written during superstep `s` are visible to every vertex during
+/// superstep `s + 1` (and to the master between supersteps), matching
+/// Pregel aggregator semantics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Aggregates {
+    sums: HashMap<String, f64>,
+    maxs: HashMap<String, f64>,
+}
+
+impl Aggregates {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` into the sum-aggregate `name`.
+    pub fn add_sum(&mut self, name: &str, v: f64) {
+        *self.sums.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Merges `v` into the max-aggregate `name`.
+    pub fn add_max(&mut self, name: &str, v: f64) {
+        let e = self.maxs.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    /// Reads the sum-aggregate `name` (0 when never written).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.sums.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Reads the max-aggregate `name` (−∞ when never written).
+    pub fn max(&self, name: &str) -> f64 {
+        self.maxs.get(name).copied().unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Merges another set into this one (worker → master reduction).
+    pub fn merge(&mut self, other: &Aggregates) {
+        for (k, v) in &other.sums {
+            *self.sums.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, v) in &other.maxs {
+            let e = self.maxs.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            if *v > *e {
+                *e = *v;
+            }
+        }
+    }
+}
+
+/// Everything a vertex sees during `compute`: its state, the graph, the
+/// previous superstep's aggregates, and sinks for messages and halting.
+pub struct ComputeContext<'a, V, M> {
+    /// The vertex being computed.
+    pub vertex: VertexId,
+    /// Current superstep number (0-based).
+    pub superstep: usize,
+    /// The shared immutable graph.
+    pub graph: &'a Graph,
+    /// Aggregates written during the previous superstep.
+    pub prev_aggregates: &'a Aggregates,
+    pub(crate) value: &'a mut V,
+    pub(crate) halted: &'a mut bool,
+    pub(crate) outbox: &'a mut Vec<(VertexId, M)>,
+    pub(crate) next_aggregates: &'a mut Aggregates,
+}
+
+impl<'a, V, M> ComputeContext<'a, V, M> {
+    /// The vertex's mutable value.
+    pub fn value(&mut self) -> &mut V {
+        self.value
+    }
+
+    /// Read-only access to the vertex's value.
+    pub fn value_ref(&self) -> &V {
+        self.value
+    }
+
+    /// The vertex's out-neighbors.
+    pub fn neighbors(&self) -> &'a [VertexId] {
+        self.graph.neighbors(self.vertex)
+    }
+
+    /// Out-degree.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.vertex)
+    }
+
+    /// Sends `msg` to `target`, to be delivered next superstep.
+    pub fn send(&mut self, target: VertexId, msg: M) {
+        self.outbox.push((target, msg));
+    }
+
+    /// Sends `msg` to every neighbor.
+    pub fn send_to_neighbors(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.neighbors().len() {
+            let n = self.neighbors()[i];
+            self.outbox.push((n, msg.clone()));
+        }
+    }
+
+    /// Votes to halt; the vertex is reactivated by incoming messages.
+    pub fn vote_to_halt(&mut self) {
+        *self.halted = true;
+    }
+
+    /// Contributes to a sum aggregate visible next superstep.
+    pub fn aggregate_sum(&mut self, name: &str, v: f64) {
+        self.next_aggregates.add_sum(name, v);
+    }
+
+    /// Contributes to a max aggregate visible next superstep.
+    pub fn aggregate_max(&mut self, name: &str, v: f64) {
+        self.next_aggregates.add_max(name, v);
+    }
+}
+
+/// A vertex-centric program.
+///
+/// `Value` is the per-vertex state; `Message` is what vertices exchange.
+/// Both must be serializable so the engine can checkpoint mid-run.
+pub trait VertexProgram: Send + Sync {
+    /// Per-vertex state.
+    type Value: Clone + Send + Sync + serde::Serialize + serde::de::DeserializeOwned;
+    /// Inter-vertex message.
+    type Message: Clone + Send + Sync + serde::Serialize + serde::de::DeserializeOwned;
+
+    /// Initial value of `vertex` (superstep 0 sees these).
+    fn init(&self, vertex: VertexId, graph: &Graph) -> Self::Value;
+
+    /// The per-superstep vertex kernel.
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<'_, Self::Value, Self::Message>,
+        messages: &[Self::Message],
+    );
+
+    /// Optional message combiner: when provided, messages addressed to the
+    /// same vertex are folded eagerly, cutting memory and "network" volume
+    /// (Pregel combiners).
+    fn combine(&self, _a: &Self::Message, _b: &Self::Message) -> Option<Self::Message> {
+        None
+    }
+
+    /// Human-readable program name.
+    fn name(&self) -> &'static str {
+        "vertex-program"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_and_max() {
+        let mut a = Aggregates::new();
+        a.add_sum("x", 1.0);
+        a.add_sum("x", 2.0);
+        a.add_max("m", 5.0);
+        a.add_max("m", 3.0);
+        assert_eq!(a.sum("x"), 3.0);
+        assert_eq!(a.max("m"), 5.0);
+        assert_eq!(a.sum("missing"), 0.0);
+        assert_eq!(a.max("missing"), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn aggregates_merge() {
+        let mut a = Aggregates::new();
+        a.add_sum("x", 1.0);
+        a.add_max("m", 1.0);
+        let mut b = Aggregates::new();
+        b.add_sum("x", 2.0);
+        b.add_max("m", 9.0);
+        a.merge(&b);
+        assert_eq!(a.sum("x"), 3.0);
+        assert_eq!(a.max("m"), 9.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Mutable edge-list accumulator that finalizes into a CSR [`Graph`].
+
+use crate::csr::{Graph, VertexId};
+use crate::{GraphError, Result};
+
+/// Accumulates edges and produces an immutable CSR [`Graph`].
+///
+/// The builder tolerates duplicate edge insertions and self-loops; both are
+/// removed by default during [`GraphBuilder::build`] (matching the
+/// preprocessing applied to the paper's datasets, which are simple graphs).
+///
+/// # Examples
+///
+/// ```
+/// use hourglass_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::undirected(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(1, 2); // duplicate, removed on build
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    directed: bool,
+    keep_self_loops: bool,
+    keep_duplicates: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for an undirected graph over `num_vertices` vertices.
+    pub fn undirected(num_vertices: usize) -> Self {
+        Self::new(num_vertices, false)
+    }
+
+    /// Creates a builder for a directed graph over `num_vertices` vertices.
+    pub fn directed(num_vertices: usize) -> Self {
+        Self::new(num_vertices, true)
+    }
+
+    fn new(num_vertices: usize, directed: bool) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            directed,
+            keep_self_loops: false,
+            keep_duplicates: false,
+        }
+    }
+
+    /// Keeps self-loops instead of dropping them at build time.
+    pub fn with_self_loops(mut self) -> Self {
+        self.keep_self_loops = true;
+        self
+    }
+
+    /// Keeps parallel edges instead of deduplicating at build time.
+    pub fn with_duplicates(mut self) -> Self {
+        self.keep_duplicates = true;
+        self
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an edge. Ids are validated at [`GraphBuilder::build`] time.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        self.edges.extend(iter);
+    }
+
+    /// Reserves capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Finalizes into a CSR [`Graph`].
+    ///
+    /// Validates vertex ids, optionally removes self-loops and duplicates,
+    /// sorts adjacency lists, and for undirected graphs stores each edge in
+    /// both directions.
+    pub fn build(self) -> Result<Graph> {
+        let n = self.num_vertices;
+        if n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameter(format!(
+                "too many vertices: {n} (max {})",
+                u32::MAX
+            )));
+        }
+        for &(u, v) in &self.edges {
+            for id in [u, v] {
+                if id as usize >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: id as u64,
+                        num_vertices: n as u64,
+                    });
+                }
+            }
+        }
+
+        // Normalize the edge set.
+        let mut edges: Vec<(VertexId, VertexId)> = if self.directed {
+            self.edges
+        } else {
+            self.edges
+                .into_iter()
+                .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
+                .collect()
+        };
+        if !self.keep_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+        if !self.keep_duplicates {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+
+        // Degree counting pass (both directions for undirected graphs).
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            if !self.directed && u != v {
+                degree[v as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; acc];
+        for &(u, v) in &edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            if !self.directed && u != v {
+                targets[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        // Sort each adjacency list for deterministic layout.
+        for u in 0..n {
+            targets[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, targets, None, None, self.directed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // same undirected edge
+        b.add_edge(2, 2); // self loop
+        b.add_edge(2, 3);
+        let g = b.build().expect("build");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn keeps_self_loops_when_asked() {
+        let mut b = GraphBuilder::directed(2).with_self_loops();
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build().expect("build");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn keeps_duplicates_when_asked() {
+        let mut b = GraphBuilder::directed(2).with_duplicates();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build().expect("build");
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::undirected(2);
+        b.add_edge(0, 7);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn undirected_symmetry() {
+        let mut b = GraphBuilder::undirected(5);
+        b.extend_edges([(0, 4), (4, 1), (2, 3)]);
+        let g = b.build().expect("build");
+        for u in 0..5u32 {
+            for &v in g.neighbors(u) {
+                assert!(g.neighbors(v).contains(&u), "missing reverse of ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::undirected(6);
+        b.extend_edges([(5, 0), (3, 0), (1, 0), (4, 0), (2, 0)]);
+        let g = b.build().expect("build");
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+        assert!(g.is_sorted());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected(3).build().expect("build");
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

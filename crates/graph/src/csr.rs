@@ -1,0 +1,343 @@
+//! Immutable compressed-sparse-row graph representation.
+
+use crate::{GraphError, Result};
+
+/// Identifier of a vertex; graphs are limited to `u32::MAX` vertices.
+pub type VertexId = u32;
+
+/// An immutable graph in compressed-sparse-row (CSR) form.
+///
+/// For undirected graphs every edge `{u, v}` is stored twice (once in each
+/// adjacency list); [`Graph::num_edges`] reports the logical (undirected)
+/// edge count while [`Graph::num_directed_edges`] reports the number of
+/// stored arcs.
+///
+/// Vertex and edge weights are optional; when absent every weight is `1`.
+/// Weighted graphs arise from the micro-partition quotient graphs of the
+/// fast-reload mechanism (§6 of the paper), where vertex weights carry the
+/// size of each micro-partition and edge weights the number of crossing
+/// edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) targets: Vec<VertexId>,
+    pub(crate) edge_weights: Option<Vec<u64>>,
+    pub(crate) vertex_weights: Option<Vec<u64>>,
+    pub(crate) directed: bool,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// `offsets` must have length `n + 1`, start at `0`, be non-decreasing
+    /// and end at `targets.len()`; every target must be `< n`. Weight
+    /// vectors, when given, must match `targets.len()` / `n` respectively.
+    pub fn from_csr(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        edge_weights: Option<Vec<u64>>,
+        vertex_weights: Option<Vec<u64>>,
+        directed: bool,
+    ) -> Result<Self> {
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(GraphError::InvalidParameter(
+                "offsets must be non-empty and start at 0".into(),
+            ));
+        }
+        if *offsets.last().expect("non-empty") != targets.len() {
+            return Err(GraphError::InvalidParameter(
+                "last offset must equal targets.len()".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidParameter(
+                "offsets must be non-decreasing".into(),
+            ));
+        }
+        let n = offsets.len() - 1;
+        if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= n) {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: bad as u64,
+                num_vertices: n as u64,
+            });
+        }
+        if let Some(ref ew) = edge_weights {
+            if ew.len() != targets.len() {
+                return Err(GraphError::InvalidParameter(
+                    "edge_weights length must equal targets length".into(),
+                ));
+            }
+        }
+        if let Some(ref vw) = vertex_weights {
+            if vw.len() != n {
+                return Err(GraphError::InvalidParameter(
+                    "vertex_weights length must equal vertex count".into(),
+                ));
+            }
+        }
+        Ok(Graph {
+            offsets,
+            targets,
+            edge_weights,
+            vertex_weights,
+            directed,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Logical number of edges (undirected edges counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.targets.len()
+        } else {
+            self.targets.len() / 2
+        }
+    }
+
+    /// Number of stored arcs (adjacency entries).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The neighbors of `v` (out-neighbors for directed graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The weights of the edges leaving `v`, aligned with [`Graph::neighbors`].
+    ///
+    /// Returns `None` when the graph is unweighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&[u64]> {
+        let v = v as usize;
+        self.edge_weights
+            .as_ref()
+            .map(|w| &w[self.offsets[v]..self.offsets[v + 1]])
+    }
+
+    /// Weight of vertex `v` (`1` when the graph carries no vertex weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn vertex_weight(&self, v: VertexId) -> u64 {
+        match &self.vertex_weights {
+            Some(w) => w[v as usize],
+            None => 1,
+        }
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        match &self.vertex_weights {
+            Some(w) => w.iter().sum(),
+            None => self.num_vertices() as u64,
+        }
+    }
+
+    /// Sum of the weights of all stored arcs.
+    pub fn total_arc_weight(&self) -> u64 {
+        match &self.edge_weights {
+            Some(w) => w.iter().sum(),
+            None => self.num_directed_edges() as u64,
+        }
+    }
+
+    /// Iterates over all stored arcs as `(source, target, weight)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId, u64)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            let start = self.offsets[u];
+            let end = self.offsets[u + 1];
+            (start..end).map(move |i| {
+                let w = self.edge_weights.as_ref().map_or(1, |ws| ws[i]);
+                (u as VertexId, self.targets[i], w)
+            })
+        })
+    }
+
+    /// Iterates over logical edges: for undirected graphs each `{u, v}` is
+    /// yielded once with `u <= v`; for directed graphs this is the same as
+    /// [`Graph::arcs`] without weights.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        let directed = self.directed;
+        self.arcs()
+            .filter(move |&(u, v, _)| directed || u <= v)
+            .map(|(u, v, _)| (u, v))
+    }
+
+    /// True if the adjacency list of every vertex is sorted (useful for
+    /// binary-search adjacency tests).
+    pub fn is_sorted(&self) -> bool {
+        (0..self.num_vertices()).all(|u| self.neighbors(u as VertexId).windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// Whether edge `(u, v)` exists; `O(log d(u))` when sorted, `O(d(u))`
+    /// otherwise.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let nbrs = self.neighbors(u);
+        if nbrs.len() > 16 && self.is_sorted_vertex(u) {
+            nbrs.binary_search(&v).is_ok()
+        } else {
+            nbrs.contains(&v)
+        }
+    }
+
+    fn is_sorted_vertex(&self, u: VertexId) -> bool {
+        self.neighbors(u).windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Approximate in-memory size in bytes (CSR arrays only).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.edge_weights.as_ref().map_or(0, |w| w.len() * 8)
+            + self.vertex_weights.as_ref().map_or(0, |w| w.len() * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        // Undirected triangle 0-1-2.
+        Graph::from_csr(
+            vec![0, 2, 4, 6],
+            vec![1, 2, 0, 2, 0, 1],
+            None,
+            None,
+            false,
+        )
+        .expect("valid csr")
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_directed_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn logical_edges_dedup_undirected() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn directed_edges_kept() {
+        let g = Graph::from_csr(vec![0, 1, 2, 2], vec![1, 0], None, None, true).expect("valid");
+        assert_eq!(g.num_edges(), 2);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert!(Graph::from_csr(vec![1, 2], vec![0], None, None, false).is_err());
+        assert!(Graph::from_csr(vec![0, 2], vec![0], None, None, false).is_err());
+        assert!(Graph::from_csr(vec![0, 2, 1], vec![0, 0], None, None, false).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let err = Graph::from_csr(vec![0, 1], vec![5], None, None, true).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_mismatched_weights() {
+        assert!(
+            Graph::from_csr(vec![0, 1], vec![0], Some(vec![1, 2]), None, true).is_err(),
+            "edge weight length mismatch must be rejected"
+        );
+        assert!(
+            Graph::from_csr(vec![0, 1], vec![0], None, Some(vec![1, 2]), true).is_err(),
+            "vertex weight length mismatch must be rejected"
+        );
+    }
+
+    #[test]
+    fn weights_default_to_one() {
+        let g = triangle();
+        assert_eq!(g.vertex_weight(0), 1);
+        assert_eq!(g.total_vertex_weight(), 3);
+        assert_eq!(g.total_arc_weight(), 6);
+        assert!(g.neighbor_weights(0).is_none());
+    }
+
+    #[test]
+    fn weighted_accessors() {
+        let g = Graph::from_csr(
+            vec![0, 1, 2],
+            vec![1, 0],
+            Some(vec![7, 7]),
+            Some(vec![3, 4]),
+            false,
+        )
+        .expect("valid");
+        assert_eq!(g.vertex_weight(1), 4);
+        assert_eq!(g.total_vertex_weight(), 7);
+        assert_eq!(g.neighbor_weights(0), Some(&[7u64][..]));
+        assert_eq!(g.total_arc_weight(), 14);
+    }
+
+    #[test]
+    fn has_edge_small_and_sorted() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 0));
+        // Large sorted adjacency exercises the binary-search path.
+        let n = 64u32;
+        let targets: Vec<u32> = (1..n).collect();
+        let mut offsets = vec![0usize, (n - 1) as usize];
+        offsets.extend(std::iter::repeat((n - 1) as usize).take((n - 1) as usize));
+        let g = Graph::from_csr(offsets, targets, None, None, true).expect("valid");
+        assert!(g.has_edge(0, 33));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn memory_bytes_positive() {
+        assert!(triangle().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Registry of the paper's datasets (Table 2) and their synthetic stand-ins.
+//!
+//! We do not have the original crawls (the Twitter graph alone is 1.6 G
+//! edges), so each dataset is represented by (a) its *paper-scale* metadata,
+//! used by the modeled loading-time experiments, and (b) a deterministic
+//! generator producing a structurally similar graph ~100× smaller, used
+//! whenever a graph must actually be processed. See `DESIGN.md` §6.
+
+use crate::csr::Graph;
+use crate::generators::{self, RmatParams};
+use crate::Result;
+
+/// One of the paper's benchmark datasets (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Human-Gene biological network: 22 K vertices, 12.3 M edges, dense.
+    HumanGene,
+    /// Hollywood collaboration network: 1.07 M vertices, 56.3 M edges.
+    Hollywood,
+    /// Orkut social network: 3.07 M vertices, 117 M edges.
+    Orkut,
+    /// Wiki web-page graph: 5.12 M vertices, 104 M edges.
+    Wiki,
+    /// Twitter social network: 52.6 M vertices, 1.61 G edges.
+    Twitter,
+    /// Synthetic RMAT-N: `2^N` vertices, `2^(N+4)` edges.
+    Rmat(u32),
+}
+
+impl Dataset {
+    /// Every dataset used in the paper's figures, in Table 2 order.
+    pub const TABLE2: [Dataset; 8] = [
+        Dataset::HumanGene,
+        Dataset::Hollywood,
+        Dataset::Orkut,
+        Dataset::Wiki,
+        Dataset::Twitter,
+        Dataset::Rmat(24),
+        Dataset::Rmat(25),
+        Dataset::Rmat(26),
+    ];
+
+    /// The datasets used in the loading-time experiment (Figure 6), in the
+    /// paper's left-to-right order (size doubles between neighbors).
+    pub const FIGURE6: [Dataset; 5] = [
+        Dataset::Orkut,
+        Dataset::Rmat(24),
+        Dataset::Rmat(25),
+        Dataset::Rmat(26),
+        Dataset::Twitter,
+    ];
+
+    /// The datasets used in the partition-quality experiment (Figure 8).
+    pub const FIGURE8: [Dataset; 5] = [
+        Dataset::Orkut,
+        Dataset::HumanGene,
+        Dataset::Wiki,
+        Dataset::Hollywood,
+        Dataset::Twitter,
+    ];
+
+    /// Human-readable name matching the paper.
+    pub fn name(&self) -> String {
+        match self {
+            Dataset::HumanGene => "Human-Gene".into(),
+            Dataset::Hollywood => "Hollywood".into(),
+            Dataset::Orkut => "Orkut".into(),
+            Dataset::Wiki => "Wiki".into(),
+            Dataset::Twitter => "Twitter".into(),
+            Dataset::Rmat(n) => format!("RMAT-{n}"),
+        }
+    }
+
+    /// Network type column of Table 2.
+    pub fn network_type(&self) -> &'static str {
+        match self {
+            Dataset::HumanGene => "Biological",
+            Dataset::Hollywood => "Collaboration",
+            Dataset::Orkut => "Social",
+            Dataset::Wiki => "Web Pages",
+            Dataset::Twitter => "Social",
+            Dataset::Rmat(_) => "Synthetic",
+        }
+    }
+
+    /// Vertex count reported by the paper.
+    pub fn paper_vertices(&self) -> u64 {
+        match self {
+            Dataset::HumanGene => 22_283,
+            Dataset::Hollywood => 1_069_126,
+            Dataset::Orkut => 3_072_626,
+            Dataset::Wiki => 5_115_915,
+            Dataset::Twitter => 52_579_678,
+            Dataset::Rmat(n) => 1u64 << n,
+        }
+    }
+
+    /// Edge count reported by the paper.
+    pub fn paper_edges(&self) -> u64 {
+        match self {
+            Dataset::HumanGene => 12_323_680,
+            Dataset::Hollywood => 56_306_653,
+            Dataset::Orkut => 117_185_083,
+            Dataset::Wiki => 104_591_689,
+            Dataset::Twitter => 1_614_106_187,
+            Dataset::Rmat(n) => 1u64 << (n + 4),
+        }
+    }
+
+    /// Generates the scaled synthetic stand-in (deterministic for a given
+    /// seed).
+    ///
+    /// Structure classes per `DESIGN.md` §6: Human-Gene → dense community
+    /// graph; Hollywood → preferential attachment; Orkut/Twitter → social
+    /// R-MAT; Wiki → web R-MAT; RMAT-N → R-MAT at scale `N − 7`.
+    pub fn generate(&self, seed: u64) -> Result<Graph> {
+        match self {
+            Dataset::HumanGene => generators::community(20, 1114, 0.095, 25_000, seed),
+            Dataset::Hollywood => generators::barabasi_albert(106_912, 52, seed),
+            Dataset::Orkut => generators::rmat(18, 23, RmatParams::SOCIAL, seed),
+            Dataset::Wiki => generators::rmat(18, 20, RmatParams::WEB, seed),
+            Dataset::Twitter => generators::rmat(20, 31, RmatParams::SOCIAL, seed),
+            Dataset::Rmat(n) => {
+                let scaled = n.saturating_sub(7).max(8);
+                generators::rmat(scaled, 16, RmatParams::SOCIAL, seed)
+            }
+        }
+    }
+
+    /// Generates a medium variant (~1000× smaller than the paper's graph,
+    /// ~10× larger than [`Dataset::generate_tiny`]) for measured loading
+    /// experiments where parse times must rise above noise.
+    pub fn generate_small(&self, seed: u64) -> Result<Graph> {
+        match self {
+            Dataset::HumanGene => generators::community(12, 512, 0.12, 4_000, seed),
+            Dataset::Hollywood => generators::barabasi_albert(24_000, 16, seed),
+            Dataset::Orkut => generators::rmat(15, 16, RmatParams::SOCIAL, seed),
+            Dataset::Wiki => generators::rmat(15, 14, RmatParams::WEB, seed),
+            Dataset::Twitter => generators::rmat(16, 20, RmatParams::SOCIAL, seed),
+            Dataset::Rmat(_) => generators::rmat(15, 16, RmatParams::SOCIAL, seed),
+        }
+    }
+
+    /// Generates an extra-small variant for unit tests and quick examples
+    /// (~1000× smaller than the paper's graph).
+    pub fn generate_tiny(&self, seed: u64) -> Result<Graph> {
+        match self {
+            Dataset::HumanGene => generators::community(8, 128, 0.2, 500, seed),
+            Dataset::Hollywood => generators::barabasi_albert(4096, 8, seed),
+            Dataset::Orkut => generators::rmat(12, 16, RmatParams::SOCIAL, seed),
+            Dataset::Wiki => generators::rmat(12, 12, RmatParams::WEB, seed),
+            Dataset::Twitter => generators::rmat(13, 16, RmatParams::SOCIAL, seed),
+            Dataset::Rmat(_) => generators::rmat(12, 16, RmatParams::SOCIAL, seed),
+        }
+    }
+
+    /// Serialized size of the paper-scale dataset in bytes, assuming the
+    /// SNAP edge-list format (~15 bytes/edge at these id ranges). Drives
+    /// the modeled loading-time experiment at paper scale.
+    pub fn paper_bytes(&self) -> u64 {
+        self.paper_edges() * 15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::stats;
+
+    #[test]
+    fn names_and_types() {
+        assert_eq!(Dataset::Twitter.name(), "Twitter");
+        assert_eq!(Dataset::Rmat(24).name(), "RMAT-24");
+        assert_eq!(Dataset::HumanGene.network_type(), "Biological");
+    }
+
+    #[test]
+    fn paper_sizes_match_table2() {
+        assert_eq!(Dataset::Twitter.paper_edges(), 1_614_106_187);
+        assert_eq!(Dataset::Rmat(24).paper_vertices(), 1 << 24);
+        assert_eq!(Dataset::Rmat(24).paper_edges(), 1 << 28);
+    }
+
+    #[test]
+    fn figure6_order_doubles_in_size() {
+        // The paper notes "the size of the dataset doubles from left to
+        // right"; verify monotonicity of paper edge counts.
+        let sizes: Vec<u64> = Dataset::FIGURE6.iter().map(|d| d.paper_edges()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn tiny_generators_produce_connected_enough_graphs() {
+        for d in Dataset::TABLE2 {
+            let g = d.generate_tiny(7).expect("gen");
+            let s = stats(&g);
+            assert!(s.num_vertices > 100, "{}: {s:?}", d.name());
+            assert!(s.num_edges > s.num_vertices, "{}: {s:?}", d.name());
+        }
+    }
+
+    #[test]
+    fn tiny_deterministic() {
+        let a = Dataset::Orkut.generate_tiny(3).expect("gen");
+        let b = Dataset::Orkut.generate_tiny(3).expect("gen");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn human_gene_is_densest_tiny() {
+        let hg = stats(&Dataset::HumanGene.generate_tiny(1).expect("gen"));
+        let tw = stats(&Dataset::Twitter.generate_tiny(1).expect("gen"));
+        assert!(
+            hg.avg_degree > tw.avg_degree,
+            "Human-Gene must be denser: {} vs {}",
+            hg.avg_degree,
+            tw.avg_degree
+        );
+    }
+}

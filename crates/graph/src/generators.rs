@@ -1,0 +1,381 @@
+//! Deterministic synthetic graph generators.
+//!
+//! All generators are seeded and fully deterministic so that experiments can
+//! be reproduced exactly. They are used to stand in for the paper's real
+//! datasets (Table 2) per the scaling plan in `DESIGN.md` §6, and to generate
+//! the RMAT-N family exactly as the paper does (`2^N` vertices, `2^(N+4)`
+//! edges, R-MAT recursive model [10]).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::{GraphError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the R-MAT recursive matrix model.
+///
+/// `a + b + c + d` must be `1.0` (within floating-point tolerance); `a` is
+/// the probability of recursing into the top-left quadrant and controls the
+/// degree skew (social networks use `a ≈ 0.57`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The classic Graph500-style skewed parameters, a good model of social
+    /// networks.
+    pub const SOCIAL: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    /// A milder skew resembling web/hyperlink graphs.
+    pub const WEB: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.25,
+        c: 0.15,
+        d: 0.15,
+    };
+
+    /// Uniform quadrants; degenerates to an Erdős–Rényi-like graph.
+    pub const UNIFORM: RmatParams = RmatParams {
+        a: 0.25,
+        b: 0.25,
+        c: 0.25,
+        d: 0.25,
+    };
+
+    fn validate(&self) -> Result<()> {
+        let sum = self.a + self.b + self.c + self.d;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(GraphError::InvalidParameter(format!(
+                "R-MAT quadrant probabilities must sum to 1, got {sum}"
+            )));
+        }
+        if [self.a, self.b, self.c, self.d].iter().any(|&p| p < 0.0) {
+            return Err(GraphError::InvalidParameter(
+                "R-MAT quadrant probabilities must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generates an undirected R-MAT graph with `2^scale` vertices and
+/// approximately `edge_factor * 2^scale` distinct edges.
+///
+/// Duplicate edges and self-loops produced by the recursive process are
+/// dropped, as in the paper's preprocessing, so the final edge count is
+/// slightly below the nominal target.
+///
+/// # Examples
+///
+/// ```
+/// use hourglass_graph::generators::{rmat, RmatParams};
+///
+/// let g = rmat(10, 8, RmatParams::SOCIAL, 42).unwrap();
+/// assert_eq!(g.num_vertices(), 1024);
+/// assert!(g.num_edges() > 4000);
+/// ```
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Result<Graph> {
+    params.validate()?;
+    if scale == 0 || scale > 31 {
+        return Err(GraphError::InvalidParameter(format!(
+            "R-MAT scale must be in 1..=31, got {scale}"
+        )));
+    }
+    let n = 1usize << scale;
+    let m = n.saturating_mul(edge_factor);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    b.reserve(m);
+    for _ in 0..m {
+        let (u, v) = rmat_edge(scale, params, &mut rng);
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Generates the paper's `RMAT-N` dataset (2^N vertices, 2^(N+4) edge
+/// insertions) with the social skew.
+pub fn rmat_n(n: u32, seed: u64) -> Result<Graph> {
+    rmat(n, 16, RmatParams::SOCIAL, seed)
+}
+
+fn rmat_edge(scale: u32, p: RmatParams, rng: &mut StdRng) -> (VertexId, VertexId) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < p.a {
+            // Top-left: no bits set.
+        } else if r < p.a + p.b {
+            v |= 1;
+        } else if r < p.a + p.b + p.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as VertexId, v as VertexId)
+}
+
+/// Generates an Erdős–Rényi `G(n, m)` graph: `m` edge insertions chosen
+/// uniformly at random (duplicates and self-loops removed).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter(
+            "Erdős–Rényi needs at least 2 vertices".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    b.reserve(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph: each new
+/// vertex attaches to `k` existing vertices with probability proportional to
+/// degree. Models collaboration networks such as Hollywood.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Result<Graph> {
+    if k == 0 || n <= k {
+        return Err(GraphError::InvalidParameter(format!(
+            "Barabási–Albert needs n > k >= 1, got n={n} k={k}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    // Repeated-endpoints list: sampling a uniform element is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    // Seed clique over the first k+1 vertices.
+    for u in 0..=k {
+        for v in (u + 1)..=k {
+            b.add_edge(u as VertexId, v as VertexId);
+            endpoints.push(u as VertexId);
+            endpoints.push(v as VertexId);
+        }
+    }
+    for u in (k + 1)..n {
+        let mut chosen = Vec::with_capacity(k);
+        let mut guard = 0;
+        while chosen.len() < k && guard < 100 * k {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != u as VertexId && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(u as VertexId, t);
+            endpoints.push(u as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where each
+/// vertex connects to its `k` nearest neighbors on each side, with each edge
+/// rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph> {
+    if k == 0 || n <= 2 * k {
+        return Err(GraphError::InvalidParameter(format!(
+            "Watts–Strogatz needs n > 2k >= 2, got n={n} k={k}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter(format!(
+            "rewiring probability must be in [0,1], got {beta}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniformly random endpoint.
+                let w = rng.gen_range(0..n);
+                b.add_edge(u as VertexId, w as VertexId);
+            } else {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a dense community graph: `communities` near-cliques of
+/// `community_size` vertices with intra-community edge probability
+/// `p_intra`, sparsely wired together with `inter_edges` random bridges.
+///
+/// Models dense biological networks such as the Human-Gene dataset, whose
+/// average degree (~1100) is far above the social graphs'.
+pub fn community(
+    communities: usize,
+    community_size: usize,
+    p_intra: f64,
+    inter_edges: usize,
+    seed: u64,
+) -> Result<Graph> {
+    if communities == 0 || community_size < 2 {
+        return Err(GraphError::InvalidParameter(
+            "need at least one community of size >= 2".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p_intra) {
+        return Err(GraphError::InvalidParameter(format!(
+            "intra probability must be in [0,1], got {p_intra}"
+        )));
+    }
+    let n = communities * community_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for c in 0..communities {
+        let base = c * community_size;
+        for i in 0..community_size {
+            for j in (i + 1)..community_size {
+                if rng.gen::<f64>() < p_intra {
+                    b.add_edge((base + i) as VertexId, (base + j) as VertexId);
+                }
+            }
+        }
+    }
+    for _ in 0..inter_edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_params_validate() {
+        assert!(RmatParams::SOCIAL.validate().is_ok());
+        assert!(RmatParams {
+            a: 0.9,
+            b: 0.2,
+            c: 0.0,
+            d: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(RmatParams {
+            a: 1.2,
+            b: -0.2,
+            c: 0.0,
+            d: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let g1 = rmat(10, 8, RmatParams::SOCIAL, 42).expect("gen");
+        let g2 = rmat(10, 8, RmatParams::SOCIAL, 42).expect("gen");
+        assert_eq!(g1, g2);
+        let g3 = rmat(10, 8, RmatParams::SOCIAL, 43).expect("gen");
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn rmat_sizes() {
+        let g = rmat(10, 8, RmatParams::SOCIAL, 1).expect("gen");
+        assert_eq!(g.num_vertices(), 1024);
+        // Dedup removes some edges but the bulk should remain.
+        assert!(g.num_edges() > 4 * 1024, "got {}", g.num_edges());
+        assert!(g.num_edges() <= 8 * 1024);
+    }
+
+    #[test]
+    fn rmat_skew_is_visible() {
+        let g = rmat(12, 16, RmatParams::SOCIAL, 7).expect("gen");
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32))
+            .max()
+            .expect("non-empty");
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "social R-MAT should be skewed: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn rmat_rejects_bad_scale() {
+        assert!(rmat(0, 8, RmatParams::SOCIAL, 1).is_err());
+        assert!(rmat(32, 8, RmatParams::SOCIAL, 1).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_basic() {
+        let g = erdos_renyi(1000, 5000, 3).expect("gen");
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 4500 && g.num_edges() <= 5000);
+        assert!(erdos_renyi(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_basic() {
+        let g = barabasi_albert(500, 4, 9).expect("gen");
+        assert_eq!(g.num_vertices(), 500);
+        // Roughly k edges per non-seed vertex.
+        assert!(g.num_edges() >= 450 * 4 / 2, "got {}", g.num_edges());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+        assert!(barabasi_albert(10, 0, 0).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_hubs() {
+        let g = barabasi_albert(2000, 3, 11).expect("gen");
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32))
+            .max()
+            .expect("non-empty");
+        assert!(max_deg > 40, "preferential attachment should grow hubs");
+    }
+
+    #[test]
+    fn watts_strogatz_basic() {
+        let g = watts_strogatz(100, 3, 0.1, 5).expect("gen");
+        assert_eq!(g.num_vertices(), 100);
+        // Near n*k edges modulo rewiring collisions.
+        assert!(g.num_edges() > 250);
+        assert!(watts_strogatz(5, 3, 0.1, 0).is_err());
+        assert!(watts_strogatz(100, 3, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn community_basic() {
+        let g = community(4, 50, 0.8, 30, 2).expect("gen");
+        assert_eq!(g.num_vertices(), 200);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(avg > 20.0, "communities should be dense, avg {avg}");
+        assert!(community(0, 50, 0.5, 0, 0).is_err());
+        assert!(community(2, 50, 1.5, 0, 0).is_err());
+    }
+}

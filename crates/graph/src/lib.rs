@@ -1,0 +1,88 @@
+//! Graph storage, generators, IO and statistics for the Hourglass reproduction.
+//!
+//! This crate provides the graph substrate used by the partitioners
+//! (`hourglass-partition`), the BSP engine (`hourglass-engine`) and the
+//! benchmark harness. Graphs are stored in an immutable compressed-sparse-row
+//! ([`Graph`]) representation built through a mutable [`GraphBuilder`].
+//!
+//! The [`datasets`] module maps the datasets of Table 2 in the paper to
+//! deterministic synthetic stand-ins (see `DESIGN.md` §6 for the scaling
+//! rationale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod io_binary;
+pub mod stats;
+pub mod transform;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, VertexId};
+
+use std::fmt;
+
+/// Errors produced while constructing, generating or parsing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced an out-of-range vertex.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// A generator or builder was given inconsistent parameters.
+    InvalidParameter(String),
+    /// An IO error while reading or writing a graph file.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what failed to parse.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

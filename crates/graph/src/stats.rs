@@ -1,0 +1,162 @@
+//! Graph statistics used for dataset reporting (Table 2) and generator
+//! validation.
+
+use crate::csr::{Graph, VertexId};
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of logical edges.
+    pub num_edges: usize,
+    /// Average degree (arcs per vertex).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Degree skew: max degree divided by average degree.
+    pub skew: f64,
+}
+
+/// Computes [`GraphStats`] in a single pass.
+pub fn stats(g: &Graph) -> GraphStats {
+    let n = g.num_vertices();
+    let mut max_degree = 0;
+    let mut isolated = 0;
+    for v in 0..n {
+        let d = g.degree(v as VertexId);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    let avg = if n == 0 {
+        0.0
+    } else {
+        g.num_directed_edges() as f64 / n as f64
+    };
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        avg_degree: avg,
+        max_degree,
+        isolated,
+        skew: if avg > 0.0 { max_degree as f64 / avg } else { 0.0 },
+    }
+}
+
+/// Degree histogram in logarithmic buckets: bucket `i` counts vertices with
+/// degree in `[2^i, 2^(i+1))`; bucket 0 additionally holds degree-0 and
+/// degree-1 vertices.
+pub fn log_degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in 0..g.num_vertices() {
+        let d = g.degree(v as VertexId);
+        let b = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+/// Counts connected components with an iterative union–find.
+pub fn connected_components(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    let mut roots = 0;
+    for v in 0..n as u32 {
+        if find(&mut parent, v) == v {
+            roots += 1;
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_path() {
+        let mut b = GraphBuilder::undirected(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build().expect("build");
+        let s = stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_counted() {
+        let b = GraphBuilder::undirected(5);
+        let g = b.build().expect("build");
+        assert_eq!(stats(&g).isolated, 5);
+        assert_eq!(stats(&g).skew, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // Star with center degree 8 and 8 leaves of degree 1.
+        let mut b = GraphBuilder::undirected(9);
+        for v in 1..9 {
+            b.add_edge(0, v);
+        }
+        let g = b.build().expect("build");
+        let h = log_degree_histogram(&g);
+        assert_eq!(h[0], 8, "leaves in bucket 0");
+        assert_eq!(*h.last().expect("non-empty"), 1, "center in top bucket");
+        assert_eq!(h.len(), 4, "degree 8 lands in bucket 3");
+    }
+
+    #[test]
+    fn components_of_disconnected() {
+        let mut b = GraphBuilder::undirected(6);
+        b.extend_edges([(0, 1), (2, 3)]);
+        let g = b.build().expect("build");
+        // {0,1}, {2,3}, {4}, {5}.
+        assert_eq!(connected_components(&g), 4);
+    }
+
+    #[test]
+    fn components_of_connected_generator() {
+        let g = generators::watts_strogatz(200, 3, 0.0, 1).expect("gen");
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = GraphBuilder::undirected(0).build().expect("build");
+        assert_eq!(connected_components(&g), 0);
+    }
+}

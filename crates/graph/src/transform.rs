@@ -1,0 +1,155 @@
+//! Graph transformations: induced subgraphs, component extraction and
+//! relabeling.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+
+use crate::{GraphError, Result};
+
+/// Extracts the subgraph induced by `vertices`, relabeling them densely in
+/// the given order. Returns the subgraph and the old→new id map for the
+/// kept vertices.
+pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> Result<(Graph, Vec<(VertexId, VertexId)>)> {
+    let mut new_id = vec![u32::MAX; g.num_vertices()];
+    for (i, &v) in vertices.iter().enumerate() {
+        if (v as usize) >= g.num_vertices() {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v as u64,
+                num_vertices: g.num_vertices() as u64,
+            });
+        }
+        if new_id[v as usize] != u32::MAX {
+            return Err(GraphError::InvalidParameter(format!(
+                "vertex {v} listed twice"
+            )));
+        }
+        new_id[v as usize] = i as u32;
+    }
+    let mut b = if g.is_directed() {
+        GraphBuilder::directed(vertices.len())
+    } else {
+        GraphBuilder::undirected(vertices.len())
+    };
+    for &v in vertices {
+        let nv = new_id[v as usize];
+        for &u in g.neighbors(v) {
+            let nu = new_id[u as usize];
+            if nu != u32::MAX && (g.is_directed() || nv <= nu) {
+                b.add_edge(nv, nu);
+            }
+        }
+    }
+    let mapping = vertices
+        .iter()
+        .map(|&v| (v, new_id[v as usize]))
+        .collect();
+    Ok((b.build()?, mapping))
+}
+
+/// Extracts the largest connected component as a standalone graph
+/// (plus the original ids of its vertices). Partitioning experiments on
+/// real crawls conventionally run on the giant component.
+pub fn largest_component(g: &Graph) -> Result<(Graph, Vec<VertexId>)> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Ok((GraphBuilder::undirected(0).build()?, Vec::new()));
+    }
+    // Union-find labeling.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    let mut counts = vec![0usize; n];
+    for v in 0..n as u32 {
+        counts[find(&mut parent, v) as usize] += 1;
+    }
+    let best_root = (0..n)
+        .max_by_key(|&r| counts[r])
+        .expect("n > 0") as u32;
+    let members: Vec<VertexId> = (0..n as u32)
+        .filter(|&v| find(&mut parent, v) == best_root)
+        .collect();
+    let (sub, _) = induced_subgraph(g, &members)?;
+    Ok((sub, members))
+}
+
+/// Relabels vertices by descending degree (hub-first ordering, which
+/// improves streaming-partitioner quality and cache behaviour).
+pub fn degree_sorted(g: &Graph) -> Result<Graph> {
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let (sub, _) = induced_subgraph(g, &order)?;
+    Ok(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        let mut b = GraphBuilder::undirected(7);
+        b.extend_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        // Vertex 6 isolated.
+        b.build().expect("build")
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = two_triangles();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 3]).expect("subgraph");
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 1, "only 0-1 survives");
+        assert_eq!(map[0], (0, 0));
+        assert_eq!(map[2], (3, 2));
+    }
+
+    #[test]
+    fn induced_validates() {
+        let g = two_triangles();
+        assert!(induced_subgraph(&g, &[0, 0]).is_err());
+        assert!(induced_subgraph(&g, &[99]).is_err());
+    }
+
+    #[test]
+    fn largest_component_of_two_triangles() {
+        let mut b = GraphBuilder::undirected(6);
+        // Triangle plus an edge: component sizes 3 and 2, plus isolated.
+        b.extend_edges([(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let g = b.build().expect("build");
+        let (sub, members) = largest_component(&g).expect("component");
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_empty_graph() {
+        let g = GraphBuilder::undirected(0).build().expect("build");
+        let (sub, members) = largest_component(&g).expect("component");
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(members.is_empty());
+    }
+
+    #[test]
+    fn degree_sorted_puts_hubs_first() {
+        let mut b = GraphBuilder::undirected(5);
+        // Star around 4.
+        b.extend_edges([(4, 0), (4, 1), (4, 2), (4, 3)]);
+        let g = b.build().expect("build");
+        let sorted = degree_sorted(&g).expect("sorted");
+        assert_eq!(sorted.degree(0), 4, "hub relabeled to vertex 0");
+        assert_eq!(crate::stats::stats(&sorted).num_edges, 4);
+    }
+}

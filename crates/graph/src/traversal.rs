@@ -1,0 +1,149 @@
+//! Graph traversals: BFS/DFS orders and distance maps.
+//!
+//! Used by the partitioners' region growing, by tests as reference
+//! implementations for the BSP apps, and by the dataset tooling.
+
+use crate::csr::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Breadth-first search from `source`; returns the distance of every
+/// vertex (`u32::MAX` = unreachable).
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The vertices reachable from `source`, in BFS order (including the
+/// source itself).
+pub fn bfs_order(g: &Graph, source: VertexId) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    if (source as usize) >= n {
+        return order;
+    }
+    let mut queue = VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Iterative depth-first preorder from `source`.
+pub fn dfs_order(g: &Graph, source: VertexId) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    if (source as usize) >= n {
+        return order;
+    }
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        if seen[v as usize] {
+            continue;
+        }
+        seen[v as usize] = true;
+        order.push(v);
+        // Push in reverse so the smallest neighbor is visited first.
+        for &u in g.neighbors(v).iter().rev() {
+            if !seen[u as usize] {
+                stack.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// Single-source shortest distances as `f64` (a reference implementation
+/// for validating the BSP SSSP app on unit-weight graphs).
+pub fn reference_sssp(g: &Graph, source: VertexId) -> Vec<f64> {
+    bfs_distances(g, source)
+        .into_iter()
+        .map(|d| {
+            if d == u32::MAX {
+                f64::INFINITY
+            } else {
+                d as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> Graph {
+        // 0-1-2 path plus isolated 3.
+        let mut b = GraphBuilder::undirected(4);
+        b.extend_edges([(0, 1), (1, 2)]);
+        b.build().expect("build")
+    }
+
+    #[test]
+    fn bfs_distances_basic() {
+        let g = sample();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, u32::MAX]);
+        assert_eq!(bfs_distances(&g, 1), vec![1, 0, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn bfs_order_visits_component_once() {
+        let g = sample();
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2]);
+        assert_eq!(bfs_order(&g, 3), vec![3]);
+    }
+
+    #[test]
+    fn dfs_order_preorder() {
+        let mut b = GraphBuilder::undirected(5);
+        // Star around 0.
+        b.extend_edges([(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let g = b.build().expect("build");
+        let order = dfs_order(&g, 0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[1], 1, "smallest neighbor first");
+    }
+
+    #[test]
+    fn out_of_range_source_is_empty() {
+        let g = sample();
+        assert!(bfs_order(&g, 99).is_empty());
+        assert!(dfs_order(&g, 99).is_empty());
+        assert!(bfs_distances(&g, 99).iter().all(|&d| d == u32::MAX));
+    }
+
+    #[test]
+    fn reference_sssp_matches_bfs() {
+        let g = sample();
+        let d = reference_sssp(&g, 0);
+        assert_eq!(d[2], 2.0);
+        assert!(d[3].is_infinite());
+    }
+}

@@ -1,0 +1,233 @@
+//! Online micro-partition clustering (the second half of fast reload, §6.2).
+//!
+//! When the provisioner selects a new deployment with `k` workers, the
+//! quotient graph — orders of magnitude smaller than the original graph —
+//! is partitioned into `k` macro-partitions, balancing micro-partition
+//! weights and minimizing crossing-edge weight. Composing the micro
+//! assignment with the micro→macro map yields a full vertex partitioning
+//! "in few milliseconds" while approximating the quality of rerunning the
+//! offline partitioner from scratch (Figure 8).
+
+use crate::micro::MicroPartitioning;
+use crate::multilevel::Multilevel;
+use crate::{Balance, PartitionError, Partitioner, Partitioning, Result};
+use hourglass_graph::VertexId;
+
+/// The result of clustering micro-partitions for a `k`-worker deployment.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    micro_to_macro: Vec<u32>,
+    vertex_partitioning: Partitioning,
+}
+
+impl Clustering {
+    /// Map from micro-partition id to macro-partition (worker) id.
+    pub fn micro_to_macro(&self) -> &[u32] {
+        &self.micro_to_macro
+    }
+
+    /// The micro-partitions assigned to each worker.
+    pub fn micros_of_worker(&self, worker: u32) -> Vec<u32> {
+        self.micro_to_macro
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w == worker)
+            .map(|(m, _)| m as u32)
+            .collect()
+    }
+
+    /// The induced vertex-level partitioning (for quality measurement and
+    /// engine deployment).
+    pub fn vertex_partitioning(&self) -> &Partitioning {
+        &self.vertex_partitioning
+    }
+}
+
+/// Clusters the micro-partitions of `mp` into `k` macro-partitions.
+///
+/// The quotient graph is solved with the multilevel partitioner balancing
+/// explicit vertex weights, exactly as the paper solves the "recursive
+/// partitioning problem" with METIS. Requires `k` to divide the number of
+/// micro-partitions (guaranteed when `k` comes from the configuration set
+/// used to size the micro-partitioning).
+///
+/// # Examples
+///
+/// ```
+/// use hourglass_graph::generators::{rmat, RmatParams};
+/// use hourglass_partition::micro::MicroPartitioner;
+/// use hourglass_partition::multilevel::Multilevel;
+/// use hourglass_partition::cluster::cluster_micro_partitions;
+///
+/// let g = rmat(9, 8, RmatParams::SOCIAL, 1).unwrap();
+/// // Offline, once:
+/// let micro = MicroPartitioner::new(Multilevel::new(), 16).run(&g).unwrap();
+/// // Online, per deployment — milliseconds:
+/// let clustering = cluster_micro_partitions(&micro, 4, 7).unwrap();
+/// assert_eq!(clustering.vertex_partitioning().num_parts(), 4);
+/// ```
+pub fn cluster_micro_partitions(mp: &MicroPartitioning, k: u32, seed: u64) -> Result<Clustering> {
+    let m = mp.num_micro();
+    if k == 0 || k > m {
+        return Err(PartitionError::InvalidPartitionCount {
+            requested: k,
+            reason: format!("must be in 1..={m} (micro-partition count)"),
+        });
+    }
+    let solver = Multilevel {
+        balance: Balance::VertexWeights,
+        // The quotient graph is tiny; skip coarsening below 4·k and refine
+        // harder since each node move is consequential.
+        coarsest_size: (4 * k as usize).max(32),
+        refine_passes: 8,
+        epsilon: 0.05,
+        seed,
+    };
+    let macro_of_micro = solver.partition(mp.quotient(), k)?;
+    let micro_to_macro: Vec<u32> = (0..m).map(|i| macro_of_micro.part_of(i)).collect();
+    let assignment: Vec<u32> = mp
+        .micro()
+        .assignment()
+        .iter()
+        .map(|&micro| micro_to_macro[micro as usize])
+        .collect();
+    Ok(Clustering {
+        micro_to_macro,
+        vertex_partitioning: Partitioning::new(assignment, k)?,
+    })
+}
+
+/// A [`Partitioner`] facade for the full Hourglass pipeline
+/// (offline micro-partitioning is done lazily on first use and *not*
+/// reused across calls — use [`crate::micro::MicroPartitioner`] +
+/// [`cluster_micro_partitions`] directly to amortize the offline phase the
+/// way the paper does).
+#[derive(Debug, Clone)]
+pub struct HourglassPartitioner<P> {
+    micro: crate::micro::MicroPartitioner<P>,
+    seed: u64,
+}
+
+impl<P: Partitioner> HourglassPartitioner<P> {
+    /// Creates the pipeline with a base partitioner and micro count.
+    pub fn new(base: P, num_micro: u32, seed: u64) -> Self {
+        HourglassPartitioner {
+            micro: crate::micro::MicroPartitioner::new(base, num_micro),
+            seed,
+        }
+    }
+}
+
+impl<P: Partitioner> Partitioner for HourglassPartitioner<P> {
+    fn partition(&self, g: &hourglass_graph::Graph, k: u32) -> Result<Partitioning> {
+        let mp = self.micro.run(g)?;
+        Ok(cluster_micro_partitions(&mp, k, self.seed)?
+            .vertex_partitioning()
+            .clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "Hourglass(micro)"
+    }
+}
+
+/// Checks the *parallel recovery* property (§6.2): reclustering for a new
+/// worker count never re-partitions vertices across micro-partitions — the
+/// micro assignment is identical, only micro→worker ownership changes.
+pub fn preserves_micro_assignment(
+    mp: &MicroPartitioning,
+    a: &Clustering,
+    b: &Clustering,
+) -> bool {
+    // Both clusterings must route every vertex through the same micro id.
+    let micro = mp.micro();
+    (0..micro.num_vertices() as u32).all(|v| {
+        let m = micro.part_of(v as VertexId) as usize;
+        a.vertex_partitioning.part_of(v) == a.micro_to_macro[m]
+            && b.vertex_partitioning.part_of(v) == b.micro_to_macro[m]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::MicroPartitioner;
+    use crate::multilevel::Multilevel;
+    use crate::quality::{edge_cut_fraction, imbalance};
+    use hourglass_graph::generators;
+
+    fn micro_fixture() -> (hourglass_graph::Graph, MicroPartitioning) {
+        let g = generators::community(8, 48, 0.35, 80, 7).expect("gen");
+        let mp = MicroPartitioner::new(Multilevel::new(), 16)
+            .run(&g)
+            .expect("run");
+        (g, mp)
+    }
+
+    #[test]
+    fn clustering_covers_all_workers() {
+        let (_, mp) = micro_fixture();
+        for k in [2u32, 4, 8] {
+            let c = cluster_micro_partitions(&mp, k, 1).expect("cluster");
+            let mut seen = vec![false; k as usize];
+            for &w in c.micro_to_macro() {
+                seen[w as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "every worker gets micros at k={k}");
+            // Equally many micro-partitions per worker would be ideal; the
+            // weight-balanced solver may deviate slightly, but never emptily.
+            for w in 0..k {
+                assert!(!c.micros_of_worker(w).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_quality_close_to_direct() {
+        let (g, mp) = micro_fixture();
+        let c = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let direct = Multilevel::new().partition(&g, 4).expect("partition");
+        let cut_cluster = edge_cut_fraction(&g, c.vertex_partitioning());
+        let cut_direct = edge_cut_fraction(&g, &direct);
+        // Paper: 1.7–5% absolute degradation. Allow generous slack here.
+        assert!(
+            cut_cluster <= cut_direct + 0.15,
+            "clustered cut {cut_cluster:.3} too far above direct {cut_direct:.3}"
+        );
+    }
+
+    #[test]
+    fn clustering_balances_load() {
+        let (g, mp) = micro_fixture();
+        let c = cluster_micro_partitions(&mp, 4, 2).expect("cluster");
+        let loads = c
+            .vertex_partitioning()
+            .part_loads(&crate::Balance::Edges.loads(&g));
+        let imb = imbalance(&loads);
+        assert!(imb < 1.35, "load imbalance {imb:.3}: {loads:?}");
+    }
+
+    #[test]
+    fn parallel_recovery_property() {
+        let (_, mp) = micro_fixture();
+        let a = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let b = cluster_micro_partitions(&mp, 8, 1).expect("cluster");
+        assert!(preserves_micro_assignment(&mp, &a, &b));
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let (_, mp) = micro_fixture();
+        assert!(cluster_micro_partitions(&mp, 0, 1).is_err());
+        assert!(cluster_micro_partitions(&mp, 17, 1).is_err());
+    }
+
+    #[test]
+    fn facade_partitioner_works() {
+        let g = generators::rmat(9, 8, generators::RmatParams::SOCIAL, 4).expect("gen");
+        let hp = HourglassPartitioner::new(Multilevel::new(), 16, 3);
+        let p = hp.partition(&g, 4).expect("partition");
+        assert_eq!(p.num_parts(), 4);
+        assert_eq!(p.num_vertices(), g.num_vertices());
+    }
+}

@@ -1,0 +1,93 @@
+//! Hash partitioning: the Pregel default (`v mod k`).
+//!
+//! Hash partitioning has zero partitioning time — the assignment is implicit
+//! in the hash function — at the cost of an edge cut close to the random
+//! baseline `1 − 1/k` (§6.1 of the paper).
+
+use crate::{validate_k, Partitioner, Partitioning, Result};
+use hourglass_graph::Graph;
+
+/// The modulus-based hash partitioner used by Pregel/Giraph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, g: &Graph, k: u32) -> Result<Partitioning> {
+        validate_k(g, k)?;
+        let assignment = (0..g.num_vertices() as u32).map(|v| v % k).collect();
+        Partitioning::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "Hash"
+    }
+}
+
+/// Assigns vertices to partitions uniformly at random (the `Random`
+/// reference line of Figure 8, expected edge cut `1 − 1/k`).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPartitioner {
+    /// RNG seed; the same seed yields the same assignment.
+    pub seed: u64,
+}
+
+impl Partitioner for RandomPartitioner {
+    fn partition(&self, g: &Graph, k: u32) -> Result<Partitioning> {
+        use rand::{Rng, SeedableRng};
+        validate_k(g, k)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let assignment = (0..g.num_vertices()).map(|_| rng.gen_range(0..k)).collect();
+        Partitioning::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hourglass_graph::generators;
+
+    #[test]
+    fn hash_assigns_mod_k() {
+        let g = generators::erdos_renyi(100, 300, 1).expect("gen");
+        let p = HashPartitioner.partition(&g, 7).expect("partition");
+        for v in 0..100u32 {
+            assert_eq!(p.part_of(v), v % 7);
+        }
+    }
+
+    #[test]
+    fn hash_rejects_zero_k() {
+        let g = generators::erdos_renyi(10, 20, 1).expect("gen");
+        assert!(HashPartitioner.partition(&g, 0).is_err());
+        assert!(HashPartitioner.partition(&g, 11).is_err());
+    }
+
+    #[test]
+    fn hash_balanced_vertex_counts() {
+        let g = generators::erdos_renyi(1000, 3000, 2).expect("gen");
+        let p = HashPartitioner.partition(&g, 8).expect("partition");
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| s == 125));
+    }
+
+    #[test]
+    fn random_deterministic_per_seed() {
+        let g = generators::erdos_renyi(200, 500, 3).expect("gen");
+        let a = RandomPartitioner { seed: 5 }.partition(&g, 4).expect("p");
+        let b = RandomPartitioner { seed: 5 }.partition(&g, 4).expect("p");
+        assert_eq!(a, b);
+        let c = RandomPartitioner { seed: 6 }.partition(&g, 4).expect("p");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_covers_all_parts() {
+        let g = generators::erdos_renyi(1000, 2000, 4).expect("gen");
+        let p = RandomPartitioner { seed: 1 }.partition(&g, 16).expect("p");
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Linear Deterministic Greedy (LDG) streaming partitioner
+//! (Stanton & Kliot, KDD '12 [37]).
+//!
+//! The other stream-based family the paper cites alongside FENNEL: each
+//! arriving vertex goes to the partition maximizing
+//! `|N(v) ∩ P_i| · (1 − load_i / capacity)` — neighbor affinity scaled by
+//! a linear load penalty. Simpler than FENNEL's power-law penalty and
+//! often nearly as good.
+
+use crate::{validate_k, Balance, PartitionError, Partitioner, Partitioning, Result};
+use hourglass_graph::{Graph, VertexId};
+
+/// The LDG streaming partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct Ldg {
+    /// Capacity slack factor; a partition holds at most
+    /// `slack · total_load / k` (1.0 = perfectly tight).
+    pub slack: f64,
+    /// Balance criterion defining per-vertex load.
+    pub balance: Balance,
+}
+
+impl Default for Ldg {
+    fn default() -> Self {
+        Ldg {
+            slack: 1.1,
+            balance: Balance::Edges,
+        }
+    }
+}
+
+impl Ldg {
+    /// Creates an LDG partitioner with the standard parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Partitioner for Ldg {
+    fn partition(&self, g: &Graph, k: u32) -> Result<Partitioning> {
+        validate_k(g, k)?;
+        if self.slack < 1.0 {
+            return Err(PartitionError::InvalidParameter(format!(
+                "slack must be at least 1, got {}",
+                self.slack
+            )));
+        }
+        let n = g.num_vertices();
+        if n == 0 {
+            return Partitioning::new(Vec::new(), k);
+        }
+        let loads_per_vertex = self.balance.loads(g);
+        let total: u64 = loads_per_vertex.iter().sum();
+        let capacity = (self.slack * total as f64 / k as f64).ceil();
+
+        let mut assignment = vec![u32::MAX; n];
+        let mut loads = vec![0f64; k as usize];
+        let mut nbr_counts = vec![0u32; k as usize];
+        for v in 0..n {
+            for c in nbr_counts.iter_mut() {
+                *c = 0;
+            }
+            for &u in g.neighbors(v as VertexId) {
+                let p = assignment[u as usize];
+                if p != u32::MAX {
+                    nbr_counts[p as usize] += 1;
+                }
+            }
+            let mut best: Option<(f64, u32)> = None;
+            for i in 0..k as usize {
+                if loads[i] + loads_per_vertex[v] as f64 > capacity {
+                    continue;
+                }
+                let score = (nbr_counts[i] as f64 + 1.0) * (1.0 - loads[i] / capacity);
+                let better = match best {
+                    None => true,
+                    Some((bs, _)) => score > bs,
+                };
+                if better {
+                    best = Some((score, i as u32));
+                }
+            }
+            let part = match best {
+                Some((_, i)) => i,
+                None => {
+                    // All partitions at capacity: least-loaded fallback.
+                    let (i, _) = loads
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .expect("k >= 1");
+                    i as u32
+                }
+            };
+            assignment[v] = part;
+            loads[part as usize] += loads_per_vertex[v] as f64;
+        }
+        Partitioning::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "LDG"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::RandomPartitioner;
+    use crate::quality::edge_cut_fraction;
+    use hourglass_graph::generators;
+
+    #[test]
+    fn assigns_everything_in_range() {
+        let g = generators::rmat(10, 8, generators::RmatParams::SOCIAL, 1).expect("gen");
+        let p = Ldg::new().partition(&g, 6).expect("partition");
+        assert_eq!(p.num_vertices(), g.num_vertices());
+        assert!(p.assignment().iter().all(|&a| a < 6));
+    }
+
+    #[test]
+    fn beats_random_on_community_graph() {
+        let g = generators::community(8, 64, 0.4, 100, 5).expect("gen");
+        let ldg = Ldg::new().partition(&g, 8).expect("partition");
+        let rnd = RandomPartitioner { seed: 2 }.partition(&g, 8).expect("p");
+        let cl = edge_cut_fraction(&g, &ldg);
+        let cr = edge_cut_fraction(&g, &rnd);
+        assert!(cl < 0.85 * cr, "LDG {cl:.3} vs random {cr:.3}");
+    }
+
+    #[test]
+    fn balanced_within_slack() {
+        let g = generators::rmat(10, 8, generators::RmatParams::WEB, 3).expect("gen");
+        let ldg = Ldg::new();
+        let p = ldg.partition(&g, 4).expect("partition");
+        let loads = p.part_loads(&ldg.balance.loads(&g));
+        let total: u64 = loads.iter().sum();
+        let cap = ldg.slack * total as f64 / 4.0;
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32) as u64)
+            .max()
+            .unwrap_or(0);
+        for &l in &loads {
+            assert!(
+                (l as f64) <= cap + max_deg as f64,
+                "load {l} exceeds capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_slack() {
+        let g = generators::erdos_renyi(20, 40, 1).expect("gen");
+        let ldg = Ldg {
+            slack: 0.9,
+            ..Ldg::default()
+        };
+        assert!(ldg.partition(&g, 2).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::rmat(9, 8, generators::RmatParams::SOCIAL, 8).expect("gen");
+        let a = Ldg::new().partition(&g, 4).expect("p");
+        let b = Ldg::new().partition(&g, 4).expect("p");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = hourglass_graph::GraphBuilder::undirected(0)
+            .build()
+            .expect("build");
+        let p = Ldg::new().partition(&g, 3).expect("partition");
+        assert_eq!(p.num_vertices(), 0);
+    }
+}

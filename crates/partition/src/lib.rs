@@ -1,0 +1,348 @@
+//! Graph partitioners and the Hourglass fast-reload micro-partitioning.
+//!
+//! The paper (§6) contrasts three families of partitioners — hash,
+//! stream-based (FENNEL) and offline multilevel (METIS) — and builds its
+//! fast-reload mechanism on top of them: the graph is partitioned *once*
+//! into many micro-partitions offline; online, the micro-partitions are
+//! clustered (by partitioning the much smaller quotient graph) into
+//! macro-partitions tailored to whatever deployment configuration the
+//! provisioner just selected.
+//!
+//! This crate implements all of the above from scratch:
+//!
+//! - [`hash::HashPartitioner`] — `v mod k`, zero partitioning time;
+//! - [`fennel::Fennel`] — one-pass streaming with the paper's parameters;
+//! - [`ldg::Ldg`] — the Linear Deterministic Greedy streaming partitioner
+//!   of Stanton & Kliot [37], the other stream-based family cited in §6.1;
+//! - [`multilevel::Multilevel`] — METIS-class multilevel (heavy-edge
+//!   matching, greedy growing, boundary FM refinement);
+//! - [`micro::MicroPartitioner`] + [`cluster::cluster_micro_partitions`] —
+//!   the Hourglass partitioner itself;
+//! - [`quality`] — edge-cut and balance metrics used by Figure 8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod fennel;
+pub mod hash;
+pub mod ldg;
+pub mod micro;
+pub mod multilevel;
+pub mod quality;
+pub mod refine;
+
+use hourglass_graph::{Graph, VertexId};
+use std::fmt;
+
+/// Errors produced by partitioners.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// The requested number of partitions is invalid for the graph.
+    InvalidPartitionCount {
+        /// The requested partition count.
+        requested: u32,
+        /// Explanation of why it is invalid.
+        reason: String,
+    },
+    /// A parameter was out of range.
+    InvalidParameter(String),
+    /// An underlying graph operation failed.
+    Graph(hourglass_graph::GraphError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::InvalidPartitionCount { requested, reason } => {
+                write!(f, "invalid partition count {requested}: {reason}")
+            }
+            PartitionError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            PartitionError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<hourglass_graph::GraphError> for PartitionError {
+    fn from(e: hourglass_graph::GraphError) -> Self {
+        PartitionError::Graph(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PartitionError>;
+
+/// Identifier of a partition.
+pub type PartitionId = u32;
+
+/// A complete assignment of every vertex to one of `k` partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    assignment: Vec<PartitionId>,
+    num_parts: u32,
+}
+
+impl Partitioning {
+    /// Creates a partitioning from an explicit assignment vector.
+    pub fn new(assignment: Vec<PartitionId>, num_parts: u32) -> Result<Self> {
+        if num_parts == 0 {
+            return Err(PartitionError::InvalidPartitionCount {
+                requested: 0,
+                reason: "must be at least 1".into(),
+            });
+        }
+        if let Some(&bad) = assignment.iter().find(|&&p| p >= num_parts) {
+            return Err(PartitionError::InvalidParameter(format!(
+                "assignment references partition {bad} but only {num_parts} exist"
+            )));
+        }
+        Ok(Partitioning {
+            assignment,
+            num_parts,
+        })
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn num_parts(&self) -> u32 {
+        self.num_parts
+    }
+
+    /// Number of assigned vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Partition of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> PartitionId {
+        self.assignment[v as usize]
+    }
+
+    /// The raw assignment slice.
+    #[inline]
+    pub fn assignment(&self) -> &[PartitionId] {
+        &self.assignment
+    }
+
+    /// Number of vertices in each partition.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts as usize];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Sum of `loads[v]` per partition, for an arbitrary per-vertex load.
+    pub fn part_loads(&self, loads: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_parts as usize];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            out[p as usize] += loads[v];
+        }
+        out
+    }
+
+    /// The vertices of each partition, grouped.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.num_parts as usize];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            out[p as usize].push(v as VertexId);
+        }
+        out
+    }
+}
+
+/// What quantity a partitioner balances across partitions.
+///
+/// The paper's evaluation balances *edges* ("we set both partitioners to
+/// balance the total number of edges assigned to the different partitions",
+/// §8.3.3); quotient-graph clustering balances micro-partition weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Balance {
+    /// Each partition gets an equal number of vertices.
+    Vertices,
+    /// Each partition gets an equal sum of vertex degrees (≈ edges).
+    #[default]
+    Edges,
+    /// Each partition gets an equal sum of explicit vertex weights.
+    VertexWeights,
+}
+
+impl Balance {
+    /// Computes the per-vertex load vector of `g` under this criterion.
+    pub fn loads(&self, g: &Graph) -> Vec<u64> {
+        match self {
+            Balance::Vertices => vec![1; g.num_vertices()],
+            Balance::Edges => (0..g.num_vertices())
+                .map(|v| (g.degree(v as VertexId) as u64).max(1))
+                .collect(),
+            Balance::VertexWeights => (0..g.num_vertices())
+                .map(|v| g.vertex_weight(v as VertexId).max(1))
+                .collect(),
+        }
+    }
+}
+
+/// A graph partitioner.
+pub trait Partitioner {
+    /// Splits `g` into `k` partitions.
+    fn partition(&self, g: &Graph, k: u32) -> Result<Partitioning>;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+pub(crate) fn validate_k(g: &Graph, k: u32) -> Result<()> {
+    if k == 0 {
+        return Err(PartitionError::InvalidPartitionCount {
+            requested: k,
+            reason: "must be at least 1".into(),
+        });
+    }
+    if g.num_vertices() > 0 && (k as usize) > g.num_vertices() {
+        return Err(PartitionError::InvalidPartitionCount {
+            requested: k,
+            reason: format!("graph has only {} vertices", g.num_vertices()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_validates() {
+        assert!(Partitioning::new(vec![0, 1], 2).is_ok());
+        assert!(Partitioning::new(vec![0, 2], 2).is_err());
+        assert!(Partitioning::new(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn part_sizes_and_members() {
+        let p = Partitioning::new(vec![0, 1, 0, 1, 1], 2).expect("valid");
+        assert_eq!(p.part_sizes(), vec![2, 3]);
+        let members = p.members();
+        assert_eq!(members[0], vec![0, 2]);
+        assert_eq!(members[1], vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn part_loads_sums() {
+        let p = Partitioning::new(vec![0, 1, 0], 2).expect("valid");
+        assert_eq!(p.part_loads(&[10, 20, 30]), vec![40, 20]);
+    }
+
+    #[test]
+    fn balance_loads() {
+        use hourglass_graph::GraphBuilder;
+        let mut b = GraphBuilder::undirected(3);
+        b.extend_edges([(0, 1), (1, 2)]);
+        let g = b.build().expect("build");
+        assert_eq!(Balance::Vertices.loads(&g), vec![1, 1, 1]);
+        assert_eq!(Balance::Edges.loads(&g), vec![1, 2, 1]);
+        assert_eq!(Balance::VertexWeights.loads(&g), vec![1, 1, 1]);
+    }
+}
+
+/// Arrival order of the vertex stream for streaming partitioners
+/// ([`fennel::Fennel`], [`ldg::Ldg`]). Quality is order-sensitive: BFS
+/// orders keep communities together, adversarial orders degrade toward
+/// random (the trade-off studied by both streaming-partitioning papers
+/// the paper cites [37, 41]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamOrder {
+    /// Vertex-id order (how the dataset happens to be stored).
+    #[default]
+    Natural,
+    /// Breadth-first order from vertex 0, restarting on each component.
+    Bfs,
+    /// Descending degree (hubs first).
+    DegreeDesc,
+}
+
+impl StreamOrder {
+    /// Materializes the order for `g`.
+    pub fn vertex_order(&self, g: &Graph) -> Vec<VertexId> {
+        let n = g.num_vertices();
+        match self {
+            StreamOrder::Natural => (0..n as VertexId).collect(),
+            StreamOrder::Bfs => {
+                let mut seen = vec![false; n];
+                let mut order = Vec::with_capacity(n);
+                let mut queue = std::collections::VecDeque::new();
+                for root in 0..n as VertexId {
+                    if seen[root as usize] {
+                        continue;
+                    }
+                    seen[root as usize] = true;
+                    queue.push_back(root);
+                    while let Some(v) = queue.pop_front() {
+                        order.push(v);
+                        for &u in g.neighbors(v) {
+                            if !seen[u as usize] {
+                                seen[u as usize] = true;
+                                queue.push_back(u);
+                            }
+                        }
+                    }
+                }
+                order
+            }
+            StreamOrder::DegreeDesc => {
+                let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+                order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+                order
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod stream_order_tests {
+    use super::*;
+    use hourglass_graph::GraphBuilder;
+
+    fn path() -> Graph {
+        let mut b = GraphBuilder::undirected(5);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        b.build().expect("build")
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let g = path();
+        for order in [StreamOrder::Natural, StreamOrder::Bfs, StreamOrder::DegreeDesc] {
+            let mut o = order.vertex_order(&g);
+            o.sort_unstable();
+            assert_eq!(o, vec![0, 1, 2, 3, 4], "{order:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_covers_disconnected_components() {
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build().expect("build");
+        assert_eq!(StreamOrder::Bfs.vertex_order(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn degree_desc_puts_hubs_first() {
+        let g = path();
+        let order = StreamOrder::DegreeDesc.vertex_order(&g);
+        // Interior vertices (degree 2) before the endpoints (degree 1).
+        assert_eq!(g.degree(order[0]), 2);
+        assert_eq!(g.degree(order[4]), 1);
+    }
+}

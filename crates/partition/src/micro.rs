@@ -1,0 +1,250 @@
+//! Offline micro-partitioning (the first half of Hourglass's fast reload, §6.2).
+//!
+//! The graph is partitioned *once*, offline, into `m` micro-partitions
+//! (`m` = the least common multiple of the worker counts of every deployment
+//! configuration, optionally oversharded). The micro-partitions and their
+//! quotient graph — micro-partitions as vertices, crossing-edge counts as
+//! edge weights, contained-load as vertex weights — are all that later
+//! online steps need: clustering the quotient graph is orders of magnitude
+//! cheaper than re-partitioning the original graph.
+
+use crate::{Balance, PartitionError, Partitioner, Partitioning, Result};
+use hourglass_graph::{Graph, VertexId};
+
+/// Computes the number of micro-partitions: the least common multiple of
+/// `worker_counts`, multiplied by the smallest integer that lifts it to at
+/// least `min_micro`.
+///
+/// The LCM guarantees that *every* configuration gets equally many
+/// micro-partitions per worker ("equally-sized clusters", §6.2); the
+/// oversharding floor matches the paper's use of 64 micro-partitions.
+pub fn num_micro_partitions(worker_counts: &[u32], min_micro: u32) -> Result<u32> {
+    if worker_counts.is_empty() {
+        return Err(PartitionError::InvalidParameter(
+            "worker_counts must not be empty".into(),
+        ));
+    }
+    if worker_counts.contains(&0) {
+        return Err(PartitionError::InvalidParameter(
+            "worker counts must be positive".into(),
+        ));
+    }
+    let l = worker_counts.iter().copied().fold(1u64, |acc, c| lcm(acc, c as u64));
+    if l > u32::MAX as u64 {
+        return Err(PartitionError::InvalidParameter(format!(
+            "lcm of worker counts overflows: {l}"
+        )));
+    }
+    let mut m = l;
+    while m < min_micro as u64 {
+        m += l;
+    }
+    if m > u32::MAX as u64 {
+        return Err(PartitionError::InvalidParameter(format!(
+            "micro-partition count overflows: {m}"
+        )));
+    }
+    Ok(m as u32)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// The product of the offline phase: a micro-partition assignment plus the
+/// quotient graph ready for online clustering.
+#[derive(Debug, Clone)]
+pub struct MicroPartitioning {
+    micro: Partitioning,
+    quotient: Graph,
+}
+
+impl MicroPartitioning {
+    /// The vertex → micro-partition assignment.
+    pub fn micro(&self) -> &Partitioning {
+        &self.micro
+    }
+
+    /// Number of micro-partitions.
+    pub fn num_micro(&self) -> u32 {
+        self.micro.num_parts()
+    }
+
+    /// The quotient (reduced) graph: one vertex per micro-partition,
+    /// vertex weight = contained load, edge weight = crossing-edge count.
+    pub fn quotient(&self) -> &Graph {
+        &self.quotient
+    }
+}
+
+/// Builds the quotient graph of `micro` over `g`.
+///
+/// Vertex weights follow `balance` aggregated per micro-partition; edge
+/// weights count the arcs crossing each pair of micro-partitions (each
+/// undirected edge contributes one unit in each direction, like the CSR
+/// of the base graph).
+pub fn quotient_graph(g: &Graph, micro: &Partitioning, balance: Balance) -> Result<Graph> {
+    if micro.num_vertices() != g.num_vertices() {
+        return Err(PartitionError::InvalidParameter(format!(
+            "partitioning covers {} vertices but graph has {}",
+            micro.num_vertices(),
+            g.num_vertices()
+        )));
+    }
+    let m = micro.num_parts() as usize;
+    let loads = balance.loads(g);
+    let mut vweights = vec![0u64; m];
+    for v in 0..g.num_vertices() {
+        vweights[micro.part_of(v as VertexId) as usize] += loads[v];
+    }
+    // Accumulate cross-partition arc weights with an epoch-marked scratch
+    // row, mirroring the coarse-graph construction of the multilevel code.
+    let mut offsets = Vec::with_capacity(m + 1);
+    let mut targets: Vec<u32> = Vec::new();
+    let mut eweights: Vec<u64> = Vec::new();
+    offsets.push(0);
+    let mut marker = vec![u32::MAX; m];
+    let mut slot = vec![0usize; m];
+    let members = micro.members();
+    for (c, mem) in members.iter().enumerate() {
+        for &v in mem {
+            for &u in g.neighbors(v) {
+                let cu = micro.part_of(u);
+                if cu as usize == c {
+                    continue;
+                }
+                if marker[cu as usize] == c as u32 {
+                    eweights[slot[cu as usize]] += 1;
+                } else {
+                    marker[cu as usize] = c as u32;
+                    slot[cu as usize] = targets.len();
+                    targets.push(cu);
+                    eweights.push(1);
+                }
+            }
+        }
+        offsets.push(targets.len());
+    }
+    Ok(Graph::from_csr(
+        offsets,
+        targets,
+        Some(eweights),
+        Some(vweights),
+        false,
+    )?)
+}
+
+/// The offline micro-partitioner: wraps any base [`Partitioner`] (METIS-class
+/// multilevel, FENNEL or hash — the three the prototype supports, §6.2) and
+/// produces a [`MicroPartitioning`].
+#[derive(Debug, Clone)]
+pub struct MicroPartitioner<P> {
+    base: P,
+    num_micro: u32,
+    balance: Balance,
+}
+
+impl<P: Partitioner> MicroPartitioner<P> {
+    /// Creates a micro-partitioner producing `num_micro` micro-partitions
+    /// with the given base algorithm.
+    pub fn new(base: P, num_micro: u32) -> Self {
+        MicroPartitioner {
+            base,
+            num_micro,
+            balance: Balance::Edges,
+        }
+    }
+
+    /// Overrides the balance criterion used for quotient vertex weights.
+    pub fn with_balance(mut self, balance: Balance) -> Self {
+        self.balance = balance;
+        self
+    }
+
+    /// Number of micro-partitions this partitioner produces.
+    pub fn num_micro(&self) -> u32 {
+        self.num_micro
+    }
+
+    /// Runs the offline phase: micro-partition `g` and build the quotient
+    /// graph.
+    pub fn run(&self, g: &Graph) -> Result<MicroPartitioning> {
+        let micro = self.base.partition(g, self.num_micro)?;
+        let quotient = quotient_graph(g, &micro, self.balance)?;
+        Ok(MicroPartitioning { micro, quotient })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashPartitioner;
+    use crate::multilevel::Multilevel;
+    use hourglass_graph::generators;
+
+    #[test]
+    fn lcm_of_paper_configs() {
+        // The paper's deployments use 16, 8 and 4 workers; lcm = 16, and
+        // oversharding to >= 64 yields 64 exactly.
+        assert_eq!(num_micro_partitions(&[16, 8, 4], 1).expect("ok"), 16);
+        assert_eq!(num_micro_partitions(&[16, 8, 4], 64).expect("ok"), 64);
+        assert_eq!(num_micro_partitions(&[3, 5], 1).expect("ok"), 15);
+        assert_eq!(num_micro_partitions(&[3, 5], 16).expect("ok"), 30);
+    }
+
+    #[test]
+    fn lcm_rejects_bad_input() {
+        assert!(num_micro_partitions(&[], 1).is_err());
+        assert!(num_micro_partitions(&[0, 4], 1).is_err());
+    }
+
+    #[test]
+    fn quotient_preserves_totals() {
+        let g = generators::rmat(9, 8, generators::RmatParams::SOCIAL, 1).expect("gen");
+        let micro = HashPartitioner.partition(&g, 16).expect("partition");
+        let q = quotient_graph(&g, &micro, Balance::Vertices).expect("quotient");
+        assert_eq!(q.num_vertices(), 16);
+        // Vertex weights sum to n.
+        assert_eq!(q.total_vertex_weight(), g.num_vertices() as u64);
+        // Arc weights sum to twice the cut edges.
+        let cut = crate::quality::edge_cut(&g, &micro);
+        assert_eq!(q.total_arc_weight(), 2 * cut);
+    }
+
+    #[test]
+    fn quotient_validates_size() {
+        let g = generators::erdos_renyi(10, 20, 1).expect("gen");
+        let p = Partitioning::new(vec![0; 5], 2).expect("valid");
+        assert!(quotient_graph(&g, &p, Balance::Vertices).is_err());
+    }
+
+    #[test]
+    fn micro_partitioner_end_to_end() {
+        let g = generators::community(4, 64, 0.3, 50, 3).expect("gen");
+        let mp = MicroPartitioner::new(Multilevel::new(), 16)
+            .run(&g)
+            .expect("run");
+        assert_eq!(mp.num_micro(), 16);
+        assert_eq!(mp.quotient().num_vertices(), 16);
+        assert_eq!(mp.micro().num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn quotient_of_clean_split_has_no_edges() {
+        // Two disjoint triangles, micro-partitioned along components.
+        let mut b = hourglass_graph::GraphBuilder::undirected(6);
+        b.extend_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let g = b.build().expect("build");
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2).expect("valid");
+        let q = quotient_graph(&g, &p, Balance::Edges).expect("quotient");
+        assert_eq!(q.total_arc_weight(), 0);
+    }
+}

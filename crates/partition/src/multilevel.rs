@@ -1,0 +1,602 @@
+//! Multilevel graph partitioner in the METIS family (Karypis & Kumar [20]).
+//!
+//! The paper uses METIS as its "high quality, slow, offline" partitioner
+//! and as the solver for the online micro-partition clustering problem.
+//! This module is a from-scratch reimplementation of the same multilevel
+//! scheme:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching collapses the graph by
+//!    roughly half per level while preserving the cut structure;
+//! 2. **Initial partitioning** — greedy graph growing on the coarsest graph
+//!    seeds `k` balanced regions;
+//! 3. **Uncoarsening** — the assignment is projected back level by level and
+//!    improved with boundary Fiduccia–Mattheyses-style refinement passes.
+//!
+//! Balance follows the configured [`Balance`] criterion (edges by default,
+//! matching the paper's setup; explicit vertex weights for quotient graphs).
+
+use crate::{validate_k, Balance, PartitionError, Partitioner, Partitioning, Result};
+use hourglass_graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Multilevel partitioner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Multilevel {
+    /// Balance criterion (default: edges, as in the paper's evaluation).
+    pub balance: Balance,
+    /// Allowed load imbalance; a partition may carry up to
+    /// `(1 + epsilon) · total / k` load (METIS default: 0.03; we use 0.05).
+    pub epsilon: f64,
+    /// Coarsening stops once the graph has at most
+    /// `max(coarsest_size, 20 · k)` vertices.
+    pub coarsest_size: usize,
+    /// Number of refinement sweeps per level.
+    pub refine_passes: usize,
+    /// RNG seed (matching and seed-growing order).
+    pub seed: u64,
+}
+
+impl Default for Multilevel {
+    fn default() -> Self {
+        Multilevel {
+            balance: Balance::Edges,
+            epsilon: 0.05,
+            coarsest_size: 256,
+            refine_passes: 4,
+            seed: 0x4d45544953, // "METIS"
+        }
+    }
+}
+
+impl Multilevel {
+    /// Creates a partitioner with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a partitioner with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Multilevel {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// One level of the coarsening hierarchy, stored as weighted CSR.
+struct Level {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    eweights: Vec<u64>,
+    vweights: Vec<u64>,
+    /// Map from this level's vertices to the next-coarser level's vertices.
+    coarse_map: Vec<u32>,
+}
+
+impl Level {
+    fn num_vertices(&self) -> usize {
+        self.vweights.len()
+    }
+
+    fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let v = v as usize;
+        (self.offsets[v]..self.offsets[v + 1]).map(move |i| (self.targets[i], self.eweights[i]))
+    }
+
+    fn from_graph(g: &Graph, balance: Balance) -> Level {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.num_directed_edges());
+        let mut eweights = Vec::with_capacity(g.num_directed_edges());
+        offsets.push(0);
+        for v in 0..n as u32 {
+            let nbrs = g.neighbors(v);
+            let ws = g.neighbor_weights(v);
+            for (i, &u) in nbrs.iter().enumerate() {
+                if u == v {
+                    continue; // Drop self-loops; they never affect the cut.
+                }
+                targets.push(u);
+                eweights.push(ws.map_or(1, |w| w[i]));
+            }
+            offsets.push(targets.len());
+        }
+        Level {
+            offsets,
+            targets,
+            eweights,
+            vweights: balance.loads(g),
+            coarse_map: Vec::new(),
+        }
+    }
+}
+
+impl Partitioner for Multilevel {
+    fn partition(&self, g: &Graph, k: u32) -> Result<Partitioning> {
+        validate_k(g, k)?;
+        if self.epsilon < 0.0 {
+            return Err(PartitionError::InvalidParameter(format!(
+                "epsilon must be non-negative, got {}",
+                self.epsilon
+            )));
+        }
+        let n = g.num_vertices();
+        if n == 0 {
+            return Partitioning::new(Vec::new(), k);
+        }
+        if k == 1 {
+            return Partitioning::new(vec![0; n], 1);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Phase 1: coarsen.
+        let mut levels: Vec<Level> = vec![Level::from_graph(g, self.balance)];
+        let stop_at = self.coarsest_size.max(20 * k as usize);
+        loop {
+            let cur = levels.last().expect("at least one level");
+            if cur.num_vertices() <= stop_at {
+                break;
+            }
+            let (coarse, map) = coarsen_once(cur, &mut rng);
+            let shrink = coarse.num_vertices() as f64 / cur.num_vertices() as f64;
+            let idx = levels.len() - 1;
+            levels[idx].coarse_map = map;
+            if shrink > 0.98 {
+                // Matching can no longer make progress (e.g. star graphs).
+                levels.push(coarse);
+                break;
+            }
+            levels.push(coarse);
+        }
+
+        // Phase 2: initial partition on the coarsest level. The coarsest
+        // graph is small, so try a few random restarts and keep the best.
+        let coarsest = levels.last().expect("at least one level");
+        let total_load: u64 = coarsest.vweights.iter().sum();
+        let max_load = (((1.0 + self.epsilon) * total_load as f64) / k as f64).ceil() as u64;
+        let mut assignment: Option<(u64, Vec<u32>)> = None;
+        for _ in 0..4 {
+            let mut cand = grow_initial(coarsest, k, max_load, &mut rng);
+            fix_empty_partitions(coarsest, &mut cand, k);
+            refine(coarsest, &mut cand, k, max_load, self.refine_passes);
+            let cut = level_cut(coarsest, &cand);
+            let better = match &assignment {
+                None => true,
+                Some((best, _)) => cut < *best,
+            };
+            if better {
+                assignment = Some((cut, cand));
+            }
+        }
+        let mut assignment = assignment.expect("at least one attempt").1;
+
+        // Phase 3: uncoarsen and refine.
+        for li in (0..levels.len() - 1).rev() {
+            let fine = &levels[li];
+            let mut fine_assignment = vec![0u32; fine.num_vertices()];
+            for v in 0..fine.num_vertices() {
+                fine_assignment[v] = assignment[fine.coarse_map[v] as usize];
+            }
+            assignment = fine_assignment;
+            refine(fine, &mut assignment, k, max_load, self.refine_passes);
+        }
+        Partitioning::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "Multilevel"
+    }
+}
+
+/// One round of heavy-edge matching; returns the coarse level and the
+/// fine→coarse vertex map.
+fn coarsen_once(level: &Level, rng: &mut StdRng) -> (Level, Vec<u32>) {
+    let n = level.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut matched: Vec<u32> = vec![u32::MAX; n];
+    let mut coarse_count = 0u32;
+    let mut coarse_of = vec![u32::MAX; n];
+    for &v in &order {
+        if coarse_of[v as usize] != u32::MAX {
+            continue;
+        }
+        // Find the heaviest unmatched neighbor.
+        let mut best: Option<(u64, u32)> = None;
+        for (u, w) in level.neighbors(v) {
+            if coarse_of[u as usize] == u32::MAX && u != v {
+                let better = match best {
+                    None => true,
+                    Some((bw, _)) => w > bw,
+                };
+                if better {
+                    best = Some((w, u));
+                }
+            }
+        }
+        let c = coarse_count;
+        coarse_count += 1;
+        coarse_of[v as usize] = c;
+        if let Some((_, u)) = best {
+            coarse_of[u as usize] = c;
+            matched[v as usize] = u;
+            matched[u as usize] = v;
+        }
+    }
+    let nc = coarse_count as usize;
+
+    // Build the coarse CSR, aggregating parallel arcs with an epoch-marked
+    // accumulator (no hashing).
+    let mut vweights = vec![0u64; nc];
+    for v in 0..n {
+        vweights[coarse_of[v] as usize] += level.vweights[v];
+    }
+    let mut offsets = Vec::with_capacity(nc + 1);
+    let mut targets: Vec<u32> = Vec::new();
+    let mut eweights: Vec<u64> = Vec::new();
+    offsets.push(0);
+    let mut marker = vec![u32::MAX; nc];
+    let mut slot = vec![0usize; nc];
+    // Representative fine vertices of each coarse vertex.
+    let mut members: Vec<Vec<u32>> = vec![Vec::with_capacity(2); nc];
+    for v in 0..n as u32 {
+        members[coarse_of[v as usize] as usize].push(v);
+    }
+    for (c, mem) in members.iter().enumerate() {
+        let row_start = targets.len();
+        for &v in mem {
+            for (u, w) in level.neighbors(v) {
+                let cu = coarse_of[u as usize];
+                if cu as usize == c {
+                    continue; // Internal edge collapses away.
+                }
+                if marker[cu as usize] == c as u32 {
+                    eweights[slot[cu as usize]] += w;
+                } else {
+                    marker[cu as usize] = c as u32;
+                    slot[cu as usize] = targets.len();
+                    targets.push(cu);
+                    eweights.push(w);
+                }
+            }
+        }
+        let _ = row_start;
+        offsets.push(targets.len());
+    }
+    (
+        Level {
+            offsets,
+            targets,
+            eweights,
+            vweights,
+            coarse_map: Vec::new(),
+        },
+        coarse_of,
+    )
+}
+
+/// Greedy graph growing: BFS-grow `k` regions up to the target load (never
+/// overshooting the ceiling once a region is non-empty), then spread
+/// leftovers over the lightest partitions.
+fn grow_initial(level: &Level, k: u32, max_load: u64, rng: &mut StdRng) -> Vec<u32> {
+    let n = level.num_vertices();
+    let total: u64 = level.vweights.iter().sum();
+    let target = total / k as u64;
+    let mut assignment = vec![u32::MAX; n];
+    let mut loads = vec![0u64; k as usize];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut cursor = 0usize;
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    for part in 0..k {
+        queue.clear();
+        // Seed with the first unassigned vertex in the shuffled order.
+        while cursor < n && assignment[order[cursor] as usize] != u32::MAX {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        queue.push_back(order[cursor]);
+        while let Some(v) = queue.pop_front() {
+            if assignment[v as usize] != u32::MAX {
+                continue;
+            }
+            let vw = level.vweights[v as usize];
+            // A non-empty region never overshoots the ceiling; oversized
+            // vertices are deferred to a later (possibly empty) region.
+            if loads[part as usize] > 0 && loads[part as usize] + vw > max_load {
+                continue;
+            }
+            assignment[v as usize] = part;
+            loads[part as usize] += vw;
+            if loads[part as usize] >= target {
+                break;
+            }
+            for (u, _) in level.neighbors(v) {
+                if assignment[u as usize] == u32::MAX {
+                    queue.push_back(u);
+                }
+            }
+            if queue.is_empty() {
+                // Region ran out of frontier: jump to a fresh seed.
+                while cursor < n && assignment[order[cursor] as usize] != u32::MAX {
+                    cursor += 1;
+                }
+                if cursor < n {
+                    queue.push_back(order[cursor]);
+                }
+            }
+        }
+    }
+    // Any stragglers go to the least-loaded partition.
+    for &v in &order {
+        let v = v as usize;
+        if assignment[v] == u32::MAX {
+            let (best, _) = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &l)| l)
+                .expect("k >= 1");
+            assignment[v] = best as u32;
+            loads[best] += level.vweights[v];
+        }
+    }
+    assignment
+}
+
+/// Guarantees every partition is non-empty by stealing the loosest-bound
+/// vertex from the heaviest partition (local cut damage is repaired by the
+/// refinement pass that follows).
+fn fix_empty_partitions(level: &Level, assignment: &mut [u32], k: u32) {
+    let n = level.num_vertices();
+    if n < k as usize {
+        return;
+    }
+    loop {
+        let mut counts = vec![0usize; k as usize];
+        let mut loads = vec![0u64; k as usize];
+        for v in 0..n {
+            counts[assignment[v] as usize] += 1;
+            loads[assignment[v] as usize] += level.vweights[v];
+        }
+        let Some(empty) = counts.iter().position(|&c| c == 0) else {
+            return;
+        };
+        // Donor: heaviest partition with more than one vertex.
+        let donor = (0..k as usize)
+            .filter(|&p| counts[p] > 1)
+            .max_by_key(|&p| loads[p]);
+        let Some(donor) = donor else {
+            return;
+        };
+        // Steal the donor vertex with the least internal edge weight.
+        let victim = (0..n as u32)
+            .filter(|&v| assignment[v as usize] == donor as u32)
+            .min_by_key(|&v| {
+                level
+                    .neighbors(v)
+                    .filter(|&(u, _)| assignment[u as usize] == donor as u32)
+                    .map(|(_, w)| w)
+                    .sum::<u64>()
+            })
+            .expect("donor has vertices");
+        assignment[victim as usize] = empty as u32;
+    }
+}
+
+/// Total weight of arcs crossing partitions (counted once per direction).
+fn level_cut(level: &Level, assignment: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..level.num_vertices() as u32 {
+        for (u, w) in level.neighbors(v) {
+            if assignment[v as usize] != assignment[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Boundary FM-style refinement: repeatedly move boundary vertices to the
+/// neighbor partition with the highest positive gain, subject to the load
+/// ceiling.
+fn refine(level: &Level, assignment: &mut [u32], k: u32, max_load: u64, passes: usize) {
+    let n = level.num_vertices();
+    let mut loads = vec![0u64; k as usize];
+    let mut counts = vec![0usize; k as usize];
+    for v in 0..n {
+        loads[assignment[v] as usize] += level.vweights[v];
+        counts[assignment[v] as usize] += 1;
+    }
+    // Per-vertex scratch: connectivity to each partition.
+    let mut conn = vec![0u64; k as usize];
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n as u32 {
+            let home = assignment[v as usize];
+            for c in conn.iter_mut() {
+                *c = 0;
+            }
+            let mut is_boundary = false;
+            for (u, w) in level.neighbors(v) {
+                let pu = assignment[u as usize];
+                conn[pu as usize] += w;
+                if pu != home {
+                    is_boundary = true;
+                }
+            }
+            if !is_boundary || counts[home as usize] == 1 {
+                // Interior vertices have nothing to gain; the last vertex of
+                // a partition never leaves (would create an empty part).
+                continue;
+            }
+            let internal = conn[home as usize];
+            let vw = level.vweights[v as usize];
+            let mut best: Option<(i64, u32)> = None;
+            for p in 0..k {
+                if p == home || conn[p as usize] == 0 {
+                    continue;
+                }
+                // Respect the ceiling, except when the move strictly improves
+                // balance (a vertex heavier than the ceiling must still be
+                // able to migrate toward lighter partitions).
+                if loads[p as usize] + vw > max_load && loads[p as usize] + vw >= loads[home as usize]
+                {
+                    continue;
+                }
+                let gain = conn[p as usize] as i64 - internal as i64;
+                let better = match best {
+                    None => gain > 0,
+                    Some((bg, _)) => gain > bg,
+                };
+                if better {
+                    best = Some((gain, p));
+                }
+            }
+            if let Some((gain, p)) = best {
+                // Positive-gain moves always; zero-gain moves only when they
+                // improve balance (helps escape plateaus without thrashing).
+                let balance_improves = loads[home as usize] > loads[p as usize] + vw;
+                if gain > 0 || (gain == 0 && balance_improves) {
+                    loads[home as usize] -= vw;
+                    loads[p as usize] += vw;
+                    counts[home as usize] -= 1;
+                    counts[p as usize] += 1;
+                    assignment[v as usize] = p;
+                    moved += 1;
+                }
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::RandomPartitioner;
+    use crate::quality::{edge_cut_fraction, imbalance};
+    use hourglass_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn splits_two_cliques_perfectly() {
+        // Two 20-cliques joined by one bridge: the optimal bisection cuts
+        // exactly that bridge.
+        let mut b = GraphBuilder::undirected(40);
+        for base in [0u32, 20] {
+            for i in 0..20 {
+                for j in (i + 1)..20 {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        b.add_edge(0, 20);
+        let g = b.build().expect("build");
+        let p = Multilevel::new().partition(&g, 2).expect("partition");
+        let cut = crate::quality::edge_cut(&g, &p);
+        assert_eq!(cut, 1, "must cut only the bridge");
+    }
+
+    #[test]
+    fn beats_random_on_rmat() {
+        let g = generators::rmat(11, 8, generators::RmatParams::SOCIAL, 3).expect("gen");
+        let ml = Multilevel::new().partition(&g, 8).expect("partition");
+        let rnd = RandomPartitioner { seed: 9 }.partition(&g, 8).expect("p");
+        let cm = edge_cut_fraction(&g, &ml);
+        let cr = edge_cut_fraction(&g, &rnd);
+        assert!(cm < 0.9 * cr, "multilevel {cm:.3} vs random {cr:.3}");
+    }
+
+    #[test]
+    fn balanced_within_epsilon() {
+        let g = generators::rmat(11, 8, generators::RmatParams::SOCIAL, 5).expect("gen");
+        let ml = Multilevel::new();
+        let p = ml.partition(&g, 4).expect("partition");
+        let loads = p.part_loads(&ml.balance.loads(&g));
+        let imb = imbalance(&loads);
+        assert!(
+            imb <= 1.0 + ml.epsilon + 0.10,
+            "imbalance {imb:.3} too high: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn every_vertex_assigned() {
+        let g = generators::community(6, 40, 0.3, 60, 1).expect("gen");
+        for k in [2u32, 3, 5, 8] {
+            let p = Multilevel::new().partition(&g, k).expect("partition");
+            assert_eq!(p.num_vertices(), g.num_vertices());
+            assert!(p.part_sizes().iter().all(|&s| s > 0), "empty part at k={k}");
+        }
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let g = generators::erdos_renyi(100, 300, 1).expect("gen");
+        let p = Multilevel::new().partition(&g, 1).expect("partition");
+        assert_eq!(edge_cut_fraction(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::rmat(9, 8, generators::RmatParams::WEB, 2).expect("gen");
+        let a = Multilevel::with_seed(11).partition(&g, 4).expect("p");
+        let b = Multilevel::with_seed(11).partition(&g, 4).expect("p");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_vertex_weights() {
+        // A weighted 4-vertex path where vertex 0 is huge: balancing on
+        // vertex weights must isolate it.
+        let g = hourglass_graph::Graph::from_csr(
+            vec![0, 1, 3, 5, 6],
+            vec![1, 0, 2, 1, 3, 2],
+            None,
+            Some(vec![100, 1, 1, 1]),
+            false,
+        )
+        .expect("valid");
+        let ml = Multilevel {
+            balance: Balance::VertexWeights,
+            coarsest_size: 4,
+            ..Multilevel::default()
+        };
+        let p = ml.partition(&g, 2).expect("partition");
+        // Vertex 0 must be alone in its partition.
+        let p0 = p.part_of(0);
+        for v in 1..4u32 {
+            assert_ne!(p.part_of(v), p0, "heavy vertex must be isolated");
+        }
+    }
+
+    #[test]
+    fn rejects_negative_epsilon() {
+        let g = generators::erdos_renyi(10, 20, 1).expect("gen");
+        let ml = Multilevel {
+            epsilon: -0.1,
+            ..Multilevel::default()
+        };
+        assert!(ml.partition(&g, 2).is_err());
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut b = GraphBuilder::undirected(60);
+        // Three disjoint 20-cycles.
+        for c in 0..3u32 {
+            for i in 0..20u32 {
+                b.add_edge(c * 20 + i, c * 20 + (i + 1) % 20);
+            }
+        }
+        let g = b.build().expect("build");
+        let p = Multilevel::new().partition(&g, 3).expect("partition");
+        let cut = edge_cut_fraction(&g, &p);
+        assert!(cut < 0.2, "disconnected components should split cleanly: {cut}");
+    }
+}

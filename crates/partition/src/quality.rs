@@ -1,0 +1,157 @@
+//! Partition-quality metrics.
+//!
+//! The paper measures quality as "the percentage of edges cut between all
+//! the partitions created" (§8.3.3), which estimates the fraction of
+//! communication that crosses machines during execution.
+
+use crate::Partitioning;
+use hourglass_graph::Graph;
+
+/// Number of logical edges whose endpoints land in different partitions.
+///
+/// Edge weights are honored when present (each cut edge contributes its
+/// weight); for quotient graphs this equals the number of cut edges of the
+/// underlying graph.
+pub fn edge_cut(g: &Graph, p: &Partitioning) -> u64 {
+    debug_assert_eq!(g.num_vertices(), p.num_vertices());
+    let mut cut = 0u64;
+    for (u, v, w) in g.arcs() {
+        if p.part_of(u) != p.part_of(v) {
+            cut += w;
+        }
+    }
+    if g.is_directed() {
+        cut
+    } else {
+        cut / 2
+    }
+}
+
+/// Cut edges as a fraction of all edges, in `[0, 1]`.
+pub fn edge_cut_fraction(g: &Graph, p: &Partitioning) -> f64 {
+    let total: u64 = if g.is_directed() {
+        g.total_arc_weight()
+    } else {
+        g.total_arc_weight() / 2
+    };
+    if total == 0 {
+        return 0.0;
+    }
+    edge_cut(g, p) as f64 / total as f64
+}
+
+/// Load imbalance: `max_load / (total_load / k)`. A perfectly balanced
+/// partitioning scores `1.0`.
+pub fn imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    max / (total as f64 / loads.len() as f64)
+}
+
+/// Total communication volume: for every vertex, the number of *distinct*
+/// remote partitions holding at least one neighbor. Approximates the
+/// per-superstep message traffic of a BSP engine with combiners.
+pub fn communication_volume(g: &Graph, p: &Partitioning) -> u64 {
+    let mut volume = 0u64;
+    let mut seen: Vec<u32> = Vec::new();
+    for v in 0..g.num_vertices() as u32 {
+        seen.clear();
+        let home = p.part_of(v);
+        for &u in g.neighbors(v) {
+            let pu = p.part_of(u);
+            if pu != home && !seen.contains(&pu) {
+                seen.push(pu);
+                volume += 1;
+            }
+        }
+    }
+    volume
+}
+
+/// Expected cut fraction of a uniformly random `k`-partitioning, `1 − 1/k`
+/// (the `Random` reference of Figure 8).
+pub fn random_cut_fraction(k: u32) -> f64 {
+    if k == 0 {
+        0.0
+    } else {
+        1.0 - 1.0 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::RandomPartitioner;
+    use crate::Partitioner;
+    use hourglass_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn cut_of_split_path() {
+        // Path 0-1-2-3 split down the middle: one cut edge.
+        let mut b = GraphBuilder::undirected(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build().expect("build");
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2).expect("valid");
+        assert_eq!(edge_cut(&g, &p), 1);
+        assert!((edge_cut_fraction(&g, &p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_zero_for_single_partition() {
+        let g = generators::erdos_renyi(50, 150, 1).expect("gen");
+        let p = Partitioning::new(vec![0; 50], 1).expect("valid");
+        assert_eq!(edge_cut(&g, &p), 0);
+    }
+
+    #[test]
+    fn cut_counts_weights() {
+        let g = hourglass_graph::Graph::from_csr(
+            vec![0, 1, 2],
+            vec![1, 0],
+            Some(vec![5, 5]),
+            None,
+            false,
+        )
+        .expect("valid");
+        let p = Partitioning::new(vec![0, 1], 2).expect("valid");
+        assert_eq!(edge_cut(&g, &p), 5);
+        assert!((edge_cut_fraction(&g, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_cut_near_expectation() {
+        let g = generators::erdos_renyi(2000, 10000, 7).expect("gen");
+        let p = RandomPartitioner { seed: 3 }.partition(&g, 8).expect("p");
+        let cut = edge_cut_fraction(&g, &p);
+        let expect = random_cut_fraction(8);
+        assert!(
+            (cut - expect).abs() < 0.03,
+            "random cut {cut:.3} should be near {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn imbalance_metrics() {
+        assert!((imbalance(&[10, 10, 10]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[20, 10, 0]) - 2.0).abs() < 1e-12);
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn communication_volume_counts_distinct_parts() {
+        // Star center in part 0, leaves spread over parts 1 and 2.
+        let mut b = GraphBuilder::undirected(5);
+        b.extend_edges([(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let g = b.build().expect("build");
+        let p = Partitioning::new(vec![0, 1, 1, 2, 2], 3).expect("valid");
+        // Center sees 2 remote parts; each leaf sees 1.
+        assert_eq!(communication_volume(&g, &p), 2 + 4);
+    }
+}

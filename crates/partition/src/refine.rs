@@ -1,0 +1,275 @@
+//! Standalone partition refinement and rebalancing.
+//!
+//! The multilevel partitioner refines internally; this module exposes the
+//! same boundary-move machinery for *existing* partitionings: improve a
+//! hash partitioning in place, or rebalance after skewed growth. Useful
+//! when micro-partitions were created cheaply (hash/streaming) and a few
+//! refinement sweeps recover much of the METIS-class quality.
+
+use crate::{Balance, PartitionError, Partitioning, Result};
+use hourglass_graph::Graph;
+
+/// Options for [`refine_partitioning`].
+#[derive(Debug, Clone, Copy)]
+pub struct RefineOptions {
+    /// Number of boundary sweeps.
+    pub passes: usize,
+    /// Allowed imbalance over the perfect share (0.05 = 5%).
+    pub epsilon: f64,
+    /// Balance criterion.
+    pub balance: Balance,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            passes: 4,
+            epsilon: 0.05,
+            balance: Balance::Edges,
+        }
+    }
+}
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineReport {
+    /// Vertices moved across partitions.
+    pub moves: usize,
+    /// Edge cut before refinement (weighted).
+    pub cut_before: u64,
+    /// Edge cut after refinement (weighted).
+    pub cut_after: u64,
+}
+
+/// Greedily improves `p` by moving boundary vertices to their
+/// best-connected partition, subject to the balance ceiling. Returns the
+/// refined partitioning and a report.
+pub fn refine_partitioning(
+    g: &Graph,
+    p: &Partitioning,
+    opts: RefineOptions,
+) -> Result<(Partitioning, RefineReport)> {
+    if p.num_vertices() != g.num_vertices() {
+        return Err(PartitionError::InvalidParameter(format!(
+            "partitioning covers {} vertices, graph has {}",
+            p.num_vertices(),
+            g.num_vertices()
+        )));
+    }
+    if opts.epsilon < 0.0 {
+        return Err(PartitionError::InvalidParameter(format!(
+            "epsilon must be non-negative, got {}",
+            opts.epsilon
+        )));
+    }
+    let k = p.num_parts() as usize;
+    let n = g.num_vertices();
+    let vloads = opts.balance.loads(g);
+    let total: u64 = vloads.iter().sum();
+    let max_load = (((1.0 + opts.epsilon) * total as f64) / k as f64).ceil() as u64;
+
+    let mut assignment: Vec<u32> = p.assignment().to_vec();
+    let mut loads = vec![0u64; k];
+    let mut counts = vec![0usize; k];
+    for v in 0..n {
+        loads[assignment[v] as usize] += vloads[v];
+        counts[assignment[v] as usize] += 1;
+    }
+    let cut_before = cut_of(g, &assignment);
+    let mut moves = 0usize;
+    let mut conn = vec![0u64; k];
+    for _ in 0..opts.passes {
+        let mut moved_this_pass = 0usize;
+        for v in 0..n as u32 {
+            let vi = v as usize;
+            let home = assignment[vi] as usize;
+            if counts[home] == 1 {
+                continue;
+            }
+            for c in conn.iter_mut() {
+                *c = 0;
+            }
+            let mut boundary = false;
+            let weights = g.neighbor_weights(v);
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                let pu = assignment[u as usize] as usize;
+                conn[pu] += weights.map_or(1, |w| w[i]);
+                if pu != home {
+                    boundary = true;
+                }
+            }
+            if !boundary {
+                continue;
+            }
+            let internal = conn[home];
+            let vw = vloads[vi];
+            let mut best: Option<(i64, usize)> = None;
+            for (cand, &c) in conn.iter().enumerate() {
+                if cand == home || c == 0 {
+                    continue;
+                }
+                if loads[cand] + vw > max_load && loads[cand] + vw >= loads[home] {
+                    continue;
+                }
+                let gain = c as i64 - internal as i64;
+                let better = match best {
+                    None => gain > 0,
+                    Some((bg, _)) => gain > bg,
+                };
+                if better {
+                    best = Some((gain, cand));
+                }
+            }
+            if let Some((gain, cand)) = best {
+                let balance_improves = loads[home] > loads[cand] + vw;
+                if gain > 0 || (gain == 0 && balance_improves) {
+                    loads[home] -= vw;
+                    loads[cand] += vw;
+                    counts[home] -= 1;
+                    counts[cand] += 1;
+                    assignment[vi] = cand as u32;
+                    moved_this_pass += 1;
+                }
+            }
+        }
+        moves += moved_this_pass;
+        if moved_this_pass == 0 {
+            break;
+        }
+    }
+    let cut_after = cut_of(g, &assignment);
+    Ok((
+        Partitioning::new(assignment, p.num_parts())?,
+        RefineReport {
+            moves,
+            cut_before,
+            cut_after,
+        },
+    ))
+}
+
+fn cut_of(g: &Graph, assignment: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for (u, v, w) in g.arcs() {
+        if assignment[u as usize] != assignment[v as usize] {
+            cut += w;
+        }
+    }
+    if g.is_directed() {
+        cut
+    } else {
+        cut / 2
+    }
+}
+
+/// Replication factor of a partitioning: the average number of partitions
+/// each vertex's ego-net touches (1.0 = no replication; vertex-cut systems
+/// report this as their quality metric).
+pub fn replication_factor(g: &Graph, p: &Partitioning) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut total = 0u64;
+    let mut seen: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        seen.clear();
+        let home = p.part_of(v);
+        seen.push(home);
+        for &u in g.neighbors(v) {
+            let pu = p.part_of(u);
+            if !seen.contains(&pu) {
+                seen.push(pu);
+            }
+        }
+        total += seen.len() as u64;
+    }
+    total as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{HashPartitioner, RandomPartitioner};
+    use crate::quality::edge_cut;
+    use crate::Partitioner;
+    use hourglass_graph::generators;
+
+    #[test]
+    fn refinement_improves_random_partitioning() {
+        let g = generators::community(6, 48, 0.4, 60, 3).expect("gen");
+        let p = RandomPartitioner { seed: 1 }.partition(&g, 6).expect("p");
+        let (refined, report) =
+            refine_partitioning(&g, &p, RefineOptions::default()).expect("refine");
+        assert!(report.cut_after < report.cut_before);
+        assert_eq!(edge_cut(&g, &refined), report.cut_after);
+        assert!(report.moves > 0);
+    }
+
+    #[test]
+    fn refinement_never_worsens_balance() {
+        // A skewed input may already exceed the epsilon ceiling (hubs
+        // concentrate edge-load under hash partitioning); refinement must
+        // not make the maximum load worse.
+        let g = generators::rmat(10, 8, generators::RmatParams::SOCIAL, 5).expect("gen");
+        let p = HashPartitioner.partition(&g, 4).expect("p");
+        let opts = RefineOptions::default();
+        let vloads = opts.balance.loads(&g);
+        let before_max = *p.part_loads(&vloads).iter().max().expect("non-empty");
+        let (refined, _) = refine_partitioning(&g, &p, opts).expect("refine");
+        let after_max = *refined.part_loads(&vloads).iter().max().expect("non-empty");
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32) as u64)
+            .max()
+            .unwrap_or(0);
+        let total: u64 = vloads.iter().sum();
+        let ceiling = ((1.0 + opts.epsilon) * total as f64 / 4.0).ceil() as u64;
+        assert!(
+            after_max <= before_max.max(ceiling) + max_deg,
+            "max load grew: {before_max} -> {after_max} (ceiling {ceiling})"
+        );
+    }
+
+    #[test]
+    fn refinement_never_worsens() {
+        for seed in 0..5u64 {
+            let g = generators::rmat(9, 8, generators::RmatParams::WEB, seed).expect("gen");
+            let p = RandomPartitioner { seed }.partition(&g, 5).expect("p");
+            let (_, report) =
+                refine_partitioning(&g, &p, RefineOptions::default()).expect("refine");
+            assert!(report.cut_after <= report.cut_before, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn refinement_validates() {
+        let g = generators::erdos_renyi(10, 20, 1).expect("gen");
+        let p = Partitioning::new(vec![0; 5], 2).expect("valid");
+        assert!(refine_partitioning(&g, &p, RefineOptions::default()).is_err());
+        let p = HashPartitioner.partition(&g, 2).expect("p");
+        let bad = RefineOptions {
+            epsilon: -1.0,
+            ..RefineOptions::default()
+        };
+        assert!(refine_partitioning(&g, &p, bad).is_err());
+    }
+
+    #[test]
+    fn replication_factor_bounds() {
+        let g = generators::community(4, 32, 0.5, 20, 7).expect("gen");
+        let single = Partitioning::new(vec![0; g.num_vertices()], 1).expect("valid");
+        assert!((replication_factor(&g, &single) - 1.0).abs() < 1e-12);
+        let random = RandomPartitioner { seed: 3 }.partition(&g, 8).expect("p");
+        let rf = replication_factor(&g, &random);
+        assert!(rf > 1.0 && rf <= 9.0, "rf {rf}");
+    }
+
+    #[test]
+    fn replication_factor_empty() {
+        let g = hourglass_graph::GraphBuilder::undirected(0)
+            .build()
+            .expect("build");
+        let p = Partitioning::new(vec![], 1).expect("valid");
+        assert_eq!(replication_factor(&g, &p), 1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Monte-Carlo experiments: many jobs at random trace starts (§8.1: "the
+//! costs measured for each strategy are the average over 2000 simulations
+//! of the target job, with the starting moment selected at random").
+
+use crate::job::JobDescription;
+use crate::runner::{run_job, JobOutcome, SimulationSetup};
+use crate::Result;
+use hourglass_core::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Monte-Carlo experiment over one job and one strategy.
+pub struct Experiment {
+    /// Number of simulated runs.
+    pub runs: usize,
+    /// Seed for the start-point sampler (the *same* seed across strategies
+    /// gives paired comparisons under identical market conditions, as the
+    /// paper's methodology prescribes).
+    pub seed: u64,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment {
+            runs: 2000,
+            seed: 0xE57,
+        }
+    }
+}
+
+/// Aggregate results of an experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentSummary {
+    /// Strategy name.
+    pub strategy: String,
+    /// Job name.
+    pub job: String,
+    /// Mean total cost (dollars).
+    pub mean_cost: f64,
+    /// Mean cost normalized by the on-demand baseline (the y-axis of
+    /// Figures 1, 5 and 7).
+    pub normalized_cost: f64,
+    /// Percentage of runs that missed the deadline (the number above each
+    /// bar).
+    pub missed_pct: f64,
+    /// Mean evictions per run.
+    pub mean_evictions: f64,
+    /// Mean completion time, seconds.
+    pub mean_finish: f64,
+    /// Standard deviation of total cost (dollars).
+    pub cost_stddev: f64,
+    /// 95th percentile of total cost (dollars).
+    pub cost_p95: f64,
+    /// Runs simulated.
+    pub runs: usize,
+}
+
+impl Experiment {
+    /// Creates an experiment with `runs` samples.
+    pub fn new(runs: usize, seed: u64) -> Self {
+        Experiment { runs, seed }
+    }
+
+    /// The deterministic start points this experiment samples.
+    pub fn start_points(&self, setup: &SimulationSetup<'_>, job: &JobDescription) -> Vec<f64> {
+        let horizon = setup.market.horizon();
+        // Leave room so even badly overrunning jobs rarely hit the trace
+        // end (overruns are capped and counted as misses regardless).
+        let margin = (5.0 * job.deadline).min(horizon * 0.5);
+        let usable = (horizon - margin).max(1.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.runs).map(|_| rng.gen::<f64>() * usable).collect()
+    }
+
+    /// Runs the experiment for one strategy.
+    pub fn run(
+        &self,
+        setup: &SimulationSetup<'_>,
+        job: &JobDescription,
+        strategy: &dyn Strategy,
+    ) -> Result<ExperimentSummary> {
+        let starts = self.start_points(setup, job);
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(starts.len());
+        for &s in &starts {
+            outcomes.push(run_job(setup, job, strategy, s)?);
+        }
+        summarize(strategy.name(), job, &outcomes)
+    }
+}
+
+/// Builds an [`ExperimentSummary`] from raw outcomes.
+pub fn summarize(
+    strategy: String,
+    job: &JobDescription,
+    outcomes: &[JobOutcome],
+) -> Result<ExperimentSummary> {
+    if outcomes.is_empty() {
+        return Err(crate::SimError::InvalidParameter(
+            "no outcomes to summarize".into(),
+        ));
+    }
+    let n = outcomes.len() as f64;
+    let mean_cost = outcomes.iter().map(|o| o.cost).sum::<f64>() / n;
+    let variance = outcomes
+        .iter()
+        .map(|o| (o.cost - mean_cost).powi(2))
+        .sum::<f64>()
+        / n;
+    let mut sorted_costs: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
+    sorted_costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+    let p95_idx = ((0.95 * (sorted_costs.len() - 1) as f64).round() as usize)
+        .min(sorted_costs.len() - 1);
+    let missed = outcomes.iter().filter(|o| o.missed_deadline).count();
+    let baseline = job.on_demand_baseline_cost()?;
+    Ok(ExperimentSummary {
+        strategy,
+        job: job.name.clone(),
+        mean_cost,
+        normalized_cost: mean_cost / baseline,
+        missed_pct: 100.0 * missed as f64 / n,
+        mean_evictions: outcomes.iter().map(|o| o.evictions as f64).sum::<f64>() / n,
+        mean_finish: outcomes.iter().map(|o| o.finish_time).sum::<f64>() / n,
+        cost_stddev: variance.sqrt(),
+        cost_p95: sorted_costs[p95_idx],
+        runs: outcomes.len(),
+    })
+}
+
+impl ExperimentSummary {
+    /// Cost saving versus the on-demand baseline, in percent (positive =
+    /// cheaper than on-demand).
+    pub fn savings_pct(&self) -> f64 {
+        100.0 * (1.0 - self.normalized_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{PaperJob, ReloadMode};
+    use crate::runner::derive_eviction_models;
+    use hourglass_cloud::tracegen;
+    use hourglass_core::strategies::{HourglassStrategy, OnDemandStrategy};
+
+    #[test]
+    fn paired_starts_are_deterministic() {
+        let market = tracegen::simulation_market(11).expect("market");
+        let history = tracegen::history_market(11).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 200, 3).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let e = Experiment::new(50, 7);
+        assert_eq!(e.start_points(&setup, &job), e.start_points(&setup, &job));
+    }
+
+    #[test]
+    fn on_demand_summary_normalizes_near_one() {
+        let market = tracegen::simulation_market(12).expect("market");
+        let history = tracegen::history_market(12).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 200, 3).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let s = Experiment::new(30, 1)
+            .run(&setup, &job, &OnDemandStrategy)
+            .expect("run");
+        assert_eq!(s.missed_pct, 0.0);
+        // Above 1.0: boot time and the offline partitioning cost are
+        // included in the numerator, the baseline excludes both.
+        assert!(
+            (0.95..1.35).contains(&s.normalized_cost),
+            "normalized {}",
+            s.normalized_cost
+        );
+        assert!(s.savings_pct() < 5.0);
+    }
+
+    #[test]
+    fn hourglass_saves_on_long_jobs() {
+        let market = tracegen::simulation_market(13).expect("market");
+        let history = tracegen::history_market(13).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 400, 3).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::GraphColoring
+            .description(60.0, ReloadMode::Fast)
+            .expect("job");
+        let s = Experiment::new(25, 2)
+            .run(&setup, &job, &HourglassStrategy::new())
+            .expect("run");
+        assert_eq!(s.missed_pct, 0.0, "Hourglass must not miss deadlines");
+        assert!(
+            s.savings_pct() > 25.0,
+            "expected significant savings, got {:.1}%",
+            s.savings_pct()
+        );
+    }
+
+    #[test]
+    fn summarize_rejects_empty() {
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        assert!(summarize("x".into(), &job, &[]).is_err());
+    }
+}

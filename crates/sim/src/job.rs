@@ -1,0 +1,394 @@
+//! Job descriptions and the calibrated performance model.
+//!
+//! The paper measures every simulation parameter — execution time per
+//! configuration, loading times, checkpoint times, boot time — on real
+//! deployments and feeds them to the simulator. Our "measurements" come
+//! from (a) the engine's loader cost model at paper scale, and (b) the
+//! published headline numbers: the three applications take 3 min (SSSP),
+//! 20 min (PageRank, 30 iterations) and 4 h (GC) on the last-resort
+//! configuration, and up to ~2.5× longer on the slowest configuration
+//! ("in other available configurations it can take up to 10 hours", §2).
+
+use crate::{Result, SimError};
+use hourglass_cloud::config::{paper_configurations, DeploymentConfig};
+use hourglass_engine::loaders::{LoaderCostModel, LoaderKind};
+use hourglass_graph::datasets::Dataset;
+
+/// How the graph is (re)loaded after a deployment change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReloadMode {
+    /// Hourglass fast reload: micro-partitions are clustered online (ms)
+    /// and loaded in parallel without communication (§6.2).
+    Fast,
+    /// Hash loading on every (re)deployment — the no-micro-partitioning
+    /// baseline for short jobs.
+    Hash,
+    /// Offline-partitioner loading: every reconfiguration to a new worker
+    /// count requires re-partitioning the graph (the `SlackAware+METIS`
+    /// baseline of Figure 7).
+    Repartition {
+        /// Seconds a fresh partitioning run takes at paper scale.
+        partition_seconds: f64,
+    },
+}
+
+/// Per-configuration performance estimates.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigPerf {
+    /// The deployment configuration.
+    pub config: DeploymentConfig,
+    /// Full-job execution time, seconds.
+    pub t_exec: f64,
+    /// Loading time on first deployment, seconds.
+    pub t_load_first: f64,
+    /// Loading time on re-deployments (after evictions/switches), seconds.
+    pub t_load_reload: f64,
+    /// Checkpoint write time, seconds.
+    pub t_save: f64,
+}
+
+/// A complete simulated job.
+#[derive(Debug, Clone)]
+pub struct JobDescription {
+    /// Name ("SSSP", "PageRank", "GC").
+    pub name: String,
+    /// Deadline relative to job start, seconds.
+    pub deadline: f64,
+    /// Machine boot time, seconds.
+    pub t_boot: f64,
+    /// Performance of every configuration in the candidate set.
+    pub configs: Vec<ConfigPerf>,
+    /// Dollars spent on the offline phase (initial partitioning),
+    /// included in the total cost like the paper's Figure 5.
+    pub offline_cost: f64,
+}
+
+impl JobDescription {
+    /// Index of the fastest on-demand configuration.
+    pub fn lrc(&self) -> Result<usize> {
+        self.configs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.config.is_transient())
+            .min_by(|(_, a), (_, b)| a.t_exec.partial_cmp(&b.t_exec).expect("finite"))
+            .map(|(i, _)| i)
+            .ok_or_else(|| SimError::InvalidParameter("no on-demand configuration".into()))
+    }
+
+    /// Baseline cost (dollars) the paper normalizes against: a single
+    /// uninterrupted run on the last-resort configuration with
+    /// checkpointing disabled, billed from dataset retrieval to output
+    /// store (§8.2).
+    pub fn on_demand_baseline_cost(&self) -> Result<f64> {
+        let lrc = &self.configs[self.lrc()?];
+        let duration = lrc.t_load_first + lrc.t_exec + lrc.t_save;
+        Ok(lrc.config.on_demand_rate() * duration / 3600.0)
+    }
+
+    /// Shortest possible completion time (for sizing simulation windows).
+    pub fn min_makespan(&self) -> Result<f64> {
+        let lrc = &self.configs[self.lrc()?];
+        Ok(self.t_boot + lrc.t_load_first + lrc.t_exec + lrc.t_save)
+    }
+}
+
+/// Default execution-time scaling across configurations: sublinear in
+/// total vCPUs (synchronous graph processing does not scale linearly; the
+/// exponent is picked so the slowest paper configuration lands at ~2.5×
+/// the lrc for the long GC job, matching "4 hours … up to 10 hours", §2).
+/// Short, latency-bound jobs spread far less — see
+/// [`PaperJob::scaling_exponent`].
+pub const SCALING_EXPONENT: f64 = 0.33;
+
+/// EC2 machine boot + bootstrap time (Hadoop/Giraph startup). The paper's
+/// headline lrc execution times (3 min SSSP) *include* bootstrap, so the
+/// model keeps this small; it is a tunable parameter of the performance
+/// model, not a claim about EMR.
+pub const DEFAULT_BOOT_SECONDS: f64 = 60.0;
+
+/// Builds the performance entries for every paper configuration given the
+/// lrc execution time and a dataset (for loading/checkpoint sizing).
+pub fn build_configs(
+    lrc_exec_seconds: f64,
+    dataset: Dataset,
+    reload: ReloadMode,
+) -> Result<Vec<ConfigPerf>> {
+    build_configs_with_scaling(lrc_exec_seconds, dataset, reload, SCALING_EXPONENT)
+}
+
+/// [`build_configs`] with an explicit scaling exponent (short jobs scale
+/// worse across cluster sizes than long compute-bound ones).
+pub fn build_configs_with_scaling(
+    lrc_exec_seconds: f64,
+    dataset: Dataset,
+    reload: ReloadMode,
+    scaling_exponent: f64,
+) -> Result<Vec<ConfigPerf>> {
+    if !(lrc_exec_seconds > 0.0) {
+        return Err(SimError::InvalidParameter(format!(
+            "lrc execution time must be positive, got {lrc_exec_seconds}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&scaling_exponent) {
+        return Err(SimError::InvalidParameter(format!(
+            "scaling exponent must be in [0,1], got {scaling_exponent}"
+        )));
+    }
+    let model = LoaderCostModel::aws_2016();
+    let bytes = dataset.paper_bytes() as f64;
+    let all = paper_configurations();
+    let max_vcpus = all
+        .iter()
+        .map(|c| c.total_vcpus())
+        .max()
+        .expect("non-empty catalog") as f64;
+    let mut out = Vec::with_capacity(all.len());
+    for config in all {
+        let vcpus = config.total_vcpus() as f64;
+        let t_exec = lrc_exec_seconds * (max_vcpus / vcpus).powf(scaling_exponent);
+        let k = config.num_workers;
+        let (t_load_first, t_load_reload) = match reload {
+            ReloadMode::Fast => {
+                let t = model
+                    .time(LoaderKind::Micro, bytes, k)
+                    .map_err(|e| SimError::InvalidParameter(e.to_string()))?;
+                (t, t)
+            }
+            ReloadMode::Hash => {
+                let t = model
+                    .time(LoaderKind::Hash, bytes, k)
+                    .map_err(|e| SimError::InvalidParameter(e.to_string()))?;
+                (t, t)
+            }
+            ReloadMode::Repartition { partition_seconds } => {
+                let t = model
+                    .time(LoaderKind::Hash, bytes, k)
+                    .map_err(|e| SimError::InvalidParameter(e.to_string()))?;
+                // First load can reuse the offline partitioning; every
+                // reload for a potentially different worker count pays a
+                // fresh partitioning pass.
+                (t, t + partition_seconds)
+            }
+        };
+        // Checkpoint: vertex state is a small fraction of the graph bytes,
+        // written in parallel to the durable store.
+        let state_bytes = bytes * 0.10;
+        let t_save = state_bytes / (k as f64 * model.datastore_bandwidth) + 10.0;
+        out.push(ConfigPerf {
+            config,
+            t_exec,
+            t_load_first,
+            t_load_reload,
+            t_save,
+        });
+    }
+    Ok(out)
+}
+
+/// The three benchmark applications of §8 with their paper-reported lrc
+/// execution times (these include bootstrap/load/store in the paper; the
+/// compute part dominates and we keep the headline value for `t_exec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperJob {
+    /// Single-source shortest paths: 3 minutes.
+    Sssp,
+    /// PageRank, 30 iterations: 20 minutes.
+    PageRank,
+    /// Graph coloring: 4 hours.
+    GraphColoring,
+}
+
+impl PaperJob {
+    /// All three, shortest first (the order of Figure 5).
+    pub const ALL: [PaperJob; 3] = [PaperJob::Sssp, PaperJob::PageRank, PaperJob::GraphColoring];
+
+    /// The lrc execution time in seconds.
+    pub fn lrc_exec_seconds(&self) -> f64 {
+        match self {
+            PaperJob::Sssp => 180.0,
+            PaperJob::PageRank => 20.0 * 60.0,
+            PaperJob::GraphColoring => 4.0 * 3600.0,
+        }
+    }
+
+    /// Execution-time scaling exponent across cluster sizes: SSSP is
+    /// latency-bound (barely benefits from more vCPUs, ~1.4× spread),
+    /// PageRank is intermediate (~2×), GC is compute-bound (~2.5×, the
+    /// paper's "4 hours … up to 10 hours").
+    pub fn scaling_exponent(&self) -> f64 {
+        match self {
+            PaperJob::Sssp => 0.12,
+            PaperJob::PageRank => 0.25,
+            PaperJob::GraphColoring => SCALING_EXPONENT,
+        }
+    }
+
+    /// Display name as in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperJob::Sssp => "SSSP",
+            PaperJob::PageRank => "PageRank",
+            PaperJob::GraphColoring => "GraphColoring",
+        }
+    }
+
+    /// Builds the job description for a given slack percentage
+    /// (Figure 5 sweeps 10%..100%: the deadline is the minimum makespan
+    /// plus `slack_pct` of the execution time).
+    ///
+    /// All Figure 5 experiments run on the Twitter dataset.
+    pub fn description(&self, slack_pct: f64, reload: ReloadMode) -> Result<JobDescription> {
+        if !(0.0..=1000.0).contains(&slack_pct) {
+            return Err(SimError::InvalidParameter(format!(
+                "slack percentage out of range: {slack_pct}"
+            )));
+        }
+        let configs = build_configs_with_scaling(
+            self.lrc_exec_seconds(),
+            Dataset::Twitter,
+            reload,
+            self.scaling_exponent(),
+        )?;
+        // Short jobs use hash-based micro-partitioning (§8.3.1: "the best
+        // results with these systems are achieved with hashing"), which has
+        // no offline partitioning pass; GC pays the METIS-class pass(es).
+        let offline_cost = match (self, reload) {
+            (PaperJob::GraphColoring, _) => offline_partitioning_cost(reload),
+            (_, ReloadMode::Repartition { .. }) => offline_partitioning_cost(reload),
+            _ => 0.0,
+        };
+        let mut job = JobDescription {
+            name: self.name().to_string(),
+            deadline: 0.0,
+            t_boot: DEFAULT_BOOT_SECONDS,
+            configs,
+            offline_cost,
+        };
+        let makespan = job.min_makespan()?;
+        job.deadline = makespan + slack_pct / 100.0 * self.lrc_exec_seconds();
+        Ok(job)
+    }
+}
+
+/// Offline partitioning cost in dollars (§8.3.2): micro-partitioning runs
+/// the offline partitioner once; the no-micro baseline must pre-partition
+/// for every candidate worker count (3 of them), tripling the offline
+/// machine time. Hash loading has no offline phase.
+pub fn offline_partitioning_cost(reload: ReloadMode) -> f64 {
+    // One METIS-class pass over Twitter at paper scale on a single
+    // r4.8xlarge: ~45 minutes.
+    let pass_hours = 0.75;
+    let rate = 2.128;
+    match reload {
+        ReloadMode::Fast => pass_hours * rate,
+        ReloadMode::Hash => 0.0,
+        ReloadMode::Repartition { .. } => 3.0 * pass_hours * rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_has_all_18_configs() {
+        let configs =
+            build_configs(4.0 * 3600.0, Dataset::Twitter, ReloadMode::Fast).expect("build");
+        assert_eq!(configs.len(), 18);
+    }
+
+    #[test]
+    fn lrc_is_fastest_and_times_ordered() {
+        let configs =
+            build_configs(4.0 * 3600.0, Dataset::Twitter, ReloadMode::Fast).expect("build");
+        let job = JobDescription {
+            name: "GC".into(),
+            deadline: 6.0 * 3600.0,
+            t_boot: DEFAULT_BOOT_SECONDS,
+            configs,
+            offline_cost: 0.0,
+        };
+        let lrc = job.lrc().expect("lrc");
+        assert!((job.configs[lrc].t_exec - 4.0 * 3600.0).abs() < 1.0);
+        // Slowest config ~2.5x the lrc (paper: 4 h vs up to 10 h).
+        let slowest = job
+            .configs
+            .iter()
+            .map(|c| c.t_exec)
+            .fold(0.0f64, f64::max);
+        let ratio = slowest / job.configs[lrc].t_exec;
+        assert!(
+            (2.0..3.2).contains(&ratio),
+            "slowest/fastest ratio {ratio:.2} off the paper's ~2.5"
+        );
+    }
+
+    #[test]
+    fn fast_reload_loads_quicker_than_hash() {
+        let fast = build_configs(600.0, Dataset::Twitter, ReloadMode::Fast).expect("build");
+        let hash = build_configs(600.0, Dataset::Twitter, ReloadMode::Hash).expect("build");
+        for (f, h) in fast.iter().zip(&hash) {
+            assert!(f.t_load_first < h.t_load_first, "{}", f.config);
+        }
+    }
+
+    #[test]
+    fn repartition_penalizes_reloads_only() {
+        let r = build_configs(
+            600.0,
+            Dataset::Twitter,
+            ReloadMode::Repartition {
+                partition_seconds: 900.0,
+            },
+        )
+        .expect("build");
+        for c in &r {
+            assert!((c.t_load_reload - c.t_load_first - 900.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_job_descriptions() {
+        for job in PaperJob::ALL {
+            let d = job.description(50.0, ReloadMode::Fast).expect("desc");
+            assert!(d.deadline > d.min_makespan().expect("makespan"));
+            assert!(d.on_demand_baseline_cost().expect("baseline") > 0.0);
+        }
+        // GC with ~50% slack reproduces the §2 scenario: ~4 h job, 6 h
+        // period.
+        let gc = PaperJob::GraphColoring
+            .description(50.0, ReloadMode::Fast)
+            .expect("desc");
+        assert!((gc.deadline - 6.0 * 3600.0).abs() < 0.15 * 3600.0);
+    }
+
+    #[test]
+    fn deadline_grows_with_slack() {
+        let lo = PaperJob::PageRank
+            .description(10.0, ReloadMode::Fast)
+            .expect("desc");
+        let hi = PaperJob::PageRank
+            .description(100.0, ReloadMode::Fast)
+            .expect("desc");
+        assert!(hi.deadline > lo.deadline);
+        assert!(PaperJob::PageRank
+            .description(-5.0, ReloadMode::Fast)
+            .is_err());
+    }
+
+    #[test]
+    fn offline_costs_ranked() {
+        let fast = offline_partitioning_cost(ReloadMode::Fast);
+        let hash = offline_partitioning_cost(ReloadMode::Hash);
+        let rep = offline_partitioning_cost(ReloadMode::Repartition {
+            partition_seconds: 900.0,
+        });
+        assert_eq!(hash, 0.0);
+        assert!(fast > 0.0 && rep > 2.5 * fast);
+    }
+
+    #[test]
+    fn rejects_nonpositive_exec() {
+        assert!(build_configs(0.0, Dataset::Twitter, ReloadMode::Fast).is_err());
+    }
+}

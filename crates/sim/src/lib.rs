@@ -1,0 +1,75 @@
+//! Trace-driven execution simulator and Monte-Carlo experiment runner.
+//!
+//! This crate reproduces the paper's simulation methodology (§8.1):
+//! provisioning strategies are exercised against a month-long spot-market
+//! price trace, with all job-level parameters (execution, loading,
+//! checkpointing and boot times) taken from a calibrated performance
+//! model. "When running the simulation, both the changes in prices and the
+//! evictions that result from these changes follow exactly what would
+//! happen if Hourglass was executed in that period of time" — the
+//! simulator is deterministic given a market and a start instant, and each
+//! experiment averages ~2000 jobs started at random points of the trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod job;
+pub mod recurring;
+pub mod replication;
+pub mod report;
+pub mod runner;
+
+pub use experiment::{Experiment, ExperimentSummary};
+pub use job::{ConfigPerf, JobDescription, ReloadMode};
+pub use recurring::{run_recurring, RecurringOutcome};
+pub use replication::run_job_replicated;
+pub use runner::{run_job, JobOutcome, SimulationSetup};
+
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug)]
+pub enum SimError {
+    /// Simulation parameters were invalid.
+    InvalidParameter(String),
+    /// The underlying cloud substrate failed.
+    Cloud(hourglass_cloud::CloudError),
+    /// The provisioning engine failed.
+    Core(hourglass_core::CoreError),
+    /// The event loop exceeded its safety cap without finishing the job.
+    RunawayJob {
+        /// Events processed before giving up.
+        events: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            SimError::Cloud(e) => write!(f, "cloud error: {e}"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::RunawayJob { events } => {
+                write!(f, "job did not finish within {events} simulation events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<hourglass_cloud::CloudError> for SimError {
+    fn from(e: hourglass_cloud::CloudError) -> Self {
+        SimError::Cloud(e)
+    }
+}
+
+impl From<hourglass_core::CoreError> for SimError {
+    fn from(e: hourglass_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

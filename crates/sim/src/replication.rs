@@ -1,0 +1,254 @@
+//! Replicated execution: SpotOn's alternative to checkpointing [38].
+//!
+//! Instead of periodically checkpointing one transient deployment, the
+//! job runs simultaneously on `R` deployments in *different* markets and
+//! proceeds at the pace of the fastest live replica; work is lost only
+//! when every replica is evicted at once. The paper argues (§3.1) that
+//! over-provisioning "limits the potential cost reductions in the cases
+//! where (a few) evictions may be tolerated" — this module lets the
+//! benchmarks quantify exactly that trade-off against checkpointing.
+
+use crate::job::JobDescription;
+use crate::runner::{JobOutcome, SimulationSetup};
+use crate::{Result, SimError};
+use hourglass_cloud::billing::CostLedger;
+use hourglass_cloud::InstanceType;
+
+/// A replica: one transient deployment index from the job's config set.
+#[derive(Debug, Clone, Copy)]
+struct Replica {
+    config_idx: usize,
+    /// Alive and computing since this absolute time (None = down).
+    up_since: Option<f64>,
+}
+
+/// Runs the job on `replica_configs` (indices into `job.configs`, all
+/// transient, in distinct instance-type markets) simultaneously with **no
+/// checkpointing**: progress advances at the fastest live replica's pace
+/// and resets to zero if every replica is down at once before finishing.
+///
+/// Replicas are (re)acquired as soon as their market price returns to the
+/// bid. The run ends when the work completes or the trace runs out.
+pub fn run_job_replicated(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    replica_configs: &[usize],
+    start: f64,
+) -> Result<JobOutcome> {
+    if replica_configs.is_empty() {
+        return Err(SimError::InvalidParameter("need at least one replica".into()));
+    }
+    let mut seen_types: Vec<InstanceType> = Vec::new();
+    for &i in replica_configs {
+        let cfg = job
+            .configs
+            .get(i)
+            .ok_or_else(|| SimError::InvalidParameter(format!("config index {i} out of range")))?;
+        if !cfg.config.is_transient() {
+            return Err(SimError::InvalidParameter(
+                "replicas must be transient deployments".into(),
+            ));
+        }
+        if seen_types.contains(&cfg.config.instance_type) {
+            return Err(SimError::InvalidParameter(
+                "replicas must live in distinct markets".into(),
+            ));
+        }
+        seen_types.push(cfg.config.instance_type);
+    }
+    let horizon = setup.market.horizon();
+    if start < 0.0 || start >= horizon {
+        return Err(SimError::InvalidParameter(format!(
+            "start {start} outside market horizon"
+        )));
+    }
+
+    // Event-driven at one-minute steps (the trace resolution): fine
+    // enough for month-long traces, simple enough to audit.
+    let step = 60.0;
+    let mut t = start;
+    let mut w = 1.0f64;
+    let mut ledger = CostLedger::new();
+    let mut evictions = 0usize;
+    let mut deployments = 0usize;
+    let mut replicas: Vec<Replica> = replica_configs
+        .iter()
+        .map(|&i| Replica {
+            config_idx: i,
+            up_since: None,
+        })
+        .collect();
+
+    while w > 1e-9 && t < horizon {
+        // Acquire / evict replicas based on the market.
+        for r in replicas.iter_mut() {
+            let perf = &job.configs[r.config_idx];
+            let trace = setup.market.trace(perf.config.instance_type)?;
+            let bid = perf.config.instance_type.on_demand_price();
+            let price = trace.price_at(t.min(trace.horizon() - 1.0))?;
+            match r.up_since {
+                Some(since) => {
+                    if price > bid {
+                        // Evicted: bill the lease.
+                        ledger.bill(setup.market, &perf.config, since, t)?;
+                        evictions += 1;
+                        r.up_since = None;
+                    }
+                }
+                None => {
+                    if price <= bid {
+                        r.up_since = Some(t);
+                        deployments += 1;
+                    }
+                }
+            }
+        }
+        // Progress at the fastest live replica that has finished booting
+        // and loading.
+        let best_rate: Option<f64> = replicas
+            .iter()
+            .filter_map(|r| {
+                let since = r.up_since?;
+                let perf = &job.configs[r.config_idx];
+                let ready_at = since + job.t_boot + perf.t_load_first;
+                (t >= ready_at).then_some(1.0 / perf.t_exec)
+            })
+            .max_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        if let Some(rate) = best_rate {
+            w -= rate * step;
+        } else if replicas.iter().all(|r| r.up_since.is_none()) {
+            // Total blackout: without checkpoints all progress is lost.
+            if w < 1.0 {
+                w = 1.0;
+            }
+        }
+        t += step;
+    }
+    // Close out leases.
+    for r in &replicas {
+        if let Some(since) = r.up_since {
+            let perf = &job.configs[r.config_idx];
+            ledger.bill(setup.market, &perf.config, since, t.min(horizon))?;
+        }
+    }
+    let finish_time = t - start;
+    Ok(JobOutcome {
+        cost: ledger.total() + job.offline_cost,
+        online_cost: ledger.total(),
+        finish_time,
+        missed_deadline: w > 1e-9 || finish_time > job.deadline + 1e-6,
+        evictions,
+        deployments,
+        completed: w <= 1e-9,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{PaperJob, ReloadMode};
+    use crate::runner::{derive_eviction_models, run_job};
+    use hourglass_cloud::tracegen;
+    use hourglass_core::strategies::EagerStrategy;
+
+    fn fixture(
+        seed: u64,
+    ) -> (
+        hourglass_cloud::Market,
+        Vec<(InstanceType, hourglass_cloud::EvictionModel)>,
+    ) {
+        let market = tracegen::simulation_market(seed).expect("market");
+        let history = tracegen::history_market(seed).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, seed).expect("models");
+        (market, models)
+    }
+
+    /// Indices of the 16-worker transient configs of each instance type.
+    fn replica_indices(job: &crate::job::JobDescription) -> Vec<usize> {
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for (i, c) in job.configs.iter().enumerate() {
+            if c.config.is_transient()
+                && c.config.num_workers == 16
+                && !seen.contains(&c.config.instance_type)
+            {
+                seen.push(c.config.instance_type);
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn replicated_run_completes() {
+        let (market, models) = fixture(31);
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(100.0, ReloadMode::Fast)
+            .expect("job");
+        let replicas = replica_indices(&job);
+        assert!(replicas.len() >= 2);
+        let out = run_job_replicated(&setup, &job, &replicas[..2], 86_400.0).expect("run");
+        assert!(out.completed);
+        assert!(out.online_cost > 0.0);
+        assert!(out.deployments >= 2);
+    }
+
+    #[test]
+    fn replication_costs_more_than_checkpointing() {
+        // The paper's §3.1 claim, quantified: running 2 replicas costs
+        // roughly twice the single checkpointed deployment on average.
+        let (market, models) = fixture(32);
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::GraphColoring
+            .description(100.0, ReloadMode::Fast)
+            .expect("job");
+        let replicas = replica_indices(&job);
+        let mut repl_cost = 0.0;
+        let mut ckpt_cost = 0.0;
+        for i in 0..6 {
+            let start = 86_400.0 + i as f64 * 3.1 * 86_400.0;
+            repl_cost += run_job_replicated(&setup, &job, &replicas[..2], start)
+                .expect("run")
+                .online_cost;
+            ckpt_cost += run_job(&setup, &job, &EagerStrategy, start)
+                .expect("run")
+                .online_cost;
+        }
+        assert!(
+            repl_cost > 1.4 * ckpt_cost,
+            "replication {repl_cost:.2} should clearly exceed checkpointing {ckpt_cost:.2}"
+        );
+    }
+
+    #[test]
+    fn validates_replica_sets() {
+        let (market, models) = fixture(33);
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        assert!(run_job_replicated(&setup, &job, &[], 0.0).is_err());
+        assert!(run_job_replicated(&setup, &job, &[999], 0.0).is_err());
+        // Two replicas in the same market are pointless (correlated).
+        let same_market: Vec<usize> = job
+            .configs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.config.is_transient()
+                    && c.config.instance_type == InstanceType::R42xlarge
+            })
+            .map(|(i, _)| i)
+            .take(2)
+            .collect();
+        assert!(run_job_replicated(&setup, &job, &same_market, 0.0).is_err());
+        // On-demand configs are not replicas.
+        let od = job
+            .configs
+            .iter()
+            .position(|c| !c.config.is_transient())
+            .expect("has on-demand");
+        assert!(run_job_replicated(&setup, &job, &[od], 0.0).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Plain-text and JSON rendering of experiment results (the figure/table
+//! output of the bench harness).
+
+use crate::experiment::ExperimentSummary;
+use std::fmt::Write as _;
+
+/// Renders a group of summaries as the bar-chart-with-annotations layout
+/// of Figures 1/5/7: one row per strategy with normalized cost and the
+/// missed-deadline percentage.
+pub fn render_bar_table(title: &str, rows: &[ExperimentSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>18} {:>12} {:>12} {:>10}",
+        "strategy", "norm. cost (vs OD)", "missed %", "evictions", "runs"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>18.3} {:>12.1} {:>12.2} {:>10}",
+            r.strategy, r.normalized_cost, r.missed_pct, r.mean_evictions, r.runs
+        );
+    }
+    out
+}
+
+/// Renders a generic numeric series table (Figures 6, 8, 9): one labelled
+/// row per series, one column per x value.
+pub fn render_series_table(
+    title: &str,
+    x_label: &str,
+    xs: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut header = format!("{:<28}", x_label);
+    for x in xs {
+        let _ = write!(header, "{x:>12}");
+    }
+    let _ = writeln!(out, "{header}");
+    for (name, values) in series {
+        let mut row = format!("{name:<28}");
+        for v in values {
+            if v.is_finite() {
+                let formatted = if *v >= 1000.0 {
+                    format!("{v:>12.0}")
+                } else {
+                    format!("{v:>12.3}")
+                };
+                row.push_str(&formatted);
+            } else {
+                let _ = write!(row, "{:>12}", "DNF");
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Serializes summaries as a JSON array (machine-readable experiment
+/// artifacts; EXPERIMENTS.md links to these).
+pub fn to_json(rows: &[ExperimentSummary]) -> String {
+    let items: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "strategy": r.strategy,
+                "job": r.job,
+                "mean_cost": r.mean_cost,
+                "normalized_cost": r.normalized_cost,
+                "missed_pct": r.missed_pct,
+                "mean_evictions": r.mean_evictions,
+                "mean_finish": r.mean_finish,
+                "cost_stddev": r.cost_stddev,
+                "cost_p95": r.cost_p95,
+                "runs": r.runs,
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&items).expect("json of plain numbers cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(name: &str) -> ExperimentSummary {
+        ExperimentSummary {
+            strategy: name.into(),
+            job: "GC".into(),
+            mean_cost: 12.5,
+            normalized_cost: 0.37,
+            missed_pct: 0.0,
+            mean_evictions: 1.5,
+            mean_finish: 18_000.0,
+            cost_stddev: 2.0,
+            cost_p95: 16.0,
+            runs: 100,
+        }
+    }
+
+    #[test]
+    fn bar_table_contains_rows() {
+        let rows = vec![summary("Hourglass"), summary("SpotOn")];
+        let s = render_bar_table("Figure 1", &rows);
+        assert!(s.contains("Figure 1"));
+        assert!(s.contains("Hourglass"));
+        assert!(s.contains("0.370"));
+    }
+
+    #[test]
+    fn series_table_handles_dnf() {
+        let s = render_series_table(
+            "Figure 9",
+            "slack %",
+            &["10".into(), "20".into()],
+            &[("optimal".into(), vec![1234.0, f64::INFINITY])],
+        );
+        assert!(s.contains("1234"));
+        assert!(s.contains("DNF"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let rows = vec![summary("Hourglass")];
+        let j = to_json(&rows);
+        let parsed: serde_json::Value = serde_json::from_str(&j).expect("valid json");
+        assert_eq!(parsed[0]["strategy"], "Hourglass");
+        assert_eq!(parsed[0]["runs"], 100);
+    }
+}

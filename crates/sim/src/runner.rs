@@ -1,0 +1,568 @@
+//! The job execution event loop (§4): decide → (re)deploy → fast-load →
+//! execute → checkpoint → repeat, with evictions driven by the price trace.
+
+use crate::job::JobDescription;
+use crate::{Result, SimError};
+use hourglass_cloud::billing::CostLedger;
+use hourglass_cloud::eviction::{self, EvictionModel};
+use hourglass_cloud::{InstanceType, Market, ResourceClass};
+use hourglass_core::{Candidate, CurrentDeployment, DecisionContext, Strategy};
+
+/// Shared simulation inputs: the replayed market and the historical
+/// eviction statistics strategies are allowed to see.
+pub struct SimulationSetup<'a> {
+    /// The price trace being replayed (the paper's November trace).
+    pub market: &'a Market,
+    /// Eviction models per instance type, derived from the historical
+    /// trace (the paper's October trace).
+    pub eviction_models: &'a [(InstanceType, EvictionModel)],
+    /// Safety cap on simulated events per job.
+    pub max_events: usize,
+    /// Eviction warning lead time in seconds (§9 extension): when the
+    /// provider warns at least `t_save` before reclaiming, the engine
+    /// checkpoints the progress made up to the warning instead of losing
+    /// the whole interval. AWS's real warning is 120 s; 0 disables it.
+    pub eviction_warning: f64,
+    /// Overrides Daly's checkpoint interval with a fixed value (ablation
+    /// hook; `None` = the paper's `√(2·t_save·MTTF)`).
+    pub checkpoint_interval_override: Option<f64>,
+}
+
+impl<'a> SimulationSetup<'a> {
+    /// Creates a setup with the default event cap.
+    pub fn new(
+        market: &'a Market,
+        eviction_models: &'a [(InstanceType, EvictionModel)],
+    ) -> Self {
+        SimulationSetup {
+            market,
+            eviction_models,
+            max_events: 100_000,
+            eviction_warning: 0.0,
+            checkpoint_interval_override: None,
+        }
+    }
+
+    /// Enables the §9 eviction-warning extension with the given lead time.
+    pub fn with_eviction_warning(mut self, seconds: f64) -> Self {
+        self.eviction_warning = seconds;
+        self
+    }
+
+    fn eviction_model(&self, ty: InstanceType) -> Result<&EvictionModel> {
+        self.eviction_models
+            .iter()
+            .find(|(t, _)| *t == ty)
+            .map(|(_, m)| m)
+            .ok_or_else(|| SimError::InvalidParameter(format!("no eviction model for {ty}")))
+    }
+}
+
+/// Builds the per-instance-type eviction models from a historical market,
+/// bidding the on-demand price (§7).
+pub fn derive_eviction_models(
+    history: &Market,
+    window: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<Vec<(InstanceType, EvictionModel)>> {
+    let mut out = Vec::new();
+    for ty in history.instance_types() {
+        let trace = history.trace(ty)?;
+        let model = EvictionModel::from_trace(trace, ty.on_demand_price(), window, samples, seed)?;
+        out.push((ty, model));
+    }
+    Ok(out)
+}
+
+/// The outcome of one simulated job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Total dollars: online billing plus the offline phase.
+    pub cost: f64,
+    /// Online dollars only.
+    pub online_cost: f64,
+    /// Completion time relative to job start, seconds.
+    pub finish_time: f64,
+    /// True when the job finished after its deadline.
+    pub missed_deadline: bool,
+    /// Evictions suffered.
+    pub evictions: usize,
+    /// Deployments acquired (including the first).
+    pub deployments: usize,
+    /// False when the simulation hit the trace horizon before finishing
+    /// (counted as a missed deadline).
+    pub completed: bool,
+}
+
+/// What the job currently holds.
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    /// Index into `job.configs`.
+    idx: usize,
+    /// Absolute acquisition time.
+    acquired: f64,
+}
+
+/// Runs one job to completion over the market trace, starting at absolute
+/// trace time `start`.
+pub fn run_job(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    strategy: &dyn Strategy,
+    start: f64,
+) -> Result<JobOutcome> {
+    if start < 0.0 || start >= setup.market.horizon() {
+        return Err(SimError::InvalidParameter(format!(
+            "start {start} outside market horizon"
+        )));
+    }
+    let horizon = setup.market.horizon();
+    let mut t = start;
+    let mut w = 1.0f64;
+    let mut ledger = CostLedger::new();
+    let mut held: Option<Held> = None;
+    let mut first_load_done = false;
+    let mut evictions = 0usize;
+    let mut deployments = 0usize;
+    let mut events = 0usize;
+    let mut force_lrc = false;
+    let mut last_stuck_pick: Option<usize> = None;
+
+    let outcome = loop {
+        events += 1;
+        if events > setup.max_events {
+            return Err(SimError::RunawayJob { events });
+        }
+        if w <= 1e-9 {
+            let finish_time = t - start;
+            break JobOutcome {
+                cost: ledger.total() + job.offline_cost,
+                online_cost: ledger.total(),
+                finish_time,
+                missed_deadline: finish_time > job.deadline + 1e-6,
+                evictions,
+                deployments,
+                completed: true,
+            };
+        }
+        if t >= horizon {
+            // Ran off the end of the trace: report as incomplete.
+            break JobOutcome {
+                cost: ledger.total() + job.offline_cost,
+                online_cost: ledger.total(),
+                finish_time: t - start,
+                missed_deadline: true,
+                evictions,
+                deployments,
+                completed: false,
+            };
+        }
+
+        // Decision point.
+        let candidates = build_candidates(setup, job, t, first_load_done)?;
+        let ctx = DecisionContext {
+            now: t - start,
+            deadline: job.deadline,
+            work_left: w,
+            t_boot: job.t_boot,
+            candidates: &candidates,
+            current: held.map(|h| CurrentDeployment {
+                index: h.idx,
+                uptime: t - h.acquired,
+            }),
+        };
+        let pick = if force_lrc {
+            force_lrc = false;
+            job.lrc()?
+        } else {
+            strategy.decide(&ctx)?.pick
+        };
+        let perf = &job.configs[pick];
+        let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
+
+        // (Re)deploy if the pick differs from the held deployment.
+        let continuing = matches!(held, Some(h) if h.idx == pick);
+        if !continuing {
+            held = None; // Old deployment released (billed on release below).
+            let mut acquire_at = t;
+            if perf.config.is_transient() {
+                // Spot requests are fulfilled when the market clears at or
+                // below the bid.
+                let trace = setup.market.trace(perf.config.instance_type)?;
+                match trace.next_at_or_below(t, bid) {
+                    Some(ta) if ta <= t + 1e-9 => acquire_at = t,
+                    Some(ta) => {
+                        // Market is in a spike: wait in bounded steps,
+                        // re-deciding each time so deadline-aware
+                        // strategies can bail to the lrc as slack burns.
+                        t = ta.min(t + 300.0);
+                        continue;
+                    }
+                    None => {
+                        // Market never returns within the trace: fall back
+                        // to the last-resort configuration.
+                        t += 60.0;
+                        force_lrc = true;
+                        continue;
+                    }
+                }
+            }
+            deployments += 1;
+            let setup_time = job.t_boot
+                + if first_load_done {
+                    perf.t_load_reload
+                } else {
+                    perf.t_load_first
+                };
+            let setup_end = acquire_at + setup_time;
+            if perf.config.is_transient() {
+                let trace = setup.market.trace(perf.config.instance_type)?;
+                if let Some(te) = trace.next_crossing_above(acquire_at, bid) {
+                    if te < setup_end && te < horizon {
+                        // Evicted while booting/loading: no progress.
+                        bill(&mut ledger, setup, perf, acquire_at, te)?;
+                        evictions += 1;
+                        t = te;
+                        continue;
+                    }
+                }
+            }
+            if setup_end >= horizon {
+                bill(&mut ledger, setup, perf, acquire_at, horizon)?;
+                t = horizon;
+                continue;
+            }
+            bill(&mut ledger, setup, perf, acquire_at, setup_end)?;
+            held = Some(Held {
+                idx: pick,
+                acquired: acquire_at,
+            });
+            first_load_done = true;
+            t = setup_end;
+        }
+
+        // Compute phase.
+        if !perf.config.is_transient() {
+            // On-demand: run to completion (checkpointing disabled), then
+            // store the output.
+            let end = t + w * perf.t_exec + perf.t_save;
+            let end_clamped = end.min(horizon);
+            bill(&mut ledger, setup, perf, t, end_clamped)?;
+            if end > horizon {
+                t = horizon;
+                continue;
+            }
+            t = end;
+            w = 0.0;
+            continue;
+        }
+
+        // Transient: one checkpointed chunk.
+        let h = held.expect("transient compute requires a held deployment");
+        let eviction_model = setup.eviction_model(perf.config.instance_type)?;
+        let t_ckpt = setup.checkpoint_interval_override.unwrap_or_else(|| {
+            hourglass_core::checkpoint::daly_interval(perf.t_save, eviction_model.mttf())
+        });
+        // When the deployment continued, `t` has not moved since the
+        // decision; reuse the candidate set instead of rebuilding.
+        let candidates2 = if continuing {
+            candidates
+        } else {
+            build_candidates(setup, job, t, first_load_done)?
+        };
+        let ctx2 = DecisionContext {
+            now: t - start,
+            deadline: job.deadline,
+            work_left: w,
+            t_boot: job.t_boot,
+            candidates: &candidates2,
+            current: Some(CurrentDeployment {
+                index: h.idx,
+                uptime: t - h.acquired,
+            }),
+        };
+        let mut chunk = (w * perf.t_exec).min(t_ckpt);
+        if let Some(limit) = strategy.chunk_limit(&ctx2, pick) {
+            chunk = chunk.min(limit);
+        }
+        if chunk <= 0.0 {
+            // The strategy's own chunk bound says no safe progress is
+            // possible here; it must pick something else on the next
+            // decision. Guard against livelock on a repeated unsafe pick.
+            if last_stuck_pick == Some(pick) {
+                force_lrc = true;
+            }
+            last_stuck_pick = Some(pick);
+            continue;
+        }
+        last_stuck_pick = None;
+        let interval_end = t + chunk + perf.t_save;
+        let trace = setup.market.trace(perf.config.instance_type)?;
+        let evicted_at = trace
+            .next_crossing_above(t, bid)
+            .filter(|&te| te < interval_end.min(horizon));
+        match evicted_at {
+            Some(te) => {
+                // §9 extension: a warning of at least t_save lets the
+                // engine keep computing and still checkpoint right before
+                // the reclaim, so only the final t_save of the interval's
+                // progress is lost (without a warning the whole interval
+                // is).
+                if setup.eviction_warning >= perf.t_save {
+                    let computed = (te - perf.t_save - t).clamp(0.0, chunk);
+                    w = (w - computed / perf.t_exec).max(0.0);
+                }
+                bill(&mut ledger, setup, perf, t, te)?;
+                evictions += 1;
+                held = None;
+                t = te;
+            }
+            None => {
+                if interval_end >= horizon {
+                    bill(&mut ledger, setup, perf, t, horizon)?;
+                    t = horizon;
+                    continue;
+                }
+                bill(&mut ledger, setup, perf, t, interval_end)?;
+                w = (w - chunk / perf.t_exec).max(0.0);
+                t = interval_end;
+            }
+        }
+    };
+    Ok(outcome)
+}
+
+fn bill(
+    ledger: &mut CostLedger,
+    setup: &SimulationSetup<'_>,
+    perf: &crate::job::ConfigPerf,
+    from: f64,
+    to: f64,
+) -> Result<()> {
+    if to > from {
+        ledger.bill(setup.market, &perf.config, from, to)?;
+    }
+    Ok(())
+}
+
+/// Builds the candidate set a strategy would see at absolute trace time
+/// `t` (exposed for the Figure 9 decision-time experiment and for custom
+/// drivers).
+pub fn build_decision_candidates(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    t: f64,
+    first_load_done: bool,
+) -> Result<Vec<Candidate>> {
+    build_candidates(setup, job, t, first_load_done)
+}
+
+fn build_candidates(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    t: f64,
+    first_load_done: bool,
+) -> Result<Vec<Candidate>> {
+    job.configs
+        .iter()
+        .map(|perf| {
+            let price_rate = match perf.config.class {
+                ResourceClass::OnDemand => perf.config.on_demand_rate(),
+                ResourceClass::Transient => {
+                    // The true market price: during a spike this exceeds
+                    // the on-demand rate, which correctly makes the
+                    // (currently unavailable) market unattractive.
+                    let trace = setup.market.trace(perf.config.instance_type)?;
+                    trace.price_at(t.min(trace.horizon() - 1.0))? * perf.config.num_workers as f64
+                }
+            };
+            let eviction = match perf.config.class {
+                ResourceClass::OnDemand => eviction::reliable(),
+                ResourceClass::Transient => setup
+                    .eviction_model(perf.config.instance_type)?
+                    .clone(),
+            };
+            Ok(Candidate {
+                config: perf.config,
+                t_exec: perf.t_exec,
+                t_load: if first_load_done {
+                    perf.t_load_reload
+                } else {
+                    perf.t_load_first
+                },
+                t_save: perf.t_save,
+                price_rate,
+                eviction,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{PaperJob, ReloadMode};
+    use hourglass_cloud::tracegen;
+    use hourglass_core::strategies::{
+        DeadlineProtected, EagerStrategy, HourglassStrategy, OnDemandStrategy,
+    };
+
+    struct Fixture {
+        market: hourglass_cloud::Market,
+        models: Vec<(InstanceType, EvictionModel)>,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let market = tracegen::simulation_market(seed).expect("market");
+        let history = tracegen::history_market(seed).expect("market");
+        let models =
+            derive_eviction_models(&history, 24.0 * 3600.0, 500, 17).expect("models");
+        Fixture { market, models }
+    }
+
+    #[test]
+    fn on_demand_run_matches_baseline_shape() {
+        let f = fixture(1);
+        let setup = SimulationSetup::new(&f.market, &f.models);
+        let job = PaperJob::PageRank
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let out = run_job(&setup, &job, &OnDemandStrategy, 0.0).expect("run");
+        assert!(out.completed);
+        assert!(!out.missed_deadline);
+        assert_eq!(out.evictions, 0);
+        assert_eq!(out.deployments, 1);
+        // Cost close to the baseline (the run additionally bills boot
+        // time, the baseline does not).
+        let baseline = job.on_demand_baseline_cost().expect("baseline");
+        assert!(
+            out.online_cost >= baseline && out.online_cost < baseline * 1.2,
+            "online {} vs baseline {baseline}",
+            out.online_cost
+        );
+    }
+
+    #[test]
+    fn hourglass_never_misses_across_starts() {
+        let f = fixture(2);
+        let setup = SimulationSetup::new(&f.market, &f.models);
+        let job = PaperJob::GraphColoring
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let horizon = f.market.horizon();
+        let mut starts = Vec::new();
+        let mut s = 0.0;
+        while s < horizon - 3.0 * job.deadline {
+            starts.push(s);
+            s += horizon / 24.0;
+        }
+        for &start in &starts {
+            let out = run_job(&setup, &job, &strategy, start).expect("run");
+            assert!(
+                out.completed && !out.missed_deadline,
+                "Hourglass missed at start {start}: finish {} vs deadline {}",
+                out.finish_time,
+                job.deadline
+            );
+        }
+    }
+
+    #[test]
+    fn hourglass_cheaper_than_on_demand_on_average() {
+        let f = fixture(3);
+        let setup = SimulationSetup::new(&f.market, &f.models);
+        let job = PaperJob::GraphColoring
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let hg = HourglassStrategy::new();
+        let mut hg_total = 0.0;
+        let mut od_total = 0.0;
+        for i in 0..8 {
+            let start = i as f64 * 2.0 * 86_400.0;
+            hg_total += run_job(&setup, &job, &hg, start).expect("run").online_cost;
+            od_total += run_job(&setup, &job, &OnDemandStrategy, start)
+                .expect("run")
+                .online_cost;
+        }
+        assert!(
+            hg_total < 0.8 * od_total,
+            "Hourglass {hg_total:.2} should significantly undercut on-demand {od_total:.2}"
+        );
+    }
+
+    #[test]
+    fn eager_misses_deadlines_sometimes() {
+        let f = fixture(4);
+        let setup = SimulationSetup::new(&f.market, &f.models);
+        // Tight slack makes the eager strategy's obliviousness visible.
+        let job = PaperJob::GraphColoring
+            .description(20.0, ReloadMode::Fast)
+            .expect("job");
+        let mut missed = 0;
+        let mut runs = 0;
+        for i in 0..12 {
+            let start = i as f64 * 2.0 * 86_400.0;
+            if start >= f.market.horizon() - 3.0 * job.deadline {
+                break;
+            }
+            let out = run_job(&setup, &job, &EagerStrategy, start).expect("run");
+            runs += 1;
+            if out.missed_deadline {
+                missed += 1;
+            }
+        }
+        assert!(runs > 5);
+        assert!(
+            missed > 0,
+            "eager should miss at least one deadline out of {runs} tight runs"
+        );
+    }
+
+    #[test]
+    fn dp_wrapper_rescues_eager() {
+        let f = fixture(5);
+        let setup = SimulationSetup::new(&f.market, &f.models);
+        let job = PaperJob::GraphColoring
+            .description(30.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = DeadlineProtected::new(EagerStrategy);
+        for i in 0..10 {
+            let start = i as f64 * 2.3 * 86_400.0;
+            if start >= f.market.horizon() - 3.0 * job.deadline {
+                break;
+            }
+            let out = run_job(&setup, &job, &strategy, start).expect("run");
+            assert!(
+                !out.missed_deadline,
+                "SpotOn+DP missed at start {start}: finish {}",
+                out.finish_time
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_start() {
+        let f = fixture(6);
+        let setup = SimulationSetup::new(&f.market, &f.models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        assert!(run_job(&setup, &job, &OnDemandStrategy, -5.0).is_err());
+        assert!(run_job(&setup, &job, &OnDemandStrategy, 1e12).is_err());
+    }
+
+    #[test]
+    fn costs_are_positive_and_ledger_consistent() {
+        let f = fixture(7);
+        let setup = SimulationSetup::new(&f.market, &f.models);
+        let job = PaperJob::PageRank
+            .description(80.0, ReloadMode::Fast)
+            .expect("job");
+        let out = run_job(&setup, &job, &HourglassStrategy::new(), 86_400.0).expect("run");
+        assert!(out.online_cost > 0.0);
+        assert!(out.cost >= out.online_cost);
+        assert!(out.finish_time > 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: the Hourglass pipeline on a small graph, end to end.
+//!
+//! 1. Generate a social-network-like graph.
+//! 2. Micro-partition it offline (64 micro-partitions, multilevel base).
+//! 3. Cluster the micro-partitions for a 4-worker deployment and run
+//!    PageRank on the BSP engine.
+//! 4. "Get evicted": recluster for an 8-worker deployment — no
+//!    re-partitioning — and verify the results agree.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hourglass::engine::apps::PageRank;
+use hourglass::engine::{BspEngine, EngineConfig};
+use hourglass::graph::generators::{self, RmatParams};
+use hourglass::partition::cluster::cluster_micro_partitions;
+use hourglass::partition::micro::MicroPartitioner;
+use hourglass::partition::multilevel::Multilevel;
+use hourglass::partition::quality::edge_cut_fraction;
+
+fn main() {
+    // 1. A 2^12-vertex R-MAT graph with social-network skew.
+    let graph = generators::rmat(12, 16, RmatParams::SOCIAL, 42).expect("generate graph");
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Offline: micro-partition once.
+    let micro = MicroPartitioner::new(Multilevel::new(), 64)
+        .run(&graph)
+        .expect("micro-partition");
+    println!(
+        "offline: 64 micro-partitions, quotient graph has {} nodes / {} edges",
+        micro.quotient().num_vertices(),
+        micro.quotient().num_edges()
+    );
+
+    // 3. Online: cluster for 4 workers and run PageRank.
+    let c4 = cluster_micro_partitions(&micro, 4, 7).expect("cluster for 4 workers");
+    println!(
+        "4 workers: edge cut {:.1}%",
+        100.0 * edge_cut_fraction(&graph, c4.vertex_partitioning())
+    );
+    let mut engine = BspEngine::new(
+        PageRank::fixed(20),
+        &graph,
+        c4.vertex_partitioning().clone(),
+        EngineConfig::default(),
+    )
+    .expect("engine");
+    let report = engine.run().expect("run PageRank");
+    println!(
+        "PageRank: {} supersteps, {} messages ({:.0}% remote), {:.2}s wall",
+        report.supersteps,
+        report.total_messages,
+        100.0 * report.remote_messages as f64 / report.total_messages.max(1) as f64,
+        report.wall_seconds
+    );
+    let ranks4 = engine.into_values();
+
+    // 4. Fast reload: recluster for 8 workers — the graph is NOT
+    //    re-partitioned, only micro-partition ownership changes.
+    let c8 = cluster_micro_partitions(&micro, 8, 7).expect("cluster for 8 workers");
+    println!(
+        "8 workers after 'eviction': edge cut {:.1}% (no re-partitioning)",
+        100.0 * edge_cut_fraction(&graph, c8.vertex_partitioning())
+    );
+    let mut engine8 = BspEngine::new(
+        PageRank::fixed(20),
+        &graph,
+        c8.vertex_partitioning().clone(),
+        EngineConfig::default(),
+    )
+    .expect("engine");
+    engine8.run().expect("run PageRank on 8 workers");
+    let ranks8 = engine8.into_values();
+
+    let max_diff = ranks4
+        .iter()
+        .zip(&ranks8)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max PageRank difference across deployments: {max_diff:.3e}");
+    assert!(max_diff < 1e-12, "results must be deployment-independent");
+    println!("ok: identical results on both deployments");
+}

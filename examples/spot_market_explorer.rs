@@ -1,0 +1,54 @@
+//! Explore the synthetic spot market: discounts, spikes and eviction
+//! statistics per instance type.
+//!
+//! Run with: `cargo run --release --example spot_market_explorer`
+
+use hourglass::cloud::eviction::EvictionModel;
+use hourglass::cloud::{tracegen, InstanceType};
+
+fn main() {
+    let seed = 2016;
+    let market = tracegen::simulation_market(seed).expect("market");
+    println!("synthetic us-east-1, one month, 1-minute resolution\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "type", "OD $/h", "mean spot", "discount", "MTTF (h)", "P[evict<1h]", "P[evict<6h]"
+    );
+    for ty in InstanceType::ALL {
+        let trace = market.trace(ty).expect("trace");
+        let od = ty.on_demand_price();
+        let model = EvictionModel::from_trace(trace, od, 24.0 * 3600.0, 4000, seed)
+            .expect("eviction model");
+        println!(
+            "{:<14} {:>10.3} {:>12.4} {:>11.0}% {:>12.1} {:>12.3} {:>12.3}",
+            ty.api_name(),
+            od,
+            trace.mean_price(),
+            100.0 * (1.0 - trace.mean_price() / od),
+            model.mttf() / 3600.0,
+            model.cdf(3600.0),
+            model.cdf(6.0 * 3600.0),
+        );
+    }
+
+    // A small ASCII sparkline of two days of r4.8xlarge prices.
+    let trace = market.trace(InstanceType::R48xlarge).expect("trace");
+    let od = InstanceType::R48xlarge.on_demand_price();
+    println!("\nr4.8xlarge, first 48 h ('#' above bid = eviction):");
+    let cols = 96;
+    let window = 48.0 * 3600.0;
+    let mut line = String::new();
+    for c in 0..cols {
+        let t = c as f64 * window / cols as f64;
+        let p = trace.price_at(t).expect("in range");
+        line.push(if p > od {
+            '#'
+        } else if p > 0.5 * od {
+            '+'
+        } else {
+            '.'
+        });
+    }
+    println!("{line}");
+    println!(". = deep discount   + = elevated   # = above on-demand (evicts spot)");
+}

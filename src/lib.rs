@@ -1,0 +1,17 @@
+//! Hourglass — deadline-aware transient-resource provisioning for graph
+//! processing in the cloud.
+//!
+//! This is the facade crate of the workspace: it re-exports every subsystem
+//! so that examples and downstream users can depend on a single crate.
+//!
+//! A faithful reproduction of *"Hourglass: Leveraging Transient Resources
+//! for Time-Constrained Graph Processing in the Cloud"* (EuroSys '19).
+
+#![forbid(unsafe_code)]
+
+pub use hourglass_cloud as cloud;
+pub use hourglass_core as core;
+pub use hourglass_engine as engine;
+pub use hourglass_graph as graph;
+pub use hourglass_partition as partition;
+pub use hourglass_sim as sim;

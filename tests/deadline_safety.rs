@@ -1,0 +1,87 @@
+//! The paper's headline invariant, property-tested: **Hourglass never
+//! misses a deadline**, across randomized markets, job shapes and slacks
+//! (provided the performance model holds — which the simulator enforces
+//! by construction, exactly the paper's §5 caveat).
+
+use hourglass::cloud::tracegen::{generate_market, TraceGenConfig};
+use hourglass::core::strategies::{DeadlineProtected, EagerStrategy, HourglassStrategy};
+use hourglass::sim::job::{PaperJob, ReloadMode};
+use hourglass::sim::runner::{derive_eviction_models, run_job, SimulationSetup};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case builds a full synthetic month, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Hourglass meets the deadline on every sampled start, for arbitrary
+    /// market harshness within the generator's envelope.
+    #[test]
+    fn hourglass_never_misses(
+        market_seed in 0u64..1000,
+        spikes_per_day in 0.3f64..4.0,
+        discount in 0.18f64..0.45,
+        slack_pct in prop::sample::select(vec![15.0, 30.0, 60.0, 90.0]),
+        job in prop::sample::select(vec![PaperJob::PageRank, PaperJob::GraphColoring]),
+    ) {
+        let cfg = TraceGenConfig {
+            seed: market_seed,
+            spikes_per_day,
+            mean_discount: discount,
+            ..TraceGenConfig::default()
+        };
+        let market = generate_market(&cfg).expect("market");
+        let hist = TraceGenConfig {
+            seed: market_seed ^ 0xBEEF,
+            ..cfg
+        };
+        let history = generate_market(&hist).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, market_seed)
+            .expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = job.description(slack_pct, ReloadMode::Fast).expect("job");
+        let strategy = HourglassStrategy::new();
+        // A handful of deterministic starts spread over the month.
+        for i in 0..4 {
+            let start = (i as f64 + 0.37) * 5.5 * 86_400.0;
+            let out = run_job(&setup, &job, &strategy, start).expect("run");
+            prop_assert!(out.completed, "did not complete at start {start}");
+            prop_assert!(
+                !out.missed_deadline,
+                "missed at start {start}: finish {:.0}s vs deadline {:.0}s \
+                 (seed {market_seed}, spikes {spikes_per_day:.1}, slack {slack_pct}%)",
+                out.finish_time,
+                job.deadline
+            );
+        }
+    }
+
+    /// The +DP wrapper inherits the same guarantee for any inner strategy.
+    #[test]
+    fn dp_wrapper_never_misses(
+        market_seed in 0u64..1000,
+        slack_pct in prop::sample::select(vec![20.0, 50.0, 80.0]),
+    ) {
+        let cfg = TraceGenConfig {
+            seed: market_seed,
+            ..TraceGenConfig::default()
+        };
+        let market = generate_market(&cfg).expect("market");
+        let hist = TraceGenConfig {
+            seed: market_seed ^ 0xBEEF,
+            ..cfg
+        };
+        let history = generate_market(&hist).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, market_seed)
+            .expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::GraphColoring
+            .description(slack_pct, ReloadMode::Fast)
+            .expect("job");
+        let strategy = DeadlineProtected::new(EagerStrategy);
+        for i in 0..3 {
+            let start = (i as f64 + 0.61) * 7.3 * 86_400.0;
+            let out = run_job(&setup, &job, &strategy, start).expect("run");
+            prop_assert!(!out.missed_deadline, "DP missed at start {start}");
+        }
+    }
+}

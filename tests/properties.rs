@@ -1,0 +1,161 @@
+//! Property-based tests on the workspace's core invariants.
+
+use hourglass::cloud::eviction::EvictionModel;
+use hourglass::cloud::{tracegen, InstanceType, PriceTrace};
+use hourglass::core::checkpoint::daly_interval;
+use hourglass::graph::generators;
+use hourglass::partition::cluster::cluster_micro_partitions;
+use hourglass::partition::fennel::Fennel;
+use hourglass::partition::hash::{HashPartitioner, RandomPartitioner};
+use hourglass::partition::micro::{quotient_graph, MicroPartitioner};
+use hourglass::partition::multilevel::Multilevel;
+use hourglass::partition::quality::{edge_cut, edge_cut_fraction};
+use hourglass::partition::{Balance, Partitioner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every partitioner assigns every vertex to exactly one in-range
+    /// partition, with an edge-cut fraction in [0, 1].
+    #[test]
+    fn partitioners_produce_total_in_range_assignments(
+        scale in 6u32..9,
+        edge_factor in 4usize..10,
+        k in 2u32..9,
+        seed in 0u64..50,
+    ) {
+        let g = generators::rmat(scale, edge_factor, generators::RmatParams::SOCIAL, seed)
+            .expect("generate");
+        let partitioners: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(HashPartitioner),
+            Box::new(RandomPartitioner { seed }),
+            Box::new(Fennel::new()),
+            Box::new(Multilevel::with_seed(seed)),
+        ];
+        for p in &partitioners {
+            let part = p.partition(&g, k).expect("partition");
+            prop_assert_eq!(part.num_vertices(), g.num_vertices());
+            prop_assert!(part.assignment().iter().all(|&a| a < k));
+            let cut = edge_cut_fraction(&g, &part);
+            prop_assert!((0.0..=1.0).contains(&cut), "{} cut {}", p.name(), cut);
+            prop_assert!(edge_cut(&g, &part) <= g.num_edges() as u64);
+        }
+    }
+
+    /// The quotient graph conserves vertex weight and counts exactly the
+    /// cut arcs; clustering it yields a finer-or-equal cut than random.
+    #[test]
+    fn quotient_graph_conserves_mass(
+        scale in 6u32..9,
+        seed in 0u64..30,
+        m in 8u32..33,
+    ) {
+        let g = generators::rmat(scale, 8, generators::RmatParams::WEB, seed).expect("generate");
+        let micro = HashPartitioner.partition(&g, m).expect("partition");
+        let q = quotient_graph(&g, &micro, Balance::Vertices).expect("quotient");
+        prop_assert_eq!(q.num_vertices(), m as usize);
+        prop_assert_eq!(q.total_vertex_weight(), g.num_vertices() as u64);
+        prop_assert_eq!(q.total_arc_weight(), 2 * edge_cut(&g, &micro));
+    }
+
+    /// Clustering micro-partitions routes every vertex through its micro
+    /// assignment (the parallel-recovery property).
+    #[test]
+    fn clustering_composes_with_micro_assignment(
+        seed in 0u64..20,
+        k in prop::sample::select(vec![2u32, 4, 8, 16]),
+    ) {
+        let g = generators::rmat(8, 8, generators::RmatParams::SOCIAL, seed).expect("generate");
+        let mp = MicroPartitioner::new(Multilevel::with_seed(seed), 16)
+            .run(&g)
+            .expect("micro");
+        let c = cluster_micro_partitions(&mp, k, seed).expect("cluster");
+        for v in 0..g.num_vertices() as u32 {
+            let micro = mp.micro().part_of(v);
+            prop_assert_eq!(
+                c.vertex_partitioning().part_of(v),
+                c.micro_to_macro()[micro as usize]
+            );
+        }
+    }
+
+    /// Eviction CDFs are monotone, bounded and consistent with MTTF.
+    #[test]
+    fn eviction_cdf_is_monotone(seed in 0u64..30) {
+        let cfg = tracegen::TraceGenConfig::default();
+        let trace = tracegen::generate_trace(InstanceType::R44xlarge, &cfg, seed)
+            .expect("trace");
+        let bid = InstanceType::R44xlarge.on_demand_price();
+        let m = EvictionModel::from_trace(&trace, bid, 12.0 * 3600.0, 400, seed)
+            .expect("model");
+        let mut last = 0.0;
+        for i in 0..50 {
+            let u = i as f64 * 1000.0;
+            let c = m.cdf(u);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= last);
+            last = c;
+        }
+        prop_assert!(m.mttf() > 0.0);
+        prop_assert!(m.mttf() <= 12.0 * 3600.0 + 1.0);
+    }
+
+    /// Price traces bill exactly the price integral: splitting an interval
+    /// anywhere never changes the total.
+    #[test]
+    fn billing_is_additive(
+        seed in 0u64..30,
+        a in 0.0f64..100_000.0,
+        len in 100.0f64..50_000.0,
+        frac in 0.01f64..0.99,
+    ) {
+        let cfg = tracegen::TraceGenConfig { days: 3.0, ..Default::default() };
+        let trace = tracegen::generate_trace(InstanceType::R42xlarge, &cfg, seed)
+            .expect("trace");
+        let b = (a + len).min(trace.horizon());
+        let a = a.min(b);
+        let mid = a + (b - a) * frac;
+        let whole = trace.cost_between(a, b).expect("cost");
+        let split = trace.cost_between(a, mid).expect("cost")
+            + trace.cost_between(mid, b).expect("cost");
+        prop_assert!((whole - split).abs() < 1e-9);
+        prop_assert!(whole >= 0.0);
+    }
+
+    /// Daly's interval is monotone in both arguments and bounded below by
+    /// the save time.
+    #[test]
+    fn daly_interval_properties(
+        t_save in 1.0f64..1000.0,
+        mttf in 10.0f64..1e6,
+    ) {
+        let t = daly_interval(t_save, mttf);
+        prop_assert!(t >= t_save);
+        prop_assert!(t >= daly_interval(t_save, mttf / 2.0) || mttf < 2.0 * t_save);
+        prop_assert!(daly_interval(t_save * 2.0, mttf) >= t);
+    }
+
+    /// Crossing searches on synthetic traces are consistent with point
+    /// lookups: the price strictly exceeds the threshold at the crossing.
+    #[test]
+    fn crossing_search_is_sound(seed in 0u64..20, threshold in 0.1f64..3.0) {
+        let prices: Vec<f64> = (0..200)
+            .map(|i| ((i as f64 * 0.7 + seed as f64).sin() + 1.2).abs())
+            .collect();
+        let trace = PriceTrace::new(60.0, prices).expect("trace");
+        if let Some(t) = trace.next_crossing_above(0.0, threshold) {
+            prop_assert!(trace.price_at(t).expect("in range") > threshold);
+            // No earlier sample crosses.
+            let mut s = 0.0;
+            while s < t {
+                prop_assert!(trace.price_at(s).expect("in range") <= threshold);
+                s += 60.0;
+            }
+        } else {
+            for i in 0..200 {
+                prop_assert!(trace.price_at(i as f64 * 60.0).expect("in range") <= threshold);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration: market generation → eviction statistics → provisioning
+//! strategies → trace-driven simulation, asserting the paper's headline
+//! claims at small scale.
+
+use hourglass::cloud::tracegen;
+use hourglass::core::strategies::{
+    DeadlineProtected, EagerStrategy, HourglassStrategy, OnDemandStrategy, ProteusStrategy,
+};
+
+use hourglass::sim::job::{PaperJob, ReloadMode};
+use hourglass::sim::runner::{derive_eviction_models, run_job, SimulationSetup};
+use hourglass::sim::Experiment;
+
+struct World {
+    market: hourglass::cloud::Market,
+    models: Vec<(hourglass::cloud::InstanceType, hourglass::cloud::EvictionModel)>,
+}
+
+fn world(seed: u64) -> World {
+    let market = tracegen::simulation_market(seed).expect("market");
+    let history = tracegen::history_market(seed).expect("market");
+    let models = derive_eviction_models(&history, 24.0 * 3600.0, 600, seed).expect("models");
+    World { market, models }
+}
+
+#[test]
+fn headline_claim_hourglass_saves_without_missing() {
+    let w = world(101);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    let job = PaperJob::GraphColoring
+        .description(50.0, ReloadMode::Fast)
+        .expect("job");
+    let summary = Experiment::new(40, 9)
+        .run(&setup, &job, &HourglassStrategy::new())
+        .expect("experiment");
+    assert_eq!(summary.missed_pct, 0.0, "Hourglass must never miss");
+    assert!(
+        summary.savings_pct() > 30.0,
+        "expected substantial savings, got {:.1}%",
+        summary.savings_pct()
+    );
+}
+
+#[test]
+fn dp_variants_never_miss_but_save_less_at_tight_slack() {
+    let w = world(102);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    let job = PaperJob::GraphColoring
+        .description(20.0, ReloadMode::Fast)
+        .expect("job");
+    let e = Experiment::new(30, 4);
+    let hourglass = e
+        .run(&setup, &job, &HourglassStrategy::new())
+        .expect("experiment");
+    let spoton_dp = e
+        .run(&setup, &job, &DeadlineProtected::new(EagerStrategy))
+        .expect("experiment");
+    assert_eq!(hourglass.missed_pct, 0.0);
+    assert_eq!(spoton_dp.missed_pct, 0.0, "+DP protects deadlines");
+    assert!(
+        hourglass.normalized_cost <= spoton_dp.normalized_cost + 0.05,
+        "Hourglass ({:.3}) should be at least as cheap as SpotOn+DP ({:.3}) at tight slack",
+        hourglass.normalized_cost,
+        spoton_dp.normalized_cost
+    );
+}
+
+#[test]
+fn oblivious_strategies_miss_deadlines_on_long_jobs() {
+    let w = world(103);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    let job = PaperJob::GraphColoring
+        .description(30.0, ReloadMode::Fast)
+        .expect("job");
+    let e = Experiment::new(30, 5);
+    let eager = e.run(&setup, &job, &EagerStrategy).expect("experiment");
+    let proteus = e.run(&setup, &job, &ProteusStrategy).expect("experiment");
+    assert!(
+        eager.missed_pct + proteus.missed_pct > 0.0,
+        "greedy strategies should miss at least some deadlines on GC \
+         (eager {:.0}%, proteus {:.0}%)",
+        eager.missed_pct,
+        proteus.missed_pct
+    );
+}
+
+#[test]
+fn on_demand_normalizes_to_about_one() {
+    let w = world(104);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    for kind in PaperJob::ALL {
+        let job = kind.description(50.0, ReloadMode::Fast).expect("job");
+        let s = Experiment::new(10, 6)
+            .run(&setup, &job, &OnDemandStrategy)
+            .expect("experiment");
+        assert!(
+            (0.9..1.4).contains(&s.normalized_cost),
+            "{}: normalized on-demand cost {:.3}",
+            kind.name(),
+            s.normalized_cost
+        );
+        assert_eq!(s.missed_pct, 0.0);
+    }
+}
+
+#[test]
+fn fast_reload_beats_repartition_reload_under_churn() {
+    let w = world(105);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    let fast = PaperJob::GraphColoring
+        .description(60.0, ReloadMode::Fast)
+        .expect("job");
+    let slow = PaperJob::GraphColoring
+        .description(
+            60.0,
+            ReloadMode::Repartition {
+                partition_seconds: 900.0,
+            },
+        )
+        .expect("job");
+    let e = Experiment::new(30, 8);
+    let s_fast = e
+        .run(&setup, &fast, &HourglassStrategy::new())
+        .expect("experiment");
+    let s_slow = e
+        .run(&setup, &slow, &HourglassStrategy::new())
+        .expect("experiment");
+    assert!(
+        s_fast.normalized_cost < s_slow.normalized_cost,
+        "fast reload {:.3} must beat repartition reload {:.3}",
+        s_fast.normalized_cost,
+        s_slow.normalized_cost
+    );
+}
+
+#[test]
+fn single_run_is_deterministic() {
+    let w = world(106);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    let job = PaperJob::PageRank
+        .description(40.0, ReloadMode::Fast)
+        .expect("job");
+    let s = HourglassStrategy::new();
+    let a = run_job(&setup, &job, &s, 123_456.0).expect("run");
+    let b = run_job(&setup, &job, &s, 123_456.0).expect("run");
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.finish_time, b.finish_time);
+    assert_eq!(a.evictions, b.evictions);
+}
