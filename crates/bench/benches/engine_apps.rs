@@ -75,5 +75,37 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_apps, bench_worker_scaling);
+/// Threaded vs sequential execution of the same 8-worker partitioning.
+///
+/// Both modes run the identical worker-major zero-copy superstep loop —
+/// the sequential mode simply executes the worker closures in order — so
+/// this isolates thread fork/join overhead from the engine's data-path
+/// cost. On a single-vCPU host the sequential mode is the meaningful
+/// number; on real multicore hardware the parallel mode should win.
+fn bench_exec_mode(c: &mut Criterion) {
+    let g = generators::rmat(12, 12, RmatParams::SOCIAL, 5).expect("generate");
+    let part = HashPartitioner.partition(&g, 8).expect("partition");
+    let mut group = c.benchmark_group("pagerank_8w_exec_mode");
+    group.sample_size(10);
+    for (label, parallel) in [("parallel", true), ("sequential", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &part, |b, part| {
+            b.iter(|| {
+                let mut e = BspEngine::new(
+                    PageRank::fixed(10),
+                    &g,
+                    part.clone(),
+                    EngineConfig {
+                        parallel,
+                        ..EngineConfig::default()
+                    },
+                )
+                .expect("engine");
+                e.run().expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_worker_scaling, bench_exec_mode);
 criterion_main!(benches);

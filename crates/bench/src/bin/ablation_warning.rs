@@ -42,7 +42,10 @@ fn main() {
                 "Ablation (§9): eviction warning lead time (GC, 40% slack; t_save ≈ {t_save:.0} s)"
             ),
             "warning (s)",
-            &warnings.iter().map(|w| format!("{w:.0}")).collect::<Vec<_>>(),
+            &warnings
+                .iter()
+                .map(|w| format!("{w:.0}"))
+                .collect::<Vec<_>>(),
             &[
                 ("normalized cost".into(), cost_row),
                 ("missed %".into(), missed_row),

@@ -92,8 +92,8 @@ fn main() {
             let mp = MicroPartitioner::new(HashPartitioner, 64)
                 .run(&g)
                 .expect("micro partitioning");
-            let store = EdgeListStore::micro_from_graph(&g, mp.micro())
-                .expect("micro store construction");
+            let store =
+                EdgeListStore::micro_from_graph(&g, mp.micro()).expect("micro store construction");
             for &k in &MACHINES {
                 let part = HashPartitioner.partition(&g, k).expect("hash partitioning");
                 let t0 = Instant::now();
@@ -103,8 +103,7 @@ fn main() {
                 let (_, hstats) = hash_load(&flat, &part);
                 hash_row.push(t0.elapsed().as_secs_f64());
                 shuffle_row.push(hstats.arcs_exchanged as f64);
-                let clustering =
-                    cluster_micro_partitions(&mp, k, cli.seed).expect("clustering");
+                let clustering = cluster_micro_partitions(&mp, k, cli.seed).expect("clustering");
                 let t0 = Instant::now();
                 let (workers, mstats) =
                     micro_load(&store, mp.micro(), clustering.micro_to_macro(), k)

@@ -58,10 +58,8 @@ fn main() {
                 base_row.push(100.0 * edge_cut_fraction(&g, &direct));
                 // Online clustering of the 64 micro-partitions (at k=64 the
                 // clustering is the identity).
-                let clustered = cluster_micro_partitions(&mp, k, cli.seed)
-                    .expect("clustering");
-                micro_row
-                    .push(100.0 * edge_cut_fraction(&g, clustered.vertex_partitioning()));
+                let clustered = cluster_micro_partitions(&mp, k, cli.seed).expect("clustering");
+                micro_row.push(100.0 * edge_cut_fraction(&g, clustered.vertex_partitioning()));
                 random_row.push(100.0 * random_cut_fraction(k));
                 json.push(serde_json::json!({
                     "base": base_name,

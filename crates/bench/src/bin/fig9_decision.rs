@@ -42,10 +42,9 @@ fn main() {
             let job = PaperJob::description(&job_kind, slack, ReloadMode::Fast)
                 .expect("job construction");
             // Decision at job start, t = 1 h into the trace.
-            let candidates = hourglass_sim::runner::build_decision_candidates(
-                &setup, &job, 3600.0, false,
-            )
-            .expect("candidate construction");
+            let candidates =
+                hourglass_sim::runner::build_decision_candidates(&setup, &job, 3600.0, false)
+                    .expect("candidate construction");
             let ctx = DecisionContext {
                 now: 0.0,
                 deadline: job.deadline,
@@ -56,8 +55,7 @@ fn main() {
             };
 
             let t0 = Instant::now();
-            let approx =
-                expected_cost_approx(&ctx, &EcParams::default()).expect("approx EC");
+            let approx = expected_cost_approx(&ctx, &EcParams::default()).expect("approx EC");
             approx_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
 
             let t0 = Instant::now();

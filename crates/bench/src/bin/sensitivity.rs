@@ -57,7 +57,10 @@ fn main() {
         render_series_table(
             "Sensitivity: spike rate (GC, 50% slack, Hourglass)",
             "spikes/day",
-            &spike_rates.iter().map(|r| format!("{r}")).collect::<Vec<_>>(),
+            &spike_rates
+                .iter()
+                .map(|r| format!("{r}"))
+                .collect::<Vec<_>>(),
             &[
                 ("normalized cost".into(), cost_row),
                 ("missed %".into(), missed_row),

@@ -59,9 +59,7 @@ impl Cli {
                     );
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "usage: <bin> [--seed N] [--runs N] [--quick] [--json PATH]"
-                    );
+                    eprintln!("usage: <bin> [--seed N] [--runs N] [--quick] [--json PATH]");
                     std::process::exit(0);
                 }
                 other => die(&format!("unknown argument {other:?}")),

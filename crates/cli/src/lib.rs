@@ -28,9 +28,7 @@ use hourglass_core::strategies::{
     DeadlineProtected, EagerStrategy, HourglassStrategy, OnDemandStrategy, ProteusStrategy,
 };
 use hourglass_core::{DecisionContext, Strategy};
-use hourglass_engine::apps::{
-    color_count, coloring_is_proper, GraphColoring, PageRank, Sssp, Wcc,
-};
+use hourglass_engine::apps::{color_count, coloring_is_proper, GraphColoring, PageRank, Sssp, Wcc};
 use hourglass_engine::{BspEngine, EngineConfig};
 use hourglass_graph::Graph;
 use hourglass_partition::fennel::Fennel;
@@ -389,8 +387,7 @@ fn cmd_run(opts: &Options) -> Result<String> {
             let mut e = BspEngine::new(PageRank::fixed(iterations), &g, p, EngineConfig::default())
                 .map_err(|e| err(e.to_string()))?;
             let r = e.run().map_err(|e| err(e.to_string()))?;
-            let mut top: Vec<(usize, f64)> =
-                e.values().iter().copied().enumerate().collect();
+            let mut top: Vec<(usize, f64)> = e.values().iter().copied().enumerate().collect();
             top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ranks"));
             let _ = writeln!(out, "top-5 ranked vertices:");
             for (v, rank) in top.into_iter().take(5) {
@@ -412,15 +409,15 @@ fn cmd_run(opts: &Options) -> Result<String> {
             r
         }
         "coloring" => {
-            let mut e =
-                BspEngine::new(GraphColoring::default(), &g, p, EngineConfig::default())
-                    .map_err(|e| err(e.to_string()))?;
+            let mut e = BspEngine::new(GraphColoring::default(), &g, p, EngineConfig::default())
+                .map_err(|e| err(e.to_string()))?;
             let r = e.run().map_err(|e| err(e.to_string()))?;
-            let proper = coloring_is_proper(&g, e.values());
+            let colors = e.values();
+            let proper = coloring_is_proper(&g, &colors);
             let _ = writeln!(
                 out,
                 "colors used: {} (proper: {proper})",
-                color_count(e.values())
+                color_count(&colors)
             );
             r
         }
@@ -428,7 +425,7 @@ fn cmd_run(opts: &Options) -> Result<String> {
             let mut e = BspEngine::new(Wcc, &g, p, EngineConfig::default())
                 .map_err(|e| err(e.to_string()))?;
             let r = e.run().map_err(|e| err(e.to_string()))?;
-            let mut labels: Vec<u32> = e.values().to_vec();
+            let mut labels: Vec<u32> = e.values();
             labels.sort_unstable();
             labels.dedup();
             let _ = writeln!(out, "connected components: {}", labels.len());
@@ -444,13 +441,21 @@ fn cmd_run(opts: &Options) -> Result<String> {
         100.0 * report.remote_messages as f64 / report.total_messages.max(1) as f64,
         report.wall_seconds
     );
+    // The compute critical path (slowest worker per superstep, summed) is
+    // the measured quantity that calibrates t_exec in the provisioning
+    // cost model (`hourglass-sim`'s `build_configs_with_scaling`).
+    let _ = writeln!(
+        out,
+        "  t_exec calibration: {:.3}s compute critical path ({:.3}s aggregate worker CPU)",
+        report.metrics.critical_path_seconds(),
+        report.metrics.total_worker_seconds()
+    );
     Ok(out)
 }
 
 fn load_graph(path: &str) -> Result<Graph> {
     if path.ends_with(".hgg") || path.ends_with(".bin") {
-        let file =
-            std::fs::File::open(path).map_err(|e| err(format!("open {path}: {e}")))?;
+        let file = std::fs::File::open(path).map_err(|e| err(format!("open {path}: {e}")))?;
         hourglass_graph::io_binary::read_binary(std::io::BufReader::new(file))
             .map_err(|e| err(e.to_string()))
     } else {
@@ -504,13 +509,8 @@ mod tests {
         ])
         .expect("generate");
         assert!(msg.contains("wrote"));
-        let stats = dispatch(&[
-            "market".into(),
-            "stats".into(),
-            "--market".into(),
-            path_s,
-        ])
-        .expect("stats");
+        let stats =
+            dispatch(&["market".into(), "stats".into(), "--market".into(), path_s]).expect("stats");
         assert!(stats.contains("r4.8xlarge"));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -529,8 +529,7 @@ mod tests {
 
     #[test]
     fn explain_smoke() {
-        let out = dispatch(&args("explain --job gc --slack 50 --at 12 --seed 5"))
-            .expect("explain");
+        let out = dispatch(&args("explain --job gc --slack 50 --at 12 --seed 5")).expect("explain");
         assert!(out.contains("slack"));
         assert!(out.contains("r4.8xlarge"));
         assert!(dispatch(&args("explain --job gc --work 2.0")).is_err());
@@ -566,10 +565,7 @@ mod tests {
         assert!(out.contains("top-5"));
 
         assert!(dispatch(&args("partition --input /nonexistent --parts 2")).is_err());
-        assert!(dispatch(&args(&format!(
-            "run --input {edges_s} --app nope"
-        )))
-        .is_err());
+        assert!(dispatch(&args(&format!("run --input {edges_s} --app nope"))).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -107,12 +107,7 @@ mod tests {
     fn flat_market(price: f64) -> Market {
         let traces = InstanceType::ALL
             .iter()
-            .map(|&ty| {
-                (
-                    ty,
-                    PriceTrace::new(60.0, vec![price; 60]).expect("valid"),
-                )
-            })
+            .map(|&ty| (ty, PriceTrace::new(60.0, vec![price; 60]).expect("valid")))
             .collect();
         Market::new(traces).expect("valid")
     }

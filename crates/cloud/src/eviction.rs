@@ -90,7 +90,11 @@ impl EvictionModel {
     /// assert_eq!(m.cdf(20.0), 0.25);
     /// assert_eq!(m.survival_rate(), 0.5);
     /// ```
-    pub fn from_samples(mut eviction_times: Vec<f64>, total_samples: usize, window: f64) -> Result<Self> {
+    pub fn from_samples(
+        mut eviction_times: Vec<f64>,
+        total_samples: usize,
+        window: f64,
+    ) -> Result<Self> {
         if total_samples == 0 || eviction_times.len() > total_samples {
             return Err(CloudError::InvalidParameter(
                 "total_samples must cover all evictions".into(),
@@ -128,9 +132,7 @@ impl EvictionModel {
             return 0.0;
         }
         // Number of eviction samples <= uptime via binary search.
-        let idx = self
-            .eviction_times
-            .partition_point(|&t| t <= uptime);
+        let idx = self.eviction_times.partition_point(|&t| t <= uptime);
         idx as f64 / self.total_samples as f64
     }
 

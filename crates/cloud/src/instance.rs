@@ -100,9 +100,15 @@ mod tests {
 
     #[test]
     fn prices_double_with_size() {
-        let prices: Vec<f64> = InstanceType::ALL.iter().map(|t| t.on_demand_price()).collect();
+        let prices: Vec<f64> = InstanceType::ALL
+            .iter()
+            .map(|t| t.on_demand_price())
+            .collect();
         for w in prices.windows(2) {
-            assert!((w[1] / w[0] - 2.0).abs() < 1e-9, "r4 prices double per size");
+            assert!(
+                (w[1] / w[0] - 2.0).abs() < 1e-9,
+                "r4 prices double per size"
+            );
         }
     }
 

@@ -122,8 +122,8 @@ mod tests {
 
     #[test]
     fn generated_markets_have_high_availability() {
-        let t = generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 3)
-            .expect("gen");
+        let t =
+            generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 3).expect("gen");
         let bid = InstanceType::R48xlarge.on_demand_price();
         let s = market_stats(&t, bid).expect("stats");
         assert!(

@@ -295,7 +295,8 @@ mod persistence_tests {
     fn market_file_roundtrip() {
         let t = PriceTrace::new(30.0, vec![1.0, 2.0]).expect("valid");
         let m = Market::new(vec![(InstanceType::R4Xlarge, t)]).expect("valid");
-        let path = std::env::temp_dir().join(format!("hourglass-market-{}.json", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("hourglass-market-{}.json", std::process::id()));
         m.save(&path).expect("save");
         let restored = Market::load(&path).expect("load");
         assert_eq!(restored.horizon(), m.horizon());

@@ -187,26 +187,26 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 7)
-            .expect("gen");
-        let b = generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 7)
-            .expect("gen");
+        let a =
+            generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 7).expect("gen");
+        let b =
+            generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 7).expect("gen");
         assert_eq!(a.samples(), b.samples());
     }
 
     #[test]
     fn discount_in_expected_band() {
         // Popular mid size: shallow discount.
-        let t = generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 1)
-            .expect("gen");
+        let t =
+            generate_trace(InstanceType::R42xlarge, &TraceGenConfig::default(), 1).expect("gen");
         let mid = t.mean_price() / InstanceType::R42xlarge.on_demand_price();
         assert!(
             (0.45..0.75).contains(&mid),
             "r4.2xlarge mean discount {mid:.3} outside band"
         );
         // Thin big-machine market: deep discount (with spike lift).
-        let t = generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 1)
-            .expect("gen");
+        let t =
+            generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 1).expect("gen");
         let big = t.mean_price() / InstanceType::R48xlarge.on_demand_price();
         assert!(
             (0.15..0.45).contains(&big),
@@ -217,8 +217,8 @@ mod tests {
 
     #[test]
     fn spikes_cross_on_demand() {
-        let t = generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 2)
-            .expect("gen");
+        let t =
+            generate_trace(InstanceType::R48xlarge, &TraceGenConfig::default(), 2).expect("gen");
         let od = InstanceType::R48xlarge.on_demand_price();
         let above = t.samples().iter().filter(|&&p| p > od).count();
         assert!(above > 0, "a month of r4.8xlarge must contain evictions");
@@ -237,7 +237,10 @@ mod tests {
         // Average over a few seeds to dodge run-to-run noise.
         let small: usize = (0..4).map(|s| count(InstanceType::R42xlarge, s)).sum();
         let big: usize = (0..4).map(|s| count(InstanceType::R48xlarge, s)).sum();
-        assert!(big > small, "8xlarge ({big}) should spike more than 2xlarge ({small})");
+        assert!(
+            big > small,
+            "8xlarge ({big}) should spike more than 2xlarge ({small})"
+        );
     }
 
     #[test]

@@ -381,8 +381,8 @@ fn exact_cost_of(
     // Failure integral: eviction at each instant x of the wall interval.
     let mut x = dx.min(wall);
     loop {
-        let p = (c.eviction.cdf(u0 + x) - c.eviction.cdf(u0 + (x - dx).max(0.0))).max(0.0)
-            / (1.0 - f0);
+        let p =
+            (c.eviction.cdf(u0 + x) - c.eviction.cdf(u0 + (x - dx).max(0.0))).max(0.0) / (1.0 - f0);
         if p > 0.0 {
             let next = ctx.at(ctx.now + x, ctx.work_left, None);
             let follow = exact_ec_all(&next, dx, deadline)?;

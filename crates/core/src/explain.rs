@@ -65,7 +65,11 @@ impl fmt::Display for DecisionReport {
             "#", "deployment", "$/h", "useful", "t_ckpt", "p_evict", "EC($)"
         )?;
         for c in &self.candidates {
-            let marker = if Some(c.index) == self.chosen { "*" } else { " " };
+            let marker = if Some(c.index) == self.chosen {
+                "*"
+            } else {
+                " "
+            };
             let ec = if c.expected_cost.is_finite() {
                 format!("{:.2}", c.expected_cost)
             } else {

@@ -203,21 +203,19 @@ pub(crate) mod testkit {
     /// spread on `[0, 2·mttf]`.
     pub fn uniform_eviction(mttf: f64) -> EvictionModel {
         let n = 100;
-        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) * 2.0 * mttf / n as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (i as f64 + 0.5) * 2.0 * mttf / n as f64)
+            .collect();
         EvictionModel::from_samples(samples, n, 2.0 * mttf).expect("valid")
     }
 
     /// A candidate set mirroring the paper's setup: a fast on-demand lrc,
     /// a slower cheap on-demand and two transient options.
     pub fn candidates() -> Vec<Candidate> {
-        let lrc_cfg =
-            DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::OnDemand);
-        let slow_od =
-            DeploymentConfig::new(InstanceType::R42xlarge, 4, ResourceClass::OnDemand);
-        let spot_fast =
-            DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::Transient);
-        let spot_slow =
-            DeploymentConfig::new(InstanceType::R42xlarge, 4, ResourceClass::Transient);
+        let lrc_cfg = DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::OnDemand);
+        let slow_od = DeploymentConfig::new(InstanceType::R42xlarge, 4, ResourceClass::OnDemand);
+        let spot_fast = DeploymentConfig::new(InstanceType::R48xlarge, 4, ResourceClass::Transient);
+        let spot_slow = DeploymentConfig::new(InstanceType::R42xlarge, 4, ResourceClass::Transient);
         vec![
             Candidate {
                 config: lrc_cfg,

@@ -447,10 +447,7 @@ mod tests {
             .decide(&ctx)
             .expect("decide");
         assert_eq!(d.pick, 0, "DP must force the lrc");
-        assert_eq!(
-            DeadlineProtected::new(EagerStrategy).name(),
-            "SpotOn+DP"
-        );
+        assert_eq!(DeadlineProtected::new(EagerStrategy).name(), "SpotOn+DP");
     }
 
     #[test]

@@ -126,8 +126,7 @@ impl CheckpointStore for DirStore {
         let entries = std::fs::read_dir(&self.root)
             .map_err(|e| EngineError::Checkpoint(format!("list {:?}: {e}", self.root)))?;
         for entry in entries {
-            let entry =
-                entry.map_err(|e| EngineError::Checkpoint(format!("list entry: {e}")))?;
+            let entry = entry.map_err(|e| EngineError::Checkpoint(format!("list entry: {e}")))?;
             if let Some(name) = entry.file_name().to_str() {
                 if !name.ends_with(".tmp") {
                     keys.push(name.to_string());

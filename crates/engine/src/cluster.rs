@@ -31,14 +31,21 @@ use std::time::Instant;
 
 /// Messages from the master to a worker.
 enum Control {
-    Start { superstep: usize, aggregates: Aggregates },
+    Start {
+        superstep: usize,
+        aggregates: Aggregates,
+    },
     Finish,
 }
 
-/// One superstep's batch of vertex messages from one worker to another.
+/// One superstep's batch of vertex messages from one worker to another;
+/// entries are addressed by destination slot, resolved at send time.
 struct Batch<M> {
-    messages: Vec<(VertexId, M)>,
+    messages: Vec<(u32, M)>,
 }
+
+/// A sender/receiver pair for one destination worker's batch channel.
+type BatchChannel<M> = (Sender<Batch<M>>, Receiver<Batch<M>>);
 
 /// Per-superstep report from a worker to the master.
 struct WorkerDone {
@@ -47,6 +54,7 @@ struct WorkerDone {
     remote: u64,
     any_alive: bool,
     aggregates: Aggregates,
+    compute_seconds: f64,
 }
 
 /// Runs `program` on `graph`/`partitioning` with one OS thread per worker,
@@ -81,8 +89,7 @@ pub fn run_cluster<P: VertexProgram>(
     let mut batch_txs: Vec<Vec<Sender<Batch<P::Message>>>> = Vec::with_capacity(w);
     let mut batch_rxs: Vec<Receiver<Batch<P::Message>>> = Vec::with_capacity(w);
     {
-        let mut per_dest: Vec<(Sender<Batch<P::Message>>, Receiver<Batch<P::Message>>)> =
-            (0..w).map(|_| unbounded()).collect();
+        let mut per_dest: Vec<BatchChannel<P::Message>> = (0..w).map(|_| unbounded()).collect();
         // batch_txs[src][dst] clones the dst channel's sender.
         for _src in 0..w {
             let row: Vec<Sender<Batch<P::Message>>> =
@@ -94,14 +101,9 @@ pub fn run_cluster<P: VertexProgram>(
         }
     }
 
-    // Vertex → (worker, slot) index for message routing.
-    let mut slot_of = vec![0u32; graph.num_vertices()];
-    for ws in &members {
-        for (slot, &v) in ws.iter().enumerate() {
-            slot_of[v as usize] = slot as u32;
-        }
-    }
-    let slot_of = &slot_of;
+    // Packed vertex → (worker, slot) routing table for message routing.
+    let route = crate::program::build_routes(graph.num_vertices(), &members);
+    let route = &route;
 
     let mut metrics = RunMetrics::default();
     let mut final_values: Vec<Option<Vec<P::Value>>> = (0..w).map(|_| None).collect();
@@ -121,8 +123,7 @@ pub fn run_cluster<P: VertexProgram>(
                     ws,
                     program,
                     graph,
-                    partitioning,
-                    slot_of,
+                    route,
                     control_rx,
                     done_tx,
                     my_batch_rx,
@@ -148,6 +149,8 @@ pub fn run_cluster<P: VertexProgram>(
             let mut remote = 0u64;
             let mut any_alive = false;
             let mut next_aggregates = Aggregates::new();
+            let mut max_worker_seconds = 0.0f64;
+            let mut total_worker_seconds = 0.0f64;
             for _ in 0..w {
                 let done = done_rx
                     .recv()
@@ -156,6 +159,8 @@ pub fn run_cluster<P: VertexProgram>(
                 sent += done.sent;
                 remote += done.remote;
                 any_alive |= done.any_alive;
+                max_worker_seconds = max_worker_seconds.max(done.compute_seconds);
+                total_worker_seconds += done.compute_seconds;
                 next_aggregates.merge(&done.aggregates);
             }
             metrics.push(SuperstepMetrics {
@@ -163,6 +168,8 @@ pub fn run_cluster<P: VertexProgram>(
                 active_vertices: active,
                 messages: sent,
                 remote_messages: remote,
+                max_worker_seconds,
+                total_worker_seconds,
             });
             aggregates = next_aggregates;
             superstep += 1;
@@ -218,8 +225,7 @@ fn worker_main<P: VertexProgram>(
     my_vertices: &[VertexId],
     program: &P,
     graph: &Graph,
-    partitioning: &Partitioning,
-    slot_of: &[u32],
+    route: &[u64],
     control_rx: Receiver<Control>,
     done_tx: Sender<WorkerDone>,
     batch_rx: Receiver<Batch<P::Message>>,
@@ -233,108 +239,105 @@ fn worker_main<P: VertexProgram>(
     let mut halted = vec![false; my_vertices.len()];
     let mut inbox: Vec<Vec<P::Message>> = (0..my_vertices.len()).map(|_| Vec::new()).collect();
 
-    loop {
-        match control_rx.recv() {
-            Ok(Control::Start {
-                superstep,
-                aggregates,
-            }) => {
-                // Compute phase: accumulate per-destination batches with
-                // sender-side combining (messages to the same target vertex
-                // fold eagerly when the program provides a combiner).
-                let mut out_batches: Vec<Vec<(VertexId, P::Message)>> =
-                    (0..w).map(|_| Vec::new()).collect();
-                let mut next_aggregates = Aggregates::new();
-                let mut active = 0u64;
-                let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
-                for (slot, &v) in my_vertices.iter().enumerate() {
-                    let has_messages = !inbox[slot].is_empty();
-                    if halted[slot] && !has_messages {
-                        continue;
-                    }
-                    halted[slot] = false;
-                    active += 1;
-                    let mut ctx = ComputeContext {
-                        vertex: v,
-                        superstep,
-                        graph,
-                        prev_aggregates: &aggregates,
-                        value: &mut values[slot],
-                        halted: &mut halted[slot],
-                        outbox: &mut outbox,
-                        next_aggregates: &mut next_aggregates,
-                    };
-                    program.compute(&mut ctx, &inbox[slot]);
-                    inbox[slot].clear();
-                    // Route this vertex's output with sender-side combining.
-                    for (target, msg) in outbox.drain(..) {
-                        let dest = partitioning.part_of(target) as usize;
-                        let batch = &mut out_batches[dest];
-                        if let Some(last) = batch.last_mut() {
-                            if last.0 == target {
-                                if let Some(combined) = program.combine(&last.1, &msg) {
-                                    last.1 = combined;
-                                    continue;
-                                }
-                            }
-                        }
-                        batch.push((target, msg));
-                    }
-                }
-                // Exchange phase: one batch to every peer (self included,
-                // delivered locally), then drain W−1 incoming batches.
-                let mut sent = 0u64;
-                let mut remote = 0u64;
-                for dest in 0..w {
-                    let batch = std::mem::take(&mut out_batches[dest]);
-                    sent += batch.len() as u64;
-                    if dest == worker {
-                        deliver::<P>(program, &mut inbox, slot_of, batch);
-                    } else {
-                        remote += batch.len() as u64;
-                        batch_txs[dest]
-                            .send(Batch { messages: batch })
-                            .expect("peer hung up mid-superstep");
-                    }
-                }
-                for _ in 0..w.saturating_sub(1) {
-                    let batch = batch_rx.recv().expect("peer hung up mid-superstep");
-                    deliver::<P>(program, &mut inbox, slot_of, batch.messages);
-                }
-                let any_alive =
-                    halted.iter().any(|&h| !h) || inbox.iter().any(|m| !m.is_empty());
-                done_tx
-                    .send(WorkerDone {
-                        active,
-                        sent,
-                        remote,
-                        any_alive,
-                        aggregates: next_aggregates,
-                    })
-                    .expect("master hung up");
+    // Runs until `Finish` arrives or the master hangs up.
+    while let Ok(Control::Start {
+        superstep,
+        aggregates,
+    }) = control_rx.recv()
+    {
+        // Compute phase: the context buckets messages straight
+        // into per-destination batches with sender-side combining
+        // (messages to the same target vertex fold eagerly when
+        // the program provides a combiner).
+        let t0 = Instant::now();
+        let mut out_batches: Vec<Vec<(u32, P::Message)>> = (0..w).map(|_| Vec::new()).collect();
+        let mut next_aggregates = Aggregates::new();
+        let mut active = 0u64;
+        // The context counts logical emissions; this runtime
+        // reports post-combining batch sizes at exchange time
+        // instead, so these stay unread.
+        let (mut logical_sent, mut logical_remote) = (0u64, 0u64);
+        let combiner = |a: &P::Message, b: &P::Message| program.combine(a, b);
+        for (slot, &v) in my_vertices.iter().enumerate() {
+            let has_messages = !inbox[slot].is_empty();
+            if halted[slot] && !has_messages {
+                continue;
             }
-            Ok(Control::Finish) | Err(_) => break,
+            halted[slot] = false;
+            active += 1;
+            let messages = std::mem::take(&mut inbox[slot]);
+            let mut ctx = ComputeContext {
+                vertex: v,
+                superstep,
+                graph,
+                prev_aggregates: &aggregates,
+                value: &mut values[slot],
+                halted: &mut halted[slot],
+                buckets: &mut out_batches,
+                route,
+                self_worker: worker as u32,
+                combiner: &combiner,
+                sent: &mut logical_sent,
+                remote: &mut logical_remote,
+                next_aggregates: &mut next_aggregates,
+            };
+            program.compute(&mut ctx, &messages);
+            let mut messages = messages;
+            messages.clear();
+            inbox[slot] = messages;
         }
+        let compute_seconds = t0.elapsed().as_secs_f64();
+        // Exchange phase: one batch to every peer (self included,
+        // delivered locally), then drain W−1 incoming batches.
+        let mut sent = 0u64;
+        let mut remote = 0u64;
+        for dest in 0..w {
+            let batch = std::mem::take(&mut out_batches[dest]);
+            sent += batch.len() as u64;
+            if dest == worker {
+                deliver::<P>(program, &mut inbox, batch);
+            } else {
+                remote += batch.len() as u64;
+                batch_txs[dest]
+                    .send(Batch { messages: batch })
+                    .expect("peer hung up mid-superstep");
+            }
+        }
+        for _ in 0..w.saturating_sub(1) {
+            let batch = batch_rx.recv().expect("peer hung up mid-superstep");
+            deliver::<P>(program, &mut inbox, batch.messages);
+        }
+        let any_alive = halted.iter().any(|&h| !h) || inbox.iter().any(|m| !m.is_empty());
+        done_tx
+            .send(WorkerDone {
+                active,
+                sent,
+                remote,
+                any_alive,
+                aggregates: next_aggregates,
+                compute_seconds,
+            })
+            .expect("master hung up");
     }
     (worker, values)
 }
 
-/// Receiver-side delivery with combining against the existing inbox tail.
+/// Receiver-side delivery with combining against the existing inbox tail;
+/// batch entries are already slot-addressed, so no lookup is needed.
 fn deliver<P: VertexProgram>(
     program: &P,
     inbox: &mut [Vec<P::Message>],
-    slot_of: &[u32],
-    messages: Vec<(VertexId, P::Message)>,
+    messages: Vec<(u32, P::Message)>,
 ) {
-    for (target, msg) in messages {
-        let slot = slot_of[target as usize] as usize;
-        if let Some(last) = inbox[slot].last_mut() {
+    for (slot, msg) in messages {
+        let cell = &mut inbox[slot as usize];
+        if let Some(last) = cell.last_mut() {
             if let Some(combined) = program.combine(last, &msg) {
                 *last = combined;
                 continue;
             }
         }
-        inbox[slot].push(msg);
+        cell.push(msg);
     }
 }
 
@@ -351,8 +354,7 @@ mod tests {
     }
 
     fn bsp_values<P: VertexProgram>(program: P, g: &Graph, p: &Partitioning) -> Vec<P::Value> {
-        let mut e = BspEngine::new(program, g, p.clone(), EngineConfig::default())
-            .expect("engine");
+        let mut e = BspEngine::new(program, g, p.clone(), EngineConfig::default()).expect("engine");
         e.run().expect("run");
         e.into_values()
     }
@@ -397,8 +399,7 @@ mod tests {
     fn coloring_is_proper_on_cluster_runtime() {
         let g = graph();
         let p = HashPartitioner.partition(&g, 4).expect("partition");
-        let (values, _) =
-            run_cluster(&GraphColoring::default(), &g, &p, 10_000).expect("run");
+        let (values, _) = run_cluster(&GraphColoring::default(), &g, &p, 10_000).expect("run");
         assert!(coloring_is_proper(&g, &values));
     }
 
@@ -406,8 +407,7 @@ mod tests {
     fn single_worker_cluster_works() {
         let g = graph();
         let p = HashPartitioner.partition(&g, 1).expect("partition");
-        let (values, report) =
-            run_cluster(&Sssp { source: 0 }, &g, &p, 10_000).expect("run");
+        let (values, report) = run_cluster(&Sssp { source: 0 }, &g, &p, 10_000).expect("run");
         assert_eq!(report.remote_messages, 0);
         assert_eq!(values, bsp_values(Sssp { source: 0 }, &g, &p));
     }
@@ -451,10 +451,9 @@ mod tests {
         }
         let g = b.build().expect("build");
         let p = HashPartitioner.partition(&g, 4).expect("partition");
-        let (_, cluster_report) =
-            run_cluster(&Sssp { source: 5 }, &g, &p, 10_000).expect("run");
-        let mut e = BspEngine::new(Sssp { source: 5 }, &g, p, EngineConfig::default())
-            .expect("engine");
+        let (_, cluster_report) = run_cluster(&Sssp { source: 5 }, &g, &p, 10_000).expect("run");
+        let mut e =
+            BspEngine::new(Sssp { source: 5 }, &g, p, EngineConfig::default()).expect("engine");
         let bsp_report = e.run().expect("run");
         assert!(
             cluster_report.total_messages < bsp_report.total_messages,

@@ -1,5 +1,17 @@
 //! The BSP master: superstep orchestration, message delivery, halting.
+//!
+//! State is laid out worker-major and stays put for the whole run: vertex
+//! values and halt flags live in one slab per worker, indexed by a
+//! `(worker, slot)` pair derived once from the partitioning. Each
+//! superstep the workers operate on `&mut` disjoint slabs — nothing is
+//! cloned in or out — and message queues are double-buffered: vertices
+//! read the current inbox while delivery fills the next one, and the two
+//! swap at the barrier. Outgoing messages are bucketed per destination
+//! worker at send time (with sender-side combining when the program has a
+//! combiner), so the exchange phase is a matrix transpose of pointer
+//! swaps followed by per-destination parallel delivery.
 
+use crate::exec::fork_join;
 use crate::metrics::{RunMetrics, SuperstepMetrics};
 use crate::program::{Aggregates, ComputeContext, VertexProgram};
 use crate::{EngineError, Result};
@@ -45,6 +57,10 @@ pub struct ExecutionReport {
 }
 
 /// Serializable engine state written by [`BspEngine::checkpoint_state`].
+///
+/// Everything is stored in global vertex order, independent of the worker
+/// count that produced it — that is what lets a checkpoint written on `k`
+/// workers restore onto `k'` workers (the fast-reload scenario, §6.2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineCheckpoint<V, M> {
     /// Superstep the engine will execute next.
@@ -59,18 +75,52 @@ pub struct EngineCheckpoint<V, M> {
     pub prev_aggregates: Aggregates,
 }
 
+/// One outgoing bucket: slot-addressed messages for a single destination
+/// worker.
+type Bucket<M> = Vec<(u32, M)>;
+
+/// The `w×w` bucket matrix exchanged between compute and delivery.
+type BucketMatrix<M> = Vec<Vec<Bucket<M>>>;
+
 /// A Pregel-style synchronous engine over a shared immutable graph.
 pub struct BspEngine<'g, P: VertexProgram> {
     program: P,
     graph: &'g Graph,
     partitioning: Partitioning,
     config: EngineConfig,
-    values: Vec<P::Value>,
-    halted: Vec<bool>,
-    inbox: Vec<Vec<P::Message>>,
+    /// Per-worker vertex lists (fixed for the run).
+    members: Vec<Vec<VertexId>>,
+    /// Packed global vertex id → (worker, slot) routing table; one read
+    /// resolves both destination worker and inbox slot.
+    route: Vec<u64>,
+    /// Worker-major vertex values: `values[worker][slot]`.
+    values: Vec<Vec<P::Value>>,
+    /// Worker-major halt flags.
+    halted: Vec<Vec<bool>>,
+    /// Inboxes read this superstep: `inbox[worker][slot]`.
+    inbox: Vec<Vec<Vec<P::Message>>>,
+    /// Inboxes filled by delivery for the next superstep; swapped with
+    /// `inbox` at the barrier (the double buffer).
+    inbox_next: Vec<Vec<Vec<P::Message>>>,
+    /// Per-source outgoing buckets: `outboxes[src][dest]`, entries
+    /// addressed by destination slot.
+    outboxes: BucketMatrix<P::Message>,
+    /// Transposed buckets awaiting delivery: `delivery[dest][src]`. The
+    /// cells ping-pong with `outboxes` via `mem::swap`, so bucket
+    /// capacity is reused across supersteps.
+    delivery: BucketMatrix<P::Message>,
     superstep: usize,
     prev_aggregates: Aggregates,
     metrics: RunMetrics,
+}
+
+/// What one worker reports back from a superstep's compute phase.
+struct WorkerOut {
+    aggregates: Aggregates,
+    active: u64,
+    sent: u64,
+    remote: u64,
+    compute_seconds: f64,
 }
 
 impl<'g, P: VertexProgram> BspEngine<'g, P> {
@@ -89,16 +139,38 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
                 graph.num_vertices()
             )));
         }
-        let n = graph.num_vertices();
-        let values = (0..n as u32).map(|v| program.init(v, graph)).collect();
+        let members = partitioning.members();
+        let route = crate::program::build_routes(graph.num_vertices(), &members);
+        let w = members.len();
+        let values = members
+            .iter()
+            .map(|ws| ws.iter().map(|&v| program.init(v, graph)).collect())
+            .collect();
+        let halted = members.iter().map(|ws| vec![false; ws.len()]).collect();
+        let empty_inboxes = |members: &[Vec<VertexId>]| -> Vec<Vec<Vec<P::Message>>> {
+            members
+                .iter()
+                .map(|ws| (0..ws.len()).map(|_| Vec::new()).collect())
+                .collect()
+        };
+        let empty_buckets = || -> BucketMatrix<P::Message> {
+            (0..w)
+                .map(|_| (0..w).map(|_| Vec::new()).collect())
+                .collect()
+        };
         Ok(BspEngine {
             program,
             graph,
-            partitioning,
             config,
             values,
-            halted: vec![false; n],
-            inbox: (0..n).map(|_| Vec::new()).collect(),
+            halted,
+            inbox: empty_inboxes(&members),
+            inbox_next: empty_inboxes(&members),
+            outboxes: empty_buckets(),
+            delivery: empty_buckets(),
+            members,
+            route,
+            partitioning,
             superstep: 0,
             prev_aggregates: Aggregates::new(),
             metrics: RunMetrics::default(),
@@ -110,14 +182,33 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
         self.superstep
     }
 
-    /// Read access to per-vertex values (global vertex order).
-    pub fn values(&self) -> &[P::Value] {
-        &self.values
+    /// The partitioning the engine was built with.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
     }
 
-    /// Consumes the engine, returning the per-vertex values.
+    /// Per-vertex values gathered into global vertex order (the engine
+    /// stores them worker-major, so this clones; call once per run, not
+    /// per superstep).
+    pub fn values(&self) -> Vec<P::Value> {
+        self.route
+            .iter()
+            .map(|&r| self.values[(r >> 32) as usize][r as u32 as usize].clone())
+            .collect()
+    }
+
+    /// Consumes the engine, returning the per-vertex values in global
+    /// vertex order (no clones).
     pub fn into_values(self) -> Vec<P::Value> {
-        self.values
+        let mut out: Vec<Option<P::Value>> = (0..self.graph.num_vertices()).map(|_| None).collect();
+        for (ws, vals) in self.members.iter().zip(self.values) {
+            for (&v, val) in ws.iter().zip(vals) {
+                out[v as usize] = Some(val);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every vertex belongs to a worker"))
+            .collect()
     }
 
     /// Aggregates produced by the most recent superstep.
@@ -125,9 +216,15 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
         &self.prev_aggregates
     }
 
+    /// Per-superstep metrics recorded so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
     /// Whether every vertex has halted and no messages are pending.
     pub fn is_done(&self) -> bool {
-        self.halted.iter().all(|&h| h) && self.inbox.iter().all(|m| m.is_empty())
+        self.halted.iter().all(|hs| hs.iter().all(|&h| h))
+            && self.inbox.iter().all(|ws| ws.iter().all(|m| m.is_empty()))
     }
 
     /// Executes one superstep; returns `true` when the computation is done.
@@ -135,101 +232,87 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
         if self.is_done() {
             return Ok(true);
         }
-        let n = self.graph.num_vertices();
-        let num_workers = self.partitioning.num_parts() as usize;
-        // Take the inboxes; vertices read them this superstep.
-        let inbox = std::mem::replace(&mut self.inbox, (0..n).map(|_| Vec::new()).collect());
+        let w = self.members.len();
 
-        // Per-worker vertex lists.
-        let members = self.partitioning.members();
-
-        // Extract per-worker state slices (each worker owns a disjoint
-        // vertex set; copying in/out keeps the sharing story trivially
-        // safe on both the threaded and sequential paths).
-        let mut per_worker_values: Vec<Vec<P::Value>> = members
-            .iter()
-            .map(|ws| ws.iter().map(|&v| self.values[v as usize].clone()).collect())
-            .collect();
-        let mut per_worker_halted: Vec<Vec<bool>> = members
-            .iter()
-            .map(|ws| ws.iter().map(|&v| self.halted[v as usize]).collect())
-            .collect();
+        // Compute phase: one task per worker, each owning its slab of
+        // values/halt flags, its inbox rows (drained in place) and its
+        // outgoing buckets. The sequential path runs the same closures in
+        // worker order, so both paths are behaviorally identical.
         let program = &self.program;
         let graph = self.graph;
         let prev = &self.prev_aggregates;
         let superstep = self.superstep;
-        let inbox_ref = &inbox;
-        type WorkerOut<M> = (Vec<(VertexId, M)>, Aggregates, u64);
-        let outs: Vec<WorkerOut<P::Message>> = if self.config.parallel && num_workers > 1 {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = members
-                    .iter()
-                    .zip(per_worker_values.iter_mut())
-                    .zip(per_worker_halted.iter_mut())
-                    .map(|((ws, vals), hs)| {
-                        scope.spawn(move |_| {
-                            run_worker_local::<P>(
-                                ws, vals, hs, program, graph, prev, superstep, inbox_ref,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect::<Vec<_>>()
+        let route = &self.route;
+        let tasks: Vec<_> = self
+            .members
+            .iter()
+            .zip(self.values.iter_mut())
+            .zip(self.halted.iter_mut())
+            .zip(self.inbox.iter_mut())
+            .zip(self.outboxes.iter_mut())
+            .enumerate()
+            .map(|(worker, ((((ws, vals), hs), inbox), buckets))| {
+                move || {
+                    run_worker_slab::<P>(
+                        worker as u32,
+                        ws,
+                        vals,
+                        hs,
+                        inbox,
+                        buckets,
+                        program,
+                        graph,
+                        prev,
+                        superstep,
+                        route,
+                    )
+                }
             })
-            .expect("scope panicked")
-        } else {
-            members
-                .iter()
-                .zip(per_worker_values.iter_mut())
-                .zip(per_worker_halted.iter_mut())
-                .map(|((ws, vals), hs)| {
-                    run_worker_local::<P>(ws, vals, hs, program, graph, prev, superstep, inbox_ref)
-                })
-                .collect()
-        };
-        // Write back per-worker state.
-        for (ws, vals) in members.iter().zip(per_worker_values) {
-            for (&v, val) in ws.iter().zip(vals) {
-                self.values[v as usize] = val;
-            }
-        }
-        for (ws, hs) in members.iter().zip(per_worker_halted) {
-            for (&v, h) in ws.iter().zip(hs) {
-                self.halted[v as usize] = h;
-            }
-        }
+            .collect();
+        let outs = fork_join(self.config.parallel, tasks);
 
-        // Deliver messages (with combining) and reduce aggregates.
+        // Exchange phase: transpose the bucket matrix with pointer swaps
+        // (outboxes[src][dest] ↔ delivery[dest][src]), then deliver each
+        // destination's buckets in parallel, draining them in source order
+        // into the next-superstep inboxes.
+        for src in 0..w {
+            for dest in 0..w {
+                std::mem::swap(&mut self.outboxes[src][dest], &mut self.delivery[dest][src]);
+            }
+        }
+        let delivery_tasks: Vec<_> = self
+            .delivery
+            .iter_mut()
+            .zip(self.inbox_next.iter_mut())
+            .map(|(rows, inbox)| move || deliver_worker::<P>(program, rows, inbox))
+            .collect();
+        fork_join(self.config.parallel, delivery_tasks);
+
+        // Barrier: the filled buffers become current, the drained ones
+        // become next superstep's delivery target.
+        std::mem::swap(&mut self.inbox, &mut self.inbox_next);
+
         let mut next_aggregates = Aggregates::new();
+        let mut active = 0u64;
         let mut total_messages = 0u64;
         let mut remote_messages = 0u64;
-        let mut active = 0u64;
-        for (worker, (outbox, aggregates, worker_active)) in outs.into_iter().enumerate() {
-            active += worker_active;
-            next_aggregates.merge(&aggregates);
-            for (target, msg) in outbox {
-                total_messages += 1;
-                if self.partitioning.part_of(target) as usize != worker {
-                    remote_messages += 1;
-                }
-                let slot = &mut self.inbox[target as usize];
-                if let Some(last) = slot.last_mut() {
-                    if let Some(combined) = self.program.combine(last, &msg) {
-                        *last = combined;
-                        continue;
-                    }
-                }
-                slot.push(msg);
-            }
+        let mut max_worker_seconds = 0.0f64;
+        let mut total_worker_seconds = 0.0f64;
+        for out in outs {
+            active += out.active;
+            total_messages += out.sent;
+            remote_messages += out.remote;
+            max_worker_seconds = max_worker_seconds.max(out.compute_seconds);
+            total_worker_seconds += out.compute_seconds;
+            next_aggregates.merge(&out.aggregates);
         }
         self.metrics.push(SuperstepMetrics {
             superstep: self.superstep,
             active_vertices: active,
             messages: total_messages,
             remote_messages,
+            max_worker_seconds,
+            total_worker_seconds,
         });
         self.prev_aggregates = next_aggregates;
         self.superstep += 1;
@@ -239,21 +322,18 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
     /// Runs to completion (or the superstep cap).
     pub fn run(&mut self) -> Result<ExecutionReport> {
         let t0 = Instant::now();
-        let mut converged = false;
-        while self.superstep < self.config.max_supersteps {
-            if self.step()? {
-                converged = true;
-                break;
-            }
+        let mut converged = self.is_done();
+        while !converged && self.superstep < self.config.max_supersteps {
+            converged = self.step()?;
         }
-        if !converged && !self.is_done() {
+        if !converged {
             return Err(EngineError::DidNotConverge {
                 max_supersteps: self.config.max_supersteps,
             });
         }
         Ok(ExecutionReport {
             supersteps: self.superstep,
-            converged: true,
+            converged,
             total_messages: self.metrics.total_messages(),
             remote_messages: self.metrics.total_remote_messages(),
             wall_seconds: t0.elapsed().as_secs_f64(),
@@ -261,13 +341,34 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
         })
     }
 
-    /// Captures the engine state for checkpointing.
+    /// Captures the engine state for checkpointing, gathered into global
+    /// vertex order so the checkpoint is portable across worker counts.
     pub fn checkpoint_state(&self) -> EngineCheckpoint<P::Value, P::Message> {
+        let gather = |v: usize| {
+            let r = self.route[v];
+            ((r >> 32) as usize, r as u32 as usize)
+        };
+        let n = self.graph.num_vertices();
         EngineCheckpoint {
             superstep: self.superstep,
-            values: self.values.clone(),
-            halted: self.halted.clone(),
-            inbox: self.inbox.clone(),
+            values: (0..n)
+                .map(|v| {
+                    let (w, s) = gather(v);
+                    self.values[w][s].clone()
+                })
+                .collect(),
+            halted: (0..n)
+                .map(|v| {
+                    let (w, s) = gather(v);
+                    self.halted[w][s]
+                })
+                .collect(),
+            inbox: (0..n)
+                .map(|v| {
+                    let (w, s) = gather(v);
+                    self.inbox[w][s].clone()
+                })
+                .collect(),
             prev_aggregates: self.prev_aggregates.clone(),
         }
     }
@@ -284,39 +385,75 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
             )));
         }
         self.superstep = ckpt.superstep;
-        self.values = ckpt.values;
-        self.halted = ckpt.halted;
-        self.inbox = ckpt.inbox;
+        let scatter = |v: usize| {
+            let r = self.route[v];
+            ((r >> 32) as usize, r as u32 as usize)
+        };
+        for (v, val) in ckpt.values.into_iter().enumerate() {
+            let (w, s) = scatter(v);
+            self.values[w][s] = val;
+        }
+        for (v, h) in ckpt.halted.into_iter().enumerate() {
+            let (w, s) = scatter(v);
+            self.halted[w][s] = h;
+        }
+        for (v, msgs) in ckpt.inbox.into_iter().enumerate() {
+            let (w, s) = scatter(v);
+            self.inbox[w][s] = msgs;
+        }
         self.prev_aggregates = ckpt.prev_aggregates;
+        // Drop any in-flight buffers from the pre-restore execution…
+        for rows in &mut self.inbox_next {
+            for cell in rows {
+                cell.clear();
+            }
+        }
+        for rows in self.outboxes.iter_mut().chain(self.delivery.iter_mut()) {
+            for cell in rows {
+                cell.clear();
+            }
+        }
+        // …and the metrics of supersteps the resumed run will re-execute,
+        // so totals are not double-counted.
+        self.metrics.truncate_to_superstep(self.superstep);
         Ok(())
     }
 }
 
 /// The worker kernel: computes one superstep for the vertices of a single
-/// worker, operating on worker-local slices (`vals[slot]`/`halted[slot]`
-/// aligned with `worker_vertices`).
+/// worker, operating on the worker's own slabs (`vals[slot]`,
+/// `halted[slot]`, `inbox[slot]` aligned with `worker_vertices`).
+/// Inbox cells are drained in place — the buffers keep their capacity for
+/// the next time this worker receives messages.
 #[allow(clippy::too_many_arguments)]
-fn run_worker_local<P: VertexProgram>(
+fn run_worker_slab<P: VertexProgram>(
+    self_worker: u32,
     worker_vertices: &[VertexId],
     vals: &mut [P::Value],
     halted: &mut [bool],
+    inbox: &mut [Vec<P::Message>],
+    buckets: &mut [Vec<(u32, P::Message)>],
     program: &P,
     graph: &Graph,
     prev_aggregates: &Aggregates,
     superstep: usize,
-    inbox: &[Vec<P::Message>],
-) -> (Vec<(VertexId, P::Message)>, Aggregates, u64) {
-    let mut outbox = Vec::new();
+    route: &[u64],
+) -> WorkerOut {
+    let t0 = Instant::now();
     let mut aggregates = Aggregates::new();
     let mut active = 0u64;
+    let mut sent = 0u64;
+    let mut remote = 0u64;
+    let combiner = |a: &P::Message, b: &P::Message| program.combine(a, b);
     for (slot, &v) in worker_vertices.iter().enumerate() {
-        let vi = v as usize;
-        let has_messages = !inbox[vi].is_empty();
-        if halted[slot] && !has_messages {
+        if halted[slot] && inbox[slot].is_empty() {
             continue;
         }
         halted[slot] = false;
         active += 1;
+        // Move the inbox cell out so the context can borrow the rest of
+        // the slabs mutably; hand the (cleared) buffer back afterwards.
+        let messages = std::mem::take(&mut inbox[slot]);
         let mut ctx = ComputeContext {
             vertex: v,
             superstep,
@@ -324,12 +461,49 @@ fn run_worker_local<P: VertexProgram>(
             prev_aggregates,
             value: &mut vals[slot],
             halted: &mut halted[slot],
-            outbox: &mut outbox,
+            buckets,
+            route,
+            self_worker,
+            combiner: &combiner,
+            sent: &mut sent,
+            remote: &mut remote,
             next_aggregates: &mut aggregates,
         };
-        program.compute(&mut ctx, &inbox[vi]);
+        program.compute(&mut ctx, &messages);
+        let mut messages = messages;
+        messages.clear();
+        inbox[slot] = messages;
     }
-    (outbox, aggregates, active)
+    WorkerOut {
+        aggregates,
+        active,
+        sent,
+        remote,
+        compute_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Delivers one destination worker's incoming buckets (one per source, in
+/// source order) into its next-superstep inboxes, combining against the
+/// inbox tail when the program allows it. Bucket entries are already
+/// slot-addressed, so delivery indexes the inbox slab directly.
+fn deliver_worker<P: VertexProgram>(
+    program: &P,
+    rows: &mut [Vec<(u32, P::Message)>],
+    inbox: &mut [Vec<P::Message>],
+) {
+    for row in rows {
+        for (slot, msg) in row.drain(..) {
+            let cell = &mut inbox[slot as usize];
+            if let Some(last) = cell.last_mut() {
+                if let Some(combined) = program.combine(last, &msg) {
+                    *last = combined;
+                    continue;
+                }
+            }
+            cell.push(msg);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +613,18 @@ mod tests {
     }
 
     #[test]
+    fn worker_timings_recorded() {
+        let g = ring(64);
+        let mut e = engine_on(&g, 4, false);
+        let report = e.run().expect("run");
+        for s in report.metrics.steps() {
+            assert!(s.max_worker_seconds >= 0.0);
+            assert!(s.total_worker_seconds >= s.max_worker_seconds);
+        }
+        assert!(report.metrics.critical_path_seconds() <= report.wall_seconds);
+    }
+
+    #[test]
     fn checkpoint_restore_roundtrip() {
         let g = generators::erdos_renyi(100, 300, 9).expect("gen");
         let p = HashPartitioner.partition(&g, 2).expect("partition");
@@ -461,6 +647,43 @@ mod tests {
     }
 
     #[test]
+    fn restore_truncates_stale_metrics() {
+        let g = generators::erdos_renyi(100, 300, 9).expect("gen");
+        let p = HashPartitioner.partition(&g, 2).expect("partition");
+        let mut e = BspEngine::new(MaxId, &g, p, EngineConfig::default()).expect("engine");
+        e.step().expect("step");
+        let ckpt = e.checkpoint_state();
+        let full = e.run().expect("run");
+
+        // Rewind the same engine and resume: the report must match a
+        // straight run, not double-count the re-executed supersteps.
+        e.restore_state(ckpt).expect("restore");
+        assert_eq!(
+            e.metrics().steps().len(),
+            1,
+            "metrics rewound to superstep 1"
+        );
+        let resumed = e.run().expect("run");
+        assert_eq!(resumed.supersteps, full.supersteps);
+        assert_eq!(resumed.total_messages, full.total_messages);
+        assert_eq!(resumed.metrics.steps().len(), full.metrics.steps().len());
+    }
+
+    #[test]
+    fn report_converged_is_computed() {
+        let g = ring(8);
+        let mut e = engine_on(&g, 2, false);
+        let report = e.run().expect("run");
+        assert!(report.converged);
+        assert!(e.is_done());
+        // Running an already-converged engine reports convergence without
+        // executing more supersteps.
+        let again = e.run().expect("run");
+        assert!(again.converged);
+        assert_eq!(again.supersteps, report.supersteps);
+    }
+
+    #[test]
     fn restore_rejects_mismatched_graph() {
         let g1 = ring(8);
         let g2 = ring(9);
@@ -475,9 +698,7 @@ mod tests {
     #[test]
     fn engine_rejects_mismatched_partitioning() {
         let g = ring(8);
-        let p = HashPartitioner
-            .partition(&ring(4), 2)
-            .expect("partition");
+        let p = HashPartitioner.partition(&ring(4), 2).expect("partition");
         assert!(BspEngine::new(MaxId, &g, p, EngineConfig::default()).is_err());
     }
 

@@ -19,6 +19,7 @@ pub mod apps;
 pub mod checkpoint;
 pub mod cluster;
 pub mod engine;
+pub mod exec;
 pub mod loaders;
 pub mod metrics;
 pub mod program;

@@ -13,6 +13,7 @@
 //!   the dataset and suffers a centralized-memory penalty; hash pays the
 //!   network at small clusters; micro scales with `1/k`).
 
+use crate::exec::par_map;
 use crate::{EngineError, Result};
 use hourglass_graph::{Graph, VertexId};
 use hourglass_partition::Partitioning;
@@ -88,7 +89,7 @@ impl LoaderCostModel {
                 "need at least one machine".into(),
             ));
         }
-        if !(bytes >= 0.0) {
+        if bytes < 0.0 || bytes.is_nan() {
             return Err(EngineError::InvalidConfig(format!(
                 "bytes must be non-negative, got {bytes}"
             )));
@@ -257,11 +258,7 @@ pub fn stream_load(
             .filter(|&&(u, _)| partitioning.part_of(u) != 0)
             .count() as u64,
     };
-    let workers = assemble(
-        partitioning.num_parts(),
-        |v| partitioning.part_of(v),
-        arcs,
-    );
+    let workers = assemble(partitioning.num_parts(), |v| partitioning.part_of(v), arcs);
     (workers, stats)
 }
 
@@ -287,21 +284,8 @@ pub fn hash_load(
     bounds.push(text.len());
     bounds.dedup();
 
-    let chunks: Vec<&str> = bounds
-        .windows(2)
-        .map(|w| &text[w[0]..w[1]])
-        .collect();
-    let parsed: Vec<Vec<(VertexId, VertexId)>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| scope.spawn(move |_| parse_arcs(chunk)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parser thread panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
+    let chunks: Vec<&str> = bounds.windows(2).map(|w| &text[w[0]..w[1]]).collect();
+    let parsed: Vec<Vec<(VertexId, VertexId)>> = par_map(&chunks, |chunk| parse_arcs(chunk));
 
     let mut exchanged = 0u64;
     for (parser, arcs) in parsed.iter().enumerate() {
@@ -332,9 +316,10 @@ pub fn micro_load(
     micro_to_worker: &[u32],
     num_workers: u32,
 ) -> Result<(Vec<LoadedWorker>, LoadStats)> {
-    let buckets = store.micro_buckets.as_ref().ok_or_else(|| {
-        EngineError::InvalidConfig("store has no micro-partition buckets".into())
-    })?;
+    let buckets = store
+        .micro_buckets
+        .as_ref()
+        .ok_or_else(|| EngineError::InvalidConfig("store has no micro-partition buckets".into()))?;
     if micro_to_worker.len() != buckets.len() || buckets.len() != micro.num_parts() as usize {
         return Err(EngineError::InvalidConfig(format!(
             "micro map covers {} micros, store has {} buckets",
@@ -352,21 +337,9 @@ pub fn micro_load(
     for (m, &w) in micro_to_worker.iter().enumerate() {
         per_worker_buckets[w as usize].push(&buckets[m]);
     }
-    let parsed: Vec<Vec<(VertexId, VertexId)>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = per_worker_buckets
-            .iter()
-            .map(|bs| {
-                scope.spawn(move |_| {
-                    bs.iter().flat_map(|b| parse_arcs(b)).collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parser thread panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
+    let parsed: Vec<Vec<(VertexId, VertexId)>> = par_map(&per_worker_buckets, |bs| {
+        bs.iter().flat_map(|b| parse_arcs(b)).collect::<Vec<_>>()
+    });
 
     let stats = LoadStats {
         bytes_parsed: buckets.iter().map(|b| b.len() as u64).sum(),
@@ -450,8 +423,8 @@ mod tests {
             .expect("micro");
         let store = EdgeListStore::micro_from_graph(&g, mp.micro()).expect("store");
         let clustering = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
-        let (mw, ms) = micro_load(&store, mp.micro(), clustering.micro_to_macro(), 4)
-            .expect("load");
+        let (mw, ms) =
+            micro_load(&store, mp.micro(), clustering.micro_to_macro(), 4).expect("load");
         assert_eq!(ms.arcs_exchanged, 0);
         assert_eq!(loaded_adjacency(&mw), expected_adjacency(&g));
         // Ownership respects the clustering.
@@ -468,9 +441,14 @@ mod tests {
         let (g, p) = fixture();
         let flat = EdgeListStore::flat_from_graph(&g);
         assert!(micro_load(&flat, &p, &[0; 4], 4).is_err(), "no buckets");
-        let mp = MicroPartitioner::new(HashPartitioner, 16).run(&g).expect("micro");
+        let mp = MicroPartitioner::new(HashPartitioner, 16)
+            .run(&g)
+            .expect("micro");
         let store = EdgeListStore::micro_from_graph(&g, mp.micro()).expect("store");
-        assert!(micro_load(&store, mp.micro(), &[0; 3], 4).is_err(), "bad map len");
+        assert!(
+            micro_load(&store, mp.micro(), &[0; 3], 4).is_err(),
+            "bad map len"
+        );
         assert!(
             micro_load(&store, mp.micro(), &[9; 16], 4).is_err(),
             "worker out of range"

@@ -1,7 +1,7 @@
 //! Per-superstep execution metrics.
 
 /// Metrics of one superstep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuperstepMetrics {
     /// Superstep number.
     pub superstep: usize,
@@ -11,6 +11,11 @@ pub struct SuperstepMetrics {
     pub messages: u64,
     /// Messages that crossed workers.
     pub remote_messages: u64,
+    /// Compute seconds of the slowest worker (the BSP barrier waits for
+    /// it, so this is the superstep's contribution to wall time).
+    pub max_worker_seconds: f64,
+    /// Compute seconds summed over all workers (aggregate CPU).
+    pub total_worker_seconds: f64,
 }
 
 /// Metrics of a whole run.
@@ -50,27 +55,48 @@ impl RunMetrics {
             self.total_remote_messages() as f64 / total as f64
         }
     }
+
+    /// Sum over supersteps of the slowest worker's compute seconds: the
+    /// compute-phase lower bound on wall time. This is the measured
+    /// quantity that calibrates `t_exec` in the provisioning cost model
+    /// (a full-job execution-time estimate for the running configuration).
+    pub fn critical_path_seconds(&self) -> f64 {
+        self.steps.iter().map(|s| s.max_worker_seconds).sum()
+    }
+
+    /// Aggregate worker CPU seconds across supersteps.
+    pub fn total_worker_seconds(&self) -> f64 {
+        self.steps.iter().map(|s| s.total_worker_seconds).sum()
+    }
+
+    /// Drops every superstep at or past `superstep`. Called on checkpoint
+    /// restore so a resumed run does not double-count the supersteps it is
+    /// about to re-execute.
+    pub fn truncate_to_superstep(&mut self, superstep: usize) {
+        self.steps.retain(|s| s.superstep < superstep);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn step(superstep: usize, messages: u64, remote: u64, secs: f64) -> SuperstepMetrics {
+        SuperstepMetrics {
+            superstep,
+            active_vertices: 10,
+            messages,
+            remote_messages: remote,
+            max_worker_seconds: secs,
+            total_worker_seconds: secs * 4.0,
+        }
+    }
+
     #[test]
     fn totals() {
         let mut m = RunMetrics::default();
-        m.push(SuperstepMetrics {
-            superstep: 0,
-            active_vertices: 10,
-            messages: 100,
-            remote_messages: 40,
-        });
-        m.push(SuperstepMetrics {
-            superstep: 1,
-            active_vertices: 5,
-            messages: 50,
-            remote_messages: 10,
-        });
+        m.push(step(0, 100, 40, 0.5));
+        m.push(step(1, 50, 10, 0.25));
         assert_eq!(m.total_messages(), 150);
         assert_eq!(m.total_remote_messages(), 50);
         assert!((m.remote_fraction() - 1.0 / 3.0).abs() < 1e-12);
@@ -80,5 +106,27 @@ mod tests {
     #[test]
     fn empty_run_fraction_zero() {
         assert_eq!(RunMetrics::default().remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn timing_totals() {
+        let mut m = RunMetrics::default();
+        m.push(step(0, 1, 0, 0.5));
+        m.push(step(1, 1, 0, 0.25));
+        assert!((m.critical_path_seconds() - 0.75).abs() < 1e-12);
+        assert!((m.total_worker_seconds() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_drops_resumed_supersteps() {
+        let mut m = RunMetrics::default();
+        m.push(step(0, 10, 0, 0.1));
+        m.push(step(1, 20, 0, 0.1));
+        m.push(step(2, 30, 0, 0.1));
+        m.truncate_to_superstep(1);
+        assert_eq!(m.steps().len(), 1);
+        assert_eq!(m.total_messages(), 10);
+        m.truncate_to_superstep(0);
+        assert!(m.steps().is_empty());
     }
 }

@@ -29,7 +29,10 @@ impl Aggregates {
 
     /// Merges `v` into the max-aggregate `name`.
     pub fn add_max(&mut self, name: &str, v: f64) {
-        let e = self.maxs.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+        let e = self
+            .maxs
+            .entry(name.to_string())
+            .or_insert(f64::NEG_INFINITY);
         if v > *e {
             *e = v;
         }
@@ -59,8 +62,34 @@ impl Aggregates {
     }
 }
 
+/// Packed routing word for one vertex: destination worker in the high 32
+/// bits, slot within that worker's slabs in the low 32. One cache line
+/// read at send time resolves both, and delivery needs no lookup at all.
+pub(crate) fn pack_route(worker: u32, slot: u32) -> u64 {
+    ((worker as u64) << 32) | slot as u64
+}
+
+/// Builds the packed vertex → (worker, slot) routing table from per-worker
+/// member lists.
+pub(crate) fn build_routes(num_vertices: usize, members: &[Vec<VertexId>]) -> Vec<u64> {
+    let mut route = vec![0u64; num_vertices];
+    for (worker, ws) in members.iter().enumerate() {
+        for (slot, &v) in ws.iter().enumerate() {
+            route[v as usize] = pack_route(worker as u32, slot as u32);
+        }
+    }
+    route
+}
+
 /// Everything a vertex sees during `compute`: its state, the graph, the
 /// previous superstep's aggregates, and sinks for messages and halting.
+///
+/// Messages are routed as they are sent: the context holds one reusable
+/// bucket per destination worker, resolves the target's (worker, slot)
+/// with a single packed-table read, and folds the message into the
+/// bucket's tail when the program's combiner applies (sender-side
+/// combining). Bucket entries are addressed by destination *slot*, so
+/// delivery indexes the destination inbox slab directly.
 pub struct ComputeContext<'a, V, M> {
     /// The vertex being computed.
     pub vertex: VertexId,
@@ -72,7 +101,20 @@ pub struct ComputeContext<'a, V, M> {
     pub prev_aggregates: &'a Aggregates,
     pub(crate) value: &'a mut V,
     pub(crate) halted: &'a mut bool,
-    pub(crate) outbox: &'a mut Vec<(VertexId, M)>,
+    /// One outgoing bucket per destination worker; entries are
+    /// `(destination slot, message)`.
+    pub(crate) buckets: &'a mut [Vec<(u32, M)>],
+    /// Packed vertex → (worker, slot) routing table.
+    pub(crate) route: &'a [u64],
+    /// The worker computing this vertex.
+    pub(crate) self_worker: u32,
+    /// The program's combiner, type-erased so the context stays generic
+    /// over `(V, M)` only.
+    pub(crate) combiner: &'a dyn Fn(&M, &M) -> Option<M>,
+    /// Logical messages emitted (counted before combining).
+    pub(crate) sent: &'a mut u64,
+    /// Logical messages addressed to another worker.
+    pub(crate) remote: &'a mut u64,
     pub(crate) next_aggregates: &'a mut Aggregates,
 }
 
@@ -99,7 +141,23 @@ impl<'a, V, M> ComputeContext<'a, V, M> {
 
     /// Sends `msg` to `target`, to be delivered next superstep.
     pub fn send(&mut self, target: VertexId, msg: M) {
-        self.outbox.push((target, msg));
+        *self.sent += 1;
+        let route = self.route[target as usize];
+        let dest = (route >> 32) as u32;
+        let slot = route as u32;
+        if dest != self.self_worker {
+            *self.remote += 1;
+        }
+        let bucket = &mut self.buckets[dest as usize];
+        if let Some((tail, last)) = bucket.last_mut() {
+            if *tail == slot {
+                if let Some(combined) = (self.combiner)(last, &msg) {
+                    *last = combined;
+                    return;
+                }
+            }
+        }
+        bucket.push((slot, msg));
     }
 
     /// Sends `msg` to every neighbor.
@@ -107,9 +165,12 @@ impl<'a, V, M> ComputeContext<'a, V, M> {
     where
         M: Clone,
     {
-        for i in 0..self.neighbors().len() {
-            let n = self.neighbors()[i];
-            self.outbox.push((n, msg.clone()));
+        let neighbors = self.neighbors();
+        if let Some((&last, init)) = neighbors.split_last() {
+            for &n in init {
+                self.send(n, msg.clone());
+            }
+            self.send(last, msg);
         }
     }
 
@@ -190,5 +251,55 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.sum("x"), 3.0);
         assert_eq!(a.max("m"), 9.0);
+    }
+
+    #[test]
+    fn routes_pack_and_unpack() {
+        // Workers 0 and 1 own the even and odd vertices respectively.
+        let members = vec![vec![0u32, 2], vec![1, 3]];
+        let route = build_routes(4, &members);
+        assert_eq!(route[0], pack_route(0, 0));
+        assert_eq!(route[2], pack_route(0, 1));
+        assert_eq!(route[1], pack_route(1, 0));
+        assert_eq!(route[3], pack_route(1, 1));
+    }
+
+    #[test]
+    fn send_routes_counts_and_combines() {
+        let mut graph_builder = hourglass_graph::GraphBuilder::undirected(4);
+        graph_builder.add_edge(0, 1);
+        let graph = graph_builder.build().expect("build");
+        // Worker 0 owns {0, 2} (slots 0, 1), worker 1 owns {1, 3}.
+        let route = build_routes(4, &[vec![0, 2], vec![1, 3]]);
+        let mut buckets = vec![Vec::new(), Vec::new()];
+        let mut value = 0u32;
+        let mut halted = false;
+        let mut next_aggregates = Aggregates::new();
+        let (mut sent, mut remote) = (0u64, 0u64);
+        let prev = Aggregates::new();
+        let combiner = |a: &u32, b: &u32| Some(*a.max(b));
+        let mut ctx: ComputeContext<'_, u32, u32> = ComputeContext {
+            vertex: 0,
+            superstep: 0,
+            graph: &graph,
+            prev_aggregates: &prev,
+            value: &mut value,
+            halted: &mut halted,
+            buckets: &mut buckets,
+            route: &route,
+            self_worker: 0,
+            combiner: &combiner,
+            sent: &mut sent,
+            remote: &mut remote,
+            next_aggregates: &mut next_aggregates,
+        };
+        ctx.send(2, 7); // local → worker 0 slot 1
+        ctx.send(1, 3); // remote → worker 1 slot 0
+        ctx.send(1, 9); // remote, combines with the tail
+        ctx.send(3, 1); // remote, different target: no combine
+        assert_eq!(sent, 4, "logical sends counted before combining");
+        assert_eq!(remote, 3);
+        assert_eq!(buckets[0], vec![(1, 7)]);
+        assert_eq!(buckets[1], vec![(0, 9), (1, 1)]);
     }
 }

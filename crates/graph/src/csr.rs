@@ -203,7 +203,11 @@ impl Graph {
     /// True if the adjacency list of every vertex is sorted (useful for
     /// binary-search adjacency tests).
     pub fn is_sorted(&self) -> bool {
-        (0..self.num_vertices()).all(|u| self.neighbors(u as VertexId).windows(2).all(|w| w[0] <= w[1]))
+        (0..self.num_vertices()).all(|u| {
+            self.neighbors(u as VertexId)
+                .windows(2)
+                .all(|w| w[0] <= w[1])
+        })
     }
 
     /// Whether edge `(u, v)` exists; `O(log d(u))` when sorted, `O(d(u))`
@@ -236,14 +240,8 @@ mod tests {
 
     fn triangle() -> Graph {
         // Undirected triangle 0-1-2.
-        Graph::from_csr(
-            vec![0, 2, 4, 6],
-            vec![1, 2, 0, 2, 0, 1],
-            None,
-            None,
-            false,
-        )
-        .expect("valid csr")
+        Graph::from_csr(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1], None, None, false)
+            .expect("valid csr")
     }
 
     #[test]
@@ -281,7 +279,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_target() {
         let err = Graph::from_csr(vec![0, 1], vec![5], None, None, true).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -330,7 +331,7 @@ mod tests {
         let n = 64u32;
         let targets: Vec<u32> = (1..n).collect();
         let mut offsets = vec![0usize, (n - 1) as usize];
-        offsets.extend(std::iter::repeat((n - 1) as usize).take((n - 1) as usize));
+        offsets.extend(std::iter::repeat_n((n - 1) as usize, (n - 1) as usize));
         let g = Graph::from_csr(offsets, targets, None, None, true).expect("valid");
         assert!(g.has_edge(0, 33));
         assert!(!g.has_edge(0, 0));

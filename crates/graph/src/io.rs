@@ -92,10 +92,7 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()
 /// models to compute "bytes read from the datastore").
 pub fn edge_list_byte_size(graph: &Graph) -> u64 {
     // Average of ~14 bytes per "u v\n" line at the scales we use.
-    graph
-        .edges()
-        .map(|(u, v)| digits(u) + digits(v) + 2)
-        .sum()
+    graph.edges().map(|(u, v)| digits(u) + digits(v) + 2).sum()
 }
 
 fn digits(v: VertexId) -> u64 {

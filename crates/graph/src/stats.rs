@@ -43,7 +43,11 @@ pub fn stats(g: &Graph) -> GraphStats {
         avg_degree: avg,
         max_degree,
         isolated,
-        skew: if avg > 0.0 { max_degree as f64 / avg } else { 0.0 },
+        skew: if avg > 0.0 {
+            max_degree as f64 / avg
+        } else {
+            0.0
+        },
     }
 }
 

@@ -9,7 +9,10 @@ use crate::{GraphError, Result};
 /// Extracts the subgraph induced by `vertices`, relabeling them densely in
 /// the given order. Returns the subgraph and the old→new id map for the
 /// kept vertices.
-pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> Result<(Graph, Vec<(VertexId, VertexId)>)> {
+pub fn induced_subgraph(
+    g: &Graph,
+    vertices: &[VertexId],
+) -> Result<(Graph, Vec<(VertexId, VertexId)>)> {
     let mut new_id = vec![u32::MAX; g.num_vertices()];
     for (i, &v) in vertices.iter().enumerate() {
         if (v as usize) >= g.num_vertices() {
@@ -39,10 +42,7 @@ pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> Result<(Graph, Vec<
             }
         }
     }
-    let mapping = vertices
-        .iter()
-        .map(|&v| (v, new_id[v as usize]))
-        .collect();
+    let mapping = vertices.iter().map(|&v| (v, new_id[v as usize])).collect();
     Ok((b.build()?, mapping))
 }
 
@@ -75,9 +75,7 @@ pub fn largest_component(g: &Graph) -> Result<(Graph, Vec<VertexId>)> {
     for v in 0..n as u32 {
         counts[find(&mut parent, v) as usize] += 1;
     }
-    let best_root = (0..n)
-        .max_by_key(|&r| counts[r])
-        .expect("n > 0") as u32;
+    let best_root = (0..n).max_by_key(|&r| counts[r]).expect("n > 0") as u32;
     let members: Vec<VertexId> = (0..n as u32)
         .filter(|&v| find(&mut parent, v) == best_root)
         .collect();

@@ -134,11 +134,7 @@ impl<P: Partitioner> Partitioner for HourglassPartitioner<P> {
 /// Checks the *parallel recovery* property (§6.2): reclustering for a new
 /// worker count never re-partitions vertices across micro-partitions — the
 /// micro assignment is identical, only micro→worker ownership changes.
-pub fn preserves_micro_assignment(
-    mp: &MicroPartitioning,
-    a: &Clustering,
-    b: &Clustering,
-) -> bool {
+pub fn preserves_micro_assignment(mp: &MicroPartitioning, a: &Clustering, b: &Clustering) -> bool {
     // Both clusterings must route every vertex through the same micro id.
     let micro = mp.micro();
     (0..micro.num_vertices() as u32).all(|v| {

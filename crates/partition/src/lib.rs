@@ -321,7 +321,11 @@ mod stream_order_tests {
     #[test]
     fn orders_are_permutations() {
         let g = path();
-        for order in [StreamOrder::Natural, StreamOrder::Bfs, StreamOrder::DegreeDesc] {
+        for order in [
+            StreamOrder::Natural,
+            StreamOrder::Bfs,
+            StreamOrder::DegreeDesc,
+        ] {
             let mut o = order.vertex_order(&g);
             o.sort_unstable();
             assert_eq!(o, vec![0, 1, 2, 3, 4], "{order:?}");

@@ -29,7 +29,10 @@ pub fn num_micro_partitions(worker_counts: &[u32], min_micro: u32) -> Result<u32
             "worker counts must be positive".into(),
         ));
     }
-    let l = worker_counts.iter().copied().fold(1u64, |acc, c| lcm(acc, c as u64));
+    let l = worker_counts
+        .iter()
+        .copied()
+        .fold(1u64, |acc, c| lcm(acc, c as u64));
     if l > u32::MAX as u64 {
         return Err(PartitionError::InvalidParameter(format!(
             "lcm of worker counts overflows: {l}"

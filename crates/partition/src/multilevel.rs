@@ -443,7 +443,8 @@ fn refine(level: &Level, assignment: &mut [u32], k: u32, max_load: u64, passes: 
                 // Respect the ceiling, except when the move strictly improves
                 // balance (a vertex heavier than the ceiling must still be
                 // able to migrate toward lighter partitions).
-                if loads[p as usize] + vw > max_load && loads[p as usize] + vw >= loads[home as usize]
+                if loads[p as usize] + vw > max_load
+                    && loads[p as usize] + vw >= loads[home as usize]
                 {
                     continue;
                 }
@@ -597,6 +598,9 @@ mod tests {
         let g = b.build().expect("build");
         let p = Multilevel::new().partition(&g, 3).expect("partition");
         let cut = edge_cut_fraction(&g, &p);
-        assert!(cut < 0.2, "disconnected components should split cleanly: {cut}");
+        assert!(
+            cut < 0.2,
+            "disconnected components should split cleanly: {cut}"
+        );
     }
 }

@@ -108,8 +108,8 @@ pub fn summarize(
         / n;
     let mut sorted_costs: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
     sorted_costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
-    let p95_idx = ((0.95 * (sorted_costs.len() - 1) as f64).round() as usize)
-        .min(sorted_costs.len() - 1);
+    let p95_idx =
+        ((0.95 * (sorted_costs.len() - 1) as f64).round() as usize).min(sorted_costs.len() - 1);
     let missed = outcomes.iter().filter(|o| o.missed_deadline).count();
     let baseline = job.on_demand_baseline_cost()?;
     Ok(ExperimentSummary {

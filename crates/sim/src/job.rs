@@ -311,11 +311,7 @@ mod tests {
         let lrc = job.lrc().expect("lrc");
         assert!((job.configs[lrc].t_exec - 4.0 * 3600.0).abs() < 1.0);
         // Slowest config ~2.5x the lrc (paper: 4 h vs up to 10 h).
-        let slowest = job
-            .configs
-            .iter()
-            .map(|c| c.t_exec)
-            .fold(0.0f64, f64::max);
+        let slowest = job.configs.iter().map(|c| c.t_exec).fold(0.0f64, f64::max);
         let ratio = slowest / job.configs[lrc].t_exec;
         assert!(
             (2.0..3.2).contains(&ratio),

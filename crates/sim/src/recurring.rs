@@ -119,7 +119,10 @@ mod tests {
         seed: u64,
     ) -> (
         hourglass_cloud::Market,
-        Vec<(hourglass_cloud::InstanceType, hourglass_cloud::EvictionModel)>,
+        Vec<(
+            hourglass_cloud::InstanceType,
+            hourglass_cloud::EvictionModel,
+        )>,
     ) {
         let market = tracegen::simulation_market(seed).expect("market");
         let history = tracegen::history_market(seed).expect("market");
@@ -159,8 +162,8 @@ mod tests {
         let job = PaperJob::GraphColoring
             .description(30.0, ReloadMode::Fast)
             .expect("job");
-        let out = run_recurring(&setup, &job, &EagerStrategy, 0.0, job.deadline, 15)
-            .expect("chain");
+        let out =
+            run_recurring(&setup, &job, &EagerStrategy, 0.0, job.deadline, 15).expect("chain");
         assert!(
             out.staleness_violations > 0,
             "deadline-oblivious provisioning should overrun some periods"

@@ -36,7 +36,9 @@ pub fn run_job_replicated(
     start: f64,
 ) -> Result<JobOutcome> {
     if replica_configs.is_empty() {
-        return Err(SimError::InvalidParameter("need at least one replica".into()));
+        return Err(SimError::InvalidParameter(
+            "need at least one replica".into(),
+        ));
     }
     let mut seen_types: Vec<InstanceType> = Vec::new();
     for &i in replica_configs {
@@ -236,8 +238,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(_, c)| {
-                c.config.is_transient()
-                    && c.config.instance_type == InstanceType::R42xlarge
+                c.config.is_transient() && c.config.instance_type == InstanceType::R42xlarge
             })
             .map(|(i, _)| i)
             .take(2)

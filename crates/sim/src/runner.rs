@@ -30,10 +30,7 @@ pub struct SimulationSetup<'a> {
 
 impl<'a> SimulationSetup<'a> {
     /// Creates a setup with the default event cap.
-    pub fn new(
-        market: &'a Market,
-        eviction_models: &'a [(InstanceType, EvictionModel)],
-    ) -> Self {
+    pub fn new(market: &'a Market, eviction_models: &'a [(InstanceType, EvictionModel)]) -> Self {
         SimulationSetup {
             market,
             eviction_models,
@@ -379,9 +376,9 @@ fn build_candidates(
             };
             let eviction = match perf.config.class {
                 ResourceClass::OnDemand => eviction::reliable(),
-                ResourceClass::Transient => setup
-                    .eviction_model(perf.config.instance_type)?
-                    .clone(),
+                ResourceClass::Transient => {
+                    setup.eviction_model(perf.config.instance_type)?.clone()
+                }
             };
             Ok(Candidate {
                 config: perf.config,
@@ -416,8 +413,7 @@ mod tests {
     fn fixture(seed: u64) -> Fixture {
         let market = tracegen::simulation_market(seed).expect("market");
         let history = tracegen::history_market(seed).expect("market");
-        let models =
-            derive_eviction_models(&history, 24.0 * 3600.0, 500, 17).expect("models");
+        let models = derive_eviction_models(&history, 24.0 * 3600.0, 500, 17).expect("models");
         Fixture { market, models }
     }
 

@@ -25,10 +25,7 @@ impl Strategy for HalfSlack {
         "HalfSlack".into()
     }
 
-    fn decide(
-        &self,
-        ctx: &DecisionContext<'_>,
-    ) -> hourglass::core::Result<Decision> {
+    fn decide(&self, ctx: &DecisionContext<'_>) -> hourglass::core::Result<Decision> {
         let slack = ctx.slack()?;
         if slack < 0.5 * self.initial_slack {
             return Ok(Decision {

@@ -51,8 +51,7 @@ fn main() {
         let t0 = Instant::now();
         let clustered = cluster_micro_partitions(&micro, k, 7).expect("cluster");
         let t_cluster = t0.elapsed();
-        let cut_cluster =
-            100.0 * edge_cut_fraction(&graph, clustered.vertex_partitioning());
+        let cut_cluster = 100.0 * edge_cut_fraction(&graph, clustered.vertex_partitioning());
 
         println!(
             "{:<26} {:>14.2?} {:>12.1} | {:>14.2?} {:>12.1}",

@@ -54,8 +54,7 @@ fn main() {
         let mut evictions = 0usize;
         for i in 0..recurrences {
             let start = 86_400.0 + i as f64 * period;
-            let out =
-                run_job(&setup, &job, strategy.as_ref(), start).expect("simulation");
+            let out = run_job(&setup, &job, strategy.as_ref(), start).expect("simulation");
             total += out.cost;
             missed += out.missed_deadline as usize;
             evictions += out.evictions;

@@ -159,3 +159,151 @@ proptest! {
         }
     }
 }
+
+// --- engine properties (self-contained: engine + graph + partition only) ---
+mod engine_properties {
+    use hourglass::engine::apps::{coloring_is_proper, GraphColoring, PageRank};
+    use hourglass::engine::{BspEngine, ComputeContext, EngineConfig, VertexProgram};
+    use hourglass::graph::{generators, Graph, VertexId};
+    use hourglass::partition::hash::HashPartitioner;
+    use hourglass::partition::Partitioner;
+    use proptest::prelude::*;
+
+    /// Floods the max vertex id for one hop, then halts. Max is
+    /// order-insensitive and exact, so results must be identical across
+    /// every worker count and execution mode.
+    struct MaxId;
+
+    impl VertexProgram for MaxId {
+        type Value = u32;
+        type Message = u32;
+
+        fn init(&self, v: VertexId, _g: &Graph) -> u32 {
+            v
+        }
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, u32, u32>, messages: &[u32]) {
+            if ctx.superstep == 0 {
+                let me = *ctx.value_ref();
+                ctx.send_to_neighbors(me);
+            } else if let Some(&best) = messages.iter().max() {
+                if best > *ctx.value_ref() {
+                    *ctx.value() = best;
+                }
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn combine(&self, a: &u32, b: &u32) -> Option<u32> {
+            Some(*a.max(b))
+        }
+    }
+
+    fn engine_on<P: VertexProgram>(
+        program: P,
+        g: &Graph,
+        k: u32,
+        parallel: bool,
+    ) -> BspEngine<'_, P> {
+        let p = HashPartitioner.partition(g, k).expect("partition");
+        let config = EngineConfig {
+            parallel,
+            ..EngineConfig::default()
+        };
+        BspEngine::new(program, g, p, config).expect("engine")
+    }
+
+    fn run_values<P: VertexProgram>(
+        program: P,
+        g: &Graph,
+        k: u32,
+        parallel: bool,
+    ) -> Vec<P::Value> {
+        let mut e = engine_on(program, g, k, parallel);
+        e.run().expect("run");
+        e.into_values()
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The engine computes the same answer at every worker count, in
+        /// both execution modes, as the single-worker sequential reference:
+        /// exactly for integer programs (MaxId, GraphColoring), and within
+        /// 1e-9 for PageRank (summation order shifts across partitionings).
+        #[test]
+        fn engine_matches_sequential_reference(
+            scale in 6u32..9,
+            seed in 0u64..20,
+            k in prop::sample::select(vec![1u32, 2, 4, 8]),
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+
+            let max_ref = run_values(MaxId, &g, 1, false);
+            prop_assert_eq!(&run_values(MaxId, &g, k, false), &max_ref);
+            prop_assert_eq!(&run_values(MaxId, &g, k, true), &max_ref);
+
+            let pr_ref = run_values(PageRank::fixed(10), &g, 1, false);
+            let pr_seq = run_values(PageRank::fixed(10), &g, k, false);
+            let pr_par = run_values(PageRank::fixed(10), &g, k, true);
+            prop_assert_eq!(&pr_seq, &pr_par, "threading must not change results");
+            prop_assert!(max_abs_diff(&pr_ref, &pr_seq) < 1e-9);
+
+            let gc_seq = run_values(GraphColoring::default(), &g, k, false);
+            let gc_par = run_values(GraphColoring::default(), &g, k, true);
+            prop_assert_eq!(&gc_seq, &gc_par, "threading must not change results");
+            prop_assert!(coloring_is_proper(&g, &gc_seq));
+        }
+
+        /// Checkpointing at an arbitrary superstep and restoring onto an
+        /// arbitrary (possibly different) worker count finishes with the
+        /// same answer as the uninterrupted run.
+        #[test]
+        fn engine_checkpoint_restore_preserves_results(
+            seed in 0u64..20,
+            k_from in prop::sample::select(vec![1u32, 2, 4, 8]),
+            k_to in prop::sample::select(vec![1u32, 2, 4, 8]),
+            cut in 0usize..6,
+        ) {
+            let g = generators::rmat(7, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+
+            // PageRank: interrupt after `cut` supersteps, resume on k_to.
+            let mut a = engine_on(PageRank::fixed(8), &g, k_from, true);
+            for _ in 0..cut {
+                if a.step().expect("step") {
+                    break;
+                }
+            }
+            let ckpt = a.checkpoint_state();
+            a.run().expect("finish original");
+            let mut b = engine_on(PageRank::fixed(8), &g, k_to, true);
+            b.restore_state(ckpt).expect("restore");
+            b.run().expect("finish restored");
+            prop_assert!(max_abs_diff(&a.values(), &b.values()) < 1e-9);
+
+            // MaxId: exact equality across the same interruption.
+            let mut a = engine_on(MaxId, &g, k_from, true);
+            for _ in 0..cut {
+                if a.step().expect("step") {
+                    break;
+                }
+            }
+            let ckpt = a.checkpoint_state();
+            a.run().expect("finish original");
+            let mut b = engine_on(MaxId, &g, k_to, true);
+            b.restore_state(ckpt).expect("restore");
+            b.run().expect("finish restored");
+            prop_assert_eq!(a.values(), b.values());
+        }
+    }
+}
+// --- end engine properties ---

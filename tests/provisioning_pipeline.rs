@@ -13,7 +13,10 @@ use hourglass::sim::Experiment;
 
 struct World {
     market: hourglass::cloud::Market,
-    models: Vec<(hourglass::cloud::InstanceType, hourglass::cloud::EvictionModel)>,
+    models: Vec<(
+        hourglass::cloud::InstanceType,
+        hourglass::cloud::EvictionModel,
+    )>,
 }
 
 fn world(seed: u64) -> World {
