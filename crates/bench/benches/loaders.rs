@@ -1,8 +1,12 @@
 //! Criterion micro-benchmarks of the physical loaders (the measured
-//! counterpart of Figure 6): stream vs hash vs micro loading wall time.
+//! counterpart of Figure 6): stream vs hash vs micro loading wall time,
+//! swept over worker counts {2, 8} and both datastore formats (the text
+//! edge-list baseline vs the sharded binary layout). Sample sizes are
+//! capped so the full sweep stays CI-friendly; the `cargo bench --no-run`
+//! gate only compiles it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hourglass_engine::loaders::{hash_load, micro_load, stream_load, EdgeListStore};
+use hourglass_engine::loaders::{hash_load, micro_load, stream_load, Datastore};
 use hourglass_graph::generators::{self, RmatParams};
 use hourglass_partition::cluster::cluster_micro_partitions;
 use hourglass_partition::hash::HashPartitioner;
@@ -11,26 +15,45 @@ use hourglass_partition::Partitioner;
 
 fn bench_loaders(c: &mut Criterion) {
     let g = generators::rmat(13, 12, RmatParams::SOCIAL, 3).expect("generate");
-    let k = 8u32;
-    let part = HashPartitioner.partition(&g, k).expect("partition");
-    let flat = EdgeListStore::flat_from_graph(&g);
     let mp = MicroPartitioner::new(HashPartitioner, 64)
         .run(&g)
         .expect("micro");
-    let micro_store = EdgeListStore::micro_from_graph(&g, mp.micro()).expect("store");
-    let clustering = cluster_micro_partitions(&mp, k, 1).expect("cluster");
+    let flat_stores = [
+        ("text", Datastore::text_flat(&g)),
+        ("binary", Datastore::binary_flat(&g)),
+    ];
+    let micro_stores = [
+        (
+            "text",
+            Datastore::text_micro(&g, mp.micro()).expect("store"),
+        ),
+        (
+            "binary",
+            Datastore::binary_micro(&g, mp.micro()).expect("store"),
+        ),
+    ];
 
-    let mut group = c.benchmark_group("load_8_workers");
-    group.sample_size(10);
-    group.bench_function("stream", |b| b.iter(|| stream_load(&flat, &part)));
-    group.bench_function("hash", |b| b.iter(|| hash_load(&flat, &part)));
-    group.bench_function("micro", |b| {
-        b.iter(|| {
-            micro_load(&micro_store, mp.micro(), clustering.micro_to_macro(), k)
-                .expect("micro load")
-        })
-    });
-    group.finish();
+    for k in [2u32, 8] {
+        let part = HashPartitioner.partition(&g, k).expect("partition");
+        let clustering = cluster_micro_partitions(&mp, k, 1).expect("cluster");
+        let mut group = c.benchmark_group(format!("load_{k}_workers"));
+        group.sample_size(10);
+        for (fmt, flat) in &flat_stores {
+            group.bench_function(format!("stream/{fmt}"), |b| {
+                b.iter(|| stream_load(flat, &part))
+            });
+            group.bench_function(format!("hash/{fmt}"), |b| b.iter(|| hash_load(flat, &part)));
+        }
+        for (fmt, store) in &micro_stores {
+            group.bench_function(format!("micro/{fmt}"), |b| {
+                b.iter(|| {
+                    micro_load(store, mp.micro(), clustering.micro_to_macro(), k)
+                        .expect("micro load")
+                })
+            });
+        }
+        group.finish();
+    }
 }
 
 criterion_group!(benches, bench_loaders);

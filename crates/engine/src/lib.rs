@@ -11,6 +11,11 @@
 //! partition ownership decides which messages are "remote" (they cross
 //! workers and are tallied separately, since the paper's partition-quality
 //! metric §8.3.3 estimates exactly this traffic).
+//!
+//! Loading reads a [`loaders::Datastore`] — the text edge-list baseline or
+//! the sharded binary (`HGS1`) layout whose micro-partition buckets decode
+//! zero-copy — and [`loaders::reload_graph`] turns the loaded per-worker
+//! slabs back into the in-memory graph a deployment executes on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +30,7 @@ pub mod metrics;
 pub mod program;
 
 pub use engine::{BspEngine, EngineConfig, ExecutionReport};
+pub use loaders::{Datastore, StoreFormat};
 pub use program::{ComputeContext, VertexProgram};
 
 use std::fmt;

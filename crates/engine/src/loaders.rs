@@ -1,20 +1,37 @@
 //! Graph loading strategies (§6.1/§8.3.1): stream, hash and micro loading.
 //!
-//! Two layers:
+//! Three layers:
 //!
+//! - **[`Datastore`]** — the at-rest layout the loaders read. Two physical
+//!   formats behind one abstraction: the text edge list ([`EdgeListStore`],
+//!   the comparison baseline) and the sharded binary store
+//!   ([`ShardedArcs`], `HGS1`) whose buckets are contiguous blocks of
+//!   little-endian `u32` arc pairs decoded from byte slices with zero
+//!   copies. Either layout is bucketed per micro-partition (the offline
+//!   fast-reload layout: "graph data remains partitioned in the same way
+//!   across different configurations", §6.2); a single bucket is the flat
+//!   layout.
 //! - **Physical loaders** ([`stream_load`], [`hash_load`], [`micro_load`])
-//!   actually parse an edge-list datastore into per-worker adjacency
-//!   structures, with the hash loader's cross-worker shuffle and the micro
-//!   loader's exchange-free parallel reads faithfully reproduced (and
-//!   measured by the Criterion benches).
+//!   parse a datastore into per-worker adjacency slabs, with the hash
+//!   loader's cross-worker shuffle and the micro loader's exchange-free
+//!   parallel reads faithfully reproduced (and measured by the Criterion
+//!   benches). Adjacency assembly is a two-pass counting sort into a
+//!   CSR-shaped offsets+neighbors slab per worker — the vertex-id space is
+//!   dense, so per-worker slots are derived from the [`Partitioning`] once
+//!   and every arc is scattered straight into place; no tree maps, no
+//!   per-vertex allocation. [`reload_graph`] merges the slabs back into a
+//!   [`Graph`] — the deployment step that hands a (re)loaded graph to the
+//!   engine.
 //! - **[`LoaderCostModel`]** converts dataset sizes and machine counts
-//!   into loading *seconds* at paper scale, calibrated so the relative
-//!   behaviour of the three strategies matches Figure 6 (stream grows with
-//!   the dataset and suffers a centralized-memory penalty; hash pays the
-//!   network at small clusters; micro scales with `1/k`).
+//!   into loading *seconds* at paper scale, calibrated per [`StoreFormat`]
+//!   so the relative behaviour of the three strategies matches Figure 6
+//!   (stream grows with the dataset and suffers a centralized-memory
+//!   penalty; hash pays the network at small clusters; micro scales with
+//!   `1/k`).
 
 use crate::exec::par_map;
 use crate::{EngineError, Result};
+use hourglass_graph::io_binary::{decode_arcs, ShardedArcs, ARC_BYTES};
 use hourglass_graph::{Graph, VertexId};
 use hourglass_partition::Partitioning;
 use std::fmt;
@@ -39,6 +56,24 @@ impl fmt::Display for LoaderKind {
             LoaderKind::Stream => f.write_str("Stream Loader"),
             LoaderKind::Hash => f.write_str("Hash Loader"),
             LoaderKind::Micro => f.write_str("Micro Loader"),
+        }
+    }
+}
+
+/// Physical at-rest format of a [`Datastore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreFormat {
+    /// `u v\n` text lines (the SNAP-style baseline).
+    Text,
+    /// Sharded little-endian binary arc pairs (`HGS1`).
+    Binary,
+}
+
+impl fmt::Display for StoreFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreFormat::Text => f.write_str("text"),
+            StoreFormat::Binary => f.write_str("binary"),
         }
     }
 }
@@ -68,8 +103,9 @@ pub struct LoaderCostModel {
 
 impl LoaderCostModel {
     /// Calibration used for the Figure 6 reproduction: S3-class datastore
-    /// reads, 2016 EC2 NICs, Java-like parse rates on Giraph (these set
-    /// the *ratios* Figure 6 reports; absolute numbers are secondary).
+    /// reads, 2016 EC2 NICs, Java-like parse rates on Giraph over *text*
+    /// edge lists (these set the *ratios* Figure 6 reports; absolute
+    /// numbers are secondary).
     pub fn aws_2016() -> Self {
         LoaderCostModel {
             datastore_bandwidth: 90.0e6,
@@ -78,6 +114,22 @@ impl LoaderCostModel {
             expansion_factor: 4.0,
             master_capacity: 3.0e9,
             fixed_overhead: 8.0,
+        }
+    }
+
+    /// The same machine calibration, adjusted for the datastore format:
+    /// the binary store decodes at memory bandwidth rather than text-parse
+    /// speed, and its fixed-width arcs expand less when shipped in parsed
+    /// form (8 input bytes become one in-memory arc, vs ~14 text bytes
+    /// becoming the same arc).
+    pub fn aws_2016_for(format: StoreFormat) -> Self {
+        match format {
+            StoreFormat::Text => Self::aws_2016(),
+            StoreFormat::Binary => LoaderCostModel {
+                parse_rate: 1.2e9,
+                expansion_factor: 2.0,
+                ..Self::aws_2016()
+            },
         }
     }
 
@@ -130,38 +182,53 @@ impl LoaderCostModel {
 }
 
 // ---------------------------------------------------------------------------
-// Physical loaders.
+// Datastores.
 // ---------------------------------------------------------------------------
 
-/// An edge-list datastore, optionally pre-bucketed by micro-partition (the
-/// offline layout micro-loading depends on: "graph data remains partitioned
-/// in the same way across different configurations", §6.2).
-#[derive(Debug, Clone)]
+/// Appends the decimal digits of `x` without any per-arc heap allocation.
+fn push_u32(s: &mut String, mut x: u32) {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (x % 10) as u8;
+        x /= 10;
+        if x == 0 {
+            break;
+        }
+    }
+    s.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ascii"));
+}
+
+/// A text edge-list datastore: buckets of `u v\n` lines. One bucket is the
+/// flat layout; one bucket per micro-partition is the fast-reload layout
+/// (bucket `m` holds the arcs whose source lives in micro-partition `m`,
+/// so each undirected edge appears in both endpoints' buckets).
+///
+/// Kept as the measured comparison baseline for the binary store.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeListStore {
-    /// The flat edge-list text (one `u v` line per arc).
-    pub flat: String,
-    /// Per-micro-partition buckets: bucket `m` holds the arcs whose source
-    /// lives in micro-partition `m` (each undirected edge appears in both
-    /// endpoints' buckets).
-    pub micro_buckets: Option<Vec<String>>,
+    buckets: Vec<String>,
 }
 
 impl EdgeListStore {
-    /// Builds a flat store from a graph (arcs, i.e. both directions of
-    /// every undirected edge, so adjacency can be assembled locally).
+    /// Builds a flat (single-bucket) store from a graph in one pass, with
+    /// integer formatting into a pre-sized buffer (no per-arc `String`).
     pub fn flat_from_graph(g: &Graph) -> Self {
         let mut flat = String::with_capacity(g.num_directed_edges() * 14);
         for (u, v, _) in g.arcs() {
-            flat.push_str(&format!("{u} {v}\n"));
+            push_u32(&mut flat, u);
+            flat.push(' ');
+            push_u32(&mut flat, v);
+            flat.push('\n');
         }
         EdgeListStore {
-            flat,
-            micro_buckets: None,
+            buckets: vec![flat],
         }
     }
 
-    /// Builds a store bucketed by `micro` (the fast-reload layout) on top
-    /// of the flat layout.
+    /// Builds a store bucketed by `micro` (the fast-reload layout)
+    /// directly — single pass over the arcs, no intermediate flat copy.
     pub fn micro_from_graph(g: &Graph, micro: &Partitioning) -> Result<Self> {
         if micro.num_vertices() != g.num_vertices() {
             return Err(EngineError::InvalidConfig(format!(
@@ -170,28 +237,463 @@ impl EdgeListStore {
                 g.num_vertices()
             )));
         }
-        let mut base = Self::flat_from_graph(g);
-        let mut buckets = vec![String::new(); micro.num_parts() as usize];
-        for (u, v, _) in g.arcs() {
-            buckets[micro.part_of(u) as usize].push_str(&format!("{u} {v}\n"));
+        let counts = hourglass_partition::micro::micro_arc_counts(g, micro)
+            .map_err(EngineError::Partition)?;
+        let mut buckets: Vec<String> = counts
+            .iter()
+            .map(|&c| String::with_capacity(c as usize * 14))
+            .collect();
+        for u in 0..g.num_vertices() as VertexId {
+            let bucket = &mut buckets[micro.part_of(u) as usize];
+            for &v in g.neighbors(u) {
+                push_u32(bucket, u);
+                bucket.push(' ');
+                push_u32(bucket, v);
+                bucket.push('\n');
+            }
         }
-        base.micro_buckets = Some(buckets);
-        Ok(base)
+        Ok(EdgeListStore { buckets })
     }
 
-    /// Size of the flat layout in bytes.
+    /// Wraps externally produced buckets (whole lines per bucket).
+    pub fn from_buckets(buckets: Vec<String>) -> Result<Self> {
+        if buckets.is_empty() {
+            return Err(EngineError::InvalidConfig(
+                "a text store needs at least one bucket".into(),
+            ));
+        }
+        Ok(EdgeListStore { buckets })
+    }
+
+    /// The per-bucket text blocks.
+    pub fn buckets(&self) -> &[String] {
+        &self.buckets
+    }
+
+    /// Number of buckets (1 = flat layout).
+    pub fn num_buckets(&self) -> u32 {
+        self.buckets.len() as u32
+    }
+
+    /// Total size of the stored text in bytes.
     pub fn byte_size(&self) -> usize {
-        self.flat.len()
+        self.buckets.iter().map(|b| b.len()).sum()
     }
 }
 
-/// One worker's loaded state: its owned vertices and their adjacency.
+/// The datastore a loader reads: either the text baseline or the sharded
+/// binary layout, behind one dispatch point so every loader runs over both.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datastore {
+    /// Text edge-list buckets.
+    Text(EdgeListStore),
+    /// Sharded binary arc buckets (`HGS1`), decoded zero-copy.
+    Binary(ShardedArcs),
+}
+
+impl From<EdgeListStore> for Datastore {
+    fn from(s: EdgeListStore) -> Self {
+        Datastore::Text(s)
+    }
+}
+
+impl From<ShardedArcs> for Datastore {
+    fn from(s: ShardedArcs) -> Self {
+        Datastore::Binary(s)
+    }
+}
+
+impl Datastore {
+    /// Flat text store from a graph.
+    pub fn text_flat(g: &Graph) -> Self {
+        Datastore::Text(EdgeListStore::flat_from_graph(g))
+    }
+
+    /// Micro-bucketed text store from a graph.
+    pub fn text_micro(g: &Graph, micro: &Partitioning) -> Result<Self> {
+        Ok(Datastore::Text(EdgeListStore::micro_from_graph(g, micro)?))
+    }
+
+    /// Flat binary store from a graph.
+    pub fn binary_flat(g: &Graph) -> Self {
+        Datastore::Binary(ShardedArcs::flat_from_graph(g))
+    }
+
+    /// Micro-bucketed binary store from a graph: one shard per
+    /// micro-partition, each a contiguous block of LE arc pairs.
+    pub fn binary_micro(g: &Graph, micro: &Partitioning) -> Result<Self> {
+        if micro.num_vertices() != g.num_vertices() {
+            return Err(EngineError::InvalidConfig(format!(
+                "micro partitioning covers {} vertices, graph has {}",
+                micro.num_vertices(),
+                g.num_vertices()
+            )));
+        }
+        let sharded = ShardedArcs::from_graph_buckets(g, micro.assignment(), micro.num_parts())
+            .map_err(|e| EngineError::InvalidConfig(format!("sharded store: {e}")))?;
+        Ok(Datastore::Binary(sharded))
+    }
+
+    /// Physical format of this store.
+    pub fn format(&self) -> StoreFormat {
+        match self {
+            Datastore::Text(_) => StoreFormat::Text,
+            Datastore::Binary(_) => StoreFormat::Binary,
+        }
+    }
+
+    /// Number of buckets (1 = flat layout).
+    pub fn num_buckets(&self) -> u32 {
+        match self {
+            Datastore::Text(s) => s.num_buckets(),
+            Datastore::Binary(s) => s.num_buckets(),
+        }
+    }
+
+    /// Stored size in bytes (text: all lines; binary: the arc payload).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Datastore::Text(s) => s.byte_size(),
+            Datastore::Binary(s) => s.payload_bytes(),
+        }
+    }
+
+    fn bucket_byte_len(&self, b: u32) -> usize {
+        match self {
+            Datastore::Text(s) => s.buckets[b as usize].len(),
+            Datastore::Binary(s) => s.bucket_bytes(b).len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing and chunking.
+// ---------------------------------------------------------------------------
+
+/// Parses `u v` text lines into `out`. Blank lines and `#` comments are
+/// part of the format and skipped silently; unparseable lines and arcs
+/// referencing vertices `>= n` are dropped and *counted*.
+fn parse_text_arcs(out: &mut Vec<(VertexId, VertexId)>, text: &str, n: u32) -> u64 {
+    let mut skipped = 0u64;
+    for l in text.lines() {
+        if l.is_empty() || l.starts_with('#') || l.trim().is_empty() {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        let parsed = (|| {
+            let u: u32 = it.next()?.parse().ok()?;
+            let v: u32 = it.next()?.parse().ok()?;
+            (u < n && v < n).then_some((u, v))
+        })();
+        match parsed {
+            Some(arc) => out.push(arc),
+            None => skipped += 1,
+        }
+    }
+    skipped
+}
+
+/// Decodes LE arc pairs into `out`, dropping and counting arcs that
+/// reference vertices `>= n` (corrupt or foreign entries).
+fn decode_bin_arcs(out: &mut Vec<(VertexId, VertexId)>, bytes: &[u8], n: u32) -> u64 {
+    let mut skipped = 0u64;
+    out.reserve(bytes.len() / ARC_BYTES);
+    for (u, v) in decode_arcs(bytes) {
+        if u < n && v < n {
+            out.push((u, v));
+        } else {
+            skipped += 1;
+        }
+    }
+    skipped
+}
+
+/// Splits the store's bucket concatenation into `k` record-aligned chunks,
+/// each a list of byte-range slices `(bucket, start, end)`. Records never
+/// span buckets, so alignment happens within a bucket: text chunks end at
+/// a newline, binary chunks at an arc-pair boundary.
+fn chunk_ranges(store: &Datastore, k: usize) -> Vec<Vec<(u32, usize, usize)>> {
+    let b = store.num_buckets() as usize;
+    let lens: Vec<usize> = (0..b as u32).map(|i| store.bucket_byte_len(i)).collect();
+    let total: usize = lens.iter().sum();
+    // (bucket, offset) cut points, monotone, first = start, last = end.
+    let mut cuts: Vec<(usize, usize)> = Vec::with_capacity(k + 1);
+    cuts.push((0, 0));
+    for i in 1..k {
+        let mut target = total * i / k;
+        // Locate the bucket containing the global offset `target`.
+        let mut bucket = 0usize;
+        while bucket < b && target >= lens[bucket] {
+            target -= lens[bucket];
+            bucket += 1;
+        }
+        let cut = if bucket >= b {
+            (b, 0)
+        } else {
+            // Align forward to the next record boundary inside the bucket.
+            let aligned = match store {
+                Datastore::Text(s) => s.buckets[bucket][target..]
+                    .find('\n')
+                    .map(|p| target + p + 1)
+                    .unwrap_or(lens[bucket]),
+                Datastore::Binary(_) => target.div_ceil(ARC_BYTES) * ARC_BYTES,
+            };
+            if aligned >= lens[bucket] {
+                (bucket + 1, 0)
+            } else {
+                (bucket, aligned)
+            }
+        };
+        cuts.push(cut.max(*cuts.last().expect("non-empty")));
+    }
+    cuts.push((b, 0));
+
+    cuts.windows(2)
+        .map(|w| {
+            let ((b0, o0), (b1, o1)) = (w[0], w[1]);
+            let mut slices = Vec::new();
+            let mut push = |bucket: usize, start: usize, end: usize| {
+                if start < end {
+                    slices.push((bucket as u32, start, end));
+                }
+            };
+            if b0 == b1 {
+                push(b0, o0, o1);
+            } else {
+                if b0 < b {
+                    push(b0, o0, lens[b0]);
+                }
+                for (mid, &len) in lens.iter().enumerate().take(b1.min(b)).skip(b0 + 1) {
+                    push(mid, 0, len);
+                }
+                if b1 < b {
+                    push(b1, 0, o1);
+                }
+            }
+            slices
+        })
+        .collect()
+}
+
+/// Parses one chunk (a list of byte ranges) into arcs + skip count.
+fn parse_chunk(
+    store: &Datastore,
+    ranges: &[(u32, usize, usize)],
+    n: u32,
+) -> (Vec<(VertexId, VertexId)>, u64) {
+    let mut arcs = Vec::new();
+    let mut skipped = 0u64;
+    for &(bucket, start, end) in ranges {
+        skipped += match store {
+            Datastore::Text(s) => {
+                parse_text_arcs(&mut arcs, &s.buckets[bucket as usize][start..end], n)
+            }
+            Datastore::Binary(s) => {
+                decode_bin_arcs(&mut arcs, &s.bucket_bytes(bucket)[start..end], n)
+            }
+        };
+    }
+    (arcs, skipped)
+}
+
+// ---------------------------------------------------------------------------
+// Counting-sort assembly.
+// ---------------------------------------------------------------------------
+
+/// One worker's loaded state: its owned (active) vertices and their
+/// adjacency, as a CSR-shaped offsets+neighbors slab.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadedWorker {
     /// Worker id.
     pub worker: u32,
-    /// `(vertex, out-neighbors)` for every owned vertex, sorted by vertex.
-    pub adjacency: Vec<(VertexId, Vec<VertexId>)>,
+    /// Owned vertices with at least one out-neighbor, ascending.
+    vertices: Vec<VertexId>,
+    /// `offsets[i]..offsets[i + 1]` indexes `neighbors` for `vertices[i]`.
+    offsets: Vec<usize>,
+    /// Concatenated out-neighbor lists, each sorted.
+    neighbors: Vec<VertexId>,
+}
+
+impl LoadedWorker {
+    /// Number of (active) vertices this worker loaded.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of loaded arcs (adjacency entries).
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The loaded vertices, ascending.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Iterates `(vertex, out-neighbors)` in ascending vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, &self.neighbors[self.offsets[i]..self.offsets[i + 1]]))
+    }
+}
+
+/// Per-worker slot layout derived from the vertex ownership once per load:
+/// the id space is dense `u32`, so each worker's owned vertices map to a
+/// contiguous slot range and arcs counting-sort straight into place.
+struct AssemblyPlan {
+    owner: Vec<u32>,
+    slot_of: Vec<u32>,
+    verts: Vec<Vec<VertexId>>,
+}
+
+impl AssemblyPlan {
+    fn new(num_workers: u32, owner: Vec<u32>) -> Self {
+        let mut counts = vec![0usize; num_workers as usize];
+        for &w in &owner {
+            counts[w as usize] += 1;
+        }
+        let mut verts: Vec<Vec<VertexId>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut slot_of = vec![0u32; owner.len()];
+        for (v, &w) in owner.iter().enumerate() {
+            slot_of[v] = verts[w as usize].len() as u32;
+            verts[w as usize].push(v as VertexId);
+        }
+        AssemblyPlan {
+            owner,
+            slot_of,
+            verts,
+        }
+    }
+
+    fn from_partitioning(p: &Partitioning) -> Self {
+        Self::new(p.num_parts(), p.assignment().to_vec())
+    }
+
+    fn num_workers(&self) -> u32 {
+        self.verts.len() as u32
+    }
+}
+
+/// Borrowed arc source for one worker's assembly: routed parsed pairs, or
+/// raw binary bucket slices iterated in place (the zero-copy micro path —
+/// the counting and scatter passes both decode straight off the bytes).
+enum WorkerArcs<'a> {
+    Owned(Vec<(VertexId, VertexId)>),
+    Bytes(Vec<&'a [u8]>),
+}
+
+impl WorkerArcs<'_> {
+    fn for_each(&self, mut f: impl FnMut(VertexId, VertexId)) {
+        match self {
+            WorkerArcs::Owned(arcs) => {
+                for &(u, v) in arcs {
+                    f(u, v);
+                }
+            }
+            WorkerArcs::Bytes(slices) => {
+                for s in slices {
+                    for (u, v) in decode_arcs(s) {
+                        f(u, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds one worker's CSR slab by two-pass counting sort: count degrees
+/// per slot, prefix-sum into offsets, scatter neighbors into place. Arcs
+/// that are out of range or routed to the wrong worker are dropped and
+/// counted (they can only come from a corrupt store or bucket map).
+fn assemble_worker(w: u32, arcs: &WorkerArcs<'_>, plan: &AssemblyPlan) -> (LoadedWorker, u64) {
+    let my = &plan.verts[w as usize];
+    let n = plan.owner.len() as u32;
+    let mut deg = vec![0u32; my.len()];
+    let mut dropped = 0u64;
+    arcs.for_each(|u, v| {
+        if u < n && v < n && plan.owner[u as usize] == w {
+            deg[plan.slot_of[u as usize] as usize] += 1;
+        } else {
+            dropped += 1;
+        }
+    });
+    let mut slot_off = Vec::with_capacity(my.len() + 1);
+    let mut acc = 0usize;
+    slot_off.push(0);
+    for &d in &deg {
+        acc += d as usize;
+        slot_off.push(acc);
+    }
+    let mut neighbors = vec![0 as VertexId; acc];
+    let mut cursor = slot_off.clone();
+    arcs.for_each(|u, v| {
+        if u < n && v < n && plan.owner[u as usize] == w {
+            let s = plan.slot_of[u as usize] as usize;
+            neighbors[cursor[s]] = v;
+            cursor[s] += 1;
+        }
+    });
+    // Compact to active vertices; our stores emit every vertex's arcs in
+    // ascending target order, so the sort below is a no-op check unless
+    // the store was produced externally.
+    let active = deg.iter().filter(|&&d| d > 0).count();
+    let mut vertices = Vec::with_capacity(active);
+    let mut offsets = Vec::with_capacity(active + 1);
+    offsets.push(0);
+    for (s, &d) in deg.iter().enumerate() {
+        if d == 0 {
+            continue;
+        }
+        vertices.push(my[s]);
+        let seg = &mut neighbors[slot_off[s]..slot_off[s + 1]];
+        if seg.windows(2).any(|p| p[0] > p[1]) {
+            seg.sort_unstable();
+        }
+        offsets.push(slot_off[s + 1]);
+    }
+    (
+        LoadedWorker {
+            worker: w,
+            vertices,
+            offsets,
+            neighbors,
+        },
+        dropped,
+    )
+}
+
+/// Routes parsed arcs to their owning workers by counting sort (exact
+/// per-worker capacity, one scatter pass).
+fn route_by_owner(arcs: &[(VertexId, VertexId)], plan: &AssemblyPlan) -> Vec<WorkerArcs<'static>> {
+    let mut counts = vec![0usize; plan.num_workers() as usize];
+    for &(u, _) in arcs {
+        counts[plan.owner[u as usize] as usize] += 1;
+    }
+    let mut per: Vec<Vec<(VertexId, VertexId)>> =
+        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for &(u, v) in arcs {
+        per[plan.owner[u as usize] as usize].push((u, v));
+    }
+    per.into_iter().map(WorkerArcs::Owned).collect()
+}
+
+/// Assembles every worker's slab in parallel.
+fn assemble_all(plan: &AssemblyPlan, per_worker: Vec<WorkerArcs<'_>>) -> (Vec<LoadedWorker>, u64) {
+    let indexed: Vec<(u32, WorkerArcs<'_>)> = per_worker
+        .into_iter()
+        .enumerate()
+        .map(|(w, a)| (w as u32, a))
+        .collect();
+    let built = par_map(&indexed, |(w, arcs)| assemble_worker(*w, arcs, plan));
+    let mut dropped = 0u64;
+    let mut workers = Vec::with_capacity(built.len());
+    for (lw, d) in built {
+        dropped += d;
+        workers.push(lw);
+    }
+    (workers, dropped)
 }
 
 /// Accounting of a physical load.
@@ -202,129 +704,105 @@ pub struct LoadStats {
     /// Arcs that had to move between the parsing worker and the owning
     /// worker (the shuffle volume; zero for micro loading).
     pub arcs_exchanged: u64,
+    /// Input records dropped instead of loaded: unparseable text lines,
+    /// arcs referencing out-of-range vertices, or arcs found in a bucket
+    /// routed to the wrong worker. Zero on a well-formed store; the figure
+    /// binaries assert this.
+    pub lines_skipped: u64,
 }
 
-fn parse_arcs(text: &str) -> Vec<(VertexId, VertexId)> {
-    text.lines()
-        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let mut it = l.split_whitespace();
-            let u = it.next()?.parse().ok()?;
-            let v = it.next()?.parse().ok()?;
-            Some((u, v))
-        })
-        .collect()
-}
-
-fn assemble(
-    num_workers: u32,
-    owner: impl Fn(VertexId) -> u32,
-    arcs: impl IntoIterator<Item = (VertexId, VertexId)>,
-) -> Vec<LoadedWorker> {
-    let mut per_worker: Vec<std::collections::BTreeMap<VertexId, Vec<VertexId>>> =
-        (0..num_workers).map(|_| Default::default()).collect();
-    for (u, v) in arcs {
-        per_worker[owner(u) as usize].entry(u).or_default().push(v);
-    }
-    per_worker
-        .into_iter()
-        .enumerate()
-        .map(|(w, adj)| LoadedWorker {
-            worker: w as u32,
-            adjacency: adj
-                .into_iter()
-                .map(|(v, mut ns)| {
-                    ns.sort_unstable();
-                    (v, ns)
-                })
-                .collect(),
-        })
-        .collect()
-}
+// ---------------------------------------------------------------------------
+// Physical loaders.
+// ---------------------------------------------------------------------------
 
 /// Stream loading: one machine parses everything, then entities are handed
 /// to their owners.
 pub fn stream_load(
-    store: &EdgeListStore,
+    store: &Datastore,
     partitioning: &Partitioning,
 ) -> (Vec<LoadedWorker>, LoadStats) {
-    let arcs = parse_arcs(&store.flat);
+    let n = partitioning.num_vertices() as u32;
+    let plan = AssemblyPlan::from_partitioning(partitioning);
+    // The master reads every bucket in order: one sequential parse.
+    let mut arcs = Vec::new();
+    let mut skipped = 0u64;
+    for b in 0..store.num_buckets() {
+        let len = store.bucket_byte_len(b);
+        let (mut a, s) = parse_chunk(store, &[(b, 0, len)], n);
+        arcs.append(&mut a);
+        skipped += s;
+    }
+    let exchanged = arcs
+        .iter()
+        .filter(|&&(u, _)| plan.owner[u as usize] != 0)
+        .count() as u64;
+    let per_worker = route_by_owner(&arcs, &plan);
+    drop(arcs);
+    let (workers, dropped) = assemble_all(&plan, per_worker);
     let stats = LoadStats {
-        bytes_parsed: store.flat.len() as u64,
-        // Every arc whose owner is not the master (worker 0) crosses the
-        // network.
-        arcs_exchanged: arcs
-            .iter()
-            .filter(|&&(u, _)| partitioning.part_of(u) != 0)
-            .count() as u64,
+        bytes_parsed: store.byte_size() as u64,
+        arcs_exchanged: exchanged,
+        lines_skipped: skipped + dropped,
     };
-    let workers = assemble(partitioning.num_parts(), |v| partitioning.part_of(v), arcs);
     (workers, stats)
 }
 
-/// Hash loading: the flat store is split into `k` line-aligned chunks,
-/// each parsed by one worker in parallel; arcs are then shuffled to their
+/// Hash loading: the store is split into `k` record-aligned chunks, each
+/// parsed by one worker in parallel; arcs are then shuffled to their
 /// owners.
-pub fn hash_load(
-    store: &EdgeListStore,
-    partitioning: &Partitioning,
-) -> (Vec<LoadedWorker>, LoadStats) {
+pub fn hash_load(store: &Datastore, partitioning: &Partitioning) -> (Vec<LoadedWorker>, LoadStats) {
+    let n = partitioning.num_vertices() as u32;
     let k = partitioning.num_parts() as usize;
-    let text = &store.flat;
-    // Line-aligned chunk boundaries.
-    let mut bounds = vec![0usize];
-    for i in 1..k {
-        let target = text.len() * i / k;
-        let next_newline = text[target..]
-            .find('\n')
-            .map(|p| target + p + 1)
-            .unwrap_or(text.len());
-        bounds.push(next_newline.min(text.len()));
-    }
-    bounds.push(text.len());
-    bounds.dedup();
-
-    let chunks: Vec<&str> = bounds.windows(2).map(|w| &text[w[0]..w[1]]).collect();
-    let parsed: Vec<Vec<(VertexId, VertexId)>> = par_map(&chunks, |chunk| parse_arcs(chunk));
+    let plan = AssemblyPlan::from_partitioning(partitioning);
+    let chunks = chunk_ranges(store, k);
+    let parsed: Vec<(Vec<(VertexId, VertexId)>, u64)> =
+        par_map(&chunks, |ranges| parse_chunk(store, ranges, n));
 
     let mut exchanged = 0u64;
-    for (parser, arcs) in parsed.iter().enumerate() {
-        for &(u, _) in arcs {
-            if partitioning.part_of(u) as usize != parser % k {
+    let mut skipped = 0u64;
+    let mut all = Vec::with_capacity(parsed.iter().map(|(a, _)| a.len()).sum());
+    for (parser, (arcs, s)) in parsed.into_iter().enumerate() {
+        skipped += s;
+        for &(u, _) in &arcs {
+            if plan.owner[u as usize] as usize != parser {
                 exchanged += 1;
             }
         }
+        all.extend(arcs);
     }
+    let per_worker = route_by_owner(&all, &plan);
+    drop(all);
+    let (workers, dropped) = assemble_all(&plan, per_worker);
     let stats = LoadStats {
-        bytes_parsed: text.len() as u64,
+        bytes_parsed: store.byte_size() as u64,
         arcs_exchanged: exchanged,
+        lines_skipped: skipped + dropped,
     };
-    let workers = assemble(
-        partitioning.num_parts(),
-        |v| partitioning.part_of(v),
-        parsed.into_iter().flatten(),
-    );
     (workers, stats)
 }
 
 /// Micro loading: each worker reads exactly the buckets of the
 /// micro-partitions assigned to it — parallel, with **zero** exchange
-/// (parallel recovery, §6.2).
+/// (parallel recovery, §6.2). On a binary store each bucket is consumed
+/// as a raw byte slice: the counting and scatter passes decode arcs in
+/// place, copying nothing.
 pub fn micro_load(
-    store: &EdgeListStore,
+    store: &Datastore,
     micro: &Partitioning,
     micro_to_worker: &[u32],
     num_workers: u32,
 ) -> Result<(Vec<LoadedWorker>, LoadStats)> {
-    let buckets = store
-        .micro_buckets
-        .as_ref()
-        .ok_or_else(|| EngineError::InvalidConfig("store has no micro-partition buckets".into()))?;
-    if micro_to_worker.len() != buckets.len() || buckets.len() != micro.num_parts() as usize {
+    let buckets = store.num_buckets();
+    if buckets < 2 && micro.num_parts() >= 2 {
+        return Err(EngineError::InvalidConfig(
+            "store has no micro-partition buckets".into(),
+        ));
+    }
+    if micro_to_worker.len() != buckets as usize || buckets != micro.num_parts() {
         return Err(EngineError::InvalidConfig(format!(
             "micro map covers {} micros, store has {} buckets",
             micro_to_worker.len(),
-            buckets.len()
+            buckets
         )));
     }
     if let Some(&bad) = micro_to_worker.iter().find(|&&w| w >= num_workers) {
@@ -332,40 +810,111 @@ pub fn micro_load(
             "micro map references worker {bad} of {num_workers}"
         )));
     }
-    // Group buckets per worker, then parse in parallel.
-    let mut per_worker_buckets: Vec<Vec<&str>> = (0..num_workers).map(|_| Vec::new()).collect();
-    for (m, &w) in micro_to_worker.iter().enumerate() {
-        per_worker_buckets[w as usize].push(&buckets[m]);
+    if let Datastore::Binary(s) = store {
+        if s.num_vertices() as usize != micro.num_vertices() {
+            return Err(EngineError::InvalidConfig(format!(
+                "binary store indexes {} vertices, micro partitioning has {}",
+                s.num_vertices(),
+                micro.num_vertices()
+            )));
+        }
     }
-    let parsed: Vec<Vec<(VertexId, VertexId)>> = par_map(&per_worker_buckets, |bs| {
-        bs.iter().flat_map(|b| parse_arcs(b)).collect::<Vec<_>>()
+    let n = micro.num_vertices() as u32;
+    // Ownership = micro assignment composed with the micro→worker map.
+    let owner: Vec<u32> = micro
+        .assignment()
+        .iter()
+        .map(|&m| micro_to_worker[m as usize])
+        .collect();
+    let plan = AssemblyPlan::new(num_workers, owner);
+
+    // Group buckets per worker (each worker reads exactly its shards).
+    let mut per_worker_buckets: Vec<Vec<u32>> = (0..num_workers).map(|_| Vec::new()).collect();
+    for (m, &w) in micro_to_worker.iter().enumerate() {
+        per_worker_buckets[w as usize].push(m as u32);
+    }
+
+    let indexed: Vec<(u32, &[u32])> = per_worker_buckets
+        .iter()
+        .enumerate()
+        .map(|(w, bs)| (w as u32, bs.as_slice()))
+        .collect();
+    let built: Vec<(LoadedWorker, u64, u64)> = par_map(&indexed, |&(w, bucket_ids)| {
+        let bytes: u64 = bucket_ids
+            .iter()
+            .map(|&b| store.bucket_byte_len(b) as u64)
+            .sum();
+        let (arcs, parse_skipped) = match store {
+            Datastore::Text(s) => {
+                let mut out = Vec::new();
+                let mut skipped = 0u64;
+                for &b in bucket_ids {
+                    skipped += parse_text_arcs(&mut out, &s.buckets()[b as usize], n);
+                }
+                (WorkerArcs::Owned(out), skipped)
+            }
+            Datastore::Binary(s) => (
+                WorkerArcs::Bytes(bucket_ids.iter().map(|&b| s.bucket_bytes(b)).collect()),
+                0,
+            ),
+        };
+        let (lw, dropped) = assemble_worker(w, &arcs, &plan);
+        (lw, parse_skipped + dropped, bytes)
     });
 
+    let mut workers = Vec::with_capacity(built.len());
+    let mut skipped = 0u64;
+    let mut bytes = 0u64;
+    for (lw, s, b) in built {
+        workers.push(lw);
+        skipped += s;
+        bytes += b;
+    }
     let stats = LoadStats {
-        bytes_parsed: buckets.iter().map(|b| b.len() as u64).sum(),
+        bytes_parsed: bytes,
         arcs_exchanged: 0,
+        lines_skipped: skipped,
     };
-    let workers: Vec<LoadedWorker> = parsed
-        .into_iter()
-        .enumerate()
-        .map(|(w, arcs)| {
-            let mut adj: std::collections::BTreeMap<VertexId, Vec<VertexId>> = Default::default();
-            for (u, v) in arcs {
-                adj.entry(u).or_default().push(v);
-            }
-            LoadedWorker {
-                worker: w as u32,
-                adjacency: adj
-                    .into_iter()
-                    .map(|(v, mut ns)| {
-                        ns.sort_unstable();
-                        (v, ns)
-                    })
-                    .collect(),
-            }
-        })
-        .collect();
     Ok((workers, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Deployment.
+// ---------------------------------------------------------------------------
+
+/// Merges loaded worker slabs into the deployment-wide in-memory [`Graph`]
+/// the engine executes on — the last step of the (re)load path. The CSR
+/// arrays are assembled by the same counting-sort scheme: per-vertex
+/// degrees from the slabs, prefix-sum, then each worker's neighbor block
+/// is copied into place.
+pub fn reload_graph(
+    workers: &[LoadedWorker],
+    num_vertices: usize,
+    directed: bool,
+) -> Result<Graph> {
+    let mut degree = vec![0usize; num_vertices];
+    for w in workers {
+        for (i, &v) in w.vertices.iter().enumerate() {
+            degree[v as usize] += w.offsets[i + 1] - w.offsets[i];
+        }
+    }
+    let mut offsets = Vec::with_capacity(num_vertices + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut targets = vec![0 as VertexId; acc];
+    for w in workers {
+        for (i, &v) in w.vertices.iter().enumerate() {
+            let src = &w.neighbors[w.offsets[i]..w.offsets[i + 1]];
+            let dst = offsets[v as usize];
+            targets[dst..dst + src.len()].copy_from_slice(src);
+        }
+    }
+    Graph::from_csr(offsets, targets, None, None, directed)
+        .map_err(|e| EngineError::InvalidConfig(format!("reloaded graph: {e}")))
 }
 
 /// Merges loaded workers back into a global adjacency check-sum view (test
@@ -373,7 +922,7 @@ pub fn micro_load(
 pub fn loaded_adjacency(workers: &[LoadedWorker]) -> Vec<(VertexId, Vec<VertexId>)> {
     let mut all: Vec<(VertexId, Vec<VertexId>)> = workers
         .iter()
-        .flat_map(|w| w.adjacency.iter().cloned())
+        .flat_map(|w| w.iter().map(|(v, ns)| (v, ns.to_vec())))
         .collect();
     all.sort_by_key(|(v, _)| *v);
     all
@@ -402,57 +951,122 @@ mod tests {
     }
 
     #[test]
-    fn stream_and_hash_agree_with_graph() {
+    fn stream_and_hash_agree_with_graph_on_both_formats() {
         let (g, p) = fixture();
-        let store = EdgeListStore::flat_from_graph(&g);
-        let (sw, ss) = stream_load(&store, &p);
-        let (hw, hs) = hash_load(&store, &p);
         let expect = expected_adjacency(&g);
-        assert_eq!(loaded_adjacency(&sw), expect);
-        assert_eq!(loaded_adjacency(&hw), expect);
-        assert_eq!(ss.bytes_parsed, store.byte_size() as u64);
-        assert_eq!(hs.bytes_parsed, store.byte_size() as u64);
-        assert!(hs.arcs_exchanged > 0, "hash loading must shuffle");
+        for store in [Datastore::text_flat(&g), Datastore::binary_flat(&g)] {
+            let (sw, ss) = stream_load(&store, &p);
+            let (hw, hs) = hash_load(&store, &p);
+            assert_eq!(loaded_adjacency(&sw), expect, "{} stream", store.format());
+            assert_eq!(loaded_adjacency(&hw), expect, "{} hash", store.format());
+            assert_eq!(ss.bytes_parsed, store.byte_size() as u64);
+            assert_eq!(hs.bytes_parsed, store.byte_size() as u64);
+            assert_eq!(ss.lines_skipped, 0);
+            assert_eq!(hs.lines_skipped, 0);
+            assert!(hs.arcs_exchanged > 0, "hash loading must shuffle");
+        }
     }
 
     #[test]
-    fn micro_load_is_exchange_free_and_correct() {
+    fn micro_load_is_exchange_free_and_correct_on_both_formats() {
         let (g, _) = fixture();
         let mp = MicroPartitioner::new(Multilevel::new(), 16)
             .run(&g)
             .expect("micro");
-        let store = EdgeListStore::micro_from_graph(&g, mp.micro()).expect("store");
         let clustering = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
-        let (mw, ms) =
-            micro_load(&store, mp.micro(), clustering.micro_to_macro(), 4).expect("load");
-        assert_eq!(ms.arcs_exchanged, 0);
-        assert_eq!(loaded_adjacency(&mw), expected_adjacency(&g));
-        // Ownership respects the clustering.
-        for w in &mw {
-            for (v, _) in &w.adjacency {
-                let micro = mp.micro().part_of(*v);
-                assert_eq!(clustering.micro_to_macro()[micro as usize], w.worker);
+        for store in [
+            Datastore::text_micro(&g, mp.micro()).expect("store"),
+            Datastore::binary_micro(&g, mp.micro()).expect("store"),
+        ] {
+            let (mw, ms) =
+                micro_load(&store, mp.micro(), clustering.micro_to_macro(), 4).expect("load");
+            assert_eq!(ms.arcs_exchanged, 0);
+            assert_eq!(ms.lines_skipped, 0);
+            assert_eq!(loaded_adjacency(&mw), expected_adjacency(&g));
+            // Ownership respects the clustering.
+            for w in &mw {
+                for (v, _) in w.iter() {
+                    let micro = mp.micro().part_of(v);
+                    assert_eq!(clustering.micro_to_macro()[micro as usize], w.worker);
+                }
             }
         }
     }
 
     #[test]
+    fn text_and_binary_loads_are_bit_identical() {
+        let (g, p) = fixture();
+        let text = Datastore::text_flat(&g);
+        let bin = Datastore::binary_flat(&g);
+        assert_eq!(
+            loaded_adjacency(&stream_load(&text, &p).0),
+            loaded_adjacency(&stream_load(&bin, &p).0)
+        );
+        assert_eq!(
+            loaded_adjacency(&hash_load(&text, &p).0),
+            loaded_adjacency(&hash_load(&bin, &p).0)
+        );
+        assert!(bin.byte_size() < text.byte_size() * 2, "sanity");
+    }
+
+    #[test]
     fn micro_load_validates_inputs() {
         let (g, p) = fixture();
-        let flat = EdgeListStore::flat_from_graph(&g);
-        assert!(micro_load(&flat, &p, &[0; 4], 4).is_err(), "no buckets");
+        for flat in [Datastore::text_flat(&g), Datastore::binary_flat(&g)] {
+            assert!(micro_load(&flat, &p, &[0; 4], 4).is_err(), "no buckets");
+        }
         let mp = MicroPartitioner::new(HashPartitioner, 16)
             .run(&g)
             .expect("micro");
-        let store = EdgeListStore::micro_from_graph(&g, mp.micro()).expect("store");
-        assert!(
-            micro_load(&store, mp.micro(), &[0; 3], 4).is_err(),
-            "bad map len"
+        for store in [
+            Datastore::text_micro(&g, mp.micro()).expect("store"),
+            Datastore::binary_micro(&g, mp.micro()).expect("store"),
+        ] {
+            assert!(
+                micro_load(&store, mp.micro(), &[0; 3], 4).is_err(),
+                "bad map len"
+            );
+            assert!(
+                micro_load(&store, mp.micro(), &[9; 16], 4).is_err(),
+                "worker out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_text_lines_are_counted_not_loaded() {
+        let store = Datastore::Text(
+            EdgeListStore::from_buckets(vec![
+                "0 1\n# comment\n\n1 0\nnot a line\n2 0\n9999999 3\n0 zzz\n".to_string(),
+            ])
+            .expect("store"),
         );
-        assert!(
-            micro_load(&store, mp.micro(), &[9; 16], 4).is_err(),
-            "worker out of range"
-        );
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2).expect("partitioning");
+        let (workers, stats) = stream_load(&store, &p);
+        // "9999999 3" (out of range) + "not a line" + "0 zzz" are skipped;
+        // comments and blanks are format, not errors.
+        assert_eq!(stats.lines_skipped, 3);
+        let adj = loaded_adjacency(&workers);
+        assert_eq!(adj, vec![(0, vec![1]), (1, vec![0]), (2, vec![0])]);
+        let (_, hstats) = hash_load(&store, &p);
+        assert_eq!(hstats.lines_skipped, 3);
+    }
+
+    #[test]
+    fn reload_graph_roundtrips_through_every_loader() {
+        let (g, p) = fixture();
+        let store = Datastore::binary_flat(&g);
+        let (sw, _) = stream_load(&store, &p);
+        assert_eq!(reload_graph(&sw, g.num_vertices(), false).expect("csr"), g);
+        let (hw, _) = hash_load(&store, &p);
+        assert_eq!(reload_graph(&hw, g.num_vertices(), false).expect("csr"), g);
+        let mp = MicroPartitioner::new(HashPartitioner, 16)
+            .run(&g)
+            .expect("micro");
+        let c = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let micro_store = Datastore::binary_micro(&g, mp.micro()).expect("store");
+        let (mw, _) = micro_load(&micro_store, mp.micro(), c.micro_to_macro(), 4).expect("load");
+        assert_eq!(reload_graph(&mw, g.num_vertices(), false).expect("csr"), g);
     }
 
     #[test]
@@ -492,6 +1106,20 @@ mod tests {
             s / mi
         };
         assert!(ratio(24.0e9) > 2.0 * ratio(1.8e9));
+    }
+
+    #[test]
+    fn modeled_binary_calibration_parses_faster() {
+        let text = LoaderCostModel::aws_2016_for(StoreFormat::Text);
+        let bin = LoaderCostModel::aws_2016_for(StoreFormat::Binary);
+        for kind in [LoaderKind::Stream, LoaderKind::Hash, LoaderKind::Micro] {
+            let t = text.time(kind, 4.0e9, 8).expect("time");
+            let b = bin.time(kind, 4.0e9, 8).expect("time");
+            assert!(
+                b < t,
+                "{kind}: binary {b} must beat text {t} at equal bytes"
+            );
+        }
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! Compact binary edge-list format.
+//! Compact binary edge-list formats (flat `HGG1` and sharded `HGS1`).
 //!
 //! Text edge lists (the SNAP format of [`crate::io`]) parse at tens of
 //! MB/s; the loading-phase experiments want a faster at-rest layout too.
-//! This format stores a small header plus little-endian `u32` arc pairs —
+//! Both formats store a small header plus little-endian `u32` arc pairs —
 //! ~2× smaller than text at realistic (7+ digit) vertex-id widths and
-//! parseable at memory bandwidth.
+//! decodable at memory bandwidth.
 //!
-//! Layout:
+//! `HGG1` is a whole-graph snapshot (logical edges, rebuilt through the
+//! [`GraphBuilder`]):
 //!
 //! ```text
 //! magic   "HGG1"                  (4 bytes)
@@ -15,13 +16,32 @@
 //! m       u64 LE, arc count
 //! arcs    m × (u32 LE, u32 LE)
 //! ```
+//!
+//! `HGS1` ([`ShardedArcs`]) is the sharded *datastore* layout backing the
+//! fast-reload loaders (§6.2): the arc list is grouped into buckets (one
+//! per micro-partition; a single bucket is the flat layout) and each bucket
+//! is one contiguous block of arc pairs, so a worker can read exactly its
+//! buckets and decode them from raw byte slices with zero copies:
+//!
+//! ```text
+//! magic   "HGS1"                  (4 bytes)
+//! n       u32 LE, vertex count
+//! b       u32 LE, bucket count
+//! m       u64 LE, total arc count
+//! counts  b × u64 LE, arcs per bucket
+//! arcs    m × (u32 LE, u32 LE), bucket-major
+//! ```
 
 use crate::builder::GraphBuilder;
-use crate::csr::Graph;
+use crate::csr::{Graph, VertexId};
 use crate::{GraphError, Result};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"HGG1";
+const SHARD_MAGIC: &[u8; 4] = b"HGS1";
+
+/// Bytes per serialized arc pair.
+pub const ARC_BYTES: usize = 8;
 
 /// Serializes a graph in the binary format (every stored arc is written;
 /// undirected graphs round-trip exactly).
@@ -78,15 +98,30 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Graph> {
         GraphBuilder::undirected(n)
     };
     b.reserve(m as usize);
-    let mut pair = [0u8; 8];
-    for i in 0..m {
-        r.read_exact(&mut pair).map_err(|e| GraphError::Parse {
-            line: i as usize,
-            message: format!("truncated arc {i} of {m}: {e}"),
+    // Chunked decode: pull large blocks and split them into pairs, instead
+    // of one 8-byte read_exact syscall-shaped call per arc.
+    let mut remaining = (m as usize)
+        .checked_mul(ARC_BYTES)
+        .ok_or_else(|| GraphError::Parse {
+            line: 0,
+            message: format!("arc count {m} overflows payload size"),
         })?;
-        let u = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]);
-        let v = u32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
-        b.add_edge(u, v);
+    let mut buf = vec![0u8; (64 * 1024).min(remaining.max(1))];
+    let mut decoded = 0u64;
+    while remaining > 0 {
+        let want = buf.len().min(remaining);
+        r.read_exact(&mut buf[..want])
+            .map_err(|e| GraphError::Parse {
+                line: decoded as usize,
+                message: format!("truncated arc {decoded} of {m}: {e}"),
+            })?;
+        for pair in buf[..want].chunks_exact(ARC_BYTES) {
+            let u = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]);
+            let v = u32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
+            b.add_edge(u, v);
+        }
+        decoded += (want / ARC_BYTES) as u64;
+        remaining -= want;
     }
     b.build()
 }
@@ -95,6 +130,233 @@ fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+/// Decodes a bucket's raw byte slice into `(source, target)` arc pairs.
+///
+/// The slice must come from a [`ShardedArcs`] bucket (length a multiple of
+/// [`ARC_BYTES`]); any trailing partial pair is ignored. This is the
+/// zero-copy read path of the sharded datastore: no intermediate buffer,
+/// just LE decoding straight off the mapped/owned bytes.
+#[inline]
+pub fn decode_arcs(bytes: &[u8]) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+    bytes.chunks_exact(ARC_BYTES).map(|pair| {
+        (
+            u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]),
+            u32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]),
+        )
+    })
+}
+
+/// A sharded binary arc store (`HGS1`): the at-rest layout of the
+/// fast-reload datastore.
+///
+/// Arcs (both directions of every undirected edge, so adjacency can be
+/// assembled locally) are grouped into `b` buckets; bucket `i` is the
+/// contiguous byte range holding the arcs whose *source* vertex lives in
+/// micro-partition `i`. A single bucket is the flat layout used by the
+/// stream and hash loaders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedArcs {
+    num_vertices: u32,
+    /// Exclusive prefix ends, in arcs: bucket `i` spans
+    /// `arc_ends[i-1]..arc_ends[i]` (with `arc_ends[-1] = 0`).
+    arc_ends: Vec<u64>,
+    /// Bucket-major LE arc pairs, `ARC_BYTES` each.
+    payload: Vec<u8>,
+}
+
+impl ShardedArcs {
+    /// Builds a sharded store from a graph and a per-vertex bucket
+    /// assignment (`bucket_of[v] < num_buckets`); arcs land in their
+    /// source's bucket. Two passes over the graph: a counting pass sizing
+    /// every bucket exactly (per-vertex degree, `O(n)`), then a scatter
+    /// pass writing each arc once — no intermediate per-arc allocation.
+    pub fn from_graph_buckets(g: &Graph, bucket_of: &[u32], num_buckets: u32) -> Result<Self> {
+        if bucket_of.len() != g.num_vertices() {
+            return Err(GraphError::InvalidParameter(format!(
+                "bucket assignment covers {} vertices, graph has {}",
+                bucket_of.len(),
+                g.num_vertices()
+            )));
+        }
+        if num_buckets == 0 {
+            return Err(GraphError::InvalidParameter(
+                "need at least one bucket".into(),
+            ));
+        }
+        if let Some(&bad) = bucket_of.iter().find(|&&b| b >= num_buckets) {
+            return Err(GraphError::InvalidParameter(format!(
+                "bucket {bad} out of range for {num_buckets} buckets"
+            )));
+        }
+        // Counting pass: shard sizes from vertex degrees.
+        let mut counts = vec![0u64; num_buckets as usize];
+        for v in 0..g.num_vertices() {
+            counts[bucket_of[v] as usize] += g.degree(v as VertexId) as u64;
+        }
+        let mut arc_ends = Vec::with_capacity(num_buckets as usize);
+        let mut acc = 0u64;
+        for &c in &counts {
+            acc += c;
+            arc_ends.push(acc);
+        }
+        // Scatter pass: per-bucket byte cursors into one payload slab.
+        let mut payload = vec![0u8; acc as usize * ARC_BYTES];
+        let mut cursor: Vec<usize> = std::iter::once(0)
+            .chain(arc_ends.iter().map(|&e| e as usize * ARC_BYTES))
+            .take(num_buckets as usize)
+            .collect();
+        for u in 0..g.num_vertices() {
+            let c = &mut cursor[bucket_of[u] as usize];
+            let ub = (u as u32).to_le_bytes();
+            for &v in g.neighbors(u as VertexId) {
+                payload[*c..*c + 4].copy_from_slice(&ub);
+                payload[*c + 4..*c + 8].copy_from_slice(&v.to_le_bytes());
+                *c += ARC_BYTES;
+            }
+        }
+        Ok(ShardedArcs {
+            num_vertices: g.num_vertices() as u32,
+            arc_ends,
+            payload,
+        })
+    }
+
+    /// Builds the single-bucket (flat) layout.
+    pub fn flat_from_graph(g: &Graph) -> Self {
+        Self::from_graph_buckets(g, &vec![0; g.num_vertices()], 1)
+            .expect("single-bucket construction cannot fail")
+    }
+
+    /// Number of vertices the arc ids index into.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn num_buckets(&self) -> u32 {
+        self.arc_ends.len() as u32
+    }
+
+    /// Total number of arcs across all buckets.
+    #[inline]
+    pub fn num_arcs(&self) -> u64 {
+        self.arc_ends.last().copied().unwrap_or(0)
+    }
+
+    /// Raw byte slice of bucket `b` — the zero-copy read unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[inline]
+    pub fn bucket_bytes(&self, b: u32) -> &[u8] {
+        let start = if b == 0 {
+            0
+        } else {
+            self.arc_ends[b as usize - 1] as usize * ARC_BYTES
+        };
+        let end = self.arc_ends[b as usize] as usize * ARC_BYTES;
+        &self.payload[start..end]
+    }
+
+    /// Number of arcs in bucket `b`.
+    #[inline]
+    pub fn bucket_len(&self, b: u32) -> u64 {
+        let start = if b == 0 {
+            0
+        } else {
+            self.arc_ends[b as usize - 1]
+        };
+        self.arc_ends[b as usize] - start
+    }
+
+    /// The whole bucket-major payload.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Payload size in bytes (what the loaders account as "read").
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// On-disk size in bytes, header included.
+    pub fn serialized_size(&self) -> u64 {
+        4 + 4 + 4 + 8 + 8 * self.arc_ends.len() as u64 + self.payload.len() as u64
+    }
+
+    /// Serializes in the `HGS1` layout.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<()> {
+        w.write_all(SHARD_MAGIC)?;
+        w.write_all(&self.num_vertices.to_le_bytes())?;
+        w.write_all(&(self.arc_ends.len() as u32).to_le_bytes())?;
+        w.write_all(&self.num_arcs().to_le_bytes())?;
+        let mut prev = 0u64;
+        for &end in &self.arc_ends {
+            w.write_all(&(end - prev).to_le_bytes())?;
+            prev = end;
+        }
+        w.write_all(&self.payload)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Deserializes an `HGS1` store written by [`ShardedArcs::write_to`].
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != SHARD_MAGIC {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("bad magic {magic:?}, expected {SHARD_MAGIC:?}"),
+            });
+        }
+        let num_vertices = read_u32(&mut r)?;
+        let b = read_u32(&mut r)? as usize;
+        let mut m_bytes = [0u8; 8];
+        r.read_exact(&mut m_bytes)?;
+        let m = u64::from_le_bytes(m_bytes);
+        let mut arc_ends = Vec::with_capacity(b);
+        let mut acc = 0u64;
+        for _ in 0..b {
+            r.read_exact(&mut m_bytes)?;
+            acc = acc
+                .checked_add(u64::from_le_bytes(m_bytes))
+                .ok_or_else(|| GraphError::Parse {
+                    line: 0,
+                    message: "bucket counts overflow".into(),
+                })?;
+            arc_ends.push(acc);
+        }
+        if acc != m {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("bucket counts sum to {acc}, header says {m} arcs"),
+            });
+        }
+        let payload_len = (m as usize)
+            .checked_mul(ARC_BYTES)
+            .ok_or_else(|| GraphError::Parse {
+                line: 0,
+                message: format!("arc count {m} overflows payload size"),
+            })?;
+        let mut payload = vec![0u8; payload_len];
+        r.read_exact(&mut payload).map_err(|e| GraphError::Parse {
+            line: 0,
+            message: format!("truncated payload ({m} arcs expected): {e}"),
+        })?;
+        Ok(ShardedArcs {
+            num_vertices,
+            arc_ends,
+            payload,
+        })
+    }
 }
 
 /// Size in bytes a graph occupies in this format.
@@ -178,5 +440,89 @@ mod tests {
         let g2 = read_binary(&buf[..]).expect("read");
         assert_eq!(g2.num_vertices(), 5);
         assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn sharded_buckets_cover_all_arcs_by_source() {
+        let g = generators::rmat(8, 8, generators::RmatParams::SOCIAL, 2).expect("gen");
+        let buckets: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 7).collect();
+        let s = ShardedArcs::from_graph_buckets(&g, &buckets, 7).expect("shard");
+        assert_eq!(s.num_buckets(), 7);
+        assert_eq!(s.num_arcs(), g.num_directed_edges() as u64);
+        assert_eq!(s.payload_bytes(), g.num_directed_edges() * ARC_BYTES);
+        let mut total = 0u64;
+        for b in 0..7 {
+            for (u, v) in decode_arcs(s.bucket_bytes(b)) {
+                assert_eq!(u % 7, b, "arc in wrong bucket");
+                assert!(g.neighbors(u).contains(&v));
+                total += 1;
+            }
+            assert_eq!(
+                s.bucket_len(b),
+                s.bucket_bytes(b).len() as u64 / ARC_BYTES as u64
+            );
+        }
+        assert_eq!(total, s.num_arcs());
+    }
+
+    #[test]
+    fn sharded_flat_is_single_bucket_in_arc_order() {
+        let g = generators::erdos_renyi(30, 60, 3).expect("gen");
+        let s = ShardedArcs::flat_from_graph(&g);
+        assert_eq!(s.num_buckets(), 1);
+        let decoded: Vec<_> = decode_arcs(s.bucket_bytes(0)).collect();
+        let expected: Vec<_> = g.arcs().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn sharded_roundtrip() {
+        let g = generators::rmat(8, 6, generators::RmatParams::WEB, 5).expect("gen");
+        let buckets: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 4).collect();
+        let s = ShardedArcs::from_graph_buckets(&g, &buckets, 4).expect("shard");
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).expect("write");
+        assert_eq!(buf.len() as u64, s.serialized_size());
+        let s2 = ShardedArcs::read_from(&buf[..]).expect("read");
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn sharded_rejects_corruption() {
+        let g = generators::erdos_renyi(20, 40, 1).expect("gen");
+        let s = ShardedArcs::flat_from_graph(&g);
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).expect("write");
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(ShardedArcs::read_from(&bad[..]).is_err(), "bad magic");
+        let truncated = &buf[..buf.len() - 5];
+        assert!(
+            ShardedArcs::read_from(truncated).is_err(),
+            "truncated payload"
+        );
+        // Bucket counts disagreeing with the total arc count.
+        let mut bad = buf.clone();
+        bad[20] ^= 1; // first bucket count LSB (after the 20-byte header)
+        assert!(ShardedArcs::read_from(&bad[..]).is_err(), "count mismatch");
+    }
+
+    #[test]
+    fn sharded_validates_inputs() {
+        let g = generators::erdos_renyi(10, 20, 1).expect("gen");
+        assert!(ShardedArcs::from_graph_buckets(&g, &[0; 5], 1).is_err());
+        assert!(ShardedArcs::from_graph_buckets(&g, &[0; 10], 0).is_err());
+        assert!(ShardedArcs::from_graph_buckets(&g, &[7; 10], 4).is_err());
+    }
+
+    #[test]
+    fn sharded_empty_graph() {
+        let g = crate::GraphBuilder::undirected(3).build().expect("build");
+        let s = ShardedArcs::flat_from_graph(&g);
+        assert_eq!(s.num_arcs(), 0);
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).expect("write");
+        let s2 = ShardedArcs::read_from(&buf[..]).expect("read");
+        assert_eq!(s, s2);
     }
 }

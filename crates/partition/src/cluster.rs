@@ -36,6 +36,18 @@ impl Clustering {
             .collect()
     }
 
+    /// Groups every micro-partition under its worker in one pass — the
+    /// bucket-grouping step of micro loading (each worker reads exactly
+    /// the datastore shards listed in its entry).
+    pub fn micros_by_worker(&self) -> Vec<Vec<u32>> {
+        let k = self.vertex_partitioning.num_parts() as usize;
+        let mut out = vec![Vec::new(); k];
+        for (m, &w) in self.micro_to_macro.iter().enumerate() {
+            out[w as usize].push(m as u32);
+        }
+        out
+    }
+
     /// The induced vertex-level partitioning (for quality measurement and
     /// engine deployment).
     pub fn vertex_partitioning(&self) -> &Partitioning {
@@ -176,6 +188,20 @@ mod tests {
                 assert!(!c.micros_of_worker(w).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn micros_by_worker_matches_per_worker_queries() {
+        let (_, mp) = micro_fixture();
+        let c = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let grouped = c.micros_by_worker();
+        assert_eq!(grouped.len(), 4);
+        let mut covered = 0;
+        for (w, micros) in grouped.iter().enumerate() {
+            assert_eq!(micros, &c.micros_of_worker(w as u32));
+            covered += micros.len();
+        }
+        assert_eq!(covered, mp.num_micro() as usize);
     }
 
     #[test]

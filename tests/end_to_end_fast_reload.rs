@@ -7,7 +7,7 @@
 use hourglass::engine::apps::{coloring_is_proper, GraphColoring, PageRank};
 use hourglass::engine::checkpoint::{CheckpointStore, MemoryStore};
 use hourglass::engine::engine::EngineCheckpoint;
-use hourglass::engine::loaders::{micro_load, EdgeListStore};
+use hourglass::engine::loaders::{loaded_adjacency, micro_load, reload_graph, Datastore};
 use hourglass::engine::{BspEngine, EngineConfig};
 use hourglass::graph::datasets::Dataset;
 use hourglass::partition::cluster::cluster_micro_partitions;
@@ -81,19 +81,62 @@ fn micro_loading_feeds_the_engine_consistently() {
     let micro = MicroPartitioner::new(Multilevel::new(), 16)
         .run(&graph)
         .expect("micro-partition");
-    let store = EdgeListStore::micro_from_graph(&graph, micro.micro()).expect("store");
+    let text = Datastore::text_micro(&graph, micro.micro()).expect("store");
+    let binary = Datastore::binary_micro(&graph, micro.micro()).expect("store");
 
     for k in [2u32, 4, 8] {
         let clustering = cluster_micro_partitions(&micro, k, 5).expect("cluster");
-        let (workers, stats) =
-            micro_load(&store, micro.micro(), clustering.micro_to_macro(), k).expect("load");
-        assert_eq!(stats.arcs_exchanged, 0, "micro loading never shuffles");
-        let loaded_arcs: usize = workers
-            .iter()
-            .flat_map(|w| w.adjacency.iter().map(|(_, ns)| ns.len()))
-            .sum();
-        assert_eq!(loaded_arcs, graph.num_directed_edges());
+        for store in [&text, &binary] {
+            let (workers, stats) =
+                micro_load(store, micro.micro(), clustering.micro_to_macro(), k).expect("load");
+            assert_eq!(stats.arcs_exchanged, 0, "micro loading never shuffles");
+            assert_eq!(stats.lines_skipped, 0, "well-formed stores parse fully");
+            let loaded_arcs: usize = workers.iter().map(|w| w.num_arcs()).sum();
+            assert_eq!(loaded_arcs, graph.num_directed_edges());
+        }
     }
+}
+
+#[test]
+fn binary_reload_roundtrips_into_the_engine() {
+    // The full fast-reload deployment path on the binary store: sharded
+    // datastore → exchange-free micro load → reload_graph → BSP run, with
+    // results identical to running on the original in-memory graph.
+    let graph = Dataset::Wiki.generate_tiny(9).expect("dataset");
+    let micro = MicroPartitioner::new(Multilevel::new(), 16)
+        .run(&graph)
+        .expect("micro-partition");
+    let store = Datastore::binary_micro(&graph, micro.micro()).expect("store");
+    let clustering = cluster_micro_partitions(&micro, 4, 1).expect("cluster");
+    let (workers, stats) =
+        micro_load(&store, micro.micro(), clustering.micro_to_macro(), 4).expect("load");
+    assert_eq!(stats.lines_skipped, 0);
+
+    // The loaded slabs reconstruct the graph exactly...
+    let reloaded =
+        reload_graph(&workers, graph.num_vertices(), graph.is_directed()).expect("reload");
+    assert_eq!(reloaded, graph, "reloaded CSR must match the original");
+    assert_eq!(
+        loaded_adjacency(&workers).len(),
+        (0..graph.num_vertices() as u32)
+            .filter(|&v| graph.degree(v) > 0)
+            .count()
+    );
+
+    // ...so a run over the reloaded graph is bit-identical to one over
+    // the original.
+    let run = |g: &hourglass::graph::Graph| {
+        let mut engine = BspEngine::new(
+            PageRank::fixed(8),
+            g,
+            clustering.vertex_partitioning().clone(),
+            EngineConfig::default(),
+        )
+        .expect("engine");
+        engine.run().expect("run");
+        engine.into_values()
+    };
+    assert_eq!(run(&graph), run(&reloaded));
 }
 
 #[test]

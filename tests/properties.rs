@@ -306,4 +306,89 @@ mod engine_properties {
         }
     }
 }
+
+mod loader_properties {
+    use hourglass::engine::loaders::{
+        hash_load, loaded_adjacency, micro_load, reload_graph, stream_load, Datastore,
+    };
+    use hourglass::graph::io_binary::ShardedArcs;
+    use hourglass::graph::{generators, Graph};
+    use hourglass::partition::hash::HashPartitioner;
+    use hourglass::partition::Partitioner;
+    use proptest::prelude::*;
+
+    fn expected_adjacency(g: &Graph) -> Vec<(u32, Vec<u32>)> {
+        (0..g.num_vertices() as u32)
+            .filter(|&v| g.degree(v) > 0)
+            .map(|v| (v, g.neighbors(v).to_vec()))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Every loader × store-format combination loads bit-identical
+        /// adjacency on random R-MAT graphs at every paper worker count,
+        /// and the binary micro path reconstructs the exact input CSR.
+        #[test]
+        fn loaders_agree_across_stores_and_strategies(
+            scale in 6u32..9,
+            seed in 0u64..20,
+            k in prop::sample::select(vec![1u32, 2, 4, 8]),
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let p = HashPartitioner.partition(&g, k).expect("partition");
+            let micro = HashPartitioner.partition(&g, 16).expect("micro");
+            // k always divides 16, so round-robin is a valid clustering.
+            let micro_to_worker: Vec<u32> = (0..16).map(|m| m % k).collect();
+            let expect = expected_adjacency(&g);
+
+            for store in [Datastore::text_flat(&g), Datastore::binary_flat(&g)] {
+                let (sw, ss) = stream_load(&store, &p);
+                prop_assert_eq!(&loaded_adjacency(&sw), &expect);
+                prop_assert_eq!(ss.lines_skipped, 0);
+                let (hw, hs) = hash_load(&store, &p);
+                prop_assert_eq!(&loaded_adjacency(&hw), &expect);
+                prop_assert_eq!(hs.lines_skipped, 0);
+            }
+            for store in [
+                Datastore::text_micro(&g, &micro).expect("store"),
+                Datastore::binary_micro(&g, &micro).expect("store"),
+            ] {
+                let (mw, ms) = micro_load(&store, &micro, &micro_to_worker, k).expect("load");
+                prop_assert_eq!(&loaded_adjacency(&mw), &expect);
+                prop_assert_eq!(ms.arcs_exchanged, 0, "micro loading never shuffles");
+                prop_assert_eq!(ms.lines_skipped, 0);
+                let reloaded = reload_graph(&mw, g.num_vertices(), g.is_directed())
+                    .expect("reload");
+                prop_assert_eq!(&reloaded, &g);
+            }
+        }
+
+        /// The sharded binary store serializes and deserializes losslessly,
+        /// and the deserialized copy loads the same adjacency as the text
+        /// baseline built from the same graph.
+        #[test]
+        fn binary_store_roundtrips(scale in 6u32..9, seed in 0u64..20) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let micro = HashPartitioner.partition(&g, 16).expect("micro");
+            let sharded = ShardedArcs::from_graph_buckets(&g, micro.assignment(), 16)
+                .expect("shard");
+            let mut buf = Vec::new();
+            sharded.write_to(&mut buf).expect("write");
+            prop_assert_eq!(buf.len() as u64, sharded.serialized_size());
+            let read = ShardedArcs::read_from(&buf[..]).expect("read");
+            prop_assert_eq!(&read, &sharded);
+
+            let micro_to_worker: Vec<u32> = (0..16).map(|m| m % 4).collect();
+            let text = Datastore::text_micro(&g, &micro).expect("store");
+            let (tw, _) = micro_load(&text, &micro, &micro_to_worker, 4).expect("load");
+            let (bw, _) =
+                micro_load(&Datastore::Binary(read), &micro, &micro_to_worker, 4).expect("load");
+            prop_assert_eq!(loaded_adjacency(&tw), loaded_adjacency(&bw));
+        }
+    }
+}
 // --- end engine properties ---
