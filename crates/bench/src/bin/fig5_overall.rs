@@ -3,15 +3,30 @@
 //! 30 scenarios: {SSSP, PageRank, GC} × slack {10%..100%}, five
 //! provisioners each (Hourglass, Proteus, SpotOn, Proteus+DP, SpotOn+DP),
 //! all on the Twitter dataset. For every cell the normalized cost and the
-//! percentage of missed deadlines is reported.
+//! percentage of missed deadlines is reported, plus a per-strategy
+//! decision-loop summary derived from the simulator's event stream
+//! (evictions, spike waits, forced picks, decision latency).
+//!
+//! `--events PATH` streams the raw per-run event log (JSONL) to a file;
+//! run indices restart at 0 for every (job, slack, strategy) cell.
+//! `--smoke` runs a tiny self-checking sweep instead (CI gate): it asserts
+//! that parallel and sequential sweeps are bit-identical and that the
+//! JSONL round-trip of the event stream reproduces the in-memory
+//! aggregate.
 
 use hourglass_bench::{Cli, World};
 use hourglass_core::strategies::figure5_roster;
+use hourglass_sim::events::parse_jsonl;
 use hourglass_sim::job::{PaperJob, ReloadMode};
-use hourglass_sim::Experiment;
+use hourglass_sim::{EventAggregate, EventSink, Experiment, JsonlSink, TeeSink, VecSink};
+use std::io::{BufWriter, Write};
 
 fn main() {
     let cli = Cli::parse();
+    if cli.smoke {
+        smoke(&cli);
+        return;
+    }
     let world = World::build(cli.seed);
     let setup = world.setup();
     let runs = cli.runs_or(150);
@@ -22,6 +37,13 @@ fn main() {
     };
     let roster = figure5_roster();
     let mut json_rows = Vec::new();
+    let mut event_log = cli.events.as_ref().map(|path| {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {path}: {e}");
+            std::process::exit(2)
+        });
+        JsonlSink::new(BufWriter::new(file))
+    });
 
     for job_kind in PaperJob::ALL {
         println!(
@@ -34,15 +56,27 @@ fn main() {
             header.push_str(&format!("{:>22}", s.name()));
         }
         println!("{header}");
+        // One aggregate per strategy, folded across all slacks of this job.
+        let mut job_aggs: Vec<EventAggregate> =
+            roster.iter().map(|_| EventAggregate::new()).collect();
         for &slack in &slacks {
             let job = PaperJob::description(&job_kind, slack, ReloadMode::Fast)
                 .expect("job construction");
             let mut row = format!("{slack:<14.0}");
-            for strategy in &roster {
+            for (si, strategy) in roster.iter().enumerate() {
                 let experiment = Experiment::new(runs, cli.seed ^ (slack as u64));
-                let summary = experiment
-                    .run(&setup, &job, strategy)
-                    .expect("simulation cannot fail on a generated market");
+                let mut agg = EventAggregate::new();
+                let summary = match event_log.as_mut() {
+                    Some(log) => {
+                        let mut tee = TeeSink {
+                            first: &mut agg,
+                            second: log,
+                        };
+                        experiment.run_observed(&setup, &job, strategy, &mut tee)
+                    }
+                    None => experiment.run_observed(&setup, &job, strategy, &mut agg),
+                }
+                .expect("simulation cannot fail on a generated market");
                 row.push_str(&format!(
                     "{:>15.3} {:>5.1}%",
                     summary.normalized_cost, summary.missed_pct
@@ -54,9 +88,38 @@ fn main() {
                     "normalized_cost": summary.normalized_cost,
                     "missed_pct": summary.missed_pct,
                     "runs": summary.runs,
+                    "evictions": agg.evictions,
+                    "wait_evictions": agg.wait_evictions,
+                    "spike_waits": agg.spike_waits,
+                    "forced_decides": agg.forced,
+                    "decides": agg.decides,
+                    "continuations": agg.continuations,
+                    "checkpoints": agg.checkpoints,
+                    "mean_decide_latency_us": agg.mean_latency_us(),
+                    "billed_dollars": agg.billed_dollars,
                 }));
+                job_aggs[si].merge(&agg);
             }
             println!("{row}");
+        }
+        println!("-- decision-loop events, all slacks --");
+        println!(
+            "{:<22}{:>10}{:>10}{:>9}{:>8}{:>8}{:>14}",
+            "strategy", "evict/run", "waits/run", "forced%", "cont%", "ckpts", "decide µs"
+        );
+        for (s, agg) in roster.iter().zip(&job_aggs) {
+            let decides = agg.decides.max(1) as f64;
+            let runs = agg.runs.max(1) as f64;
+            println!(
+                "{:<22}{:>10.3}{:>10.3}{:>8.1}%{:>7.1}%{:>8}{:>14.1}",
+                s.name(),
+                agg.mean_evictions(),
+                agg.spike_waits as f64 / runs,
+                100.0 * agg.forced as f64 / decides,
+                100.0 * agg.continuations as f64 / decides,
+                agg.checkpoints,
+                agg.mean_latency_us(),
+            );
         }
         println!();
     }
@@ -66,6 +129,81 @@ fn main() {
     cli.maybe_write_json(
         &serde_json::to_string_pretty(&json_rows).expect("plain json cannot fail"),
     );
+    if let Some(log) = event_log {
+        let path = cli.events.as_deref().unwrap_or("<events>");
+        match log.finish() {
+            Ok(mut w) => {
+                w.flush()
+                    .unwrap_or_else(|e| eprintln!("warning: flushing {path}: {e}"));
+                eprintln!("event log written to {path}");
+            }
+            Err(e) => eprintln!("warning: event log {path} incomplete: {e}"),
+        }
+    }
+}
+
+/// Tiny self-checking sweep for CI: one job, one slack, the full roster.
+/// Asserts the sweep-harness invariants end to end (parallel ==
+/// sequential bitwise; JSONL round-trip reproduces the in-memory
+/// aggregate; aggregate counters match the outcome summary).
+fn smoke(cli: &Cli) {
+    let world = World::build(cli.seed);
+    let setup = world.setup();
+    let job = PaperJob::PageRank
+        .description(50.0, ReloadMode::Fast)
+        .expect("job construction");
+    let runs = cli.runs_or(8).min(8);
+    for strategy in &figure5_roster() {
+        let mut events = VecSink::new();
+        let par = Experiment::new(runs, cli.seed)
+            .run_observed(&setup, &job, strategy, &mut events)
+            .expect("parallel sweep");
+        let seq = Experiment::new(runs, cli.seed)
+            .sequential()
+            .run(&setup, &job, strategy)
+            .expect("sequential sweep");
+        assert_eq!(
+            par.mean_cost.to_bits(),
+            seq.mean_cost.to_bits(),
+            "{}: parallel sweep diverged from sequential",
+            par.strategy
+        );
+        assert_eq!(par.normalized_cost.to_bits(), seq.normalized_cost.to_bits());
+        assert_eq!(par.missed_pct.to_bits(), seq.missed_pct.to_bits());
+        assert_eq!(par.mean_evictions.to_bits(), seq.mean_evictions.to_bits());
+        assert_eq!(par.mean_finish.to_bits(), seq.mean_finish.to_bits());
+
+        let agg = EventAggregate::from_events(&events.events);
+        assert_eq!(agg.runs as usize, runs, "one Complete event per run");
+        assert!(
+            (agg.mean_evictions() - par.mean_evictions).abs() < 1e-12,
+            "aggregate evictions disagree with outcomes"
+        );
+
+        let mut jsonl = JsonlSink::new(Vec::new());
+        for (run, event) in &events.events {
+            jsonl.record(*run, event);
+        }
+        let buf = jsonl.finish().expect("event serialization");
+        let replayed = parse_jsonl(&buf[..]).expect("event log parse");
+        assert_eq!(
+            EventAggregate::from_events(&replayed),
+            agg,
+            "JSONL round-trip changed the aggregate"
+        );
+
+        println!(
+            "smoke {:<22} runs {:>2}  normalized {:.3}  missed {:>5.1}%  \
+             evict/run {:.2}  waits {}  [seq==par, jsonl ok]",
+            par.strategy,
+            runs,
+            par.normalized_cost,
+            par.missed_pct,
+            agg.mean_evictions(),
+            agg.spike_waits,
+        );
+    }
+    println!("fig5 smoke passed");
 }
 
 fn human_duration(secs: f64) -> String {

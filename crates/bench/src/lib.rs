@@ -7,7 +7,10 @@
 //! - `--runs <n>`     — Monte-Carlo runs per (job, slack, strategy) cell
 //!   (default varies per figure; the paper uses ~2000);
 //! - `--quick`        — shrink everything for a fast smoke run;
-//! - `--json <path>`  — additionally dump machine-readable results.
+//! - `--json <path>`  — additionally dump machine-readable results;
+//! - `--smoke`        — tiny self-checking sweep for CI (binaries that
+//!   support it; others treat it as `--quick`);
+//! - `--events <path>`— stream the decision-event log (JSONL) to a file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,8 +27,12 @@ pub struct Cli {
     pub runs: Option<usize>,
     /// Quick smoke mode.
     pub quick: bool,
+    /// Self-checking CI smoke mode (tiny sweep + consistency assertions).
+    pub smoke: bool,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional JSONL decision-event log path.
+    pub events: Option<String>,
 }
 
 impl Cli {
@@ -35,7 +42,9 @@ impl Cli {
             seed: 42,
             runs: None,
             quick: false,
+            smoke: false,
             json: None,
+            events: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -50,6 +59,10 @@ impl Cli {
                     cli.runs = Some(parse_or_die(&args, i, "--runs"));
                 }
                 "--quick" => cli.quick = true,
+                "--smoke" => {
+                    cli.smoke = true;
+                    cli.quick = true;
+                }
                 "--json" => {
                     i += 1;
                     cli.json = Some(
@@ -58,8 +71,19 @@ impl Cli {
                             .clone(),
                     );
                 }
+                "--events" => {
+                    i += 1;
+                    cli.events = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--events needs a path"))
+                            .clone(),
+                    );
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--seed N] [--runs N] [--quick] [--json PATH]");
+                    eprintln!(
+                        "usage: <bin> [--seed N] [--runs N] [--quick] [--smoke] \
+                         [--json PATH] [--events PATH]"
+                    );
                     std::process::exit(0);
                 }
                 other => die(&format!("unknown argument {other:?}")),

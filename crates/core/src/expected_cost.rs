@@ -20,6 +20,7 @@
 use crate::model::{CurrentDeployment, DecisionContext};
 use crate::{CoreError, Result};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 use std::time::{Duration, Instant};
 
 /// Tuning of the fast approximation.
@@ -58,26 +59,192 @@ pub struct EcEstimate {
 
 const EPS_WORK: f64 = 1e-9;
 
-/// Memoization table of the approximation. Two key spaces share it:
-/// `candidate = u32::MAX` rows hold `EC(t, w)` (the all-candidates
-/// minimum); other rows hold `EC(t, w)|c` for candidate `c` at a bucketed
-/// uptime (`u32::MAX − 1` encodes "fresh deployment").
-type Memo = HashMap<(u32, u32, u64, u64), f64>;
+/// Memoization key of the approximation. The three key spaces are
+/// distinct enum variants, so an extreme uptime or time bucket can never
+/// collide with another space (the previous packed-tuple encoding reused
+/// `u32::MAX`/`u32::MAX − 1` as sentinels, which a large enough bucketed
+/// uptime could alias). Every variant also carries the failure-look-ahead
+/// `depth`: values computed near the depth limit collapse their follow-ups
+/// to the last-resort cost, so a row written at depth `d` is pessimistic
+/// relative to the same `(t, w)` state at depth `d − 1` and must never be
+/// served to it (the packed-tuple scheme ignored depth, letting a
+/// shallow-look-ahead row poison the root minimization whenever two depths
+/// landed in the same time bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MemoKey {
+    /// `EC(t, w)`: the all-candidates minimum.
+    All {
+        /// Bucketed `ctx.now`.
+        t: u64,
+        /// Bucketed `ctx.work_left`.
+        w: u64,
+        /// Failure-look-ahead depth the value was computed at.
+        depth: usize,
+    },
+    /// `EC(t, w)|c` for a fresh deployment of candidate `cand`.
+    Fresh {
+        /// Candidate index.
+        cand: usize,
+        /// Bucketed `ctx.now`.
+        t: u64,
+        /// Bucketed `ctx.work_left`.
+        w: u64,
+        /// Failure-look-ahead depth the value was computed at.
+        depth: usize,
+    },
+    /// `EC(t, w)|c` continuing candidate `cand` at a bucketed uptime.
+    Continuation {
+        /// Candidate index.
+        cand: usize,
+        /// Bucketed deployment uptime.
+        uptime: u64,
+        /// Bucketed `ctx.now`.
+        t: u64,
+        /// Bucketed `ctx.work_left`.
+        w: u64,
+        /// Failure-look-ahead depth the value was computed at.
+        depth: usize,
+    },
+}
 
-const KEY_ALL: u32 = u32::MAX;
-const KEY_FRESH: u32 = u32::MAX - 1;
+/// Buckets a validated non-negative finite quantity. `validate` rejects
+/// negative and non-finite inputs, so the saturating float→int cast can
+/// only ever clamp astronomically large (but well-defined) values to
+/// `u64::MAX` — never fold distinct states onto bucket 0.
+#[inline]
+fn bucket(v: f64, size: f64) -> u64 {
+    (v / size) as u64
+}
+
+// A Fx-style multiply-xor hasher for the memo table: the keys are a
+// handful of machine words and the decision hot loop probes the table
+// millions of times, where SipHash's per-lookup cost dominates. Written
+// in-tree to keep the workspace dependency-free.
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// Reusable memoization arena for the §5.3 approximation.
+///
+/// Memoized values are only meaningful for a single decision (candidate
+/// prices and eviction models change between decisions), so every
+/// [`expected_cost_approx_in`] call clears the table — but clearing a
+/// `HashMap` retains its allocation, so a memo carried across the
+/// decisions of one simulated run skips the rehash-and-regrow churn that
+/// a fresh table pays on every call.
+#[derive(Debug, Default)]
+pub struct EcMemo {
+    table: HashMap<MemoKey, f64, FxBuildHasher>,
+}
+
+impl EcMemo {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized entries (after a call: the states explored by
+    /// the last decision).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no entries are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+}
 
 /// Computes `EC(t, w)` with the §5.3 approximation; returns the minimizing
 /// candidate. Runs in milliseconds for realistic problem sizes (Figure 9).
+///
+/// Allocates a fresh memo table per call; decision loops should hold an
+/// [`EcMemo`] and call [`expected_cost_approx_in`] instead.
 pub fn expected_cost_approx(ctx: &DecisionContext<'_>, params: &EcParams) -> Result<EcEstimate> {
+    let mut memo = EcMemo::new();
+    expected_cost_approx_in(ctx, params, &mut memo)
+}
+
+/// [`expected_cost_approx`] evaluated in a caller-provided memo arena.
+///
+/// The arena is cleared on entry (memoized values never survive a change
+/// of candidate prices) but keeps its allocation, which is what makes a
+/// per-run arena measurably faster than a fresh `HashMap` per decision.
+pub fn expected_cost_approx_in(
+    ctx: &DecisionContext<'_>,
+    params: &EcParams,
+    memo: &mut EcMemo,
+) -> Result<EcEstimate> {
     validate(ctx, params.time_bucket)?;
-    let mut memo: Memo = HashMap::new();
+    memo.reset();
     let mut best = EcEstimate {
         best: None,
         cost: f64::INFINITY,
     };
     for i in 0..ctx.candidates.len() {
-        let cost = approx_cost_of(ctx, i, params, &mut memo, 0);
+        let cost = approx_cost_of(ctx, i, params, memo, 0);
         if cost < best.cost {
             best = EcEstimate {
                 best: Some(i),
@@ -102,7 +269,7 @@ pub fn expected_cost_of_candidate(
             ctx.candidates.len()
         )));
     }
-    let mut memo: Memo = HashMap::new();
+    let mut memo = EcMemo::new();
     Ok(approx_cost_of(ctx, i, params, &mut memo, 0))
 }
 
@@ -111,7 +278,7 @@ pub fn expected_cost_of_candidate(
 fn approx_ec_all(
     ctx: &DecisionContext<'_>,
     params: &EcParams,
-    memo: &mut Memo,
+    memo: &mut EcMemo,
     depth: usize,
 ) -> f64 {
     if ctx.work_left <= EPS_WORK {
@@ -120,18 +287,17 @@ fn approx_ec_all(
     if depth >= params.max_depth {
         return lrc_cost(ctx);
     }
-    let key = (
-        KEY_ALL,
-        0,
-        (ctx.now / params.time_bucket) as u64,
-        (ctx.work_left / params.work_bucket) as u64,
-    );
-    if let Some(&c) = memo.get(&key) {
+    let key = MemoKey::All {
+        t: bucket(ctx.now, params.time_bucket),
+        w: bucket(ctx.work_left, params.work_bucket),
+        depth,
+    };
+    if let Some(&c) = memo.table.get(&key) {
         return c;
     }
     // Seed with the lrc cost to keep recursion bounded even while the memo
     // entry is being computed (re-entrancy through the failure branch).
-    memo.insert(key, lrc_cost(ctx));
+    memo.table.insert(key, lrc_cost(ctx));
     let mut best = f64::INFINITY;
     for i in 0..ctx.candidates.len() {
         let c = approx_cost_of(ctx, i, params, memo, depth);
@@ -139,7 +305,7 @@ fn approx_ec_all(
             best = c;
         }
     }
-    memo.insert(key, best);
+    memo.table.insert(key, best);
     best
 }
 
@@ -148,7 +314,7 @@ fn approx_cost_of(
     ctx: &DecisionContext<'_>,
     i: usize,
     params: &EcParams,
-    memo: &mut Memo,
+    memo: &mut EcMemo,
     depth: usize,
 ) -> f64 {
     if ctx.work_left <= EPS_WORK {
@@ -157,24 +323,33 @@ fn approx_cost_of(
     if depth >= params.max_depth {
         return lrc_cost(ctx);
     }
-    // Per-candidate memoization (continuations are keyed by bucketed
-    // uptime; fresh deployments by a sentinel).
-    let uptime_key = if ctx.is_continuation(i) {
-        (ctx.current.map(|cur| cur.uptime).unwrap_or(0.0) / params.time_bucket) as u32
+    // Per-candidate memoization: continuations are keyed by bucketed
+    // uptime, fresh deployments by their own variant (no sentinel values
+    // a legitimate bucket could alias).
+    let t = bucket(ctx.now, params.time_bucket);
+    let w = bucket(ctx.work_left, params.work_bucket);
+    let key = if ctx.is_continuation(i) {
+        let uptime = ctx.current.map(|cur| cur.uptime).unwrap_or(0.0);
+        MemoKey::Continuation {
+            cand: i,
+            uptime: bucket(uptime, params.time_bucket),
+            t,
+            w,
+            depth,
+        }
     } else {
-        KEY_FRESH
+        MemoKey::Fresh {
+            cand: i,
+            t,
+            w,
+            depth,
+        }
     };
-    let key = (
-        i as u32,
-        uptime_key,
-        (ctx.now / params.time_bucket) as u64,
-        (ctx.work_left / params.work_bucket) as u64,
-    );
-    if let Some(&cached) = memo.get(&key) {
+    if let Some(&cached) = memo.table.get(&key) {
         return cached;
     }
     let result = approx_cost_of_uncached(ctx, i, params, memo, depth);
-    memo.insert(key, result);
+    memo.table.insert(key, result);
     result
 }
 
@@ -182,7 +357,7 @@ fn approx_cost_of_uncached(
     ctx: &DecisionContext<'_>,
     i: usize,
     params: &EcParams,
-    memo: &mut Memo,
+    memo: &mut EcMemo,
     depth: usize,
 ) -> f64 {
     let c = &ctx.candidates[i];
@@ -442,6 +617,43 @@ fn validate(ctx: &DecisionContext<'_>, step: f64) -> Result<()> {
             ctx.work_left
         )));
     }
+    // The memo buckets states with a saturating float→int cast, which is
+    // only injective-enough for finite non-negative inputs: a negative
+    // `now` would silently alias bucket 0 (the old packed-tuple bug).
+    // Reject everything outside the modeled domain instead.
+    if !ctx.now.is_finite() || ctx.now < 0.0 {
+        return Err(CoreError::InvalidParameter(format!(
+            "now must be finite and non-negative, got {}",
+            ctx.now
+        )));
+    }
+    if !ctx.deadline.is_finite() {
+        return Err(CoreError::InvalidParameter(format!(
+            "deadline must be finite, got {}",
+            ctx.deadline
+        )));
+    }
+    if !ctx.t_boot.is_finite() || ctx.t_boot < 0.0 {
+        return Err(CoreError::InvalidParameter(format!(
+            "t_boot must be finite and non-negative, got {}",
+            ctx.t_boot
+        )));
+    }
+    if let Some(cur) = ctx.current {
+        if !cur.uptime.is_finite() || cur.uptime < 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "current uptime must be finite and non-negative, got {}",
+                cur.uptime
+            )));
+        }
+        if cur.index >= ctx.candidates.len() {
+            return Err(CoreError::InvalidParameter(format!(
+                "current deployment index {} out of range ({} candidates)",
+                cur.index,
+                ctx.candidates.len()
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -558,15 +770,104 @@ mod tests {
                 uptime: 3600.0,
             }),
         );
-        let mut memo = HashMap::new();
+        let mut memo = EcMemo::new();
         let p = EcParams::default();
         let cf = approx_cost_of(&fresh, 2, &p, &mut memo, 0);
-        let mut memo2 = HashMap::new();
+        let mut memo2 = EcMemo::new();
         let cc = approx_cost_of(&cont, 2, &p, &mut memo2, 0);
         assert!(
             cc <= cf + 1e-9,
             "continuing ({cc}) must not cost more than redeploying ({cf})"
         );
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain_time_state() {
+        let cands = candidates();
+        let p = EcParams::default();
+        // Negative `now` used to saturate to memo bucket 0 silently.
+        let mut ctx = context(&cands);
+        ctx.now = -3600.0;
+        assert!(expected_cost_approx(&ctx, &p).is_err());
+        ctx.now = f64::NAN;
+        assert!(expected_cost_approx(&ctx, &p).is_err());
+        ctx.now = 0.0;
+        ctx.t_boot = -1.0;
+        assert!(expected_cost_approx(&ctx, &p).is_err());
+        ctx.t_boot = 120.0;
+        ctx.deadline = f64::INFINITY;
+        assert!(expected_cost_approx(&ctx, &p).is_err());
+        ctx.deadline = 6.0 * 3600.0;
+        ctx.current = Some(CurrentDeployment {
+            index: 2,
+            uptime: -5.0,
+        });
+        assert!(expected_cost_approx(&ctx, &p).is_err());
+        ctx.current = Some(CurrentDeployment {
+            index: 99,
+            uptime: 0.0,
+        });
+        assert!(expected_cost_approx(&ctx, &p).is_err());
+        ctx.current = None;
+        assert!(expected_cost_approx(&ctx, &p).is_ok());
+    }
+
+    #[test]
+    fn extreme_uptime_no_longer_aliases_fresh_sentinel() {
+        // Under the packed-tuple keys, a continuation whose bucketed
+        // uptime hit u32::MAX − 1 collided with the "fresh deployment"
+        // sentinel row. The enum key spaces cannot alias: a continuation
+        // at an astronomical uptime and a fresh evaluation of the same
+        // candidate must still memoize (and report) independently.
+        let cands = candidates();
+        let base = context(&cands);
+        let huge_uptime = (u32::MAX as f64 - 1.0) * EcParams::default().time_bucket;
+        let cont = base.at(
+            0.0,
+            1.0,
+            Some(CurrentDeployment {
+                index: 2,
+                uptime: huge_uptime,
+            }),
+        );
+        let p = EcParams::default();
+        let fresh = base.at(0.0, 1.0, None);
+        let mut clean = EcMemo::new();
+        let cf_clean = approx_cost_of(&fresh, 2, &p, &mut clean, 0);
+        // Evaluate the continuation first, then the fresh deployment in
+        // the SAME memo: under the old sentinel scheme the continuation
+        // row aliased the fresh row and poisoned this second lookup.
+        // The continuation's failure branch also recurses at this very
+        // (t, w) bucket with a deeper look-ahead (its huge uptime clamps
+        // the MTTF offset to one second), so this additionally exercises
+        // the depth field of the key: a shallow-look-ahead Fresh row from
+        // that recursion must not be served to the depth-0 lookup.
+        let mut shared = EcMemo::new();
+        let cc = approx_cost_of(&cont, 2, &p, &mut shared, 0);
+        let cf = approx_cost_of(&fresh, 2, &p, &mut shared, 0);
+        assert_eq!(
+            cf, cf_clean,
+            "fresh evaluation poisoned by the continuation row (cont {cc})"
+        );
+        assert_ne!(cc, cf, "the two states must memoize independently");
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_table() {
+        let cands = candidates();
+        let base = context(&cands);
+        let p = EcParams::default();
+        let mut memo = EcMemo::new();
+        // Re-using one arena across a sequence of decisions (different
+        // clock/work states, as in one simulated run) must be
+        // bit-identical to allocating a fresh table per decision.
+        for step in 0..6 {
+            let ctx = base.at(step as f64 * 900.0, 1.0 - step as f64 * 0.12, None);
+            let fresh = expected_cost_approx(&ctx, &p).expect("fresh");
+            let reused = expected_cost_approx_in(&ctx, &p, &mut memo).expect("arena");
+            assert_eq!(fresh, reused, "diverged at step {step}");
+            assert!(!memo.is_empty());
+        }
     }
 
     #[test]

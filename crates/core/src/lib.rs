@@ -28,6 +28,7 @@ pub mod explain;
 pub mod model;
 pub mod strategies;
 
+pub use expected_cost::{expected_cost_approx, expected_cost_approx_in, EcMemo, EcParams};
 pub use model::{Candidate, CurrentDeployment, DecisionContext, JobProfile};
 pub use strategies::{Decision, Strategy};
 

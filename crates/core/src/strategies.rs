@@ -1,8 +1,9 @@
 //! Provisioning strategies: Hourglass and the baselines of §2 and §8.2.
 
-use crate::expected_cost::{expected_cost_approx, expected_cost_exact, EcParams};
+use crate::expected_cost::{expected_cost_approx_in, expected_cost_exact, EcMemo, EcParams};
 use crate::model::DecisionContext;
 use crate::Result;
+use std::cell::RefCell;
 use std::time::Duration;
 
 /// A provisioning decision: which candidate to (re)deploy.
@@ -69,7 +70,15 @@ impl Strategy for HourglassStrategy {
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Result<Decision> {
-        let est = expected_cost_approx(ctx, &self.params)?;
+        // One memo arena per OS thread, reused across every decision this
+        // thread makes (a simulated run's decision loop, or one sweep
+        // chunk's worth of runs): the table is cleared per decision but
+        // keeps its allocation, and threads never contend for it.
+        thread_local! {
+            static EC_MEMO: RefCell<EcMemo> = RefCell::new(EcMemo::new());
+        }
+        let est = EC_MEMO
+            .with(|memo| expected_cost_approx_in(ctx, &self.params, &mut memo.borrow_mut()))?;
         match est.best {
             Some(i) => Ok(Decision { pick: i }),
             // Nothing feasible (deadline unmeetable even by the lrc):

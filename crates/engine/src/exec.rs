@@ -1,83 +1,8 @@
-//! Shared fork-join helpers for the engine's parallel sections.
+//! Fork-join helpers for the engine's parallel sections.
 //!
-//! Every parallel region in this crate (superstep compute, message
-//! delivery, loader parsing) is a fork-join over disjoint per-worker
-//! state. Centralizing the scoped-thread plumbing keeps the sequential
-//! and threaded paths literally the same closures, which is what makes
-//! "parallel matches sequential" a structural guarantee rather than a
-//! test-enforced one.
+//! The implementation lives in the shared [`hourglass_exec`] crate so the
+//! simulator's Monte-Carlo sweeps reuse the exact same scoped-thread
+//! plumbing as superstep compute, message delivery and loader parsing;
+//! this module re-exports it under the engine's historical path.
 
-/// Runs `tasks` to completion and returns their results in task order.
-///
-/// With `parallel` set (and more than one task) each task runs on its own
-/// scoped thread; otherwise they run in order on the calling thread. A
-/// panicking task propagates the panic either way.
-pub fn fork_join<R, F>(parallel: bool, tasks: Vec<F>) -> Vec<R>
-where
-    R: Send,
-    F: FnOnce() -> R + Send,
-{
-    if !parallel || tasks.len() < 2 {
-        return tasks.into_iter().map(|t| t()).collect();
-    }
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .into_iter()
-            .map(|t| scope.spawn(move |_| t()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-    .expect("scope panicked")
-}
-
-/// Maps `f` over `items` on one scoped thread per item, preserving order.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let f = &f;
-    fork_join(true, items.iter().map(|item| move || f(item)).collect())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fork_join_preserves_order() {
-        let tasks: Vec<_> = (0..8).map(|i| move || i * i).collect();
-        assert_eq!(fork_join(true, tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
-        let tasks: Vec<_> = (0..8).map(|i| move || i * i).collect();
-        assert_eq!(fork_join(false, tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
-    }
-
-    #[test]
-    fn par_map_matches_serial_map() {
-        let items: Vec<u64> = (0..16).collect();
-        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
-        assert_eq!(par_map(&items, |x| x + 1), expect);
-    }
-
-    #[test]
-    fn fork_join_mutates_disjoint_slices() {
-        let mut data = vec![0u64; 6];
-        let tasks: Vec<_> = data
-            .chunks_mut(2)
-            .enumerate()
-            .map(|(i, chunk)| {
-                move || {
-                    for c in chunk.iter_mut() {
-                        *c = i as u64 + 1;
-                    }
-                }
-            })
-            .collect();
-        fork_join(true, tasks);
-        assert_eq!(data, vec![1, 1, 2, 2, 3, 3]);
-    }
-}
+pub use hourglass_exec::{fork_join, par_map};

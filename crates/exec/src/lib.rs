@@ -1,0 +1,126 @@
+//! Shared fork-join helpers for parallel sections across the workspace.
+//!
+//! Every parallel region in the engine (superstep compute, message
+//! delivery, loader parsing) and in the simulator (Monte-Carlo sweeps) is
+//! a fork-join over disjoint per-task state. Centralizing the
+//! scoped-thread plumbing keeps the sequential and threaded paths
+//! literally the same closures, which is what makes "parallel matches
+//! sequential" a structural guarantee rather than a test-enforced one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runs `tasks` to completion and returns their results in task order.
+///
+/// With `parallel` set (and more than one task) each task runs on its own
+/// scoped thread; otherwise they run in order on the calling thread. A
+/// panicking task propagates the panic either way.
+pub fn fork_join<R, F>(parallel: bool, tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    if !parallel || tasks.len() < 2 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|t| scope.spawn(move |_| t()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("scope panicked")
+}
+
+/// Maps `f` over `items` on one scoped thread per item, preserving order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let f = &f;
+    fork_join(true, items.iter().map(|item| move || f(item)).collect())
+}
+
+/// Splits `0..len` into at most `max_tasks` contiguous ranges of nearly
+/// equal size (the first `len % tasks` ranges get one extra element).
+/// Used to chunk a sweep's independent runs over a bounded thread pool
+/// instead of spawning one thread per run.
+pub fn chunk_ranges(len: usize, max_tasks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let tasks = max_tasks.clamp(1, len);
+    let base = len / tasks;
+    let extra = len % tasks;
+    let mut out = Vec::with_capacity(tasks);
+    let mut start = 0;
+    for i in 0..tasks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_join_preserves_order() {
+        let tasks: Vec<_> = (0..8).map(|i| move || i * i).collect();
+        assert_eq!(fork_join(true, tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        let tasks: Vec<_> = (0..8).map(|i| move || i * i).collect();
+        assert_eq!(fork_join(false, tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..16).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        assert_eq!(par_map(&items, |x| x + 1), expect);
+    }
+
+    #[test]
+    fn fork_join_mutates_disjoint_slices() {
+        let mut data = vec![0u64; 6];
+        let tasks: Vec<_> = data
+            .chunks_mut(2)
+            .enumerate()
+            .map(|(i, chunk)| {
+                move || {
+                    for c in chunk.iter_mut() {
+                        *c = i as u64 + 1;
+                    }
+                }
+            })
+            .collect();
+        fork_join(true, tasks);
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for tasks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, tasks);
+                let mut covered = 0;
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    covered += r.len();
+                    next = r.end;
+                }
+                assert_eq!(covered, len, "len {len} tasks {tasks}");
+                assert!(ranges.len() <= tasks.max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,1002 @@
+//! Typed decision-loop events and their sinks.
+//!
+//! The runner's event loop (§4: decide → (re)deploy → load → execute →
+//! checkpoint) emits one [`SimEvent`] per state transition so experiments
+//! can observe *why* a strategy's cost came out the way it did — which
+//! decisions were forced, where slack was burned waiting out price spikes,
+//! which evictions hit during setup versus compute — without re-running
+//! the simulation under ad-hoc counters. Every event carries the absolute
+//! trace time, the work left, the configuration involved and the dollars
+//! billed so far; sinks either buffer them ([`VecSink`]), stream them as
+//! JSONL ([`JsonlSink`]) or fold them into per-strategy histograms on the
+//! fly ([`EventAggregate`]).
+
+use crate::{Result, SimError};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Where in a deployment's lifecycle an eviction landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Evicted while booting or loading: the setup interval is billed but
+    /// no progress was made.
+    Setup,
+    /// Evicted during a compute interval: progress since the last
+    /// checkpoint is lost (unless the eviction-warning extension saved
+    /// part of it).
+    Compute,
+    /// Evicted while held idle during a price-spike wait for a different
+    /// configuration.
+    Wait,
+}
+
+/// Event kind discriminator (the `kind` column of the JSONL schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A strategy decision.
+    Decide,
+    /// A spot request waiting out a market spike.
+    SpikeWait,
+    /// A deployment acquisition.
+    Acquire,
+    /// An eviction.
+    Evict,
+    /// A checkpoint landed.
+    Checkpoint,
+    /// A billed interval.
+    Bill,
+    /// End of the run.
+    Complete,
+}
+
+/// One typed event of a simulated run.
+///
+/// All variants carry `t` (absolute trace time, seconds), `work_left`
+/// (fraction of the job remaining) and `billed` (online dollars billed so
+/// far, including this event's own interval for [`SimEvent::Bill`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// The strategy (or the forced last-resort override) picked a
+    /// configuration.
+    Decide {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed so far.
+        billed: f64,
+        /// Configuration index picked.
+        pick: usize,
+        /// True when the pick continues the held deployment.
+        continuation: bool,
+        /// True when the pick was forced to the last-resort configuration
+        /// instead of asking the strategy.
+        forced: bool,
+        /// Wall-clock decision latency in microseconds (measurement noise:
+        /// zero it before comparing event streams across runs).
+        latency_us: u64,
+        /// Seconds left until the deadline (negative once missed).
+        slack: f64,
+    },
+    /// A spot request found the market above the bid and is waiting.
+    SpikeWait {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed so far.
+        billed: f64,
+        /// Configuration index being waited for.
+        pick: usize,
+        /// When the wait step ends (the next decision point).
+        resume_at: f64,
+        /// Configuration still held (idle, billed) through the wait, if
+        /// any.
+        held: Option<usize>,
+    },
+    /// A deployment was acquired and starts booting/loading.
+    Acquire {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed so far.
+        billed: f64,
+        /// Configuration index acquired.
+        pick: usize,
+        /// Boot plus load seconds ahead of this deployment.
+        setup_seconds: f64,
+        /// True when this acquisition pays the first (full) load.
+        first_load: bool,
+        /// Configuration released to make room, if any.
+        released: Option<usize>,
+    },
+    /// The market reclaimed the deployment.
+    Evict {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed so far.
+        billed: f64,
+        /// Configuration index evicted.
+        pick: usize,
+        /// Lifecycle phase the eviction hit.
+        phase: Phase,
+    },
+    /// A checkpoint landed at the end of a compute interval.
+    Checkpoint {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining (after the interval's progress).
+        work_left: f64,
+        /// Online dollars billed so far.
+        billed: f64,
+        /// Configuration index that computed the interval.
+        pick: usize,
+        /// Compute seconds of the interval (excluding the checkpoint
+        /// write).
+        chunk_seconds: f64,
+    },
+    /// An interval was billed against the market.
+    Bill {
+        /// Interval start (absolute trace time).
+        t: f64,
+        /// Interval end.
+        to: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed so far, including this interval.
+        billed: f64,
+        /// Configuration index billed.
+        pick: usize,
+        /// Dollars charged for this interval.
+        cost: f64,
+    },
+    /// The run ended (job finished or trace horizon hit).
+    Complete {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining (zero unless the horizon cut the run).
+        work_left: f64,
+        /// Online dollars billed.
+        billed: f64,
+        /// Completion time relative to job start.
+        finish_seconds: f64,
+        /// The job's deadline, for slack-consumption accounting.
+        deadline: f64,
+        /// Total dollars (online plus offline phase).
+        cost: f64,
+        /// Online dollars only.
+        online_cost: f64,
+        /// True when the deadline was missed.
+        missed_deadline: bool,
+        /// False when the trace horizon cut the run short.
+        completed: bool,
+        /// Evictions suffered.
+        evictions: usize,
+        /// Deployments acquired.
+        deployments: usize,
+    },
+}
+
+impl SimEvent {
+    /// The event's kind discriminator.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            SimEvent::Decide { .. } => EventKind::Decide,
+            SimEvent::SpikeWait { .. } => EventKind::SpikeWait,
+            SimEvent::Acquire { .. } => EventKind::Acquire,
+            SimEvent::Evict { .. } => EventKind::Evict,
+            SimEvent::Checkpoint { .. } => EventKind::Checkpoint,
+            SimEvent::Bill { .. } => EventKind::Bill,
+            SimEvent::Complete { .. } => EventKind::Complete,
+        }
+    }
+
+    /// Absolute trace time of the event (interval start for bills).
+    pub fn t(&self) -> f64 {
+        match self {
+            SimEvent::Decide { t, .. }
+            | SimEvent::SpikeWait { t, .. }
+            | SimEvent::Acquire { t, .. }
+            | SimEvent::Evict { t, .. }
+            | SimEvent::Checkpoint { t, .. }
+            | SimEvent::Bill { t, .. }
+            | SimEvent::Complete { t, .. } => *t,
+        }
+    }
+
+    /// Online dollars billed up to (and including) this event.
+    pub fn billed(&self) -> f64 {
+        match self {
+            SimEvent::Decide { billed, .. }
+            | SimEvent::SpikeWait { billed, .. }
+            | SimEvent::Acquire { billed, .. }
+            | SimEvent::Evict { billed, .. }
+            | SimEvent::Checkpoint { billed, .. }
+            | SimEvent::Bill { billed, .. }
+            | SimEvent::Complete { billed, .. } => *billed,
+        }
+    }
+
+    /// Work fraction remaining at the event.
+    pub fn work_left(&self) -> f64 {
+        match self {
+            SimEvent::Decide { work_left, .. }
+            | SimEvent::SpikeWait { work_left, .. }
+            | SimEvent::Acquire { work_left, .. }
+            | SimEvent::Evict { work_left, .. }
+            | SimEvent::Checkpoint { work_left, .. }
+            | SimEvent::Bill { work_left, .. }
+            | SimEvent::Complete { work_left, .. } => *work_left,
+        }
+    }
+
+    /// Configuration index involved, when the event concerns one.
+    pub fn pick(&self) -> Option<usize> {
+        match self {
+            SimEvent::Decide { pick, .. }
+            | SimEvent::SpikeWait { pick, .. }
+            | SimEvent::Acquire { pick, .. }
+            | SimEvent::Evict { pick, .. }
+            | SimEvent::Checkpoint { pick, .. }
+            | SimEvent::Bill { pick, .. } => Some(*pick),
+            SimEvent::Complete { .. } => None,
+        }
+    }
+}
+
+/// Receiver of run events. The runner reports events in simulation order
+/// per run; sweeps replay buffered per-run streams into the caller's sink
+/// in ascending run order, so a sink observes the same stream whether the
+/// sweep ran sequentially or in parallel.
+pub trait EventSink {
+    /// Records one event of run `run`.
+    fn record(&mut self, run: u32, event: &SimEvent);
+}
+
+/// Discards every event (the un-observed entry points use this).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _run: u32, _event: &SimEvent) {}
+}
+
+/// Buffers events in memory, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// The recorded `(run, event)` pairs.
+    pub events: Vec<(u32, SimEvent)>,
+}
+
+impl VecSink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for VecSink {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        self.events.push((run, event.clone()));
+    }
+}
+
+/// Broadcasts every event to two sinks (e.g. a JSONL file and an
+/// in-memory aggregate).
+pub struct TeeSink<'a> {
+    /// First receiver.
+    pub first: &'a mut dyn EventSink,
+    /// Second receiver.
+    pub second: &'a mut dyn EventSink,
+}
+
+impl EventSink for TeeSink<'_> {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        self.first.record(run, event);
+        self.second.record(run, event);
+    }
+}
+
+/// Flat serialization record: one JSONL line per event. Kind-specific
+/// fields are `None` on the kinds they do not apply to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Run index within the sweep.
+    pub run: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Absolute trace time (interval start for bills).
+    pub t: f64,
+    /// Work fraction remaining.
+    pub work_left: f64,
+    /// Online dollars billed so far.
+    pub billed: f64,
+    /// Configuration index involved.
+    pub pick: Option<usize>,
+    /// Decide: pick continues the held deployment.
+    pub continuation: Option<bool>,
+    /// Decide: pick was forced to the last-resort configuration.
+    pub forced: Option<bool>,
+    /// Decide: wall-clock decision latency, microseconds.
+    pub latency_us: Option<u64>,
+    /// Decide: seconds left until the deadline.
+    pub slack: Option<f64>,
+    /// SpikeWait: end of the wait step.
+    pub resume_at: Option<f64>,
+    /// SpikeWait: configuration held through the wait.
+    pub held: Option<usize>,
+    /// Acquire: boot plus load seconds.
+    pub setup_seconds: Option<f64>,
+    /// Acquire: pays the first (full) load.
+    pub first_load: Option<bool>,
+    /// Acquire: configuration released to make room.
+    pub released: Option<usize>,
+    /// Evict: lifecycle phase hit.
+    pub phase: Option<Phase>,
+    /// Checkpoint: compute seconds of the interval.
+    pub chunk_seconds: Option<f64>,
+    /// Bill: interval end.
+    pub to: Option<f64>,
+    /// Bill: dollars charged for the interval.
+    pub cost: Option<f64>,
+    /// Complete: completion time relative to job start.
+    pub finish_seconds: Option<f64>,
+    /// Complete: the job's deadline.
+    pub deadline: Option<f64>,
+    /// Complete: total dollars (online plus offline).
+    pub total_cost: Option<f64>,
+    /// Complete: online dollars only.
+    pub online_cost: Option<f64>,
+    /// Complete: deadline missed.
+    pub missed_deadline: Option<bool>,
+    /// Complete: run finished within the trace.
+    pub completed: Option<bool>,
+    /// Complete: evictions suffered.
+    pub evictions: Option<usize>,
+    /// Complete: deployments acquired.
+    pub deployments: Option<usize>,
+}
+
+impl EventRecord {
+    fn empty(run: u32, kind: EventKind, t: f64, work_left: f64, billed: f64) -> Self {
+        EventRecord {
+            run,
+            kind,
+            t,
+            work_left,
+            billed,
+            pick: None,
+            continuation: None,
+            forced: None,
+            latency_us: None,
+            slack: None,
+            resume_at: None,
+            held: None,
+            setup_seconds: None,
+            first_load: None,
+            released: None,
+            phase: None,
+            chunk_seconds: None,
+            to: None,
+            cost: None,
+            finish_seconds: None,
+            deadline: None,
+            total_cost: None,
+            online_cost: None,
+            missed_deadline: None,
+            completed: None,
+            evictions: None,
+            deployments: None,
+        }
+    }
+
+    /// Flattens a typed event into a record.
+    pub fn from_event(run: u32, event: &SimEvent) -> Self {
+        let mut r = Self::empty(
+            run,
+            event.kind(),
+            event.t(),
+            event.work_left(),
+            event.billed(),
+        );
+        r.pick = event.pick();
+        match *event {
+            SimEvent::Decide {
+                continuation,
+                forced,
+                latency_us,
+                slack,
+                ..
+            } => {
+                r.continuation = Some(continuation);
+                r.forced = Some(forced);
+                r.latency_us = Some(latency_us);
+                r.slack = Some(slack);
+            }
+            SimEvent::SpikeWait {
+                resume_at, held, ..
+            } => {
+                r.resume_at = Some(resume_at);
+                r.held = held;
+            }
+            SimEvent::Acquire {
+                setup_seconds,
+                first_load,
+                released,
+                ..
+            } => {
+                r.setup_seconds = Some(setup_seconds);
+                r.first_load = Some(first_load);
+                r.released = released;
+            }
+            SimEvent::Evict { phase, .. } => {
+                r.phase = Some(phase);
+            }
+            SimEvent::Checkpoint { chunk_seconds, .. } => {
+                r.chunk_seconds = Some(chunk_seconds);
+            }
+            SimEvent::Bill { to, cost, .. } => {
+                r.to = Some(to);
+                r.cost = Some(cost);
+            }
+            SimEvent::Complete {
+                finish_seconds,
+                deadline,
+                cost,
+                online_cost,
+                missed_deadline,
+                completed,
+                evictions,
+                deployments,
+                ..
+            } => {
+                r.finish_seconds = Some(finish_seconds);
+                r.deadline = Some(deadline);
+                r.total_cost = Some(cost);
+                r.online_cost = Some(online_cost);
+                r.missed_deadline = Some(missed_deadline);
+                r.completed = Some(completed);
+                r.evictions = Some(evictions);
+                r.deployments = Some(deployments);
+            }
+        }
+        r
+    }
+
+    /// Rebuilds the typed event; fails when a kind-specific field is
+    /// missing.
+    pub fn into_event(self) -> Result<(u32, SimEvent)> {
+        fn need<T>(field: Option<T>, name: &str, kind: EventKind) -> Result<T> {
+            field.ok_or_else(|| {
+                SimError::InvalidParameter(format!("event record {kind:?} missing `{name}`"))
+            })
+        }
+        let k = self.kind;
+        let event = match k {
+            EventKind::Decide => SimEvent::Decide {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                continuation: need(self.continuation, "continuation", k)?,
+                forced: need(self.forced, "forced", k)?,
+                latency_us: need(self.latency_us, "latency_us", k)?,
+                slack: need(self.slack, "slack", k)?,
+            },
+            EventKind::SpikeWait => SimEvent::SpikeWait {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                resume_at: need(self.resume_at, "resume_at", k)?,
+                held: self.held,
+            },
+            EventKind::Acquire => SimEvent::Acquire {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                setup_seconds: need(self.setup_seconds, "setup_seconds", k)?,
+                first_load: need(self.first_load, "first_load", k)?,
+                released: self.released,
+            },
+            EventKind::Evict => SimEvent::Evict {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                phase: need(self.phase, "phase", k)?,
+            },
+            EventKind::Checkpoint => SimEvent::Checkpoint {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                chunk_seconds: need(self.chunk_seconds, "chunk_seconds", k)?,
+            },
+            EventKind::Bill => SimEvent::Bill {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                to: need(self.to, "to", k)?,
+                cost: need(self.cost, "cost", k)?,
+            },
+            EventKind::Complete => SimEvent::Complete {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                finish_seconds: need(self.finish_seconds, "finish_seconds", k)?,
+                deadline: need(self.deadline, "deadline", k)?,
+                cost: need(self.total_cost, "total_cost", k)?,
+                online_cost: need(self.online_cost, "online_cost", k)?,
+                missed_deadline: need(self.missed_deadline, "missed_deadline", k)?,
+                completed: need(self.completed, "completed", k)?,
+                evictions: need(self.evictions, "evictions", k)?,
+                deployments: need(self.deployments, "deployments", k)?,
+            },
+        };
+        Ok((self.run, event))
+    }
+}
+
+/// Streams events as one serialized [`EventRecord`] per line.
+///
+/// Write errors are sticky: the first failure stops further output and is
+/// reported by [`JsonlSink::finish`].
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    failed: Option<String>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            lines: 0,
+            failed: None,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first serialization/write
+    /// error encountered.
+    pub fn finish(mut self) -> Result<W> {
+        if let Some(e) = self.failed {
+            return Err(SimError::InvalidParameter(format!("event log sink: {e}")));
+        }
+        self.out
+            .flush()
+            .map_err(|e| SimError::InvalidParameter(format!("event log sink: {e}")))?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        if self.failed.is_some() {
+            return;
+        }
+        let record = EventRecord::from_event(run, event);
+        match serde_json::to_string(&record) {
+            Ok(line) => match writeln!(self.out, "{line}") {
+                Ok(()) => self.lines += 1,
+                Err(e) => self.failed = Some(e.to_string()),
+            },
+            Err(e) => self.failed = Some(e.to_string()),
+        }
+    }
+}
+
+/// Parses a JSONL event log back into `(run, event)` pairs.
+pub fn parse_jsonl<R: BufRead>(reader: R) -> Result<Vec<(u32, SimEvent)>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| SimError::InvalidParameter(format!("event log read: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record: EventRecord = serde_json::from_str(line)
+            .map_err(|e| SimError::InvalidParameter(format!("event log parse: {e}")))?;
+        out.push(record.into_event()?);
+    }
+    Ok(out)
+}
+
+/// Number of buckets in [`EventAggregate::slack_hist`].
+pub const SLACK_BUCKETS: usize = 12;
+/// Number of buckets in [`EventAggregate::latency_hist`].
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Streaming aggregation of an event log: per-strategy counters and
+/// histograms, computable either online (as an [`EventSink`]) or from a
+/// replayed log, with identical results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventAggregate {
+    /// Decisions taken.
+    pub decides: u64,
+    /// Decisions that continued the held deployment.
+    pub continuations: u64,
+    /// Decisions forced to the last-resort configuration.
+    pub forced: u64,
+    /// Spike-wait steps.
+    pub spike_waits: u64,
+    /// Deployments acquired.
+    pub acquires: u64,
+    /// Evictions (from [`SimEvent::Evict`]).
+    pub evictions: u64,
+    /// Evictions that hit an idle deployment during a spike wait.
+    pub wait_evictions: u64,
+    /// Checkpoints landed.
+    pub checkpoints: u64,
+    /// Runs completed (one [`SimEvent::Complete`] each).
+    pub runs: u64,
+    /// Runs that missed their deadline.
+    pub missed_deadlines: u64,
+    /// Runs cut short by the trace horizon.
+    pub incomplete_runs: u64,
+    /// Dollars across [`SimEvent::Bill`] events.
+    pub billed_dollars: f64,
+    /// Total dollars across [`SimEvent::Complete`] events.
+    pub total_dollars: f64,
+    /// Histogram over evictions-per-run (index = eviction count, last
+    /// bucket collects the tail).
+    pub eviction_hist: Vec<u64>,
+    /// Histogram of slack consumption per run: `finish/deadline` in
+    /// tenths; bucket 10 is exactly-missed-to-110%, bucket 11 the tail.
+    pub slack_hist: [u64; SLACK_BUCKETS],
+    /// Power-of-two histogram of decision latency in microseconds
+    /// (bucket `i` holds latencies in `[2^(i-1), 2^i)`; bucket 0 is zero).
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for EventAggregate {
+    fn default() -> Self {
+        EventAggregate {
+            decides: 0,
+            continuations: 0,
+            forced: 0,
+            spike_waits: 0,
+            acquires: 0,
+            evictions: 0,
+            wait_evictions: 0,
+            checkpoints: 0,
+            runs: 0,
+            missed_deadlines: 0,
+            incomplete_runs: 0,
+            billed_dollars: 0.0,
+            total_dollars: 0.0,
+            eviction_hist: vec![0; 9],
+            slack_hist: [0; SLACK_BUCKETS],
+            latency_hist: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl EventAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a buffered event stream (the replay path; bit-identical to
+    /// feeding the same stream through the [`EventSink`] impl).
+    pub fn from_events(events: &[(u32, SimEvent)]) -> Self {
+        let mut agg = Self::new();
+        for (run, e) in events {
+            agg.record(*run, e);
+        }
+        agg
+    }
+
+    /// Folds another aggregate into this one (counters and histograms
+    /// add; the eviction histogram grows to the longer of the two).
+    pub fn merge(&mut self, other: &EventAggregate) {
+        self.decides += other.decides;
+        self.continuations += other.continuations;
+        self.forced += other.forced;
+        self.spike_waits += other.spike_waits;
+        self.acquires += other.acquires;
+        self.evictions += other.evictions;
+        self.wait_evictions += other.wait_evictions;
+        self.checkpoints += other.checkpoints;
+        self.runs += other.runs;
+        self.missed_deadlines += other.missed_deadlines;
+        self.incomplete_runs += other.incomplete_runs;
+        self.billed_dollars += other.billed_dollars;
+        self.total_dollars += other.total_dollars;
+        if self.eviction_hist.len() < other.eviction_hist.len() {
+            self.eviction_hist.resize(other.eviction_hist.len(), 0);
+        }
+        for (i, &n) in other.eviction_hist.iter().enumerate() {
+            self.eviction_hist[i] += n;
+        }
+        for (a, b) in self.slack_hist.iter_mut().zip(&other.slack_hist) {
+            *a += b;
+        }
+        for (a, b) in self.latency_hist.iter_mut().zip(&other.latency_hist) {
+            *a += b;
+        }
+    }
+
+    /// Mean decision latency in microseconds (zero when no decisions).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.decides == 0 {
+            return 0.0;
+        }
+        // Bucket midpoints: coarse, but latency is telemetry, not billing.
+        let total: f64 = self
+            .latency_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mid = if i == 0 {
+                    0.0
+                } else {
+                    0.75 * (1u64 << i) as f64
+                };
+                mid * n as f64
+            })
+            .sum();
+        total / self.decides as f64
+    }
+
+    /// Mean evictions per run (zero when no runs completed).
+    pub fn mean_evictions(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.evictions as f64 / self.runs as f64
+        }
+    }
+}
+
+fn latency_bucket(us: u64) -> usize {
+    ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+impl EventSink for EventAggregate {
+    fn record(&mut self, _run: u32, event: &SimEvent) {
+        match *event {
+            SimEvent::Decide {
+                continuation,
+                forced,
+                latency_us,
+                ..
+            } => {
+                self.decides += 1;
+                if continuation {
+                    self.continuations += 1;
+                }
+                if forced {
+                    self.forced += 1;
+                }
+                self.latency_hist[latency_bucket(latency_us)] += 1;
+            }
+            SimEvent::SpikeWait { .. } => self.spike_waits += 1,
+            SimEvent::Acquire { .. } => self.acquires += 1,
+            SimEvent::Evict { phase, .. } => {
+                self.evictions += 1;
+                if phase == Phase::Wait {
+                    self.wait_evictions += 1;
+                }
+            }
+            SimEvent::Checkpoint { .. } => self.checkpoints += 1,
+            SimEvent::Bill { cost, .. } => self.billed_dollars += cost,
+            SimEvent::Complete {
+                finish_seconds,
+                deadline,
+                cost,
+                missed_deadline,
+                completed,
+                evictions,
+                ..
+            } => {
+                self.runs += 1;
+                if missed_deadline {
+                    self.missed_deadlines += 1;
+                }
+                if !completed {
+                    self.incomplete_runs += 1;
+                }
+                self.total_dollars += cost;
+                let bucket = evictions.min(self.eviction_hist.len() - 1);
+                self.eviction_hist[bucket] += 1;
+                let frac = if deadline > 0.0 {
+                    finish_seconds / deadline
+                } else {
+                    f64::INFINITY
+                };
+                let slot = if frac.is_finite() && frac >= 0.0 {
+                    ((frac * 10.0) as usize).min(SLACK_BUCKETS - 1)
+                } else {
+                    SLACK_BUCKETS - 1
+                };
+                self.slack_hist[slot] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<(u32, SimEvent)> {
+        vec![
+            (
+                0,
+                SimEvent::Decide {
+                    t: 0.0,
+                    work_left: 1.0,
+                    billed: 0.0,
+                    pick: 3,
+                    continuation: false,
+                    forced: false,
+                    latency_us: 420,
+                    slack: 7200.0,
+                },
+            ),
+            (
+                0,
+                SimEvent::Acquire {
+                    t: 0.0,
+                    work_left: 1.0,
+                    billed: 0.0,
+                    pick: 3,
+                    setup_seconds: 160.0,
+                    first_load: true,
+                    released: None,
+                },
+            ),
+            (
+                0,
+                SimEvent::Bill {
+                    t: 0.0,
+                    to: 160.0,
+                    work_left: 1.0,
+                    billed: 0.25,
+                    pick: 3,
+                    cost: 0.25,
+                },
+            ),
+            (
+                0,
+                SimEvent::SpikeWait {
+                    t: 160.0,
+                    work_left: 1.0,
+                    billed: 0.25,
+                    pick: 5,
+                    resume_at: 460.0,
+                    held: Some(3),
+                },
+            ),
+            (
+                0,
+                SimEvent::Evict {
+                    t: 300.0,
+                    work_left: 1.0,
+                    billed: 0.5,
+                    pick: 3,
+                    phase: Phase::Wait,
+                },
+            ),
+            (
+                0,
+                SimEvent::Checkpoint {
+                    t: 900.0,
+                    work_left: 0.5,
+                    billed: 1.0,
+                    pick: 5,
+                    chunk_seconds: 400.0,
+                },
+            ),
+            (
+                0,
+                SimEvent::Complete {
+                    t: 1500.0,
+                    work_left: 0.0,
+                    billed: 2.0,
+                    finish_seconds: 1500.0,
+                    deadline: 7200.0,
+                    cost: 2.5,
+                    online_cost: 2.0,
+                    missed_deadline: false,
+                    completed: true,
+                    evictions: 1,
+                    deployments: 2,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn record_round_trips_every_kind() {
+        for (run, e) in sample_events() {
+            let rec = EventRecord::from_event(run, &e);
+            let (r2, e2) = rec.into_event().expect("round trip");
+            assert_eq!(r2, run);
+            assert_eq!(e2, e);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = sample_events();
+        for (run, e) in &events {
+            sink.record(*run, e);
+        }
+        assert_eq!(sink.lines(), events.len() as u64);
+        let buf = sink.finish().expect("finish");
+        let parsed = parse_jsonl(&buf[..]).expect("parse");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn malformed_record_is_rejected() {
+        let rec = EventRecord::empty(0, EventKind::Decide, 0.0, 1.0, 0.0);
+        assert!(rec.into_event().is_err());
+    }
+
+    #[test]
+    fn aggregate_counts_and_histograms() {
+        let agg = EventAggregate::from_events(&sample_events());
+        assert_eq!(agg.decides, 1);
+        assert_eq!(agg.spike_waits, 1);
+        assert_eq!(agg.acquires, 1);
+        assert_eq!(agg.evictions, 1);
+        assert_eq!(agg.wait_evictions, 1);
+        assert_eq!(agg.checkpoints, 1);
+        assert_eq!(agg.runs, 1);
+        assert_eq!(agg.missed_deadlines, 0);
+        assert!((agg.billed_dollars - 0.25).abs() < 1e-12);
+        assert!((agg.total_dollars - 2.5).abs() < 1e-12);
+        assert_eq!(agg.eviction_hist[1], 1);
+        // finish/deadline ≈ 0.208 → bucket 2.
+        assert_eq!(agg.slack_hist[2], 1);
+        // 420 µs → bucket ⌈log2⌉ = 9.
+        assert_eq!(agg.latency_hist[9], 1);
+        assert!(agg.mean_latency_us() > 0.0);
+        assert!((agg.mean_evictions() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_and_replay_aggregation_agree() {
+        let events = sample_events();
+        let mut online = EventAggregate::new();
+        for (run, e) in &events {
+            online.record(*run, e);
+        }
+        assert_eq!(online, EventAggregate::from_events(&events));
+    }
+
+    #[test]
+    fn merge_matches_joint_aggregation() {
+        let events = sample_events();
+        let (a, b) = events.split_at(3);
+        let mut merged = EventAggregate::from_events(a);
+        merged.merge(&EventAggregate::from_events(b));
+        assert_eq!(merged, EventAggregate::from_events(&events));
+    }
+
+    #[test]
+    fn latency_buckets_are_monotone() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 1);
+        assert_eq!(latency_bucket(2), 2);
+        assert_eq!(latency_bucket(3), 2);
+        assert_eq!(latency_bucket(1024), 11);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+}

@@ -2,8 +2,10 @@
 //! costs measured for each strategy are the average over 2000 simulations
 //! of the target job, with the starting moment selected at random").
 
+use crate::events::{EventSink, NullSink};
 use crate::job::JobDescription;
-use crate::runner::{run_job, JobOutcome, SimulationSetup};
+use crate::runner::{JobOutcome, SimulationSetup};
+use crate::sweep::sweep_jobs;
 use crate::Result;
 use hourglass_core::Strategy;
 use rand::rngs::StdRng;
@@ -17,6 +19,10 @@ pub struct Experiment {
     /// gives paired comparisons under identical market conditions, as the
     /// paper's methodology prescribes).
     pub seed: u64,
+    /// Fan the runs across worker threads. Start points are drawn before
+    /// the fan-out and each run is deterministic, so the outcomes are
+    /// bit-identical either way; this only trades wall-clock for cores.
+    pub parallel: bool,
 }
 
 impl Default for Experiment {
@@ -24,6 +30,7 @@ impl Default for Experiment {
         Experiment {
             runs: 2000,
             seed: 0xE57,
+            parallel: true,
         }
     }
 }
@@ -58,7 +65,18 @@ pub struct ExperimentSummary {
 impl Experiment {
     /// Creates an experiment with `runs` samples.
     pub fn new(runs: usize, seed: u64) -> Self {
-        Experiment { runs, seed }
+        Experiment {
+            runs,
+            seed,
+            parallel: true,
+        }
+    }
+
+    /// Disables the thread fan-out (useful for latency profiling, where
+    /// concurrent runs would perturb each other's timings).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
     }
 
     /// The deterministic start points this experiment samples.
@@ -79,11 +97,21 @@ impl Experiment {
         job: &JobDescription,
         strategy: &dyn Strategy,
     ) -> Result<ExperimentSummary> {
+        self.run_observed(setup, job, strategy, &mut NullSink)
+    }
+
+    /// [`Experiment::run`] with every run's decision-loop events reported
+    /// to `sink` (tagged with the run's index into the start-point list).
+    pub fn run_observed(
+        &self,
+        setup: &SimulationSetup<'_>,
+        job: &JobDescription,
+        strategy: &dyn Strategy,
+        sink: &mut dyn EventSink,
+    ) -> Result<ExperimentSummary> {
         let starts = self.start_points(setup, job);
-        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(starts.len());
-        for &s in &starts {
-            outcomes.push(run_job(setup, job, strategy, s)?);
-        }
+        let outcomes: Vec<JobOutcome> =
+            sweep_jobs(setup, job, strategy, &starts, self.parallel, sink)?;
         summarize(strategy.name(), job, &outcomes)
     }
 }

@@ -13,18 +13,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod experiment;
 pub mod job;
 pub mod recurring;
 pub mod replication;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
+pub use events::{EventAggregate, EventSink, JsonlSink, NullSink, SimEvent, TeeSink, VecSink};
 pub use experiment::{Experiment, ExperimentSummary};
 pub use job::{ConfigPerf, JobDescription, ReloadMode};
-pub use recurring::{run_recurring, RecurringOutcome};
+pub use recurring::{run_recurring, run_recurring_observed, RecurringOutcome};
 pub use replication::run_job_replicated;
-pub use runner::{run_job, JobOutcome, SimulationSetup};
+pub use runner::{run_job, run_job_observed, JobOutcome, SimulationSetup};
+pub use sweep::{sweep_jobs, sweep_recurring};
 
 use std::fmt;
 

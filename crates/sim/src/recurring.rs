@@ -7,8 +7,9 @@
 //! period over the market trace and accounts for staleness violations
 //! (a run still executing when the next snapshot arrives).
 
+use crate::events::{EventSink, NullSink};
 use crate::job::JobDescription;
-use crate::runner::{run_job, JobOutcome, SimulationSetup};
+use crate::runner::{run_job_observed, JobOutcome, SimulationSetup};
 use crate::{Result, SimError};
 use hourglass_core::Strategy;
 
@@ -59,6 +60,23 @@ pub fn run_recurring(
     period: f64,
     count: usize,
 ) -> Result<RecurringOutcome> {
+    run_recurring_observed(setup, job, strategy, start, period, count, 0, &mut NullSink)
+}
+
+/// [`run_recurring`] with every recurrence's decision-loop events reported
+/// to `sink`. The whole chain shares one run index (`run`): recurrences
+/// are sequential in simulated time, separated by their `Complete` events.
+#[allow(clippy::too_many_arguments)]
+pub fn run_recurring_observed(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    strategy: &dyn Strategy,
+    start: f64,
+    period: f64,
+    count: usize,
+    run: u32,
+    sink: &mut dyn EventSink,
+) -> Result<RecurringOutcome> {
     if !(period > 0.0) {
         return Err(SimError::InvalidParameter(format!(
             "period must be positive, got {period}"
@@ -89,7 +107,7 @@ pub fn run_recurring(
     let mut staleness = 0;
     for i in 0..count {
         let t0 = start + i as f64 * period;
-        let out = run_job(setup, job, strategy, t0)?;
+        let out = run_job_observed(setup, job, strategy, t0, run, sink)?;
         total_cost += out.cost;
         if out.missed_deadline {
             missed += 1;

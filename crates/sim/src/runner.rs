@@ -1,12 +1,14 @@
 //! The job execution event loop (§4): decide → (re)deploy → fast-load →
 //! execute → checkpoint → repeat, with evictions driven by the price trace.
 
+use crate::events::{EventSink, NullSink, Phase, SimEvent};
 use crate::job::JobDescription;
 use crate::{Result, SimError};
 use hourglass_cloud::billing::CostLedger;
 use hourglass_cloud::eviction::{self, EvictionModel};
 use hourglass_cloud::{InstanceType, Market, ResourceClass};
 use hourglass_core::{Candidate, CurrentDeployment, DecisionContext, Strategy};
+use std::time::Instant;
 
 /// Shared simulation inputs: the replayed market and the historical
 /// eviction statistics strategies are allowed to see.
@@ -101,6 +103,20 @@ struct Held {
     acquired: f64,
 }
 
+/// Per-run observation state: the sink events are reported to and the
+/// running billed-dollars total they are stamped with.
+struct Obs<'s> {
+    run: u32,
+    billed: f64,
+    sink: &'s mut dyn EventSink,
+}
+
+impl Obs<'_> {
+    fn emit(&mut self, event: SimEvent) {
+        self.sink.record(self.run, &event);
+    }
+}
+
 /// Runs one job to completion over the market trace, starting at absolute
 /// trace time `start`.
 pub fn run_job(
@@ -108,6 +124,20 @@ pub fn run_job(
     job: &JobDescription,
     strategy: &dyn Strategy,
     start: f64,
+) -> Result<JobOutcome> {
+    run_job_observed(setup, job, strategy, start, 0, &mut NullSink)
+}
+
+/// [`run_job`] with every decision-loop transition reported to `sink`,
+/// stamped with run index `run` (sweeps use it to keep interleaved runs
+/// apart; standalone callers can pass 0).
+pub fn run_job_observed(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    strategy: &dyn Strategy,
+    start: f64,
+    run: u32,
+    sink: &mut dyn EventSink,
 ) -> Result<JobOutcome> {
     if start < 0.0 || start >= setup.market.horizon() {
         return Err(SimError::InvalidParameter(format!(
@@ -125,6 +155,11 @@ pub fn run_job(
     let mut events = 0usize;
     let mut force_lrc = false;
     let mut last_stuck_pick: Option<usize> = None;
+    let mut obs = Obs {
+        run,
+        billed: 0.0,
+        sink,
+    };
 
     let outcome = loop {
         events += 1;
@@ -169,23 +204,37 @@ pub fn run_job(
                 uptime: t - h.acquired,
             }),
         };
-        let pick = if force_lrc {
+        let decide_started = Instant::now();
+        let (pick, forced) = if force_lrc {
             force_lrc = false;
-            job.lrc()?
+            (job.lrc()?, true)
         } else {
-            strategy.decide(&ctx)?.pick
+            (strategy.decide(&ctx)?.pick, false)
         };
+        let latency_us = decide_started.elapsed().as_micros() as u64;
         let perf = &job.configs[pick];
         let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
 
         // (Re)deploy if the pick differs from the held deployment.
         let continuing = matches!(held, Some(h) if h.idx == pick);
+        obs.emit(SimEvent::Decide {
+            t,
+            work_left: w,
+            billed: obs.billed,
+            pick,
+            continuation: continuing,
+            forced,
+            latency_us,
+            slack: job.deadline - (t - start),
+        });
         if !continuing {
-            held = None; // Old deployment released (billed on release below).
             let mut acquire_at = t;
             if perf.config.is_transient() {
                 // Spot requests are fulfilled when the market clears at or
-                // below the bid.
+                // below the bid. While the request is pending, the held
+                // deployment (if any) stays up — idle, but billed — so a
+                // strategy that re-picks it once the spike passes continues
+                // where it left off instead of paying a fresh boot + load.
                 let trace = setup.market.trace(perf.config.instance_type)?;
                 match trace.next_at_or_below(t, bid) {
                     Some(ta) if ta <= t + 1e-9 => acquire_at = t,
@@ -193,18 +242,64 @@ pub fn run_job(
                         // Market is in a spike: wait in bounded steps,
                         // re-deciding each time so deadline-aware
                         // strategies can bail to the lrc as slack burns.
-                        t = ta.min(t + 300.0);
+                        let resume_at = ta.min(t + 300.0);
+                        obs.emit(SimEvent::SpikeWait {
+                            t,
+                            work_left: w,
+                            billed: obs.billed,
+                            pick,
+                            resume_at,
+                            held: held.map(|h| h.idx),
+                        });
+                        wait_on_held(
+                            &mut held,
+                            setup,
+                            job,
+                            &mut ledger,
+                            &mut evictions,
+                            w,
+                            t,
+                            resume_at,
+                            horizon,
+                            &mut obs,
+                        )?;
+                        t = resume_at;
                         continue;
                     }
                     None => {
                         // Market never returns within the trace: fall back
                         // to the last-resort configuration.
-                        t += 60.0;
+                        let resume_at = t + 60.0;
+                        obs.emit(SimEvent::SpikeWait {
+                            t,
+                            work_left: w,
+                            billed: obs.billed,
+                            pick,
+                            resume_at,
+                            held: held.map(|h| h.idx),
+                        });
+                        wait_on_held(
+                            &mut held,
+                            setup,
+                            job,
+                            &mut ledger,
+                            &mut evictions,
+                            w,
+                            t,
+                            resume_at,
+                            horizon,
+                            &mut obs,
+                        )?;
+                        t = resume_at;
                         force_lrc = true;
                         continue;
                     }
                 }
             }
+            // The replacement is available now: only at this point is the
+            // old deployment released (it was billed through `t` by the
+            // compute/wait intervals that got us here).
+            let released = held.take().map(|h| h.idx);
             deployments += 1;
             let setup_time = job.t_boot
                 + if first_load_done {
@@ -212,25 +307,59 @@ pub fn run_job(
                 } else {
                     perf.t_load_first
                 };
+            obs.emit(SimEvent::Acquire {
+                t: acquire_at,
+                work_left: w,
+                billed: obs.billed,
+                pick,
+                setup_seconds: setup_time,
+                first_load: !first_load_done,
+                released,
+            });
             let setup_end = acquire_at + setup_time;
             if perf.config.is_transient() {
                 let trace = setup.market.trace(perf.config.instance_type)?;
                 if let Some(te) = trace.next_crossing_above(acquire_at, bid) {
                     if te < setup_end && te < horizon {
                         // Evicted while booting/loading: no progress.
-                        bill(&mut ledger, setup, perf, acquire_at, te)?;
+                        bill(&mut ledger, setup, perf, pick, acquire_at, te, w, &mut obs)?;
                         evictions += 1;
+                        obs.emit(SimEvent::Evict {
+                            t: te,
+                            work_left: w,
+                            billed: obs.billed,
+                            pick,
+                            phase: Phase::Setup,
+                        });
                         t = te;
                         continue;
                     }
                 }
             }
             if setup_end >= horizon {
-                bill(&mut ledger, setup, perf, acquire_at, horizon)?;
+                bill(
+                    &mut ledger,
+                    setup,
+                    perf,
+                    pick,
+                    acquire_at,
+                    horizon,
+                    w,
+                    &mut obs,
+                )?;
                 t = horizon;
                 continue;
             }
-            bill(&mut ledger, setup, perf, acquire_at, setup_end)?;
+            bill(
+                &mut ledger,
+                setup,
+                perf,
+                pick,
+                acquire_at,
+                setup_end,
+                w,
+                &mut obs,
+            )?;
             held = Some(Held {
                 idx: pick,
                 acquired: acquire_at,
@@ -245,7 +374,7 @@ pub fn run_job(
             // store the output.
             let end = t + w * perf.t_exec + perf.t_save;
             let end_clamped = end.min(horizon);
-            bill(&mut ledger, setup, perf, t, end_clamped)?;
+            bill(&mut ledger, setup, perf, pick, t, end_clamped, w, &mut obs)?;
             if end > horizon {
                 t = horizon;
                 continue;
@@ -310,35 +439,122 @@ pub fn run_job(
                     let computed = (te - perf.t_save - t).clamp(0.0, chunk);
                     w = (w - computed / perf.t_exec).max(0.0);
                 }
-                bill(&mut ledger, setup, perf, t, te)?;
+                bill(&mut ledger, setup, perf, pick, t, te, w, &mut obs)?;
                 evictions += 1;
                 held = None;
+                obs.emit(SimEvent::Evict {
+                    t: te,
+                    work_left: w,
+                    billed: obs.billed,
+                    pick,
+                    phase: Phase::Compute,
+                });
                 t = te;
             }
             None => {
                 if interval_end >= horizon {
-                    bill(&mut ledger, setup, perf, t, horizon)?;
+                    bill(&mut ledger, setup, perf, pick, t, horizon, w, &mut obs)?;
                     t = horizon;
                     continue;
                 }
-                bill(&mut ledger, setup, perf, t, interval_end)?;
+                bill(&mut ledger, setup, perf, pick, t, interval_end, w, &mut obs)?;
                 w = (w - chunk / perf.t_exec).max(0.0);
+                obs.emit(SimEvent::Checkpoint {
+                    t: interval_end,
+                    work_left: w,
+                    billed: obs.billed,
+                    pick,
+                    chunk_seconds: chunk,
+                });
                 t = interval_end;
             }
         }
     };
+    obs.emit(SimEvent::Complete {
+        t,
+        work_left: w,
+        billed: obs.billed,
+        finish_seconds: outcome.finish_time,
+        deadline: job.deadline,
+        cost: outcome.cost,
+        online_cost: outcome.online_cost,
+        missed_deadline: outcome.missed_deadline,
+        completed: outcome.completed,
+        evictions: outcome.evictions,
+        deployments: outcome.deployments,
+    });
     Ok(outcome)
 }
 
+/// Bills the held deployment while it sits idle through a spike wait on
+/// `[from, until)`, evicting it if its own market crosses the bid first.
+#[allow(clippy::too_many_arguments)]
+fn wait_on_held(
+    held: &mut Option<Held>,
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    ledger: &mut CostLedger,
+    evictions: &mut usize,
+    w: f64,
+    from: f64,
+    until: f64,
+    horizon: f64,
+    obs: &mut Obs<'_>,
+) -> Result<()> {
+    let Some(h) = *held else { return Ok(()) };
+    let perf = &job.configs[h.idx];
+    let until = until.min(horizon);
+    if until <= from {
+        return Ok(());
+    }
+    if perf.config.is_transient() {
+        let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
+        let trace = setup.market.trace(perf.config.instance_type)?;
+        if let Some(te) = trace
+            .next_crossing_above(from, bid)
+            .filter(|&te| te < until)
+        {
+            // The idle deployment is reclaimed mid-wait. Nothing beyond
+            // the last checkpoint is lost (`w` already reflects it).
+            bill(ledger, setup, perf, h.idx, from, te, w, obs)?;
+            *evictions += 1;
+            *held = None;
+            obs.emit(SimEvent::Evict {
+                t: te,
+                work_left: w,
+                billed: obs.billed,
+                pick: h.idx,
+                phase: Phase::Wait,
+            });
+            return Ok(());
+        }
+    }
+    bill(ledger, setup, perf, h.idx, from, until, w, obs)?;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn bill(
     ledger: &mut CostLedger,
     setup: &SimulationSetup<'_>,
     perf: &crate::job::ConfigPerf,
+    pick: usize,
     from: f64,
     to: f64,
+    work_left: f64,
+    obs: &mut Obs<'_>,
 ) -> Result<()> {
     if to > from {
-        ledger.bill(setup.market, &perf.config, from, to)?;
+        let cost = ledger.bill(setup.market, &perf.config, from, to)?;
+        obs.billed += cost;
+        obs.emit(SimEvent::Bill {
+            t: from,
+            to,
+            work_left,
+            billed: obs.billed,
+            pick,
+            cost,
+        });
     }
     Ok(())
 }
@@ -547,6 +763,218 @@ mod tests {
             .expect("job");
         assert!(run_job(&setup, &job, &OnDemandStrategy, -5.0).is_err());
         assert!(run_job(&setup, &job, &OnDemandStrategy, 1e12).is_err());
+    }
+
+    mod spike_wait {
+        use super::*;
+        use crate::events::VecSink;
+        use crate::job::ConfigPerf;
+        use hourglass_cloud::config::DeploymentConfig;
+        use hourglass_cloud::PriceTrace;
+        use hourglass_core::Decision;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        const STEP: f64 = 60.0;
+        const POINTS: usize = 2000;
+        /// First instant config B's market drops back below its bid.
+        const B_RECOVERS: f64 = 20_040.0;
+
+        /// Synthetic market: config A's type (r4.2xlarge) cheap throughout
+        /// except an optional mid-trace spike; config B's type (r4.4xlarge)
+        /// spiked until [`B_RECOVERS`]; everything else flat and cheap.
+        fn market(a_spike: Option<(f64, f64)>) -> Market {
+            let traces = InstanceType::ALL
+                .iter()
+                .map(|&ty| {
+                    let prices: Vec<f64> = (0..POINTS)
+                        .map(|i| {
+                            let t = i as f64 * STEP;
+                            match ty {
+                                InstanceType::R44xlarge if t < B_RECOVERS => 10.0,
+                                InstanceType::R44xlarge => 0.2,
+                                InstanceType::R42xlarge => match a_spike {
+                                    Some((from, to)) if t >= from && t < to => 1.0,
+                                    _ => 0.1,
+                                },
+                                _ => 0.1,
+                            }
+                        })
+                        .collect();
+                    (ty, PriceTrace::new(STEP, prices).expect("trace"))
+                })
+                .collect();
+            Market::new(traces).expect("market")
+        }
+
+        fn reliable_models() -> Vec<(InstanceType, EvictionModel)> {
+            InstanceType::ALL
+                .iter()
+                .map(|&ty| (ty, eviction::reliable()))
+                .collect()
+        }
+
+        fn perf(config: DeploymentConfig, t_exec: f64) -> ConfigPerf {
+            ConfigPerf {
+                config,
+                t_exec,
+                t_load_first: 100.0,
+                t_load_reload: 100.0,
+                t_save: 10.0,
+            }
+        }
+
+        /// Configs: 0 = A (spot r4.2xlarge), 1 = B (spot r4.4xlarge),
+        /// 2 = lrc (on-demand r4.8xlarge).
+        fn job() -> JobDescription {
+            JobDescription {
+                name: "spike-wait".into(),
+                deadline: 20_000.0,
+                t_boot: 60.0,
+                configs: vec![
+                    perf(
+                        DeploymentConfig::new(InstanceType::R42xlarge, 4, ResourceClass::Transient),
+                        4000.0,
+                    ),
+                    perf(
+                        DeploymentConfig::new(InstanceType::R44xlarge, 4, ResourceClass::Transient),
+                        2000.0,
+                    ),
+                    perf(
+                        DeploymentConfig::new(InstanceType::R48xlarge, 2, ResourceClass::OnDemand),
+                        1000.0,
+                    ),
+                ],
+                offline_cost: 0.0,
+            }
+        }
+
+        /// Picks B on its `tempted_call`-th decision, A otherwise: one
+        /// doomed attempt to switch into B's spiked market.
+        struct TemptedByB {
+            calls: AtomicUsize,
+            tempted_call: usize,
+        }
+
+        impl Strategy for TemptedByB {
+            fn name(&self) -> String {
+                "tempted-by-b".into()
+            }
+
+            fn decide(&self, _ctx: &DecisionContext<'_>) -> hourglass_core::Result<Decision> {
+                let n = self.calls.fetch_add(1, Ordering::SeqCst);
+                Ok(Decision {
+                    pick: if n == self.tempted_call { 1 } else { 0 },
+                })
+            }
+        }
+
+        /// The regression this guards: the runner used to drop the held
+        /// deployment *before* the replacement's spot request was
+        /// fulfilled, so re-picking the old configuration after a spike
+        /// wait was treated as a fresh deployment and paid boot + reload
+        /// again. With the fix the deployment is kept (idle, billed)
+        /// through the wait and the re-pick continues it.
+        #[test]
+        fn repick_after_spike_wait_continues_held_deployment() {
+            let market = market(None);
+            let models = reliable_models();
+            let mut setup = SimulationSetup::new(&market, &models);
+            setup.checkpoint_interval_override = Some(500.0);
+            let strategy = TemptedByB {
+                calls: AtomicUsize::new(0),
+                tempted_call: 1,
+            };
+            let mut sink = VecSink::new();
+            let out = run_job_observed(&setup, &job(), &strategy, 0.0, 0, &mut sink).expect("run");
+
+            // One acquisition, kept across the wait: no second boot+load.
+            assert!(out.completed && !out.missed_deadline);
+            assert_eq!(out.deployments, 1, "re-pick must not redeploy");
+            assert_eq!(out.evictions, 0);
+            // Timeline: setup [0,160), chunk to 670, one 300 s wait step
+            // for B, then 7 more 510 s chunks on the continued deployment.
+            // The old code re-deployed at 970 and finished 160 s later.
+            assert!(
+                (out.finish_time - 4540.0).abs() < 1.0,
+                "finish {} should be 4540 (re-deploying would give 4700)",
+                out.finish_time
+            );
+
+            let acquires: Vec<_> = sink
+                .events
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    SimEvent::Acquire { t, first_load, .. } => Some((*t, *first_load)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(acquires, vec![(0.0, true)]);
+            let waits: Vec<_> = sink
+                .events
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    SimEvent::SpikeWait { t, pick, held, .. } => Some((*t, *pick, *held)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(waits, vec![(670.0, 1, Some(0))]);
+            // The decision right after the wait continues the held config.
+            let post_wait_decide = sink
+                .events
+                .iter()
+                .find_map(|(_, e)| match e {
+                    SimEvent::Decide {
+                        t, continuation, ..
+                    } if *t > 670.0 => Some(*continuation),
+                    _ => None,
+                })
+                .expect("decision after the wait");
+            assert!(post_wait_decide, "re-pick must continue, not redeploy");
+            // The wait interval itself is billed: the held machines sit
+            // idle but allocated over [670, 970).
+            assert!(sink.events.iter().any(|(_, e)| matches!(
+                e,
+                SimEvent::Bill { t, to, .. } if *t == 670.0 && *to == 970.0
+            )));
+        }
+
+        /// The held deployment is *not* immortal during a wait: if its own
+        /// market crosses the bid while idle, it is evicted (billed to the
+        /// eviction instant) and the post-wait re-pick redeploys afresh.
+        #[test]
+        fn held_deployment_can_be_evicted_during_wait() {
+            // A spikes over [720, 1200): inside the wait window [670, 970).
+            let market = market(Some((720.0, 1200.0)));
+            let models = reliable_models();
+            let mut setup = SimulationSetup::new(&market, &models);
+            setup.checkpoint_interval_override = Some(500.0);
+            let strategy = TemptedByB {
+                calls: AtomicUsize::new(0),
+                tempted_call: 1,
+            };
+            let mut sink = VecSink::new();
+            let out = run_job_observed(&setup, &job(), &strategy, 0.0, 0, &mut sink).expect("run");
+
+            assert!(out.completed && !out.missed_deadline);
+            assert_eq!(out.evictions, 1, "idle eviction must be counted");
+            assert_eq!(out.deployments, 2, "post-wait re-pick must redeploy");
+            let wait_evicts: Vec<_> = sink
+                .events
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    SimEvent::Evict { t, pick, phase, .. } if *phase == Phase::Wait => {
+                        Some((*t, *pick))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(wait_evicts, vec![(720.0, 0)]);
+            // Billed only up to the idle eviction, not the full wait.
+            assert!(sink.events.iter().any(|(_, e)| matches!(
+                e,
+                SimEvent::Bill { t, to, .. } if *t == 670.0 && *to == 720.0
+            )));
+        }
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Deterministic fan-out of independent simulation replays.
+//!
+//! A Monte-Carlo experiment (§8.1) is embarrassingly parallel: every run
+//! replays the same market from its own start instant and the simulator is
+//! deterministic given `(setup, job, strategy, start)`. This module chunks
+//! the run list over [`hourglass_exec::fork_join`] worker threads and
+//! merges the per-run event streams back in ascending run order, so a
+//! parallel sweep produces **bit-identical** outcomes and event streams to
+//! a sequential one — the only permissible difference is the wall-clock
+//! `latency_us` stamped on `Decide` events.
+
+use crate::events::{EventSink, SimEvent, VecSink};
+use crate::job::JobDescription;
+use crate::recurring::{run_recurring_observed, RecurringOutcome};
+use crate::runner::{run_job_observed, JobOutcome, SimulationSetup};
+use crate::Result;
+use hourglass_core::Strategy;
+use hourglass_exec::{chunk_ranges, fork_join};
+use std::ops::Range;
+
+/// Worker-thread budget for a sweep: the machine's available parallelism
+/// (sweep chunks are sized to this, not one thread per run).
+pub fn default_tasks() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+type ChunkResult<T> = (Range<usize>, Vec<(u32, SimEvent)>, Result<Vec<T>>);
+
+fn merge<T>(chunks: Vec<ChunkResult<T>>, total: usize, sink: &mut dyn EventSink) -> Result<Vec<T>> {
+    // `fork_join` returns results in task submission order, which is
+    // ascending run order by construction.
+    let mut out = Vec::with_capacity(total);
+    for (_range, events, results) in chunks {
+        let results = results?;
+        for (run, event) in &events {
+            sink.record(*run, event);
+        }
+        out.extend(results);
+    }
+    Ok(out)
+}
+
+/// Replays `job` once per entry of `starts`, optionally fanning the runs
+/// across threads, reporting every run's events to `sink` tagged with the
+/// run's index into `starts`.
+///
+/// Sequential (`parallel = false`) and parallel sweeps produce
+/// bit-identical outcome vectors and event streams (modulo the wall-clock
+/// `latency_us` field of `Decide` events).
+pub fn sweep_jobs(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    strategy: &dyn Strategy,
+    starts: &[f64],
+    parallel: bool,
+    sink: &mut dyn EventSink,
+) -> Result<Vec<JobOutcome>> {
+    let tasks: Vec<_> = chunk_ranges(starts.len(), default_tasks())
+        .into_iter()
+        .map(|range| {
+            move || -> ChunkResult<JobOutcome> {
+                let mut local = VecSink::new();
+                let mut outcomes = Vec::with_capacity(range.len());
+                for i in range.clone() {
+                    match run_job_observed(setup, job, strategy, starts[i], i as u32, &mut local) {
+                        Ok(o) => outcomes.push(o),
+                        Err(e) => return (range, local.events, Err(e)),
+                    }
+                }
+                (range, local.events, Ok(outcomes))
+            }
+        })
+        .collect();
+    merge(fork_join(parallel, tasks), starts.len(), sink)
+}
+
+/// Replays one recurrence chain per entry of `starts` (each chain running
+/// `count` recurrences every `period` seconds), optionally fanning the
+/// chains across threads. Chain `i`'s events carry run index `i`.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_recurring(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    strategy: &dyn Strategy,
+    starts: &[f64],
+    period: f64,
+    count: usize,
+    parallel: bool,
+    sink: &mut dyn EventSink,
+) -> Result<Vec<RecurringOutcome>> {
+    let tasks: Vec<_> = chunk_ranges(starts.len(), default_tasks())
+        .into_iter()
+        .map(|range| {
+            move || -> ChunkResult<RecurringOutcome> {
+                let mut local = VecSink::new();
+                let mut outcomes = Vec::with_capacity(range.len());
+                for i in range.clone() {
+                    match run_recurring_observed(
+                        setup, job, strategy, starts[i], period, count, i as u32, &mut local,
+                    ) {
+                        Ok(o) => outcomes.push(o),
+                        Err(e) => return (range, local.events, Err(e)),
+                    }
+                }
+                (range, local.events, Ok(outcomes))
+            }
+        })
+        .collect();
+    merge(fork_join(parallel, tasks), starts.len(), sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventAggregate, NullSink};
+    use crate::job::{PaperJob, ReloadMode};
+    use crate::runner::derive_eviction_models;
+    use hourglass_cloud::tracegen;
+    use hourglass_core::strategies::HourglassStrategy;
+
+    fn zero_latency(events: &mut [(u32, SimEvent)]) {
+        for (_, e) in events.iter_mut() {
+            if let SimEvent::Decide { latency_us, .. } = e {
+                *latency_us = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let market = tracegen::simulation_market(31).expect("market");
+        let history = tracegen::history_market(31).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(60.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts: Vec<f64> = (0..12).map(|i| i as f64 * 90_000.0).collect();
+
+        let mut seq_sink = VecSink::new();
+        let seq = sweep_jobs(&setup, &job, &strategy, &starts, false, &mut seq_sink).expect("seq");
+        let mut par_sink = VecSink::new();
+        let par = sweep_jobs(&setup, &job, &strategy, &starts, true, &mut par_sink).expect("par");
+
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.online_cost.to_bits(), b.online_cost.to_bits());
+            assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+            assert_eq!(a.evictions, b.evictions);
+            assert_eq!(a.deployments, b.deployments);
+            assert_eq!(a.missed_deadline, b.missed_deadline);
+            assert_eq!(a.completed, b.completed);
+        }
+        zero_latency(&mut seq_sink.events);
+        zero_latency(&mut par_sink.events);
+        assert_eq!(seq_sink.events, par_sink.events);
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let market = tracegen::simulation_market(32).expect("market");
+        let history = tracegen::history_market(32).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts = [0.0, 400_000.0, 1_000_000.0];
+        let swept =
+            sweep_jobs(&setup, &job, &strategy, &starts, true, &mut NullSink).expect("sweep");
+        for (i, &s) in starts.iter().enumerate() {
+            let solo = crate::runner::run_job(&setup, &job, &strategy, s).expect("run");
+            assert_eq!(solo.cost.to_bits(), swept[i].cost.to_bits());
+            assert_eq!(solo.finish_time.to_bits(), swept[i].finish_time.to_bits());
+        }
+    }
+
+    #[test]
+    fn recurring_sweep_is_deterministic() {
+        let market = tracegen::simulation_market(33).expect("market");
+        let history = tracegen::history_market(33).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts = [0.0, 300_000.0];
+        let seq = sweep_recurring(
+            &setup,
+            &job,
+            &strategy,
+            &starts,
+            2.0 * job.deadline,
+            3,
+            false,
+            &mut NullSink,
+        )
+        .expect("seq");
+        let par = sweep_recurring(
+            &setup,
+            &job,
+            &strategy,
+            &starts,
+            2.0 * job.deadline,
+            3,
+            true,
+            &mut NullSink,
+        )
+        .expect("par");
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits());
+            assert_eq!(a.missed, b.missed);
+            assert_eq!(a.staleness_violations, b.staleness_violations);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let market = tracegen::simulation_market(34).expect("market");
+        let history = tracegen::history_market(34).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 200, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let out = sweep_jobs(
+            &setup,
+            &job,
+            &HourglassStrategy::new(),
+            &[],
+            true,
+            &mut NullSink,
+        )
+        .expect("sweep");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sweep_errors_propagate() {
+        let market = tracegen::simulation_market(35).expect("market");
+        let history = tracegen::history_market(35).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 200, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        // A start outside the horizon fails the whole sweep.
+        let starts = [0.0, -1.0];
+        assert!(sweep_jobs(
+            &setup,
+            &job,
+            &HourglassStrategy::new(),
+            &starts,
+            true,
+            &mut NullSink
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn event_stream_aggregates_consistently() {
+        let market = tracegen::simulation_market(36).expect("market");
+        let history = tracegen::history_market(36).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts: Vec<f64> = (0..6).map(|i| 50_000.0 + i as f64 * 150_000.0).collect();
+        let mut vec_sink = VecSink::new();
+        let outcomes =
+            sweep_jobs(&setup, &job, &strategy, &starts, true, &mut vec_sink).expect("sweep");
+        let agg = EventAggregate::from_events(&vec_sink.events);
+        assert_eq!(agg.runs, outcomes.len() as u64);
+        assert_eq!(
+            agg.evictions,
+            outcomes.iter().map(|o| o.evictions as u64).sum::<u64>()
+        );
+        let online: f64 = outcomes.iter().map(|o| o.online_cost).sum();
+        assert!(
+            (agg.billed_dollars - online).abs() < 1e-6,
+            "billed {} vs outcomes {online}",
+            agg.billed_dollars
+        );
+    }
+}

@@ -7,9 +7,13 @@ use hourglass::core::strategies::{
     DeadlineProtected, EagerStrategy, HourglassStrategy, OnDemandStrategy, ProteusStrategy,
 };
 
+use hourglass::sim::events::parse_jsonl;
 use hourglass::sim::job::{PaperJob, ReloadMode};
 use hourglass::sim::runner::{derive_eviction_models, run_job, SimulationSetup};
-use hourglass::sim::Experiment;
+use hourglass::sim::{
+    sweep_jobs, EventAggregate, EventSink, Experiment, JsonlSink, SimEvent, VecSink,
+};
+use std::collections::BTreeMap;
 
 struct World {
     market: hourglass::cloud::Market,
@@ -133,6 +137,149 @@ fn fast_reload_beats_repartition_reload_under_churn() {
         "fast reload {:.3} must beat repartition reload {:.3}",
         s_fast.normalized_cost,
         s_slow.normalized_cost
+    );
+}
+
+/// Audits the cost ledger through the event log: every `Bill` belongs to
+/// the deployment currently held, bills never overlap, they are
+/// contiguous within a tenure (setup, compute and spike-wait idling chain
+/// without gaps), and no bill extends past the eviction instant or the
+/// run's completion.
+#[test]
+fn event_log_satisfies_ledger_invariants() {
+    let w = world(107);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    let job = PaperJob::GraphColoring
+        .description(30.0, ReloadMode::Fast)
+        .expect("job");
+    let strategy = HourglassStrategy::new();
+    let starts = Experiment::new(25, 11).start_points(&setup, &job);
+    let mut sink = VecSink::new();
+    let outcomes = sweep_jobs(&setup, &job, &strategy, &starts, true, &mut sink).expect("sweep");
+
+    let mut per_run: BTreeMap<u32, Vec<&SimEvent>> = BTreeMap::new();
+    for (run, event) in &sink.events {
+        per_run.entry(*run).or_default().push(event);
+    }
+    assert_eq!(per_run.len(), outcomes.len(), "every run must log events");
+
+    let mut bills_audited = 0usize;
+    let mut evicts_seen = 0u64;
+    for (run, events) in &per_run {
+        let mut tenure: Option<usize> = None;
+        let mut prev_to: Option<f64> = None;
+        let mut last_to = f64::NEG_INFINITY;
+        let mut billed = 0.0;
+        for event in events {
+            match event {
+                SimEvent::Acquire { pick, .. } => {
+                    tenure = Some(*pick);
+                    prev_to = None;
+                }
+                SimEvent::Bill {
+                    t, to, pick, cost, ..
+                } => {
+                    let held = tenure.expect("bill outside any tenure");
+                    assert_eq!(*pick, held, "run {run}: billed a config not held");
+                    assert!(*to > *t - 1e-9, "run {run}: non-positive bill [{t},{to}]");
+                    assert!(
+                        *t >= last_to - 1e-9,
+                        "run {run}: bill [{t},{to}] overlaps previous (ended {last_to})"
+                    );
+                    if let Some(p) = prev_to {
+                        assert!(
+                            (*t - p).abs() < 1e-6,
+                            "run {run}: gap in tenure between {p} and {t}"
+                        );
+                    }
+                    prev_to = Some(*to);
+                    last_to = *to;
+                    billed += cost;
+                    bills_audited += 1;
+                }
+                SimEvent::Evict { t, .. } => {
+                    assert!(tenure.is_some(), "run {run}: eviction without a tenure");
+                    if let Some(p) = prev_to {
+                        assert!(
+                            p <= *t + 1e-6,
+                            "run {run}: billed to {p}, past eviction at {t}"
+                        );
+                    }
+                    tenure = None;
+                    prev_to = None;
+                    evicts_seen += 1;
+                }
+                SimEvent::Complete { t, online_cost, .. } => {
+                    assert!(
+                        last_to <= *t + 1e-6,
+                        "run {run}: billed to {last_to}, past completion at {t}"
+                    );
+                    assert!(
+                        (billed - online_cost).abs() < 1e-6,
+                        "run {run}: bills sum to {billed}, outcome says {online_cost}"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(bills_audited > 0, "the sweep must bill something");
+    assert_eq!(
+        evicts_seen,
+        outcomes.iter().map(|o| o.evictions as u64).sum::<u64>(),
+        "one Evict event per counted eviction"
+    );
+}
+
+/// The tentpole determinism contract, end to end through the public API:
+/// a parallel sweep is bit-identical to a sequential one, and the JSONL
+/// event log round-trips into the same aggregate as the in-memory stream.
+#[test]
+fn parallel_sweep_and_event_log_are_faithful() {
+    let w = world(108);
+    let setup = SimulationSetup::new(&w.market, &w.models);
+    let job = PaperJob::PageRank
+        .description(40.0, ReloadMode::Fast)
+        .expect("job");
+    let strategy = HourglassStrategy::new();
+    let starts = Experiment::new(16, 13).start_points(&setup, &job);
+
+    let mut seq_sink = VecSink::new();
+    let seq = sweep_jobs(&setup, &job, &strategy, &starts, false, &mut seq_sink).expect("seq");
+    let mut par_sink = VecSink::new();
+    let par = sweep_jobs(&setup, &job, &strategy, &starts, true, &mut par_sink).expect("par");
+
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.online_cost.to_bits(), b.online_cost.to_bits());
+        assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.missed_deadline, b.missed_deadline);
+    }
+    // Event streams match modulo the wall-clock decision latency.
+    let zero_latency = |events: &mut Vec<(u32, SimEvent)>| {
+        for (_, e) in events.iter_mut() {
+            if let SimEvent::Decide { latency_us, .. } = e {
+                *latency_us = 0;
+            }
+        }
+    };
+    zero_latency(&mut seq_sink.events);
+    zero_latency(&mut par_sink.events);
+    assert_eq!(seq_sink.events, par_sink.events);
+
+    // JSONL round-trip: parse(serialize(stream)) aggregates identically.
+    let mut jsonl = JsonlSink::new(Vec::new());
+    for (run, event) in &par_sink.events {
+        jsonl.record(*run, event);
+    }
+    let buf = jsonl.finish().expect("serialize");
+    let replayed = parse_jsonl(&buf[..]).expect("parse");
+    assert_eq!(replayed, par_sink.events);
+    assert_eq!(
+        EventAggregate::from_events(&replayed),
+        EventAggregate::from_events(&par_sink.events)
     );
 }
 
