@@ -1,0 +1,59 @@
+//! Tracing overhead on the k=8 PageRank benchmark.
+//!
+//! Two cases around the identical engine run: `disabled` (no collector —
+//! the no-op path must be unmeasurable) and `traced` (a live session
+//! collecting every superstep/compute/delivery span; the acceptance bar
+//! is <5% overhead). Session start/finish is kept outside the timed
+//! region so the numbers isolate the per-span recording cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hourglass_engine::apps::PageRank;
+use hourglass_engine::{BspEngine, EngineConfig};
+use hourglass_graph::{generators, Graph};
+use hourglass_obs as obs;
+use hourglass_partition::hash::HashPartitioner;
+use hourglass_partition::{Partitioner, Partitioning};
+
+const WORKERS: u32 = 8;
+const ITERATIONS: usize = 10;
+
+fn world() -> (Graph, Partitioning) {
+    let g = generators::rmat(14, 8, generators::RmatParams::SOCIAL, 7).expect("gen");
+    let p = HashPartitioner.partition(&g, WORKERS).expect("partition");
+    (g, p)
+}
+
+fn run_pagerank(g: &Graph, p: &Partitioning) -> usize {
+    let mut engine = BspEngine::new(
+        PageRank::fixed(ITERATIONS),
+        g,
+        p.clone(),
+        EngineConfig::default(),
+    )
+    .expect("engine");
+    engine.run().expect("run").supersteps
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let (g, p) = world();
+    let mut group = c.benchmark_group("pagerank_k8");
+
+    group.bench_function("disabled", |b| {
+        b.iter(|| run_pagerank(&g, &p));
+    });
+
+    group.bench_function("traced", |b| {
+        let session = obs::TraceSession::start();
+        b.iter(|| run_pagerank(&g, &p));
+        let trace = session.finish();
+        assert!(
+            trace.in_category("engine").next().is_some(),
+            "traced case collected no engine spans"
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

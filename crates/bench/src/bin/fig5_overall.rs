@@ -9,6 +9,8 @@
 //!
 //! `--events PATH` streams the raw per-run event log (JSONL) to a file;
 //! run indices restart at 0 for every (job, slack, strategy) cell.
+//! `--trace PATH` additionally mirrors every decision event onto a
+//! Chrome-trace timeline (one simulated-time track per run index).
 //! `--smoke` runs a tiny self-checking sweep instead (CI gate): it asserts
 //! that parallel and sequential sweeps are bit-identical and that the
 //! JSONL round-trip of the event stream reproduces the in-memory
@@ -18,7 +20,9 @@ use hourglass_bench::{Cli, World};
 use hourglass_core::strategies::figure5_roster;
 use hourglass_sim::events::parse_jsonl;
 use hourglass_sim::job::{PaperJob, ReloadMode};
-use hourglass_sim::{EventAggregate, EventSink, Experiment, JsonlSink, TeeSink, VecSink};
+use hourglass_sim::{
+    EventAggregate, EventSink, Experiment, JsonlSink, TeeSink, TraceBridge, VecSink,
+};
 use std::io::{BufWriter, Write};
 
 fn main() {
@@ -27,6 +31,7 @@ fn main() {
         smoke(&cli);
         return;
     }
+    let tracing = cli.trace_handle();
     let world = World::build(cli.seed);
     let setup = world.setup();
     let runs = cli.runs_or(150);
@@ -66,15 +71,28 @@ fn main() {
             for (si, strategy) in roster.iter().enumerate() {
                 let experiment = Experiment::new(runs, cli.seed ^ (slack as u64));
                 let mut agg = EventAggregate::new();
+                // The bridge is inert unless `--trace`/`--profile`
+                // started a session, so it is always wired in.
+                let mut bridge = TraceBridge::new();
                 let summary = match event_log.as_mut() {
                     Some(log) => {
-                        let mut tee = TeeSink {
+                        let mut inner = TeeSink {
                             first: &mut agg,
                             second: log,
                         };
+                        let mut tee = TeeSink {
+                            first: &mut inner,
+                            second: &mut bridge,
+                        };
                         experiment.run_observed(&setup, &job, strategy, &mut tee)
                     }
-                    None => experiment.run_observed(&setup, &job, strategy, &mut agg),
+                    None => {
+                        let mut tee = TeeSink {
+                            first: &mut agg,
+                            second: &mut bridge,
+                        };
+                        experiment.run_observed(&setup, &job, strategy, &mut tee)
+                    }
                 }
                 .expect("simulation cannot fail on a generated market");
                 row.push_str(&format!(
@@ -140,6 +158,7 @@ fn main() {
             Err(e) => eprintln!("warning: event log {path} incomplete: {e}"),
         }
     }
+    tracing.finish();
 }
 
 /// Tiny self-checking sweep for CI: one job, one slack, the full roster.

@@ -14,23 +14,58 @@
 //!    *both* datastore formats (text baseline vs sharded binary),
 //!    verifying the model's ordering — and the binary store's speedup —
 //!    with real code (run with `--quick` to skip).
+//!
+//! `--trace PATH` records the cross-layer trace of the measured section
+//! and exports it as Chrome Trace Event JSON; `--profile` prints the
+//! per-phase breakdown; `--events PATH` writes one JSONL line per
+//! (dataset, store, loader, machines, phase) with trace-derived phase
+//! seconds — the loader-phase histogram is printed either way. `--smoke`
+//! runs the CI gate instead: one session spanning all four instrumented
+//! layers (decision loop, partitioner, loaders, engine), validated by
+//! re-parsing the exported trace.
 
-use hourglass_bench::Cli;
+use hourglass_bench::{Cli, World};
+use hourglass_core::strategies::HourglassStrategy;
+use hourglass_engine::apps::PageRank;
 use hourglass_engine::loaders::{
-    hash_load, micro_load, stream_load, Datastore, LoaderCostModel, LoaderKind, StoreFormat,
+    hash_load, micro_load, reload_graph, stream_load, Datastore, LoaderCostModel, LoaderKind,
+    StoreFormat,
 };
+use hourglass_engine::{BspEngine, EngineConfig};
 use hourglass_graph::datasets::Dataset;
+use hourglass_obs as obs;
 use hourglass_partition::cluster::cluster_micro_partitions;
 use hourglass_partition::hash::HashPartitioner;
 use hourglass_partition::micro::MicroPartitioner;
 use hourglass_partition::Partitioner;
+use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::report::render_series_table;
+use hourglass_sim::sweep::sweep_jobs;
+use hourglass_sim::TraceBridge;
 use std::time::Instant;
 
 const MACHINES: [u32; 4] = [2, 4, 8, 16];
 
+/// One measured loader invocation and its window on the trace clock.
+struct Cell {
+    dataset: String,
+    store: String,
+    loader: LoaderKind,
+    machines: u32,
+    window: (u64, u64),
+}
+
 fn main() {
     let cli = Cli::parse();
+    if cli.smoke {
+        smoke(&cli);
+        return;
+    }
+    // The phase histogram and `--events` JSONL are both derived from the
+    // trace, so a session is needed whenever any of the three outputs is
+    // requested.
+    let tracing = cli.trace_handle_with(cli.events.is_some());
+    let mut cells: Vec<Cell> = Vec::new();
     let model = LoaderCostModel::aws_2016_for(StoreFormat::Text);
     let mut json = Vec::new();
 
@@ -111,19 +146,36 @@ fn main() {
                 let mut micro_row = Vec::new();
                 for &k in &MACHINES {
                     let part = HashPartitioner.partition(&g, k).expect("hash partitioning");
+                    let mut cell = |loader: LoaderKind, window: (u64, u64)| {
+                        if tracing.active() {
+                            cells.push(Cell {
+                                dataset: dataset.name().to_string(),
+                                store: fmt.to_string(),
+                                loader,
+                                machines: k,
+                                window,
+                            });
+                        }
+                    };
+                    let w0 = obs::now_ns_if_enabled();
                     let t0 = Instant::now();
                     let (_, sstats) = stream_load(&flat, &part);
                     stream_row.push(t0.elapsed().as_secs_f64());
+                    cell(LoaderKind::Stream, (w0, obs::now_ns_if_enabled()));
+                    let w0 = obs::now_ns_if_enabled();
                     let t0 = Instant::now();
                     let (_, hstats) = hash_load(&flat, &part);
                     hash_row.push(t0.elapsed().as_secs_f64());
+                    cell(LoaderKind::Hash, (w0, obs::now_ns_if_enabled()));
                     let clustering =
                         cluster_micro_partitions(&mp, k, cli.seed).expect("clustering");
+                    let w0 = obs::now_ns_if_enabled();
                     let t0 = Instant::now();
                     let (workers, mstats) =
                         micro_load(&store, mp.micro(), clustering.micro_to_macro(), k)
                             .expect("micro load");
                     micro_row.push(t0.elapsed().as_secs_f64());
+                    cell(LoaderKind::Micro, (w0, obs::now_ns_if_enabled()));
                     // A well-formed store parses completely: any skipped
                     // record would silently bias the figure.
                     assert_eq!(sstats.lines_skipped, 0, "stream dropped records");
@@ -176,4 +228,130 @@ fn main() {
     println!(" Micro 11–80x faster than Stream, 5–65x faster than Hash;");
     println!(" the binary store shifts every loader down without changing the ordering)");
     cli.maybe_write_json(&serde_json::to_string_pretty(&json).expect("plain json cannot fail"));
+    if let Some(trace) = tracing.finish() {
+        phase_report(&trace, &cells, cli.events.as_deref());
+    }
+}
+
+/// Derives the per-cell loader-phase breakdown from the trace: every
+/// `loader`-category span whose start falls inside a cell's window is
+/// attributed to that cell. Prints an aggregate phase histogram and
+/// optionally writes one JSONL line per (cell, phase).
+fn phase_report(trace: &obs::Trace, cells: &[Cell], events_path: Option<&str>) {
+    use std::collections::BTreeMap;
+    let mut lines = String::new();
+    let mut agg: BTreeMap<(String, &'static str), (f64, u64)> = BTreeMap::new();
+    for cell in cells {
+        let mut phases: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
+        for s in &trace.spans {
+            if s.cat == "loader"
+                && s.kind == obs::RecordKind::Span
+                && s.start_ns >= cell.window.0
+                && s.start_ns < cell.window.1
+            {
+                let e = phases.entry(s.name).or_insert((0.0, 0));
+                e.0 += s.seconds();
+                e.1 += 1;
+            }
+        }
+        for (phase, (secs, count)) in &phases {
+            lines.push_str(&format!(
+                "{{\"dataset\":{:?},\"store\":{:?},\"loader\":\"{}\",\"machines\":{},\
+                 \"phase\":{phase:?},\"seconds\":{secs},\"spans\":{count}}}\n",
+                cell.dataset, cell.store, cell.loader, cell.machines,
+            ));
+            let a = agg
+                .entry((cell.loader.to_string(), phase))
+                .or_insert((0.0, 0));
+            a.0 += secs;
+            a.1 += count;
+        }
+    }
+    if !agg.is_empty() {
+        println!("-- loader phase totals from the trace (all datasets & machine counts) --");
+        println!(
+            "{:<10}{:<14}{:>12}{:>8}",
+            "loader", "phase", "seconds", "spans"
+        );
+        for ((loader, phase), (secs, n)) in &agg {
+            println!("{loader:<10}{phase:<14}{secs:>12.4}{n:>8}");
+        }
+        println!();
+    }
+    if let Some(path) = events_path {
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("loader-phase event log written to {path}");
+        }
+    }
+}
+
+/// CI smoke: exercise all four instrumented layers in one session —
+/// decision loop (via the sim bridge), partitioner, micro datastore +
+/// loader, and the BSP engine — then validate the exported Chrome trace
+/// round-trips through the parser with every layer present.
+fn smoke(cli: &Cli) {
+    // Force a session so the validation runs even without `--trace`
+    // (CI passes `--trace out.json` and checks the file with jq).
+    let tracing = cli.trace_handle_with(true);
+
+    // Layer 1: the provisioner's decision loop on the simulated timeline.
+    let world = World::build(cli.seed);
+    let setup = world.setup();
+    let job = PaperJob::PageRank
+        .description(60.0, ReloadMode::Fast)
+        .expect("job construction");
+    let strategy = HourglassStrategy::new();
+    let starts: Vec<f64> = (0..2).map(|i| i as f64 * 90_000.0).collect();
+    let mut bridge = TraceBridge::new();
+    sweep_jobs(&setup, &job, &strategy, &starts, true, &mut bridge).expect("sim sweep");
+
+    // Layer 2: offline micro-partitioning + online clustering.
+    let g = hourglass_graph::generators::community(4, 64, 0.3, 50, cli.seed).expect("gen");
+    let mp = MicroPartitioner::new(HashPartitioner, 16)
+        .run(&g)
+        .expect("micro partitioning");
+    let clustering = cluster_micro_partitions(&mp, 4, cli.seed).expect("clustering");
+
+    // Layer 3: sharded binary datastore + micro loader + fast reload.
+    let store = Datastore::binary_micro(&g, mp.micro()).expect("micro store");
+    let (workers, stats) =
+        micro_load(&store, mp.micro(), clustering.micro_to_macro(), 4).expect("micro load");
+    assert_eq!(stats.lines_skipped, 0, "micro loader dropped records");
+    let rg = reload_graph(&workers, g.num_vertices(), false).expect("reload");
+
+    // Layer 4: engine superstep phases.
+    let mut engine = BspEngine::new(
+        PageRank::fixed(3),
+        &rg,
+        clustering.vertex_partitioning().clone(),
+        EngineConfig::default(),
+    )
+    .expect("engine construction");
+    let report = engine.run().expect("engine run");
+    assert!(report.supersteps > 0);
+
+    let trace = tracing.finish().expect("smoke session is always active");
+    for cat in ["sim", "partition", "loader", "engine"] {
+        assert!(
+            trace.in_category(cat).next().is_some(),
+            "no {cat:?} records in the smoke trace"
+        );
+    }
+    // The exporter's output must round-trip through the parser with
+    // every record intact (metadata events come on top).
+    let chrome = obs::chrome::chrome_trace_json(&trace);
+    let events = obs::chrome::parse_chrome_trace(&chrome).expect("chrome trace parses");
+    assert!(
+        events.len() >= trace.spans.len(),
+        "exporter dropped records: {} < {}",
+        events.len(),
+        trace.spans.len()
+    );
+    println!(
+        "fig6 smoke passed: {} records across 4 layers ({} supersteps traced)",
+        trace.spans.len(),
+        report.supersteps
+    );
 }

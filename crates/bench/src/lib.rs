@@ -10,12 +10,16 @@
 //! - `--json <path>`  — additionally dump machine-readable results;
 //! - `--smoke`        — tiny self-checking sweep for CI (binaries that
 //!   support it; others treat it as `--quick`);
-//! - `--events <path>`— stream the decision-event log (JSONL) to a file.
+//! - `--events <path>`— stream the decision-event log (JSONL) to a file;
+//! - `--trace <path>` — record a cross-layer trace (engine, loaders,
+//!   partitioner, decision loop) and export it as Chrome Trace Event JSON;
+//! - `--profile`      — print a per-phase time breakdown after the run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use hourglass_cloud::{tracegen, EvictionModel, InstanceType, Market};
+use hourglass_obs as obs;
 use hourglass_sim::runner::derive_eviction_models;
 
 /// Parsed command-line options shared by all figure binaries.
@@ -33,6 +37,10 @@ pub struct Cli {
     pub json: Option<String>,
     /// Optional JSONL decision-event log path.
     pub events: Option<String>,
+    /// Optional Chrome-trace output path.
+    pub trace: Option<String>,
+    /// Print a per-phase profile after the run.
+    pub profile: bool,
 }
 
 impl Cli {
@@ -45,6 +53,8 @@ impl Cli {
             smoke: false,
             json: None,
             events: None,
+            trace: None,
+            profile: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -79,10 +89,19 @@ impl Cli {
                             .clone(),
                     );
                 }
+                "--trace" => {
+                    i += 1;
+                    cli.trace = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--trace needs a path"))
+                            .clone(),
+                    );
+                }
+                "--profile" => cli.profile = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <bin> [--seed N] [--runs N] [--quick] [--smoke] \
-                         [--json PATH] [--events PATH]"
+                         [--json PATH] [--events PATH] [--trace PATH] [--profile]"
                     );
                     std::process::exit(0);
                 }
@@ -112,6 +131,62 @@ impl Cli {
                 eprintln!("json written to {path}");
             }
         }
+    }
+
+    /// Starts a tracing session when `--trace` or `--profile` was given.
+    /// Call [`TraceHandle::finish`] once the measured work is done.
+    pub fn trace_handle(&self) -> TraceHandle {
+        self.trace_handle_with(false)
+    }
+
+    /// Like [`Cli::trace_handle`], but `force` starts a session even
+    /// without `--trace`/`--profile` (for binaries that derive other
+    /// outputs — e.g. phase histograms — from the trace).
+    pub fn trace_handle_with(&self, force: bool) -> TraceHandle {
+        TraceHandle {
+            session: (force || self.trace.is_some() || self.profile).then(obs::TraceSession::start),
+            path: self.trace.clone(),
+            profile: self.profile,
+        }
+    }
+}
+
+/// An optional tracing session tied to a figure binary's lifetime.
+pub struct TraceHandle {
+    session: Option<obs::TraceSession>,
+    path: Option<String>,
+    profile: bool,
+}
+
+impl TraceHandle {
+    /// Whether a session is recording.
+    pub fn active(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Ends the session, exporting the Chrome trace and/or printing the
+    /// profile report; returns the collected trace (None when inactive).
+    pub fn finish(self) -> Option<obs::Trace> {
+        let trace = self.session?.finish();
+        if let Some(path) = &self.path {
+            match std::fs::File::create(path) {
+                Ok(file) => {
+                    let mut w = std::io::BufWriter::new(file);
+                    match obs::chrome::write_chrome_trace(&trace, &mut w) {
+                        Ok(()) => eprintln!(
+                            "chrome trace written to {path} ({} records)",
+                            trace.spans.len()
+                        ),
+                        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("warning: could not create {path}: {e}"),
+            }
+        }
+        if self.profile {
+            println!("{}", obs::profile::profile_report(&trace, 20));
+        }
+        Some(trace)
     }
 }
 

@@ -31,6 +31,7 @@ use hourglass_core::{DecisionContext, Strategy};
 use hourglass_engine::apps::{color_count, coloring_is_proper, GraphColoring, PageRank, Sssp, Wcc};
 use hourglass_engine::{BspEngine, EngineConfig};
 use hourglass_graph::Graph;
+use hourglass_obs as obs;
 use hourglass_partition::fennel::Fennel;
 use hourglass_partition::hash::HashPartitioner;
 use hourglass_partition::ldg::Ldg;
@@ -39,7 +40,7 @@ use hourglass_partition::quality::{edge_cut_fraction, imbalance};
 use hourglass_partition::{Balance, Partitioner};
 use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::runner::{build_decision_candidates, derive_eviction_models, SimulationSetup};
-use hourglass_sim::Experiment;
+use hourglass_sim::{Experiment, TraceBridge};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -74,14 +75,23 @@ pub struct Options {
     flags: HashMap<String, String>,
 }
 
+/// Flags that take no value (presence means `true`).
+const BOOL_FLAGS: &[&str] = &["profile"];
+
 impl Options {
-    /// Parses raw arguments: `--key value` pairs and bare positionals.
+    /// Parses raw arguments: `--key value` pairs, known boolean flags and
+    /// bare positionals.
     pub fn parse(args: &[String]) -> Result<Options> {
         let mut out = Options::default();
         let mut i = 0;
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    out.flags.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                    continue;
+                }
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| err(format!("--{key} needs a value")))?;
@@ -93,6 +103,11 @@ impl Options {
             }
         }
         Ok(out)
+    }
+
+    /// Whether a boolean flag is set.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// A string option.
@@ -124,7 +139,7 @@ USAGE:
   hourglass market generate [--seed N] [--days D] --out FILE
   hourglass market stats [--market FILE | --seed N]
   hourglass simulate --job sssp|pagerank|gc [--slack PCT] [--strategy NAME]
-                     [--runs N] [--seed N]
+                     [--runs N] [--seed N] [--trace FILE]
                      (strategies: hourglass, spoton, proteus, spoton-dp,
                       proteus-dp, on-demand)
   hourglass explain --job sssp|pagerank|gc [--slack PCT] [--at HOURS]
@@ -133,6 +148,11 @@ USAGE:
                       [--algorithm multilevel|fennel|ldg|hash] [--seed N]
   hourglass run --input EDGELIST --app pagerank|sssp|coloring|wcc
                 [--workers K] [--source V] [--iterations N]
+                [--trace FILE] [--profile] [--json FILE]
+
+  --trace FILE writes a Chrome Trace Event JSON (open in Perfetto/chrome
+  //tracing); --profile prints a per-phase time breakdown; `run --json`
+  dumps per-superstep metrics (compute, delivery, barrier wait).
 ";
 
 /// Dispatches a full command line (without argv[0]); returns the text to
@@ -237,6 +257,29 @@ fn parse_strategy(name: &str) -> Result<Box<dyn Strategy>> {
     })
 }
 
+/// Exports a finished trace: Chrome JSON to `path` (if any) and/or a text
+/// profile appended to `out`.
+fn export_trace(
+    trace: &obs::Trace,
+    path: Option<&str>,
+    profile: bool,
+    out: &mut String,
+) -> Result<()> {
+    if let Some(path) = path {
+        let json = obs::chrome::chrome_trace_json(trace);
+        std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "trace written to {path} ({} records; open in Perfetto or chrome://tracing)",
+            trace.spans.len()
+        );
+    }
+    if profile {
+        let _ = write!(out, "{}", obs::profile::profile_report(trace, 12));
+    }
+    Ok(())
+}
+
 fn cmd_simulate(opts: &Options) -> Result<String> {
     let job_kind = parse_job(opts)?;
     let slack: f64 = opts.get_or("slack", 50.0)?;
@@ -256,10 +299,17 @@ fn cmd_simulate(opts: &Options) -> Result<String> {
     let job = job_kind
         .description(slack, ReloadMode::Fast)
         .map_err(|e| err(e.to_string()))?;
+    let trace_path = opts.get("trace");
+    let profile = opts.has("profile");
+    let session = (trace_path.is_some() || profile).then(obs::TraceSession::start);
+    let mut bridge = TraceBridge::new();
     let summary = Experiment::new(runs, seed)
-        .run(&setup, &job, strategy.as_ref())
+        .run_observed(&setup, &job, strategy.as_ref(), &mut bridge)
         .map_err(|e| err(e.to_string()))?;
     let mut out = String::new();
+    if let Some(session) = session {
+        export_trace(&session.finish(), trace_path, profile, &mut out)?;
+    }
     let _ = writeln!(
         out,
         "{} | {} | slack {slack:.0}% | {runs} runs",
@@ -380,6 +430,9 @@ fn cmd_run(opts: &Options) -> Result<String> {
         .partition(&g, workers)
         .map_err(|e| err(e.to_string()))?;
     let app = opts.get("app").unwrap_or("pagerank");
+    let trace_path = opts.get("trace");
+    let profile = opts.has("profile");
+    let session = (trace_path.is_some() || profile).then(obs::TraceSession::start);
     let mut out = String::new();
     let report = match app {
         "pagerank" => {
@@ -433,6 +486,9 @@ fn cmd_run(opts: &Options) -> Result<String> {
         }
         other => return Err(err(format!("unknown app {other:?}"))),
     };
+    if let Some(session) = session {
+        export_trace(&session.finish(), trace_path, profile, &mut out)?;
+    }
     let _ = writeln!(
         out,
         "{app} on {workers} workers: {} supersteps, {} messages ({:.0}% remote), {:.2}s",
@@ -450,6 +506,18 @@ fn cmd_run(opts: &Options) -> Result<String> {
         report.metrics.critical_path_seconds(),
         report.metrics.total_worker_seconds()
     );
+    let _ = writeln!(
+        out,
+        "  phase split: {:.3}s delivery, {:.3}s barrier wait (summed over workers)",
+        report.metrics.total_delivery_seconds(),
+        report.metrics.total_barrier_wait_seconds()
+    );
+    if let Some(path) = opts.get("json") {
+        let dump = serde_json::to_string_pretty(&report.metrics.steps().to_vec())
+            .map_err(|e| err(format!("serialize metrics: {e}")))?;
+        std::fs::write(path, dump).map_err(|e| err(format!("write {path}: {e}")))?;
+        let _ = writeln!(out, "  per-superstep metrics written to {path}");
+    }
     Ok(out)
 }
 
@@ -481,6 +549,11 @@ mod tests {
         assert!(Options::parse(&args("--dangling")).is_err());
         let o = Options::parse(&args("--seed notanumber")).expect("parse");
         assert!(o.get_or::<u64>("seed", 0).is_err());
+        // Boolean flags consume no value.
+        let o = Options::parse(&args("--profile --seed 9")).expect("parse");
+        assert!(o.has("profile"));
+        assert!(!o.has("trace"));
+        assert_eq!(o.get("seed"), Some("9"));
     }
 
     #[test]
@@ -566,6 +639,58 @@ mod tests {
 
         assert!(dispatch(&args("partition --input /nonexistent --parts 2")).is_err());
         assert!(dispatch(&args(&format!("run --input {edges_s} --app nope"))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_trace_profile_and_json() {
+        let dir = std::env::temp_dir().join(format!("hourglass-cli3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let edges = dir.join("g.txt");
+        let g = hourglass_graph::generators::erdos_renyi(150, 400, 2).expect("gen");
+        hourglass_graph::io::write_edge_list_file(&g, &edges).expect("write");
+        let edges_s = edges.to_str().expect("utf8").to_string();
+        let trace = dir.join("trace.json").to_str().expect("utf8").to_string();
+        let json = dir.join("steps.json").to_str().expect("utf8").to_string();
+
+        let out = dispatch(&args(&format!(
+            "run --input {edges_s} --app pagerank --iterations 3 --workers 2 \
+             --trace {trace} --profile --json {json}"
+        )))
+        .expect("traced run");
+        assert!(
+            out.contains("trace written to"),
+            "missing export note: {out}"
+        );
+        assert!(out.contains("phase split"), "missing phase report: {out}");
+        assert!(out.contains("per-superstep metrics written"));
+
+        // The exported file is a valid Chrome trace with engine spans.
+        let text = std::fs::read_to_string(&trace).expect("trace file");
+        let events = obs::chrome::parse_chrome_trace(&text).expect("valid chrome trace");
+        assert!(events.iter().any(|e| e.name == "superstep"));
+        assert!(events.iter().any(|e| e.name == "compute"));
+        let steps = std::fs::read_to_string(&json).expect("json file");
+        assert!(!steps.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_with_trace_exports_decision_timeline() {
+        let dir = std::env::temp_dir().join(format!("hourglass-cli4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let trace = dir.join("sim.json").to_str().expect("utf8").to_string();
+        let out = dispatch(&args(&format!(
+            "simulate --job pagerank --slack 60 --runs 2 --seed 5 --trace {trace}"
+        )))
+        .expect("traced simulate");
+        assert!(out.contains("trace written to"));
+        let text = std::fs::read_to_string(&trace).expect("trace file");
+        let events = obs::chrome::parse_chrome_trace(&text).expect("valid chrome trace");
+        assert!(
+            events.iter().any(|e| e.cat == "sim"),
+            "no decision-loop events in trace"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -7,6 +7,7 @@
 //! tests and simulations), [`DirStore`] writes them to a directory.
 
 use crate::{EngineError, Result};
+use hourglass_obs as obs;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -46,11 +47,13 @@ impl MemoryStore {
 
 impl CheckpointStore for MemoryStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        let _span = obs::span("ckpt_put", "ckpt").arg("bytes", data.len() as u64);
         self.blobs.lock().insert(key.to_string(), data.to_vec());
         Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        let _span = obs::span("ckpt_get", "ckpt");
         Ok(self.blobs.lock().get(key).cloned())
     }
 
@@ -93,6 +96,7 @@ impl DirStore {
 
 impl CheckpointStore for DirStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        let _span = obs::span("ckpt_put", "ckpt").arg("bytes", data.len() as u64);
         let path = self.path_of(key)?;
         // Write-then-rename for atomicity against partial writes.
         let tmp = path.with_extension("tmp");
@@ -104,6 +108,7 @@ impl CheckpointStore for DirStore {
     }
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        let _span = obs::span("ckpt_get", "ckpt");
         let path = self.path_of(key)?;
         match std::fs::read(&path) {
             Ok(data) => Ok(Some(data)),

@@ -26,6 +26,7 @@ use crate::program::{Aggregates, ComputeContext, VertexProgram};
 use crate::{EngineError, ExecutionReport, Result};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use hourglass_graph::{Graph, VertexId};
+use hourglass_obs as obs;
 use hourglass_partition::Partitioning;
 use std::time::Instant;
 
@@ -49,12 +50,22 @@ type BatchChannel<M> = (Sender<Batch<M>>, Receiver<Batch<M>>);
 
 /// Per-superstep report from a worker to the master.
 struct WorkerDone {
+    /// Worker index (dones arrive in completion order; the master
+    /// re-indexes by this so span merges stay deterministic).
+    worker: usize,
     active: u64,
     sent: u64,
     remote: u64,
     any_alive: bool,
     aggregates: Aggregates,
     compute_seconds: f64,
+    /// Wall seconds of the worker's exchange phase (send + drain peers).
+    exchange_seconds: f64,
+    /// Tracing tick at which compute finished (0 with no collector).
+    compute_end_ns: u64,
+    /// Spans the worker recorded this superstep, shipped to the master
+    /// for deterministic merging in worker order.
+    spans: obs::TaskSpans,
 }
 
 /// Runs `program` on `graph`/`partitioning` with one OS thread per worker,
@@ -137,12 +148,25 @@ pub fn run_cluster<P: VertexProgram>(
         let mut superstep = 0usize;
         let mut aggregates = Aggregates::new();
         while superstep < max_supersteps {
+            let _step_span = obs::span("superstep", "engine")
+                .arg("superstep", superstep as u64)
+                .arg("workers", w as u64);
             for tx in &control_txs {
                 tx.send(Control::Start {
                     superstep,
                     aggregates: aggregates.clone(),
                 })
                 .map_err(|_| EngineError::InvalidConfig("worker hung up".into()))?;
+            }
+            // Dones arrive in completion order; index by worker id so the
+            // span merge (and any per-worker math) is deterministic.
+            let mut dones: Vec<Option<WorkerDone>> = (0..w).map(|_| None).collect();
+            for _ in 0..w {
+                let done = done_rx
+                    .recv()
+                    .map_err(|_| EngineError::InvalidConfig("worker died".into()))?;
+                let worker = done.worker;
+                dones[worker] = Some(done);
             }
             let mut active = 0u64;
             let mut sent = 0u64;
@@ -151,18 +175,42 @@ pub fn run_cluster<P: VertexProgram>(
             let mut next_aggregates = Aggregates::new();
             let mut max_worker_seconds = 0.0f64;
             let mut total_worker_seconds = 0.0f64;
-            for _ in 0..w {
-                let done = done_rx
-                    .recv()
-                    .map_err(|_| EngineError::InvalidConfig("worker died".into()))?;
+            let mut delivery_seconds = 0.0f64;
+            let mut barrier_wait_seconds = 0.0f64;
+            let max_compute_end = dones
+                .iter()
+                .flatten()
+                .map(|d| d.compute_end_ns)
+                .max()
+                .unwrap_or(0);
+            for done in dones.iter_mut().flatten() {
                 active += done.active;
                 sent += done.sent;
                 remote += done.remote;
                 any_alive |= done.any_alive;
                 max_worker_seconds = max_worker_seconds.max(done.compute_seconds);
                 total_worker_seconds += done.compute_seconds;
+                // All workers exchange concurrently: the phase's wall
+                // contribution is the slowest worker's exchange.
+                delivery_seconds = delivery_seconds.max(done.exchange_seconds);
                 next_aggregates.merge(&done.aggregates);
+                obs::merge_task(std::mem::take(&mut done.spans));
+                if done.compute_end_ns > 0 && max_compute_end > done.compute_end_ns {
+                    obs::record(obs::SpanRecord {
+                        name: "barrier_wait",
+                        cat: "engine",
+                        track: done.worker as u32,
+                        start_ns: done.compute_end_ns,
+                        end_ns: max_compute_end,
+                        kind: obs::RecordKind::Span,
+                        args: obs::Args::new(),
+                    });
+                }
             }
+            for done in dones.iter().flatten() {
+                barrier_wait_seconds += max_worker_seconds - done.compute_seconds;
+            }
+            obs::counter("messages", "engine", sent);
             metrics.push(SuperstepMetrics {
                 superstep,
                 active_vertices: active,
@@ -170,6 +218,8 @@ pub fn run_cluster<P: VertexProgram>(
                 remote_messages: remote,
                 max_worker_seconds,
                 total_worker_seconds,
+                delivery_seconds,
+                barrier_wait_seconds: barrier_wait_seconds.max(0.0),
             });
             aggregates = next_aggregates;
             superstep += 1;
@@ -245,11 +295,19 @@ fn worker_main<P: VertexProgram>(
         aggregates,
     }) = control_rx.recv()
     {
+        // Tracing scope: everything this superstep records on this thread
+        // is drained at the end and shipped to the master, which merges
+        // worker batches in worker order.
+        let trace_scope = obs::task_begin(worker as u32);
         // Compute phase: the context buckets messages straight
         // into per-destination batches with sender-side combining
         // (messages to the same target vertex fold eagerly when
         // the program provides a combiner).
         let t0 = Instant::now();
+        let compute_span = obs::span("compute", "engine")
+            .arg("worker", worker as u64)
+            .arg("superstep", superstep as u64)
+            .arg("vertices", my_vertices.len() as u64);
         let mut out_batches: Vec<Vec<(u32, P::Message)>> = (0..w).map(|_| Vec::new()).collect();
         let mut next_aggregates = Aggregates::new();
         let mut active = 0u64;
@@ -286,9 +344,15 @@ fn worker_main<P: VertexProgram>(
             messages.clear();
             inbox[slot] = messages;
         }
+        drop(compute_span);
         let compute_seconds = t0.elapsed().as_secs_f64();
+        let compute_end_ns = obs::now_ns_if_enabled();
         // Exchange phase: one batch to every peer (self included,
         // delivered locally), then drain W−1 incoming batches.
+        let t_exchange = Instant::now();
+        let exchange_span = obs::span("exchange", "engine")
+            .arg("worker", worker as u64)
+            .arg("superstep", superstep as u64);
         let mut sent = 0u64;
         let mut remote = 0u64;
         for dest in 0..w {
@@ -307,15 +371,21 @@ fn worker_main<P: VertexProgram>(
             let batch = batch_rx.recv().expect("peer hung up mid-superstep");
             deliver::<P>(program, &mut inbox, batch.messages);
         }
+        drop(exchange_span);
+        let exchange_seconds = t_exchange.elapsed().as_secs_f64();
         let any_alive = halted.iter().any(|&h| !h) || inbox.iter().any(|m| !m.is_empty());
         done_tx
             .send(WorkerDone {
+                worker,
                 active,
                 sent,
                 remote,
                 any_alive,
                 aggregates: next_aggregates,
                 compute_seconds,
+                exchange_seconds,
+                compute_end_ns,
+                spans: obs::task_end(trace_scope),
             })
             .expect("master hung up");
     }
@@ -439,6 +509,33 @@ mod tests {
         let other = generators::erdos_renyi(10, 20, 1).expect("gen");
         let p = HashPartitioner.partition(&other, 2).expect("partition");
         assert!(run_cluster(&Wcc, &g, &p, 100).is_err());
+    }
+
+    #[test]
+    fn cluster_run_emits_worker_spans_in_worker_order() {
+        let g = graph();
+        let p = HashPartitioner.partition(&g, 4).expect("partition");
+        let session = hourglass_obs::TraceSession::start();
+        let (values, report) = run_cluster(&Sssp { source: 0 }, &g, &p, 10_000).expect("run");
+        let trace = session.finish();
+        assert_eq!(values, bsp_values(Sssp { source: 0 }, &g, &p));
+        assert!(trace.spans.iter().any(|s| s.name == "superstep"));
+        assert!(trace.spans.iter().any(|s| s.name == "exchange"));
+        // Dones arrive in completion order, but span merges are re-indexed
+        // by worker: the first superstep's compute spans appear on tracks
+        // 0, 1, 2, 3 in that order.
+        let compute_tracks: Vec<u32> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "compute")
+            .take(4)
+            .map(|s| s.track)
+            .collect();
+        assert_eq!(compute_tracks, vec![0, 1, 2, 3]);
+        for s in report.metrics.steps() {
+            assert!(s.delivery_seconds >= 0.0);
+            assert!(s.barrier_wait_seconds >= 0.0);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::metrics::{RunMetrics, SuperstepMetrics};
 use crate::program::{Aggregates, ComputeContext, VertexProgram};
 use crate::{EngineError, Result};
 use hourglass_graph::{Graph, VertexId};
+use hourglass_obs as obs;
 use hourglass_partition::Partitioning;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -121,6 +122,10 @@ struct WorkerOut {
     sent: u64,
     remote: u64,
     compute_seconds: f64,
+    /// Tracing tick at which the worker finished compute (0 when no
+    /// collector is installed); lets the master synthesize per-worker
+    /// barrier-wait spans from here to the slowest worker's finish.
+    end_ns: u64,
 }
 
 impl<'g, P: VertexProgram> BspEngine<'g, P> {
@@ -233,6 +238,9 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
             return Ok(true);
         }
         let w = self.members.len();
+        let _step_span = obs::span("superstep", "engine")
+            .arg("superstep", self.superstep as u64)
+            .arg("workers", w as u64);
 
         // Compute phase: one task per worker, each owning its slab of
         // values/halt flags, its inbox rows (drained in place) and its
@@ -271,26 +279,57 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
             .collect();
         let outs = fork_join(self.config.parallel, tasks);
 
+        // The barrier wait is implicit in the join above: every worker
+        // idles from its own finish until the slowest one's. Reconstruct
+        // it per worker from the recorded end ticks.
+        if obs::enabled() {
+            let max_end = outs.iter().map(|o| o.end_ns).max().unwrap_or(0);
+            for (worker, out) in outs.iter().enumerate() {
+                if out.end_ns > 0 && max_end > out.end_ns {
+                    obs::record(obs::SpanRecord {
+                        name: "barrier_wait",
+                        cat: "engine",
+                        track: worker as u32,
+                        start_ns: out.end_ns,
+                        end_ns: max_end,
+                        kind: obs::RecordKind::Span,
+                        args: obs::Args::new(),
+                    });
+                }
+            }
+        }
+
         // Exchange phase: transpose the bucket matrix with pointer swaps
         // (outboxes[src][dest] ↔ delivery[dest][src]), then deliver each
         // destination's buckets in parallel, draining them in source order
         // into the next-superstep inboxes.
-        for src in 0..w {
-            for dest in 0..w {
-                std::mem::swap(&mut self.outboxes[src][dest], &mut self.delivery[dest][src]);
+        let t_delivery = Instant::now();
+        {
+            let _transpose_span = obs::span("transpose", "engine");
+            for src in 0..w {
+                for dest in 0..w {
+                    std::mem::swap(&mut self.outboxes[src][dest], &mut self.delivery[dest][src]);
+                }
             }
         }
         let delivery_tasks: Vec<_> = self
             .delivery
             .iter_mut()
             .zip(self.inbox_next.iter_mut())
-            .map(|(rows, inbox)| move || deliver_worker::<P>(program, rows, inbox))
+            .enumerate()
+            .map(|(dest, (rows, inbox))| {
+                move || {
+                    let _span = obs::span("deliver", "engine").arg("worker", dest as u64);
+                    deliver_worker::<P>(program, rows, inbox)
+                }
+            })
             .collect();
         fork_join(self.config.parallel, delivery_tasks);
 
         // Barrier: the filled buffers become current, the drained ones
         // become next superstep's delivery target.
         std::mem::swap(&mut self.inbox, &mut self.inbox_next);
+        let delivery_seconds = t_delivery.elapsed().as_secs_f64();
 
         let mut next_aggregates = Aggregates::new();
         let mut active = 0u64;
@@ -298,7 +337,7 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
         let mut remote_messages = 0u64;
         let mut max_worker_seconds = 0.0f64;
         let mut total_worker_seconds = 0.0f64;
-        for out in outs {
+        for out in &outs {
             active += out.active;
             total_messages += out.sent;
             remote_messages += out.remote;
@@ -306,6 +345,14 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
             total_worker_seconds += out.compute_seconds;
             next_aggregates.merge(&out.aggregates);
         }
+        // Aggregate CPU lost to compute skew: each worker idles at the
+        // barrier for the gap between its own compute time and the max.
+        let barrier_wait_seconds = outs
+            .iter()
+            .map(|o| max_worker_seconds - o.compute_seconds)
+            .sum::<f64>()
+            .max(0.0);
+        obs::counter("messages", "engine", total_messages);
         self.metrics.push(SuperstepMetrics {
             superstep: self.superstep,
             active_vertices: active,
@@ -313,6 +360,8 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
             remote_messages,
             max_worker_seconds,
             total_worker_seconds,
+            delivery_seconds,
+            barrier_wait_seconds,
         });
         self.prev_aggregates = next_aggregates;
         self.superstep += 1;
@@ -344,6 +393,9 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
     /// Captures the engine state for checkpointing, gathered into global
     /// vertex order so the checkpoint is portable across worker counts.
     pub fn checkpoint_state(&self) -> EngineCheckpoint<P::Value, P::Message> {
+        let _span = obs::span("checkpoint_save", "ckpt")
+            .arg("superstep", self.superstep as u64)
+            .arg("vertices", self.graph.num_vertices() as u64);
         let gather = |v: usize| {
             let r = self.route[v];
             ((r >> 32) as usize, r as u32 as usize)
@@ -377,6 +429,9 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
     /// match the original run; the partitioning may differ in worker count
     /// — that is exactly the fast-reload scenario).
     pub fn restore_state(&mut self, ckpt: EngineCheckpoint<P::Value, P::Message>) -> Result<()> {
+        let _span = obs::span("checkpoint_restore", "ckpt")
+            .arg("superstep", ckpt.superstep as u64)
+            .arg("vertices", ckpt.values.len() as u64);
         let n = self.graph.num_vertices();
         if ckpt.values.len() != n || ckpt.halted.len() != n || ckpt.inbox.len() != n {
             return Err(EngineError::Checkpoint(format!(
@@ -440,6 +495,10 @@ fn run_worker_slab<P: VertexProgram>(
     route: &[u64],
 ) -> WorkerOut {
     let t0 = Instant::now();
+    let _span = obs::span("compute", "engine")
+        .arg("worker", self_worker as u64)
+        .arg("superstep", superstep as u64)
+        .arg("vertices", worker_vertices.len() as u64);
     let mut aggregates = Aggregates::new();
     let mut active = 0u64;
     let mut sent = 0u64;
@@ -480,6 +539,7 @@ fn run_worker_slab<P: VertexProgram>(
         sent,
         remote,
         compute_seconds: t0.elapsed().as_secs_f64(),
+        end_ns: obs::now_ns_if_enabled(),
     }
 }
 
@@ -620,8 +680,59 @@ mod tests {
         for s in report.metrics.steps() {
             assert!(s.max_worker_seconds >= 0.0);
             assert!(s.total_worker_seconds >= s.max_worker_seconds);
+            assert!(s.delivery_seconds >= 0.0);
+            assert!(s.barrier_wait_seconds >= 0.0);
+            // The wait is bounded by aggregate skew: (w − 1) · max.
+            assert!(s.barrier_wait_seconds <= 4.0 * s.max_worker_seconds);
         }
         assert!(report.metrics.critical_path_seconds() <= report.wall_seconds);
+    }
+
+    #[test]
+    fn traced_run_produces_phase_spans() {
+        let g = generators::erdos_renyi(300, 900, 5).expect("gen");
+        let session = hourglass_obs::TraceSession::start();
+        let mut e = engine_on(&g, 4, true);
+        let report = e.run().expect("run");
+        let trace = session.finish();
+        assert!(trace
+            .spans
+            .iter()
+            .any(|s| s.name == "superstep" && s.track == hourglass_obs::TRACK_MAIN));
+        // Per-worker compute spans carry the fork-join task's track.
+        for w in 0..4u32 {
+            assert!(
+                trace
+                    .spans
+                    .iter()
+                    .any(|s| s.name == "compute" && s.track == w),
+                "missing compute span for worker {w}"
+            );
+        }
+        assert!(trace.spans.iter().any(|s| s.name == "deliver"));
+        assert!(trace.spans.iter().any(|s| s.name == "transpose"));
+        // Compute span time is consistent with the recorded metric.
+        let compute_total = trace.total_seconds("compute");
+        let metric_total = report.metrics.total_worker_seconds();
+        assert!(
+            (compute_total - metric_total).abs() <= 0.5 * metric_total.max(1e-3),
+            "span total {compute_total} vs metric {metric_total}"
+        );
+        // Tracing must not leak into the next session.
+        let empty = hourglass_obs::TraceSession::start().finish();
+        assert!(empty.spans.is_empty());
+    }
+
+    #[test]
+    fn traced_results_match_untraced() {
+        let g = generators::erdos_renyi(200, 600, 7).expect("gen");
+        let mut plain = engine_on(&g, 4, true);
+        plain.run().expect("run");
+        let session = hourglass_obs::TraceSession::start();
+        let mut traced = engine_on(&g, 4, true);
+        traced.run().expect("run");
+        drop(session.finish());
+        assert_eq!(plain.values(), traced.values());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::exec::par_map;
 use crate::{EngineError, Result};
 use hourglass_graph::io_binary::{decode_arcs, ShardedArcs, ARC_BYTES};
 use hourglass_graph::{Graph, VertexId};
+use hourglass_obs as obs;
 use hourglass_partition::Partitioning;
 use std::fmt;
 
@@ -481,6 +482,8 @@ fn parse_chunk(
     ranges: &[(u32, usize, usize)],
     n: u32,
 ) -> (Vec<(VertexId, VertexId)>, u64) {
+    let bytes: usize = ranges.iter().map(|&(_, s, e)| e - s).sum();
+    let _span = obs::span("decode", "loader").arg("bytes", bytes as u64);
     let mut arcs = Vec::new();
     let mut skipped = 0u64;
     for &(bucket, start, end) in ranges {
@@ -550,6 +553,9 @@ struct AssemblyPlan {
 
 impl AssemblyPlan {
     fn new(num_workers: u32, owner: Vec<u32>) -> Self {
+        let _span = obs::span("plan", "loader")
+            .arg("workers", num_workers as u64)
+            .arg("vertices", owner.len() as u64);
         let mut counts = vec![0usize; num_workers as usize];
         for &w in &owner {
             counts[w as usize] += 1;
@@ -608,6 +614,7 @@ impl WorkerArcs<'_> {
 /// that are out of range or routed to the wrong worker are dropped and
 /// counted (they can only come from a corrupt store or bucket map).
 fn assemble_worker(w: u32, arcs: &WorkerArcs<'_>, plan: &AssemblyPlan) -> (LoadedWorker, u64) {
+    let _span = obs::span("assemble", "loader").arg("worker", w as u64);
     let my = &plan.verts[w as usize];
     let n = plan.owner.len() as u32;
     let mut deg = vec![0u32; my.len()];
@@ -667,6 +674,7 @@ fn assemble_worker(w: u32, arcs: &WorkerArcs<'_>, plan: &AssemblyPlan) -> (Loade
 /// Routes parsed arcs to their owning workers by counting sort (exact
 /// per-worker capacity, one scatter pass).
 fn route_by_owner(arcs: &[(VertexId, VertexId)], plan: &AssemblyPlan) -> Vec<WorkerArcs<'static>> {
+    let _span = obs::span("route", "loader").arg("arcs", arcs.len() as u64);
     let mut counts = vec![0usize; plan.num_workers() as usize];
     for &(u, _) in arcs {
         counts[plan.owner[u as usize] as usize] += 1;
@@ -721,6 +729,9 @@ pub fn stream_load(
     store: &Datastore,
     partitioning: &Partitioning,
 ) -> (Vec<LoadedWorker>, LoadStats) {
+    let _span = obs::span("stream_load", "loader")
+        .arg("bytes", store.byte_size() as u64)
+        .arg("workers", partitioning.num_parts() as u64);
     let n = partitioning.num_vertices() as u32;
     let plan = AssemblyPlan::from_partitioning(partitioning);
     // The master reads every bucket in order: one sequential parse.
@@ -751,6 +762,9 @@ pub fn stream_load(
 /// parsed by one worker in parallel; arcs are then shuffled to their
 /// owners.
 pub fn hash_load(store: &Datastore, partitioning: &Partitioning) -> (Vec<LoadedWorker>, LoadStats) {
+    let _span = obs::span("hash_load", "loader")
+        .arg("bytes", store.byte_size() as u64)
+        .arg("workers", partitioning.num_parts() as u64);
     let n = partitioning.num_vertices() as u32;
     let k = partitioning.num_parts() as usize;
     let plan = AssemblyPlan::from_partitioning(partitioning);
@@ -792,6 +806,10 @@ pub fn micro_load(
     micro_to_worker: &[u32],
     num_workers: u32,
 ) -> Result<(Vec<LoadedWorker>, LoadStats)> {
+    let _span = obs::span("micro_load", "loader")
+        .arg("bytes", store.byte_size() as u64)
+        .arg("workers", num_workers as u64)
+        .arg("micros", micro.num_parts() as u64);
     let buckets = store.num_buckets();
     if buckets < 2 && micro.num_parts() >= 2 {
         return Err(EngineError::InvalidConfig(
@@ -844,19 +862,25 @@ pub fn micro_load(
             .iter()
             .map(|&b| store.bucket_byte_len(b) as u64)
             .sum();
-        let (arcs, parse_skipped) = match store {
-            Datastore::Text(s) => {
-                let mut out = Vec::new();
-                let mut skipped = 0u64;
-                for &b in bucket_ids {
-                    skipped += parse_text_arcs(&mut out, &s.buckets()[b as usize], n);
+        let (arcs, parse_skipped) = {
+            let _span = obs::span("shard_read", "loader")
+                .arg("worker", w as u64)
+                .arg("bytes", bytes)
+                .arg("shards", bucket_ids.len() as u64);
+            match store {
+                Datastore::Text(s) => {
+                    let mut out = Vec::new();
+                    let mut skipped = 0u64;
+                    for &b in bucket_ids {
+                        skipped += parse_text_arcs(&mut out, &s.buckets()[b as usize], n);
+                    }
+                    (WorkerArcs::Owned(out), skipped)
                 }
-                (WorkerArcs::Owned(out), skipped)
+                Datastore::Binary(s) => (
+                    WorkerArcs::Bytes(bucket_ids.iter().map(|&b| s.bucket_bytes(b)).collect()),
+                    0,
+                ),
             }
-            Datastore::Binary(s) => (
-                WorkerArcs::Bytes(bucket_ids.iter().map(|&b| s.bucket_bytes(b)).collect()),
-                0,
-            ),
         };
         let (lw, dropped) = assemble_worker(w, &arcs, &plan);
         (lw, parse_skipped + dropped, bytes)
@@ -892,6 +916,9 @@ pub fn reload_graph(
     num_vertices: usize,
     directed: bool,
 ) -> Result<Graph> {
+    let _span = obs::span("reload_graph", "loader")
+        .arg("workers", workers.len() as u64)
+        .arg("vertices", num_vertices as u64);
     let mut degree = vec![0usize; num_vertices];
     for w in workers {
         for (i, &v) in w.vertices.iter().enumerate() {

@@ -1,7 +1,9 @@
 //! Per-superstep execution metrics.
 
+use serde::{Deserialize, Serialize};
+
 /// Metrics of one superstep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SuperstepMetrics {
     /// Superstep number.
     pub superstep: usize,
@@ -16,10 +18,18 @@ pub struct SuperstepMetrics {
     pub max_worker_seconds: f64,
     /// Compute seconds summed over all workers (aggregate CPU).
     pub total_worker_seconds: f64,
+    /// Seconds the superstep spent delivering messages after the barrier
+    /// (outbox transpose + per-worker inbox scatter in the in-process
+    /// engine; the exchange phase in the cluster harness).
+    pub delivery_seconds: f64,
+    /// Seconds workers spent idle at the superstep barrier, summed over
+    /// workers: `Σ_w (max_worker_seconds − compute_w)`. Separates compute
+    /// skew from delivery cost in the `t_exec` calibration.
+    pub barrier_wait_seconds: f64,
 }
 
 /// Metrics of a whole run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunMetrics {
     steps: Vec<SuperstepMetrics>,
 }
@@ -69,6 +79,17 @@ impl RunMetrics {
         self.steps.iter().map(|s| s.total_worker_seconds).sum()
     }
 
+    /// Total message-delivery seconds across supersteps.
+    pub fn total_delivery_seconds(&self) -> f64 {
+        self.steps.iter().map(|s| s.delivery_seconds).sum()
+    }
+
+    /// Total worker barrier-idle seconds across supersteps (aggregate
+    /// CPU lost to compute skew).
+    pub fn total_barrier_wait_seconds(&self) -> f64 {
+        self.steps.iter().map(|s| s.barrier_wait_seconds).sum()
+    }
+
     /// Drops every superstep at or past `superstep`. Called on checkpoint
     /// restore so a resumed run does not double-count the supersteps it is
     /// about to re-execute.
@@ -89,6 +110,8 @@ mod tests {
             remote_messages: remote,
             max_worker_seconds: secs,
             total_worker_seconds: secs * 4.0,
+            delivery_seconds: secs * 0.5,
+            barrier_wait_seconds: secs * 0.25,
         }
     }
 
@@ -115,6 +138,8 @@ mod tests {
         m.push(step(1, 1, 0, 0.25));
         assert!((m.critical_path_seconds() - 0.75).abs() < 1e-12);
         assert!((m.total_worker_seconds() - 3.0).abs() < 1e-12);
+        assert!((m.total_delivery_seconds() - 0.375).abs() < 1e-12);
+        assert!((m.total_barrier_wait_seconds() - 0.1875).abs() < 1e-12);
     }
 
     #[test]

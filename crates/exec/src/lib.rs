@@ -6,31 +6,63 @@
 //! scoped-thread plumbing keeps the sequential and threaded paths
 //! literally the same closures, which is what makes "parallel matches
 //! sequential" a structural guarantee rather than a test-enforced one.
+//!
+//! The fork-join seam is also the tracing merge point: each task body is
+//! bracketed with `hourglass_obs` task scopes, and the spans a task
+//! recorded are appended to the caller's buffer in task-submission order
+//! on both paths — a traced parallel run collects the same span stream as
+//! a sequential one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use hourglass_obs as obs;
 
 /// Runs `tasks` to completion and returns their results in task order.
 ///
 /// With `parallel` set (and more than one task) each task runs on its own
 /// scoped thread; otherwise they run in order on the calling thread. A
 /// panicking task propagates the panic either way.
+///
+/// When an `hourglass-obs` collector is installed, task `i` records its
+/// spans on track `i` and the caller merges all task spans in task order
+/// after the join.
 pub fn fork_join<R, F>(parallel: bool, tasks: Vec<F>) -> Vec<R>
 where
     R: Send,
     F: FnOnce() -> R + Send,
 {
     if !parallel || tasks.len() < 2 {
-        return tasks.into_iter().map(|t| t()).collect();
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let scope = obs::task_begin(i as u32);
+                let r = t();
+                obs::merge_task(obs::task_end(scope));
+                r
+            })
+            .collect();
     }
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = tasks
             .into_iter()
-            .map(|t| scope.spawn(move |_| t()))
+            .enumerate()
+            .map(|(i, t)| {
+                scope.spawn(move |_| {
+                    let scope = obs::task_begin(i as u32);
+                    let r = t();
+                    (r, obs::task_end(scope))
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| {
+                let (r, spans) = h.join().expect("worker thread panicked");
+                obs::merge_task(spans);
+                r
+            })
             .collect()
     })
     .expect("scope panicked")
@@ -103,6 +135,36 @@ mod tests {
             .collect();
         fork_join(true, tasks);
         assert_eq!(data, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn fork_join_merges_task_spans_in_task_order() {
+        // The merged span stream must be identical on the sequential and
+        // the threaded path: track = task index, task-submission order.
+        for parallel in [false, true] {
+            let session = obs::TraceSession::start();
+            let tasks: Vec<_> = (0..4u64)
+                .map(|i| {
+                    move || {
+                        let _s = obs::span("task", "test").arg("i", i);
+                        i
+                    }
+                })
+                .collect();
+            let out = fork_join(parallel, tasks);
+            assert_eq!(out, vec![0, 1, 2, 3]);
+            let trace = session.finish();
+            let order: Vec<(u32, u64)> = trace
+                .spans
+                .iter()
+                .map(|s| (s.track, s.args.pairs()[0].1))
+                .collect();
+            assert_eq!(
+                order,
+                vec![(0, 0), (1, 1), (2, 2), (3, 3)],
+                "parallel={parallel}"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, VertexId};
 use crate::{GraphError, Result};
+use hourglass_obs as obs;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"HGG1";
@@ -46,6 +47,7 @@ pub const ARC_BYTES: usize = 8;
 /// Serializes a graph in the binary format (every stored arc is written;
 /// undirected graphs round-trip exactly).
 pub fn write_binary<W: Write>(graph: &Graph, mut w: W) -> Result<()> {
+    let _span = obs::span("write_binary", "io").arg("vertices", graph.num_vertices() as u64);
     w.write_all(MAGIC)?;
     let flags: u32 = u32::from(graph.is_directed());
     w.write_all(&flags.to_le_bytes())?;
@@ -72,6 +74,7 @@ pub fn write_binary<W: Write>(graph: &Graph, mut w: W) -> Result<()> {
 
 /// Deserializes a graph written by [`write_binary`].
 pub fn read_binary<R: Read>(mut r: R) -> Result<Graph> {
+    let _span = obs::span("read_binary", "io");
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -173,6 +176,9 @@ impl ShardedArcs {
     /// every bucket exactly (per-vertex degree, `O(n)`), then a scatter
     /// pass writing each arc once — no intermediate per-arc allocation.
     pub fn from_graph_buckets(g: &Graph, bucket_of: &[u32], num_buckets: u32) -> Result<Self> {
+        let _span = obs::span("shard_store_build", "io")
+            .arg("vertices", g.num_vertices() as u64)
+            .arg("buckets", num_buckets as u64);
         if bucket_of.len() != g.num_vertices() {
             return Err(GraphError::InvalidParameter(format!(
                 "bucket assignment covers {} vertices, graph has {}",
@@ -293,6 +299,7 @@ impl ShardedArcs {
 
     /// Serializes in the `HGS1` layout.
     pub fn write_to<W: Write>(&self, mut w: W) -> Result<()> {
+        let _span = obs::span("shard_store_write", "io").arg("bytes", self.serialized_size());
         w.write_all(SHARD_MAGIC)?;
         w.write_all(&self.num_vertices.to_le_bytes())?;
         w.write_all(&(self.arc_ends.len() as u32).to_le_bytes())?;
@@ -309,6 +316,7 @@ impl ShardedArcs {
 
     /// Deserializes an `HGS1` store written by [`ShardedArcs::write_to`].
     pub fn read_from<R: Read>(mut r: R) -> Result<Self> {
+        let _span = obs::span("shard_store_read", "io");
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != SHARD_MAGIC {

@@ -1,0 +1,633 @@
+//! Chrome Trace Event Format export (and a validating parser).
+//!
+//! The exporter writes the JSON-array flavor of the Trace Event Format,
+//! which loads directly in Perfetto and `chrome://tracing`:
+//!
+//! - every `Span` becomes a complete event (`"ph":"X"`) with `ts`/`dur`
+//!   in microseconds (3 decimal places, so nanosecond ticks survive the
+//!   round trip exactly);
+//! - `Instant` → `"ph":"i"` (thread-scoped), `Counter` → `"ph":"C"`;
+//! - wall-clock tracks render as process 1 (`tid` 0 = master,
+//!   `tid` `w + 1` = fork-join task/worker `w`); simulated-time tracks
+//!   ([`crate::is_sim_track`]) render as process 2 with one thread per
+//!   simulation run, so the two time bases never share a track;
+//! - metadata events name both processes and every thread.
+//!
+//! [`parse_chrome_trace`] parses the exported format back (with a
+//! dependency-free JSON reader) for the round-trip test and for CI
+//! validation; timestamps convert back to nanoseconds exactly.
+
+use crate::{RecordKind, SpanRecord, Trace, SIM_TRACK_BASE, TRACK_MAIN};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io;
+
+/// Process id the exporter assigns to wall-clock tracks.
+pub const PID_WALL: u64 = 1;
+/// Process id the exporter assigns to simulated-time tracks.
+pub const PID_SIM: u64 = 2;
+
+/// `(pid, tid)` a record's track renders as.
+pub fn pid_tid(track: u32) -> (u64, u64) {
+    if crate::is_sim_track(track) {
+        (PID_SIM, (track - SIM_TRACK_BASE) as u64)
+    } else if track == TRACK_MAIN {
+        (PID_WALL, 0)
+    } else {
+        (PID_WALL, track as u64 + 1)
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats nanosecond ticks as microseconds with 3 decimals (lossless).
+fn push_ts(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn push_event(out: &mut String, r: &SpanRecord) {
+    let (pid, tid) = pid_tid(r.track);
+    out.push_str("{\"name\":\"");
+    push_escaped(out, r.name);
+    out.push_str("\",\"cat\":\"");
+    push_escaped(out, r.cat);
+    out.push_str("\",\"ph\":\"");
+    out.push(match r.kind {
+        RecordKind::Span => 'X',
+        RecordKind::Instant => 'i',
+        RecordKind::Counter => 'C',
+    });
+    out.push_str("\",\"ts\":");
+    push_ts(out, r.start_ns);
+    if r.kind == RecordKind::Span {
+        out.push_str(",\"dur\":");
+        push_ts(out, r.end_ns.saturating_sub(r.start_ns));
+    }
+    if r.kind == RecordKind::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid}");
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in r.args.pairs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        push_escaped(out, k);
+        let _ = write!(out, "\":{v}");
+    }
+    out.push_str("}}");
+}
+
+fn push_metadata(out: &mut String, name: &str, pid: u64, tid: u64, value: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"M\",\"ts\":0.000,\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\""
+    );
+    push_escaped(out, value);
+    out.push_str("\"}}");
+}
+
+/// Renders a trace as a Chrome Trace Event Format JSON array.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    // Deterministic order: by render track, then time, then name.
+    let mut spans: Vec<&SpanRecord> = trace.spans.iter().collect();
+    spans.sort_by_key(|r| (pid_tid(r.track), r.start_ns, r.end_ns, r.name));
+
+    let tracks: BTreeSet<(u64, u64, u32)> = spans
+        .iter()
+        .map(|r| {
+            let (pid, tid) = pid_tid(r.track);
+            (pid, tid, r.track)
+        })
+        .collect();
+
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("[\n");
+    let mut first = true;
+    let emit_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    let pids: BTreeSet<u64> = tracks.iter().map(|&(pid, _, _)| pid).collect();
+    for pid in pids {
+        emit_sep(&mut out, &mut first);
+        let pname = if pid == PID_SIM {
+            "simulated timeline"
+        } else {
+            "hourglass"
+        };
+        push_metadata(&mut out, "process_name", pid, 0, pname);
+    }
+    for &(pid, tid, track) in &tracks {
+        let tname = if pid == PID_SIM {
+            format!("run {tid}")
+        } else if track == TRACK_MAIN {
+            "master".to_string()
+        } else {
+            format!("worker {track}")
+        };
+        emit_sep(&mut out, &mut first);
+        push_metadata(&mut out, "thread_name", pid, tid, &tname);
+    }
+    for r in spans {
+        emit_sep(&mut out, &mut first);
+        push_event(&mut out, r);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes the Chrome trace JSON to `w`.
+pub fn write_chrome_trace<W: io::Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    w.write_all(chrome_trace_json(trace).as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (round-trip validation).
+// ---------------------------------------------------------------------------
+
+/// One parsed trace event (metadata events have `ph == 'M'`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Category (empty for metadata).
+    pub cat: String,
+    /// Phase character (`X`, `i`, `C`, `M`).
+    pub ph: char,
+    /// Start tick in nanoseconds (exact; `ts` is µs with 3 decimals).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 unless `ph == 'X'`).
+    pub dur_ns: u64,
+    /// Process id.
+    pub pid: u64,
+    /// Thread id.
+    pub tid: u64,
+    /// Integer arguments (metadata string args are skipped).
+    pub args: Vec<(String, u64)>,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("chrome trace parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Consume one UTF-8 sequence.
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let s = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    /// Parses a JSON number, returning its raw text.
+    fn parse_number_raw(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("bad number"))
+    }
+
+    /// Skips one value of any type (for fields we do not model).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.parse_string()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("bad object")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("bad array")),
+                    }
+                }
+            }
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_alphabetic())
+                {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                self.parse_number_raw()?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Converts a `ts`/`dur` decimal-microsecond string to exact nanoseconds.
+fn us_str_to_ns(s: &str) -> Result<u64, String> {
+    let (whole, frac) = match s.split_once('.') {
+        Some((w, f)) => (w, f),
+        None => (s, ""),
+    };
+    let whole: u64 = whole.parse().map_err(|_| format!("bad timestamp {s:?}"))?;
+    let mut frac_ns = 0u64;
+    let mut scale = 100;
+    for c in frac.chars().take(3) {
+        let d = c
+            .to_digit(10)
+            .ok_or_else(|| format!("bad timestamp {s:?}"))? as u64;
+        frac_ns += d * scale;
+        scale /= 10;
+    }
+    Ok(whole * 1000 + frac_ns)
+}
+
+/// Parses a Chrome Trace Event Format JSON array, validating that every
+/// event carries `name`, `ph`, `ts`, `pid` and `tid`.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'[')?;
+    let mut events = Vec::new();
+    if p.peek() == Some(b']') {
+        return Ok(events);
+    }
+    loop {
+        p.expect(b'{')?;
+        let mut name = None;
+        let mut cat = String::new();
+        let mut ph = None;
+        let mut ts = None;
+        let mut dur = 0u64;
+        let mut pid = None;
+        let mut tid = None;
+        let mut args = Vec::new();
+        loop {
+            let key = p.parse_string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "name" => name = Some(p.parse_string()?),
+                "cat" => cat = p.parse_string()?,
+                "ph" => {
+                    let s = p.parse_string()?;
+                    ph = s.chars().next();
+                }
+                "ts" => ts = Some(us_str_to_ns(p.parse_number_raw()?)?),
+                "dur" => dur = us_str_to_ns(p.parse_number_raw()?)?,
+                "pid" => {
+                    pid = Some(
+                        p.parse_number_raw()?
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad pid: {e}"))?,
+                    )
+                }
+                "tid" => {
+                    tid = Some(
+                        p.parse_number_raw()?
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad tid: {e}"))?,
+                    )
+                }
+                "args" => {
+                    p.expect(b'{')?;
+                    if p.peek() == Some(b'}') {
+                        p.pos += 1;
+                    } else {
+                        loop {
+                            let k = p.parse_string()?;
+                            p.expect(b':')?;
+                            if p.peek() == Some(b'"') {
+                                p.parse_string()?; // metadata string arg
+                            } else {
+                                let v = p
+                                    .parse_number_raw()?
+                                    .parse::<u64>()
+                                    .map_err(|e| format!("bad arg {k:?}: {e}"))?;
+                                args.push((k, v));
+                            }
+                            match p.peek() {
+                                Some(b',') => p.pos += 1,
+                                Some(b'}') => {
+                                    p.pos += 1;
+                                    break;
+                                }
+                                _ => return Err(p.err("bad args object")),
+                            }
+                        }
+                    }
+                }
+                _ => p.skip_value()?,
+            }
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(p.err("bad event object")),
+            }
+        }
+        events.push(ChromeEvent {
+            name: name.ok_or("event missing \"name\"")?,
+            cat,
+            ph: ph.ok_or("event missing \"ph\"")?,
+            ts_ns: ts.ok_or("event missing \"ts\"")?,
+            dur_ns: dur,
+            pid: pid.ok_or("event missing \"pid\"")?,
+            tid: tid.ok_or("event missing \"tid\"")?,
+            args,
+        });
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b']') => break,
+            _ => return Err(p.err("bad top-level array")),
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Args, RecordKind};
+
+    fn rec(
+        name: &'static str,
+        cat: &'static str,
+        track: u32,
+        start_ns: u64,
+        end_ns: u64,
+        kind: RecordKind,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat,
+            track,
+            start_ns,
+            end_ns,
+            kind,
+            args: Args::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_span_set_exactly() {
+        let mut args = Args::new();
+        args.push("worker", 3);
+        args.push("bytes", 123_456_789);
+        let trace = Trace {
+            spans: vec![
+                SpanRecord {
+                    args,
+                    ..rec(
+                        "compute",
+                        "engine",
+                        3,
+                        1_234_567,
+                        9_876_543,
+                        RecordKind::Span,
+                    )
+                },
+                rec(
+                    "tick",
+                    "engine",
+                    TRACK_MAIN,
+                    5_000,
+                    5_000,
+                    RecordKind::Instant,
+                ),
+                rec(
+                    "decide",
+                    "sim",
+                    crate::sim_track(2),
+                    7,
+                    7,
+                    RecordKind::Instant,
+                ),
+                rec(
+                    "bill",
+                    "sim",
+                    crate::sim_track(2),
+                    1_000_000_000_000,
+                    2_000_000_000_001,
+                    RecordKind::Span,
+                ),
+            ],
+        };
+        let json = chrome_trace_json(&trace);
+        let events = parse_chrome_trace(&json).expect("parse");
+        // 2 process_name + 3 thread_name metadata + 4 events.
+        assert_eq!(events.len(), 9);
+        for e in &events {
+            assert!(!e.name.is_empty());
+        }
+        let data: Vec<&ChromeEvent> = events.iter().filter(|e| e.ph != 'M').collect();
+        assert_eq!(data.len(), trace.spans.len());
+        for r in &trace.spans {
+            let (pid, tid) = pid_tid(r.track);
+            let m = data
+                .iter()
+                .find(|e| e.name == r.name && e.pid == pid && e.tid == tid && e.ts_ns == r.start_ns)
+                .unwrap_or_else(|| panic!("span {} missing from export", r.name));
+            assert_eq!(m.cat, r.cat);
+            assert_eq!(m.dur_ns, r.end_ns - r.start_ns, "{}", r.name);
+            let expect_args: Vec<(String, u64)> = r
+                .args
+                .pairs()
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect();
+            assert_eq!(m.args, expect_args);
+        }
+        // Sim tracks render as the second process.
+        assert!(data.iter().any(|e| e.pid == PID_SIM));
+        assert!(events
+            .iter()
+            .any(|e| e.ph == 'M' && e.name == "thread_name" && e.pid == PID_SIM));
+    }
+
+    #[test]
+    fn timestamps_are_lossless_microsecond_decimals() {
+        for ns in [0u64, 1, 999, 1_000, 123_456_789, u64::MAX / 2000 * 1000] {
+            let mut s = String::new();
+            push_ts(&mut s, ns);
+            assert_eq!(us_str_to_ns(&s).expect("parse"), ns, "ts {s}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_array() {
+        let json = chrome_trace_json(&Trace::default());
+        let events = parse_chrome_trace(&json).expect("parse");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_missing_required_keys() {
+        assert!(parse_chrome_trace("[{\"name\":\"x\"}]").is_err());
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("[").is_err());
+    }
+
+    #[test]
+    fn parser_skips_unknown_fields_and_string_args() {
+        let json = "[{\"name\":\"n\",\"ph\":\"i\",\"ts\":1.500,\"pid\":1,\"tid\":0,\
+                     \"s\":\"t\",\"extra\":[1,{\"a\":true}],\"args\":{\"lbl\":\"str\",\"v\":7}}]";
+        let events = parse_chrome_trace(json).expect("parse");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ts_ns, 1_500);
+        assert_eq!(events[0].args, vec![("v".to_string(), 7)]);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let trace = Trace {
+            spans: vec![rec(
+                "weird \"name\"\\with\nstuff",
+                "cat",
+                0,
+                1,
+                2,
+                RecordKind::Span,
+            )],
+        };
+        let events = parse_chrome_trace(&chrome_trace_json(&trace)).expect("parse");
+        assert!(events
+            .iter()
+            .any(|e| e.name == "weird \"name\"\\with\nstuff"));
+    }
+}

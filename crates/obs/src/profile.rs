@@ -1,0 +1,250 @@
+//! Text profile report: per-phase totals, self/child time, top-N spans.
+//!
+//! Span nesting is recovered per track by interval containment (spans on
+//! one track come from one thread of control, so a span that starts and
+//! ends inside another is its child). *Self* time is a span's duration
+//! minus the durations of its direct children; summing self time never
+//! double-counts, so category totals computed from it are additive.
+
+use crate::{RecordKind, SpanRecord, Trace};
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Category the name was recorded under (last one wins).
+    pub cat: String,
+    /// Number of span instances.
+    pub count: u64,
+    /// Total (inclusive) seconds across instances.
+    pub total_seconds: f64,
+    /// Self seconds: total minus time spent in child spans.
+    pub self_seconds: f64,
+    /// Longest single instance, in seconds.
+    pub max_seconds: f64,
+}
+
+/// Per-name and per-category aggregation of a trace's spans.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSummary {
+    /// Stats keyed by span name.
+    pub phases: BTreeMap<String, PhaseStats>,
+    /// Additive self-time totals per category.
+    pub category_seconds: BTreeMap<String, f64>,
+    /// Counter totals (sum of recorded values) keyed by counter name.
+    pub counter_totals: BTreeMap<String, u64>,
+}
+
+impl ProfileSummary {
+    /// Builds the summary from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut summary = ProfileSummary::default();
+
+        // Group span records by track so containment is meaningful.
+        let mut by_track: BTreeMap<u32, Vec<&SpanRecord>> = BTreeMap::new();
+        for r in &trace.spans {
+            match r.kind {
+                RecordKind::Span => by_track.entry(r.track).or_default().push(r),
+                RecordKind::Counter => {
+                    let v = r.args.pairs().first().map(|&(_, v)| v).unwrap_or(0);
+                    *summary
+                        .counter_totals
+                        .entry(r.name.to_string())
+                        .or_default() += v;
+                }
+                RecordKind::Instant => {}
+            }
+        }
+
+        for spans in by_track.values_mut() {
+            // Parents sort before their children: earlier start first,
+            // and on ties the longer (enclosing) span first.
+            spans.sort_by_key(|r| (r.start_ns, Reverse(r.end_ns)));
+            let mut child_ns: Vec<u64> = vec![0; spans.len()];
+            let mut stack: Vec<usize> = Vec::new();
+            for i in 0..spans.len() {
+                let r = spans[i];
+                while let Some(&top) = stack.last() {
+                    if spans[top].end_ns <= r.start_ns {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(&parent) = stack.last() {
+                    child_ns[parent] += r.end_ns.saturating_sub(r.start_ns);
+                }
+                stack.push(i);
+            }
+            for (i, r) in spans.iter().enumerate() {
+                let dur = r.end_ns.saturating_sub(r.start_ns);
+                let own = dur.saturating_sub(child_ns[i]);
+                let entry = summary.phases.entry(r.name.to_string()).or_default();
+                entry.cat = r.cat.to_string();
+                entry.count += 1;
+                entry.total_seconds += dur as f64 / 1e9;
+                entry.self_seconds += own as f64 / 1e9;
+                entry.max_seconds = entry.max_seconds.max(dur as f64 / 1e9);
+                *summary
+                    .category_seconds
+                    .entry(r.cat.to_string())
+                    .or_default() += own as f64 / 1e9;
+            }
+        }
+        summary
+    }
+
+    /// Phase names ordered by total time, longest first.
+    pub fn by_total(&self) -> Vec<(&str, &PhaseStats)> {
+        let mut rows: Vec<(&str, &PhaseStats)> = self
+            .phases
+            .iter()
+            .map(|(name, stats)| (name.as_str(), stats))
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.total_seconds
+                .partial_cmp(&a.1.total_seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
+        rows
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Renders the text profile report (per-category totals, then the
+/// top-`top_n` phases by total time with self/child split).
+pub fn profile_report(trace: &Trace, top_n: usize) -> String {
+    let summary = ProfileSummary::from_trace(trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "== profile: time by category (self time) ==");
+    let mut cats: Vec<(&String, &f64)> = summary.category_seconds.iter().collect();
+    cats.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (cat, secs) in cats {
+        let _ = writeln!(out, "  {cat:<12} {:>10}", fmt_secs(*secs));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "== profile: top {} phases by total time ==",
+        top_n.min(summary.phases.len())
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:<10} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "cat", "count", "total", "self", "child", "max"
+    );
+    for (name, stats) in summary.by_total().into_iter().take(top_n) {
+        let child = stats.total_seconds - stats.self_seconds;
+        let _ = writeln!(
+            out,
+            "  {:<24} {:<10} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            stats.cat,
+            stats.count,
+            fmt_secs(stats.total_seconds),
+            fmt_secs(stats.self_seconds),
+            fmt_secs(child),
+            fmt_secs(stats.max_seconds),
+        );
+    }
+    if !summary.counter_totals.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "== profile: counter totals ==");
+        for (name, total) in &summary.counter_totals {
+            let _ = writeln!(out, "  {name:<24} {total:>12}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Args, RecordKind, SpanRecord};
+
+    fn span(name: &'static str, cat: &'static str, track: u32, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat,
+            track,
+            start_ns: start,
+            end_ns: end,
+            kind: RecordKind::Span,
+            args: Args::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_children_by_containment() {
+        let trace = Trace {
+            spans: vec![
+                span("superstep", "engine", 0, 0, 1_000_000_000),
+                span("compute", "engine", 0, 100_000_000, 400_000_000),
+                span("deliver", "engine", 0, 400_000_000, 900_000_000),
+                // Same names on another track must not nest across tracks.
+                span("compute", "engine", 1, 0, 500_000_000),
+            ],
+        };
+        let summary = ProfileSummary::from_trace(&trace);
+        let superstep = &summary.phases["superstep"];
+        assert!((superstep.total_seconds - 1.0).abs() < 1e-9);
+        assert!((superstep.self_seconds - 0.2).abs() < 1e-9);
+        let compute = &summary.phases["compute"];
+        assert_eq!(compute.count, 2);
+        assert!((compute.total_seconds - 0.8).abs() < 1e-9);
+        assert!((compute.self_seconds - 0.8).abs() < 1e-9);
+        // Self-time category totals are additive: equal to union of wall
+        // time actually covered, 1.0s on track 0 + 0.5s on track 1.
+        assert!((summary.category_seconds["engine"] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_sum_and_report_renders() {
+        let mut args = Args::new();
+        args.push("value", 7);
+        let counter = SpanRecord {
+            name: "messages",
+            cat: "engine",
+            track: 0,
+            start_ns: 5,
+            end_ns: 5,
+            kind: RecordKind::Counter,
+            args,
+        };
+        let trace = Trace {
+            spans: vec![span("a", "x", 0, 0, 2_000), counter, counter],
+        };
+        let summary = ProfileSummary::from_trace(&trace);
+        assert_eq!(summary.counter_totals["messages"], 14);
+        let report = profile_report(&trace, 10);
+        assert!(report.contains("messages"));
+        assert!(report.contains("top 1 phases"));
+        assert!(report.contains("2.0us"));
+    }
+
+    #[test]
+    fn by_total_sorts_longest_first() {
+        let trace = Trace {
+            spans: vec![
+                span("short", "c", 0, 0, 10),
+                span("long", "c", 1, 0, 1_000_000),
+            ],
+        };
+        let summary = ProfileSummary::from_trace(&trace);
+        let rows = summary.by_total();
+        assert_eq!(rows[0].0, "long");
+        assert_eq!(rows[1].0, "short");
+    }
+}

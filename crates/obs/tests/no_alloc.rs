@@ -1,0 +1,82 @@
+//! Enforces the "zero cost when off" contract: with no collector
+//! installed, every obs entry point must record nothing and allocate
+//! nothing. A counting global allocator makes "allocates nothing"
+//! checkable; the file holds a single test so no concurrent test can
+//! allocate in the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_tracing_records_nothing_and_allocates_nothing() {
+    use hourglass_obs as obs;
+
+    // Warm-up: exercise every path once with a collector installed so
+    // lazy state (clock origin, thread-local buffer capacity) is paid
+    // for before the measured window.
+    let session = obs::TraceSession::start();
+    for _ in 0..8 {
+        let scope = obs::task_begin(1);
+        let s = obs::span("warmup", "test").arg("k", 1);
+        drop(s);
+        obs::instant("warmup_i", "test", obs::Args::new());
+        obs::counter("warmup_c", "test", 3);
+        obs::merge_task(obs::task_end(scope));
+    }
+    let warm = session.finish();
+    assert!(!warm.spans.is_empty());
+
+    obs::with_tracing_disabled(|| {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..1_000u64 {
+            let s = obs::span("compute", "engine").arg("worker", i);
+            drop(s);
+            obs::instant("tick", "engine", obs::Args::new());
+            obs::counter("messages", "engine", i);
+            obs::record(obs::SpanRecord {
+                name: "synth",
+                cat: "engine",
+                track: 0,
+                start_ns: i,
+                end_ns: i + 1,
+                kind: obs::RecordKind::Span,
+                args: obs::Args::new(),
+            });
+            let scope = obs::task_begin(i as u32);
+            let spans = obs::task_end(scope);
+            assert!(spans.is_empty());
+            obs::merge_task(spans);
+            assert_eq!(obs::now_ns_if_enabled(), 0);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(after - before, 0, "disabled tracing path must not allocate");
+    });
+
+    // And none of the disabled-window activity leaks into a later session.
+    let session = obs::TraceSession::start();
+    let trace = session.finish();
+    assert!(trace.spans.is_empty(), "disabled path must record nothing");
+}

@@ -12,6 +12,7 @@ use crate::micro::MicroPartitioning;
 use crate::multilevel::Multilevel;
 use crate::{Balance, PartitionError, Partitioner, Partitioning, Result};
 use hourglass_graph::VertexId;
+use hourglass_obs as obs;
 
 /// The result of clustering micro-partitions for a `k`-worker deployment.
 #[derive(Debug, Clone)]
@@ -79,6 +80,9 @@ impl Clustering {
 /// assert_eq!(clustering.vertex_partitioning().num_parts(), 4);
 /// ```
 pub fn cluster_micro_partitions(mp: &MicroPartitioning, k: u32, seed: u64) -> Result<Clustering> {
+    let _span = obs::span("cluster_quotient", "partition")
+        .arg("micros", mp.num_micro() as u64)
+        .arg("workers", k as u64);
     let m = mp.num_micro();
     if k == 0 || k > m {
         return Err(PartitionError::InvalidPartitionCount {

@@ -10,6 +10,7 @@
 
 use crate::{Balance, PartitionError, Partitioner, Partitioning, Result};
 use hourglass_graph::{Graph, VertexId};
+use hourglass_obs as obs;
 
 /// Computes the number of micro-partitions: the least common multiple of
 /// `worker_counts`, multiplied by the smallest integer that lifts it to at
@@ -117,6 +118,9 @@ pub fn micro_arc_counts(g: &Graph, micro: &Partitioning) -> Result<Vec<u64>> {
 /// undirected edge contributes one unit in each direction, like the CSR
 /// of the base graph).
 pub fn quotient_graph(g: &Graph, micro: &Partitioning, balance: Balance) -> Result<Graph> {
+    let _span = obs::span("quotient_graph", "partition")
+        .arg("vertices", g.num_vertices() as u64)
+        .arg("micros", micro.num_parts() as u64);
     if micro.num_vertices() != g.num_vertices() {
         return Err(PartitionError::InvalidParameter(format!(
             "partitioning covers {} vertices but graph has {}",
@@ -202,7 +206,13 @@ impl<P: Partitioner> MicroPartitioner<P> {
     /// Runs the offline phase: micro-partition `g` and build the quotient
     /// graph.
     pub fn run(&self, g: &Graph) -> Result<MicroPartitioning> {
-        let micro = self.base.partition(g, self.num_micro)?;
+        let _span = obs::span("micro_partition", "partition")
+            .arg("vertices", g.num_vertices() as u64)
+            .arg("micros", self.num_micro as u64);
+        let micro = {
+            let _base = obs::span("base_partition", "partition");
+            self.base.partition(g, self.num_micro)?
+        };
         let quotient = quotient_graph(g, &micro, self.balance)?;
         Ok(MicroPartitioning { micro, quotient })
     }

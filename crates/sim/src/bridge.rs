@@ -1,0 +1,325 @@
+//! Re-emits decision-loop events onto the cross-layer tracing timeline.
+//!
+//! The simulator reports typed [`SimEvent`]s through an [`EventSink`];
+//! [`TraceBridge`] is a sink that forwards them to `hourglass-obs` as
+//! spans, instants and counters on the *simulated-time* tracks
+//! ([`hourglass_obs::sim_track`], one per Monte-Carlo run). A single
+//! Chrome trace can then show the provisioner's decision loop (simulated
+//! seconds) next to the engine, loader and partitioner phases (wall-clock
+//! nanoseconds) — the two timelines live under separate trace processes
+//! so Perfetto never conflates their clocks.
+//!
+//! The bridge derives every timestamp from the event's simulated time, so
+//! the records it emits are a pure function of the event stream: tracing
+//! a sweep cannot perturb outcomes, and the emitted records are identical
+//! whether the sweep ran sequentially or in parallel.
+
+use crate::events::{EventSink, Phase, SimEvent};
+use hourglass_obs as obs;
+use hourglass_obs::{Args, RecordKind, SpanRecord};
+
+/// Converts an absolute simulated time (seconds) to trace nanoseconds.
+fn sim_ns(t: f64) -> u64 {
+    if t <= 0.0 || !t.is_finite() {
+        0
+    } else {
+        (t * 1e9) as u64
+    }
+}
+
+/// Dollars → microdollars, saturating at zero (counter args are `u64`).
+fn microdollars(d: f64) -> u64 {
+    if d <= 0.0 || !d.is_finite() {
+        0
+    } else {
+        (d * 1e6) as u64
+    }
+}
+
+fn phase_code(phase: Phase) -> u64 {
+    match phase {
+        Phase::Setup => 0,
+        Phase::Compute => 1,
+        Phase::Wait => 2,
+    }
+}
+
+/// An [`EventSink`] that mirrors every decision event onto the trace.
+///
+/// Records nothing (and allocates nothing) when no
+/// [`hourglass_obs::TraceSession`] is active, so it is safe to wire
+/// unconditionally and gate only on the `--trace` flag at export time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceBridge;
+
+impl TraceBridge {
+    /// Creates a bridge.
+    pub fn new() -> Self {
+        TraceBridge
+    }
+
+    fn emit(
+        &self,
+        track: u32,
+        name: &'static str,
+        kind: RecordKind,
+        start: f64,
+        end: f64,
+        args: Args,
+    ) {
+        let start_ns = sim_ns(start);
+        obs::record(SpanRecord {
+            name,
+            cat: "sim",
+            track,
+            start_ns,
+            // Chrome "X" events need a non-negative duration even when a
+            // wait resumes "immediately" in simulated time.
+            end_ns: sim_ns(end).max(start_ns),
+            kind,
+            args,
+        });
+    }
+}
+
+impl EventSink for TraceBridge {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        if !obs::enabled() {
+            return;
+        }
+        let track = obs::sim_track(run);
+        match *event {
+            SimEvent::Decide {
+                t,
+                pick,
+                continuation,
+                forced,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                args.push("continuation", continuation as u64);
+                args.push("forced", forced as u64);
+                self.emit(track, "decide", RecordKind::Instant, t, t, args);
+            }
+            SimEvent::SpikeWait {
+                t,
+                pick,
+                resume_at,
+                held,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                if let Some(h) = held {
+                    args.push("held", h as u64);
+                }
+                self.emit(track, "spike_wait", RecordKind::Span, t, resume_at, args);
+            }
+            SimEvent::Acquire {
+                t,
+                pick,
+                setup_seconds,
+                first_load,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                args.push("first_load", first_load as u64);
+                self.emit(track, "setup", RecordKind::Span, t, t + setup_seconds, args);
+            }
+            SimEvent::Evict { t, pick, phase, .. } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                args.push("phase", phase_code(phase));
+                self.emit(track, "evict", RecordKind::Instant, t, t, args);
+            }
+            SimEvent::Checkpoint {
+                t,
+                pick,
+                chunk_seconds,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                args.push("chunk_ms", (chunk_seconds * 1e3) as u64);
+                self.emit(track, "checkpoint", RecordKind::Instant, t, t, args);
+            }
+            SimEvent::Bill {
+                t,
+                to,
+                pick,
+                cost,
+                billed,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                args.push("cost_microdollars", microdollars(cost));
+                self.emit(track, "bill", RecordKind::Span, t, to, args);
+                let mut cargs = Args::new();
+                cargs.push("microdollars", microdollars(billed));
+                self.emit(track, "billed_total", RecordKind::Counter, to, to, cargs);
+            }
+            SimEvent::Complete {
+                t,
+                missed_deadline,
+                evictions,
+                deployments,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("missed_deadline", missed_deadline as u64);
+                args.push("evictions", evictions as u64);
+                args.push("deployments", deployments as u64);
+                self.emit(track, "complete", RecordKind::Instant, t, t, args);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{NullSink, TeeSink, VecSink};
+    use crate::job::{PaperJob, ReloadMode};
+    use crate::runner::derive_eviction_models;
+    use crate::runner::SimulationSetup;
+    use crate::sweep::sweep_jobs;
+    use hourglass_cloud::tracegen;
+    use hourglass_core::strategies::HourglassStrategy;
+
+    fn zero_latency(events: &mut [(u32, SimEvent)]) {
+        for (_, e) in events.iter_mut() {
+            if let SimEvent::Decide { latency_us, .. } = e {
+                *latency_us = 0;
+            }
+        }
+    }
+
+    /// Tracing a sweep changes neither the outcomes nor the event stream:
+    /// the traced run's outcomes are bit-identical to the untraced run's,
+    /// and the decision events seen through the tee match exactly.
+    #[test]
+    fn traced_sweep_is_bit_identical_to_untraced() {
+        let market = tracegen::simulation_market(41).expect("market");
+        let history = tracegen::history_market(41).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(60.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts: Vec<f64> = (0..8).map(|i| i as f64 * 120_000.0).collect();
+
+        let mut plain_sink = VecSink::new();
+        let plain =
+            sweep_jobs(&setup, &job, &strategy, &starts, true, &mut plain_sink).expect("plain");
+
+        let session = obs::TraceSession::start();
+        let mut bridge = TraceBridge::new();
+        let mut traced_sink = VecSink::new();
+        let mut tee = TeeSink {
+            first: &mut traced_sink,
+            second: &mut bridge,
+        };
+        let traced = sweep_jobs(&setup, &job, &strategy, &starts, true, &mut tee).expect("traced");
+        let trace = session.finish();
+
+        assert_eq!(plain.len(), traced.len());
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.online_cost.to_bits(), b.online_cost.to_bits());
+            assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+            assert_eq!(a.evictions, b.evictions);
+            assert_eq!(a.deployments, b.deployments);
+            assert_eq!(a.missed_deadline, b.missed_deadline);
+            assert_eq!(a.completed, b.completed);
+        }
+        zero_latency(&mut plain_sink.events);
+        zero_latency(&mut traced_sink.events);
+        assert_eq!(plain_sink.events, traced_sink.events);
+
+        // The trace carries the decision loop on simulated-time tracks.
+        let sim_records: Vec<_> = trace.in_category("sim").collect();
+        assert!(!sim_records.is_empty(), "bridge emitted nothing");
+        assert!(sim_records.iter().all(|r| obs::is_sim_track(r.track)));
+        let completes = sim_records.iter().filter(|r| r.name == "complete").count();
+        assert_eq!(completes, traced.len(), "one complete instant per run");
+    }
+
+    /// The bridge is a pure function of the event stream: two sessions
+    /// over the same sweep collect identical record sets.
+    #[test]
+    fn bridge_is_deterministic_across_sessions() {
+        let market = tracegen::simulation_market(42).expect("market");
+        let history = tracegen::history_market(42).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts = [0.0, 250_000.0, 700_000.0];
+
+        let mut traces = Vec::new();
+        for parallel in [false, true] {
+            let session = obs::TraceSession::start();
+            let mut bridge = TraceBridge::new();
+            sweep_jobs(&setup, &job, &strategy, &starts, parallel, &mut bridge).expect("sweep");
+            let trace = session.finish();
+            traces.push(
+                trace
+                    .in_category("sim")
+                    .copied()
+                    .collect::<Vec<SpanRecord>>(),
+            );
+        }
+        assert_eq!(traces[0], traces[1]);
+        assert!(!traces[0].is_empty());
+    }
+
+    /// Without an active session the bridge records nothing.
+    #[test]
+    fn bridge_is_inert_without_session() {
+        obs::with_tracing_disabled(|| {
+            let mut bridge = TraceBridge::new();
+            bridge.record(
+                0,
+                &SimEvent::Evict {
+                    t: 10.0,
+                    work_left: 0.5,
+                    billed: 1.0,
+                    pick: 2,
+                    phase: Phase::Compute,
+                },
+            );
+        });
+        let session = obs::TraceSession::start();
+        let trace = session.finish();
+        assert!(trace.spans.is_empty());
+        // NullSink still satisfies the sink contract alongside the bridge.
+        let mut null = NullSink;
+        null.record(
+            0,
+            &SimEvent::Evict {
+                t: 10.0,
+                work_left: 0.5,
+                billed: 1.0,
+                pick: 2,
+                phase: Phase::Setup,
+            },
+        );
+    }
+
+    #[test]
+    fn sim_time_conversion_clamps_and_scales() {
+        assert_eq!(sim_ns(-5.0), 0);
+        assert_eq!(sim_ns(0.0), 0);
+        assert_eq!(sim_ns(1.5), 1_500_000_000);
+        assert_eq!(sim_ns(f64::NAN), 0);
+        assert_eq!(microdollars(-1.0), 0);
+        assert_eq!(microdollars(2.5), 2_500_000);
+        assert_eq!(microdollars(f64::INFINITY), 0);
+    }
+}

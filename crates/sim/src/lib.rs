@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod events;
 pub mod experiment;
 pub mod job;
@@ -22,6 +23,7 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use bridge::TraceBridge;
 pub use events::{EventAggregate, EventSink, JsonlSink, NullSink, SimEvent, TeeSink, VecSink};
 pub use experiment::{Experiment, ExperimentSummary};
 pub use job::{ConfigPerf, JobDescription, ReloadMode};

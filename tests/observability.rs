@@ -1,0 +1,96 @@
+//! Integration: the cross-layer tracing subsystem end to end.
+//!
+//! One session traces partitioning, loading and a BSP PageRank run; the
+//! collected trace is exported as Chrome Trace Event JSON, parsed back,
+//! and compared span-for-span against what was recorded. A second run
+//! without a session asserts that tracing never perturbs results.
+
+use hourglass::engine::apps::PageRank;
+use hourglass::engine::loaders::{micro_load, reload_graph, Datastore};
+use hourglass::engine::{BspEngine, EngineConfig};
+use hourglass::graph::generators;
+use hourglass::obs;
+use hourglass::partition::cluster::cluster_micro_partitions;
+use hourglass::partition::hash::HashPartitioner;
+use hourglass::partition::micro::MicroPartitioner;
+
+fn traced_pipeline(seed: u64) -> Vec<f64> {
+    let g = generators::community(3, 80, 0.3, 40, seed).expect("gen");
+    let mp = MicroPartitioner::new(HashPartitioner, 16)
+        .run(&g)
+        .expect("micro partitioning");
+    let clustering = cluster_micro_partitions(&mp, 4, seed).expect("clustering");
+    let store = Datastore::binary_micro(&g, mp.micro()).expect("store");
+    let (workers, stats) =
+        micro_load(&store, mp.micro(), clustering.micro_to_macro(), 4).expect("load");
+    assert_eq!(stats.lines_skipped, 0);
+    let rg = reload_graph(&workers, g.num_vertices(), false).expect("reload");
+    let mut engine = BspEngine::new(
+        PageRank::fixed(5),
+        &rg,
+        clustering.vertex_partitioning().clone(),
+        EngineConfig::default(),
+    )
+    .expect("engine");
+    engine.run().expect("run");
+    engine.into_values()
+}
+
+#[test]
+fn chrome_export_round_trips_the_recorded_trace() {
+    let untraced = obs::with_tracing_disabled(|| traced_pipeline(11));
+
+    let session = obs::TraceSession::start();
+    let traced = traced_pipeline(11);
+    let trace = session.finish();
+
+    assert_eq!(untraced, traced, "tracing perturbed the computed values");
+    for cat in ["partition", "loader", "engine"] {
+        assert!(
+            trace.in_category(cat).next().is_some(),
+            "no {cat:?} spans recorded"
+        );
+    }
+
+    // Export → parse → the duration-span multiset survives exactly.
+    let json = obs::chrome::chrome_trace_json(&trace);
+    let events = obs::chrome::parse_chrome_trace(&json).expect("exported trace parses");
+
+    let mut recorded: Vec<(String, String, u64, u64, u64, u64)> = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == obs::RecordKind::Span)
+        .map(|s| {
+            let (pid, tid) = obs::chrome::pid_tid(s.track);
+            (
+                s.name.to_string(),
+                s.cat.to_string(),
+                pid,
+                tid,
+                s.start_ns,
+                s.end_ns.saturating_sub(s.start_ns),
+            )
+        })
+        .collect();
+    let mut parsed: Vec<(String, String, u64, u64, u64, u64)> = events
+        .iter()
+        .filter(|e| e.ph == 'X')
+        .map(|e| {
+            (
+                e.name.clone(),
+                e.cat.clone(),
+                e.pid,
+                e.tid,
+                e.ts_ns,
+                e.dur_ns,
+            )
+        })
+        .collect();
+    recorded.sort();
+    parsed.sort();
+    assert_eq!(recorded, parsed, "span set changed across export + parse");
+
+    // A fresh session starts empty: nothing leaked from the last one.
+    let empty = obs::TraceSession::start().finish();
+    assert!(empty.spans.is_empty());
+}
