@@ -51,6 +51,7 @@ fn bench_decision_loop(c: &mut Criterion) {
                 t_boot: job.t_boot,
                 candidates: &candidates,
                 current: None,
+                save_retry_factor: 0.0,
             })
             .collect();
         group.throughput(Throughput::Elements(contexts.len() as u64));

@@ -28,6 +28,7 @@ fn bench_decisions(c: &mut Criterion) {
             t_boot: job.t_boot,
             candidates: &candidates,
             current: None,
+            save_retry_factor: 0.0,
         };
         group.bench_with_input(
             BenchmarkId::new("approx", job_kind.name()),

@@ -1,0 +1,79 @@
+//! Retry-path microbenchmarks: what fault consultation, bounded-retry
+//! backoff and checksum framing cost on the hot I/O paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hourglass_faults::{FaultHook, FaultPlan, Op, RetryPolicy, Site};
+
+fn bench_injector_consult(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retries/injector");
+    let plan = FaultPlan::io_flaky(42);
+    let inj = plan.injector();
+    g.bench_function("io_flaky_next", |b| {
+        b.iter(|| inj.next(Site::StorePut, Op::none()))
+    });
+    let empty = FaultPlan::new(42).injector();
+    g.bench_function("empty_plan_next", |b| {
+        b.iter(|| empty.next(Site::StorePut, Op::none()))
+    });
+    g.finish();
+}
+
+fn bench_hook_consult(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retries/hook");
+    let plan = FaultPlan::io_flaky(42);
+    let hook = FaultHook::for_run(&plan, 7);
+    g.bench_function("io_flaky_consult", |b| {
+        b.iter(|| hook.consult(Site::StorePut))
+    });
+    g.finish();
+}
+
+fn bench_retry_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retries/policy");
+    let policy = RetryPolicy {
+        seed: 42,
+        ..RetryPolicy::default()
+    };
+    g.bench_function("first_try_success", |b| {
+        b.iter(|| policy.run(|_| -> Result<u32, ()> { Ok(1) }))
+    });
+    g.bench_function("exhausted", |b| {
+        b.iter(|| policy.run(|_| -> Result<u32, ()> { Err(()) }))
+    });
+    g.finish();
+}
+
+fn bench_framed_store(c: &mut Criterion) {
+    use hourglass_engine::{CheckpointStore, FaultyStore, MemoryStore};
+
+    let mut g = c.benchmark_group("retries/framed_store");
+    let payload = vec![0xA5u8; 64 * 1024];
+    let plan = FaultPlan::io_flaky(42);
+
+    let clean = MemoryStore::new();
+    g.bench_function("put_get_64k_clean", |b| {
+        b.iter(|| {
+            clean.put("bench", &payload).expect("put");
+            clean.get("bench").expect("get")
+        })
+    });
+
+    let faulty = FaultyStore::new(MemoryStore::new(), plan.injector());
+    let retry = RetryPolicy::from_plan(&plan);
+    g.bench_function("put_get_64k_io_flaky_retried", |b| {
+        b.iter(|| {
+            let _ = retry.run(|_| faulty.put("bench", &payload));
+            retry.run(|_| faulty.get("bench"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_injector_consult,
+    bench_hook_consult,
+    bench_retry_policy,
+    bench_framed_store
+);
+criterion_main!(benches);

@@ -15,13 +15,19 @@
 //! that parallel and sequential sweeps are bit-identical and that the
 //! JSONL round-trip of the event stream reproduces the in-memory
 //! aggregate.
+//!
+//! `--fault-plan NAME` injects a canned deterministic fault plan into the
+//! simulated checkpoint/reload I/O paths; retry and degradation counts
+//! then show up in the decision-loop summary. Under `--smoke` with the
+//! `io-flaky` plan the gate additionally asserts that every run still
+//! completes and that the deadline-aware provisioners miss no deadlines.
 
 use hourglass_bench::{Cli, World};
 use hourglass_core::strategies::figure5_roster;
 use hourglass_sim::events::parse_jsonl;
 use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::{
-    EventAggregate, EventSink, Experiment, JsonlSink, TeeSink, TraceBridge, VecSink,
+    EventAggregate, EventSink, Experiment, JsonlSink, SimEvent, TeeSink, TraceBridge, VecSink,
 };
 use std::io::{BufWriter, Write};
 
@@ -33,7 +39,10 @@ fn main() {
     }
     let tracing = cli.trace_handle();
     let world = World::build(cli.seed);
-    let setup = world.setup();
+    let mut setup = world.setup();
+    if let Some(plan) = cli.resolve_fault_plan() {
+        setup = setup.with_fault_plan(plan);
+    }
     let runs = cli.runs_or(150);
     let slacks: Vec<f64> = if cli.quick {
         vec![20.0, 60.0, 100.0]
@@ -115,6 +124,9 @@ fn main() {
                     "checkpoints": agg.checkpoints,
                     "mean_decide_latency_us": agg.mean_latency_us(),
                     "billed_dollars": agg.billed_dollars,
+                    "degraded": agg.degraded,
+                    "io_retries": agg.retries,
+                    "fallbacks": agg.fallbacks,
                 }));
                 job_aggs[si].merge(&agg);
             }
@@ -122,20 +134,30 @@ fn main() {
         }
         println!("-- decision-loop events, all slacks --");
         println!(
-            "{:<22}{:>10}{:>10}{:>9}{:>8}{:>8}{:>14}",
-            "strategy", "evict/run", "waits/run", "forced%", "cont%", "ckpts", "decide µs"
+            "{:<22}{:>10}{:>10}{:>9}{:>8}{:>8}{:>9}{:>9}{:>14}",
+            "strategy",
+            "evict/run",
+            "waits/run",
+            "forced%",
+            "cont%",
+            "ckpts",
+            "degraded",
+            "retries",
+            "decide µs"
         );
         for (s, agg) in roster.iter().zip(&job_aggs) {
             let decides = agg.decides.max(1) as f64;
             let runs = agg.runs.max(1) as f64;
             println!(
-                "{:<22}{:>10.3}{:>10.3}{:>8.1}%{:>7.1}%{:>8}{:>14.1}",
+                "{:<22}{:>10.3}{:>10.3}{:>8.1}%{:>7.1}%{:>8}{:>9}{:>9}{:>14.1}",
                 s.name(),
                 agg.mean_evictions(),
                 agg.spike_waits as f64 / runs,
                 100.0 * agg.forced as f64 / decides,
                 100.0 * agg.continuations as f64 / decides,
                 agg.checkpoints,
+                agg.degraded,
+                agg.retries,
                 agg.mean_latency_us(),
             );
         }
@@ -164,14 +186,23 @@ fn main() {
 /// Tiny self-checking sweep for CI: one job, one slack, the full roster.
 /// Asserts the sweep-harness invariants end to end (parallel ==
 /// sequential bitwise; JSONL round-trip reproduces the in-memory
-/// aggregate; aggregate counters match the outcome summary).
+/// aggregate; aggregate counters match the outcome summary). With
+/// `--fault-plan` the same invariants must hold under injected I/O
+/// faults, every run must still complete, and the deadline-aware
+/// provisioners (Hourglass and the +DP variants) must miss no deadlines.
 fn smoke(cli: &Cli) {
     let world = World::build(cli.seed);
-    let setup = world.setup();
+    let mut setup = world.setup();
+    let faulted = cli.fault_plan.is_some();
+    if let Some(plan) = cli.resolve_fault_plan() {
+        setup = setup.with_fault_plan(plan);
+    }
     let job = PaperJob::PageRank
         .description(50.0, ReloadMode::Fast)
         .expect("job construction");
     let runs = cli.runs_or(8).min(8);
+    let mut total_degraded = 0u64;
+    let mut total_retries = 0u64;
     for strategy in &figure5_roster() {
         let mut events = VecSink::new();
         let par = Experiment::new(runs, cli.seed)
@@ -211,15 +242,56 @@ fn smoke(cli: &Cli) {
             "JSONL round-trip changed the aggregate"
         );
 
+        if faulted {
+            let deadline_aware = par.strategy == "Hourglass" || par.strategy.ends_with("+DP");
+            for (_, e) in &events.events {
+                if let SimEvent::Complete {
+                    completed,
+                    missed_deadline,
+                    ..
+                } = e
+                {
+                    assert!(
+                        *completed,
+                        "{}: a run failed to complete under the fault plan",
+                        par.strategy
+                    );
+                    if deadline_aware {
+                        assert!(
+                            !*missed_deadline,
+                            "{}: deadline-aware strategy missed a deadline under faults",
+                            par.strategy
+                        );
+                    }
+                }
+            }
+        }
+        total_degraded += agg.degraded;
+        total_retries += agg.retries;
+
         println!(
             "smoke {:<22} runs {:>2}  normalized {:.3}  missed {:>5.1}%  \
-             evict/run {:.2}  waits {}  [seq==par, jsonl ok]",
+             evict/run {:.2}  waits {}  degraded {}  retries {}  fallbacks {}  \
+             [seq==par, jsonl ok]",
             par.strategy,
             runs,
             par.normalized_cost,
             par.missed_pct,
             agg.mean_evictions(),
             agg.spike_waits,
+            agg.degraded,
+            agg.retries,
+            agg.fallbacks,
+        );
+    }
+    if faulted {
+        assert!(
+            total_degraded > 0 || total_retries > 0,
+            "fault plan injected nothing across the roster"
+        );
+        println!(
+            "fig5 smoke fault check passed: {total_degraded} degradations, \
+             {total_retries} retries absorbed, all runs completed"
         );
     }
     println!("fig5 smoke passed");

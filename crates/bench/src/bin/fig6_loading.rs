@@ -22,7 +22,9 @@
 //! seconds — the loader-phase histogram is printed either way. `--smoke`
 //! runs the CI gate instead: one session spanning all four instrumented
 //! layers (decision loop, partitioner, loaders, engine), validated by
-//! re-parsing the exported trace.
+//! re-parsing the exported trace; the loader layer is routed through the
+//! checksummed HGS2 on-disk format and must parse it without skipping a
+//! single record.
 
 use hourglass_bench::{Cli, World};
 use hourglass_core::strategies::HourglassStrategy;
@@ -33,6 +35,7 @@ use hourglass_engine::loaders::{
 };
 use hourglass_engine::{BspEngine, EngineConfig};
 use hourglass_graph::datasets::Dataset;
+use hourglass_graph::io_binary::ShardedArcs;
 use hourglass_obs as obs;
 use hourglass_partition::cluster::cluster_micro_partitions;
 use hourglass_partition::hash::HashPartitioner;
@@ -314,11 +317,26 @@ fn smoke(cli: &Cli) {
         .expect("micro partitioning");
     let clustering = cluster_micro_partitions(&mp, 4, cli.seed).expect("clustering");
 
-    // Layer 3: sharded binary datastore + micro loader + fast reload.
+    // Layer 3: sharded binary datastore + micro loader + fast reload,
+    // routed through the checksummed HGS2 on-disk format: the store is
+    // serialized, re-read (verifying every per-bucket CRC32C) and only
+    // then loaded, so a silently corrupted shard cannot reach the loader.
     let store = Datastore::binary_micro(&g, mp.micro()).expect("micro store");
+    let sharded = match &store {
+        Datastore::Binary(s) => s,
+        Datastore::Text(_) => unreachable!("binary_micro built a text store"),
+    };
+    let mut hgs2 = Vec::new();
+    sharded.write_to(&mut hgs2).expect("HGS2 serialization");
+    let reread = ShardedArcs::read_from(&hgs2[..]).expect("HGS2 deserialization");
+    assert_eq!(&reread, sharded, "HGS2 round-trip changed the shards");
+    let store = Datastore::Binary(reread);
     let (workers, stats) =
         micro_load(&store, mp.micro(), clustering.micro_to_macro(), 4).expect("micro load");
-    assert_eq!(stats.lines_skipped, 0, "micro loader dropped records");
+    assert_eq!(
+        stats.lines_skipped, 0,
+        "micro loader dropped records from an HGS2 round-tripped store"
+    );
     let rg = reload_graph(&workers, g.num_vertices(), false).expect("reload");
 
     // Layer 4: engine superstep phases.

@@ -52,6 +52,7 @@ fn main() {
                 t_boot: job.t_boot,
                 candidates: &candidates,
                 current: None,
+                save_retry_factor: 0.0,
             };
 
             let t0 = Instant::now();

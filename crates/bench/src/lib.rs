@@ -13,7 +13,11 @@
 //! - `--events <path>`— stream the decision-event log (JSONL) to a file;
 //! - `--trace <path>` — record a cross-layer trace (engine, loaders,
 //!   partitioner, decision loop) and export it as Chrome Trace Event JSON;
-//! - `--profile`      — print a per-phase time breakdown after the run.
+//! - `--profile`      — print a per-phase time breakdown after the run;
+//! - `--fault-plan <name>` — inject a canned deterministic fault plan
+//!   (`io-flaky`, `torn-writes` or `bitflip`, seeded from `--seed`) into
+//!   the simulated checkpoint/reload I/O paths (binaries that simulate;
+//!   others ignore it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +45,8 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Print a per-phase profile after the run.
     pub profile: bool,
+    /// Name of a canned fault plan to inject (`--fault-plan`).
+    pub fault_plan: Option<String>,
 }
 
 impl Cli {
@@ -55,6 +61,7 @@ impl Cli {
             events: None,
             trace: None,
             profile: false,
+            fault_plan: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -98,10 +105,19 @@ impl Cli {
                     );
                 }
                 "--profile" => cli.profile = true,
+                "--fault-plan" => {
+                    i += 1;
+                    cli.fault_plan = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--fault-plan needs a plan name"))
+                            .clone(),
+                    );
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <bin> [--seed N] [--runs N] [--quick] [--smoke] \
-                         [--json PATH] [--events PATH] [--trace PATH] [--profile]"
+                         [--json PATH] [--events PATH] [--trace PATH] [--profile] \
+                         [--fault-plan io-flaky|torn-writes|bitflip]"
                     );
                     std::process::exit(0);
                 }
@@ -131,6 +147,18 @@ impl Cli {
                 eprintln!("json written to {path}");
             }
         }
+    }
+
+    /// Resolves `--fault-plan` into a seeded [`hourglass_sim::FaultPlan`];
+    /// exits with the list of known plans on an unknown name.
+    pub fn resolve_fault_plan(&self) -> Option<hourglass_sim::FaultPlan> {
+        self.fault_plan.as_ref().map(|name| {
+            hourglass_sim::FaultPlan::by_name(name, self.seed).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown fault plan {name:?} (known: io-flaky, torn-writes, bitflip)"
+                ))
+            })
+        })
     }
 
     /// Starts a tracing session when `--trace` or `--profile` was given.
@@ -233,6 +261,24 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_plan_resolution() {
+        let mut cli = Cli {
+            seed: 7,
+            runs: None,
+            quick: false,
+            smoke: false,
+            json: None,
+            events: None,
+            trace: None,
+            profile: false,
+            fault_plan: Some("io-flaky".into()),
+        };
+        let _plan = cli.resolve_fault_plan().expect("known plan resolves");
+        cli.fault_plan = None;
+        assert!(cli.resolve_fault_plan().is_none());
+    }
 
     #[test]
     fn world_builds() {

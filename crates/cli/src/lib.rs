@@ -40,7 +40,7 @@ use hourglass_partition::quality::{edge_cut_fraction, imbalance};
 use hourglass_partition::{Balance, Partitioner};
 use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::runner::{build_decision_candidates, derive_eviction_models, SimulationSetup};
-use hourglass_sim::{Experiment, TraceBridge};
+use hourglass_sim::{EventAggregate, Experiment, FaultPlan, TeeSink, TraceBridge};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -140,6 +140,7 @@ USAGE:
   hourglass market stats [--market FILE | --seed N]
   hourglass simulate --job sssp|pagerank|gc [--slack PCT] [--strategy NAME]
                      [--runs N] [--seed N] [--trace FILE]
+                     [--fault-plan io-flaky|torn-writes|bitflip]
                      (strategies: hourglass, spoton, proteus, spoton-dp,
                       proteus-dp, on-demand)
   hourglass explain --job sssp|pagerank|gc [--slack PCT] [--at HOURS]
@@ -152,7 +153,10 @@ USAGE:
 
   --trace FILE writes a Chrome Trace Event JSON (open in Perfetto/chrome
   //tracing); --profile prints a per-phase time breakdown; `run --json`
-  dumps per-superstep metrics (compute, delivery, barrier wait).
+  dumps per-superstep metrics (compute, delivery, barrier wait);
+  `simulate --fault-plan` injects a canned deterministic fault plan
+  (seeded from --seed) into the simulated checkpoint/reload I/O paths
+  and reports how many retries and degradations the runs absorbed.
 ";
 
 /// Dispatches a full command line (without argv[0]); returns the text to
@@ -295,7 +299,19 @@ fn cmd_simulate(opts: &Options) -> Result<String> {
     .map_err(|e| err(e.to_string()))?;
     let models = derive_eviction_models(&history, 24.0 * 3600.0, 2000, seed)
         .map_err(|e| err(e.to_string()))?;
-    let setup = SimulationSetup::new(&market, &models);
+    let fault_plan = match opts.get("fault-plan") {
+        Some(name) => Some(FaultPlan::by_name(name, seed).ok_or_else(|| {
+            err(format!(
+                "unknown fault plan {name:?} (known: io-flaky, torn-writes, bitflip)"
+            ))
+        })?),
+        None => None,
+    };
+    let faulted = fault_plan.is_some();
+    let mut setup = SimulationSetup::new(&market, &models);
+    if let Some(plan) = fault_plan {
+        setup = setup.with_fault_plan(plan);
+    }
     let job = job_kind
         .description(slack, ReloadMode::Fast)
         .map_err(|e| err(e.to_string()))?;
@@ -303,8 +319,13 @@ fn cmd_simulate(opts: &Options) -> Result<String> {
     let profile = opts.has("profile");
     let session = (trace_path.is_some() || profile).then(obs::TraceSession::start);
     let mut bridge = TraceBridge::new();
+    let mut agg = EventAggregate::new();
+    let mut tee = TeeSink {
+        first: &mut agg,
+        second: &mut bridge,
+    };
     let summary = Experiment::new(runs, seed)
-        .run_observed(&setup, &job, strategy.as_ref(), &mut bridge)
+        .run_observed(&setup, &job, strategy.as_ref(), &mut tee)
         .map_err(|e| err(e.to_string()))?;
     let mut out = String::new();
     if let Some(session) = session {
@@ -332,6 +353,13 @@ fn cmd_simulate(opts: &Options) -> Result<String> {
         "  evictions/run   : {:.2} | mean finish {:.0}s (deadline {:.0}s)",
         summary.mean_evictions, summary.mean_finish, job.deadline
     );
+    if faulted {
+        let _ = writeln!(
+            out,
+            "  fault injection : {} degradations ({} fallbacks), {} I/O retries absorbed",
+            agg.degraded, agg.fallbacks, agg.retries
+        );
+    }
     Ok(out)
 }
 
@@ -365,6 +393,7 @@ fn cmd_explain(opts: &Options) -> Result<String> {
         t_boot: job.t_boot,
         candidates: &candidates,
         current: None,
+        save_retry_factor: 0.0,
     };
     let report = explain(&ctx, &EcParams::default()).map_err(|e| err(e.to_string()))?;
     Ok(report.to_string())
@@ -598,6 +627,21 @@ mod tests {
         assert!(out.contains("missed deadlines: 0.0%"));
         assert!(dispatch(&args("simulate --job nope")).is_err());
         assert!(dispatch(&args("simulate --job gc --strategy nope")).is_err());
+    }
+
+    #[test]
+    fn simulate_with_fault_plan_reports_degradations() {
+        let out = dispatch(&args(
+            "simulate --job pagerank --slack 60 --runs 4 --strategy hourglass \
+             --seed 5 --fault-plan io-flaky",
+        ))
+        .expect("faulted simulate");
+        assert!(
+            out.contains("fault injection"),
+            "missing fault line:\n{out}"
+        );
+        assert!(out.contains("missed deadlines: 0.0%"));
+        assert!(dispatch(&args("simulate --job gc --runs 1 --fault-plan nope")).is_err());
     }
 
     #[test]

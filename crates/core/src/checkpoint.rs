@@ -42,6 +42,19 @@ pub fn checkpoint_overhead(interval: f64, t_save: f64) -> f64 {
     t_save / (interval + t_save)
 }
 
+/// Expected save time against a checkpoint store whose puts fail
+/// (transiently, retried) with probability `p_fail`: the geometric retry
+/// tail stretches one logical save to `t_save / (1 − p)` — equivalently
+/// `t_save · (1 + p/(1−p))`, the `save_retry_factor` inflation strategies
+/// apply. Saturates at `p_fail = 1` (the store never accepts a put).
+pub fn expected_save_time(t_save: f64, p_fail: f64) -> f64 {
+    let p = p_fail.clamp(0.0, 1.0);
+    if p >= 1.0 {
+        return f64::MAX / 4.0;
+    }
+    t_save.max(0.0) / (1.0 - p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +94,18 @@ mod tests {
     #[test]
     fn waste_accounting() {
         assert!((expected_waste_per_failure(2000.0, 300.0) - 1300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_tail_inflates_save_time() {
+        // Reliable store: no inflation.
+        assert_eq!(expected_save_time(120.0, 0.0), 120.0);
+        // 10% flaky: 120 / 0.9 ≈ 133.3 s, i.e. t_save · (1 + p/(1−p)).
+        let p = 0.1;
+        let expect = 120.0 * (1.0 + p / (1.0 - p));
+        assert!((expected_save_time(120.0, p) - expect).abs() < 1e-9);
+        // A dead store never finishes a save.
+        assert!(expected_save_time(120.0, 1.0) > 1e300);
+        assert!(expected_save_time(120.0, 7.0) > 1e300, "clamped");
     }
 }

@@ -753,6 +753,7 @@ mod tests {
             t_boot: 0.0,
             candidates: &empty,
             current: None,
+            save_retry_factor: 0.0,
         };
         assert!(expected_cost_approx(&ctx2, &EcParams::default()).is_err());
     }

@@ -98,6 +98,12 @@ pub struct DecisionContext<'a> {
     /// The currently held deployment (None right after an eviction or at
     /// job start).
     pub current: Option<CurrentDeployment>,
+    /// Expected extra save time per checkpoint from checkpoint-store
+    /// retries, as a fraction of `t_save` (`p/(1−p)` for a store that
+    /// fails each put with probability `p`; 0 on reliable storage — see
+    /// `hourglass_faults::FaultPlan::retry_factor`). Greedy cost metrics
+    /// inflate `t_save` by `1 + save_retry_factor`.
+    pub save_retry_factor: f64,
 }
 
 impl<'a> DecisionContext<'a> {
@@ -188,6 +194,7 @@ impl<'a> DecisionContext<'a> {
             t_boot: self.t_boot,
             candidates: self.candidates,
             current,
+            save_retry_factor: self.save_retry_factor,
         }
     }
 }
@@ -262,6 +269,7 @@ pub(crate) mod testkit {
             t_boot: 120.0,
             candidates,
             current: None,
+            save_retry_factor: 0.0,
         }
     }
 }

@@ -154,7 +154,10 @@ fn cost_per_work(ctx: &DecisionContext<'_>, i: usize) -> f64 {
     if useful <= 0.0 {
         return f64::INFINITY;
     }
-    let wall = setup + useful + c.t_save;
+    // Flaky checkpoint stores stretch the save phase by the expected
+    // retry tail (p/(1−p) extra puts at failure probability p).
+    let save = c.t_save * (1.0 + ctx.save_retry_factor.max(0.0));
+    let wall = setup + useful + save;
     let u0 = if ctx.is_continuation(i) {
         ctx.current.map(|cur| cur.uptime).unwrap_or(0.0)
     } else {

@@ -13,9 +13,12 @@
 //! metric §8.3.3 estimates exactly this traffic).
 //!
 //! Loading reads a [`loaders::Datastore`] — the text edge-list baseline or
-//! the sharded binary (`HGS1`) layout whose micro-partition buckets decode
-//! zero-copy — and [`loaders::reload_graph`] turns the loaded per-worker
-//! slabs back into the in-memory graph a deployment executes on.
+//! the sharded binary (`HGS2`, checksummed; legacy `HGS1` still loads)
+//! layout whose micro-partition buckets decode zero-copy — and
+//! [`loaders::reload_graph`] turns the loaded per-worker slabs back into
+//! the in-memory graph a deployment executes on. Checkpoint recovery and
+//! degraded reloads under injected faults live in [`recovery`] and
+//! [`loaders::reload_graph_resilient`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +31,13 @@ pub mod exec;
 pub mod loaders;
 pub mod metrics;
 pub mod program;
+pub mod recovery;
 
+/// The deterministic fault-injection layer the stores and loaders accept
+/// plans from (re-exported so downstream crates need no extra dependency).
+pub use hourglass_faults as faults;
+
+pub use checkpoint::{get_framed, put_framed, CheckpointStore, DirStore, FaultyStore, MemoryStore};
 pub use engine::{BspEngine, EngineConfig, ExecutionReport};
 pub use loaders::{Datastore, StoreFormat};
 pub use program::{ComputeContext, VertexProgram};
@@ -44,6 +53,13 @@ pub enum EngineError {
     Checkpoint(String),
     /// A partitioning error bubbled up.
     Partition(hourglass_partition::PartitionError),
+    /// A datastore shard stayed unreadable after every retry.
+    ShardRead {
+        /// The bucket whose read kept failing.
+        bucket: u32,
+        /// Attempts spent before giving up.
+        attempts: u32,
+    },
     /// The program exceeded the superstep limit without halting.
     DidNotConverge {
         /// The limit that was hit.
@@ -57,6 +73,12 @@ impl fmt::Display for EngineError {
             EngineError::InvalidConfig(m) => write!(f, "invalid engine config: {m}"),
             EngineError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             EngineError::Partition(e) => write!(f, "partition error: {e}"),
+            EngineError::ShardRead { bucket, attempts } => {
+                write!(
+                    f,
+                    "shard bucket {bucket} unreadable after {attempts} attempts"
+                )
+            }
             EngineError::DidNotConverge { max_supersteps } => {
                 write!(f, "program did not halt within {max_supersteps} supersteps")
             }

@@ -31,6 +31,7 @@
 
 use crate::exec::par_map;
 use crate::{EngineError, Result};
+use hourglass_faults::{FaultInjector, FaultKind, FaultPlan, Op, RetryPolicy, Site};
 use hourglass_graph::io_binary::{decode_arcs, ShardedArcs, ARC_BYTES};
 use hourglass_graph::{Graph, VertexId};
 use hourglass_obs as obs;
@@ -288,7 +289,8 @@ impl EdgeListStore {
 pub enum Datastore {
     /// Text edge-list buckets.
     Text(EdgeListStore),
-    /// Sharded binary arc buckets (`HGS1`), decoded zero-copy.
+    /// Sharded binary arc buckets (`HGS2` on disk, `HGS1` legacy reads),
+    /// decoded zero-copy.
     Binary(ShardedArcs),
 }
 
@@ -717,6 +719,11 @@ pub struct LoadStats {
     /// routed to the wrong worker. Zero on a well-formed store; the figure
     /// binaries assert this.
     pub lines_skipped: u64,
+    /// Transient shard-read faults retried away (fault-aware loads only).
+    pub retries: u64,
+    /// Accounted retry/delay backoff in nanoseconds. Never slept here —
+    /// the simulation bills it to its own clock.
+    pub backoff_ns: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -754,6 +761,7 @@ pub fn stream_load(
         bytes_parsed: store.byte_size() as u64,
         arcs_exchanged: exchanged,
         lines_skipped: skipped + dropped,
+        ..LoadStats::default()
     };
     (workers, stats)
 }
@@ -791,6 +799,7 @@ pub fn hash_load(store: &Datastore, partitioning: &Partitioning) -> (Vec<LoadedW
         bytes_parsed: store.byte_size() as u64,
         arcs_exchanged: exchanged,
         lines_skipped: skipped + dropped,
+        ..LoadStats::default()
     };
     (workers, stats)
 }
@@ -805,6 +814,56 @@ pub fn micro_load(
     micro: &Partitioning,
     micro_to_worker: &[u32],
     num_workers: u32,
+) -> Result<(Vec<LoadedWorker>, LoadStats)> {
+    micro_load_faulty(store, micro, micro_to_worker, num_workers, None)
+}
+
+/// Fault-injection context for the resilient (re)load path: the shared
+/// [`FaultInjector`] consulted at [`Site::ShardRead`] plus the retry
+/// bound/backoff applied to faulted bucket reads.
+pub struct ReloadFaults {
+    /// Shared injector — per-site call counters live here, so one
+    /// `ReloadFaults` must span one logical reload.
+    pub injector: std::sync::Arc<FaultInjector>,
+    /// Bounded retries with deterministic backoff.
+    pub retry: RetryPolicy,
+}
+
+impl ReloadFaults {
+    /// Faults drawn from `plan` with its retry policy.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        ReloadFaults {
+            injector: std::sync::Arc::new(plan.injector()),
+            retry: RetryPolicy::from_plan(plan),
+        }
+    }
+
+    /// Per-run variant for sweeps: same plan, run-decorrelated stream.
+    pub fn for_run(plan: &FaultPlan, run: u32) -> Self {
+        ReloadFaults {
+            injector: std::sync::Arc::new(plan.injector_for_run(run)),
+            retry: RetryPolicy::from_plan(plan),
+        }
+    }
+}
+
+/// [`micro_load`] with an optional fault plan applied to the shard reads.
+///
+/// Fault decisions are drawn in a **sequential pre-pass** over buckets in
+/// global bucket order, before the parallel read phase — parallel worker
+/// scheduling therefore never perturbs which bucket a rule hits, keeping
+/// the outcome a pure function of the plan. Every injected fault at this
+/// seam surfaces as a *detected* read failure (`HGS2` bucket checksums
+/// turn bit flips and torn reads into verification errors), so the
+/// uniform response is retry-with-backoff; a bucket still unreadable
+/// after [`RetryPolicy::attempts`] tries yields a typed
+/// [`EngineError::ShardRead`] — never a silently short graph.
+pub fn micro_load_faulty(
+    store: &Datastore,
+    micro: &Partitioning,
+    micro_to_worker: &[u32],
+    num_workers: u32,
+    faults: Option<&ReloadFaults>,
 ) -> Result<(Vec<LoadedWorker>, LoadStats)> {
     let _span = obs::span("micro_load", "loader")
         .arg("bytes", store.byte_size() as u64)
@@ -837,6 +896,37 @@ pub fn micro_load(
             )));
         }
     }
+    // Deterministic fault pre-pass: one consult loop per bucket, in
+    // global bucket order, independent of worker scheduling.
+    let mut fault_retries = 0u64;
+    let mut fault_backoff_ns = 0u64;
+    if let Some(f) = faults {
+        for b in 0..buckets {
+            let len = store.bucket_byte_len(b) as u64;
+            let mut attempt: u32 = 0;
+            loop {
+                match f.injector.next(Site::ShardRead, Op::len(len)) {
+                    None => break,
+                    Some(FaultKind::Delay { ns }) => {
+                        fault_backoff_ns += ns;
+                        break;
+                    }
+                    Some(_) => {
+                        attempt += 1;
+                        if attempt >= f.retry.attempts {
+                            return Err(EngineError::ShardRead {
+                                bucket: b,
+                                attempts: attempt,
+                            });
+                        }
+                        fault_retries += 1;
+                        fault_backoff_ns += f.retry.backoff_ns(attempt - 1);
+                    }
+                }
+            }
+        }
+    }
+
     let n = micro.num_vertices() as u32;
     // Ownership = micro assignment composed with the micro→worker map.
     let owner: Vec<u32> = micro
@@ -898,8 +988,51 @@ pub fn micro_load(
         bytes_parsed: bytes,
         arcs_exchanged: 0,
         lines_skipped: skipped,
+        retries: fault_retries,
+        backoff_ns: fault_backoff_ns,
     };
     Ok((workers, stats))
+}
+
+/// Reloads the deployment graph from the binary fast-reload store,
+/// degrading to text-store re-assembly when shards stay unreadable.
+///
+/// The happy path is [`micro_load_faulty`] over `binary` followed by
+/// [`reload_graph`]. When a shard read exhausts its retries, the loader
+/// emits a `degraded_reload` instant and falls back to the authoritative
+/// text store (`text_fallback`), re-assembling the same per-worker slabs
+/// the slow way; the returned flag reports whether the reload degraded.
+/// With no fallback store available the typed error propagates.
+pub fn reload_graph_resilient(
+    binary: &Datastore,
+    text_fallback: Option<&Datastore>,
+    micro: &Partitioning,
+    micro_to_worker: &[u32],
+    num_workers: u32,
+    directed: bool,
+    faults: Option<&ReloadFaults>,
+) -> Result<(Graph, LoadStats, bool)> {
+    match micro_load_faulty(binary, micro, micro_to_worker, num_workers, faults) {
+        Ok((workers, stats)) => {
+            let g = reload_graph(&workers, micro.num_vertices(), directed)?;
+            Ok((g, stats, false))
+        }
+        Err(EngineError::ShardRead { bucket, attempts }) => {
+            let text = match text_fallback {
+                Some(t) => t,
+                None => return Err(EngineError::ShardRead { bucket, attempts }),
+            };
+            let mut args = obs::Args::new();
+            args.push("bucket", bucket as u64);
+            args.push("attempts", attempts as u64);
+            obs::instant("degraded_reload", "loader", args);
+            let (workers, mut stats) = micro_load(text, micro, micro_to_worker, num_workers)?;
+            stats.retries += (attempts - 1) as u64;
+            let g = reload_graph(&workers, micro.num_vertices(), directed)?;
+            Ok((g, stats, true))
+        }
+        Err(e) => Err(e),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1154,5 +1287,144 @@ mod tests {
         let m = LoaderCostModel::aws_2016();
         assert!(m.time(LoaderKind::Micro, 1e9, 0).is_err());
         assert!(m.time(LoaderKind::Micro, f64::NAN, 2).is_err());
+    }
+
+    // --- fault-aware reload path ---
+
+    use hourglass_faults::{IoKind, Trigger};
+
+    fn micro_fixture(
+        g: &Graph,
+    ) -> (
+        hourglass_partition::micro::MicroPartitioning,
+        Vec<u32>,
+        Datastore,
+        Datastore,
+    ) {
+        let mp = MicroPartitioner::new(Multilevel::new(), 16)
+            .run(g)
+            .expect("micro");
+        let c = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let bin = Datastore::binary_micro(g, mp.micro()).expect("store");
+        let text = Datastore::text_micro(g, mp.micro()).expect("store");
+        let map = c.micro_to_macro().to_vec();
+        (mp, map, bin, text)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_fault_free_load() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let (plain, ps) = micro_load(&bin, mp.micro(), &map, 4).expect("load");
+        let faults = ReloadFaults::from_plan(&FaultPlan::new(42));
+        let (faulted, fs) =
+            micro_load_faulty(&bin, mp.micro(), &map, 4, Some(&faults)).expect("load");
+        assert_eq!(loaded_adjacency(&plain), loaded_adjacency(&faulted));
+        assert_eq!(ps, fs);
+        assert_eq!(fs.retries, 0);
+    }
+
+    #[test]
+    fn transient_shard_faults_are_retried_to_the_same_graph() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let expect = {
+            let (w, _) = micro_load(&bin, mp.micro(), &map, 4).expect("load");
+            loaded_adjacency(&w)
+        };
+        // Two one-shot transient failures on distinct shard reads.
+        let plan = FaultPlan::new(7)
+            .rule_budgeted(
+                Site::ShardRead,
+                Trigger::OnCall(0),
+                FaultKind::Io(IoKind::TimedOut),
+                1,
+            )
+            .rule_budgeted(
+                Site::ShardRead,
+                Trigger::OnCall(5),
+                FaultKind::Io(IoKind::ConnectionReset),
+                1,
+            );
+        let faults = ReloadFaults::from_plan(&plan);
+        let (w, stats) = micro_load_faulty(&bin, mp.micro(), &map, 4, Some(&faults)).expect("load");
+        assert_eq!(
+            loaded_adjacency(&w),
+            expect,
+            "retried load must be identical"
+        );
+        assert_eq!(stats.retries, 2);
+        assert!(stats.backoff_ns > 0, "retries must account backoff");
+    }
+
+    #[test]
+    fn exhausted_shard_retries_are_a_typed_error_never_a_short_graph() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let plan = FaultPlan::new(3).rule(
+            Site::ShardRead,
+            Trigger::Ratio { per_mille: 1000 },
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let faults = ReloadFaults::from_plan(&plan);
+        let err = micro_load_faulty(&bin, mp.micro(), &map, 4, Some(&faults))
+            .expect_err("permanent faults must not load");
+        assert!(matches!(err, EngineError::ShardRead { .. }), "{err}");
+    }
+
+    #[test]
+    fn faulted_loads_are_deterministic_across_repeats() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let plan = FaultPlan::io_flaky(99);
+        let run = |p: &FaultPlan| {
+            let f = ReloadFaults::from_plan(p);
+            micro_load_faulty(&bin, mp.micro(), &map, 4, Some(&f))
+                .map(|(w, s)| (loaded_adjacency(&w), s))
+        };
+        match (run(&plan), run(&plan)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (
+                Err(EngineError::ShardRead { bucket: a, .. }),
+                Err(EngineError::ShardRead { bucket: b, .. }),
+            ) => assert_eq!(a, b),
+            (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_reload_degrades_to_text_store() {
+        let (g, _) = fixture();
+        let (mp, map, bin, text) = micro_fixture(&g);
+        let plan = FaultPlan::new(3).rule(
+            Site::ShardRead,
+            Trigger::Ratio { per_mille: 1000 },
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let faults = ReloadFaults::from_plan(&plan);
+        let (got, stats, degraded) =
+            reload_graph_resilient(&bin, Some(&text), mp.micro(), &map, 4, false, Some(&faults))
+                .expect("fallback reload");
+        assert!(degraded, "must report the degradation");
+        assert!(stats.retries > 0);
+        assert_eq!(got, g, "text re-assembly must rebuild the same graph");
+
+        // Without a fallback store the typed error propagates.
+        let faults = ReloadFaults::from_plan(&plan);
+        let err = reload_graph_resilient(&bin, None, mp.micro(), &map, 4, false, Some(&faults))
+            .expect_err("no fallback");
+        assert!(matches!(err, EngineError::ShardRead { .. }));
+    }
+
+    #[test]
+    fn resilient_reload_clean_path_is_not_degraded() {
+        let (g, _) = fixture();
+        let (mp, map, bin, text) = micro_fixture(&g);
+        let (got, stats, degraded) =
+            reload_graph_resilient(&bin, Some(&text), mp.micro(), &map, 4, false, None)
+                .expect("reload");
+        assert!(!degraded);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(got, g);
     }
 }

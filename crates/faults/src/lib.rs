@@ -1,0 +1,977 @@
+//! Seeded, deterministic fault injection for the Hourglass I/O seams.
+//!
+//! Transient-VM failures interrupt in-flight I/O: a preemption mid-save
+//! leaves a torn checkpoint, a flaky object store times out a get, a bad
+//! link flips a bit in a shard read. This crate describes such failures as
+//! a [`FaultPlan`] — per-site schedules of [`FaultKind`]s driven by
+//! call-count or byte-offset predicates — and replays them *exactly*: the
+//! same plan and seed produce the same fault sequence on every run, so a
+//! failing Monte-Carlo sweep can be replayed fault-for-fault from its
+//! seed.
+//!
+//! The plan is injected through thin wrappers at the consuming seams
+//! (`FaultyStore` around a checkpoint store, [`FaultyRead`] around a shard
+//! reader, a [`FaultHook`] inside the simulator's event loop); this crate
+//! only decides *when* a fault fires and *what kind* it is. Determinism
+//! holds per [`FaultInjector`]: each simulated run derives its own
+//! injector from `(plan seed, run index)`, so parallel sweeps see exactly
+//! the fault sequences sequential sweeps do.
+//!
+//! The defense half of the story — checksummed frames, atomic renames,
+//! bounded retries — lives with the wrapped subsystems; [`RetryPolicy`]
+//! here provides the bounded-attempt exponential backoff (with
+//! deterministic jitter drawn from the plan's seed) they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::io::Read;
+use std::sync::Mutex;
+
+/// SplitMix64: the deterministic hash every pseudo-random decision in this
+/// crate derives from.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// An injection site: one of the I/O seams a [`FaultRule`] can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    /// `CheckpointStore::put` (and the simulator's modeled checkpoint
+    /// writes).
+    StorePut,
+    /// `CheckpointStore::get` (and the simulator's modeled fast reloads).
+    StoreGet,
+    /// `CheckpointStore::delete`.
+    StoreDelete,
+    /// Binary shard reads (`io_binary` deserialization, datastore bucket
+    /// access, the simulator's modeled first loads).
+    ShardRead,
+    /// `DirStore`'s chunked temp-file write (crash injection point for the
+    /// atomic-rename path).
+    DirWrite,
+}
+
+/// Number of distinct [`Site`]s (sizes the per-site call counters).
+const SITE_COUNT: usize = 5;
+
+fn site_index(site: Site) -> usize {
+    match site {
+        Site::StorePut => 0,
+        Site::StoreGet => 1,
+        Site::StoreDelete => 2,
+        Site::ShardRead => 3,
+        Site::DirWrite => 4,
+    }
+}
+
+/// Transportable subset of [`std::io::ErrorKind`] (the std enum is
+/// non-exhaustive and not serializable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoKind {
+    /// The entity was not found.
+    NotFound,
+    /// The operation timed out.
+    TimedOut,
+    /// The connection was reset by the peer.
+    ConnectionReset,
+    /// The operation was interrupted.
+    Interrupted,
+    /// Permission was denied.
+    PermissionDenied,
+    /// Any other error.
+    Other,
+}
+
+impl IoKind {
+    /// The matching [`std::io::ErrorKind`].
+    pub fn to_error_kind(self) -> std::io::ErrorKind {
+        match self {
+            IoKind::NotFound => std::io::ErrorKind::NotFound,
+            IoKind::TimedOut => std::io::ErrorKind::TimedOut,
+            IoKind::ConnectionReset => std::io::ErrorKind::ConnectionReset,
+            IoKind::Interrupted => std::io::ErrorKind::Interrupted,
+            IoKind::PermissionDenied => std::io::ErrorKind::PermissionDenied,
+            IoKind::Other => std::io::ErrorKind::Other,
+        }
+    }
+
+    /// An [`std::io::Error`] labeled as injected.
+    pub fn to_error(self) -> std::io::Error {
+        std::io::Error::new(self.to_error_kind(), format!("injected fault: {self:?}"))
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The operation fails cleanly with an I/O error (transient by
+    /// convention: a retry consults the injector again).
+    Io(IoKind),
+    /// A write stops after `fraction` of its bytes (crash/preemption
+    /// mid-write); a read returns a truncated stream.
+    TornWrite {
+        /// Fraction of the operation's bytes that land, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// One bit of the operation's payload is silently inverted. `offset`
+    /// is a *bit* offset, applied modulo the payload's bit length so the
+    /// flip always lands.
+    BitFlip {
+        /// Bit offset into the operation's payload.
+        offset: u64,
+    },
+    /// The operation succeeds after an extra delay (accounted, not slept).
+    Delay {
+        /// Injected delay in nanoseconds.
+        ns: u64,
+    },
+}
+
+/// When a rule fires, as a predicate over the site's deterministic call
+/// counter and the operation's byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Fires on the `n`-th call at the site (0-based).
+    OnCall(u64),
+    /// Fires on every call with `call % every == phase % every`.
+    EveryNth {
+        /// Period in calls (must be ≥ 1 to ever fire).
+        every: u64,
+        /// Offset within the period.
+        phase: u64,
+    },
+    /// Fires pseudo-randomly on `per_mille`/1000 of calls, deterministic
+    /// in `(plan seed, site, call index)`.
+    Ratio {
+        /// Firing rate in thousandths.
+        per_mille: u32,
+    },
+    /// Fires when the operation's byte range covers absolute offset `b`
+    /// (stream-oriented sites report their running offset; blob-oriented
+    /// sites report `[0, len)`).
+    AtByte(u64),
+}
+
+/// One scheduled fault: a site, a predicate, a kind and an optional budget
+/// limiting how many times it may fire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRule {
+    /// The seam this rule applies to.
+    pub site: Site,
+    /// When it fires.
+    pub trigger: Trigger,
+    /// What happens.
+    pub kind: FaultKind,
+    /// Maximum number of firings (`None` = unlimited).
+    pub budget: Option<u32>,
+}
+
+/// A seeded, deterministic schedule of faults.
+///
+/// Plans are plain serializable data: a failing run's plan + seed is all
+/// that is needed to replay its exact fault sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed; [`Trigger::Ratio`] decisions and retry jitter derive
+    /// from it.
+    pub seed: u64,
+    /// The schedule, consulted in order (first matching rule wins).
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds an unlimited rule.
+    pub fn rule(mut self, site: Site, trigger: Trigger, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            trigger,
+            kind,
+            budget: None,
+        });
+        self
+    }
+
+    /// Adds a rule that fires at most `budget` times.
+    pub fn rule_budgeted(
+        mut self,
+        site: Site,
+        trigger: Trigger,
+        kind: FaultKind,
+        budget: u32,
+    ) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            trigger,
+            kind,
+            budget: Some(budget),
+        });
+        self
+    }
+
+    /// Canned plan: ≤10% transient I/O failures on store puts/gets and
+    /// shard reads (the "io-flaky" CI matrix entry).
+    pub fn io_flaky(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .rule(
+                Site::StorePut,
+                Trigger::Ratio { per_mille: 100 },
+                FaultKind::Io(IoKind::TimedOut),
+            )
+            .rule(
+                Site::StoreGet,
+                Trigger::Ratio { per_mille: 100 },
+                FaultKind::Io(IoKind::ConnectionReset),
+            )
+            .rule(
+                Site::ShardRead,
+                Trigger::Ratio { per_mille: 100 },
+                FaultKind::Io(IoKind::TimedOut),
+            )
+    }
+
+    /// Canned plan: periodic torn writes on checkpoint puts plus a crash
+    /// in the directory store's temp-file write (the "torn-writes" CI
+    /// matrix entry).
+    pub fn torn_writes(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .rule(
+                Site::StorePut,
+                Trigger::EveryNth { every: 7, phase: 3 },
+                FaultKind::TornWrite { fraction: 0.5 },
+            )
+            .rule_budgeted(
+                Site::DirWrite,
+                Trigger::OnCall(2),
+                FaultKind::Io(IoKind::Other),
+                1,
+            )
+    }
+
+    /// Canned plan: periodic single-bit corruption on store gets and shard
+    /// reads (the "bitflip" CI matrix entry). Phase 0 so the period is
+    /// anchored at the first call — sites the simulator consults only
+    /// once per attempt (a run's first load, each reload's shard read)
+    /// still see the corruption.
+    pub fn bitflip(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .rule(
+                Site::StoreGet,
+                Trigger::EveryNth { every: 5, phase: 0 },
+                FaultKind::BitFlip { offset: 137 },
+            )
+            .rule(
+                Site::ShardRead,
+                Trigger::EveryNth { every: 3, phase: 0 },
+                FaultKind::BitFlip { offset: 65 },
+            )
+    }
+
+    /// Resolves one of the canned plan names (`io-flaky`, `torn-writes`,
+    /// `bitflip`).
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "io-flaky" => Some(Self::io_flaky(seed)),
+            "torn-writes" => Some(Self::torn_writes(seed)),
+            "bitflip" => Some(Self::bitflip(seed)),
+            _ => None,
+        }
+    }
+
+    /// A fresh injector over this plan (call counters at zero).
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.clone(), self.seed)
+    }
+
+    /// A fresh injector whose [`Trigger::Ratio`] stream is re-keyed by the
+    /// run index, so Monte-Carlo runs see independent — but individually
+    /// reproducible — fault sequences.
+    pub fn injector_for_run(&self, run: u32) -> FaultInjector {
+        FaultInjector::new(
+            self.clone(),
+            self.seed ^ splitmix64(0xF417_0000 | run as u64),
+        )
+    }
+
+    /// Steady-state probability that a single call at `site` fails with a
+    /// transient fault (the max [`Trigger::Ratio`] rate of matching
+    /// `Io`/`BitFlip` rules; scheduled one-shot rules contribute nothing).
+    pub fn steady_io_rate(&self, site: Site) -> f64 {
+        self.rules
+            .iter()
+            .filter(|r| r.site == site)
+            .filter(|r| matches!(r.kind, FaultKind::Io(_) | FaultKind::BitFlip { .. }))
+            .filter_map(|r| match r.trigger {
+                Trigger::Ratio { per_mille } => Some(per_mille.min(1000) as f64 / 1000.0),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Expected *extra* attempts per operation at `site` under geometric
+    /// retrying (`p / (1 - p)`), exposing the checkpoint-loss overhead to
+    /// cost models.
+    pub fn retry_factor(&self, site: Site) -> f64 {
+        let p = self.steady_io_rate(site).min(0.999);
+        p / (1.0 - p)
+    }
+}
+
+/// Per-run mutable state over a [`FaultPlan`]: deterministic call counters
+/// per site and per-rule firing budgets.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    state: Mutex<InjectorState>,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    calls: [u64; SITE_COUNT],
+    fired: Vec<u32>,
+}
+
+/// The byte range an operation covers, for [`Trigger::AtByte`] predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Absolute starting byte offset of the operation.
+    pub offset: u64,
+    /// Bytes the operation covers.
+    pub len: u64,
+}
+
+impl Op {
+    /// An operation with no byte range (pure control call).
+    pub fn none() -> Self {
+        Op { offset: 0, len: 0 }
+    }
+
+    /// A blob-wide operation over `len` bytes starting at offset 0.
+    pub fn len(len: u64) -> Self {
+        Op { offset: 0, len }
+    }
+
+    /// A ranged operation (stream reads report their running offset).
+    pub fn at(offset: u64, len: u64) -> Self {
+        Op { offset, len }
+    }
+}
+
+impl FaultInjector {
+    fn new(plan: FaultPlan, seed: u64) -> Self {
+        let fired = vec![0; plan.rules.len()];
+        FaultInjector {
+            plan,
+            seed,
+            state: Mutex::new(InjectorState {
+                calls: [0; SITE_COUNT],
+                fired,
+            }),
+        }
+    }
+
+    /// The injector's effective seed (plan seed, possibly re-keyed per
+    /// run).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Consults the schedule for one operation at `site`, advancing the
+    /// site's call counter. Returns the first matching rule's fault, if
+    /// any; rules with exhausted budgets are skipped.
+    pub fn next(&self, site: Site, op: Op) -> Option<FaultKind> {
+        let mut st = self.state.lock().expect("injector poisoned");
+        let idx = site_index(site);
+        let call = st.calls[idx];
+        st.calls[idx] += 1;
+        for (ri, rule) in self.plan.rules.iter().enumerate() {
+            if rule.site != site {
+                continue;
+            }
+            if let Some(budget) = rule.budget {
+                if st.fired[ri] >= budget {
+                    continue;
+                }
+            }
+            let matches = match rule.trigger {
+                Trigger::OnCall(n) => call == n,
+                Trigger::EveryNth { every, phase } => every > 0 && call % every == phase % every,
+                Trigger::Ratio { per_mille } => {
+                    let roll = splitmix64(
+                        self.seed ^ splitmix64((idx as u64) << 32 | 0x517E) ^ splitmix64(call),
+                    ) % 1000;
+                    roll < per_mille.min(1000) as u64
+                }
+                Trigger::AtByte(b) => op.len > 0 && b >= op.offset && b < op.offset + op.len,
+            };
+            if matches {
+                st.fired[ri] += 1;
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// Calls observed so far at `site` (for tests and reports).
+    pub fn calls(&self, site: Site) -> u64 {
+        self.state.lock().expect("injector poisoned").calls[site_index(site)]
+    }
+
+    /// Total rule firings so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("injector poisoned")
+            .fired
+            .iter()
+            .map(|&n| n as u64)
+            .sum()
+    }
+}
+
+/// Inverts bit `bit` (modulo the slice's bit length) in place. No-op on an
+/// empty slice.
+pub fn flip_bit(data: &mut [u8], bit: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let bit = bit % (data.len() as u64 * 8);
+    data[(bit / 8) as usize] ^= 1 << (bit % 8);
+}
+
+/// Bounded-attempt retrying with exponential backoff and deterministic
+/// jitter.
+///
+/// Backoff is *accounted*, never slept: callers (simulators, tests,
+/// benches) receive the would-be delay in [`RetryStats::backoff_ns`] and
+/// charge it to their own clock, keeping retried runs deterministic and
+/// fast.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts per operation (≥ 1; the first attempt counts).
+    pub attempts: u32,
+    /// Base backoff before the second attempt, nanoseconds.
+    pub base_delay_ns: u64,
+    /// Backoff ceiling, nanoseconds.
+    pub max_delay_ns: u64,
+    /// Jitter seed (conventionally derived from the plan's seed).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay_ns: 50_000_000,   // 50 ms
+            max_delay_ns: 5_000_000_000, // 5 s
+            seed: 0,
+        }
+    }
+}
+
+/// What a retried operation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total accounted backoff, nanoseconds.
+    pub backoff_ns: u64,
+}
+
+impl RetryPolicy {
+    /// A policy whose jitter derives from `plan`'s seed.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        RetryPolicy {
+            seed: plan.seed ^ 0x7E729,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based): exponential in
+    /// `attempt` with half-amplitude deterministic jitter, clamped to
+    /// [`RetryPolicy::max_delay_ns`].
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_delay_ns
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_delay_ns);
+        let jitter = splitmix64(self.seed ^ splitmix64(attempt as u64 + 1)) % (exp / 2 + 1);
+        (exp / 2 + jitter).min(self.max_delay_ns)
+    }
+
+    /// Runs `op` up to [`RetryPolicy::attempts`] times, accounting backoff
+    /// between attempts. Returns the first success, or the last error.
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut(u32) -> std::result::Result<T, E>,
+    ) -> (std::result::Result<T, E>, RetryStats) {
+        let mut stats = RetryStats::default();
+        let attempts = self.attempts.max(1);
+        loop {
+            stats.attempts += 1;
+            match op(stats.attempts - 1) {
+                Ok(v) => return (Ok(v), stats),
+                Err(e) => {
+                    if stats.attempts >= attempts {
+                        return (Err(e), stats);
+                    }
+                    stats.backoff_ns += self.backoff_ns(stats.attempts - 1);
+                }
+            }
+        }
+    }
+}
+
+/// The aggregated outcome of consulting the injector through a full
+/// retried operation (the simulator's view of one checkpoint save or
+/// reload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Consult {
+    /// Failed attempts before success or exhaustion.
+    pub retries: u32,
+    /// True when every attempt failed (the caller must degrade).
+    pub exhausted: bool,
+    /// A torn write fired: the operation was cut at this fraction
+    /// (models a preemption landing mid-write).
+    pub torn: Option<f64>,
+    /// Accounted delay (injected [`FaultKind::Delay`]s plus retry
+    /// backoff), nanoseconds.
+    pub delay_ns: u64,
+}
+
+impl Consult {
+    /// A clean consult: no faults fired.
+    pub fn clean() -> Self {
+        Consult {
+            retries: 0,
+            exhausted: false,
+            torn: None,
+            delay_ns: 0,
+        }
+    }
+}
+
+/// Per-run fault state for the simulator: an injector plus the retry
+/// policy its modeled I/O is wrapped in.
+#[derive(Debug)]
+pub struct FaultHook {
+    injector: FaultInjector,
+    policy: RetryPolicy,
+}
+
+impl FaultHook {
+    /// Builds the hook for Monte-Carlo run `run` of `plan`.
+    pub fn for_run(plan: &FaultPlan, run: u32) -> Self {
+        FaultHook {
+            injector: plan.injector_for_run(run),
+            policy: RetryPolicy::from_plan(plan),
+        }
+    }
+
+    /// The hook's retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Plays one retried operation at `site` against the schedule:
+    /// transient faults (`Io`, `BitFlip` — the latter is detected by frame
+    /// checksums and re-tried) consume attempts, `Delay`s and backoff
+    /// accumulate into `delay_ns`, and a `TornWrite` aborts the operation
+    /// mid-flight.
+    pub fn consult(&self, site: Site) -> Consult {
+        let mut c = Consult::clean();
+        loop {
+            match self.injector.next(site, Op::none()) {
+                None => return c,
+                Some(FaultKind::Delay { ns }) => {
+                    c.delay_ns += ns;
+                    return c;
+                }
+                Some(FaultKind::TornWrite { fraction }) => {
+                    c.torn = Some(fraction.clamp(0.0, 1.0));
+                    return c;
+                }
+                Some(FaultKind::Io(_)) | Some(FaultKind::BitFlip { .. }) => {
+                    c.delay_ns += self.policy.backoff_ns(c.retries);
+                    c.retries += 1;
+                    if c.retries >= self.policy.attempts.max(1) {
+                        c.exhausted = true;
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An [`std::io::Read`] adapter that injects the plan's faults into a
+/// byte stream (the fallible reader layer for shard deserialization).
+///
+/// `Io` faults fail the read, `BitFlip`s invert one bit of the bytes
+/// produced, `TornWrite`s truncate the stream (EOF from the cut onward),
+/// `Delay`s are counted but not slept.
+pub struct FaultyRead<'a, R: Read> {
+    inner: R,
+    injector: &'a FaultInjector,
+    site: Site,
+    offset: u64,
+    torn: bool,
+    delay_ns: u64,
+}
+
+impl<'a, R: Read> FaultyRead<'a, R> {
+    /// Wraps `inner`, consulting `injector` at `site` for every read.
+    pub fn new(inner: R, injector: &'a FaultInjector, site: Site) -> Self {
+        FaultyRead {
+            inner,
+            injector,
+            site,
+            offset: 0,
+            torn: false,
+            delay_ns: 0,
+        }
+    }
+
+    /// Accumulated injected delay, nanoseconds.
+    pub fn delay_ns(&self) -> u64 {
+        self.delay_ns
+    }
+}
+
+impl<R: Read> Read for FaultyRead<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.torn || buf.is_empty() {
+            return Ok(0);
+        }
+        let fault = self
+            .injector
+            .next(self.site, Op::at(self.offset, buf.len() as u64));
+        match fault {
+            Some(FaultKind::Io(k)) => Err(k.to_error()),
+            Some(FaultKind::TornWrite { fraction }) => {
+                let keep = ((buf.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+                let n = self.inner.read(&mut buf[..keep])?;
+                self.torn = true;
+                self.offset += n as u64;
+                Ok(n)
+            }
+            Some(FaultKind::BitFlip { offset: bit }) => {
+                let n = self.inner.read(buf)?;
+                flip_bit(&mut buf[..n], bit);
+                self.offset += n as u64;
+                Ok(n)
+            }
+            Some(FaultKind::Delay { ns }) => {
+                self.delay_ns += ns;
+                let n = self.inner.read(buf)?;
+                self.offset += n as u64;
+                Ok(n)
+            }
+            None => {
+                let n = self.inner.read(buf)?;
+                self.offset += n as u64;
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let inj = FaultPlan::new(1).injector();
+        for _ in 0..100 {
+            assert_eq!(inj.next(Site::StorePut, Op::none()), None);
+        }
+        assert_eq!(inj.calls(Site::StorePut), 100);
+        assert_eq!(inj.faults_fired(), 0);
+    }
+
+    #[test]
+    fn on_call_fires_exactly_once_per_counter_value() {
+        let plan = FaultPlan::new(7).rule(
+            Site::StoreGet,
+            Trigger::OnCall(2),
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let inj = plan.injector();
+        let hits: Vec<bool> = (0..5)
+            .map(|_| inj.next(Site::StoreGet, Op::none()).is_some())
+            .collect();
+        assert_eq!(hits, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn every_nth_respects_phase_and_budget() {
+        let plan = FaultPlan::new(3).rule_budgeted(
+            Site::StorePut,
+            Trigger::EveryNth { every: 3, phase: 1 },
+            FaultKind::TornWrite { fraction: 0.25 },
+            2,
+        );
+        let inj = plan.injector();
+        let hits: Vec<bool> = (0..9)
+            .map(|_| inj.next(Site::StorePut, Op::none()).is_some())
+            .collect();
+        // Calls 1 and 4 fire; call 7 is beyond the budget.
+        assert_eq!(
+            hits,
+            vec![false, true, false, false, true, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn ratio_is_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::new(42).rule(
+            Site::ShardRead,
+            Trigger::Ratio { per_mille: 100 },
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let a: Vec<bool> = {
+            let inj = plan.injector();
+            (0..2000)
+                .map(|_| inj.next(Site::ShardRead, Op::none()).is_some())
+                .collect()
+        };
+        let b: Vec<bool> = {
+            let inj = plan.injector();
+            (0..2000)
+                .map(|_| inj.next(Site::ShardRead, Op::none()).is_some())
+                .collect()
+        };
+        assert_eq!(a, b, "same plan must replay the same fault sequence");
+        let rate = a.iter().filter(|&&h| h).count() as f64 / a.len() as f64;
+        assert!((0.05..0.16).contains(&rate), "rate {rate} far from 10%");
+    }
+
+    #[test]
+    fn per_run_injectors_differ_but_replay() {
+        let plan = FaultPlan::io_flaky(9);
+        let seq = |run: u32| -> Vec<bool> {
+            let inj = plan.injector_for_run(run);
+            (0..200)
+                .map(|_| inj.next(Site::StorePut, Op::none()).is_some())
+                .collect()
+        };
+        assert_eq!(seq(4), seq(4));
+        assert_ne!(seq(4), seq(5), "runs should see independent sequences");
+    }
+
+    #[test]
+    fn at_byte_matches_covering_ranges_only() {
+        let plan = FaultPlan::new(0).rule(
+            Site::ShardRead,
+            Trigger::AtByte(100),
+            FaultKind::BitFlip { offset: 0 },
+        );
+        let inj = plan.injector();
+        assert_eq!(inj.next(Site::ShardRead, Op::at(0, 50)), None);
+        assert_eq!(inj.next(Site::ShardRead, Op::at(50, 50)), None);
+        assert!(inj.next(Site::ShardRead, Op::at(100, 1)).is_some());
+        assert!(inj.next(Site::ShardRead, Op::at(64, 64)).is_some());
+        assert_eq!(inj.next(Site::ShardRead, Op::none()), None);
+    }
+
+    #[test]
+    fn canned_plans_resolve_by_name() {
+        for name in ["io-flaky", "torn-writes", "bitflip"] {
+            let plan = FaultPlan::by_name(name, 5).expect("canned plan");
+            assert!(!plan.rules.is_empty());
+        }
+        assert!(FaultPlan::by_name("nope", 5).is_none());
+        assert!(FaultPlan::io_flaky(1).steady_io_rate(Site::StorePut) > 0.05);
+        assert_eq!(FaultPlan::new(1).steady_io_rate(Site::StorePut), 0.0);
+        assert!(FaultPlan::io_flaky(1).retry_factor(Site::StorePut) > 0.0);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            attempts: 5,
+            base_delay_ns: 1_000,
+            max_delay_ns: 10_000,
+            seed: 11,
+        };
+        for attempt in 0..10 {
+            let b = p.backoff_ns(attempt);
+            assert_eq!(b, p.backoff_ns(attempt), "jitter must be deterministic");
+            assert!(b <= p.max_delay_ns);
+        }
+        // Exponential growth until the cap dominates.
+        assert!(p.backoff_ns(3) >= p.backoff_ns(0) || p.backoff_ns(3) >= p.max_delay_ns / 2);
+    }
+
+    #[test]
+    fn retry_run_bounds_attempts_and_accounts_backoff() {
+        let p = RetryPolicy {
+            attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let (res, stats) = p.run(|_| -> std::result::Result<(), &str> {
+            calls += 1;
+            Err("nope")
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(stats.attempts, 3);
+        assert!(stats.backoff_ns > 0);
+
+        let (res, stats) = p.run(|attempt| -> std::result::Result<u32, &str> {
+            if attempt < 1 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(res, Ok(1));
+        assert_eq!(stats.attempts, 2);
+    }
+
+    #[test]
+    fn hook_consult_aggregates_retries() {
+        // Io faults on the first two calls: the retried operation recovers
+        // after two retries.
+        let plan = FaultPlan::new(0).rule_budgeted(
+            Site::StorePut,
+            Trigger::EveryNth { every: 1, phase: 0 },
+            FaultKind::Io(IoKind::TimedOut),
+            2,
+        );
+        let hook = FaultHook::for_run(&plan, 0);
+        let c = hook.consult(Site::StorePut);
+        assert_eq!(c.retries, 2);
+        assert!(!c.exhausted);
+        assert!(c.torn.is_none());
+        assert!(c.delay_ns > 0);
+        // Second consult sees a clean schedule.
+        assert_eq!(hook.consult(Site::StorePut), Consult::clean());
+    }
+
+    #[test]
+    fn hook_consult_exhausts_under_persistent_faults() {
+        let plan = FaultPlan::new(0).rule(
+            Site::StoreGet,
+            Trigger::EveryNth { every: 1, phase: 0 },
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let hook = FaultHook::for_run(&plan, 3);
+        let c = hook.consult(Site::StoreGet);
+        assert!(c.exhausted);
+        assert_eq!(c.retries, hook.policy().attempts);
+    }
+
+    #[test]
+    fn hook_consult_reports_torn_writes() {
+        let plan = FaultPlan::new(0).rule_budgeted(
+            Site::StorePut,
+            Trigger::OnCall(0),
+            FaultKind::TornWrite { fraction: 0.3 },
+            1,
+        );
+        let hook = FaultHook::for_run(&plan, 0);
+        let c = hook.consult(Site::StorePut);
+        assert_eq!(c.torn, Some(0.3));
+        assert_eq!(c.retries, 0);
+    }
+
+    #[test]
+    fn flip_bit_wraps_and_inverts() {
+        let mut data = vec![0u8; 4];
+        flip_bit(&mut data, 9);
+        assert_eq!(data, vec![0, 2, 0, 0]);
+        flip_bit(&mut data, 9 + 32);
+        assert_eq!(data, vec![0, 0, 0, 0]);
+        flip_bit(&mut [], 5); // no-op, no panic
+    }
+
+    #[test]
+    fn faulty_read_passes_through_without_rules() {
+        let inj = FaultPlan::new(0).injector();
+        let mut r = FaultyRead::new(&b"hello world"[..], &inj, Site::ShardRead);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).expect("read");
+        assert_eq!(out, b"hello world");
+    }
+
+    #[test]
+    fn faulty_read_injects_io_errors() {
+        let plan = FaultPlan::new(0).rule_budgeted(
+            Site::ShardRead,
+            Trigger::OnCall(0),
+            FaultKind::Io(IoKind::TimedOut),
+            1,
+        );
+        let inj = plan.injector();
+        let mut r = FaultyRead::new(&b"abc"[..], &inj, Site::ShardRead);
+        let mut buf = [0u8; 2];
+        let err = r.read(&mut buf).expect_err("injected");
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        // The next read is clean (budget exhausted).
+        assert_eq!(r.read(&mut buf).expect("clean read"), 2);
+    }
+
+    #[test]
+    fn faulty_read_flips_one_bit() {
+        let plan = FaultPlan::new(0).rule_budgeted(
+            Site::ShardRead,
+            Trigger::OnCall(0),
+            FaultKind::BitFlip { offset: 0 },
+            1,
+        );
+        let inj = plan.injector();
+        let mut r = FaultyRead::new(&[0u8, 0, 0][..], &inj, Site::ShardRead);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).expect("read");
+        assert_eq!(out, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn faulty_read_truncates_on_torn_write() {
+        let plan = FaultPlan::new(0).rule(
+            Site::ShardRead,
+            Trigger::AtByte(4),
+            FaultKind::TornWrite { fraction: 0.5 },
+        );
+        let inj = plan.injector();
+        let mut r = FaultyRead::new(&[7u8; 8][..], &inj, Site::ShardRead);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 2];
+        loop {
+            let n = r.read(&mut buf).expect("read");
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        // The read covering byte 4 is cut at fraction 0.5 of its 2-byte
+        // buffer; the stream ends there.
+        assert_eq!(out, vec![7u8; 5]);
+    }
+
+    #[test]
+    fn plans_are_plain_comparable_data() {
+        // Plans are replayed from serialized copies; equality must be
+        // structural so a deserialized plan drives the same schedule.
+        let plan = FaultPlan::torn_writes(99);
+        assert_eq!(plan, plan.clone());
+        assert_ne!(plan, FaultPlan::torn_writes(98));
+        assert_ne!(plan, FaultPlan::io_flaky(99));
+    }
+}

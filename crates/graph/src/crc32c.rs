@@ -1,0 +1,174 @@
+//! CRC32C (Castagnoli) checksums and the checkpoint payload frame.
+//!
+//! Torn writes and bit flips on transient storage must be *detected*, not
+//! silently decoded (see `DESIGN.md` §5, fault model). This module
+//! provides the software CRC32C used by both defenses:
+//!
+//! - the `HGS2` sharded-store trailer ([`crate::io_binary`]), and
+//! - the checkpoint payload frame ([`frame`]/[`unframe`]) wrapped around
+//!   every `CheckpointStore` value:
+//!
+//! ```text
+//! magic   "HGF1"                  (4 bytes)
+//! len     u64 LE, payload length
+//! payload len bytes
+//! crc     u32 LE, CRC32C of payload
+//! ```
+//!
+//! [`unframe`] verifies the magic, the exact total length and the
+//! checksum, so *any* single-bit flip over a framed blob — header, body
+//! or trailer — is rejected.
+
+use crate::{GraphError, Result};
+
+/// CRC32C polynomial (Castagnoli), reflected.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32C of `data` (initial value 0, i.e. a fresh stream).
+#[inline]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Extends a running CRC32C with more bytes (streamed checksumming).
+#[inline]
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Magic prefix of a framed checkpoint payload.
+pub const FRAME_MAGIC: &[u8; 4] = b"HGF1";
+
+/// Fixed framing overhead in bytes (magic + length prefix + checksum).
+pub const FRAME_OVERHEAD: usize = 4 + 8 + 4;
+
+/// Wraps `payload` in a checksummed, length-prefixed frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out
+}
+
+/// Verifies a frame written by [`frame`] and returns the payload slice.
+///
+/// Rejects (with a [`GraphError::Parse`]) a wrong magic, a total length
+/// that does not match the length prefix exactly, and any checksum
+/// mismatch — every single-bit corruption of the blob lands in one of the
+/// three.
+pub fn unframe(blob: &[u8]) -> Result<&[u8]> {
+    if blob.len() < FRAME_OVERHEAD {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("frame too short: {} bytes", blob.len()),
+        });
+    }
+    if &blob[..4] != FRAME_MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("bad frame magic {:?}", &blob[..4]),
+        });
+    }
+    let len = u64::from_le_bytes(blob[4..12].try_into().expect("8 bytes")) as usize;
+    if blob.len() != FRAME_OVERHEAD + len {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "frame length mismatch: prefix says {len}, blob holds {}",
+                blob.len() - FRAME_OVERHEAD
+            ),
+        });
+    }
+    let payload = &blob[12..12 + len];
+    let want = u32::from_le_bytes(blob[12 + len..].try_into().expect("4 bytes"));
+    let got = crc32c(payload);
+    if got != want {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("frame checksum mismatch: stored {want:#010x}, computed {got:#010x}"),
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 B.4 test vectors for CRC32C.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn append_matches_one_shot() {
+        let data = b"hourglass checkpoint payload";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32c_append(crc32c(a), b), crc32c(data));
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        for payload in [&b""[..], b"x", b"some checkpoint bytes"] {
+            let blob = frame(payload);
+            assert_eq!(blob.len(), payload.len() + FRAME_OVERHEAD);
+            assert_eq!(unframe(&blob).expect("unframe"), payload);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let payload: Vec<u8> = (0u8..=63).collect();
+        let blob = frame(&payload);
+        for bit in 0..blob.len() * 8 {
+            let mut bad = blob.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(unframe(&bad).is_err(), "bit flip at {bit} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_detected() {
+        let blob = frame(b"payload");
+        assert!(unframe(&blob[..blob.len() - 1]).is_err());
+        assert!(unframe(&[]).is_err());
+        let mut longer = blob.clone();
+        longer.push(0);
+        assert!(unframe(&longer).is_err());
+    }
+}

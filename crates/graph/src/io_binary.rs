@@ -17,29 +17,40 @@
 //! arcs    m × (u32 LE, u32 LE)
 //! ```
 //!
-//! `HGS1` ([`ShardedArcs`]) is the sharded *datastore* layout backing the
+//! `HGS2` ([`ShardedArcs`]) is the sharded *datastore* layout backing the
 //! fast-reload loaders (§6.2): the arc list is grouped into buckets (one
 //! per micro-partition; a single bucket is the flat layout) and each bucket
 //! is one contiguous block of arc pairs, so a worker can read exactly its
-//! buckets and decode them from raw byte slices with zero copies:
+//! buckets and decode them from raw byte slices with zero copies. Version 2
+//! appends a CRC32C trailer (per-bucket payload checksums plus a metadata
+//! checksum over everything else) so torn writes and bit flips are detected
+//! at read time instead of silently decoded — any single-bit corruption of
+//! an `HGS2` file is rejected:
 //!
 //! ```text
-//! magic   "HGS1"                  (4 bytes)
+//! magic   "HGS2"                  (4 bytes)
 //! n       u32 LE, vertex count
 //! b       u32 LE, bucket count
 //! m       u64 LE, total arc count
 //! counts  b × u64 LE, arcs per bucket
 //! arcs    m × (u32 LE, u32 LE), bucket-major
+//! crcs    b × u32 LE, CRC32C per bucket payload
+//! meta    u32 LE, CRC32C over magic+header+counts+crcs
 //! ```
+//!
+//! The reader still accepts trailer-less version-1 (`HGS1`) files, which
+//! are the same layout minus the two trailer sections.
 
 use crate::builder::GraphBuilder;
+use crate::crc32c::crc32c;
 use crate::csr::{Graph, VertexId};
 use crate::{GraphError, Result};
 use hourglass_obs as obs;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"HGG1";
-const SHARD_MAGIC: &[u8; 4] = b"HGS1";
+const SHARD_MAGIC_V1: &[u8; 4] = b"HGS1";
+const SHARD_MAGIC_V2: &[u8; 4] = b"HGS2";
 
 /// Bytes per serialized arc pair.
 pub const ARC_BYTES: usize = 8;
@@ -292,39 +303,79 @@ impl ShardedArcs {
         self.payload.len()
     }
 
-    /// On-disk size in bytes, header included.
+    /// On-disk size in bytes of the `HGS2` layout written by
+    /// [`ShardedArcs::write_to`], header and checksum trailer included.
     pub fn serialized_size(&self) -> u64 {
+        self.serialized_size_v1() + 4 * self.arc_ends.len() as u64 + 4
+    }
+
+    /// On-disk size in bytes of the legacy trailer-less `HGS1` layout.
+    pub fn serialized_size_v1(&self) -> u64 {
         4 + 4 + 4 + 8 + 8 * self.arc_ends.len() as u64 + self.payload.len() as u64
     }
 
-    /// Serializes in the `HGS1` layout.
-    pub fn write_to<W: Write>(&self, mut w: W) -> Result<()> {
-        let _span = obs::span("shard_store_write", "io").arg("bytes", self.serialized_size());
-        w.write_all(SHARD_MAGIC)?;
-        w.write_all(&self.num_vertices.to_le_bytes())?;
-        w.write_all(&(self.arc_ends.len() as u32).to_le_bytes())?;
-        w.write_all(&self.num_arcs().to_le_bytes())?;
+    /// The header + counts section, byte-identical between versions except
+    /// for the magic.
+    fn header_bytes(&self, magic: &[u8; 4]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + 8 * self.arc_ends.len());
+        out.extend_from_slice(magic);
+        out.extend_from_slice(&self.num_vertices.to_le_bytes());
+        out.extend_from_slice(&(self.arc_ends.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.num_arcs().to_le_bytes());
         let mut prev = 0u64;
         for &end in &self.arc_ends {
-            w.write_all(&(end - prev).to_le_bytes())?;
+            out.extend_from_slice(&(end - prev).to_le_bytes());
             prev = end;
         }
+        out
+    }
+
+    /// Serializes in the checksummed `HGS2` layout.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<()> {
+        let _span = obs::span("shard_store_write", "io").arg("bytes", self.serialized_size());
+        let header = self.header_bytes(SHARD_MAGIC_V2);
+        w.write_all(&header)?;
+        w.write_all(&self.payload)?;
+        let mut meta = header;
+        for b in 0..self.num_buckets() {
+            let crc = crc32c(self.bucket_bytes(b)).to_le_bytes();
+            w.write_all(&crc)?;
+            meta.extend_from_slice(&crc);
+        }
+        w.write_all(&crc32c(&meta).to_le_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Serializes in the legacy trailer-less `HGS1` layout (kept for
+    /// compatibility tests and downgrade paths).
+    pub fn write_to_v1<W: Write>(&self, mut w: W) -> Result<()> {
+        let _span = obs::span("shard_store_write", "io").arg("bytes", self.serialized_size_v1());
+        w.write_all(&self.header_bytes(SHARD_MAGIC_V1))?;
         w.write_all(&self.payload)?;
         w.flush()?;
         Ok(())
     }
 
-    /// Deserializes an `HGS1` store written by [`ShardedArcs::write_to`].
+    /// Deserializes a sharded store. `HGS2` files are checksum-verified
+    /// (any single-bit corruption is rejected); legacy `HGS1` files load
+    /// unverified.
     pub fn read_from<R: Read>(mut r: R) -> Result<Self> {
         let _span = obs::span("shard_store_read", "io");
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
-        if &magic != SHARD_MAGIC {
+        let checked = if &magic == SHARD_MAGIC_V2 {
+            true
+        } else if &magic == SHARD_MAGIC_V1 {
+            false
+        } else {
             return Err(GraphError::Parse {
                 line: 0,
-                message: format!("bad magic {magic:?}, expected {SHARD_MAGIC:?}"),
+                message: format!(
+                    "bad magic {magic:?}, expected {SHARD_MAGIC_V2:?} or {SHARD_MAGIC_V1:?}"
+                ),
             });
-        }
+        };
         let num_vertices = read_u32(&mut r)?;
         let b = read_u32(&mut r)? as usize;
         let mut m_bytes = [0u8; 8];
@@ -359,11 +410,56 @@ impl ShardedArcs {
             line: 0,
             message: format!("truncated payload ({m} arcs expected): {e}"),
         })?;
-        Ok(ShardedArcs {
+        let store = ShardedArcs {
             num_vertices,
             arc_ends,
             payload,
-        })
+        };
+        if checked {
+            store.verify_trailer(&mut r)?;
+        }
+        Ok(store)
+    }
+
+    /// Reads and verifies the `HGS2` checksum trailer against the already
+    /// parsed header, counts and payload.
+    fn verify_trailer<R: Read>(&self, r: &mut R) -> Result<()> {
+        let mut meta = self.header_bytes(SHARD_MAGIC_V2);
+        let mut crc_bytes = [0u8; 4];
+        for b in 0..self.num_buckets() {
+            r.read_exact(&mut crc_bytes)
+                .map_err(|e| GraphError::Parse {
+                    line: 0,
+                    message: format!("truncated bucket-checksum trailer: {e}"),
+                })?;
+            let want = u32::from_le_bytes(crc_bytes);
+            let got = crc32c(self.bucket_bytes(b));
+            if got != want {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: format!(
+                        "bucket {b} checksum mismatch: stored {want:#010x}, computed {got:#010x}"
+                    ),
+                });
+            }
+            meta.extend_from_slice(&crc_bytes);
+        }
+        r.read_exact(&mut crc_bytes)
+            .map_err(|e| GraphError::Parse {
+                line: 0,
+                message: format!("truncated metadata checksum: {e}"),
+            })?;
+        let want = u32::from_le_bytes(crc_bytes);
+        let got = crc32c(&meta);
+        if got != want {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!(
+                    "metadata checksum mismatch: stored {want:#010x}, computed {got:#010x}"
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -513,6 +609,54 @@ mod tests {
         let mut bad = buf.clone();
         bad[20] ^= 1; // first bucket count LSB (after the 20-byte header)
         assert!(ShardedArcs::read_from(&bad[..]).is_err(), "count mismatch");
+    }
+
+    #[test]
+    fn sharded_v1_files_still_load() {
+        let g = generators::rmat(8, 6, generators::RmatParams::WEB, 5).expect("gen");
+        let buckets: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 4).collect();
+        let s = ShardedArcs::from_graph_buckets(&g, &buckets, 4).expect("shard");
+        let mut v1 = Vec::new();
+        s.write_to_v1(&mut v1).expect("write v1");
+        assert_eq!(v1.len() as u64, s.serialized_size_v1());
+        assert_eq!(&v1[..4], SHARD_MAGIC_V1);
+        let s2 = ShardedArcs::read_from(&v1[..]).expect("read v1");
+        assert_eq!(s, s2);
+        // The v2 encoding is the v1 body plus the checksum trailer.
+        let mut v2 = Vec::new();
+        s.write_to(&mut v2).expect("write v2");
+        assert_eq!(&v2[..4], SHARD_MAGIC_V2);
+        assert_eq!(v2.len() as u64, s.serialized_size_v1() + 4 * 4 + 4);
+        assert_eq!(&v1[4..], &v2[4..v1.len()]);
+    }
+
+    #[test]
+    fn sharded_v2_every_single_bit_flip_is_detected() {
+        let g = generators::erdos_renyi(12, 18, 7).expect("gen");
+        let buckets: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        let s = ShardedArcs::from_graph_buckets(&g, &buckets, 3).expect("shard");
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).expect("write");
+        for bit in 0..buf.len() * 8 {
+            let mut bad = buf.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                ShardedArcs::read_from(&bad[..]).is_err(),
+                "bit flip at {bit} (byte {}) went undetected",
+                bit / 8
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_v2_rejects_truncated_trailer() {
+        let g = generators::erdos_renyi(10, 15, 2).expect("gen");
+        let s = ShardedArcs::flat_from_graph(&g);
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).expect("write");
+        // Cut inside the metadata checksum and inside the bucket checksums.
+        assert!(ShardedArcs::read_from(&buf[..buf.len() - 2]).is_err());
+        assert!(ShardedArcs::read_from(&buf[..buf.len() - 6]).is_err());
     }
 
     #[test]

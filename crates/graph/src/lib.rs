@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod crc32c;
 pub mod csr;
 pub mod datasets;
 pub mod generators;

@@ -161,6 +161,21 @@ impl EventSink for TraceBridge {
                 cargs.push("microdollars", microdollars(billed));
                 self.emit(track, "billed_total", RecordKind::Counter, to, to, cargs);
             }
+            SimEvent::Degraded {
+                t,
+                pick,
+                retries,
+                fallback,
+                wasted_seconds,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                args.push("retries", retries as u64);
+                args.push("fallback", fallback as u64);
+                args.push("wasted_ms", (wasted_seconds * 1e3) as u64);
+                self.emit(track, "degraded", RecordKind::Instant, t, t, args);
+            }
             SimEvent::Complete {
                 t,
                 missed_deadline,

@@ -45,6 +45,8 @@ pub enum EventKind {
     Checkpoint,
     /// A billed interval.
     Bill,
+    /// A fault-injected degradation (retried I/O or a recovery fallback).
+    Degraded,
     /// End of the run.
     Complete,
 }
@@ -153,6 +155,27 @@ pub enum SimEvent {
         /// Dollars charged for this interval.
         cost: f64,
     },
+    /// The injected fault plan degraded an operation: transient I/O
+    /// failures were retried away (stretching the phase by their backoff)
+    /// or a checkpoint/reload fell back to a slower recovery path.
+    Degraded {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed so far.
+        billed: f64,
+        /// Configuration index affected.
+        pick: usize,
+        /// Transient faults retried away during the operation.
+        retries: u32,
+        /// True when the operation abandoned its fast path (checkpoint
+        /// lost, or reload re-assembled from the text store).
+        fallback: bool,
+        /// Wall-clock seconds the degradation added (retry backoff, or
+        /// the partial work thrown away by a fallback).
+        wasted_seconds: f64,
+    },
     /// The run ended (job finished or trace horizon hit).
     Complete {
         /// Absolute trace time.
@@ -190,6 +213,7 @@ impl SimEvent {
             SimEvent::Evict { .. } => EventKind::Evict,
             SimEvent::Checkpoint { .. } => EventKind::Checkpoint,
             SimEvent::Bill { .. } => EventKind::Bill,
+            SimEvent::Degraded { .. } => EventKind::Degraded,
             SimEvent::Complete { .. } => EventKind::Complete,
         }
     }
@@ -203,6 +227,7 @@ impl SimEvent {
             | SimEvent::Evict { t, .. }
             | SimEvent::Checkpoint { t, .. }
             | SimEvent::Bill { t, .. }
+            | SimEvent::Degraded { t, .. }
             | SimEvent::Complete { t, .. } => *t,
         }
     }
@@ -216,6 +241,7 @@ impl SimEvent {
             | SimEvent::Evict { billed, .. }
             | SimEvent::Checkpoint { billed, .. }
             | SimEvent::Bill { billed, .. }
+            | SimEvent::Degraded { billed, .. }
             | SimEvent::Complete { billed, .. } => *billed,
         }
     }
@@ -229,6 +255,7 @@ impl SimEvent {
             | SimEvent::Evict { work_left, .. }
             | SimEvent::Checkpoint { work_left, .. }
             | SimEvent::Bill { work_left, .. }
+            | SimEvent::Degraded { work_left, .. }
             | SimEvent::Complete { work_left, .. } => *work_left,
         }
     }
@@ -241,7 +268,8 @@ impl SimEvent {
             | SimEvent::Acquire { pick, .. }
             | SimEvent::Evict { pick, .. }
             | SimEvent::Checkpoint { pick, .. }
-            | SimEvent::Bill { pick, .. } => Some(*pick),
+            | SimEvent::Bill { pick, .. }
+            | SimEvent::Degraded { pick, .. } => Some(*pick),
             SimEvent::Complete { .. } => None,
         }
     }
@@ -342,6 +370,12 @@ pub struct EventRecord {
     pub to: Option<f64>,
     /// Bill: dollars charged for the interval.
     pub cost: Option<f64>,
+    /// Degraded: transient faults retried away.
+    pub retries: Option<u32>,
+    /// Degraded: the operation abandoned its fast path.
+    pub fallback: Option<bool>,
+    /// Degraded: seconds the degradation added.
+    pub wasted_seconds: Option<f64>,
     /// Complete: completion time relative to job start.
     pub finish_seconds: Option<f64>,
     /// Complete: the job's deadline.
@@ -382,6 +416,9 @@ impl EventRecord {
             chunk_seconds: None,
             to: None,
             cost: None,
+            retries: None,
+            fallback: None,
+            wasted_seconds: None,
             finish_seconds: None,
             deadline: None,
             total_cost: None,
@@ -441,6 +478,16 @@ impl EventRecord {
             SimEvent::Bill { to, cost, .. } => {
                 r.to = Some(to);
                 r.cost = Some(cost);
+            }
+            SimEvent::Degraded {
+                retries,
+                fallback,
+                wasted_seconds,
+                ..
+            } => {
+                r.retries = Some(retries);
+                r.fallback = Some(fallback);
+                r.wasted_seconds = Some(wasted_seconds);
             }
             SimEvent::Complete {
                 finish_seconds,
@@ -524,6 +571,15 @@ impl EventRecord {
                 pick: need(self.pick, "pick", k)?,
                 to: need(self.to, "to", k)?,
                 cost: need(self.cost, "cost", k)?,
+            },
+            EventKind::Degraded => SimEvent::Degraded {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                retries: need(self.retries, "retries", k)?,
+                fallback: need(self.fallback, "fallback", k)?,
+                wasted_seconds: need(self.wasted_seconds, "wasted_seconds", k)?,
             },
             EventKind::Complete => SimEvent::Complete {
                 t: self.t,
@@ -639,6 +695,12 @@ pub struct EventAggregate {
     pub wait_evictions: u64,
     /// Checkpoints landed.
     pub checkpoints: u64,
+    /// Degradation events (from [`SimEvent::Degraded`]).
+    pub degraded: u64,
+    /// Transient faults retried away across all degradations.
+    pub retries: u64,
+    /// Degradations that abandoned their fast path.
+    pub fallbacks: u64,
     /// Runs completed (one [`SimEvent::Complete`] each).
     pub runs: u64,
     /// Runs that missed their deadline.
@@ -671,6 +733,9 @@ impl Default for EventAggregate {
             evictions: 0,
             wait_evictions: 0,
             checkpoints: 0,
+            degraded: 0,
+            retries: 0,
+            fallbacks: 0,
             runs: 0,
             missed_deadlines: 0,
             incomplete_runs: 0,
@@ -710,6 +775,9 @@ impl EventAggregate {
         self.evictions += other.evictions;
         self.wait_evictions += other.wait_evictions;
         self.checkpoints += other.checkpoints;
+        self.degraded += other.degraded;
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
         self.runs += other.runs;
         self.missed_deadlines += other.missed_deadlines;
         self.incomplete_runs += other.incomplete_runs;
@@ -793,6 +861,15 @@ impl EventSink for EventAggregate {
             }
             SimEvent::Checkpoint { .. } => self.checkpoints += 1,
             SimEvent::Bill { cost, .. } => self.billed_dollars += cost,
+            SimEvent::Degraded {
+                retries, fallback, ..
+            } => {
+                self.degraded += 1;
+                self.retries += retries as u64;
+                if fallback {
+                    self.fallbacks += 1;
+                }
+            }
             SimEvent::Complete {
                 finish_seconds,
                 deadline,
@@ -903,6 +980,18 @@ mod tests {
             ),
             (
                 0,
+                SimEvent::Degraded {
+                    t: 1000.0,
+                    work_left: 0.5,
+                    billed: 1.25,
+                    pick: 5,
+                    retries: 2,
+                    fallback: true,
+                    wasted_seconds: 35.0,
+                },
+            ),
+            (
+                0,
                 SimEvent::Complete {
                     t: 1500.0,
                     work_left: 0.0,
@@ -958,6 +1047,9 @@ mod tests {
         assert_eq!(agg.evictions, 1);
         assert_eq!(agg.wait_evictions, 1);
         assert_eq!(agg.checkpoints, 1);
+        assert_eq!(agg.degraded, 1);
+        assert_eq!(agg.retries, 2);
+        assert_eq!(agg.fallbacks, 1);
         assert_eq!(agg.runs, 1);
         assert_eq!(agg.missed_deadlines, 0);
         assert!((agg.billed_dollars - 0.25).abs() < 1e-12);

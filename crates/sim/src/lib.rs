@@ -32,6 +32,10 @@ pub use replication::run_job_replicated;
 pub use runner::{run_job, run_job_observed, JobOutcome, SimulationSetup};
 pub use sweep::{sweep_jobs, sweep_recurring};
 
+/// The deterministic fault-injection plans the runner accepts (re-exported
+/// so experiment drivers need no direct `hourglass-faults` dependency).
+pub use hourglass_faults::{FaultPlan, RetryPolicy};
+
 use std::fmt;
 
 /// Errors produced by the simulator.

@@ -8,6 +8,7 @@ use hourglass_cloud::billing::CostLedger;
 use hourglass_cloud::eviction::{self, EvictionModel};
 use hourglass_cloud::{InstanceType, Market, ResourceClass};
 use hourglass_core::{Candidate, CurrentDeployment, DecisionContext, Strategy};
+use hourglass_faults::{FaultHook, FaultPlan, Site};
 use std::time::Instant;
 
 /// Shared simulation inputs: the replayed market and the historical
@@ -28,6 +29,12 @@ pub struct SimulationSetup<'a> {
     /// Overrides Daly's checkpoint interval with a fixed value (ablation
     /// hook; `None` = the paper's `√(2·t_save·MTTF)`).
     pub checkpoint_interval_override: Option<f64>,
+    /// Deterministic fault plan injected into the modeled I/O: shard
+    /// reads during (re)loads and checkpoint puts. Each run draws its own
+    /// reproducible fault stream (`FaultHook::for_run`), so sweeps stay
+    /// bit-identical between sequential and parallel execution. `None`
+    /// models reliable storage.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> SimulationSetup<'a> {
@@ -39,12 +46,19 @@ impl<'a> SimulationSetup<'a> {
             max_events: 100_000,
             eviction_warning: 0.0,
             checkpoint_interval_override: None,
+            fault_plan: None,
         }
     }
 
     /// Enables the §9 eviction-warning extension with the given lead time.
     pub fn with_eviction_warning(mut self, seconds: f64) -> Self {
         self.eviction_warning = seconds;
+        self
+    }
+
+    /// Injects a deterministic fault plan into the modeled I/O.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -160,6 +174,19 @@ pub fn run_job_observed(
         billed: 0.0,
         sink,
     };
+    // Fault state: one run-keyed hook per job, so interleaved sweep runs
+    // draw independent but individually reproducible fault streams.
+    let hook = setup
+        .fault_plan
+        .as_ref()
+        .map(|p| FaultHook::for_run(p, run));
+    // Flaky checkpoint stores stretch expected save time; strategies see
+    // it as the retry-tail inflation factor p/(1−p).
+    let save_retry_factor = setup
+        .fault_plan
+        .as_ref()
+        .map(|p| p.retry_factor(Site::StorePut))
+        .unwrap_or(0.0);
 
     let outcome = loop {
         events += 1;
@@ -203,6 +230,7 @@ pub fn run_job_observed(
                 index: h.idx,
                 uptime: t - h.acquired,
             }),
+            save_retry_factor,
         };
         let decide_started = Instant::now();
         let (pick, forced) = if force_lrc {
@@ -301,12 +329,40 @@ pub fn run_job_observed(
             // compute/wait intervals that got us here).
             let released = held.take().map(|h| h.idx);
             deployments += 1;
-            let setup_time = job.t_boot
+            let mut setup_time = job.t_boot
                 + if first_load_done {
                     perf.t_load_reload
                 } else {
                     perf.t_load_first
                 };
+            // Fault seam: the (re)load's datastore reads. A fast reload
+            // consults the shard-read site; the first load, the text
+            // store. Transient faults stretch the setup by their retry
+            // backoff; a fast reload whose shards stay unreadable falls
+            // back to re-assembling from the text store (the full first
+            // load, again) — wasted setup an eviction can land inside.
+            let mut load_degraded: Option<(u32, bool, f64)> = None;
+            if let Some(hook) = hook.as_ref() {
+                let site = if first_load_done {
+                    Site::ShardRead
+                } else {
+                    Site::StoreGet
+                };
+                let c = hook.consult(site);
+                if c.retries > 0 || c.torn.is_some() || c.delay_ns > 0 || c.exhausted {
+                    let mut extra = c.delay_ns as f64 / 1e9;
+                    let mut fallback = false;
+                    if c.exhausted || c.torn.is_some() {
+                        // Fast path abandoned: pay the slow load on top of
+                        // the partial attempt (first loads re-read the
+                        // store wholesale).
+                        extra += perf.t_load_first;
+                        fallback = true;
+                    }
+                    setup_time += extra;
+                    load_degraded = Some((c.retries, fallback, extra));
+                }
+            }
             obs.emit(SimEvent::Acquire {
                 t: acquire_at,
                 work_left: w,
@@ -316,6 +372,17 @@ pub fn run_job_observed(
                 first_load: !first_load_done,
                 released,
             });
+            if let Some((retries, fallback, wasted)) = load_degraded {
+                obs.emit(SimEvent::Degraded {
+                    t: acquire_at,
+                    work_left: w,
+                    billed: obs.billed,
+                    pick,
+                    retries,
+                    fallback,
+                    wasted_seconds: wasted,
+                });
+            }
             let setup_end = acquire_at + setup_time;
             if perf.config.is_transient() {
                 let trace = setup.market.trace(perf.config.instance_type)?;
@@ -407,6 +474,7 @@ pub fn run_job_observed(
                 index: h.idx,
                 uptime: t - h.acquired,
             }),
+            save_retry_factor,
         };
         let mut chunk = (w * perf.t_exec).min(t_ckpt);
         if let Some(limit) = strategy.chunk_limit(&ctx2, pick) {
@@ -452,13 +520,75 @@ pub fn run_job_observed(
                 t = te;
             }
             None => {
+                // Fault seam: the checkpoint put. Transient failures are
+                // retried (the save stretches by their backoff); a torn
+                // write models a reclaim landing mid-save (the chunk's
+                // progress is lost with the uncommitted epoch); exhausted
+                // retries lose the checkpoint but keep the deployment.
+                let consult = hook.as_ref().map(|h| h.consult(Site::StorePut));
+                if let Some(fraction) = consult.as_ref().and_then(|c| c.torn) {
+                    let te = (t + chunk + fraction * perf.t_save).min(horizon);
+                    bill(&mut ledger, setup, perf, pick, t, te, w, &mut obs)?;
+                    evictions += 1;
+                    held = None;
+                    obs.emit(SimEvent::Degraded {
+                        t: te,
+                        work_left: w,
+                        billed: obs.billed,
+                        pick,
+                        retries: consult.map(|c| c.retries).unwrap_or(0),
+                        fallback: true,
+                        wasted_seconds: te - t,
+                    });
+                    obs.emit(SimEvent::Evict {
+                        t: te,
+                        work_left: w,
+                        billed: obs.billed,
+                        pick,
+                        phase: Phase::Compute,
+                    });
+                    t = te;
+                    continue;
+                }
+                let save_extra = consult
+                    .as_ref()
+                    .map(|c| c.delay_ns as f64 / 1e9)
+                    .unwrap_or(0.0);
+                let interval_end = interval_end + save_extra;
                 if interval_end >= horizon {
                     bill(&mut ledger, setup, perf, pick, t, horizon, w, &mut obs)?;
                     t = horizon;
                     continue;
                 }
                 bill(&mut ledger, setup, perf, pick, t, interval_end, w, &mut obs)?;
+                let checkpoint_lost = consult.as_ref().map(|c| c.exhausted).unwrap_or(false);
+                if checkpoint_lost {
+                    // Every put attempt failed: the interval is billed but
+                    // its progress never committed.
+                    obs.emit(SimEvent::Degraded {
+                        t: interval_end,
+                        work_left: w,
+                        billed: obs.billed,
+                        pick,
+                        retries: consult.map(|c| c.retries).unwrap_or(0),
+                        fallback: true,
+                        wasted_seconds: interval_end - t,
+                    });
+                    t = interval_end;
+                    continue;
+                }
                 w = (w - chunk / perf.t_exec).max(0.0);
+                if let Some(c) = consult.filter(|c| c.retries > 0 || c.delay_ns > 0) {
+                    obs.emit(SimEvent::Degraded {
+                        t: interval_end,
+                        work_left: w,
+                        billed: obs.billed,
+                        pick,
+                        retries: c.retries,
+                        fallback: false,
+                        wasted_seconds: save_extra,
+                    });
+                }
                 obs.emit(SimEvent::Checkpoint {
                     t: interval_end,
                     work_left: w,
@@ -975,6 +1105,104 @@ mod tests {
                 SimEvent::Bill { t, to, .. } if *t == 670.0 && *to == 720.0
             )));
         }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_report_degradations() {
+        use crate::events::VecSink;
+        let f = fixture(8);
+        let setup =
+            SimulationSetup::new(&f.market, &f.models).with_fault_plan(FaultPlan::io_flaky(1234));
+        let job = PaperJob::GraphColoring
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+
+        let mut degraded_total = 0usize;
+        for i in 0..6 {
+            let start = i as f64 * 2.0 * 86_400.0;
+            let run_once = || {
+                let mut sink = VecSink::new();
+                let out = run_job_observed(&setup, &job, &strategy, start, i, &mut sink)
+                    .expect("faulted run");
+                for (_, e) in sink.events.iter_mut() {
+                    if let SimEvent::Decide { latency_us, .. } = e {
+                        *latency_us = 0;
+                    }
+                }
+                (out, sink.events)
+            };
+            let (a, ea) = run_once();
+            let (b, eb) = run_once();
+            // Same seed + same plan → bit-identical outcome and stream.
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+            assert_eq!(ea, eb);
+            // ≤10% transient I/O must never cost Hourglass its deadline.
+            assert!(a.completed && !a.missed_deadline, "missed at start {start}");
+            degraded_total += ea
+                .iter()
+                .filter(|(_, e)| matches!(e, SimEvent::Degraded { .. }))
+                .count();
+        }
+        assert!(
+            degraded_total > 0,
+            "io-flaky plan should degrade at least one operation across 6 runs"
+        );
+    }
+
+    #[test]
+    fn torn_checkpoint_write_is_a_mid_save_eviction() {
+        use crate::events::VecSink;
+        let f = fixture(9);
+        let plain = SimulationSetup::new(&f.market, &f.models);
+        let torn =
+            SimulationSetup::new(&f.market, &f.models).with_fault_plan(FaultPlan::torn_writes(7));
+        let job = PaperJob::GraphColoring
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+
+        let mut saw_torn_eviction = false;
+        for i in 0..6 {
+            let start = i as f64 * 2.0 * 86_400.0;
+            let base = run_job(&plain, &job, &strategy, start).expect("plain run");
+            let mut sink = VecSink::new();
+            let out =
+                run_job_observed(&torn, &job, &strategy, start, i, &mut sink).expect("torn run");
+            assert!(out.completed, "torn writes must not wedge the run");
+            // Every torn checkpoint is surfaced as a fallback degradation
+            // immediately followed by a compute-phase eviction.
+            let events = &sink.events;
+            for (i, (_, e)) in events.iter().enumerate() {
+                if let SimEvent::Degraded {
+                    fallback: true,
+                    wasted_seconds,
+                    ..
+                } = e
+                {
+                    if matches!(
+                        events.get(i + 1),
+                        Some((
+                            _,
+                            SimEvent::Evict {
+                                phase: Phase::Compute,
+                                ..
+                            }
+                        ))
+                    ) {
+                        saw_torn_eviction = true;
+                        assert!(*wasted_seconds > 0.0);
+                    }
+                }
+            }
+            // The faulted run can only do worse or equal on evictions.
+            assert!(out.evictions >= base.evictions);
+        }
+        assert!(
+            saw_torn_eviction,
+            "every-7th-put torn writes should hit at least one checkpoint"
+        );
     }
 
     #[test]

@@ -171,8 +171,9 @@ mod engine_properties {
 
     /// Floods the max vertex id for one hop, then halts. Max is
     /// order-insensitive and exact, so results must be identical across
-    /// every worker count and execution mode.
-    struct MaxId;
+    /// every worker count and execution mode (shared with the fault
+    /// properties below, where exactness makes corruption detectable).
+    pub(crate) struct MaxId;
 
     impl VertexProgram for MaxId {
         type Value = u32;
@@ -388,6 +389,176 @@ mod loader_properties {
             let (bw, _) =
                 micro_load(&Datastore::Binary(read), &micro, &micro_to_worker, 4).expect("load");
             prop_assert_eq!(loaded_adjacency(&tw), loaded_adjacency(&bw));
+        }
+    }
+}
+mod fault_properties {
+    use super::engine_properties::MaxId;
+    use hourglass::engine::apps::PageRank;
+    use hourglass::engine::recovery::{restore_latest, save_epoch};
+    use hourglass::engine::{
+        BspEngine, CheckpointStore, EngineConfig, EngineError, FaultyStore, MemoryStore,
+        VertexProgram,
+    };
+    use hourglass::faults::{FaultKind, FaultPlan, IoKind, RetryPolicy, Site, Trigger};
+    use hourglass::graph::{generators, Graph};
+    use hourglass::partition::hash::HashPartitioner;
+    use hourglass::partition::Partitioner;
+    use proptest::prelude::*;
+
+    fn engine_on<P: VertexProgram>(program: P, g: &Graph) -> BspEngine<'_, P> {
+        let p = HashPartitioner.partition(g, 4).expect("partition");
+        BspEngine::new(program, g, p, EngineConfig::default()).expect("engine")
+    }
+
+    /// One checkpoint-and-recover cycle against a (possibly faulty)
+    /// store: step `cut` times saving an epoch after each step, then
+    /// restore the newest epoch into a fresh engine and finish. Every
+    /// store failure surfaces as the typed error this returns.
+    fn faulted_run(
+        g: &Graph,
+        store: &dyn CheckpointStore,
+        retry: &RetryPolicy,
+        cut: usize,
+    ) -> Result<Vec<u32>, EngineError> {
+        let mut a = engine_on(MaxId, g);
+        let mut epochs = 0usize;
+        for _ in 0..cut {
+            if a.step()? {
+                break;
+            }
+            save_epoch::<MaxId>(store, "job", epochs, &a.checkpoint_state(), retry)?;
+            epochs += 1;
+        }
+        let mut b = engine_on(MaxId, g);
+        if epochs > 0 {
+            restore_latest(&mut b, store, "job", epochs - 1, retry)?
+                .ok_or_else(|| EngineError::Checkpoint("saved epochs vanished".into()))?;
+        }
+        b.run()?;
+        Ok(b.into_values())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Recovering through a randomly faulty checkpoint store either
+        /// reproduces the fault-free answer bit for bit or fails with a
+        /// typed error — never a panic, never a silently wrong answer —
+        /// and two identically seeded attempts agree on which.
+        #[test]
+        fn faulted_recovery_is_bit_identical_or_typed_error(
+            scale in 6u32..8,
+            seed in 0u64..20,
+            cut in 1usize..4,
+            put_per_mille in 0u32..500,
+            get_every in 1u64..6,
+            flip_budget in 0u32..4,
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let reference = {
+                let mut e = engine_on(MaxId, &g);
+                e.run().expect("fault-free run");
+                e.into_values()
+            };
+
+            let plan = FaultPlan::new(seed ^ 0xFA)
+                .rule(
+                    Site::StorePut,
+                    Trigger::Ratio { per_mille: put_per_mille },
+                    FaultKind::Io(IoKind::TimedOut),
+                )
+                .rule_budgeted(
+                    Site::StoreGet,
+                    Trigger::EveryNth { every: get_every, phase: 0 },
+                    FaultKind::BitFlip { offset: 11 },
+                    flip_budget,
+                );
+            let retry = RetryPolicy::from_plan(&plan);
+            let r1 = faulted_run(
+                &g,
+                &FaultyStore::new(MemoryStore::new(), plan.injector()),
+                &retry,
+                cut,
+            );
+            let r2 = faulted_run(
+                &g,
+                &FaultyStore::new(MemoryStore::new(), plan.injector()),
+                &retry,
+                cut,
+            );
+            match (r1, r2) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a, &b, "same plan, same outcome");
+                    prop_assert_eq!(&a, &reference, "recovery changed the answer");
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => prop_assert!(
+                    false,
+                    "identically seeded attempts diverged: ok={} vs ok={}",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+
+        /// A torn write on the *final* checkpoint leaves earlier epochs
+        /// intact: restore degrades to epoch N−1 (exactly one fallback)
+        /// and the resumed run still reaches the fault-free answer.
+        #[test]
+        fn torn_final_checkpoint_recovers_previous_epoch(
+            scale in 6u32..8,
+            seed in 0u64..20,
+            epochs in 2usize..5,
+            fraction in 0.05f64..0.95,
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let plan = FaultPlan::new(seed).rule_budgeted(
+                Site::StorePut,
+                Trigger::OnCall((epochs - 1) as u64),
+                FaultKind::TornWrite { fraction },
+                1,
+            );
+            let store = FaultyStore::new(MemoryStore::new(), plan.injector());
+            // No retries on save: the torn blob must stay the newest
+            // epoch (a retry would immediately repair it).
+            let once = RetryPolicy {
+                attempts: 1,
+                ..RetryPolicy::default()
+            };
+
+            let mut e = engine_on(PageRank::fixed(8), &g);
+            for epoch in 0..epochs {
+                e.step().expect("step");
+                let saved =
+                    save_epoch::<PageRank>(&store, "job", epoch, &e.checkpoint_state(), &once);
+                if epoch + 1 == epochs {
+                    prop_assert!(saved.is_err(), "the final save must tear");
+                } else {
+                    saved.expect("clean save");
+                }
+            }
+
+            let mut b = engine_on(PageRank::fixed(8), &g);
+            let (epoch, stats) =
+                restore_latest(&mut b, &store, "job", epochs - 1, &RetryPolicy::default())
+                    .expect("restore degrades instead of failing")
+                    .expect("earlier epochs exist");
+            prop_assert_eq!(epoch, epochs - 2, "must fall back exactly one epoch");
+            prop_assert_eq!(stats.fallback_epochs, 1);
+            b.run().expect("resumed run finishes");
+
+            let mut r = engine_on(PageRank::fixed(8), &g);
+            r.run().expect("fault-free run");
+            let worst = r
+                .values()
+                .iter()
+                .zip(b.values().iter())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max);
+            prop_assert!(worst < 1e-9, "recovered run diverged by {}", worst);
         }
     }
 }

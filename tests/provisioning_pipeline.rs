@@ -11,7 +11,7 @@ use hourglass::sim::events::parse_jsonl;
 use hourglass::sim::job::{PaperJob, ReloadMode};
 use hourglass::sim::runner::{derive_eviction_models, run_job, SimulationSetup};
 use hourglass::sim::{
-    sweep_jobs, EventAggregate, EventSink, Experiment, JsonlSink, SimEvent, VecSink,
+    sweep_jobs, EventAggregate, EventSink, Experiment, FaultPlan, JsonlSink, SimEvent, VecSink,
 };
 use std::collections::BTreeMap;
 
@@ -280,6 +280,65 @@ fn parallel_sweep_and_event_log_are_faithful() {
     assert_eq!(
         EventAggregate::from_events(&replayed),
         EventAggregate::from_events(&par_sink.events)
+    );
+}
+
+/// The fault-injection acceptance contract, end to end through the
+/// public API: with the canned io-flaky plan installed, a parallel
+/// sweep stays bit-identical to a sequential one — same outcomes, same
+/// event streams including every `Degraded` event — the plan visibly
+/// injects faults, and every run still completes on time.
+#[test]
+fn faulted_sweep_is_bit_identical_across_execution_modes() {
+    let w = world(109);
+    let setup =
+        SimulationSetup::new(&w.market, &w.models).with_fault_plan(FaultPlan::io_flaky(109));
+    let job = PaperJob::GraphColoring
+        .description(50.0, ReloadMode::Fast)
+        .expect("job");
+    let strategy = HourglassStrategy::new();
+    let starts = Experiment::new(16, 17).start_points(&setup, &job);
+
+    let mut seq_sink = VecSink::new();
+    let seq = sweep_jobs(&setup, &job, &strategy, &starts, false, &mut seq_sink).expect("seq");
+    let mut par_sink = VecSink::new();
+    let par = sweep_jobs(&setup, &job, &strategy, &starts, true, &mut par_sink).expect("par");
+
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.online_cost.to_bits(), b.online_cost.to_bits());
+        assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.missed_deadline, b.missed_deadline);
+        assert!(a.completed, "a faulted run failed to complete");
+        assert!(
+            !a.missed_deadline,
+            "Hourglass missed a deadline under the io-flaky plan"
+        );
+    }
+    let zero_latency = |events: &mut Vec<(u32, SimEvent)>| {
+        for (_, e) in events.iter_mut() {
+            if let SimEvent::Decide { latency_us, .. } = e {
+                *latency_us = 0;
+            }
+        }
+    };
+    zero_latency(&mut seq_sink.events);
+    zero_latency(&mut par_sink.events);
+    assert_eq!(
+        seq_sink.events, par_sink.events,
+        "parallel scheduling perturbed the injected fault sequence"
+    );
+
+    let agg = EventAggregate::from_events(&par_sink.events);
+    assert!(agg.degraded > 0, "the io-flaky plan injected nothing");
+    assert!(
+        par_sink
+            .events
+            .iter()
+            .any(|(_, e)| matches!(e, SimEvent::Degraded { .. })),
+        "no Degraded events in the stream"
     );
 }
 
