@@ -12,9 +12,13 @@
 //! `--trace PATH` additionally mirrors every decision event onto a
 //! Chrome-trace timeline (one simulated-time track per run index).
 //! `--smoke` runs a tiny self-checking sweep instead (CI gate): it asserts
-//! that parallel and sequential sweeps are bit-identical and that the
-//! JSONL round-trip of the event stream reproduces the in-memory
-//! aggregate.
+//! that parallel and sequential sweeps are bit-identical, that the JSONL
+//! round-trip of the event stream reproduces the in-memory aggregate, and
+//! that every `Migrate` event prices its delta migration consistently
+//! (`delta_seconds == moved_fraction × full_seconds`, never dearer than a
+//! full reload). It then replays a resize-heavy mid-job reconfiguration
+//! chain against the real loader and asserts the delta-migration path is
+//! bit-identical to a full reload at every step.
 //!
 //! `--fault-plan NAME` injects a canned deterministic fault plan into the
 //! simulated checkpoint/reload I/O paths; retry and degradation counts
@@ -127,6 +131,7 @@ fn main() {
                     "degraded": agg.degraded,
                     "io_retries": agg.retries,
                     "fallbacks": agg.fallbacks,
+                    "migrations": agg.migrations,
                 }));
                 job_aggs[si].merge(&agg);
             }
@@ -230,6 +235,41 @@ fn smoke(cli: &Cli) {
             "aggregate evictions disagree with outcomes"
         );
 
+        // Every Migrate event must price the reconfiguration as the moved
+        // share of a full reload, and never dearer than tearing down.
+        let mut migrations_seen = 0u64;
+        for (_, e) in &events.events {
+            if let SimEvent::Migrate {
+                moved_fraction,
+                delta_seconds,
+                full_seconds,
+                ..
+            } = e
+            {
+                migrations_seen += 1;
+                assert!(
+                    (0.0..=1.0).contains(moved_fraction),
+                    "{}: moved fraction {moved_fraction} out of range",
+                    par.strategy
+                );
+                assert!(
+                    *delta_seconds <= *full_seconds + 1e-9,
+                    "{}: delta migration ({delta_seconds}s) dearer than a \
+                     full reload ({full_seconds}s)",
+                    par.strategy
+                );
+                assert!(
+                    (delta_seconds - moved_fraction * full_seconds).abs() <= 1e-6,
+                    "{}: delta pricing inconsistent with the moved share",
+                    par.strategy
+                );
+            }
+        }
+        assert_eq!(
+            migrations_seen, agg.migrations,
+            "aggregate migration count disagrees with the event stream"
+        );
+
         let mut jsonl = JsonlSink::new(Vec::new());
         for (run, event) in &events.events {
             jsonl.record(*run, event);
@@ -271,19 +311,21 @@ fn smoke(cli: &Cli) {
 
         println!(
             "smoke {:<22} runs {:>2}  normalized {:.3}  missed {:>5.1}%  \
-             evict/run {:.2}  waits {}  degraded {}  retries {}  fallbacks {}  \
-             [seq==par, jsonl ok]",
+             evict/run {:.2}  waits {}  migrations {}  degraded {}  retries {}  \
+             fallbacks {}  [seq==par, jsonl ok]",
             par.strategy,
             runs,
             par.normalized_cost,
             par.missed_pct,
             agg.mean_evictions(),
             agg.spike_waits,
+            agg.migrations,
             agg.degraded,
             agg.retries,
             agg.fallbacks,
         );
     }
+    reconfig_smoke(cli.seed);
     if faulted {
         assert!(
             total_degraded > 0 || total_retries > 0,
@@ -295,6 +337,83 @@ fn smoke(cli: &Cli) {
         );
     }
     println!("fig5 smoke passed");
+}
+
+/// Resize-heavy reconfiguration gate: replays a mid-job resize chain
+/// (k 2 → 4 → 2 → 8, then a same-`k` rebalance that rehomes exactly 1/8
+/// of the micro-partitions) against the real sharded loader and asserts
+/// that the delta-migration path is indistinguishable from tearing the
+/// deployment down: bit-identical worker slabs, the exact original graph
+/// after reassembly, and zero bytes shipped for an empty delta.
+fn reconfig_smoke(seed: u64) {
+    use hourglass_engine::loaders::{delta_load, micro_load, reload_graph, Datastore};
+    use hourglass_graph::generators::{self, RmatParams};
+    use hourglass_partition::cluster::{cluster_micro_partitions, Clustering, ClusteringDelta};
+    use hourglass_partition::hash::HashPartitioner;
+    use hourglass_partition::micro::MicroPartitioner;
+
+    const MICROS: u32 = 32;
+    let g = generators::rmat(9, 8, RmatParams::SOCIAL, seed).expect("graph generation");
+    let mp = MicroPartitioner::new(HashPartitioner, MICROS)
+        .run(&g)
+        .expect("micro partitioning");
+    let store = Datastore::binary_micro(&g, mp.micro()).expect("datastore");
+
+    // The resize chain, then a same-worker-count rebalance moving exactly
+    // 1/8 of the micro-partitions (the acceptance case for the benches).
+    let chain = [2u32, 4, 2, 8];
+    let mut current = cluster_micro_partitions(&mp, chain[0], seed).expect("clustering");
+    let (mut workers, _) =
+        micro_load(&store, mp.micro(), current.micro_to_macro(), chain[0]).expect("initial load");
+    let mut next_clusterings: Vec<Clustering> = chain[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| cluster_micro_partitions(&mp, k, seed ^ (i as u64 + 1)).expect("clustering"))
+        .collect();
+    let mut rebalanced = next_clusterings
+        .last()
+        .expect("chain")
+        .micro_to_macro()
+        .to_vec();
+    let last_k = *chain.last().expect("chain");
+    for m in rebalanced.iter_mut().take((MICROS / 8) as usize) {
+        *m = (*m + 1) % last_k;
+    }
+    next_clusterings
+        .push(Clustering::from_micro_to_macro(&mp, rebalanced, last_k).expect("rebalance"));
+
+    let mut steps = 0u32;
+    let mut moved_total = 0usize;
+    for next in next_clusterings {
+        let k = next.vertex_partitioning().num_parts();
+        let delta = ClusteringDelta::between(&mp, &current, &next).expect("delta plan");
+        moved_total += delta.moved().len();
+        let (dw, ds) = delta_load(&store, mp.micro(), &delta, next.micro_to_macro(), workers)
+            .expect("delta load");
+        let (fw, _) =
+            micro_load(&store, mp.micro(), next.micro_to_macro(), k).expect("full reload");
+        assert_eq!(
+            dw, fw,
+            "delta migration diverged from a full reload at k={k}"
+        );
+        if delta.is_empty() {
+            assert_eq!(ds.bytes_parsed, 0, "an empty delta must ship nothing");
+        }
+        let reassembled =
+            reload_graph(&dw, g.num_vertices(), g.is_directed()).expect("graph reassembly");
+        assert_eq!(
+            reassembled, g,
+            "delta-migrated workers reassembled a different graph at k={k}"
+        );
+        workers = dw;
+        current = next;
+        steps += 1;
+    }
+    assert!(moved_total > 0, "resize chain moved no micro-partitions");
+    println!(
+        "reconfig smoke passed: {steps} delta migrations == full reloads \
+         ({moved_total} micro-partitions rehomed, graph bit-identical)"
+    );
 }
 
 fn human_duration(secs: f64) -> String {

@@ -91,6 +91,14 @@ enum MemoKey {
         w: u64,
         /// Failure-look-ahead depth the value was computed at.
         depth: usize,
+        /// Whether the state still holds a live deployment to migrate
+        /// from (`ctx.current.is_some()`). A switch away from a held
+        /// deployment is priced at `t_load_delta`, while the same `(t, w)`
+        /// state reached through an eviction pays the full `t_load` —
+        /// without this bit the root minimization (delta pricing) and the
+        /// failure-branch recursion (full-reload pricing) would share a
+        /// memo row.
+        delta: bool,
     },
     /// `EC(t, w)|c` continuing candidate `cand` at a bucketed uptime.
     Continuation {
@@ -343,6 +351,7 @@ fn approx_cost_of(
             t,
             w,
             depth,
+            delta: ctx.current.is_some(),
         }
     };
     if let Some(&cached) = memo.table.get(&key) {
@@ -379,10 +388,12 @@ fn approx_cost_of_uncached(
         return f64::INFINITY;
     }
     let continuation = ctx.is_continuation(i);
+    // `effective_load` prices a switch away from a still-held deployment
+    // as a delta migration (`t_load_delta`) instead of a full reload.
     let setup = if continuation {
         0.0
     } else {
-        ctx.t_boot + c.t_load
+        ctx.t_boot + ctx.effective_load(i)
     };
     let t_int = useful + c.t_save;
     let wall = setup + t_int;
@@ -533,10 +544,12 @@ fn exact_cost_of(
         return Ok(f64::INFINITY);
     }
     let continuation = ctx.is_continuation(i);
+    // Same delta-aware setup as the approximation: a voluntary switch from
+    // a held deployment ships only the moved micro-partitions.
     let setup = if continuation {
         0.0
     } else {
-        ctx.t_boot + c.t_load
+        ctx.t_boot + ctx.effective_load(i)
     };
     let t_int = useful + c.t_save;
     let wall = setup + t_int;
@@ -851,6 +864,47 @@ mod tests {
             "fresh evaluation poisoned by the continuation row (cont {cc})"
         );
         assert_ne!(cc, cf, "the two states must memoize independently");
+    }
+
+    #[test]
+    fn held_deployment_switch_does_not_alias_evicted_state() {
+        // Switching candidates while a deployment is still held ships only
+        // the moved micro-partitions (t_load_delta); reaching the very same
+        // (t, w) state through an eviction pays the full reload. The two
+        // states must price differently AND must not share a Fresh memo row
+        // when evaluated in the same arena.
+        let cands = candidates();
+        let base = context(&cands);
+        let holding = base.at(
+            1800.0,
+            0.7,
+            Some(CurrentDeployment {
+                index: 3,
+                uptime: 1800.0,
+            }),
+        );
+        let evicted = base.at(1800.0, 0.7, None);
+        let p = EcParams::default();
+        let mut clean = EcMemo::new();
+        let switch_clean = approx_cost_of(&holding, 2, &p, &mut clean, 0);
+        let mut clean2 = EcMemo::new();
+        let fresh_clean = approx_cost_of(&evicted, 2, &p, &mut clean2, 0);
+        assert!(
+            switch_clean < fresh_clean,
+            "delta-priced switch ({switch_clean}) must undercut a full \
+             reload after eviction ({fresh_clean})"
+        );
+        // Same arena, evaluation order holding → evicted: without the
+        // `delta` key bit the second lookup would be served the cheaper
+        // delta-priced row.
+        let mut shared = EcMemo::new();
+        let switch_shared = approx_cost_of(&holding, 2, &p, &mut shared, 0);
+        let fresh_shared = approx_cost_of(&evicted, 2, &p, &mut shared, 0);
+        assert_eq!(switch_shared, switch_clean);
+        assert_eq!(
+            fresh_shared, fresh_clean,
+            "evicted-state evaluation poisoned by the held-state memo row"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | `t_ckpt^c`              | [`Candidate::checkpoint_interval`]          |
 //! | `useful(c, t)`          | [`DecisionContext::useful`]                 |
 //! | `expected_progress`     | [`DecisionContext::expected_progress`]      |
+//! | `t_reload_delta^c`      | [`Candidate::t_load_delta`]                 |
 //!
 //! All times are **seconds**, all rates **dollars per hour** for the whole
 //! deployment, and work is the fraction `w(t) ∈ [0, 1]` left to execute
@@ -33,6 +34,13 @@ pub struct Candidate {
     pub t_exec: f64,
     /// `t_load^c`: estimated time to load the graph from the datastore.
     pub t_load: f64,
+    /// `t_reload_delta^c`: estimated time to *delta-migrate* onto this
+    /// configuration from a live deployment — only the moved
+    /// micro-partitions' shards are re-read, so this is priced
+    /// proportional to moved bytes rather than graph size. Charged instead
+    /// of `t_load` when a deployment is still held at switch time; a full
+    /// reload (fresh start, eviction recovery) still pays `t_load`.
+    pub t_load_delta: f64,
     /// `t_save^c`: estimated time to checkpoint the job state.
     pub t_save: f64,
     /// Current price of the whole deployment in dollars per hour (market
@@ -146,6 +154,29 @@ impl<'a> DecisionContext<'a> {
         matches!(self.current, Some(cur) if cur.index == i)
     }
 
+    /// The load time actually charged when deploying candidate `i`: the
+    /// delta reload (`t_reload_delta`) when a live deployment is still
+    /// held — a voluntary reconfiguration migrates only the moved
+    /// micro-partitions — and the full `t_load` otherwise (fresh start or
+    /// eviction recovery, where the old slabs are gone). A continuation
+    /// loads nothing.
+    pub fn effective_load(&self, i: usize) -> f64 {
+        if self.is_continuation(i) {
+            0.0
+        } else if self.current.is_some() {
+            self.candidates[i].t_load_delta
+        } else {
+            self.candidates[i].t_load
+        }
+    }
+
+    /// `t_boot + effective_load + t_save` for candidate `i`: the fixed
+    /// cost of the switch actually being considered (delta-aware variant
+    /// of [`Candidate::t_fixed`]).
+    pub fn effective_fixed(&self, i: usize) -> f64 {
+        self.t_boot + self.effective_load(i) + self.candidates[i].t_save
+    }
+
     /// `useful(c, t)`: compute time available to candidate `i` before it
     /// must stop (job end, slack exhaustion, or checkpoint) — §5.1.
     ///
@@ -157,7 +188,7 @@ impl<'a> DecisionContext<'a> {
         let burn = if self.is_continuation(i) {
             c.t_save
         } else {
-            c.t_fixed(self.t_boot)
+            self.effective_fixed(i)
         };
         let slack = self.slack()?;
         Ok((self.work_left * c.t_exec)
@@ -179,7 +210,7 @@ impl<'a> DecisionContext<'a> {
         let setup = if self.is_continuation(i) {
             0.0
         } else {
-            self.t_boot + c.t_load
+            self.t_boot + self.effective_load(i)
         };
         self.now + setup + self.work_left * c.t_exec + c.t_save <= self.deadline
     }
@@ -228,6 +259,7 @@ pub(crate) mod testkit {
                 config: lrc_cfg,
                 t_exec: 4.0 * 3600.0,
                 t_load: 300.0,
+                t_load_delta: 37.5,
                 t_save: 120.0,
                 price_rate: lrc_cfg.on_demand_rate(),
                 eviction: eviction::reliable(),
@@ -236,6 +268,7 @@ pub(crate) mod testkit {
                 config: slow_od,
                 t_exec: 10.0 * 3600.0,
                 t_load: 400.0,
+                t_load_delta: 50.0,
                 t_save: 150.0,
                 price_rate: slow_od.on_demand_rate(),
                 eviction: eviction::reliable(),
@@ -244,6 +277,7 @@ pub(crate) mod testkit {
                 config: spot_fast,
                 t_exec: 4.0 * 3600.0,
                 t_load: 300.0,
+                t_load_delta: 37.5,
                 t_save: 120.0,
                 price_rate: lrc_cfg.on_demand_rate() * 0.3,
                 eviction: uniform_eviction(3.0 * 3600.0),
@@ -252,6 +286,7 @@ pub(crate) mod testkit {
                 config: spot_slow,
                 t_exec: 10.0 * 3600.0,
                 t_load: 400.0,
+                t_load_delta: 50.0,
                 t_save: 150.0,
                 price_rate: slow_od.on_demand_rate() * 0.25,
                 eviction: uniform_eviction(5.0 * 3600.0),
@@ -393,6 +428,42 @@ mod tests {
         // Past the point of no return even the lrc fails.
         let doomed = ctx.at(5.0 * 3600.0, 1.0, None);
         assert!(!doomed.on_demand_feasible(0));
+    }
+
+    #[test]
+    fn effective_load_prices_delta_only_while_holding_a_deployment() {
+        let cands = candidates();
+        let ctx = context(&cands);
+        // Fresh start: full reload.
+        assert_eq!(ctx.effective_load(2), cands[2].t_load);
+        // Voluntary switch off a live deployment: delta reload.
+        let holding = ctx.at(
+            600.0,
+            0.9,
+            Some(CurrentDeployment {
+                index: 3,
+                uptime: 600.0,
+            }),
+        );
+        assert_eq!(holding.effective_load(2), cands[2].t_load_delta);
+        // Continuation: nothing to load.
+        assert_eq!(holding.effective_load(3), 0.0);
+        // Eviction recovery (deployment gone): full reload again.
+        let evicted = ctx.at(1200.0, 0.8, None);
+        assert_eq!(evicted.effective_load(2), cands[2].t_load);
+        // The delta-priced switch also burns less slack in `useful` — but
+        // only visibly when slack binds, so pick a deadline tight enough
+        // to keep the checkpoint-interval cap out of the picture.
+        let tight_deadline = 600.0 + cands[0].t_fixed(ctx.t_boot) + 0.9 * cands[0].t_exec + 1500.0;
+        let tight_holding = DecisionContext {
+            deadline: tight_deadline,
+            ..holding.clone()
+        };
+        let tight_fresh = DecisionContext {
+            deadline: tight_deadline,
+            ..ctx.at(600.0, 0.9, None)
+        };
+        assert!(tight_holding.useful(2).expect("useful") > tight_fresh.useful(2).expect("useful"));
     }
 
     #[test]

@@ -473,6 +473,61 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
         self.metrics.truncate_to_superstep(self.superstep);
         Ok(())
     }
+
+    /// Adopts the execution state of another engine over the same graph —
+    /// the state carry-through of a delta migration: vertex values, halt
+    /// flags and pending inboxes move with their vertices instead of being
+    /// re-derived from a durable checkpoint. Workers whose member list is
+    /// unchanged take the old slabs wholesale; everyone else gathers
+    /// per-vertex through the old routing table. The result is
+    /// bit-identical to [`Self::checkpoint_state`] on `old` followed by
+    /// [`Self::restore_state`] on `self`, without materializing the
+    /// global-order checkpoint.
+    pub fn adopt_state_from(&mut self, old: &Self) -> Result<()> {
+        let n = self.graph.num_vertices();
+        if old.graph.num_vertices() != n {
+            return Err(EngineError::Checkpoint(format!(
+                "adopting state for {} vertices onto a graph with {n}",
+                old.graph.num_vertices()
+            )));
+        }
+        let _span = obs::span("delta_adopt", "engine")
+            .arg("superstep", old.superstep as u64)
+            .arg("vertices", n as u64);
+        self.superstep = old.superstep;
+        self.prev_aggregates = old.prev_aggregates.clone();
+        for w in 0..self.members.len() {
+            if old.members.get(w).is_some_and(|m| *m == self.members[w]) {
+                // Same vertex list in the same order: the slabs line up
+                // slot for slot.
+                self.values[w].clone_from(&old.values[w]);
+                self.halted[w].clone_from(&old.halted[w]);
+                self.inbox[w].clone_from(&old.inbox[w]);
+            } else {
+                for (slot, &v) in self.members[w].iter().enumerate() {
+                    let r = old.route[v as usize];
+                    let (ow, os) = ((r >> 32) as usize, r as u32 as usize);
+                    self.values[w][slot] = old.values[ow][os].clone();
+                    self.halted[w][slot] = old.halted[ow][os];
+                    self.inbox[w][slot] = old.inbox[ow][os].clone();
+                }
+            }
+        }
+        // Drop any in-flight buffers from the pre-adopt state, exactly as
+        // a checkpoint restore would.
+        for rows in &mut self.inbox_next {
+            for cell in rows {
+                cell.clear();
+            }
+        }
+        for rows in self.outboxes.iter_mut().chain(self.delivery.iter_mut()) {
+            for cell in rows {
+                cell.clear();
+            }
+        }
+        self.metrics.truncate_to_superstep(self.superstep);
+        Ok(())
+    }
 }
 
 /// The worker kernel: computes one superstep for the vertices of a single
@@ -755,6 +810,45 @@ mod tests {
         assert_eq!(b.superstep(), 1);
         b.run().expect("run");
         assert_eq!(a.values(), b.values(), "recovery must not change results");
+    }
+
+    #[test]
+    fn adopt_state_matches_checkpoint_restore() {
+        let g = generators::erdos_renyi(100, 300, 9).expect("gen");
+        let p2 = HashPartitioner.partition(&g, 2).expect("partition");
+        let mut a = BspEngine::new(MaxId, &g, p2.clone(), EngineConfig::default()).expect("engine");
+        a.step().expect("step");
+
+        for k in [1u32, 2, 8] {
+            let pk = HashPartitioner.partition(&g, k).expect("partition");
+            // Path 1: durable checkpoint + restore.
+            let mut via_ckpt =
+                BspEngine::new(MaxId, &g, pk.clone(), EngineConfig::default()).expect("engine");
+            via_ckpt
+                .restore_state(a.checkpoint_state())
+                .expect("restore");
+            // Path 2: direct adoption (the delta-migration carry-through).
+            let mut via_adopt =
+                BspEngine::new(MaxId, &g, pk, EngineConfig::default()).expect("engine");
+            via_adopt.adopt_state_from(&a).expect("adopt");
+
+            assert_eq!(via_adopt.superstep(), via_ckpt.superstep());
+            assert_eq!(via_adopt.values(), via_ckpt.values(), "k={k}");
+            via_ckpt.run().expect("run");
+            via_adopt.run().expect("run");
+            assert_eq!(via_adopt.values(), via_ckpt.values(), "k={k} after run");
+        }
+    }
+
+    #[test]
+    fn adopt_state_rejects_mismatched_graph() {
+        let g1 = ring(8);
+        let g2 = ring(9);
+        let p1 = HashPartitioner.partition(&g1, 2).expect("partition");
+        let p2 = HashPartitioner.partition(&g2, 2).expect("partition");
+        let a = BspEngine::new(MaxId, &g1, p1, EngineConfig::default()).expect("engine");
+        let mut b = BspEngine::new(MaxId, &g2, p2, EngineConfig::default()).expect("engine");
+        assert!(b.adopt_state_from(&a).is_err());
     }
 
     #[test]

@@ -65,6 +65,16 @@ pub enum EngineError {
         /// The limit that was hit.
         max_supersteps: usize,
     },
+    /// Worker slabs handed to [`loaders::reload_graph`] were inconsistent:
+    /// a vertex was out of range for the deployment graph or owned by more
+    /// than one worker (a corrupt store or a bad micro→worker map would
+    /// otherwise silently corrupt the rebuilt CSR).
+    SlabConflict {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The worker whose slab triggered the conflict.
+        worker: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -81,6 +91,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::DidNotConverge { max_supersteps } => {
                 write!(f, "program did not halt within {max_supersteps} supersteps")
+            }
+            EngineError::SlabConflict { vertex, worker } => {
+                write!(
+                    f,
+                    "worker {worker} slab conflicts on vertex {vertex}: duplicated or out of range"
+                )
             }
         }
     }

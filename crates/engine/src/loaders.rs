@@ -29,12 +29,13 @@
 //!   penalty; hash pays the network at small clusters; micro scales with
 //!   `1/k`).
 
-use crate::exec::par_map;
+use crate::exec::{par_map, par_map_when};
 use crate::{EngineError, Result};
 use hourglass_faults::{FaultInjector, FaultKind, FaultPlan, Op, RetryPolicy, Site};
 use hourglass_graph::io_binary::{decode_arcs, ShardedArcs, ARC_BYTES};
 use hourglass_graph::{Graph, VertexId};
 use hourglass_obs as obs;
+use hourglass_partition::cluster::ClusteringDelta;
 use hourglass_partition::Partitioning;
 use std::fmt;
 
@@ -361,7 +362,12 @@ impl Datastore {
         }
     }
 
-    fn bucket_byte_len(&self, b: u32) -> usize {
+    /// Stored size of one micro-partition bucket in bytes. Hash buckets
+    /// over a power-law graph are heavily skewed (a hub-dominated bucket
+    /// can hold an order of magnitude more arcs than the median), so
+    /// reconfiguration planners size migrations by this, not by bucket
+    /// count.
+    pub fn bucket_byte_len(&self, b: u32) -> usize {
         match self {
             Datastore::Text(s) => s.buckets[b as usize].len(),
             Datastore::Binary(s) => s.bucket_bytes(b).len(),
@@ -726,6 +732,20 @@ pub struct LoadStats {
     pub backoff_ns: u64,
 }
 
+impl LoadStats {
+    /// Field-wise sum — the accounting of two load attempts that both
+    /// happened (e.g. an aborted binary load plus its text fallback).
+    pub fn merged(self, other: LoadStats) -> LoadStats {
+        LoadStats {
+            bytes_parsed: self.bytes_parsed + other.bytes_parsed,
+            arcs_exchanged: self.arcs_exchanged + other.arcs_exchanged,
+            lines_skipped: self.lines_skipped + other.lines_skipped,
+            retries: self.retries + other.retries,
+            backoff_ns: self.backoff_ns + other.backoff_ns,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Physical loaders.
 // ---------------------------------------------------------------------------
@@ -847,6 +867,58 @@ impl ReloadFaults {
     }
 }
 
+/// Deterministic fault pre-pass over a set of shard reads: consults
+/// [`Site::ShardRead`] once per listed bucket, in the given order,
+/// retry-accounting every injected fault. Returns `(retries, backoff_ns)`
+/// on success. A bucket still unreadable after [`RetryPolicy::attempts`]
+/// tries aborts with the typed error *plus* the accounting spent so far —
+/// the final failed try is itself counted as a consumed retry, so a caller
+/// that merges this into a fallback attempt's stats sees every try that
+/// actually happened.
+fn shard_fault_prepass(
+    store: &Datastore,
+    buckets: &[u32],
+    faults: Option<&ReloadFaults>,
+) -> std::result::Result<(u64, u64), (EngineError, LoadStats)> {
+    let mut retries = 0u64;
+    let mut backoff_ns = 0u64;
+    if let Some(f) = faults {
+        for &b in buckets {
+            let len = store.bucket_byte_len(b) as u64;
+            let mut attempt: u32 = 0;
+            loop {
+                match f.injector.next(Site::ShardRead, Op::len(len)) {
+                    None => break,
+                    Some(FaultKind::Delay { ns }) => {
+                        backoff_ns += ns;
+                        break;
+                    }
+                    Some(_) => {
+                        attempt += 1;
+                        if attempt >= f.retry.attempts {
+                            retries += 1;
+                            return Err((
+                                EngineError::ShardRead {
+                                    bucket: b,
+                                    attempts: attempt,
+                                },
+                                LoadStats {
+                                    retries,
+                                    backoff_ns,
+                                    ..LoadStats::default()
+                                },
+                            ));
+                        }
+                        retries += 1;
+                        backoff_ns += f.retry.backoff_ns(attempt - 1);
+                    }
+                }
+            }
+        }
+    }
+    Ok((retries, backoff_ns))
+}
+
 /// [`micro_load`] with an optional fault plan applied to the shard reads.
 ///
 /// Fault decisions are drawn in a **sequential pre-pass** over buckets in
@@ -865,31 +937,46 @@ pub fn micro_load_faulty(
     num_workers: u32,
     faults: Option<&ReloadFaults>,
 ) -> Result<(Vec<LoadedWorker>, LoadStats)> {
+    micro_load_faulty_impl(store, micro, micro_to_worker, num_workers, faults)
+        .map_err(|(e, _partial)| e)
+}
+
+/// The body of [`micro_load_faulty`]; the error side carries the
+/// [`LoadStats`] accounted before the load aborted (retries spent and
+/// backoff accrued on every bucket up to and including the one that
+/// exhausted its attempts), so resilient callers can merge the aborted
+/// attempt into the fallback attempt's accounting instead of dropping it.
+fn micro_load_faulty_impl(
+    store: &Datastore,
+    micro: &Partitioning,
+    micro_to_worker: &[u32],
+    num_workers: u32,
+    faults: Option<&ReloadFaults>,
+) -> std::result::Result<(Vec<LoadedWorker>, LoadStats), (EngineError, LoadStats)> {
     let _span = obs::span("micro_load", "loader")
         .arg("bytes", store.byte_size() as u64)
         .arg("workers", num_workers as u64)
         .arg("micros", micro.num_parts() as u64);
+    let invalid = |m: String| (EngineError::InvalidConfig(m), LoadStats::default());
     let buckets = store.num_buckets();
     if buckets < 2 && micro.num_parts() >= 2 {
-        return Err(EngineError::InvalidConfig(
-            "store has no micro-partition buckets".into(),
-        ));
+        return Err(invalid("store has no micro-partition buckets".into()));
     }
     if micro_to_worker.len() != buckets as usize || buckets != micro.num_parts() {
-        return Err(EngineError::InvalidConfig(format!(
+        return Err(invalid(format!(
             "micro map covers {} micros, store has {} buckets",
             micro_to_worker.len(),
             buckets
         )));
     }
     if let Some(&bad) = micro_to_worker.iter().find(|&&w| w >= num_workers) {
-        return Err(EngineError::InvalidConfig(format!(
+        return Err(invalid(format!(
             "micro map references worker {bad} of {num_workers}"
         )));
     }
     if let Datastore::Binary(s) = store {
         if s.num_vertices() as usize != micro.num_vertices() {
-            return Err(EngineError::InvalidConfig(format!(
+            return Err(invalid(format!(
                 "binary store indexes {} vertices, micro partitioning has {}",
                 s.num_vertices(),
                 micro.num_vertices()
@@ -898,34 +985,8 @@ pub fn micro_load_faulty(
     }
     // Deterministic fault pre-pass: one consult loop per bucket, in
     // global bucket order, independent of worker scheduling.
-    let mut fault_retries = 0u64;
-    let mut fault_backoff_ns = 0u64;
-    if let Some(f) = faults {
-        for b in 0..buckets {
-            let len = store.bucket_byte_len(b) as u64;
-            let mut attempt: u32 = 0;
-            loop {
-                match f.injector.next(Site::ShardRead, Op::len(len)) {
-                    None => break,
-                    Some(FaultKind::Delay { ns }) => {
-                        fault_backoff_ns += ns;
-                        break;
-                    }
-                    Some(_) => {
-                        attempt += 1;
-                        if attempt >= f.retry.attempts {
-                            return Err(EngineError::ShardRead {
-                                bucket: b,
-                                attempts: attempt,
-                            });
-                        }
-                        fault_retries += 1;
-                        fault_backoff_ns += f.retry.backoff_ns(attempt - 1);
-                    }
-                }
-            }
-        }
-    }
+    let all_buckets: Vec<u32> = (0..buckets).collect();
+    let (fault_retries, fault_backoff_ns) = shard_fault_prepass(store, &all_buckets, faults)?;
 
     let n = micro.num_vertices() as u32;
     // Ownership = micro assignment composed with the micro→worker map.
@@ -994,6 +1055,328 @@ pub fn micro_load_faulty(
     Ok((workers, stats))
 }
 
+/// Merges the retained slice of an old worker slab with the freshly
+/// assembled gained vertices into one CSR slab. The two vertex sets are
+/// disjoint — a vertex's micro-partition either stayed with the worker or
+/// moved in from elsewhere — so this is a two-pointer merge of sorted runs
+/// with no store IO at all.
+fn merge_retained(
+    w: u32,
+    old: Option<&LoadedWorker>,
+    keep: impl Fn(VertexId) -> bool,
+    fresh: LoadedWorker,
+) -> LoadedWorker {
+    let Some(old) = old else {
+        return fresh;
+    };
+    let (retained_verts, retained_arcs) = {
+        let mut verts = 0usize;
+        let mut arcs = 0usize;
+        for (i, &v) in old.vertices.iter().enumerate() {
+            if keep(v) {
+                verts += 1;
+                arcs += old.offsets[i + 1] - old.offsets[i];
+            }
+        }
+        (verts, arcs)
+    };
+    if retained_verts == 0 {
+        return fresh;
+    }
+    let mut vertices = Vec::with_capacity(retained_verts + fresh.vertices.len());
+    let mut offsets = Vec::with_capacity(retained_verts + fresh.vertices.len() + 1);
+    let mut neighbors: Vec<VertexId> = Vec::with_capacity(retained_arcs + fresh.neighbors.len());
+    offsets.push(0);
+    let emit_fresh = |j: usize, neighbors: &mut Vec<VertexId>, offsets: &mut Vec<usize>| {
+        neighbors.extend_from_slice(&fresh.neighbors[fresh.offsets[j]..fresh.offsets[j + 1]]);
+        offsets.push(neighbors.len());
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.vertices.len() {
+        if !keep(old.vertices[i]) {
+            i += 1;
+            continue;
+        }
+        while j < fresh.vertices.len() && fresh.vertices[j] < old.vertices[i] {
+            vertices.push(fresh.vertices[j]);
+            emit_fresh(j, &mut neighbors, &mut offsets);
+            j += 1;
+        }
+        // Maximal run of consecutive retained vertices with no fresh vertex
+        // interleaved: their neighbor slices are adjacent in the old CSR
+        // slab, so the whole run's arcs move in one bulk copy.
+        let fence = fresh.vertices.get(j).copied().unwrap_or(VertexId::MAX);
+        let mut end = i + 1;
+        while end < old.vertices.len() && old.vertices[end] < fence && keep(old.vertices[end]) {
+            end += 1;
+        }
+        let arc_base = neighbors.len();
+        let run_start = old.offsets[i];
+        neighbors.extend_from_slice(&old.neighbors[run_start..old.offsets[end]]);
+        vertices.extend_from_slice(&old.vertices[i..end]);
+        offsets.extend((i + 1..=end).map(|t| arc_base + (old.offsets[t] - run_start)));
+        i = end;
+    }
+    while j < fresh.vertices.len() {
+        vertices.push(fresh.vertices[j]);
+        emit_fresh(j, &mut neighbors, &mut offsets);
+        j += 1;
+    }
+    LoadedWorker {
+        worker: w,
+        vertices,
+        offsets,
+        neighbors,
+    }
+}
+
+/// Delta migration (the O(delta) reconfiguration path, §6.2 extended):
+/// transitions loaded worker slabs from one clustering to another by
+/// re-reading **only the moved micro-partitions' buckets** and rebuilding
+/// **only the affected workers' CSR slabs**. Unchanged workers — those
+/// that neither gained nor lost a micro-partition — keep their slabs
+/// untouched (they are moved through, not copied, parsed or re-read).
+///
+/// `micro_to_worker` is the **new** clustering's micro→worker map;
+/// `old_workers` are the slabs of the previous deployment, consumed by the
+/// migration. Store IO is proportional to
+/// [`ClusteringDelta::moved_fraction`], which is what lets the EC model
+/// price a voluntary reconfiguration far below a full reload.
+pub fn delta_load(
+    store: &Datastore,
+    micro: &Partitioning,
+    delta: &ClusteringDelta,
+    micro_to_worker: &[u32],
+    old_workers: Vec<LoadedWorker>,
+) -> Result<(Vec<LoadedWorker>, LoadStats)> {
+    delta_load_faulty(store, micro, delta, micro_to_worker, old_workers, None)
+}
+
+/// [`delta_load`] with an optional fault plan applied to the shard reads.
+///
+/// Only the *moved* buckets are read, so only they consult the injector —
+/// in global bucket order, same as [`micro_load_faulty`]. A moved bucket
+/// that exhausts its retries yields the typed [`EngineError::ShardRead`];
+/// callers fall back to a full reload (the old slabs are gone, but the
+/// store still holds everything).
+pub fn delta_load_faulty(
+    store: &Datastore,
+    micro: &Partitioning,
+    delta: &ClusteringDelta,
+    micro_to_worker: &[u32],
+    old_workers: Vec<LoadedWorker>,
+    faults: Option<&ReloadFaults>,
+) -> Result<(Vec<LoadedWorker>, LoadStats)> {
+    let k_to = delta.to_workers();
+    let k_from = delta.from_workers();
+    let buckets = store.num_buckets();
+    if buckets != micro.num_parts() || buckets != delta.num_micro() {
+        return Err(EngineError::InvalidConfig(format!(
+            "delta covers {} micros, store has {} buckets, partitioning {}",
+            delta.num_micro(),
+            buckets,
+            micro.num_parts()
+        )));
+    }
+    if micro_to_worker.len() != buckets as usize {
+        return Err(EngineError::InvalidConfig(format!(
+            "micro map covers {} micros, store has {buckets} buckets",
+            micro_to_worker.len()
+        )));
+    }
+    if let Some(&bad) = micro_to_worker.iter().find(|&&w| w >= k_to) {
+        return Err(EngineError::InvalidConfig(format!(
+            "micro map references worker {bad} of {k_to}"
+        )));
+    }
+    if old_workers.len() != k_from as usize {
+        return Err(EngineError::InvalidConfig(format!(
+            "migration from {} workers got {} old slabs",
+            k_from,
+            old_workers.len()
+        )));
+    }
+    for (w, lw) in old_workers.iter().enumerate() {
+        if lw.worker != w as u32 {
+            return Err(EngineError::InvalidConfig(format!(
+                "old slab {w} carries worker id {}",
+                lw.worker
+            )));
+        }
+    }
+    for mv in delta.moved() {
+        if micro_to_worker[mv.micro as usize] != mv.to {
+            return Err(EngineError::InvalidConfig(format!(
+                "delta moves micro {} to worker {}, map says {}",
+                mv.micro, mv.to, micro_to_worker[mv.micro as usize]
+            )));
+        }
+    }
+    if let Datastore::Binary(s) = store {
+        if s.num_vertices() as usize != micro.num_vertices() {
+            return Err(EngineError::InvalidConfig(format!(
+                "binary store indexes {} vertices, micro partitioning has {}",
+                s.num_vertices(),
+                micro.num_vertices()
+            )));
+        }
+    }
+
+    /// Below this many moved bytes the rebuild runs on the calling thread:
+    /// an OS thread spawn costs tens of microseconds, which dwarfs the
+    /// decode+merge of a handful of micro-partition buckets and would
+    /// erase the delta path's advantage over a full reload.
+    const DELTA_PARALLEL_MIN_BYTES: u64 = 8 << 20;
+
+    let moved_bytes: u64 = delta
+        .moved()
+        .iter()
+        .map(|mv| store.bucket_byte_len(mv.micro) as u64)
+        .sum();
+    let _span = obs::span("delta_load", "loader")
+        .arg("moved", delta.moved().len() as u64)
+        .arg("micros", buckets as u64)
+        .arg("bytes", moved_bytes);
+
+    // Plan: which workers rebuild, and which buckets each one gains.
+    let (gained, affected) = {
+        let _plan_span = obs::span("delta_plan", "loader")
+            .arg("moved", delta.moved().len() as u64)
+            .arg("workers", k_to as u64);
+        let mut gained: Vec<Vec<u32>> = (0..k_to).map(|_| Vec::new()).collect();
+        let mut affected = vec![false; k_to.max(k_from) as usize];
+        for mv in delta.moved() {
+            gained[mv.to as usize].push(mv.micro);
+            affected[mv.to as usize] = true;
+            affected[mv.from as usize] = true;
+        }
+        (gained, affected)
+    };
+
+    // Fault pre-pass over the moved buckets only — the unmoved ones are
+    // never read, so they cannot fault.
+    let moved_ids: Vec<u32> = delta.moved().iter().map(|mv| mv.micro).collect();
+    let (fault_retries, fault_backoff_ns) =
+        shard_fault_prepass(store, &moved_ids, faults).map_err(|(e, _)| e)?;
+
+    let n = micro.num_vertices() as u32;
+    let owner: Vec<u32> = micro
+        .assignment()
+        .iter()
+        .map(|&m| micro_to_worker[m as usize])
+        .collect();
+    let plan = AssemblyPlan::new(k_to, owner);
+
+    let mut old_slots: Vec<Option<LoadedWorker>> = old_workers.into_iter().map(Some).collect();
+    let mut gained = gained;
+    let rebuild: Vec<(u32, Vec<u32>, Option<LoadedWorker>)> = (0..k_to)
+        .filter(|&w| affected[w as usize])
+        .map(|w| {
+            let old = old_slots.get_mut(w as usize).and_then(|slot| slot.take());
+            (w, std::mem::take(&mut gained[w as usize]), old)
+        })
+        .collect();
+
+    // One thread per rebuilt worker only pays off when there is real
+    // decode work to hide; a small delta rebuilds on the calling thread
+    // (the spawn alone costs more than shipping a few buckets).
+    let parallel = moved_bytes >= DELTA_PARALLEL_MIN_BYTES;
+    let built: Vec<(LoadedWorker, u64, u64)> =
+        par_map_when(parallel, &rebuild, |(w, bucket_ids, old)| {
+            let w = *w;
+            let bytes: u64 = bucket_ids
+                .iter()
+                .map(|&b| store.bucket_byte_len(b) as u64)
+                .sum();
+            // Ship: read exactly the gained buckets (bucket m holds the arcs
+            // whose source lives in micro m, so every arc here belongs to w).
+            let (arcs, parse_skipped) = {
+                let _span = obs::span("delta_ship", "loader")
+                    .arg("worker", w as u64)
+                    .arg("bytes", bytes)
+                    .arg("shards", bucket_ids.len() as u64);
+                match store {
+                    Datastore::Text(s) => {
+                        let mut out = Vec::new();
+                        let mut skipped = 0u64;
+                        for &b in bucket_ids {
+                            skipped += parse_text_arcs(&mut out, &s.buckets()[b as usize], n);
+                        }
+                        (WorkerArcs::Owned(out), skipped)
+                    }
+                    Datastore::Binary(s) => (
+                        WorkerArcs::Bytes(bucket_ids.iter().map(|&b| s.bucket_bytes(b)).collect()),
+                        0,
+                    ),
+                }
+            };
+            // A worker that only loses micros gains no arcs; skip the
+            // counting-sort entirely instead of running it over zero input.
+            let (fresh, dropped) = if bucket_ids.is_empty() {
+                (
+                    LoadedWorker {
+                        worker: w,
+                        vertices: Vec::new(),
+                        offsets: vec![0],
+                        neighbors: Vec::new(),
+                    },
+                    0,
+                )
+            } else {
+                assemble_worker(w, &arcs, &plan)
+            };
+            let gained_arcs = fresh.num_arcs() as u64;
+            // Assemble: splice the retained slices of the old slab (no IO)
+            // with the freshly decoded gained vertices.
+            let merged = {
+                let _span = obs::span("delta_assemble", "loader")
+                    .arg("worker", w as u64)
+                    .arg("gained_arcs", gained_arcs);
+                merge_retained(w, old.as_ref(), |v| plan.owner[v as usize] == w, fresh)
+            };
+            (merged, parse_skipped + dropped, gained_arcs)
+        });
+
+    let mut rebuilt: Vec<Option<LoadedWorker>> = (0..k_to).map(|_| None).collect();
+    let mut skipped = 0u64;
+    let mut arcs_exchanged = 0u64;
+    for (lw, s, a) in built {
+        skipped += s;
+        arcs_exchanged += a;
+        let slot = lw.worker as usize;
+        rebuilt[slot] = Some(lw);
+    }
+    let mut workers = Vec::with_capacity(k_to as usize);
+    for w in 0..k_to as usize {
+        let lw = if affected[w] {
+            rebuilt[w].take().expect("affected worker was rebuilt")
+        } else if w < old_slots.len() {
+            // Unchanged: the previous deployment's slab moves through
+            // untouched — no read, no parse, no copy.
+            old_slots[w]
+                .take()
+                .expect("unchanged worker keeps its slab")
+        } else {
+            // A new worker that owns no micro-partitions at all.
+            LoadedWorker {
+                worker: w as u32,
+                vertices: Vec::new(),
+                offsets: vec![0],
+                neighbors: Vec::new(),
+            }
+        };
+        workers.push(lw);
+    }
+    let stats = LoadStats {
+        bytes_parsed: moved_bytes,
+        arcs_exchanged,
+        lines_skipped: skipped,
+        retries: fault_retries,
+        backoff_ns: fault_backoff_ns,
+    };
+    Ok((workers, stats))
+}
+
 /// Reloads the deployment graph from the binary fast-reload store,
 /// degrading to text-store re-assembly when shards stay unreadable.
 ///
@@ -1012,12 +1395,12 @@ pub fn reload_graph_resilient(
     directed: bool,
     faults: Option<&ReloadFaults>,
 ) -> Result<(Graph, LoadStats, bool)> {
-    match micro_load_faulty(binary, micro, micro_to_worker, num_workers, faults) {
+    match micro_load_faulty_impl(binary, micro, micro_to_worker, num_workers, faults) {
         Ok((workers, stats)) => {
             let g = reload_graph(&workers, micro.num_vertices(), directed)?;
             Ok((g, stats, false))
         }
-        Err(EngineError::ShardRead { bucket, attempts }) => {
+        Err((EngineError::ShardRead { bucket, attempts }, binary_stats)) => {
             let text = match text_fallback {
                 Some(t) => t,
                 None => return Err(EngineError::ShardRead { bucket, attempts }),
@@ -1026,12 +1409,14 @@ pub fn reload_graph_resilient(
             args.push("bucket", bucket as u64);
             args.push("attempts", attempts as u64);
             obs::instant("degraded_reload", "loader", args);
-            let (workers, mut stats) = micro_load(text, micro, micro_to_worker, num_workers)?;
-            stats.retries += (attempts - 1) as u64;
+            let (workers, text_stats) = micro_load(text, micro, micro_to_worker, num_workers)?;
+            // Both attempts happened; account both — the aborted binary
+            // attempt's retries and backoff plus the fallback's own stats.
+            let stats = binary_stats.merged(text_stats);
             let g = reload_graph(&workers, micro.num_vertices(), directed)?;
             Ok((g, stats, true))
         }
-        Err(e) => Err(e),
+        Err((e, _partial)) => Err(e),
     }
 }
 
@@ -1053,9 +1438,21 @@ pub fn reload_graph(
         .arg("workers", workers.len() as u64)
         .arg("vertices", num_vertices as u64);
     let mut degree = vec![0usize; num_vertices];
+    // Worker vertex lists must tile the id space: a duplicated or
+    // out-of-range vertex would silently double-count degrees and corrupt
+    // the rebuilt CSR, so both are a typed error instead.
+    let mut owner_seen = vec![false; num_vertices];
     for w in workers {
         for (i, &v) in w.vertices.iter().enumerate() {
-            degree[v as usize] += w.offsets[i + 1] - w.offsets[i];
+            let vi = v as usize;
+            if vi >= num_vertices || owner_seen[vi] {
+                return Err(EngineError::SlabConflict {
+                    vertex: v,
+                    worker: w.worker,
+                });
+            }
+            owner_seen[vi] = true;
+            degree[vi] += w.offsets[i + 1] - w.offsets[i];
         }
     }
     let mut offsets = Vec::with_capacity(num_vertices + 1);
@@ -1426,5 +1823,225 @@ mod tests {
         assert!(!degraded);
         assert_eq!(stats.retries, 0);
         assert_eq!(got, g);
+    }
+
+    #[test]
+    fn degraded_reload_accounts_both_attempts() {
+        // Regression: the text-fallback path used to fold only
+        // `attempts - 1` into retries and drop the aborted binary
+        // attempt's backoff entirely.
+        let (g, _) = fixture();
+        let (mp, map, bin, text) = micro_fixture(&g);
+        let plan = FaultPlan::new(3).rule(
+            Site::ShardRead,
+            Trigger::Ratio { per_mille: 1000 },
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let faults = ReloadFaults::from_plan(&plan);
+        let (got, stats, degraded) =
+            reload_graph_resilient(&bin, Some(&text), mp.micro(), &map, 4, false, Some(&faults))
+                .expect("fallback reload");
+        assert!(degraded);
+        assert_eq!(got, g);
+        // Bucket 0 exhausts: attempts − 1 retried tries plus the final
+        // failed one, each pre-final try with its deterministic backoff.
+        let attempts = faults.retry.attempts;
+        assert_eq!(stats.retries, attempts as u64);
+        let expected_backoff: u64 = (0..attempts - 1).map(|i| faults.retry.backoff_ns(i)).sum();
+        assert_eq!(stats.backoff_ns, expected_backoff);
+        // The aborted binary attempt read no payload; the fallback parsed
+        // the whole text store.
+        assert_eq!(stats.bytes_parsed, text.byte_size() as u64);
+    }
+
+    #[test]
+    fn reload_graph_rejects_overlapping_or_out_of_range_slabs() {
+        let w0 = LoadedWorker {
+            worker: 0,
+            vertices: vec![0, 1],
+            offsets: vec![0, 1, 2],
+            neighbors: vec![1, 0],
+        };
+        let dup = LoadedWorker {
+            worker: 1,
+            vertices: vec![1],
+            offsets: vec![0, 1],
+            neighbors: vec![0],
+        };
+        assert!(matches!(
+            reload_graph(&[w0.clone(), dup], 4, true),
+            Err(EngineError::SlabConflict {
+                vertex: 1,
+                worker: 1
+            })
+        ));
+        let oob = LoadedWorker {
+            worker: 1,
+            vertices: vec![9],
+            offsets: vec![0, 1],
+            neighbors: vec![0],
+        };
+        assert!(matches!(
+            reload_graph(&[w0, oob], 4, true),
+            Err(EngineError::SlabConflict {
+                vertex: 9,
+                worker: 1
+            })
+        ));
+    }
+
+    // --- delta migration ---
+
+    use hourglass_partition::cluster::Clustering;
+
+    #[test]
+    fn delta_load_matches_full_micro_load_on_both_formats() {
+        let (g, _) = fixture();
+        let (mp, map, bin, text) = micro_fixture(&g);
+        for store in [&bin, &text] {
+            let (old_workers, _) = micro_load(store, mp.micro(), &map, 4).expect("load");
+            let mut new_map = map.clone();
+            new_map[3] = (new_map[3] + 1) % 4;
+            new_map[11] = (new_map[11] + 2) % 4;
+            let from = Clustering::from_micro_to_macro(&mp, map.clone(), 4).expect("clustering");
+            let to = Clustering::from_micro_to_macro(&mp, new_map.clone(), 4).expect("clustering");
+            let delta = ClusteringDelta::between(&mp, &from, &to).expect("delta");
+            let (dw, ds) =
+                delta_load(store, mp.micro(), &delta, &new_map, old_workers).expect("delta");
+            let (fw, fs) = micro_load(store, mp.micro(), &new_map, 4).expect("load");
+            assert_eq!(dw, fw, "{}: slabs must be bit-identical", store.format());
+            assert_eq!(reload_graph(&dw, g.num_vertices(), false).expect("csr"), g);
+            // IO is proportional to the moved buckets, not the graph.
+            let moved_bytes: u64 = delta
+                .moved()
+                .iter()
+                .map(|mv| store.bucket_byte_len(mv.micro) as u64)
+                .sum();
+            assert_eq!(ds.bytes_parsed, moved_bytes);
+            assert!(ds.bytes_parsed < fs.bytes_parsed / 2, "{ds:?} vs {fs:?}");
+        }
+    }
+
+    #[test]
+    fn delta_load_across_worker_counts() {
+        let (g, _) = fixture();
+        let (mp, _, bin, _) = micro_fixture(&g);
+        let c4 = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let c8 = cluster_micro_partitions(&mp, 8, 1).expect("cluster");
+        for (from, to) in [(&c4, &c8), (&c8, &c4)] {
+            let k_from = from.vertex_partitioning().num_parts();
+            let k_to = to.vertex_partitioning().num_parts();
+            let (old_workers, _) =
+                micro_load(&bin, mp.micro(), from.micro_to_macro(), k_from).expect("load");
+            let delta = ClusteringDelta::between(&mp, from, to).expect("delta");
+            let (dw, _) = delta_load(&bin, mp.micro(), &delta, to.micro_to_macro(), old_workers)
+                .expect("delta");
+            let (fw, _) = micro_load(&bin, mp.micro(), to.micro_to_macro(), k_to).expect("load");
+            assert_eq!(dw, fw, "{k_from}→{k_to}");
+            assert_eq!(reload_graph(&dw, g.num_vertices(), false).expect("csr"), g);
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_a_free_identity_even_under_permanent_faults() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let (old_workers, _) = micro_load(&bin, mp.micro(), &map, 4).expect("load");
+        let expect = old_workers.clone();
+        let c = Clustering::from_micro_to_macro(&mp, map.clone(), 4).expect("clustering");
+        let delta = ClusteringDelta::between(&mp, &c, &c).expect("delta");
+        // Permanent faults on every shard read: an empty delta reads
+        // nothing, so nothing can fault.
+        let plan = FaultPlan::new(3).rule(
+            Site::ShardRead,
+            Trigger::Ratio { per_mille: 1000 },
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let faults = ReloadFaults::from_plan(&plan);
+        let (dw, ds) =
+            delta_load_faulty(&bin, mp.micro(), &delta, &map, old_workers, Some(&faults))
+                .expect("delta");
+        assert_eq!(dw, expect);
+        assert_eq!(ds, LoadStats::default());
+    }
+
+    #[test]
+    fn faulted_delta_retries_then_falls_back_to_full_reload() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let mut new_map = map.clone();
+        new_map[0] = (new_map[0] + 1) % 4;
+        new_map[7] = (new_map[7] + 3) % 4;
+        let from = Clustering::from_micro_to_macro(&mp, map.clone(), 4).expect("clustering");
+        let to = Clustering::from_micro_to_macro(&mp, new_map.clone(), 4).expect("clustering");
+        let delta = ClusteringDelta::between(&mp, &from, &to).expect("delta");
+
+        // A single transient fault on the first moved-bucket read is
+        // retried away and the result is bit-identical.
+        let (old_workers, _) = micro_load(&bin, mp.micro(), &map, 4).expect("load");
+        let plan = FaultPlan::new(7).rule_budgeted(
+            Site::ShardRead,
+            Trigger::OnCall(0),
+            FaultKind::Io(IoKind::TimedOut),
+            1,
+        );
+        let faults = ReloadFaults::from_plan(&plan);
+        let (dw, ds) = delta_load_faulty(
+            &bin,
+            mp.micro(),
+            &delta,
+            &new_map,
+            old_workers,
+            Some(&faults),
+        )
+        .expect("delta");
+        let (fw, _) = micro_load(&bin, mp.micro(), &new_map, 4).expect("load");
+        assert_eq!(dw, fw);
+        assert_eq!(ds.retries, 1);
+        assert!(ds.backoff_ns > 0);
+
+        // Permanent faults exhaust into the typed error; the caller falls
+        // back to a full reload of the new clustering without corruption.
+        let (old_workers, _) = micro_load(&bin, mp.micro(), &map, 4).expect("load");
+        let plan = FaultPlan::new(3).rule(
+            Site::ShardRead,
+            Trigger::Ratio { per_mille: 1000 },
+            FaultKind::Io(IoKind::TimedOut),
+        );
+        let faults = ReloadFaults::from_plan(&plan);
+        let err = delta_load_faulty(
+            &bin,
+            mp.micro(),
+            &delta,
+            &new_map,
+            old_workers,
+            Some(&faults),
+        )
+        .expect_err("permanent faults must not delta-load");
+        assert!(matches!(err, EngineError::ShardRead { .. }), "{err}");
+        let (fallback, _) = micro_load(&bin, mp.micro(), &new_map, 4).expect("fallback");
+        assert_eq!(
+            reload_graph(&fallback, g.num_vertices(), false).expect("csr"),
+            g
+        );
+    }
+
+    #[test]
+    fn delta_load_validates_inputs() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let c = Clustering::from_micro_to_macro(&mp, map.clone(), 4).expect("clustering");
+        let delta = ClusteringDelta::between(&mp, &c, &c).expect("delta");
+        let (old_workers, _) = micro_load(&bin, mp.micro(), &map, 4).expect("load");
+        // Map length mismatch.
+        assert!(delta_load(&bin, mp.micro(), &delta, &map[..3], old_workers.clone()).is_err());
+        // Wrong number of old slabs.
+        assert!(delta_load(&bin, mp.micro(), &delta, &map, old_workers[..2].to_vec()).is_err());
+        // Map disagrees with the delta's destination.
+        let mut new_map = map.clone();
+        new_map[5] = (new_map[5] + 1) % 4;
+        let to = Clustering::from_micro_to_macro(&mp, new_map, 4).expect("clustering");
+        let d2 = ClusteringDelta::between(&mp, &c, &to).expect("delta");
+        assert!(delta_load(&bin, mp.micro(), &d2, &map, old_workers).is_err());
     }
 }

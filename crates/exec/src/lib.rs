@@ -75,8 +75,20 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_when(true, items, f)
+}
+
+/// [`par_map`] with an explicit parallelism switch: callers whose
+/// per-item work can be smaller than a thread spawn (tens of
+/// microseconds) pass `parallel = false` to run on the calling thread.
+pub fn par_map_when<T, R, F>(parallel: bool, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let f = &f;
-    fork_join(true, items.iter().map(|item| move || f(item)).collect())
+    fork_join(parallel, items.iter().map(|item| move || f(item)).collect())
 }
 
 /// Splits `0..len` into at most `max_tasks` contiguous ranges of nearly

@@ -54,6 +54,145 @@ impl Clustering {
     pub fn vertex_partitioning(&self) -> &Partitioning {
         &self.vertex_partitioning
     }
+
+    /// Builds a clustering from an explicit micro→worker map over the
+    /// micro-partitioning `mp`. This is the constructor used by delta
+    /// benchmarks and tests that need a *synthetic* reclustering (e.g.
+    /// "move exactly these micros") rather than one produced by the
+    /// quotient-graph solver.
+    pub fn from_micro_to_macro(
+        mp: &MicroPartitioning,
+        micro_to_macro: Vec<u32>,
+        k: u32,
+    ) -> Result<Self> {
+        if micro_to_macro.len() != mp.num_micro() as usize {
+            return Err(PartitionError::InvalidPartitionCount {
+                requested: micro_to_macro.len() as u32,
+                reason: format!("micro→macro map must cover {} micros", mp.num_micro()),
+            });
+        }
+        if let Some(&w) = micro_to_macro.iter().find(|&&w| w >= k) {
+            return Err(PartitionError::InvalidPartitionCount {
+                requested: k,
+                reason: format!("micro→macro map assigns worker {w}, but k = {k}"),
+            });
+        }
+        let assignment: Vec<u32> = mp
+            .micro()
+            .assignment()
+            .iter()
+            .map(|&micro| micro_to_macro[micro as usize])
+            .collect();
+        Ok(Clustering {
+            micro_to_macro,
+            vertex_partitioning: Partitioning::new(assignment, k)?,
+        })
+    }
+}
+
+/// One micro-partition that changed owners between two clusterings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovedMicro {
+    /// Micro-partition id.
+    pub micro: u32,
+    /// Owner under the old clustering.
+    pub from: u32,
+    /// Owner under the new clustering.
+    pub to: u32,
+}
+
+/// The difference between two clusterings of the *same* micro-partitioning:
+/// exactly the micro-partitions whose owner changed. Because both
+/// clusterings route every vertex through the same micro id (the parallel
+/// recovery property, §6.2), this set is all a reconfiguration has to ship —
+/// unchanged workers keep their CSR slabs and vertex state untouched.
+#[derive(Debug, Clone)]
+pub struct ClusteringDelta {
+    moved: Vec<MovedMicro>,
+    num_micro: u32,
+    from_workers: u32,
+    to_workers: u32,
+}
+
+impl ClusteringDelta {
+    /// Diffs two clusterings over the micro-partitioning `mp`.
+    pub fn between(mp: &MicroPartitioning, from: &Clustering, to: &Clustering) -> Result<Self> {
+        let m = mp.num_micro() as usize;
+        if from.micro_to_macro.len() != m || to.micro_to_macro.len() != m {
+            return Err(PartitionError::InvalidPartitionCount {
+                requested: m as u32,
+                reason: format!(
+                    "clusterings cover {} and {} micros, partitioning has {m}",
+                    from.micro_to_macro.len(),
+                    to.micro_to_macro.len()
+                ),
+            });
+        }
+        let _span = obs::span("delta_plan", "partition").arg("micros", m as u64);
+        let moved: Vec<MovedMicro> = from
+            .micro_to_macro
+            .iter()
+            .zip(to.micro_to_macro.iter())
+            .enumerate()
+            .filter(|&(_, (&a, &b))| a != b)
+            .map(|(micro, (&a, &b))| MovedMicro {
+                micro: micro as u32,
+                from: a,
+                to: b,
+            })
+            .collect();
+        Ok(ClusteringDelta {
+            moved,
+            num_micro: m as u32,
+            from_workers: from.vertex_partitioning.num_parts(),
+            to_workers: to.vertex_partitioning.num_parts(),
+        })
+    }
+
+    /// The micro-partitions that changed owners, in micro-id order.
+    pub fn moved(&self) -> &[MovedMicro] {
+        &self.moved
+    }
+
+    /// Number of micro-partitions in the underlying partitioning.
+    pub fn num_micro(&self) -> u32 {
+        self.num_micro
+    }
+
+    /// Worker count of the old clustering.
+    pub fn from_workers(&self) -> u32 {
+        self.from_workers
+    }
+
+    /// Worker count of the new clustering.
+    pub fn to_workers(&self) -> u32 {
+        self.to_workers
+    }
+
+    /// Whether no micro-partition moved (the reconfiguration is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.moved.is_empty()
+    }
+
+    /// Fraction of micro-partitions that changed owners — the quantity the
+    /// EC model prices a delta reload by.
+    pub fn moved_fraction(&self) -> f64 {
+        self.moved.len() as f64 / self.num_micro as f64
+    }
+
+    /// Workers of the *new* clustering that gain or lose at least one
+    /// micro-partition; every other worker's CSR and state are untouched
+    /// by the migration.
+    pub fn affected_workers(&self) -> Vec<u32> {
+        let mut hit = vec![false; self.to_workers.max(self.from_workers) as usize];
+        for mv in &self.moved {
+            if (mv.from as usize) < hit.len() {
+                hit[mv.from as usize] = true;
+            }
+            hit[mv.to as usize] = true;
+        }
+        (0..self.to_workers).filter(|&w| hit[w as usize]).collect()
+    }
 }
 
 /// Clusters the micro-partitions of `mp` into `k` macro-partitions.
@@ -246,6 +385,84 @@ mod tests {
         let (_, mp) = micro_fixture();
         assert!(cluster_micro_partitions(&mp, 0, 1).is_err());
         assert!(cluster_micro_partitions(&mp, 17, 1).is_err());
+    }
+
+    #[test]
+    fn delta_between_identical_clusterings_is_empty() {
+        let (_, mp) = micro_fixture();
+        let c = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let d = ClusteringDelta::between(&mp, &c, &c).expect("delta");
+        assert!(d.is_empty());
+        assert_eq!(d.moved_fraction(), 0.0);
+        assert!(d.affected_workers().is_empty());
+    }
+
+    #[test]
+    fn delta_lists_exactly_the_moved_micros() {
+        let (_, mp) = micro_fixture();
+        let a = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        // Move micros 3 and 11 to different workers; keep the rest.
+        let mut map = a.micro_to_macro().to_vec();
+        map[3] = (map[3] + 1) % 4;
+        map[11] = (map[11] + 2) % 4;
+        let b = Clustering::from_micro_to_macro(&mp, map, 4).expect("clustering");
+        let d = ClusteringDelta::between(&mp, &a, &b).expect("delta");
+        assert_eq!(
+            d.moved().iter().map(|m| m.micro).collect::<Vec<_>>(),
+            vec![3, 11]
+        );
+        for mv in d.moved() {
+            assert_eq!(mv.from, a.micro_to_macro()[mv.micro as usize]);
+            assert_eq!(mv.to, b.micro_to_macro()[mv.micro as usize]);
+            assert_ne!(mv.from, mv.to);
+        }
+        assert!((d.moved_fraction() - 2.0 / 16.0).abs() < 1e-12);
+        // Affected workers are exactly the old and new owners of the moves.
+        let mut expect: Vec<u32> = d.moved().iter().flat_map(|m| [m.from, m.to]).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(d.affected_workers(), expect);
+    }
+
+    #[test]
+    fn delta_across_worker_counts_moves_every_rehomed_micro() {
+        let (_, mp) = micro_fixture();
+        let a = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let b = cluster_micro_partitions(&mp, 8, 1).expect("cluster");
+        let d = ClusteringDelta::between(&mp, &a, &b).expect("delta");
+        assert_eq!(d.from_workers(), 4);
+        assert_eq!(d.to_workers(), 8);
+        // Every micro whose owner differs is listed; none other.
+        for m in 0..mp.num_micro() as usize {
+            let moved = d.moved().iter().any(|mv| mv.micro == m as u32);
+            assert_eq!(
+                moved,
+                a.micro_to_macro()[m] != b.micro_to_macro()[m],
+                "micro {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_micro_to_macro_rejects_bad_maps() {
+        let (_, mp) = micro_fixture();
+        // Wrong length.
+        assert!(Clustering::from_micro_to_macro(&mp, vec![0; 3], 4).is_err());
+        // Worker out of range.
+        assert!(Clustering::from_micro_to_macro(&mp, vec![4; 16], 4).is_err());
+    }
+
+    #[test]
+    fn from_micro_to_macro_matches_solver_composition() {
+        let (_, mp) = micro_fixture();
+        let a = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let b = Clustering::from_micro_to_macro(&mp, a.micro_to_macro().to_vec(), 4)
+            .expect("clustering");
+        assert_eq!(a.micro_to_macro(), b.micro_to_macro());
+        assert_eq!(
+            a.vertex_partitioning().assignment(),
+            b.vertex_partitioning().assignment()
+        );
     }
 
     #[test]

@@ -128,6 +128,23 @@ impl EventSink for TraceBridge {
                 args.push("first_load", first_load as u64);
                 self.emit(track, "setup", RecordKind::Span, t, t + setup_seconds, args);
             }
+            SimEvent::Migrate {
+                t,
+                pick,
+                from,
+                moved_fraction,
+                delta_seconds,
+                full_seconds,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("pick", pick as u64);
+                args.push("from", from as u64);
+                args.push("moved_permille", (moved_fraction * 1e3) as u64);
+                args.push("delta_ms", (delta_seconds * 1e3) as u64);
+                args.push("full_ms", (full_seconds * 1e3) as u64);
+                self.emit(track, "migrate", RecordKind::Instant, t, t, args);
+            }
             SimEvent::Evict { t, pick, phase, .. } => {
                 let mut args = Args::new();
                 args.push("pick", pick as u64);

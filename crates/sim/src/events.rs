@@ -39,6 +39,8 @@ pub enum EventKind {
     SpikeWait,
     /// A deployment acquisition.
     Acquire,
+    /// A delta migration from a still-held deployment.
+    Migrate,
     /// An eviction.
     Evict,
     /// A checkpoint landed.
@@ -112,6 +114,27 @@ pub enum SimEvent {
         first_load: bool,
         /// Configuration released to make room, if any.
         released: Option<usize>,
+    },
+    /// A voluntary switch reconfigured the job by delta migration: the
+    /// released deployment was still alive, so only the rehomed
+    /// micro-partitions were re-shipped instead of a full reload (§6.2).
+    Migrate {
+        /// Absolute trace time.
+        t: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed so far.
+        billed: f64,
+        /// Configuration index migrated to.
+        pick: usize,
+        /// Configuration index migrated away from (the released one).
+        from: usize,
+        /// Fraction of micro-partitions rehomed by the switch.
+        moved_fraction: f64,
+        /// Load seconds actually paid (the delta reload).
+        delta_seconds: f64,
+        /// Load seconds a full reload would have cost.
+        full_seconds: f64,
     },
     /// The market reclaimed the deployment.
     Evict {
@@ -210,6 +233,7 @@ impl SimEvent {
             SimEvent::Decide { .. } => EventKind::Decide,
             SimEvent::SpikeWait { .. } => EventKind::SpikeWait,
             SimEvent::Acquire { .. } => EventKind::Acquire,
+            SimEvent::Migrate { .. } => EventKind::Migrate,
             SimEvent::Evict { .. } => EventKind::Evict,
             SimEvent::Checkpoint { .. } => EventKind::Checkpoint,
             SimEvent::Bill { .. } => EventKind::Bill,
@@ -224,6 +248,7 @@ impl SimEvent {
             SimEvent::Decide { t, .. }
             | SimEvent::SpikeWait { t, .. }
             | SimEvent::Acquire { t, .. }
+            | SimEvent::Migrate { t, .. }
             | SimEvent::Evict { t, .. }
             | SimEvent::Checkpoint { t, .. }
             | SimEvent::Bill { t, .. }
@@ -238,6 +263,7 @@ impl SimEvent {
             SimEvent::Decide { billed, .. }
             | SimEvent::SpikeWait { billed, .. }
             | SimEvent::Acquire { billed, .. }
+            | SimEvent::Migrate { billed, .. }
             | SimEvent::Evict { billed, .. }
             | SimEvent::Checkpoint { billed, .. }
             | SimEvent::Bill { billed, .. }
@@ -252,6 +278,7 @@ impl SimEvent {
             SimEvent::Decide { work_left, .. }
             | SimEvent::SpikeWait { work_left, .. }
             | SimEvent::Acquire { work_left, .. }
+            | SimEvent::Migrate { work_left, .. }
             | SimEvent::Evict { work_left, .. }
             | SimEvent::Checkpoint { work_left, .. }
             | SimEvent::Bill { work_left, .. }
@@ -266,6 +293,7 @@ impl SimEvent {
             SimEvent::Decide { pick, .. }
             | SimEvent::SpikeWait { pick, .. }
             | SimEvent::Acquire { pick, .. }
+            | SimEvent::Migrate { pick, .. }
             | SimEvent::Evict { pick, .. }
             | SimEvent::Checkpoint { pick, .. }
             | SimEvent::Bill { pick, .. }
@@ -362,6 +390,14 @@ pub struct EventRecord {
     pub first_load: Option<bool>,
     /// Acquire: configuration released to make room.
     pub released: Option<usize>,
+    /// Migrate: configuration migrated away from.
+    pub from: Option<usize>,
+    /// Migrate: fraction of micro-partitions rehomed.
+    pub moved_fraction: Option<f64>,
+    /// Migrate: load seconds actually paid (the delta reload).
+    pub delta_seconds: Option<f64>,
+    /// Migrate: load seconds a full reload would have cost.
+    pub full_seconds: Option<f64>,
     /// Evict: lifecycle phase hit.
     pub phase: Option<Phase>,
     /// Checkpoint: compute seconds of the interval.
@@ -412,6 +448,10 @@ impl EventRecord {
             setup_seconds: None,
             first_load: None,
             released: None,
+            from: None,
+            moved_fraction: None,
+            delta_seconds: None,
+            full_seconds: None,
             phase: None,
             chunk_seconds: None,
             to: None,
@@ -468,6 +508,18 @@ impl EventRecord {
                 r.setup_seconds = Some(setup_seconds);
                 r.first_load = Some(first_load);
                 r.released = released;
+            }
+            SimEvent::Migrate {
+                from,
+                moved_fraction,
+                delta_seconds,
+                full_seconds,
+                ..
+            } => {
+                r.from = Some(from);
+                r.moved_fraction = Some(moved_fraction);
+                r.delta_seconds = Some(delta_seconds);
+                r.full_seconds = Some(full_seconds);
             }
             SimEvent::Evict { phase, .. } => {
                 r.phase = Some(phase);
@@ -549,6 +601,16 @@ impl EventRecord {
                 setup_seconds: need(self.setup_seconds, "setup_seconds", k)?,
                 first_load: need(self.first_load, "first_load", k)?,
                 released: self.released,
+            },
+            EventKind::Migrate => SimEvent::Migrate {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                pick: need(self.pick, "pick", k)?,
+                from: need(self.from, "from", k)?,
+                moved_fraction: need(self.moved_fraction, "moved_fraction", k)?,
+                delta_seconds: need(self.delta_seconds, "delta_seconds", k)?,
+                full_seconds: need(self.full_seconds, "full_seconds", k)?,
             },
             EventKind::Evict => SimEvent::Evict {
                 t: self.t,
@@ -689,6 +751,8 @@ pub struct EventAggregate {
     pub spike_waits: u64,
     /// Deployments acquired.
     pub acquires: u64,
+    /// Delta migrations (from [`SimEvent::Migrate`]).
+    pub migrations: u64,
     /// Evictions (from [`SimEvent::Evict`]).
     pub evictions: u64,
     /// Evictions that hit an idle deployment during a spike wait.
@@ -730,6 +794,7 @@ impl Default for EventAggregate {
             forced: 0,
             spike_waits: 0,
             acquires: 0,
+            migrations: 0,
             evictions: 0,
             wait_evictions: 0,
             checkpoints: 0,
@@ -772,6 +837,7 @@ impl EventAggregate {
         self.forced += other.forced;
         self.spike_waits += other.spike_waits;
         self.acquires += other.acquires;
+        self.migrations += other.migrations;
         self.evictions += other.evictions;
         self.wait_evictions += other.wait_evictions;
         self.checkpoints += other.checkpoints;
@@ -853,6 +919,7 @@ impl EventSink for EventAggregate {
             }
             SimEvent::SpikeWait { .. } => self.spike_waits += 1,
             SimEvent::Acquire { .. } => self.acquires += 1,
+            SimEvent::Migrate { .. } => self.migrations += 1,
             SimEvent::Evict { phase, .. } => {
                 self.evictions += 1;
                 if phase == Phase::Wait {
@@ -960,6 +1027,19 @@ mod tests {
             ),
             (
                 0,
+                SimEvent::Migrate {
+                    t: 200.0,
+                    work_left: 1.0,
+                    billed: 0.3,
+                    pick: 5,
+                    from: 3,
+                    moved_fraction: 0.5,
+                    delta_seconds: 45.0,
+                    full_seconds: 90.0,
+                },
+            ),
+            (
+                0,
                 SimEvent::Evict {
                     t: 300.0,
                     work_left: 1.0,
@@ -1044,6 +1124,7 @@ mod tests {
         assert_eq!(agg.decides, 1);
         assert_eq!(agg.spike_waits, 1);
         assert_eq!(agg.acquires, 1);
+        assert_eq!(agg.migrations, 1);
         assert_eq!(agg.evictions, 1);
         assert_eq!(agg.wait_evictions, 1);
         assert_eq!(agg.checkpoints, 1);

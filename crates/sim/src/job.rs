@@ -270,6 +270,23 @@ impl PaperJob {
     }
 }
 
+/// Fraction of the graph that must be re-shipped when switching a *held*
+/// deployment `from` to configuration `to` (delta migration, §6.2).
+///
+/// With micro-partitions clustered by an LCM-aligned map, growing or
+/// shrinking the worker count rehomes at most `1 − min(k, k′)/max(k, k′)`
+/// of the micro-partitions (the balanced share the departing/arriving
+/// workers held); the rest stay resident on surviving workers. A switch
+/// across instance types replaces every machine, so everything reloads.
+pub fn delta_reload_fraction(from: &ConfigPerf, to: &ConfigPerf) -> f64 {
+    if from.config.instance_type != to.config.instance_type {
+        return 1.0;
+    }
+    let a = from.config.num_workers.min(to.config.num_workers) as f64;
+    let b = from.config.num_workers.max(to.config.num_workers) as f64;
+    1.0 - a / b
+}
+
 /// Offline partitioning cost in dollars (§8.3.2): micro-partitioning runs
 /// the offline partitioner once; the no-micro baseline must pre-partition
 /// for every candidate worker count (3 of them), tripling the offline
@@ -386,5 +403,40 @@ mod tests {
     #[test]
     fn rejects_nonpositive_exec() {
         assert!(build_configs(0.0, Dataset::Twitter, ReloadMode::Fast).is_err());
+    }
+
+    #[test]
+    fn delta_fraction_tracks_rehomed_share() {
+        let configs = build_configs(600.0, Dataset::Twitter, ReloadMode::Fast).expect("build");
+        // Pick two worker counts of the same instance type and one
+        // different type for the cross-type case.
+        let same_type: Vec<&ConfigPerf> = configs
+            .iter()
+            .filter(|c| c.config.instance_type == configs[0].config.instance_type)
+            .collect();
+        assert!(same_type.len() >= 2, "catalog has size variants per type");
+        let a = same_type[0];
+        let b = same_type
+            .iter()
+            .find(|c| c.config.num_workers != a.config.num_workers)
+            .expect("different worker count");
+        // Identity: nothing moves.
+        assert_eq!(delta_reload_fraction(a, a), 0.0);
+        // Resizes are symmetric and move exactly the departing/arriving
+        // workers' balanced share.
+        let f = delta_reload_fraction(a, b);
+        assert_eq!(f, delta_reload_fraction(b, a));
+        let (lo, hi) = (
+            a.config.num_workers.min(b.config.num_workers) as f64,
+            a.config.num_workers.max(b.config.num_workers) as f64,
+        );
+        assert!((f - (1.0 - lo / hi)).abs() < 1e-12);
+        assert!(f > 0.0 && f < 1.0);
+        // A switch across instance types replaces every machine.
+        let other = configs
+            .iter()
+            .find(|c| c.config.instance_type != a.config.instance_type)
+            .expect("second instance type");
+        assert_eq!(delta_reload_fraction(a, other), 1.0);
     }
 }

@@ -219,7 +219,7 @@ pub fn run_job_observed(
         }
 
         // Decision point.
-        let candidates = build_candidates(setup, job, t, first_load_done)?;
+        let candidates = build_candidates(setup, job, t, first_load_done, held.map(|h| h.idx))?;
         let ctx = DecisionContext {
             now: t - start,
             deadline: job.deadline,
@@ -329,12 +329,21 @@ pub fn run_job_observed(
             // compute/wait intervals that got us here).
             let released = held.take().map(|h| h.idx);
             deployments += 1;
-            let mut setup_time = job.t_boot
-                + if first_load_done {
-                    perf.t_load_reload
-                } else {
-                    perf.t_load_first
-                };
+            let full_load = if first_load_done {
+                perf.t_load_reload
+            } else {
+                perf.t_load_first
+            };
+            // A voluntary switch away from a still-live deployment is a
+            // delta migration: only the rehomed micro-partitions are
+            // re-shipped (§6.2). Recovery after an eviction (`released`
+            // is `None`) pays the full reload from the datastore.
+            let migration = released.filter(|_| first_load_done).map(|from| {
+                let fraction = crate::job::delta_reload_fraction(&job.configs[from], perf);
+                (from, fraction, fraction * perf.t_load_reload)
+            });
+            let load_time = migration.map(|(_, _, d)| d).unwrap_or(full_load);
+            let mut setup_time = job.t_boot + load_time;
             // Fault seam: the (re)load's datastore reads. A fast reload
             // consults the shard-read site; the first load, the text
             // store. Transient faults stretch the setup by their retry
@@ -372,6 +381,18 @@ pub fn run_job_observed(
                 first_load: !first_load_done,
                 released,
             });
+            if let Some((from, fraction, delta_seconds)) = migration {
+                obs.emit(SimEvent::Migrate {
+                    t: acquire_at,
+                    work_left: w,
+                    billed: obs.billed,
+                    pick,
+                    from,
+                    moved_fraction: fraction,
+                    delta_seconds,
+                    full_seconds: perf.t_load_reload,
+                });
+            }
             if let Some((retries, fallback, wasted)) = load_degraded {
                 obs.emit(SimEvent::Degraded {
                     t: acquire_at,
@@ -462,7 +483,7 @@ pub fn run_job_observed(
         let candidates2 = if continuing {
             candidates
         } else {
-            build_candidates(setup, job, t, first_load_done)?
+            build_candidates(setup, job, t, first_load_done, Some(h.idx))?
         };
         let ctx2 = DecisionContext {
             now: t - start,
@@ -698,7 +719,7 @@ pub fn build_decision_candidates(
     t: f64,
     first_load_done: bool,
 ) -> Result<Vec<Candidate>> {
-    build_candidates(setup, job, t, first_load_done)
+    build_candidates(setup, job, t, first_load_done, None)
 }
 
 fn build_candidates(
@@ -706,6 +727,7 @@ fn build_candidates(
     job: &JobDescription,
     t: f64,
     first_load_done: bool,
+    held_idx: Option<usize>,
 ) -> Result<Vec<Candidate>> {
     job.configs
         .iter()
@@ -726,14 +748,26 @@ fn build_candidates(
                     setup.eviction_model(perf.config.instance_type)?.clone()
                 }
             };
+            let t_load = if first_load_done {
+                perf.t_load_reload
+            } else {
+                perf.t_load_first
+            };
+            // While a deployment is held, a switch to this candidate ships
+            // only the rehomed micro-partitions; `effective_load` charges
+            // this instead of `t_load` when the context carries a current
+            // deployment.
+            let t_load_delta = match held_idx {
+                Some(h) if first_load_done => {
+                    crate::job::delta_reload_fraction(&job.configs[h], perf) * perf.t_load_reload
+                }
+                _ => t_load,
+            };
             Ok(Candidate {
                 config: perf.config,
                 t_exec: perf.t_exec,
-                t_load: if first_load_done {
-                    perf.t_load_reload
-                } else {
-                    perf.t_load_first
-                },
+                t_load,
+                t_load_delta,
                 t_save: perf.t_save,
                 price_rate,
                 eviction,

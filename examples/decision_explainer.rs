@@ -43,6 +43,7 @@ fn main() {
             t_boot: job.t_boot,
             candidates: &candidates,
             current: None,
+            save_retry_factor: 0.0,
         };
         let report = explain(&ctx, &EcParams::default()).expect("explain");
         println!("--- {label} (t = {:.1} h) ---", now / 3600.0);

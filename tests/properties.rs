@@ -562,4 +562,146 @@ mod fault_properties {
         }
     }
 }
+mod delta_migration_properties {
+    use super::engine_properties::MaxId;
+    use hourglass::engine::loaders::{
+        delta_load, delta_load_faulty, micro_load, reload_graph, Datastore, ReloadFaults,
+    };
+    use hourglass::engine::{BspEngine, EngineConfig};
+    use hourglass::faults::{FaultKind, FaultPlan, IoKind, Site, Trigger};
+    use hourglass::graph::generators;
+    use hourglass::partition::cluster::{cluster_micro_partitions, ClusteringDelta};
+    use hourglass::partition::micro::MicroPartitioner;
+    use hourglass::partition::multilevel::Multilevel;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Elastic reconfiguration by delta migration is indistinguishable
+        /// from tearing the deployment down: on random R-MAT graphs and
+        /// random re-clusterings (same or different worker counts), the
+        /// delta-migrated worker slabs are bit-identical to a full micro
+        /// reload, and vertex state carried through the resize matches a
+        /// checkpoint-save/restore cycle exactly.
+        #[test]
+        fn delta_migration_matches_full_reload_and_checkpoint_restore(
+            scale in 6u32..8,
+            seed in 0u64..20,
+            k_from in prop::sample::select(vec![1u32, 2, 4, 8]),
+            k_to in prop::sample::select(vec![1u32, 2, 4, 8]),
+            cut in 0usize..4,
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let mp = MicroPartitioner::new(Multilevel::with_seed(seed), 16)
+                .run(&g)
+                .expect("micro");
+            // Different clustering seeds so even k_from == k_to produces
+            // genuine moves.
+            let from = cluster_micro_partitions(&mp, k_from, seed).expect("cluster");
+            let to = cluster_micro_partitions(&mp, k_to, seed ^ 0x5A).expect("cluster");
+            let delta = ClusteringDelta::between(&mp, &from, &to).expect("delta");
+
+            for store in [
+                Datastore::binary_micro(&g, mp.micro()).expect("store"),
+                Datastore::text_micro(&g, mp.micro()).expect("store"),
+            ] {
+                let (old, _) = micro_load(&store, mp.micro(), from.micro_to_macro(), k_from)
+                    .expect("old load");
+                let (dw, ds) = delta_load(&store, mp.micro(), &delta, to.micro_to_macro(), old)
+                    .expect("delta load");
+                let (fw, _) = micro_load(&store, mp.micro(), to.micro_to_macro(), k_to)
+                    .expect("full load");
+                prop_assert_eq!(&dw, &fw, "delta slabs must be bit-identical to a full reload");
+                if delta.is_empty() {
+                    prop_assert_eq!(ds.bytes_parsed, 0, "an empty delta reads nothing");
+                }
+                let reloaded = reload_graph(&dw, g.num_vertices(), g.is_directed())
+                    .expect("reload");
+                prop_assert_eq!(&reloaded, &g);
+            }
+
+            // Vertex state (values, halt flags, superstep) carried through
+            // the resize matches a checkpoint-save/restore cycle exactly.
+            let config = EngineConfig::default();
+            let mut a = BspEngine::new(MaxId, &g, from.vertex_partitioning().clone(), config)
+                .expect("engine");
+            for _ in 0..cut {
+                if a.step().expect("step") {
+                    break;
+                }
+            }
+            let mut adopted =
+                BspEngine::new(MaxId, &g, to.vertex_partitioning().clone(), config)
+                    .expect("engine");
+            adopted.adopt_state_from(&a).expect("adopt");
+            let mut restored =
+                BspEngine::new(MaxId, &g, to.vertex_partitioning().clone(), config)
+                    .expect("engine");
+            restored.restore_state(a.checkpoint_state()).expect("restore");
+            prop_assert_eq!(adopted.values(), restored.values());
+            adopted.run().expect("finish adopted");
+            restored.run().expect("finish restored");
+            a.run().expect("finish original");
+            prop_assert_eq!(adopted.values(), restored.values());
+            prop_assert_eq!(adopted.values(), a.values());
+        }
+
+        /// Under a flaky shard store a delta migration either succeeds with
+        /// the exact full-reload slabs (transient faults retried away) or
+        /// fails with a typed error — and the full-reload fallback then
+        /// rebuilds the correct graph. Never corruption, never a panic.
+        #[test]
+        fn faulted_delta_migration_falls_back_without_corruption(
+            seed in 0u64..20,
+            per_mille in 0u32..1000,
+            k_to in prop::sample::select(vec![2u32, 4, 8]),
+        ) {
+            let g = generators::rmat(6, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let mp = MicroPartitioner::new(Multilevel::with_seed(seed), 16)
+                .run(&g)
+                .expect("micro");
+            let from = cluster_micro_partitions(&mp, 4, seed).expect("cluster");
+            let to = cluster_micro_partitions(&mp, k_to, seed ^ 0x5A).expect("cluster");
+            let delta = ClusteringDelta::between(&mp, &from, &to).expect("delta");
+            let store = Datastore::binary_micro(&g, mp.micro()).expect("store");
+            let (old, _) = micro_load(&store, mp.micro(), from.micro_to_macro(), 4)
+                .expect("old load");
+            let (fw, _) = micro_load(&store, mp.micro(), to.micro_to_macro(), k_to)
+                .expect("full load");
+
+            let plan = FaultPlan::new(seed ^ 0xDE).rule(
+                Site::ShardRead,
+                Trigger::Ratio { per_mille },
+                FaultKind::Io(IoKind::TimedOut),
+            );
+            let faults = ReloadFaults::from_plan(&plan);
+            match delta_load_faulty(
+                &store,
+                mp.micro(),
+                &delta,
+                to.micro_to_macro(),
+                old,
+                Some(&faults),
+            ) {
+                Ok((dw, _)) => {
+                    prop_assert_eq!(&dw, &fw, "degraded delta must still be exact");
+                }
+                Err(e) => {
+                    // Typed error only; the caller's fallback path is a
+                    // full reload, which must rebuild the graph intact.
+                    let msg = e.to_string();
+                    prop_assert!(msg.contains("unreadable"), "unexpected error: {}", msg);
+                    let (dw, _) = micro_load(&store, mp.micro(), to.micro_to_macro(), k_to)
+                        .expect("fallback load");
+                    let reloaded = reload_graph(&dw, g.num_vertices(), g.is_directed())
+                        .expect("reload");
+                    prop_assert_eq!(&reloaded, &g);
+                }
+            }
+        }
+    }
+}
 // --- end engine properties ---
