@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the raw-speed paths this crate's figure
+//! binaries lean on: cache-blocked vs flat message delivery inside a BSP
+//! superstep, and bulk vs iterator arc decoding of the binary shard
+//! payload. Sample sizes are capped so the sweep stays CI-friendly; the
+//! `cargo bench --no-run` gate only compiles it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hourglass_engine::apps::PageRank;
+use hourglass_engine::{BspEngine, DeliveryMode, EngineConfig};
+use hourglass_graph::generators::{self, RmatParams};
+use hourglass_graph::io_binary::{decode_arcs, decode_arcs_into, max_arc_id, ShardedArcs};
+use hourglass_partition::hash::HashPartitioner;
+use hourglass_partition::Partitioner;
+
+/// Flat vs cache-blocked delivery on a graph whose per-worker slabs are
+/// far larger than one delivery block, on PageRank (every vertex messages
+/// every neighbor every superstep — the delivery-bound regime).
+fn bench_delivery(c: &mut Criterion) {
+    let g = generators::rmat(14, 10, RmatParams::SOCIAL, 3).expect("generate");
+    let part = HashPartitioner.partition(&g, 4).expect("partition");
+    let mut group = c.benchmark_group("delivery_scatter");
+    group.sample_size(10);
+    for (name, delivery) in [
+        ("flat", DeliveryMode::Flat),
+        ("blocked", DeliveryMode::Blocked),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = EngineConfig {
+                    delivery,
+                    ..EngineConfig::default()
+                };
+                let mut e =
+                    BspEngine::new(PageRank::fixed(3), &g, part.clone(), config).expect("engine");
+                e.run().expect("run");
+                e.into_values()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The loaders' old per-arc decode (iterate, range-check, push) vs the
+/// new bulk path (branch-free `max_arc_id` pre-scan, then the checkless
+/// `decode_arcs_into` extend) filling the same slab from the same shard
+/// payload.
+fn bench_decode(c: &mut Criterion) {
+    let g = generators::rmat(14, 10, RmatParams::SOCIAL, 3).expect("generate");
+    let n = g.num_vertices() as u32;
+    let sharded = ShardedArcs::flat_from_graph(&g);
+    let bytes = sharded.bucket_bytes(0);
+    let mut group = c.benchmark_group("arc_decode");
+    group.sample_size(20);
+    group.bench_function("checked_per_arc", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            for (s, d) in decode_arcs(bytes) {
+                if s < n && d < n {
+                    out.push((s, d));
+                }
+            }
+            out.len()
+        })
+    });
+    group.bench_function("bulk_prescanned", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            if max_arc_id(bytes).is_none_or(|m| m < n) {
+                decode_arcs_into(bytes, &mut out);
+            } else {
+                for (s, d) in decode_arcs(bytes) {
+                    if s < n && d < n {
+                        out.push((s, d));
+                    }
+                }
+            }
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery, bench_decode);
+criterion_main!(benches);

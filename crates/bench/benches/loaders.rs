@@ -1,9 +1,9 @@
 //! Criterion micro-benchmarks of the physical loaders (the measured
 //! counterpart of Figure 6): stream vs hash vs micro loading wall time,
-//! swept over worker counts {2, 8} and both datastore formats (the text
-//! edge-list baseline vs the sharded binary layout). Sample sizes are
-//! capped so the full sweep stays CI-friendly; the `cargo bench --no-run`
-//! gate only compiles it.
+//! swept over worker counts {2, 8} and all three datastore formats (the
+//! text edge-list baseline, the sharded binary layout, and the
+//! memory-mapped binary store). Sample sizes are capped so the full sweep
+//! stays CI-friendly; the `cargo bench --no-run` gate only compiles it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hourglass_engine::loaders::{hash_load, micro_load, stream_load, Datastore};
@@ -18,9 +18,16 @@ fn bench_loaders(c: &mut Criterion) {
     let mp = MicroPartitioner::new(HashPartitioner, 64)
         .run(&g)
         .expect("micro");
+    let dir = std::env::temp_dir();
+    let flat_path = dir.join(format!("hg-bench-{}-flat.hgs2", std::process::id()));
+    let micro_path = dir.join(format!("hg-bench-{}-micro.hgs2", std::process::id()));
     let flat_stores = [
         ("text", Datastore::text_flat(&g)),
         ("binary", Datastore::binary_flat(&g)),
+        (
+            "mapped",
+            Datastore::mapped_flat(&g, &flat_path).expect("mapped store"),
+        ),
     ];
     let micro_stores = [
         (
@@ -30,6 +37,10 @@ fn bench_loaders(c: &mut Criterion) {
         (
             "binary",
             Datastore::binary_micro(&g, mp.micro()).expect("store"),
+        ),
+        (
+            "mapped",
+            Datastore::mapped_micro(&g, mp.micro(), &micro_path).expect("mapped store"),
         ),
     ];
 
@@ -54,6 +65,10 @@ fn bench_loaders(c: &mut Criterion) {
         }
         group.finish();
     }
+    drop(flat_stores);
+    drop(micro_stores);
+    std::fs::remove_file(&flat_path).ok();
+    std::fs::remove_file(&micro_path).ok();
 }
 
 criterion_group!(benches, bench_loaders);

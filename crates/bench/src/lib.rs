@@ -47,6 +47,8 @@ pub struct Cli {
     pub profile: bool,
     /// Name of a canned fault plan to inject (`--fault-plan`).
     pub fault_plan: Option<String>,
+    /// Pin fork-join workers to cores (`--pin`, or `HOURGLASS_PIN=1`).
+    pub pin: bool,
 }
 
 impl Cli {
@@ -62,6 +64,7 @@ impl Cli {
             trace: None,
             profile: false,
             fault_plan: None,
+            pin: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -105,6 +108,10 @@ impl Cli {
                     );
                 }
                 "--profile" => cli.profile = true,
+                "--pin" => {
+                    cli.pin = true;
+                    hourglass_engine::exec::pin::force_enable();
+                }
                 "--fault-plan" => {
                     i += 1;
                     cli.fault_plan = Some(
@@ -117,7 +124,7 @@ impl Cli {
                     eprintln!(
                         "usage: <bin> [--seed N] [--runs N] [--quick] [--smoke] \
                          [--json PATH] [--events PATH] [--trace PATH] [--profile] \
-                         [--fault-plan io-flaky|torn-writes|bitflip]"
+                         [--pin] [--fault-plan io-flaky|torn-writes|bitflip]"
                     );
                     std::process::exit(0);
                 }
@@ -274,6 +281,7 @@ mod tests {
             trace: None,
             profile: false,
             fault_plan: Some("io-flaky".into()),
+            pin: false,
         };
         let _plan = cli.resolve_fault_plan().expect("known plan resolves");
         cli.fault_plan = None;

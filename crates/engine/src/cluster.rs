@@ -288,6 +288,9 @@ fn worker_main<P: VertexProgram>(
         .collect();
     let mut halted = vec![false; my_vertices.len()];
     let mut inbox: Vec<Vec<P::Message>> = (0..my_vertices.len()).map(|_| Vec::new()).collect();
+    // Scatter buffers for cache-blocked delivery over large slabs; kept
+    // across batches and supersteps so their capacity is reused.
+    let mut scratch: Vec<Vec<(u32, P::Message)>> = Vec::new();
 
     // Runs until `Finish` arrives or the master hangs up.
     while let Ok(Control::Start {
@@ -359,7 +362,7 @@ fn worker_main<P: VertexProgram>(
             let batch = std::mem::take(&mut out_batches[dest]);
             sent += batch.len() as u64;
             if dest == worker {
-                deliver::<P>(program, &mut inbox, batch);
+                deliver::<P>(program, &mut inbox, batch, &mut scratch);
             } else {
                 remote += batch.len() as u64;
                 batch_txs[dest]
@@ -369,7 +372,7 @@ fn worker_main<P: VertexProgram>(
         }
         for _ in 0..w.saturating_sub(1) {
             let batch = batch_rx.recv().expect("peer hung up mid-superstep");
-            deliver::<P>(program, &mut inbox, batch.messages);
+            deliver::<P>(program, &mut inbox, batch.messages, &mut scratch);
         }
         drop(exchange_span);
         let exchange_seconds = t_exchange.elapsed().as_secs_f64();
@@ -394,21 +397,55 @@ fn worker_main<P: VertexProgram>(
 
 /// Receiver-side delivery with combining against the existing inbox tail;
 /// batch entries are already slot-addressed, so no lookup is needed.
+///
+/// Slabs whose working set overflows the last-level cache (the same
+/// [`crate::engine::auto_blocks`] heuristic the in-process engine uses)
+/// take the cache-blocked path: a stable scatter into per-range `scratch`
+/// vectors, then a per-range drain whose random inbox accesses stay
+/// cache-resident. Per-slot message order — and therefore tail-combining
+/// — is identical either way.
 fn deliver<P: VertexProgram>(
     program: &P,
     inbox: &mut [Vec<P::Message>],
     messages: Vec<(u32, P::Message)>,
+    scratch: &mut Vec<Vec<(u32, P::Message)>>,
 ) {
-    for (slot, msg) in messages {
-        let cell = &mut inbox[slot as usize];
-        if let Some(last) = cell.last_mut() {
-            if let Some(combined) = program.combine(last, &msg) {
-                *last = combined;
-                continue;
+    use crate::engine::DELIVERY_BLOCK_SLOTS;
+    if crate::engine::auto_blocks(inbox.len()) {
+        let num_blocks = inbox.len().div_ceil(DELIVERY_BLOCK_SLOTS);
+        if scratch.len() < num_blocks {
+            scratch.resize_with(num_blocks, Vec::new);
+        }
+        for (slot, msg) in messages {
+            scratch[slot as usize / DELIVERY_BLOCK_SLOTS].push((slot, msg));
+        }
+        for block in scratch {
+            for (slot, msg) in block.drain(..) {
+                deliver_one::<P>(program, inbox, slot, msg);
             }
         }
-        cell.push(msg);
+    } else {
+        for (slot, msg) in messages {
+            deliver_one::<P>(program, inbox, slot, msg);
+        }
     }
+}
+
+#[inline]
+fn deliver_one<P: VertexProgram>(
+    program: &P,
+    inbox: &mut [Vec<P::Message>],
+    slot: u32,
+    msg: P::Message,
+) {
+    let cell = &mut inbox[slot as usize];
+    if let Some(last) = cell.last_mut() {
+        if let Some(combined) = program.combine(last, &msg) {
+            *last = combined;
+            return;
+        }
+    }
+    cell.push(msg);
 }
 
 #[cfg(test)]

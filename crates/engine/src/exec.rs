@@ -5,4 +5,4 @@
 //! plumbing as superstep compute, message delivery and loader parsing;
 //! this module re-exports it under the engine's historical path.
 
-pub use hourglass_exec::{fork_join, par_map, par_map_when};
+pub use hourglass_exec::{fork_join, par_map, par_map_when, pin};

@@ -38,7 +38,10 @@ pub mod recovery;
 pub use hourglass_faults as faults;
 
 pub use checkpoint::{get_framed, put_framed, CheckpointStore, DirStore, FaultyStore, MemoryStore};
-pub use engine::{BspEngine, EngineConfig, ExecutionReport};
+pub use engine::{
+    auto_blocks, llc_bytes, BspEngine, DeliveryMode, EngineConfig, ExecutionReport,
+    DELIVERY_BLOCK_SLOTS,
+};
 pub use loaders::{Datastore, StoreFormat};
 pub use program::{ComputeContext, VertexProgram};
 

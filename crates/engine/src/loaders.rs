@@ -32,7 +32,10 @@
 use crate::exec::{par_map, par_map_when};
 use crate::{EngineError, Result};
 use hourglass_faults::{FaultInjector, FaultKind, FaultPlan, Op, RetryPolicy, Site};
-use hourglass_graph::io_binary::{decode_arcs, ShardedArcs, ARC_BYTES};
+use hourglass_graph::io_binary::{
+    decode_arcs, decode_arcs_into, max_arc_id, ShardedArcs, ARC_BYTES,
+};
+use hourglass_graph::io_mmap::MappedShards;
 use hourglass_graph::{Graph, VertexId};
 use hourglass_obs as obs;
 use hourglass_partition::cluster::ClusteringDelta;
@@ -68,8 +71,13 @@ impl fmt::Display for LoaderKind {
 pub enum StoreFormat {
     /// `u v\n` text lines (the SNAP-style baseline).
     Text,
-    /// Sharded little-endian binary arc pairs (`HGS1`).
+    /// Sharded little-endian binary arc pairs (`HGS1`/`HGS2`), read through
+    /// buffered IO into a heap slab.
     Binary,
+    /// The same binary layout served from a memory-mapped file: bucket
+    /// reads are page-cache slices, so loading pays no copy and no
+    /// up-front payload checksum pass.
+    BinaryMapped,
 }
 
 impl fmt::Display for StoreFormat {
@@ -77,6 +85,7 @@ impl fmt::Display for StoreFormat {
         match self {
             StoreFormat::Text => f.write_str("text"),
             StoreFormat::Binary => f.write_str("binary"),
+            StoreFormat::BinaryMapped => f.write_str("binary-mmap"),
         }
     }
 }
@@ -124,13 +133,24 @@ impl LoaderCostModel {
     /// the binary store decodes at memory bandwidth rather than text-parse
     /// speed, and its fixed-width arcs expand less when shipped in parsed
     /// form (8 input bytes become one in-memory arc, vs ~14 text bytes
-    /// becoming the same arc).
+    /// becoming the same arc). The mapped variant additionally drops the
+    /// read-into-heap copy and the up-front checksum pass: bucket bytes
+    /// come straight out of the page cache (local-NVMe-class effective
+    /// bandwidth rather than S3-class), decode is the only touch of each
+    /// byte, and the open costs metadata only (lower fixed overhead).
     pub fn aws_2016_for(format: StoreFormat) -> Self {
         match format {
             StoreFormat::Text => Self::aws_2016(),
             StoreFormat::Binary => LoaderCostModel {
                 parse_rate: 1.2e9,
                 expansion_factor: 2.0,
+                ..Self::aws_2016()
+            },
+            StoreFormat::BinaryMapped => LoaderCostModel {
+                datastore_bandwidth: 400.0e6,
+                parse_rate: 2.4e9,
+                expansion_factor: 2.0,
+                fixed_overhead: 6.0,
                 ..Self::aws_2016()
             },
         }
@@ -293,6 +313,11 @@ pub enum Datastore {
     /// Sharded binary arc buckets (`HGS2` on disk, `HGS1` legacy reads),
     /// decoded zero-copy.
     Binary(ShardedArcs),
+    /// The sharded binary layout memory-mapped from its `HGS2` file:
+    /// bucket bytes are page-cache slices, so a (re)load copies nothing
+    /// and graphs larger than RAM stay loadable. Shared behind an `Arc`
+    /// so cloning a store handle never remaps or copies the file.
+    Mapped(std::sync::Arc<MappedShards>),
 }
 
 impl From<EdgeListStore> for Datastore {
@@ -304,6 +329,12 @@ impl From<EdgeListStore> for Datastore {
 impl From<ShardedArcs> for Datastore {
     fn from(s: ShardedArcs) -> Self {
         Datastore::Binary(s)
+    }
+}
+
+impl From<MappedShards> for Datastore {
+    fn from(s: MappedShards) -> Self {
+        Datastore::Mapped(std::sync::Arc::new(s))
     }
 }
 
@@ -338,11 +369,58 @@ impl Datastore {
         Ok(Datastore::Binary(sharded))
     }
 
+    /// Opens the `HGS2`/`HGS1` file at `path` as a memory-mapped store.
+    pub fn mapped_from_path<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
+        let m = MappedShards::open(path)
+            .map_err(|e| EngineError::InvalidConfig(format!("mapped store: {e}")))?;
+        Ok(Datastore::from(m))
+    }
+
+    /// Writes the flat binary store for `g` to `path` (`HGS2`) and reopens
+    /// it memory-mapped.
+    pub fn mapped_flat<P: AsRef<std::path::Path>>(g: &Graph, path: P) -> Result<Self> {
+        Self::write_and_map(ShardedArcs::flat_from_graph(g), path)
+    }
+
+    /// Writes the micro-bucketed binary store for `g` to `path` (`HGS2`)
+    /// and reopens it memory-mapped — the on-disk fast-reload layout.
+    pub fn mapped_micro<P: AsRef<std::path::Path>>(
+        g: &Graph,
+        micro: &Partitioning,
+        path: P,
+    ) -> Result<Self> {
+        if micro.num_vertices() != g.num_vertices() {
+            return Err(EngineError::InvalidConfig(format!(
+                "micro partitioning covers {} vertices, graph has {}",
+                micro.num_vertices(),
+                g.num_vertices()
+            )));
+        }
+        let sharded = ShardedArcs::from_graph_buckets(g, micro.assignment(), micro.num_parts())
+            .map_err(|e| EngineError::InvalidConfig(format!("sharded store: {e}")))?;
+        Self::write_and_map(sharded, path)
+    }
+
+    fn write_and_map<P: AsRef<std::path::Path>>(sharded: ShardedArcs, path: P) -> Result<Self> {
+        let write = || -> std::io::Result<()> {
+            let file = std::fs::File::create(path.as_ref())?;
+            let mut w = std::io::BufWriter::new(file);
+            sharded
+                .write_to(&mut w)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+            use std::io::Write;
+            w.flush()
+        };
+        write().map_err(|e| EngineError::InvalidConfig(format!("store write: {e}")))?;
+        Self::mapped_from_path(path)
+    }
+
     /// Physical format of this store.
     pub fn format(&self) -> StoreFormat {
         match self {
             Datastore::Text(_) => StoreFormat::Text,
             Datastore::Binary(_) => StoreFormat::Binary,
+            Datastore::Mapped(_) => StoreFormat::BinaryMapped,
         }
     }
 
@@ -351,6 +429,7 @@ impl Datastore {
         match self {
             Datastore::Text(s) => s.num_buckets(),
             Datastore::Binary(s) => s.num_buckets(),
+            Datastore::Mapped(s) => s.num_buckets(),
         }
     }
 
@@ -359,6 +438,7 @@ impl Datastore {
         match self {
             Datastore::Text(s) => s.byte_size(),
             Datastore::Binary(s) => s.payload_bytes(),
+            Datastore::Mapped(s) => s.payload_bytes(),
         }
     }
 
@@ -371,6 +451,29 @@ impl Datastore {
         match self {
             Datastore::Text(s) => s.buckets[b as usize].len(),
             Datastore::Binary(s) => s.bucket_bytes(b).len(),
+            Datastore::Mapped(s) => s.bucket_bytes(b).len(),
+        }
+    }
+
+    /// Raw encoded arc bytes of bucket `b` for the two binary-format
+    /// variants (`None` on a text store) — the shared zero-copy read unit
+    /// both the heap-backed and the mapped layout expose, so every loader
+    /// takes one code path over both.
+    pub fn arc_bucket_bytes(&self, b: u32) -> Option<&[u8]> {
+        match self {
+            Datastore::Text(_) => None,
+            Datastore::Binary(s) => Some(s.bucket_bytes(b)),
+            Datastore::Mapped(s) => Some(s.bucket_bytes(b)),
+        }
+    }
+
+    /// Vertex-count header of the two binary-format variants (`None` on a
+    /// text store, which carries no header to validate).
+    fn binary_num_vertices(&self) -> Option<u32> {
+        match self {
+            Datastore::Text(_) => None,
+            Datastore::Binary(s) => Some(s.num_vertices()),
+            Datastore::Mapped(s) => Some(s.num_vertices()),
         }
     }
 }
@@ -404,17 +507,31 @@ fn parse_text_arcs(out: &mut Vec<(VertexId, VertexId)>, text: &str, n: u32) -> u
 
 /// Decodes LE arc pairs into `out`, dropping and counting arcs that
 /// reference vertices `>= n` (corrupt or foreign entries).
+///
+/// The common case — a well-formed store where every id is in range — is
+/// detected with one vectorized [`max_arc_id`] scan and then decoded
+/// through the unfiltered [`decode_arcs_into`] bulk path; only a slice
+/// that actually contains foreign ids pays the per-pair range check.
 fn decode_bin_arcs(out: &mut Vec<(VertexId, VertexId)>, bytes: &[u8], n: u32) -> u64 {
-    let mut skipped = 0u64;
-    out.reserve(bytes.len() / ARC_BYTES);
-    for (u, v) in decode_arcs(bytes) {
-        if u < n && v < n {
-            out.push((u, v));
-        } else {
-            skipped += 1;
+    match max_arc_id(bytes) {
+        None => 0,
+        Some(max) if max < n => {
+            decode_arcs_into(bytes, out);
+            0
+        }
+        Some(_) => {
+            let mut skipped = 0u64;
+            out.reserve(bytes.len() / ARC_BYTES);
+            for (u, v) in decode_arcs(bytes) {
+                if u < n && v < n {
+                    out.push((u, v));
+                } else {
+                    skipped += 1;
+                }
+            }
+            skipped
         }
     }
-    skipped
 }
 
 /// Splits the store's bucket concatenation into `k` record-aligned chunks,
@@ -445,7 +562,9 @@ fn chunk_ranges(store: &Datastore, k: usize) -> Vec<Vec<(u32, usize, usize)>> {
                     .find('\n')
                     .map(|p| target + p + 1)
                     .unwrap_or(lens[bucket]),
-                Datastore::Binary(_) => target.div_ceil(ARC_BYTES) * ARC_BYTES,
+                Datastore::Binary(_) | Datastore::Mapped(_) => {
+                    target.div_ceil(ARC_BYTES) * ARC_BYTES
+                }
             };
             if aligned >= lens[bucket] {
                 (bucket + 1, 0)
@@ -499,9 +618,11 @@ fn parse_chunk(
             Datastore::Text(s) => {
                 parse_text_arcs(&mut arcs, &s.buckets[bucket as usize][start..end], n)
             }
-            Datastore::Binary(s) => {
-                decode_bin_arcs(&mut arcs, &s.bucket_bytes(bucket)[start..end], n)
-            }
+            _ => decode_bin_arcs(
+                &mut arcs,
+                &store.arc_bucket_bytes(bucket).expect("binary store")[start..end],
+                n,
+            ),
         };
     }
     (arcs, skipped)
@@ -598,6 +719,11 @@ enum WorkerArcs<'a> {
     Bytes(Vec<&'a [u8]>),
 }
 
+/// Arc pairs bulk-decoded per block on the byte-backed assembly path:
+/// large enough to amortize the block loop, small enough (64 KB of decoded
+/// pairs) that the scatter reads the decoded block back out of cache.
+const DECODE_BLOCK_ARCS: usize = 8192;
+
 impl WorkerArcs<'_> {
     fn for_each(&self, mut f: impl FnMut(VertexId, VertexId)) {
         match self {
@@ -607,9 +733,18 @@ impl WorkerArcs<'_> {
                 }
             }
             WorkerArcs::Bytes(slices) => {
+                // Bulk path: decode a block of pairs with the vectorized
+                // decoder, then run the (random-access) consumer over the
+                // cache-resident block — instead of interleaving per-pair
+                // byte decoding with the consumer's scattered writes.
+                let mut block: Vec<(VertexId, VertexId)> = Vec::with_capacity(DECODE_BLOCK_ARCS);
                 for s in slices {
-                    for (u, v) in decode_arcs(s) {
-                        f(u, v);
+                    for chunk in s.chunks(DECODE_BLOCK_ARCS * ARC_BYTES) {
+                        block.clear();
+                        decode_arcs_into(chunk, &mut block);
+                        for &(u, v) in &block {
+                            f(u, v);
+                        }
                     }
                 }
             }
@@ -676,6 +811,69 @@ fn assemble_worker(w: u32, arcs: &WorkerArcs<'_>, plan: &AssemblyPlan) -> (Loade
             neighbors,
         },
         dropped,
+    )
+}
+
+/// Routes encoded binary chunks straight into per-worker arc vectors:
+/// a counting pass and a scatter pass, both decoding in place off the
+/// mapped/owned bucket bytes. This replaces the old full-load pipeline of
+/// decode-into-one-big-`Vec` + copy-into-per-worker-`Vec`s — the arcs are
+/// materialized exactly once, in their destination vectors.
+///
+/// `chunks` pairs each byte slice with the worker that "parses" it (the
+/// master for stream loading, the chunk's reader for hash loading), which
+/// is what the exchange accounting is relative to. Returns the per-worker
+/// arcs plus `(skipped, exchanged)`.
+fn route_bin_chunks(
+    chunks: &[(u32, &[u8])],
+    plan: &AssemblyPlan,
+    n: u32,
+) -> (Vec<WorkerArcs<'static>>, u64, u64) {
+    let total_arcs: usize = chunks.iter().map(|&(_, s)| s.len() / ARC_BYTES).sum();
+    let total_bytes = total_arcs * ARC_BYTES;
+    let _span = obs::span("route", "loader").arg("arcs", total_arcs as u64);
+    let decode_span = obs::span("decode", "loader").arg("bytes", total_bytes as u64);
+    let mut counts = vec![0usize; plan.num_workers() as usize];
+    let mut skipped = 0u64;
+    let mut exchanged = 0u64;
+    // Counting pass: validity is one vectorized max-scan per chunk; a
+    // clean chunk then counts owners off the source words alone.
+    for &(parser, bytes) in chunks {
+        if max_arc_id(bytes).is_none_or(|max| max < n) {
+            for pair in bytes.chunks_exact(ARC_BYTES) {
+                let u = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]);
+                let w = plan.owner[u as usize];
+                counts[w as usize] += 1;
+                exchanged += u64::from(w != parser);
+            }
+        } else {
+            for (u, v) in decode_arcs(bytes) {
+                if u < n && v < n {
+                    let w = plan.owner[u as usize];
+                    counts[w as usize] += 1;
+                    exchanged += u64::from(w != parser);
+                } else {
+                    skipped += 1;
+                }
+            }
+        }
+    }
+    drop(decode_span);
+    // Scatter pass: exact capacities, every arc decoded into its final
+    // destination vector.
+    let mut per: Vec<Vec<(VertexId, VertexId)>> =
+        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for &(_, bytes) in chunks {
+        for (u, v) in decode_arcs(bytes) {
+            if u < n && v < n {
+                per[plan.owner[u as usize] as usize].push((u, v));
+            }
+        }
+    }
+    (
+        per.into_iter().map(WorkerArcs::Owned).collect(),
+        skipped,
+        exchanged,
     )
 }
 
@@ -761,21 +959,33 @@ pub fn stream_load(
         .arg("workers", partitioning.num_parts() as u64);
     let n = partitioning.num_vertices() as u32;
     let plan = AssemblyPlan::from_partitioning(partitioning);
-    // The master reads every bucket in order: one sequential parse.
-    let mut arcs = Vec::new();
-    let mut skipped = 0u64;
-    for b in 0..store.num_buckets() {
-        let len = store.bucket_byte_len(b);
-        let (mut a, s) = parse_chunk(store, &[(b, 0, len)], n);
-        arcs.append(&mut a);
-        skipped += s;
-    }
-    let exchanged = arcs
-        .iter()
-        .filter(|&&(u, _)| plan.owner[u as usize] != 0)
-        .count() as u64;
-    let per_worker = route_by_owner(&arcs, &plan);
-    drop(arcs);
+    let (per_worker, skipped, exchanged) = match store {
+        Datastore::Text(_) => {
+            // The master reads every bucket in order: one sequential parse.
+            let mut arcs = Vec::new();
+            let mut skipped = 0u64;
+            for b in 0..store.num_buckets() {
+                let len = store.bucket_byte_len(b);
+                let (mut a, s) = parse_chunk(store, &[(b, 0, len)], n);
+                arcs.append(&mut a);
+                skipped += s;
+            }
+            let exchanged = arcs
+                .iter()
+                .filter(|&&(u, _)| plan.owner[u as usize] != 0)
+                .count() as u64;
+            let per_worker = route_by_owner(&arcs, &plan);
+            (per_worker, skipped, exchanged)
+        }
+        _ => {
+            // Binary: the master's sequential parse routes straight off
+            // the bucket bytes — no intermediate all-arcs vector.
+            let chunks: Vec<(u32, &[u8])> = (0..store.num_buckets())
+                .map(|b| (0, store.arc_bucket_bytes(b).expect("binary store")))
+                .collect();
+            route_bin_chunks(&chunks, &plan, n)
+        }
+    };
     let (workers, dropped) = assemble_all(&plan, per_worker);
     let stats = LoadStats {
         bytes_parsed: store.byte_size() as u64,
@@ -797,23 +1007,42 @@ pub fn hash_load(store: &Datastore, partitioning: &Partitioning) -> (Vec<LoadedW
     let k = partitioning.num_parts() as usize;
     let plan = AssemblyPlan::from_partitioning(partitioning);
     let chunks = chunk_ranges(store, k);
-    let parsed: Vec<(Vec<(VertexId, VertexId)>, u64)> =
-        par_map(&chunks, |ranges| parse_chunk(store, ranges, n));
-
-    let mut exchanged = 0u64;
-    let mut skipped = 0u64;
-    let mut all = Vec::with_capacity(parsed.iter().map(|(a, _)| a.len()).sum());
-    for (parser, (arcs, s)) in parsed.into_iter().enumerate() {
-        skipped += s;
-        for &(u, _) in &arcs {
-            if plan.owner[u as usize] as usize != parser {
-                exchanged += 1;
+    let (per_worker, skipped, exchanged) = match store {
+        Datastore::Text(_) => {
+            let parsed: Vec<(Vec<(VertexId, VertexId)>, u64)> =
+                par_map(&chunks, |ranges| parse_chunk(store, ranges, n));
+            let mut exchanged = 0u64;
+            let mut skipped = 0u64;
+            let mut all = Vec::with_capacity(parsed.iter().map(|(a, _)| a.len()).sum());
+            for (parser, (arcs, s)) in parsed.into_iter().enumerate() {
+                skipped += s;
+                for &(u, _) in &arcs {
+                    if plan.owner[u as usize] as usize != parser {
+                        exchanged += 1;
+                    }
+                }
+                all.extend(arcs);
             }
+            let per_worker = route_by_owner(&all, &plan);
+            (per_worker, skipped, exchanged)
         }
-        all.extend(arcs);
-    }
-    let per_worker = route_by_owner(&all, &plan);
-    drop(all);
+        _ => {
+            // Binary: each parser's record-aligned byte ranges route
+            // straight into the per-worker vectors — the shuffle is the
+            // scatter itself, with no concatenated intermediate vector.
+            let flat: Vec<(u32, &[u8])> = chunks
+                .iter()
+                .enumerate()
+                .flat_map(|(parser, ranges)| {
+                    ranges.iter().map(move |&(bucket, start, end)| {
+                        let bytes = store.arc_bucket_bytes(bucket).expect("binary store");
+                        (parser as u32, &bytes[start..end])
+                    })
+                })
+                .collect();
+            route_bin_chunks(&flat, &plan, n)
+        }
+    };
     let (workers, dropped) = assemble_all(&plan, per_worker);
     let stats = LoadStats {
         bytes_parsed: store.byte_size() as u64,
@@ -974,11 +1203,10 @@ fn micro_load_faulty_impl(
             "micro map references worker {bad} of {num_workers}"
         )));
     }
-    if let Datastore::Binary(s) = store {
-        if s.num_vertices() as usize != micro.num_vertices() {
+    if let Some(nv) = store.binary_num_vertices() {
+        if nv as usize != micro.num_vertices() {
             return Err(invalid(format!(
-                "binary store indexes {} vertices, micro partitioning has {}",
-                s.num_vertices(),
+                "binary store indexes {nv} vertices, micro partitioning has {}",
                 micro.num_vertices()
             )));
         }
@@ -1027,8 +1255,13 @@ fn micro_load_faulty_impl(
                     }
                     (WorkerArcs::Owned(out), skipped)
                 }
-                Datastore::Binary(s) => (
-                    WorkerArcs::Bytes(bucket_ids.iter().map(|&b| s.bucket_bytes(b)).collect()),
+                _ => (
+                    WorkerArcs::Bytes(
+                        bucket_ids
+                            .iter()
+                            .map(|&b| store.arc_bucket_bytes(b).expect("binary store"))
+                            .collect(),
+                    ),
                     0,
                 ),
             }
@@ -1212,11 +1445,10 @@ pub fn delta_load_faulty(
             )));
         }
     }
-    if let Datastore::Binary(s) = store {
-        if s.num_vertices() as usize != micro.num_vertices() {
+    if let Some(nv) = store.binary_num_vertices() {
+        if nv as usize != micro.num_vertices() {
             return Err(EngineError::InvalidConfig(format!(
-                "binary store indexes {} vertices, micro partitioning has {}",
-                s.num_vertices(),
+                "binary store indexes {nv} vertices, micro partitioning has {}",
                 micro.num_vertices()
             )));
         }
@@ -1304,8 +1536,13 @@ pub fn delta_load_faulty(
                         }
                         (WorkerArcs::Owned(out), skipped)
                     }
-                    Datastore::Binary(s) => (
-                        WorkerArcs::Bytes(bucket_ids.iter().map(|&b| s.bucket_bytes(b)).collect()),
+                    _ => (
+                        WorkerArcs::Bytes(
+                            bucket_ids
+                                .iter()
+                                .map(|&b| store.arc_bucket_bytes(b).expect("binary store"))
+                                .collect(),
+                        ),
                         0,
                     ),
                 }
@@ -1566,6 +1803,85 @@ mod tests {
         assert!(bin.byte_size() < text.byte_size() * 2, "sanity");
     }
 
+    fn tmp_store_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hourglass-loaders-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        p
+    }
+
+    #[test]
+    fn mapped_store_loads_identically_to_in_memory_binary() {
+        let (g, p) = fixture();
+        let bin = Datastore::binary_flat(&g);
+        let path = tmp_store_path("flat");
+        let mapped = Datastore::mapped_flat(&g, &path).expect("mapped");
+        assert_eq!(mapped.format(), StoreFormat::BinaryMapped);
+        assert_eq!(mapped.byte_size(), bin.byte_size());
+        let (sw, ss) = stream_load(&bin, &p);
+        let (mw, ms) = stream_load(&mapped, &p);
+        assert_eq!(sw, mw, "stream slabs bit-identical");
+        assert_eq!(ss, ms);
+        let (hw, hs) = hash_load(&bin, &p);
+        let (hmw, hms) = hash_load(&mapped, &p);
+        assert_eq!(hw, hmw, "hash slabs bit-identical");
+        assert_eq!(hs, hms);
+        std::fs::remove_file(&path).ok();
+
+        let mp = MicroPartitioner::new(Multilevel::new(), 16)
+            .run(&g)
+            .expect("micro");
+        let c = cluster_micro_partitions(&mp, 4, 1).expect("cluster");
+        let micro_bin = Datastore::binary_micro(&g, mp.micro()).expect("store");
+        let path = tmp_store_path("micro");
+        let micro_mapped = Datastore::mapped_micro(&g, mp.micro(), &path).expect("mapped");
+        let (bw, bs) = micro_load(&micro_bin, mp.micro(), c.micro_to_macro(), 4).expect("load");
+        let (mw, ms) = micro_load(&micro_mapped, mp.micro(), c.micro_to_macro(), 4).expect("load");
+        assert_eq!(bw, mw, "micro slabs bit-identical");
+        assert_eq!(bs, ms);
+        assert_eq!(reload_graph(&mw, g.num_vertices(), false).expect("csr"), g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_load_takes_the_mapped_path() {
+        let (g, _) = fixture();
+        let (mp, map, bin, _) = micro_fixture(&g);
+        let path = tmp_store_path("delta");
+        let mapped = Datastore::mapped_micro(&g, mp.micro(), &path).expect("mapped");
+        let mut new_map = map.clone();
+        new_map[3] = (new_map[3] + 1) % 4;
+        new_map[11] = (new_map[11] + 2) % 4;
+        let from = Clustering::from_micro_to_macro(&mp, map.clone(), 4).expect("clustering");
+        let to = Clustering::from_micro_to_macro(&mp, new_map.clone(), 4).expect("clustering");
+        let delta = ClusteringDelta::between(&mp, &from, &to).expect("delta");
+        let (old_bin, _) = micro_load(&bin, mp.micro(), &map, 4).expect("load");
+        let (old_mapped, _) = micro_load(&mapped, mp.micro(), &map, 4).expect("load");
+        assert_eq!(old_bin, old_mapped);
+        let (dbin, sbin) =
+            delta_load(&bin, mp.micro(), &delta, &new_map, old_bin).expect("delta bin");
+        let (dmap, smap) =
+            delta_load(&mapped, mp.micro(), &delta, &new_map, old_mapped).expect("delta mapped");
+        assert_eq!(dbin, dmap, "delta over mapped store bit-identical");
+        assert_eq!(sbin, smap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_store_open_rejects_corruption() {
+        let (g, _) = fixture();
+        let path = tmp_store_path("corrupt");
+        let _ = Datastore::mapped_flat(&g, &path).expect("mapped");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[5] ^= 1; // vertex-count header byte: metadata CRC trips
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(Datastore::mapped_from_path(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn micro_load_validates_inputs() {
         let (g, p) = fixture();
@@ -1669,12 +1985,18 @@ mod tests {
     fn modeled_binary_calibration_parses_faster() {
         let text = LoaderCostModel::aws_2016_for(StoreFormat::Text);
         let bin = LoaderCostModel::aws_2016_for(StoreFormat::Binary);
+        let mapped = LoaderCostModel::aws_2016_for(StoreFormat::BinaryMapped);
         for kind in [LoaderKind::Stream, LoaderKind::Hash, LoaderKind::Micro] {
             let t = text.time(kind, 4.0e9, 8).expect("time");
             let b = bin.time(kind, 4.0e9, 8).expect("time");
+            let m = mapped.time(kind, 4.0e9, 8).expect("time");
             assert!(
                 b < t,
                 "{kind}: binary {b} must beat text {t} at equal bytes"
+            );
+            assert!(
+                m < b,
+                "{kind}: mapped {m} must beat buffered binary {b} at equal bytes"
             );
         }
     }

@@ -148,30 +148,41 @@ impl<'a, V, M> ComputeContext<'a, V, M> {
         if dest != self.self_worker {
             *self.remote += 1;
         }
-        let bucket = &mut self.buckets[dest as usize];
-        if let Some((tail, last)) = bucket.last_mut() {
-            if *tail == slot {
-                if let Some(combined) = (self.combiner)(last, &msg) {
-                    *last = combined;
-                    return;
-                }
-            }
-        }
-        bucket.push((slot, msg));
+        push_combined(&mut self.buckets[dest as usize], self.combiner, slot, msg);
     }
 
     /// Sends `msg` to every neighbor.
+    ///
+    /// The engine's hottest send path: one tight pass over the adjacency
+    /// list with the logical-send and remote counters hoisted out of the
+    /// loop, combining into the bucket tails exactly as [`Self::send`]
+    /// would per message.
     pub fn send_to_neighbors(&mut self, msg: M)
     where
         M: Clone,
     {
         let neighbors = self.neighbors();
-        if let Some((&last, init)) = neighbors.split_last() {
-            for &n in init {
-                self.send(n, msg.clone());
-            }
-            self.send(last, msg);
+        let Some((&last_n, init)) = neighbors.split_last() else {
+            return;
+        };
+        *self.sent += neighbors.len() as u64;
+        let mut remote = 0u64;
+        for &n in init {
+            let route = self.route[n as usize];
+            let (dest, slot) = ((route >> 32) as u32, route as u32);
+            remote += u64::from(dest != self.self_worker);
+            push_combined(
+                &mut self.buckets[dest as usize],
+                self.combiner,
+                slot,
+                msg.clone(),
+            );
         }
+        let route = self.route[last_n as usize];
+        let (dest, slot) = ((route >> 32) as u32, route as u32);
+        remote += u64::from(dest != self.self_worker);
+        push_combined(&mut self.buckets[dest as usize], self.combiner, slot, msg);
+        *self.remote += remote;
     }
 
     /// Votes to halt; the vertex is reactivated by incoming messages.
@@ -188,6 +199,27 @@ impl<'a, V, M> ComputeContext<'a, V, M> {
     pub fn aggregate_max(&mut self, name: &str, v: f64) {
         self.next_aggregates.add_max(name, v);
     }
+}
+
+/// Appends `(slot, msg)` to `bucket`, folding into the tail entry when it
+/// addresses the same slot and the combiner applies (sender-side
+/// combining).
+#[inline]
+fn push_combined<M>(
+    bucket: &mut Vec<(u32, M)>,
+    combiner: &dyn Fn(&M, &M) -> Option<M>,
+    slot: u32,
+    msg: M,
+) {
+    if let Some((tail, last)) = bucket.last_mut() {
+        if *tail == slot {
+            if let Some(combined) = combiner(last, &msg) {
+                *last = combined;
+                return;
+            }
+        }
+    }
+    bucket.push((slot, msg));
 }
 
 /// A vertex-centric program.

@@ -13,8 +13,12 @@
 //! on both paths — a traced parallel run collects the same span stream as
 //! a sequential one.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the affinity syscalls in `pin` carry the
+// crate's only `unsafe`, under a scoped allow with a SAFETY argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod pin;
 
 use hourglass_obs as obs;
 
@@ -50,6 +54,7 @@ where
             .enumerate()
             .map(|(i, t)| {
                 scope.spawn(move |_| {
+                    pin::pin_task_thread(i);
                     let scope = obs::task_begin(i as u32);
                     let r = t();
                     (r, obs::task_end(scope))

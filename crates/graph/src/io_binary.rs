@@ -162,6 +162,41 @@ pub fn decode_arcs(bytes: &[u8]) -> impl Iterator<Item = (VertexId, VertexId)> +
     })
 }
 
+/// Bulk-decodes a bucket's raw bytes, appending every `(source, target)`
+/// pair to `out`.
+///
+/// This is the hot-path counterpart of [`decode_arcs`]: capacity is
+/// reserved up front and the pairs are appended through a `chunks_exact`
+/// exact-length extend, so the loop body carries no per-arc capacity or
+/// bounds checks and autovectorizes. Trailing partial pairs are ignored,
+/// matching the iterator.
+#[inline]
+pub fn decode_arcs_into(bytes: &[u8], out: &mut Vec<(VertexId, VertexId)>) {
+    out.reserve(bytes.len() / ARC_BYTES);
+    out.extend(bytes.chunks_exact(ARC_BYTES).map(|pair| {
+        (
+            u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]),
+            u32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]),
+        )
+    }));
+}
+
+/// Largest vertex id appearing in an encoded arc slice (source or target),
+/// or `None` for an empty slice.
+///
+/// A branch-free max-reduction over the raw `u32` words: loaders use it as
+/// a cheap validity pre-scan so the common all-in-range case can take the
+/// unfiltered [`decode_arcs_into`] bulk path instead of a per-pair range
+/// check.
+#[inline]
+pub fn max_arc_id(bytes: &[u8]) -> Option<u32> {
+    let words = &bytes[..bytes.len() / ARC_BYTES * ARC_BYTES];
+    words
+        .chunks_exact(4)
+        .map(|w| u32::from_le_bytes([w[0], w[1], w[2], w[3]]))
+        .reduce(u32::max)
+}
+
 /// A sharded binary arc store (`HGS1`): the at-rest layout of the
 /// fast-reload datastore.
 ///
@@ -657,6 +692,37 @@ mod tests {
         // Cut inside the metadata checksum and inside the bucket checksums.
         assert!(ShardedArcs::read_from(&buf[..buf.len() - 2]).is_err());
         assert!(ShardedArcs::read_from(&buf[..buf.len() - 6]).is_err());
+    }
+
+    #[test]
+    fn bulk_decode_matches_iterator() {
+        let g = generators::rmat(9, 8, generators::RmatParams::SOCIAL, 11).expect("gen");
+        let s = ShardedArcs::flat_from_graph(&g);
+        let bytes = s.bucket_bytes(0);
+        let via_iter: Vec<_> = decode_arcs(bytes).collect();
+        let mut via_bulk = Vec::new();
+        decode_arcs_into(bytes, &mut via_bulk);
+        assert_eq!(via_iter, via_bulk);
+        // Appends without clearing, and ignores a trailing partial pair.
+        decode_arcs_into(&bytes[..bytes.len().min(8) + 3], &mut via_bulk);
+        assert_eq!(via_bulk.len(), via_iter.len() + 1.min(via_iter.len()));
+        let mut empty = Vec::new();
+        decode_arcs_into(&[], &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn max_arc_id_scans_both_endpoints() {
+        assert_eq!(max_arc_id(&[]), None);
+        let mut buf = Vec::new();
+        for (u, v) in [(3u32, 9u32), (7, 2), (5, 5)] {
+            buf.extend_from_slice(&u.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(max_arc_id(&buf), Some(9));
+        // A trailing partial pair is excluded from the scan, like decode.
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(max_arc_id(&buf), Some(9));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::{Result, SimError};
 use hourglass_cloud::config::{paper_configurations, DeploymentConfig};
-use hourglass_engine::loaders::{LoaderCostModel, LoaderKind};
+use hourglass_engine::loaders::{LoaderCostModel, LoaderKind, StoreFormat};
 use hourglass_graph::datasets::Dataset;
 
 /// How the graph is (re)loaded after a deployment change.
@@ -117,12 +117,34 @@ pub fn build_configs(
 }
 
 /// [`build_configs`] with an explicit scaling exponent (short jobs scale
-/// worse across cluster sizes than long compute-bound ones).
+/// worse across cluster sizes than long compute-bound ones). Prices the
+/// paper deployment: text edge lists in the datastore.
 pub fn build_configs_with_scaling(
     lrc_exec_seconds: f64,
     dataset: Dataset,
     reload: ReloadMode,
     scaling_exponent: f64,
+) -> Result<Vec<ConfigPerf>> {
+    build_configs_for_format(
+        lrc_exec_seconds,
+        dataset,
+        reload,
+        scaling_exponent,
+        StoreFormat::Text,
+    )
+}
+
+/// [`build_configs_with_scaling`] with an explicit datastore format: the
+/// loader calibration (and hence every load/reload term the EC charges a
+/// candidate configuration) is priced for that format. `Text` reproduces
+/// the paper; `BinaryMapped` prices the zero-copy HGS2 path, shrinking
+/// the reload penalty transient switches pay.
+pub fn build_configs_for_format(
+    lrc_exec_seconds: f64,
+    dataset: Dataset,
+    reload: ReloadMode,
+    scaling_exponent: f64,
+    format: StoreFormat,
 ) -> Result<Vec<ConfigPerf>> {
     if !(lrc_exec_seconds > 0.0) {
         return Err(SimError::InvalidParameter(format!(
@@ -134,7 +156,7 @@ pub fn build_configs_with_scaling(
             "scaling exponent must be in [0,1], got {scaling_exponent}"
         )));
     }
-    let model = LoaderCostModel::aws_2016();
+    let model = LoaderCostModel::aws_2016_for(format);
     let bytes = dataset.paper_bytes() as f64;
     let all = paper_configurations();
     let max_vcpus = all
@@ -398,6 +420,24 @@ mod tests {
         });
         assert_eq!(hash, 0.0);
         assert!(fast > 0.0 && rep > 2.5 * fast);
+    }
+
+    #[test]
+    fn mapped_format_shrinks_every_reload_term() {
+        let text = build_configs(600.0, Dataset::Twitter, ReloadMode::Fast).expect("build");
+        let mapped = build_configs_for_format(
+            600.0,
+            Dataset::Twitter,
+            ReloadMode::Fast,
+            SCALING_EXPONENT,
+            StoreFormat::BinaryMapped,
+        )
+        .expect("build");
+        for (t, m) in text.iter().zip(&mapped) {
+            assert!(m.t_load_first < t.t_load_first, "{}", t.config);
+            assert!(m.t_load_reload < t.t_load_reload, "{}", t.config);
+            assert_eq!(m.t_exec, t.t_exec, "format must not touch execution time");
+        }
     }
 
     #[test]

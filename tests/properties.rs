@@ -163,7 +163,7 @@ proptest! {
 // --- engine properties (self-contained: engine + graph + partition only) ---
 mod engine_properties {
     use hourglass::engine::apps::{coloring_is_proper, GraphColoring, PageRank};
-    use hourglass::engine::{BspEngine, ComputeContext, EngineConfig, VertexProgram};
+    use hourglass::engine::{BspEngine, ComputeContext, DeliveryMode, EngineConfig, VertexProgram};
     use hourglass::graph::{generators, Graph, VertexId};
     use hourglass::partition::hash::HashPartitioner;
     use hourglass::partition::Partitioner;
@@ -264,6 +264,40 @@ mod engine_properties {
             prop_assert!(coloring_is_proper(&g, &gc_seq));
         }
 
+        /// Cache-blocked delivery is bit-identical to flat delivery — not
+        /// within an epsilon: the blocked scatter preserves per-slot
+        /// message order, so even float programs must agree exactly, in
+        /// both execution modes at every worker count.
+        #[test]
+        fn blocked_delivery_is_bit_identical_to_flat(
+            scale in 6u32..9,
+            seed in 0u64..20,
+            k in prop::sample::select(vec![1u32, 2, 4, 8]),
+            parallel in prop::sample::select(vec![false, true]),
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let p = HashPartitioner.partition(&g, k).expect("partition");
+            let run_pr = |delivery: DeliveryMode| {
+                let config = EngineConfig { parallel, delivery, ..EngineConfig::default() };
+                let mut e = BspEngine::new(PageRank::fixed(10), &g, p.clone(), config)
+                    .expect("engine");
+                e.run().expect("run");
+                e.into_values()
+            };
+            let flat = run_pr(DeliveryMode::Flat);
+            prop_assert_eq!(&run_pr(DeliveryMode::Blocked), &flat, "blocked PageRank");
+            prop_assert_eq!(&run_pr(DeliveryMode::Auto), &flat, "auto PageRank");
+
+            let run_max = |delivery: DeliveryMode| {
+                let config = EngineConfig { parallel, delivery, ..EngineConfig::default() };
+                let mut e = BspEngine::new(MaxId, &g, p.clone(), config).expect("engine");
+                e.run().expect("run");
+                e.into_values()
+            };
+            prop_assert_eq!(run_max(DeliveryMode::Blocked), run_max(DeliveryMode::Flat));
+        }
+
         /// Checkpointing at an arbitrary superstep and restoring onto an
         /// arbitrary (possibly different) worker count finishes with the
         /// same answer as the uninterrupted run.
@@ -313,6 +347,7 @@ mod loader_properties {
         hash_load, loaded_adjacency, micro_load, reload_graph, stream_load, Datastore,
     };
     use hourglass::graph::io_binary::ShardedArcs;
+    use hourglass::graph::io_mmap::MappedShards;
     use hourglass::graph::{generators, Graph};
     use hourglass::partition::hash::HashPartitioner;
     use hourglass::partition::Partitioner;
@@ -389,6 +424,105 @@ mod loader_properties {
             let (bw, _) =
                 micro_load(&Datastore::Binary(read), &micro, &micro_to_worker, 4).expect("load");
             prop_assert_eq!(loaded_adjacency(&tw), loaded_adjacency(&bw));
+        }
+
+        /// The memory-mapped HGS2 store is bit-identical to the in-memory
+        /// binary store through all three loaders at every paper worker
+        /// count: same slabs, same stats, same reconstructed CSR.
+        #[test]
+        fn mapped_store_matches_in_memory_across_loaders(
+            scale in 6u32..9,
+            seed in 0u64..20,
+            k in prop::sample::select(vec![1u32, 2, 4, 8]),
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let p = HashPartitioner.partition(&g, k).expect("partition");
+            let micro = HashPartitioner.partition(&g, 16).expect("micro");
+            let micro_to_worker: Vec<u32> = (0..16).map(|m| m % k).collect();
+
+            let dir = std::env::temp_dir();
+            let tag = format!(
+                "hg-props-{}-{:?}-{scale}-{seed}-{k}",
+                std::process::id(),
+                std::thread::current().id()
+            );
+            let flat_path = dir.join(format!("{tag}-flat.hgs2"));
+            let micro_path = dir.join(format!("{tag}-micro.hgs2"));
+
+            let bin_flat = Datastore::binary_flat(&g);
+            let map_flat = Datastore::mapped_flat(&g, &flat_path).expect("mapped flat");
+            let (sw, ss) = stream_load(&bin_flat, &p);
+            let (mw, ms) = stream_load(&map_flat, &p);
+            prop_assert_eq!(&mw, &sw, "stream slabs");
+            prop_assert_eq!(&ms, &ss, "stream stats");
+            let (hw, hs) = hash_load(&bin_flat, &p);
+            let (hmw, hms) = hash_load(&map_flat, &p);
+            prop_assert_eq!(&hmw, &hw, "hash slabs");
+            prop_assert_eq!(&hms, &hs, "hash stats");
+
+            let bin_micro = Datastore::binary_micro(&g, &micro).expect("store");
+            let map_micro =
+                Datastore::mapped_micro(&g, &micro, &micro_path).expect("mapped micro");
+            let (bw, bs) = micro_load(&bin_micro, &micro, &micro_to_worker, k).expect("load");
+            let (qw, qs) = micro_load(&map_micro, &micro, &micro_to_worker, k).expect("load");
+            prop_assert_eq!(&qw, &bw, "micro slabs");
+            prop_assert_eq!(&qs, &bs, "micro stats");
+            let reloaded =
+                reload_graph(&qw, g.num_vertices(), g.is_directed()).expect("reload");
+            prop_assert_eq!(&reloaded, &g);
+
+            std::fs::remove_file(&flat_path).ok();
+            std::fs::remove_file(&micro_path).ok();
+        }
+
+        /// The HGS2 per-bucket CRC trailer localizes payload corruption:
+        /// flipping any payload byte leaves the (metadata-checksummed) open
+        /// succeeding but fails `verify_all`, and the failing bucket is
+        /// exactly the one whose arc range covers the flipped byte.
+        #[test]
+        fn mapped_store_localizes_payload_corruption(
+            scale in 6u32..8,
+            seed in 0u64..20,
+            offset_sel in 0u64..u64::MAX,
+        ) {
+            let g = generators::rmat(scale, 8, generators::RmatParams::SOCIAL, seed)
+                .expect("generate");
+            let micro = HashPartitioner.partition(&g, 16).expect("micro");
+            let sharded = ShardedArcs::from_graph_buckets(&g, micro.assignment(), 16)
+                .expect("shard");
+            prop_assert!(sharded.payload_bytes() > 0, "R-MAT graphs always have arcs");
+
+            let path = std::env::temp_dir().join(format!(
+                "hg-props-crc-{}-{:?}-{scale}-{seed}.hgs2",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let mut bytes = Vec::new();
+            sharded.write_to(&mut bytes).expect("serialize");
+            // HGS2 layout: 20-byte header, 16 u64 bucket counts, payload.
+            let payload_off = 20 + 8 * sharded.num_buckets() as usize;
+            let flip = offset_sel as usize % sharded.payload_bytes();
+            bytes[payload_off + flip] ^= 0x5A;
+            std::fs::write(&path, &bytes).expect("write corrupted store");
+
+            let mapped = MappedShards::open(&path).expect("metadata is intact");
+            prop_assert!(mapped.verify_all().is_err(), "corruption must be caught");
+            let mut cut = 0u64;
+            for b in 0..sharded.num_buckets() {
+                let len = 8 * sharded.bucket_len(b);
+                let hit = (cut..cut + len).contains(&(flip as u64));
+                prop_assert_eq!(
+                    mapped.verify_bucket(b).is_err(),
+                    hit,
+                    "bucket {} (flip at payload byte {})",
+                    b,
+                    flip
+                );
+                cut += len;
+            }
+
+            std::fs::remove_file(&path).ok();
         }
     }
 }
