@@ -25,7 +25,7 @@ fn main() {
     let world = World::build(cli.seed);
     let setup = world.setup();
     let runs = cli.runs_or(400);
-    let experiment = Experiment::new(runs, cli.seed ^ 0xF16_1);
+    let experiment = Experiment::new(runs, cli.seed ^ 0xF161);
 
     // Reload variants: "no fast reload" pays hash loading plus a fresh
     // partitioning pass per reconfiguration; "fast reload" pays the micro

@@ -31,7 +31,8 @@ use hourglass_core::strategies::figure5_roster;
 use hourglass_sim::events::parse_jsonl;
 use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::{
-    EventAggregate, EventSink, Experiment, JsonlSink, SimEvent, TeeSink, TraceBridge, VecSink,
+    EventAggregate, EventSink, Experiment, JsonlSink, ScenarioKind, SimEvent, TeeSink, TraceBridge,
+    VecSink,
 };
 use std::io::{BufWriter, Write};
 
@@ -41,8 +42,16 @@ fn main() {
         smoke(&cli);
         return;
     }
+    if cli.scenario.as_deref() == Some("all") {
+        scenario_matrix(&cli);
+        return;
+    }
     let tracing = cli.trace_handle();
-    let world = World::build(cli.seed);
+    let scenario = cli.scenario_kinds()[0];
+    let world = World::build_scenario(scenario, cli.seed);
+    if scenario != ScenarioKind::Crossing {
+        println!("scenario: {}", scenario.name());
+    }
     let mut setup = world.setup();
     if let Some(plan) = cli.resolve_fault_plan() {
         setup = setup.with_fault_plan(plan);
@@ -113,6 +122,7 @@ fn main() {
                     summary.normalized_cost, summary.missed_pct
                 ));
                 json_rows.push(serde_json::json!({
+                    "scenario": scenario.name(),
                     "job": job_kind.name(),
                     "slack_pct": slack,
                     "strategy": summary.strategy,
@@ -188,15 +198,43 @@ fn main() {
     tracing.finish();
 }
 
-/// Tiny self-checking sweep for CI: one job, one slack, the full roster.
-/// Asserts the sweep-harness invariants end to end (parallel ==
+/// Tiny self-checking sweep for CI: one job, one slack, the full roster,
+/// repeated for every requested scenario (`--scenario`, default the paper
+/// baseline). Asserts the sweep-harness invariants end to end (parallel ==
 /// sequential bitwise; JSONL round-trip reproduces the in-memory
-/// aggregate; aggregate counters match the outcome summary). With
-/// `--fault-plan` the same invariants must hold under injected I/O
-/// faults, every run must still complete, and the deadline-aware
+/// aggregate; aggregate counters match the outcome summary; every run
+/// completes; every derived eviction model carries the acquisition-bias
+/// fix — no probability mass at uptime 0). With `--fault-plan` the same
+/// invariants must hold under injected I/O faults and the deadline-aware
 /// provisioners (Hourglass and the +DP variants) must miss no deadlines.
 fn smoke(cli: &Cli) {
-    let world = World::build(cli.seed);
+    for kind in cli.scenario_kinds() {
+        smoke_scenario(cli, kind);
+    }
+    reconfig_smoke(cli.seed);
+    println!("fig5 smoke passed");
+}
+
+/// One scenario's worth of [`smoke`] checks.
+fn smoke_scenario(cli: &Cli, kind: ScenarioKind) {
+    let world = World::build_scenario(kind, cli.seed);
+    // The acquisition-bias regression gate: no model, in any scenario, may
+    // put probability mass at uptime 0 (the empirical CDF is exactly 0 at
+    // 0; parametric fits only infinitesimally above it just after 0).
+    for (ty, model) in &world.eviction_models {
+        assert_eq!(
+            model.cdf(0.0),
+            0.0,
+            "{}/{ty}: eviction CDF has mass at uptime 0",
+            kind.name()
+        );
+        assert!(
+            model.cdf(1e-9) < 1e-6,
+            "{}/{ty}: eviction CDF jumps right after uptime 0",
+            kind.name()
+        );
+        assert!(model.mttf() > 0.0);
+    }
     let mut setup = world.setup();
     let faulted = cli.fault_plan.is_some();
     if let Some(plan) = cli.resolve_fault_plan() {
@@ -282,27 +320,26 @@ fn smoke(cli: &Cli) {
             "JSONL round-trip changed the aggregate"
         );
 
-        if faulted {
-            let deadline_aware = par.strategy == "Hourglass" || par.strategy.ends_with("+DP");
-            for (_, e) in &events.events {
-                if let SimEvent::Complete {
-                    completed,
-                    missed_deadline,
-                    ..
-                } = e
-                {
+        let deadline_aware = par.strategy == "Hourglass" || par.strategy.ends_with("+DP");
+        for (_, e) in &events.events {
+            if let SimEvent::Complete {
+                completed,
+                missed_deadline,
+                ..
+            } = e
+            {
+                assert!(
+                    *completed,
+                    "{}/{}: a run failed to complete",
+                    kind.name(),
+                    par.strategy
+                );
+                if faulted && deadline_aware {
                     assert!(
-                        *completed,
-                        "{}: a run failed to complete under the fault plan",
+                        !*missed_deadline,
+                        "{}: deadline-aware strategy missed a deadline under faults",
                         par.strategy
                     );
-                    if deadline_aware {
-                        assert!(
-                            !*missed_deadline,
-                            "{}: deadline-aware strategy missed a deadline under faults",
-                            par.strategy
-                        );
-                    }
                 }
             }
         }
@@ -310,9 +347,10 @@ fn smoke(cli: &Cli) {
         total_retries += agg.retries;
 
         println!(
-            "smoke {:<22} runs {:>2}  normalized {:.3}  missed {:>5.1}%  \
+            "smoke [{:<8}] {:<22} runs {:>2}  normalized {:.3}  missed {:>5.1}%  \
              evict/run {:.2}  waits {}  migrations {}  degraded {}  retries {}  \
              fallbacks {}  [seq==par, jsonl ok]",
+            kind.name(),
             par.strategy,
             runs,
             par.normalized_cost,
@@ -325,7 +363,6 @@ fn smoke(cli: &Cli) {
             agg.fallbacks,
         );
     }
-    reconfig_smoke(cli.seed);
     if faulted {
         assert!(
             total_degraded > 0 || total_retries > 0,
@@ -336,7 +373,136 @@ fn smoke(cli: &Cli) {
              {total_retries} retries absorbed, all runs completed"
         );
     }
-    println!("fig5 smoke passed");
+}
+
+/// `--scenario all`: the preemption-model matrix (§ EXPERIMENTS.md).
+/// Replays the *same* Monte-Carlo start seeds for every scenario — start
+/// points depend only on (seed, horizon, deadline), which the scenarios
+/// share — so per-strategy deltas against the crossing baseline isolate
+/// the preemption model, not sampling noise. Reports normalized cost,
+/// its delta vs crossing, and missed-deadline % per cell, plus the
+/// winning strategy per scenario (fewest misses, then cheapest) so
+/// ranking flips are visible at a glance.
+/// Per-strategy cell: (name, normalized cost, missed %).
+type MatrixCell = (String, f64, f64);
+
+fn scenario_matrix(cli: &Cli) {
+    let runs = cli.runs_or(60);
+    let slacks: Vec<f64> = if cli.quick {
+        vec![30.0]
+    } else {
+        vec![20.0, 50.0]
+    };
+    let roster = figure5_roster();
+    let job_kind = PaperJob::GraphColoring;
+    println!(
+        "== Scenario matrix: {} ({} runs/cell, identical start seeds across scenarios) ==",
+        job_kind.name(),
+        runs
+    );
+
+    // results[scenario][slack][strategy].
+    let mut results: Vec<(ScenarioKind, Vec<Vec<MatrixCell>>)> = Vec::new();
+    for kind in ScenarioKind::ALL {
+        let world = World::build_scenario(kind, cli.seed);
+        let setup = world.setup();
+        let mut per_slack = Vec::new();
+        for &slack in &slacks {
+            let job = job_kind
+                .description(slack, ReloadMode::Fast)
+                .expect("job construction");
+            let mut cells = Vec::new();
+            for strategy in &roster {
+                let summary = Experiment::new(runs, cli.seed ^ (slack as u64))
+                    .run(&setup, &job, strategy)
+                    .expect("simulation cannot fail on a generated market");
+                cells.push((
+                    summary.strategy,
+                    summary.normalized_cost,
+                    summary.missed_pct,
+                ));
+            }
+            per_slack.push(cells);
+        }
+        results.push((kind, per_slack));
+    }
+
+    for (si, &slack) in slacks.iter().enumerate() {
+        println!("-- slack {slack:.0}%  (cost  Δvs-crossing  missed%) --");
+        let mut header = format!("{:<22}", "strategy");
+        for (kind, _) in &results {
+            header.push_str(&format!("{:>26}", kind.name()));
+        }
+        println!("{header}");
+        let base = results[0].1[si].clone();
+        for (sti, (name, base_cost, _)) in base.iter().enumerate() {
+            let mut row = format!("{:<22}", name);
+            for (ki, (_, per_slack)) in results.iter().enumerate() {
+                let (_, cost, missed) = per_slack[si][sti];
+                if ki == 0 {
+                    row.push_str(&format!("{:>10.3}{:>9}{:>6.1}%", cost, "", missed));
+                } else {
+                    row.push_str(&format!(
+                        "{:>10.3}{:>+9.3}{:>6.1}%",
+                        cost,
+                        cost - base_cost,
+                        missed
+                    ));
+                }
+            }
+            println!("{row}");
+        }
+        // Two rankings per scenario: the deadline-respecting winner
+        // (fewest misses, then cheapest) and the raw cheapest strategy.
+        // Either row changing across columns is a ranking flip.
+        let mut flipped = false;
+        for (label, key) in [("winner", true), ("cheapest", false)] {
+            let mut names = Vec::new();
+            let mut line = format!("{:<22}", label);
+            for (_, per_slack) in &results {
+                let w = per_slack[si]
+                    .iter()
+                    .min_by(|a, b| {
+                        let (ka, kb) = if key {
+                            ((a.2, a.1), (b.2, b.1))
+                        } else {
+                            ((a.1, a.2), (b.1, b.2))
+                        };
+                        ka.partial_cmp(&kb).expect("finite summaries")
+                    })
+                    .expect("roster is non-empty");
+                names.push(w.0.clone());
+                line.push_str(&format!("{:>26}", w.0));
+            }
+            println!("{line}");
+            flipped |= names.iter().any(|n| *n != names[0]);
+        }
+        if flipped {
+            println!("   ^ strategy ranking flips vs the crossing baseline at this slack");
+        }
+        println!();
+    }
+
+    let mut json_rows = Vec::new();
+    for (kind, per_slack) in &results {
+        for (si, &slack) in slacks.iter().enumerate() {
+            for (sti, (name, cost, missed)) in per_slack[si].iter().enumerate() {
+                json_rows.push(serde_json::json!({
+                    "scenario": kind.name(),
+                    "job": job_kind.name(),
+                    "slack_pct": slack,
+                    "strategy": name,
+                    "normalized_cost": cost,
+                    "missed_pct": missed,
+                    "delta_cost_vs_crossing": cost - results[0].1[si][sti].1,
+                    "runs": runs,
+                }));
+            }
+        }
+    }
+    cli.maybe_write_json(
+        &serde_json::to_string_pretty(&json_rows).expect("plain json cannot fail"),
+    );
 }
 
 /// Resize-heavy reconfiguration gate: replays a mid-job resize chain

@@ -54,7 +54,7 @@ fn group_digits(v: u64) -> String {
     let raw = v.to_string();
     let mut out = String::new();
     for (i, c) in raw.chars().enumerate() {
-        if i > 0 && (raw.len() - i) % 3 == 0 {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
             out.push(' ');
         }
         out.push(c);

@@ -22,9 +22,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hourglass_cloud::{tracegen, EvictionModel, InstanceType, Market};
+use hourglass_cloud::{DynEviction, InstanceType, Market};
 use hourglass_obs as obs;
-use hourglass_sim::runner::derive_eviction_models;
+use hourglass_sim::{LifetimeGroundTruth, Scenario, ScenarioKind};
 
 /// Parsed command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]
@@ -49,6 +49,9 @@ pub struct Cli {
     pub fault_plan: Option<String>,
     /// Pin fork-join workers to cores (`--pin`, or `HOURGLASS_PIN=1`).
     pub pin: bool,
+    /// Market scenario to replay (`--scenario crossing|capped|bathtub|
+    /// crunch|all`; binaries that simulate honor it, others ignore it).
+    pub scenario: Option<String>,
 }
 
 impl Cli {
@@ -65,6 +68,7 @@ impl Cli {
             profile: false,
             fault_plan: None,
             pin: false,
+            scenario: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -120,11 +124,20 @@ impl Cli {
                             .clone(),
                     );
                 }
+                "--scenario" => {
+                    i += 1;
+                    cli.scenario = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--scenario needs a scenario name"))
+                            .clone(),
+                    );
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <bin> [--seed N] [--runs N] [--quick] [--smoke] \
                          [--json PATH] [--events PATH] [--trace PATH] [--profile] \
-                         [--pin] [--fault-plan io-flaky|torn-writes|bitflip]"
+                         [--pin] [--fault-plan io-flaky|torn-writes|bitflip] \
+                         [--scenario crossing|capped|bathtub|crunch|all]"
                     );
                     std::process::exit(0);
                 }
@@ -153,6 +166,20 @@ impl Cli {
             } else {
                 eprintln!("json written to {path}");
             }
+        }
+    }
+
+    /// Resolves `--scenario` into the matrix cells to run: `None` means
+    /// the paper baseline, `all` the full matrix; exits on unknown names.
+    pub fn scenario_kinds(&self) -> Vec<ScenarioKind> {
+        match self.scenario.as_deref() {
+            None => vec![ScenarioKind::Crossing],
+            Some("all") => ScenarioKind::ALL.to_vec(),
+            Some(name) => vec![ScenarioKind::parse(name).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown scenario {name:?} (known: crossing, capped, bathtub, crunch, all)"
+                ))
+            })],
         }
     }
 
@@ -240,28 +267,43 @@ fn die(msg: &str) -> ! {
 /// "November" market plus eviction statistics derived from the independent
 /// "October" market (§8.1 methodology).
 pub struct World {
+    /// The scenario-matrix cell this world replays.
+    pub scenario: ScenarioKind,
     /// The simulation market.
     pub market: Market,
-    /// Per-instance-type eviction models.
-    pub eviction_models: Vec<(InstanceType, EvictionModel)>,
+    /// Per-instance-type eviction processes strategies see.
+    pub eviction_models: Vec<(InstanceType, DynEviction)>,
+    /// Ground-truth lifetime overlay the runner enforces.
+    pub lifetime: Option<LifetimeGroundTruth>,
 }
 
 impl World {
-    /// Builds the world for a master seed.
+    /// Builds the paper-baseline (crossing) world for a master seed.
     pub fn build(seed: u64) -> World {
-        let market = tracegen::simulation_market(seed).expect("market generation cannot fail");
-        let history = tracegen::history_market(seed).expect("market generation cannot fail");
-        let eviction_models = derive_eviction_models(&history, 24.0 * 3600.0, 2000, seed ^ 0xE7)
-            .expect("eviction derivation cannot fail on a month-long trace");
+        World::build_scenario(ScenarioKind::Crossing, seed)
+    }
+
+    /// Builds one cell of the scenario matrix for a master seed.
+    pub fn build_scenario(kind: ScenarioKind, seed: u64) -> World {
+        let s = Scenario::build_default(kind, seed)
+            .expect("scenario construction cannot fail on generated traces");
         World {
-            market,
-            eviction_models,
+            scenario: kind,
+            market: s.market,
+            eviction_models: s.models,
+            lifetime: s.lifetime,
         }
     }
 
-    /// A [`hourglass_sim::SimulationSetup`] view of this world.
+    /// A [`hourglass_sim::SimulationSetup`] view of this world, with the
+    /// scenario's ground-truth lifetime applied.
     pub fn setup(&self) -> hourglass_sim::runner::SimulationSetup<'_> {
-        hourglass_sim::runner::SimulationSetup::new(&self.market, &self.eviction_models)
+        let mut setup =
+            hourglass_sim::runner::SimulationSetup::new(&self.market, &self.eviction_models);
+        if let Some(lifetime) = self.lifetime {
+            setup = setup.with_lifetime(lifetime);
+        }
+        setup
     }
 }
 
@@ -282,6 +324,7 @@ mod tests {
             profile: false,
             fault_plan: Some("io-flaky".into()),
             pin: false,
+            scenario: None,
         };
         let _plan = cli.resolve_fault_plan().expect("known plan resolves");
         cli.fault_plan = None;
@@ -291,7 +334,31 @@ mod tests {
     #[test]
     fn world_builds() {
         let w = World::build(1);
+        assert_eq!(w.scenario, ScenarioKind::Crossing);
+        assert!(w.lifetime.is_none());
         assert_eq!(w.eviction_models.len(), 4);
         assert!(w.market.horizon() > 20.0 * 86_400.0);
+    }
+
+    #[test]
+    fn scenario_flag_resolution() {
+        let mut cli = Cli {
+            seed: 7,
+            runs: None,
+            quick: false,
+            smoke: false,
+            json: None,
+            events: None,
+            trace: None,
+            profile: false,
+            fault_plan: None,
+            pin: false,
+            scenario: None,
+        };
+        assert_eq!(cli.scenario_kinds(), vec![ScenarioKind::Crossing]);
+        cli.scenario = Some("bathtub".into());
+        assert_eq!(cli.scenario_kinds(), vec![ScenarioKind::Bathtub]);
+        cli.scenario = Some("all".into());
+        assert_eq!(cli.scenario_kinds(), ScenarioKind::ALL.to_vec());
     }
 }

@@ -10,16 +10,20 @@ use crate::Result;
 /// deployments pay the integrated market price (AWS per-second billing at
 /// the current spot price). The caller is responsible for not billing a
 /// transient deployment past its eviction instant.
+///
+/// Degenerate intervals (`to ≤ from`) bill zero on both arms — the ledger
+/// treats them as empty, never as a credit or an error.
 pub fn deployment_cost(
     market: &Market,
     config: &DeploymentConfig,
     from: f64,
     to: f64,
 ) -> Result<f64> {
+    if to <= from {
+        return Ok(0.0);
+    }
     let per_machine = match config.class {
-        ResourceClass::OnDemand => {
-            config.instance_type.on_demand_price() * (to - from).max(0.0) / 3600.0
-        }
+        ResourceClass::OnDemand => config.instance_type.on_demand_price() * (to - from) / 3600.0,
         ResourceClass::Transient => market.trace(config.instance_type)?.cost_between(from, to)?,
     };
     Ok(per_machine * config.num_workers as f64)
@@ -84,11 +88,13 @@ impl CostLedger {
             .sum()
     }
 
-    /// Total machine-seconds billed.
+    /// Total machine-seconds billed. Degenerate entries (`to ≤ from`)
+    /// count zero seconds, matching [`deployment_cost`]'s zero-dollar
+    /// treatment.
     pub fn machine_seconds(&self) -> f64 {
         self.entries
             .iter()
-            .map(|e| (e.to - e.from) * e.config.num_workers as f64)
+            .map(|e| (e.to - e.from).max(0.0) * e.config.num_workers as f64)
             .sum()
     }
 
@@ -134,6 +140,31 @@ mod tests {
         let m = flat_market(0.1);
         let c = DeploymentConfig::new(InstanceType::R4Xlarge, 1, ResourceClass::OnDemand);
         assert_eq!(deployment_cost(&m, &c, 10.0, 10.0).expect("cost"), 0.0);
+        assert_eq!(deployment_cost(&m, &c, 10.0, 5.0).expect("cost"), 0.0);
+    }
+
+    #[test]
+    fn negative_interval_bills_zero_for_transient_too() {
+        // Regression: the transient arm used to propagate `cost_between`'s
+        // error on reversed intervals while the on-demand arm clamped to
+        // zero; both arms must behave identically.
+        let m = flat_market(0.1);
+        let c = DeploymentConfig::new(InstanceType::R4Xlarge, 1, ResourceClass::Transient);
+        assert_eq!(deployment_cost(&m, &c, 10.0, 10.0).expect("cost"), 0.0);
+        assert_eq!(deployment_cost(&m, &c, 10.0, 5.0).expect("cost"), 0.0);
+    }
+
+    #[test]
+    fn ledger_clamps_reversed_entries_in_machine_seconds() {
+        let m = flat_market(0.2);
+        let spot = DeploymentConfig::new(InstanceType::R44xlarge, 8, ResourceClass::Transient);
+        let mut ledger = CostLedger::new();
+        ledger.bill(&m, &spot, 0.0, 600.0).expect("bill");
+        ledger
+            .bill(&m, &spot, 700.0, 650.0)
+            .expect("reversed bill is zero");
+        assert!((ledger.machine_seconds() - 8.0 * 600.0).abs() < 1e-9);
+        assert!((ledger.total() - 8.0 * 0.2 * 600.0 / 3600.0).abs() < 1e-9);
     }
 
     #[test]

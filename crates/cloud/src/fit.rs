@@ -1,0 +1,283 @@
+//! Fitting parametric preemption models from trace history.
+//!
+//! The statistics layer turns raw eviction samples (from
+//! [`EvictionModel::from_trace`]) into a piecewise-Weibull
+//! [`BathtubModel`]: a Nelson–Aalen estimate of the cumulative hazard,
+//! split at fixed breakpoints into infant-mortality / useful-life /
+//! wear-out segments, each fit by log–log least squares
+//! (`ln H_loc = k·ln t_loc − k·ln λ`). Kadupitiya et al. ("Modeling The
+//! Temporally Constrained Preemptions of Transient Cloud VMs") observe
+//! exactly this bathtub structure in measured transient lifetimes.
+
+use crate::eviction::{BathtubModel, EvictionModel, WeibullPhase};
+use crate::trace::PriceTrace;
+use crate::{CloudError, Result};
+
+/// Fraction of the window at which the infant-mortality phase ends.
+const INFANT_BREAK: f64 = 0.10;
+/// Fraction of the window at which the wear-out phase begins.
+const WEAROUT_BREAK: f64 = 0.60;
+/// Fitted Weibull shapes are clamped to this range for numerical sanity.
+const SHAPE_RANGE: (f64, f64) = (0.05, 20.0);
+
+/// Fits a bathtub (piecewise-Weibull) model to a price trace at one bid
+/// level: samples acquirable launches exactly like
+/// [`EvictionModel::from_trace`], then fits the hazard phases to the
+/// observed lifetimes.
+pub fn fit_bathtub(
+    trace: &PriceTrace,
+    bid: f64,
+    window: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<BathtubModel> {
+    let empirical = EvictionModel::from_trace(trace, bid, window, samples, seed)?;
+    fit_bathtub_from_samples(
+        empirical.eviction_times(),
+        empirical.total_samples(),
+        window,
+    )
+}
+
+/// Fits a bathtub model directly from sorted eviction uptimes out of
+/// `total` launches censored at `window` seconds.
+pub fn fit_bathtub_from_samples(
+    eviction_times: &[f64],
+    total: usize,
+    window: f64,
+) -> Result<BathtubModel> {
+    if total == 0 || eviction_times.len() > total {
+        return Err(CloudError::InvalidParameter(
+            "total must cover all evictions".into(),
+        ));
+    }
+    if !window.is_finite() || window <= 0.0 {
+        return Err(CloudError::InvalidParameter(
+            "window must be positive and finite".into(),
+        ));
+    }
+    let hazard = nelson_aalen(eviction_times, total);
+    let b1 = INFANT_BREAK * window;
+    let b2 = WEAROUT_BREAK * window;
+    let phases = vec![
+        fit_segment(&hazard, 0.0, b1, window),
+        fit_segment(&hazard, b1, b2, window),
+        fit_segment(&hazard, b2, window, window),
+    ];
+    BathtubModel::new(phases, window)
+}
+
+/// Nelson–Aalen cumulative-hazard steps: `(t_j, H(t_j))` at each observed
+/// eviction time, with `H(t_j) = Σ_{i ≤ j} 1/(n − i + 1)` for `n` launches
+/// at risk.
+pub fn nelson_aalen(eviction_times: &[f64], total: usize) -> Vec<(f64, f64)> {
+    let mut steps = Vec::with_capacity(eviction_times.len());
+    let mut h = 0.0;
+    for (j, &t) in eviction_times.iter().enumerate() {
+        let at_risk = (total - j) as f64;
+        h += 1.0 / at_risk;
+        steps.push((t, h));
+    }
+    steps
+}
+
+/// Hazard accumulated strictly before uptime `t` (the step value of the
+/// Nelson–Aalen estimate at the last event ≤ `t`).
+fn hazard_at(hazard: &[(f64, f64)], t: f64) -> f64 {
+    let idx = hazard.partition_point(|&(ti, _)| ti <= t);
+    if idx == 0 {
+        0.0
+    } else {
+        hazard[idx - 1].1
+    }
+}
+
+/// Fits one Weibull segment over uptimes `[seg_start, seg_end)` by log–log
+/// least squares on the local cumulative hazard; falls back to an
+/// exponential (shape 1) matched to the segment's mean hazard rate when
+/// the segment has too few events to regress.
+fn fit_segment(hazard: &[(f64, f64)], seg_start: f64, seg_end: f64, window: f64) -> WeibullPhase {
+    let h0 = hazard_at(hazard, seg_start);
+    // (ln t_loc, ln H_loc) pairs for events inside the segment.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &(t, h) in hazard {
+        if t <= seg_start || t >= seg_end {
+            continue;
+        }
+        let t_loc = t - seg_start;
+        let h_loc = h - h0;
+        if t_loc > 0.0 && h_loc > 0.0 {
+            xs.push(t_loc.ln());
+            ys.push(h_loc.ln());
+        }
+    }
+    let fallback = exponential_fallback(hazard, seg_start, seg_end, h0, window);
+    if xs.len() < 2 {
+        return fallback;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx <= 1e-12 {
+        return fallback; // All events at one uptime: slope undefined.
+    }
+    // ln H = k ln t − k ln λ  ⇒  slope = k, intercept = −k ln λ.
+    let shape = (sxy / sxx).clamp(SHAPE_RANGE.0, SHAPE_RANGE.1);
+    let intercept = mean_y - (sxy / sxx) * mean_x;
+    let scale = (-intercept / shape).exp();
+    if !scale.is_finite() || scale <= 0.0 {
+        return fallback;
+    }
+    WeibullPhase {
+        start: seg_start,
+        shape,
+        scale: scale.max(1e-3),
+    }
+}
+
+/// Shape-1 (exponential) phase whose rate matches the hazard actually
+/// accumulated across the segment; near-zero accumulation degrades to a
+/// near-inert phase instead of dividing by zero.
+fn exponential_fallback(
+    hazard: &[(f64, f64)],
+    seg_start: f64,
+    seg_end: f64,
+    h0: f64,
+    window: f64,
+) -> WeibullPhase {
+    let dh = hazard_at(hazard, seg_end) - h0;
+    let span = (seg_end - seg_start).max(1e-9);
+    let scale = if dh > 1e-12 {
+        (span / dh).max(1e-3)
+    } else {
+        50.0 * window // Practically hazard-free segment.
+    };
+    WeibullPhase {
+        start: seg_start,
+        shape: 1.0,
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eviction::EvictionProcess;
+    use crate::tracegen::{generate_trace, TraceGenConfig};
+    use crate::InstanceType;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn nelson_aalen_steps() {
+        // 3 evictions among 4 launches: increments 1/4, 1/3, 1/2.
+        let h = nelson_aalen(&[10.0, 20.0, 30.0], 4);
+        assert_eq!(h.len(), 3);
+        assert!((h[0].1 - 0.25).abs() < 1e-12);
+        assert!((h[1].1 - (0.25 + 1.0 / 3.0)).abs() < 1e-12);
+        assert!((h[2].1 - (0.25 + 1.0 / 3.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_bathtub_draws() {
+        // Draw lifetimes from a known bathtub and refit; the fitted model
+        // must reproduce the empirical CDF within a loose tolerance and
+        // keep the bathtub ordering (infant shape < 1 < wear-out shape).
+        let truth = BathtubModel::new(
+            vec![
+                WeibullPhase {
+                    start: 0.0,
+                    shape: 0.5,
+                    scale: 40_000.0,
+                },
+                WeibullPhase {
+                    start: 8_640.0,
+                    shape: 1.0,
+                    scale: 60_000.0,
+                },
+                WeibullPhase {
+                    start: 51_840.0,
+                    shape: 3.0,
+                    scale: 20_000.0,
+                },
+            ],
+            86_400.0,
+        )
+        .expect("valid");
+        let mut rng = StdRng::seed_from_u64(11);
+        let total = 4000;
+        let mut times: Vec<f64> = (0..total)
+            .filter_map(|_| truth.sample_next_eviction(0.0, rng.gen::<f64>()))
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let fitted = fit_bathtub_from_samples(&times, total, 86_400.0).expect("fit succeeds");
+        let phases = fitted.phases();
+        assert_eq!(phases.len(), 3);
+        assert!(
+            phases[0].shape < 1.0,
+            "infant shape {} should be < 1",
+            phases[0].shape
+        );
+        assert!(
+            phases[2].shape > 1.2,
+            "wear-out shape {} should be > 1.2",
+            phases[2].shape
+        );
+        // CDF agreement at a few quantile probes.
+        let empirical = EvictionModel::from_samples(times.clone(), total, 86_400.0).expect("valid");
+        for u in [3600.0, 14_400.0, 43_200.0, 72_000.0] {
+            let e = empirical.cdf(u);
+            let f = EvictionProcess::cdf(&fitted, u);
+            assert!(
+                (e - f).abs() < 0.08,
+                "cdf({u}) empirical {e:.3} vs fitted {f:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_handles_no_evictions() {
+        let m = fit_bathtub_from_samples(&[], 100, 86_400.0).expect("fit succeeds");
+        // Practically hazard-free: essentially no eviction mass anywhere.
+        assert!(EvictionProcess::cdf(&m, 86_400.0) < 0.05);
+        assert!(EvictionProcess::mttf(&m) > 0.9 * 86_400.0);
+    }
+
+    #[test]
+    fn fit_from_trace_is_plausible() {
+        let cfg = TraceGenConfig::default();
+        let t = generate_trace(InstanceType::R48xlarge, &cfg, 5).expect("gen");
+        let bid = InstanceType::R48xlarge.on_demand_price();
+        let window = 24.0 * 3600.0;
+        let bathtub = fit_bathtub(&t, bid, window, 2000, 1).expect("fit succeeds");
+        let empirical = EvictionModel::from_trace(&t, bid, window, 2000, 1).expect("model");
+        assert_eq!(EvictionProcess::cdf(&bathtub, 0.0), 0.0);
+        // Same observation window and a broadly matching eviction level.
+        assert_eq!(EvictionProcess::window(&bathtub), window);
+        let e = empirical.cdf(6.0 * 3600.0);
+        let f = EvictionProcess::cdf(&bathtub, 6.0 * 3600.0);
+        assert!(
+            (e - f).abs() < 0.15,
+            "cdf(6h) empirical {e:.3} vs bathtub {f:.3}"
+        );
+        let mttf_ratio = EvictionProcess::mttf(&bathtub) / empirical.mttf();
+        assert!(
+            (0.5..2.0).contains(&mttf_ratio),
+            "MTTF ratio {mttf_ratio:.3} implausible"
+        );
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(fit_bathtub_from_samples(&[1.0], 0, 100.0).is_err());
+        assert!(fit_bathtub_from_samples(&[1.0, 2.0], 1, 100.0).is_err());
+        assert!(fit_bathtub_from_samples(&[1.0], 2, 0.0).is_err());
+    }
+}

@@ -21,13 +21,16 @@
 pub mod billing;
 pub mod config;
 pub mod eviction;
+pub mod fit;
 pub mod instance;
 pub mod stats;
 pub mod trace;
 pub mod tracegen;
 
 pub use config::{DeploymentConfig, ResourceClass};
-pub use eviction::EvictionModel;
+pub use eviction::{
+    BathtubModel, DynEviction, EvictionModel, EvictionProcess, LifetimeCapped, WeibullPhase,
+};
 pub use instance::InstanceType;
 pub use trace::{Market, PriceTrace};
 

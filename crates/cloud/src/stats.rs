@@ -40,7 +40,7 @@ pub struct MarketStats {
 /// assert_eq!(s.availability, 0.75);
 /// ```
 pub fn market_stats(trace: &PriceTrace, bid: f64) -> Result<MarketStats> {
-    if !(bid > 0.0) {
+    if bid.is_nan() || bid <= 0.0 {
         return Err(CloudError::InvalidParameter(format!(
             "bid must be positive, got {bid}"
         )));

@@ -16,7 +16,7 @@ pub struct PriceTrace {
 impl PriceTrace {
     /// Creates a trace from samples spaced `step` seconds apart.
     pub fn new(step: f64, prices: Vec<f64>) -> Result<Self> {
-        if !(step > 0.0) {
+        if step.is_nan() || step <= 0.0 {
             return Err(CloudError::InvalidParameter(format!(
                 "step must be positive, got {step}"
             )));

@@ -41,6 +41,13 @@ pub struct TraceGenConfig {
     pub spike_duration_mean: f64,
     /// Multiplier applied to the on-demand price at the peak of a spike.
     pub spike_level: f64,
+    /// Market-wide capacity crunches per day (0 disables the overlay).
+    /// During a crunch *every* market clears above on-demand at once,
+    /// evicting whole instance classes simultaneously — the correlated
+    /// cross-pool preemptions real fleets see.
+    pub crunch_per_day: f64,
+    /// Mean crunch duration in seconds.
+    pub crunch_duration_mean: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -56,6 +63,8 @@ impl Default for TraceGenConfig {
             spikes_per_day: 1.1,
             spike_duration_mean: 1500.0,
             spike_level: 1.35,
+            crunch_per_day: 0.0,
+            crunch_duration_mean: 5400.0,
             seed: 0x5447, // "TG"
         }
     }
@@ -85,8 +94,27 @@ pub fn discount_multiplier(ty: InstanceType) -> f64 {
     }
 }
 
+/// Generator-side statistics of one trace (see [`generate_trace_stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceGenStats {
+    /// Number of Poisson spike arrivals drawn over the trace.
+    pub spike_arrivals: usize,
+    /// Total seconds the market spent in a spike.
+    pub spike_seconds: f64,
+}
+
 /// Generates the price trace of a single market.
 pub fn generate_trace(ty: InstanceType, cfg: &TraceGenConfig, seed: u64) -> Result<PriceTrace> {
+    generate_trace_stats(ty, cfg, seed).map(|(t, _)| t)
+}
+
+/// Like [`generate_trace`], additionally reporting generator statistics
+/// (spike arrival counts — used to pin the effective spike rate in tests).
+pub fn generate_trace_stats(
+    ty: InstanceType,
+    cfg: &TraceGenConfig,
+    seed: u64,
+) -> Result<(PriceTrace, TraceGenStats)> {
     validate(cfg)?;
     let od = ty.on_demand_price();
     let base = (cfg.mean_discount * discount_multiplier(ty)).min(0.92) * od;
@@ -96,20 +124,27 @@ pub fn generate_trace(ty: InstanceType, cfg: &TraceGenConfig, seed: u64) -> Resu
     let mut log_x = 0.0f64; // Log deviation from the base price.
     let spike_rate_per_step =
         cfg.spikes_per_day * spike_rate_multiplier(ty) * cfg.step_secs / 86_400.0;
-    let mut spike_left = 0.0f64; // Remaining seconds of the active spike.
+    let mut spike_left = 0.0f64; // Remaining seconds of queued spike time.
+    let mut stats = TraceGenStats::default();
     let mut prices = Vec::with_capacity(steps);
     for _ in 0..steps {
         // OU step in log space.
         let noise: f64 = gaussian(&mut rng);
         log_x += -cfg.reversion * log_x * dt_hours + cfg.volatility * dt_hours.sqrt() * noise;
-        // Poisson spike arrivals.
-        if spike_left <= 0.0 && rng.gen::<f64>() < spike_rate_per_step {
+        // Poisson spike arrivals — drawn every step, including while a
+        // spike is active (arrivals then queue and extend it). Gating the
+        // draw on `spike_left <= 0` would censor arrivals during spikes
+        // and deflate the effective rate below `spikes_per_day` for
+        // long-duration configs.
+        if rng.gen::<f64>() < spike_rate_per_step {
             // Exponential duration.
             let u: f64 = rng.gen::<f64>().max(1e-12);
-            spike_left = -cfg.spike_duration_mean * u.ln();
+            spike_left = spike_left.max(0.0) - cfg.spike_duration_mean * u.ln();
+            stats.spike_arrivals += 1;
         }
         let price = if spike_left > 0.0 {
             spike_left -= cfg.step_secs;
+            stats.spike_seconds += cfg.step_secs;
             // During a spike the market clears above on-demand.
             od * cfg.spike_level * (1.0 + 0.15 * rng.gen::<f64>())
         } else {
@@ -117,13 +152,15 @@ pub fn generate_trace(ty: InstanceType, cfg: &TraceGenConfig, seed: u64) -> Resu
         };
         prices.push(price.max(0.001));
     }
-    PriceTrace::new(cfg.step_secs, prices)
+    PriceTrace::new(cfg.step_secs, prices).map(|t| (t, stats))
 }
 
 /// Generates a full market (every catalog instance type) with per-type
-/// decorrelated seeds.
+/// decorrelated seeds. When `crunch_per_day > 0`, a shared schedule of
+/// capacity crunches is overlaid on *every* trace afterwards, so the
+/// per-type price streams are unchanged when the overlay is disabled.
 pub fn generate_market(cfg: &TraceGenConfig) -> Result<Market> {
-    let traces = InstanceType::ALL
+    let mut traces = InstanceType::ALL
         .iter()
         .enumerate()
         .map(|(i, &ty)| {
@@ -134,7 +171,50 @@ pub fn generate_market(cfg: &TraceGenConfig) -> Result<Market> {
             generate_trace(ty, cfg, seed).map(|t| (ty, t))
         })
         .collect::<Result<Vec<_>>>()?;
+    let windows = crunch_windows(cfg);
+    if !windows.is_empty() {
+        for (ty, trace) in traces.iter_mut() {
+            let od = ty.on_demand_price();
+            let step = trace.step();
+            let mut prices = trace.samples().to_vec();
+            for &(a, b) in &windows {
+                let i0 = ((a / step).floor() as usize).min(prices.len());
+                let i1 = (((b / step).ceil()) as usize).min(prices.len());
+                for p in &mut prices[i0..i1] {
+                    // The whole class clears above any sane bid at once.
+                    *p = od * cfg.spike_level * 1.05;
+                }
+            }
+            *trace = PriceTrace::new(step, prices)?;
+        }
+    }
     Market::new(traces)
+}
+
+/// The shared capacity-crunch schedule for a config: `(start, end)`
+/// windows in seconds, drawn from a Poisson process at `crunch_per_day`
+/// with exponential durations. Deterministic in `cfg.seed` and
+/// independent of the per-type price streams.
+pub fn crunch_windows(cfg: &TraceGenConfig) -> Vec<(f64, f64)> {
+    if cfg.crunch_per_day <= 0.0 {
+        return Vec::new();
+    }
+    let horizon = cfg.days * 86_400.0;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC7C7_C7C7);
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += -(86_400.0 / cfg.crunch_per_day) * u.ln();
+        if t >= horizon {
+            break;
+        }
+        let v: f64 = rng.gen::<f64>().max(1e-12);
+        let end = (t - cfg.crunch_duration_mean * v.ln()).min(horizon);
+        out.push((t, end));
+        t = end;
+    }
+    out
 }
 
 /// The "November" market replayed by simulations (paper: Nov 2016 trace).
@@ -155,7 +235,7 @@ pub fn history_market(seed: u64) -> Result<Market> {
 }
 
 fn validate(cfg: &TraceGenConfig) -> Result<()> {
-    if !(cfg.days > 0.0) || !(cfg.step_secs > 0.0) {
+    if cfg.days.is_nan() || cfg.days <= 0.0 || cfg.step_secs.is_nan() || cfg.step_secs <= 0.0 {
         return Err(CloudError::InvalidParameter(
             "days and step_secs must be positive".into(),
         ));
@@ -169,6 +249,14 @@ fn validate(cfg: &TraceGenConfig) -> Result<()> {
     if cfg.spike_level <= 1.0 {
         return Err(CloudError::InvalidParameter(
             "spike_level must exceed 1 (spikes must cross on-demand)".into(),
+        ));
+    }
+    if cfg.crunch_per_day < 0.0
+        || cfg.crunch_duration_mean.is_nan()
+        || cfg.crunch_duration_mean <= 0.0
+    {
+        return Err(CloudError::InvalidParameter(
+            "crunch_per_day must be ≥ 0 and crunch_duration_mean positive".into(),
         ));
     }
     Ok(())
@@ -268,6 +356,57 @@ mod tests {
         let a = sim.trace(InstanceType::R42xlarge).expect("trace");
         let b = hist.trace(InstanceType::R42xlarge).expect("trace");
         assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn spike_rate_matches_config() {
+        // Regression: arrivals used to be gated on `spike_left <= 0`,
+        // censoring every arrival that landed during an active spike and
+        // deflating the effective rate below `spikes_per_day` — badly so
+        // for long-duration configs. Pin the empirical per-day arrival
+        // rate within Poisson noise of the configured rate.
+        for (dur, seed) in [(1500.0, 3u64), (20_000.0, 4u64)] {
+            let cfg = TraceGenConfig {
+                days: 120.0,
+                spike_duration_mean: dur,
+                ..TraceGenConfig::default()
+            };
+            let (_, stats) =
+                generate_trace_stats(InstanceType::R48xlarge, &cfg, seed).expect("gen");
+            let expected =
+                cfg.spikes_per_day * spike_rate_multiplier(InstanceType::R48xlarge) * cfg.days;
+            let ratio = stats.spike_arrivals as f64 / expected;
+            assert!(
+                (0.85..1.15).contains(&ratio),
+                "spike arrivals {} vs expected {expected:.1} (dur {dur}): ratio {ratio:.3}",
+                stats.spike_arrivals
+            );
+        }
+    }
+
+    #[test]
+    fn crunch_overlay_evicts_every_class_at_once() {
+        let cfg = TraceGenConfig {
+            crunch_per_day: 0.5,
+            ..TraceGenConfig::default()
+        };
+        let windows = crunch_windows(&cfg);
+        assert!(!windows.is_empty(), "a month at 0.5/day should crunch");
+        for w in windows.windows(2) {
+            assert!(w[1].0 >= w[0].1, "crunch windows must not overlap");
+        }
+        let m = generate_market(&cfg).expect("gen");
+        let (start, end) = windows[0];
+        let mid = (start + end) / 2.0;
+        for ty in InstanceType::ALL {
+            let p = m.trace(ty).expect("trace").price_at(mid).expect("price");
+            assert!(
+                p > ty.on_demand_price(),
+                "{ty}: crunch price {p} must clear above on-demand"
+            );
+        }
+        // Disabled overlay: no windows, and the default config is untouched.
+        assert!(crunch_windows(&TraceGenConfig::default()).is_empty());
     }
 
     #[test]

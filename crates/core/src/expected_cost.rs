@@ -619,7 +619,7 @@ fn validate(ctx: &DecisionContext<'_>, step: f64) -> Result<()> {
     if ctx.candidates.is_empty() {
         return Err(CoreError::InvalidParameter("no candidates".into()));
     }
-    if !(step > 0.0) {
+    if step.is_nan() || step <= 0.0 {
         return Err(CoreError::InvalidParameter(format!(
             "time step must be positive, got {step}"
         )));

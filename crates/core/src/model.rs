@@ -21,7 +21,7 @@
 
 use crate::checkpoint::daly_interval;
 use crate::{CoreError, Result};
-use hourglass_cloud::{DeploymentConfig, EvictionModel};
+use hourglass_cloud::{DeploymentConfig, DynEviction};
 
 /// A deployment configuration annotated with everything the provisioning
 /// strategy needs: performance-model estimates, the current market rate and
@@ -46,8 +46,10 @@ pub struct Candidate {
     /// Current price of the whole deployment in dollars per hour (market
     /// price × workers for transient; published rate × workers otherwise).
     pub price_rate: f64,
-    /// Eviction model of the deployment (reliable for on-demand).
-    pub eviction: EvictionModel,
+    /// Eviction process of the deployment (reliable for on-demand). A
+    /// shared trait object so any preemption model — empirical
+    /// price-crossing, lifetime-capped, bathtub hazard — plugs in.
+    pub eviction: DynEviction,
 }
 
 impl Candidate {
@@ -236,15 +238,16 @@ pub(crate) mod testkit {
 
     use super::*;
     use hourglass_cloud::{eviction, EvictionModel, InstanceType, ResourceClass};
+    use std::sync::Arc;
 
     /// An eviction model with a given MTTF shape: evictions uniformly
     /// spread on `[0, 2·mttf]`.
-    pub fn uniform_eviction(mttf: f64) -> EvictionModel {
+    pub fn uniform_eviction(mttf: f64) -> DynEviction {
         let n = 100;
         let samples: Vec<f64> = (0..n)
             .map(|i| (i as f64 + 0.5) * 2.0 * mttf / n as f64)
             .collect();
-        EvictionModel::from_samples(samples, n, 2.0 * mttf).expect("valid")
+        Arc::new(EvictionModel::from_samples(samples, n, 2.0 * mttf).expect("valid"))
     }
 
     /// A candidate set mirroring the paper's setup: a fast on-demand lrc,
@@ -262,7 +265,7 @@ pub(crate) mod testkit {
                 t_load_delta: 37.5,
                 t_save: 120.0,
                 price_rate: lrc_cfg.on_demand_rate(),
-                eviction: eviction::reliable(),
+                eviction: Arc::new(eviction::reliable()),
             },
             Candidate {
                 config: slow_od,
@@ -271,7 +274,7 @@ pub(crate) mod testkit {
                 t_load_delta: 50.0,
                 t_save: 150.0,
                 price_rate: slow_od.on_demand_rate(),
-                eviction: eviction::reliable(),
+                eviction: Arc::new(eviction::reliable()),
             },
             Candidate {
                 config: spot_fast,

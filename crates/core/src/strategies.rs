@@ -43,18 +43,10 @@ pub trait Strategy: Send + Sync {
 /// prices any deadline-endangering transient choice at `∞`, so the
 /// last-resort configuration is selected exactly when (and only when) the
 /// target deadline is at risk.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HourglassStrategy {
     /// Approximation tuning.
     pub params: EcParams,
-}
-
-impl Default for HourglassStrategy {
-    fn default() -> Self {
-        HourglassStrategy {
-            params: EcParams::default(),
-        }
-    }
 }
 
 impl HourglassStrategy {

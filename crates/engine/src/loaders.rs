@@ -407,7 +407,7 @@ impl Datastore {
             let mut w = std::io::BufWriter::new(file);
             sharded
                 .write_to(&mut w)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
             use std::io::Write;
             w.flush()
         };

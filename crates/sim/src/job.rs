@@ -146,7 +146,7 @@ pub fn build_configs_for_format(
     scaling_exponent: f64,
     format: StoreFormat,
 ) -> Result<Vec<ConfigPerf>> {
-    if !(lrc_exec_seconds > 0.0) {
+    if lrc_exec_seconds.is_nan() || lrc_exec_seconds <= 0.0 {
         return Err(SimError::InvalidParameter(format!(
             "lrc execution time must be positive, got {lrc_exec_seconds}"
         )));

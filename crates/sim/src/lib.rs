@@ -21,6 +21,7 @@ pub mod recurring;
 pub mod replication;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 
 pub use bridge::TraceBridge;
@@ -29,7 +30,11 @@ pub use experiment::{Experiment, ExperimentSummary};
 pub use job::{ConfigPerf, JobDescription, ReloadMode};
 pub use recurring::{run_recurring, run_recurring_observed, RecurringOutcome};
 pub use replication::run_job_replicated;
-pub use runner::{run_job, run_job_observed, JobOutcome, SimulationSetup};
+pub use runner::{
+    derive_eviction_models, derive_eviction_models_with, run_job, run_job_observed,
+    EvictionModelKind, JobOutcome, LifetimeGroundTruth, SimulationSetup,
+};
+pub use scenario::{Scenario, ScenarioKind};
 pub use sweep::{sweep_jobs, sweep_recurring};
 
 /// The deterministic fault-injection plans the runner accepts (re-exported

@@ -77,7 +77,7 @@ pub fn run_recurring_observed(
     run: u32,
     sink: &mut dyn EventSink,
 ) -> Result<RecurringOutcome> {
-    if !(period > 0.0) {
+    if period.is_nan() || period <= 0.0 {
         return Err(SimError::InvalidParameter(format!(
             "period must be positive, got {period}"
         )));
@@ -137,10 +137,7 @@ mod tests {
         seed: u64,
     ) -> (
         hourglass_cloud::Market,
-        Vec<(
-            hourglass_cloud::InstanceType,
-            hourglass_cloud::EvictionModel,
-        )>,
+        Vec<(hourglass_cloud::InstanceType, hourglass_cloud::DynEviction)>,
     ) {
         let market = tracegen::simulation_market(seed).expect("market");
         let history = tracegen::history_market(seed).expect("market");

@@ -157,7 +157,7 @@ mod tests {
         seed: u64,
     ) -> (
         hourglass_cloud::Market,
-        Vec<(InstanceType, hourglass_cloud::EvictionModel)>,
+        Vec<(InstanceType, hourglass_cloud::DynEviction)>,
     ) {
         let market = tracegen::simulation_market(seed).expect("market");
         let history = tracegen::history_market(seed).expect("market");

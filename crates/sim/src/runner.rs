@@ -5,20 +5,49 @@ use crate::events::{EventSink, NullSink, Phase, SimEvent};
 use crate::job::JobDescription;
 use crate::{Result, SimError};
 use hourglass_cloud::billing::CostLedger;
-use hourglass_cloud::eviction::{self, EvictionModel};
-use hourglass_cloud::{InstanceType, Market, ResourceClass};
+use hourglass_cloud::eviction::{self, DynEviction, EvictionModel, LifetimeCapped};
+use hourglass_cloud::{fit, InstanceType, Market, ResourceClass};
 use hourglass_core::{Candidate, CurrentDeployment, DecisionContext, Strategy};
 use hourglass_faults::{FaultHook, FaultPlan, Site};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Ground-truth lifetime process overlaid on the price-crossing evictions:
+/// a transient deployment dies at `min(price crossing, lifetime)`.
+///
+/// The *model* strategies see (in [`SimulationSetup::eviction_models`]) and
+/// the ground truth the runner enforces are configured separately, so
+/// scenario sweeps can study model/world mismatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifetimeGroundTruth {
+    /// Every transient deployment is revoked after exactly `seconds` of
+    /// uptime (hard platform cap, 24 h-style).
+    Cap {
+        /// The cap in seconds.
+        seconds: f64,
+    },
+    /// Each deployment's lifetime is drawn from the instance type's
+    /// configured eviction process (inverse-CDF, seeded deterministically
+    /// per `(seed, run, deployment)` so parallel sweeps stay bit-identical
+    /// to sequential).
+    Sampled {
+        /// Scenario-level seed for the per-deployment draws.
+        seed: u64,
+    },
+}
 
 /// Shared simulation inputs: the replayed market and the historical
 /// eviction statistics strategies are allowed to see.
 pub struct SimulationSetup<'a> {
     /// The price trace being replayed (the paper's November trace).
     pub market: &'a Market,
-    /// Eviction models per instance type, derived from the historical
-    /// trace (the paper's October trace).
-    pub eviction_models: &'a [(InstanceType, EvictionModel)],
+    /// Eviction processes per instance type, derived from the historical
+    /// trace (the paper's October trace). Trait objects: empirical
+    /// price-crossing, lifetime-capped, bathtub — anything implementing
+    /// [`hourglass_cloud::EvictionProcess`].
+    pub eviction_models: &'a [(InstanceType, DynEviction)],
     /// Safety cap on simulated events per job.
     pub max_events: usize,
     /// Eviction warning lead time in seconds (§9 extension): when the
@@ -35,11 +64,16 @@ pub struct SimulationSetup<'a> {
     /// bit-identical between sequential and parallel execution. `None`
     /// models reliable storage.
     pub fault_plan: Option<FaultPlan>,
+    /// Ground-truth lifetime process the runner *enforces* on transient
+    /// deployments, independently of the models strategies *see*. `None`
+    /// means price crossings are the only eviction cause (the paper's
+    /// world).
+    pub lifetime: Option<LifetimeGroundTruth>,
 }
 
 impl<'a> SimulationSetup<'a> {
     /// Creates a setup with the default event cap.
-    pub fn new(market: &'a Market, eviction_models: &'a [(InstanceType, EvictionModel)]) -> Self {
+    pub fn new(market: &'a Market, eviction_models: &'a [(InstanceType, DynEviction)]) -> Self {
         SimulationSetup {
             market,
             eviction_models,
@@ -47,6 +81,7 @@ impl<'a> SimulationSetup<'a> {
             eviction_warning: 0.0,
             checkpoint_interval_override: None,
             fault_plan: None,
+            lifetime: None,
         }
     }
 
@@ -62,13 +97,66 @@ impl<'a> SimulationSetup<'a> {
         self
     }
 
-    fn eviction_model(&self, ty: InstanceType) -> Result<&EvictionModel> {
+    /// Overlays a ground-truth lifetime process on transient deployments.
+    pub fn with_lifetime(mut self, lifetime: LifetimeGroundTruth) -> Self {
+        self.lifetime = Some(lifetime);
+        self
+    }
+
+    fn eviction_model(&self, ty: InstanceType) -> Result<&DynEviction> {
         self.eviction_models
             .iter()
             .find(|(t, _)| *t == ty)
             .map(|(_, m)| m)
             .ok_or_else(|| SimError::InvalidParameter(format!("no eviction model for {ty}")))
     }
+
+    /// Absolute instant the deployment acquired at `acquire_at` dies from
+    /// the ground-truth lifetime process (infinity when only price
+    /// crossings can evict it).
+    fn lifetime_dies_at(
+        &self,
+        ty: InstanceType,
+        acquire_at: f64,
+        run: u32,
+        deployment: usize,
+    ) -> Result<f64> {
+        match self.lifetime {
+            None => Ok(f64::INFINITY),
+            Some(LifetimeGroundTruth::Cap { seconds }) => Ok(acquire_at + seconds),
+            Some(LifetimeGroundTruth::Sampled { seed }) => {
+                let model = self.eviction_model(ty)?;
+                // Hash-mix (seed, run, deployment) so every deployment draws
+                // an independent lifetime, yet the draw depends only on
+                // values fixed at acquisition — parallel sweeps replay the
+                // identical stream.
+                let mix = seed
+                    ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (deployment as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                let mut rng = StdRng::seed_from_u64(mix);
+                let u: f64 = rng.gen();
+                Ok(match model.sample_next_eviction(0.0, u) {
+                    Some(life) => acquire_at + life,
+                    None => f64::INFINITY,
+                })
+            }
+        }
+    }
+}
+
+/// Model-selection knob for [`derive_eviction_models_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvictionModelKind {
+    /// Empirical price-crossing CDF sampled from the historical trace
+    /// (the paper's §7 model).
+    Crossing,
+    /// The crossing model composed with a hard lifetime cap.
+    Capped {
+        /// The cap in seconds (e.g. 24 h for GCE-style preemptibles).
+        cap: f64,
+    },
+    /// Piecewise-Weibull bathtub hazard fitted to the crossing samples.
+    Bathtub,
 }
 
 /// Builds the per-instance-type eviction models from a historical market,
@@ -78,11 +166,38 @@ pub fn derive_eviction_models(
     window: f64,
     samples: usize,
     seed: u64,
-) -> Result<Vec<(InstanceType, EvictionModel)>> {
+) -> Result<Vec<(InstanceType, DynEviction)>> {
+    derive_eviction_models_with(history, window, samples, seed, EvictionModelKind::Crossing)
+}
+
+/// [`derive_eviction_models`] with an explicit model family: the empirical
+/// crossing CDF, the crossing CDF under a hard lifetime cap, or a bathtub
+/// hazard fitted to the same samples.
+pub fn derive_eviction_models_with(
+    history: &Market,
+    window: f64,
+    samples: usize,
+    seed: u64,
+    kind: EvictionModelKind,
+) -> Result<Vec<(InstanceType, DynEviction)>> {
     let mut out = Vec::new();
     for ty in history.instance_types() {
         let trace = history.trace(ty)?;
-        let model = EvictionModel::from_trace(trace, ty.on_demand_price(), window, samples, seed)?;
+        let bid = ty.on_demand_price();
+        let model: DynEviction = match kind {
+            EvictionModelKind::Crossing => Arc::new(EvictionModel::from_trace(
+                trace, bid, window, samples, seed,
+            )?),
+            EvictionModelKind::Capped { cap } => {
+                let base: DynEviction = Arc::new(EvictionModel::from_trace(
+                    trace, bid, window, samples, seed,
+                )?);
+                Arc::new(LifetimeCapped::new(base, cap)?)
+            }
+            EvictionModelKind::Bathtub => {
+                Arc::new(fit::fit_bathtub(trace, bid, window, samples, seed)?)
+            }
+        };
         out.push((ty, model));
     }
     Ok(out)
@@ -115,6 +230,9 @@ struct Held {
     idx: usize,
     /// Absolute acquisition time.
     acquired: f64,
+    /// Absolute instant the ground-truth lifetime process revokes this
+    /// deployment (infinity when only price crossings apply).
+    dies_at: f64,
 }
 
 /// Per-run observation state: the sink events are reported to and the
@@ -329,6 +447,11 @@ pub fn run_job_observed(
             // compute/wait intervals that got us here).
             let released = held.take().map(|h| h.idx);
             deployments += 1;
+            let dies_at = if perf.config.is_transient() {
+                setup.lifetime_dies_at(perf.config.instance_type, acquire_at, run, deployments)?
+            } else {
+                f64::INFINITY
+            };
             let full_load = if first_load_done {
                 perf.t_load_reload
             } else {
@@ -407,21 +530,23 @@ pub fn run_job_observed(
             let setup_end = acquire_at + setup_time;
             if perf.config.is_transient() {
                 let trace = setup.market.trace(perf.config.instance_type)?;
-                if let Some(te) = trace.next_crossing_above(acquire_at, bid) {
-                    if te < setup_end && te < horizon {
-                        // Evicted while booting/loading: no progress.
-                        bill(&mut ledger, setup, perf, pick, acquire_at, te, w, &mut obs)?;
-                        evictions += 1;
-                        obs.emit(SimEvent::Evict {
-                            t: te,
-                            work_left: w,
-                            billed: obs.billed,
-                            pick,
-                            phase: Phase::Setup,
-                        });
-                        t = te;
-                        continue;
-                    }
+                let te = match trace.next_crossing_above(acquire_at, bid) {
+                    Some(c) => c.min(dies_at),
+                    None => dies_at,
+                };
+                if te < setup_end && te < horizon {
+                    // Evicted while booting/loading: no progress.
+                    bill(&mut ledger, setup, perf, pick, acquire_at, te, w, &mut obs)?;
+                    evictions += 1;
+                    obs.emit(SimEvent::Evict {
+                        t: te,
+                        work_left: w,
+                        billed: obs.billed,
+                        pick,
+                        phase: Phase::Setup,
+                    });
+                    t = te;
+                    continue;
                 }
             }
             if setup_end >= horizon {
@@ -451,6 +576,7 @@ pub fn run_job_observed(
             held = Some(Held {
                 idx: pick,
                 acquired: acquire_at,
+                dies_at,
             });
             first_load_done = true;
             t = setup_end;
@@ -514,9 +640,11 @@ pub fn run_job_observed(
         last_stuck_pick = None;
         let interval_end = t + chunk + perf.t_save;
         let trace = setup.market.trace(perf.config.instance_type)?;
-        let evicted_at = trace
-            .next_crossing_above(t, bid)
-            .filter(|&te| te < interval_end.min(horizon));
+        let eviction_time = match trace.next_crossing_above(t, bid) {
+            Some(c) => c.min(h.dies_at),
+            None => h.dies_at,
+        };
+        let evicted_at = (eviction_time < interval_end.min(horizon)).then_some(eviction_time);
         match evicted_at {
             Some(te) => {
                 // §9 extension: a warning of at least t_save lets the
@@ -661,10 +789,11 @@ fn wait_on_held(
     if perf.config.is_transient() {
         let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
         let trace = setup.market.trace(perf.config.instance_type)?;
-        if let Some(te) = trace
-            .next_crossing_above(from, bid)
-            .filter(|&te| te < until)
-        {
+        let eviction_time = match trace.next_crossing_above(from, bid) {
+            Some(c) => c.min(h.dies_at),
+            None => h.dies_at,
+        };
+        if let Some(te) = (eviction_time < until).then_some(eviction_time) {
             // The idle deployment is reclaimed mid-wait. Nothing beyond
             // the last checkpoint is lost (`w` already reflects it).
             bill(ledger, setup, perf, h.idx, from, te, w, obs)?;
@@ -742,8 +871,8 @@ fn build_candidates(
                     trace.price_at(t.min(trace.horizon() - 1.0))? * perf.config.num_workers as f64
                 }
             };
-            let eviction = match perf.config.class {
-                ResourceClass::OnDemand => eviction::reliable(),
+            let eviction: DynEviction = match perf.config.class {
+                ResourceClass::OnDemand => Arc::new(eviction::reliable()),
                 ResourceClass::Transient => {
                     setup.eviction_model(perf.config.instance_type)?.clone()
                 }
@@ -787,7 +916,7 @@ mod tests {
 
     struct Fixture {
         market: hourglass_cloud::Market,
-        models: Vec<(InstanceType, EvictionModel)>,
+        models: Vec<(InstanceType, DynEviction)>,
     }
 
     fn fixture(seed: u64) -> Fixture {
@@ -970,10 +1099,10 @@ mod tests {
             Market::new(traces).expect("market")
         }
 
-        fn reliable_models() -> Vec<(InstanceType, EvictionModel)> {
+        fn reliable_models() -> Vec<(InstanceType, DynEviction)> {
             InstanceType::ALL
                 .iter()
-                .map(|&ty| (ty, eviction::reliable()))
+                .map(|&ty| (ty, Arc::new(eviction::reliable()) as DynEviction))
                 .collect()
         }
 
@@ -1138,6 +1267,38 @@ mod tests {
                 e,
                 SimEvent::Bill { t, to, .. } if *t == 670.0 && *to == 720.0
             )));
+        }
+
+        /// With a lifetime-cap ground truth, a deployment whose market
+        /// never crosses its bid is still revoked — exactly at the cap.
+        #[test]
+        fn lifetime_cap_ground_truth_evicts_at_cap() {
+            let market = market(None);
+            let models = reliable_models();
+            let mut setup = SimulationSetup::new(&market, &models)
+                .with_lifetime(LifetimeGroundTruth::Cap { seconds: 1000.0 });
+            setup.checkpoint_interval_override = Some(500.0);
+            let strategy = TemptedByB {
+                calls: AtomicUsize::new(0),
+                tempted_call: usize::MAX,
+            };
+            let mut sink = VecSink::new();
+            let out = run_job_observed(&setup, &job(), &strategy, 0.0, 0, &mut sink).expect("run");
+            assert!(out.completed);
+            assert!(out.evictions >= 1, "cap must revoke the deployment");
+            assert!(out.deployments >= 2, "revocation must force a redeploy");
+            let first_evict = sink
+                .events
+                .iter()
+                .find_map(|(_, e)| match e {
+                    SimEvent::Evict { t, .. } => Some(*t),
+                    _ => None,
+                })
+                .expect("evict event");
+            assert!(
+                (first_evict - 1000.0).abs() < 1e-9,
+                "first revocation at {first_evict}, expected the 1000 s cap"
+            );
         }
     }
 

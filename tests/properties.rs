@@ -839,3 +839,206 @@ mod delta_migration_properties {
     }
 }
 // --- end engine properties ---
+
+// --- eviction-process properties (every implementation, one contract) ---
+mod eviction_process_properties {
+    use hourglass::cloud::eviction::{
+        BathtubModel, DynEviction, EvictionModel, LifetimeCapped, WeibullPhase,
+    };
+    use hourglass::cloud::{fit, tracegen, InstanceType};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    /// One instance of every [`EvictionProcess`] implementation, all
+    /// derived from the same synthetic trace so their scales agree:
+    /// the empirical crossing CDF, a lifetime-capped composition over it,
+    /// the bathtub fitted to its samples, and a hand-built bathtub.
+    fn all_processes(seed: u64) -> Vec<(&'static str, DynEviction)> {
+        let cfg = tracegen::TraceGenConfig::default();
+        let trace = tracegen::generate_trace(InstanceType::R44xlarge, &cfg, seed).expect("trace");
+        let bid = InstanceType::R44xlarge.on_demand_price();
+        let window = 12.0 * 3600.0;
+        let empirical: DynEviction =
+            Arc::new(EvictionModel::from_trace(&trace, bid, window, 400, seed).expect("model"));
+        let capped: DynEviction =
+            Arc::new(LifetimeCapped::new(empirical.clone(), 4.0 * 3600.0).expect("capped"));
+        let fitted: DynEviction =
+            Arc::new(fit::fit_bathtub(&trace, bid, window, 400, seed).expect("fit"));
+        let synthetic: DynEviction = Arc::new(
+            BathtubModel::new(
+                vec![
+                    WeibullPhase {
+                        start: 0.0,
+                        shape: 0.6,
+                        scale: 30_000.0,
+                    },
+                    WeibullPhase {
+                        start: 3_600.0,
+                        shape: 1.0,
+                        scale: 50_000.0,
+                    },
+                    WeibullPhase {
+                        start: 6.0 * 3_600.0,
+                        shape: 2.0,
+                        scale: 40_000.0,
+                    },
+                ],
+                window,
+            )
+            .expect("bathtub"),
+        );
+        vec![
+            ("empirical", empirical),
+            ("capped", capped),
+            ("fitted-bathtub", fitted),
+            ("synthetic-bathtub", synthetic),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Every CDF is a distribution function: F(0) = 0, monotone
+        /// non-decreasing, bounded by 1 over the whole window.
+        #[test]
+        fn cdfs_are_distributions(seed in 0u64..12) {
+            for (name, m) in all_processes(seed) {
+                prop_assert_eq!(m.cdf(0.0), 0.0, "{}", name);
+                let w = m.window();
+                let mut last = 0.0;
+                for i in 0..=60 {
+                    let t = w * i as f64 / 60.0;
+                    let c = m.cdf(t);
+                    prop_assert!((0.0..=1.0).contains(&c), "{} cdf({})={}", name, t, c);
+                    prop_assert!(c + 1e-12 >= last, "{} cdf not monotone at {}", name, t);
+                    last = c;
+                }
+            }
+        }
+
+        /// `prob_between` is non-negative and partitions the window: the
+        /// slices of any regular grid sum back to `cdf(window)`.
+        #[test]
+        fn prob_between_partitions_the_window(seed in 0u64..12, slices in 2usize..9) {
+            for (name, m) in all_processes(seed) {
+                let w = m.window();
+                let mut sum = 0.0;
+                for i in 0..slices {
+                    let a = w * i as f64 / slices as f64;
+                    let b = w * (i + 1) as f64 / slices as f64;
+                    let p = m.prob_between(a, b);
+                    prop_assert!(p >= -1e-12, "{} prob_between({},{})={}", name, a, b, p);
+                    sum += p;
+                }
+                prop_assert!(
+                    (sum - m.cdf(w)).abs() < 1e-9,
+                    "{}: slices sum to {} but cdf(window) is {}",
+                    name, sum, m.cdf(w)
+                );
+            }
+        }
+
+        /// MTTF is finite, positive and censoring-consistent: survival is
+        /// non-increasing, so `window·S(window) ≤ MTTF ≤ window`.
+        #[test]
+        fn mttf_is_finite_and_censoring_consistent(seed in 0u64..12) {
+            for (name, m) in all_processes(seed) {
+                let w = m.window();
+                let mttf = m.mttf();
+                prop_assert!(mttf.is_finite() && mttf > 0.0, "{} mttf {}", name, mttf);
+                prop_assert!(mttf <= w + 1.0, "{} mttf {} beyond window {}", name, mttf, w);
+                let floor = w * (1.0 - m.cdf(w));
+                prop_assert!(
+                    mttf + w * 1e-3 >= floor,
+                    "{} mttf {} below censoring floor {}",
+                    name, mttf, floor
+                );
+            }
+        }
+
+        /// Conditional sampling respects the process: a drawn eviction
+        /// never precedes the uptime or overshoots the window, and a
+        /// censored draw (None) only happens when surviving the whole
+        /// window has positive probability.
+        #[test]
+        fn sampling_respects_uptime_and_window(
+            seed in 0u64..12,
+            uptime_frac in 0.0f64..0.9,
+            u in 0.0f64..1.0,
+        ) {
+            for (name, m) in all_processes(seed) {
+                let w = m.window();
+                let uptime = w * uptime_frac;
+                match m.sample_next_eviction(uptime, u) {
+                    Some(t) => {
+                        prop_assert!(t >= uptime - 1e-9, "{} sampled {} before uptime {}", name, t, uptime);
+                        prop_assert!(t <= w + 1e-6, "{} sampled {} beyond window {}", name, t, w);
+                    }
+                    None => prop_assert!(
+                        m.cdf(w) < 1.0,
+                        "{}: censored draw although cdf(window) = 1",
+                        name
+                    ),
+                }
+            }
+        }
+    }
+}
+// --- end eviction-process properties ---
+
+// --- scenario determinism: parallel sweeps == sequential, per scenario ---
+mod scenario_determinism {
+    use hourglass::sim::{Experiment, ScenarioKind, SimEvent, VecSink};
+
+    /// Under every cell of the scenario matrix — including the sampled
+    /// bathtub ground truth and the crunch-perturbed market — the parallel
+    /// sweep must replay the exact event stream of the sequential one.
+    #[test]
+    fn parallel_sweeps_are_bit_identical_under_every_scenario() {
+        use hourglass::sim::job::{PaperJob, ReloadMode};
+        use hourglass::sim::Scenario;
+
+        let job = PaperJob::PageRank
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        for kind in ScenarioKind::ALL {
+            let scenario = Scenario::build(kind, 11, 24.0 * 3600.0, 300).expect("scenario");
+            let setup = scenario.setup();
+            let strategy = hourglass::core::strategies::HourglassStrategy::new();
+            let run = |parallel: bool| {
+                let mut exp = Experiment::new(6, 23);
+                if !parallel {
+                    exp = exp.sequential();
+                }
+                let mut sink = VecSink::new();
+                let summary = exp
+                    .run_observed(&setup, &job, &strategy, &mut sink)
+                    .expect("sweep");
+                // Wall-clock decision latency is the one legitimately
+                // nondeterministic field.
+                for (_, e) in sink.events.iter_mut() {
+                    if let SimEvent::Decide { latency_us, .. } = e {
+                        *latency_us = 0;
+                    }
+                }
+                (summary, sink.events)
+            };
+            let (par, par_events) = run(true);
+            let (seq, seq_events) = run(false);
+            assert_eq!(
+                par.mean_cost.to_bits(),
+                seq.mean_cost.to_bits(),
+                "{}: parallel cost diverged",
+                kind.name()
+            );
+            assert_eq!(par.missed_pct.to_bits(), seq.missed_pct.to_bits());
+            assert_eq!(
+                par_events,
+                seq_events,
+                "{}: parallel event stream diverged from sequential",
+                kind.name()
+            );
+        }
+    }
+}
+// --- end scenario determinism ---

@@ -19,7 +19,7 @@ struct World {
     market: hourglass::cloud::Market,
     models: Vec<(
         hourglass::cloud::InstanceType,
-        hourglass::cloud::EvictionModel,
+        hourglass::cloud::DynEviction,
     )>,
 }
 
