@@ -1,0 +1,62 @@
+//! Criterion benchmark of the metrics registry hot paths: the disabled
+//! path (no collector live: one relaxed atomic load and zero allocation)
+//! that every instrumented call site pays in production, and the enabled
+//! path (thread-local shard update) paid only under `--metrics`. The
+//! disabled numbers are the ones the zero-overhead claim rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hourglass_metrics as hm;
+
+static HITS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "bench_hits_total",
+    help: "Benchmark counter.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+
+static LAT: hm::FamilyDesc = hm::FamilyDesc {
+    name: "bench_latency_seconds",
+    help: "Benchmark histogram.",
+    kind: hm::MetricKind::Histogram,
+    buckets: hm::SECONDS_BUCKETS,
+    nondeterministic: false,
+};
+
+fn bench_disabled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_disabled");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_add", |b| {
+        b.iter(|| hm::add(&HITS, &[("path", "bench")], 1));
+    });
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| hm::observe(&LAT, &[], 0.01));
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let session = hm::MetricsSession::start();
+    let mut group = c.benchmark_group("metrics_enabled");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_add", |b| {
+        b.iter(|| hm::add(&HITS, &[("path", "bench")], 1));
+    });
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| hm::observe(&LAT, &[], 0.01));
+    });
+    // Fork/join seam: hand a task shard back and merge it, the per-task
+    // cost `hourglass-exec` pays at every join when collecting.
+    group.bench_function("task_shard_roundtrip", |b| {
+        b.iter(|| {
+            let scope = hm::task_begin();
+            hm::add(&HITS, &[("path", "task")], 1);
+            hm::merge_task(hm::task_end(scope));
+        });
+    });
+    group.finish();
+    session.finish();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //! all on the Twitter dataset. For every cell the normalized cost and the
 //! percentage of missed deadlines is reported, plus a per-strategy
 //! decision-loop summary derived from the simulator's event stream
-//! (evictions, spike waits, forced picks, decision latency).
+//! (evictions, spike waits, forced picks). Wall-clock decision latency
+//! lives in the metrics registry (`--metrics`), not in the event stream.
 //!
 //! `--events PATH` streams the raw per-run event log (JSONL) to a file;
 //! run indices restart at 0 for every (job, slack, strategy) cell.
@@ -28,13 +29,15 @@
 
 use hourglass_bench::{Cli, World};
 use hourglass_core::strategies::figure5_roster;
+use hourglass_metrics as hm;
 use hourglass_sim::events::parse_jsonl;
 use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::{
-    EventAggregate, EventSink, Experiment, JsonlSink, ScenarioKind, SimEvent, TeeSink, TraceBridge,
-    VecSink,
+    EventAggregate, EventSink, Experiment, JsonlSink, MetricsBridge, ScenarioKind, SimEvent,
+    TeeSink, TraceBridge, VecSink,
 };
 use std::io::{BufWriter, Write};
+use std::time::Instant;
 
 fn main() {
     let cli = Cli::parse();
@@ -47,6 +50,10 @@ fn main() {
         return;
     }
     let tracing = cli.trace_handle();
+    let metrics = cli.metrics_handle();
+    let mut report = hm::bench_report::BenchReport::new("fig5_overall");
+    report.config("seed", cli.seed);
+    report.config("quick", cli.quick);
     let scenario = cli.scenario_kinds()[0];
     let world = World::build_scenario(scenario, cli.seed);
     if scenario != ScenarioKind::Crossing {
@@ -73,6 +80,7 @@ fn main() {
     });
 
     for job_kind in PaperJob::ALL {
+        let job_started = Instant::now();
         println!(
             "== Figure 5: {} ({}) ==",
             job_kind.name(),
@@ -93,25 +101,35 @@ fn main() {
             for (si, strategy) in roster.iter().enumerate() {
                 let experiment = Experiment::new(runs, cli.seed ^ (slack as u64));
                 let mut agg = EventAggregate::new();
-                // The bridge is inert unless `--trace`/`--profile`
-                // started a session, so it is always wired in.
+                // The bridges are inert unless `--trace`/`--profile`
+                // (trace) or `--metrics` (metrics) started a session, so
+                // they are always wired in.
                 let mut bridge = TraceBridge::new();
+                let mut mbridge = MetricsBridge::new(strategy.name());
                 let summary = match event_log.as_mut() {
                     Some(log) => {
                         let mut inner = TeeSink {
                             first: &mut agg,
                             second: log,
                         };
-                        let mut tee = TeeSink {
+                        let mut traced = TeeSink {
                             first: &mut inner,
                             second: &mut bridge,
+                        };
+                        let mut tee = TeeSink {
+                            first: &mut traced,
+                            second: &mut mbridge,
                         };
                         experiment.run_observed(&setup, &job, strategy, &mut tee)
                     }
                     None => {
-                        let mut tee = TeeSink {
+                        let mut traced = TeeSink {
                             first: &mut agg,
                             second: &mut bridge,
+                        };
+                        let mut tee = TeeSink {
+                            first: &mut traced,
+                            second: &mut mbridge,
                         };
                         experiment.run_observed(&setup, &job, strategy, &mut tee)
                     }
@@ -136,7 +154,6 @@ fn main() {
                     "decides": agg.decides,
                     "continuations": agg.continuations,
                     "checkpoints": agg.checkpoints,
-                    "mean_decide_latency_us": agg.mean_latency_us(),
                     "billed_dollars": agg.billed_dollars,
                     "degraded": agg.degraded,
                     "io_retries": agg.retries,
@@ -149,7 +166,7 @@ fn main() {
         }
         println!("-- decision-loop events, all slacks --");
         println!(
-            "{:<22}{:>10}{:>10}{:>9}{:>8}{:>8}{:>9}{:>9}{:>14}",
+            "{:<22}{:>10}{:>10}{:>9}{:>8}{:>8}{:>9}{:>9}",
             "strategy",
             "evict/run",
             "waits/run",
@@ -158,13 +175,12 @@ fn main() {
             "ckpts",
             "degraded",
             "retries",
-            "decide µs"
         );
         for (s, agg) in roster.iter().zip(&job_aggs) {
             let decides = agg.decides.max(1) as f64;
             let runs = agg.runs.max(1) as f64;
             println!(
-                "{:<22}{:>10.3}{:>10.3}{:>8.1}%{:>7.1}%{:>8}{:>9}{:>9}{:>14.1}",
+                "{:<22}{:>10.3}{:>10.3}{:>8.1}%{:>7.1}%{:>8}{:>9}{:>9}",
                 s.name(),
                 agg.mean_evictions(),
                 agg.spike_waits as f64 / runs,
@@ -173,10 +189,17 @@ fn main() {
                 agg.checkpoints,
                 agg.degraded,
                 agg.retries,
-                agg.mean_latency_us(),
             );
         }
         println!();
+        report.phase(
+            &format!("sweep_{}", job_kind.name()),
+            job_started.elapsed().as_secs_f64(),
+        );
+        let decides: u64 = job_aggs.iter().map(|a| a.decides).sum();
+        let runs: u64 = job_aggs.iter().map(|a| a.runs).sum();
+        report.counter(&format!("{}_decides", job_kind.name()), decides as f64);
+        report.counter(&format!("{}_runs", job_kind.name()), runs as f64);
     }
     println!("(columns: normalized cost vs on-demand, then missed-deadline %)");
     println!("(paper shape: Hourglass always 0% missed; Proteus/SpotOn miss often on GC;");
@@ -195,6 +218,8 @@ fn main() {
             Err(e) => eprintln!("warning: event log {path} incomplete: {e}"),
         }
     }
+    cli.maybe_write_bench_report(&report);
+    metrics.finish();
     tracing.finish();
 }
 
@@ -208,15 +233,39 @@ fn main() {
 /// invariants must hold under injected I/O faults and the deadline-aware
 /// provisioners (Hourglass and the +DP variants) must miss no deadlines.
 fn smoke(cli: &Cli) {
+    let metrics = cli.metrics_handle();
+    let mut report = hm::bench_report::BenchReport::new("fig5_overall");
+    report.config("seed", cli.seed);
+    report.config("smoke", true);
+    let mut total_runs = 0u64;
     for kind in cli.scenario_kinds() {
-        smoke_scenario(cli, kind);
+        let started = Instant::now();
+        total_runs += smoke_scenario(cli, kind);
+        report.phase(
+            &format!("smoke_{}", kind.name()),
+            started.elapsed().as_secs_f64(),
+        );
     }
+    let started = Instant::now();
     reconfig_smoke(cli.seed);
+    report.phase("reconfig", started.elapsed().as_secs_f64());
+    report.counter("runs", total_runs as f64);
+    cli.maybe_write_bench_report(&report);
+    if let Some(snapshot) = metrics.finish() {
+        // `--metrics` gate: the sweeps above must have folded the sim
+        // families into the registry, one Complete per run.
+        assert_eq!(
+            snapshot.family_total("hourglass_sim_runs_total"),
+            total_runs as f64,
+            "metrics registry missed runs"
+        );
+    }
     println!("fig5 smoke passed");
 }
 
-/// One scenario's worth of [`smoke`] checks.
-fn smoke_scenario(cli: &Cli, kind: ScenarioKind) {
+/// One scenario's worth of [`smoke`] checks. Returns the number of
+/// simulated runs, so the caller can cross-check the metrics registry.
+fn smoke_scenario(cli: &Cli, kind: ScenarioKind) -> u64 {
     let world = World::build_scenario(kind, cli.seed);
     // The acquisition-bias regression gate: no model, in any scenario, may
     // put probability mass at uptime 0 (the empirical CDF is exactly 0 at
@@ -246,10 +295,17 @@ fn smoke_scenario(cli: &Cli, kind: ScenarioKind) {
     let runs = cli.runs_or(8).min(8);
     let mut total_degraded = 0u64;
     let mut total_retries = 0u64;
+    let mut total_runs = 0u64;
     for strategy in &figure5_roster() {
         let mut events = VecSink::new();
+        // Inert without `--metrics`; folds sim families when collecting.
+        let mut mbridge = MetricsBridge::new(strategy.name());
+        let mut tee = TeeSink {
+            first: &mut events,
+            second: &mut mbridge,
+        };
         let par = Experiment::new(runs, cli.seed)
-            .run_observed(&setup, &job, strategy, &mut events)
+            .run_observed(&setup, &job, strategy, &mut tee)
             .expect("parallel sweep");
         let seq = Experiment::new(runs, cli.seed)
             .sequential()
@@ -345,6 +401,7 @@ fn smoke_scenario(cli: &Cli, kind: ScenarioKind) {
         }
         total_degraded += agg.degraded;
         total_retries += agg.retries;
+        total_runs += agg.runs;
 
         println!(
             "smoke [{:<8}] {:<22} runs {:>2}  normalized {:.3}  missed {:>5.1}%  \
@@ -373,6 +430,7 @@ fn smoke_scenario(cli: &Cli, kind: ScenarioKind) {
              {total_retries} retries absorbed, all runs completed"
         );
     }
+    total_runs
 }
 
 /// `--scenario all`: the preemption-model matrix (§ EXPERIMENTS.md).

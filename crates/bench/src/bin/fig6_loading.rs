@@ -37,6 +37,7 @@ use hourglass_engine::loaders::{
 use hourglass_engine::{BspEngine, EngineConfig};
 use hourglass_graph::datasets::Dataset;
 use hourglass_graph::io_binary::ShardedArcs;
+use hourglass_metrics as hm;
 use hourglass_obs as obs;
 use hourglass_partition::cluster::cluster_micro_partitions;
 use hourglass_partition::hash::HashPartitioner;
@@ -45,7 +46,7 @@ use hourglass_partition::Partitioner;
 use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::report::render_series_table;
 use hourglass_sim::sweep::sweep_jobs;
-use hourglass_sim::TraceBridge;
+use hourglass_sim::{MetricsBridge, TeeSink, TraceBridge};
 use std::time::Instant;
 
 const MACHINES: [u32; 4] = [2, 4, 8, 16];
@@ -69,6 +70,13 @@ fn main() {
     // trace, so a session is needed whenever any of the three outputs is
     // requested.
     let tracing = cli.trace_handle_with(cli.events.is_some());
+    // With `--metrics`, the loader-layer families (bytes parsed, arcs
+    // exchanged, shard reads) are folded by the loaders themselves.
+    let metrics = cli.metrics_handle();
+    let mut report = hm::bench_report::BenchReport::new("fig6_loading");
+    report.config("seed", cli.seed);
+    report.config("quick", cli.quick);
+    let started = Instant::now();
     let mut cells: Vec<Cell> = Vec::new();
     let model = LoaderCostModel::aws_2016_for(StoreFormat::Text);
     let mut json = Vec::new();
@@ -111,6 +119,9 @@ fn main() {
             )
         );
     }
+
+    report.phase("modeled", started.elapsed().as_secs_f64());
+    let started = Instant::now();
 
     // Section 2: measured on the scaled stand-ins, text vs binary. On a
     // single-core host the wall-clock numbers cannot show parallel
@@ -253,6 +264,19 @@ fn main() {
     println!(" the binary store shifts every loader down without changing the ordering,");
     println!(" and the memory-mapped store shifts it further still)");
     cli.maybe_write_json(&serde_json::to_string_pretty(&json).expect("plain json cannot fail"));
+    if !cli.quick {
+        report.phase("measured", started.elapsed().as_secs_f64());
+        report.counter("measured_cells", json.len() as f64);
+    }
+    cli.maybe_write_bench_report(&report);
+    if let Some(snapshot) = metrics.finish() {
+        if !cli.quick {
+            assert!(
+                snapshot.family_total("hourglass_loader_loads_total") > 0.0,
+                "measured section folded no loader metrics"
+            );
+        }
+    }
     if let Some(trace) = tracing.finish() {
         phase_report(&trace, &cells, cli.events.as_deref());
     }
@@ -320,6 +344,7 @@ fn smoke(cli: &Cli) {
     // Force a session so the validation runs even without `--trace`
     // (CI passes `--trace out.json` and checks the file with jq).
     let tracing = cli.trace_handle_with(true);
+    let metrics = cli.metrics_handle();
 
     // Layer 1: the provisioner's decision loop on the simulated timeline.
     let world = World::build(cli.seed);
@@ -330,7 +355,12 @@ fn smoke(cli: &Cli) {
     let strategy = HourglassStrategy::new();
     let starts: Vec<f64> = (0..2).map(|i| i as f64 * 90_000.0).collect();
     let mut bridge = TraceBridge::new();
-    sweep_jobs(&setup, &job, &strategy, &starts, true, &mut bridge).expect("sim sweep");
+    let mut mbridge = MetricsBridge::new("Hourglass");
+    let mut tee = TeeSink {
+        first: &mut bridge,
+        second: &mut mbridge,
+    };
+    sweep_jobs(&setup, &job, &strategy, &starts, true, &mut tee).expect("sim sweep");
 
     // Layer 2: offline micro-partitioning + online clustering.
     let g = hourglass_graph::generators::community(4, 64, 0.3, 50, cli.seed).expect("gen");
@@ -387,6 +417,20 @@ fn smoke(cli: &Cli) {
     let report = engine.run().expect("engine run");
     assert!(report.supersteps > 0);
 
+    if let Some(snapshot) = metrics.finish() {
+        // `--metrics` gate: the sim, loader, and engine layers must all
+        // have folded families into the one registry snapshot.
+        for family in [
+            "hourglass_sim_runs_total",
+            "hourglass_loader_loads_total",
+            "hourglass_engine_supersteps_total",
+        ] {
+            assert!(
+                snapshot.family_total(family) > 0.0,
+                "no {family:?} series in the smoke snapshot"
+            );
+        }
+    }
     let trace = tracing.finish().expect("smoke session is always active");
     for cat in ["sim", "partition", "loader", "engine"] {
         assert!(

@@ -13,13 +13,20 @@
 //! perf_e2e [--scale N] [--ef N] [--workers K] [--iters N] [--seed N]
 //!          [--format text|binary|binary-mmap] [--delivery auto|blocked|flat]
 //!          [--hub-sort] [--pin] [--sequential] [--trace PATH] [--json PATH]
+//!          [--profile-json PATH] [--metrics PATH] [--bench-report PATH]
 //!          [--smoke]
 //! ```
+//!
+//! `--bench-report PATH` writes the standardized `bench_report` JSON
+//! (schema `hourglass-bench-report/v1`, see `results/README.md`) that
+//! `hourglass bench-diff` compares against the checked-in baseline.
 
+use hourglass_bench::MetricsHandle;
 use hourglass_engine::apps::PageRank;
 use hourglass_engine::loaders::{reload_graph, stream_load, Datastore, StoreFormat};
 use hourglass_engine::{BspEngine, DeliveryMode, EngineConfig};
 use hourglass_graph::generators::{self, RmatParams};
+use hourglass_metrics as hm;
 use hourglass_obs as obs;
 use hourglass_partition::hash::HashPartitioner;
 use hourglass_partition::Partitioner;
@@ -37,6 +44,9 @@ struct Args {
     parallel: bool,
     trace: Option<String>,
     json: Option<String>,
+    profile_json: Option<String>,
+    metrics: Option<String>,
+    bench_report: Option<String>,
     smoke: bool,
 }
 
@@ -53,6 +63,9 @@ fn parse_args() -> Args {
         parallel: true,
         trace: None,
         json: None,
+        profile_json: None,
+        metrics: None,
+        bench_report: None,
         smoke: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -120,6 +133,30 @@ fn parse_args() -> Args {
                         .clone(),
                 );
             }
+            "--profile-json" => {
+                i += 1;
+                a.profile_json = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| die("--profile-json needs a path"))
+                        .clone(),
+                );
+            }
+            "--metrics" => {
+                i += 1;
+                a.metrics = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| die("--metrics needs a path"))
+                        .clone(),
+                );
+            }
+            "--bench-report" => {
+                i += 1;
+                a.bench_report = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| die("--bench-report needs a path"))
+                        .clone(),
+                );
+            }
             "--smoke" => {
                 a.smoke = true;
                 a.scale = a.scale.min(16);
@@ -129,7 +166,9 @@ fn parse_args() -> Args {
                     "usage: perf_e2e [--scale N] [--ef N] [--workers K] [--iters N] \
                      [--seed N] [--format text|binary|binary-mmap] \
                      [--delivery auto|blocked|flat] [--hub-sort] [--pin] \
-                     [--sequential] [--trace PATH] [--json PATH] [--smoke]"
+                     [--sequential] [--trace PATH] [--json PATH] \
+                     [--profile-json PATH] [--metrics PATH] \
+                     [--bench-report PATH] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -158,6 +197,7 @@ fn main() {
         a.scale, a.ef, a.format, a.delivery, a.workers, a.iters
     );
     let session = obs::TraceSession::start();
+    let metrics = MetricsHandle::new(a.metrics.clone());
     let mut phases: Vec<(&str, f64)> = Vec::new();
     let timed = |name: &'static str, phases: &mut Vec<(&str, f64)>, f: &mut dyn FnMut()| {
         let t = Instant::now();
@@ -245,6 +285,17 @@ fn main() {
         report.supersteps, report.total_messages, report.remote_messages
     );
 
+    if let Some(snapshot) = metrics.finish() {
+        // The load and compute phases above must have folded the loader
+        // and engine families into the exported snapshot.
+        assert!(snapshot.family_total("hourglass_loader_loads_total") > 0.0);
+        assert_eq!(
+            snapshot.family_total("hourglass_engine_supersteps_total"),
+            report.supersteps as f64,
+            "metrics registry disagrees with the engine report"
+        );
+    }
+
     let trace = session.finish();
     if let Some(path) = &a.trace {
         let file = std::fs::File::create(path).expect("create trace file");
@@ -255,7 +306,35 @@ fn main() {
             trace.spans.len()
         );
     }
+    if let Some(path) = &a.profile_json {
+        let json = obs::profile::ProfileSummary::from_trace(&trace).to_json();
+        std::fs::write(path, json).expect("write profile json");
+        println!("profile json written to {path}");
+    }
     println!("{}", obs::profile::profile_report(&trace, 12));
+
+    if let Some(path) = &a.bench_report {
+        let mut r = hm::bench_report::BenchReport::new("perf_e2e");
+        r.config("scale", a.scale);
+        r.config("ef", a.ef);
+        r.config("workers", a.workers);
+        r.config("iters", a.iters);
+        r.config("seed", a.seed);
+        r.config("format", a.format.to_string());
+        r.config("delivery", format!("{:?}", a.delivery));
+        r.config("parallel", a.parallel);
+        for (name, secs) in &phases {
+            r.phase(name, *secs);
+        }
+        r.counter("vertices", g.num_vertices() as f64);
+        r.counter("edges", g.num_edges() as f64);
+        r.counter("bytes_parsed", stats.bytes_parsed as f64);
+        r.counter("arcs_exchanged", stats.arcs_exchanged as f64);
+        r.counter("supersteps", report.supersteps as f64);
+        r.counter("total_messages", report.total_messages as f64);
+        std::fs::write(path, r.to_json()).expect("write bench report");
+        println!("bench report written to {path}");
+    }
 
     if let Some(path) = &a.json {
         let doc = serde_json::json!({

@@ -14,6 +14,14 @@
 //! - `--trace <path>` — record a cross-layer trace (engine, loaders,
 //!   partitioner, decision loop) and export it as Chrome Trace Event JSON;
 //! - `--profile`      — print a per-phase time breakdown after the run;
+//! - `--profile-json <path>` — export the per-phase self-time profile as
+//!   deterministic JSON;
+//! - `--metrics <path>` — collect cross-layer metrics for the run and
+//!   export them (`.json` → sorted-key JSON, anything else → Prometheus
+//!   text exposition);
+//! - `--bench-report <path>` — emit a standardized `bench_report` JSON
+//!   (schema `hourglass-bench-report/v1`, see `results/README.md`) for
+//!   `hourglass bench-diff` regression gating (binaries that measure);
 //! - `--fault-plan <name>` — inject a canned deterministic fault plan
 //!   (`io-flaky`, `torn-writes` or `bitflip`, seeded from `--seed`) into
 //!   the simulated checkpoint/reload I/O paths (binaries that simulate;
@@ -23,6 +31,7 @@
 #![warn(missing_docs)]
 
 use hourglass_cloud::{DynEviction, InstanceType, Market};
+use hourglass_metrics as hm;
 use hourglass_obs as obs;
 use hourglass_sim::{LifetimeGroundTruth, Scenario, ScenarioKind};
 
@@ -45,6 +54,14 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Print a per-phase profile after the run.
     pub profile: bool,
+    /// Optional JSON export path for the self-time profile
+    /// (`--profile-json`).
+    pub profile_json: Option<String>,
+    /// Optional metrics export path (`--metrics`; `.json` → sorted-key
+    /// JSON, anything else → Prometheus text exposition).
+    pub metrics: Option<String>,
+    /// Optional `bench_report` JSON output path (`--bench-report`).
+    pub bench_report: Option<String>,
     /// Name of a canned fault plan to inject (`--fault-plan`).
     pub fault_plan: Option<String>,
     /// Pin fork-join workers to cores (`--pin`, or `HOURGLASS_PIN=1`).
@@ -55,9 +72,10 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parses `std::env::args()`; exits with a usage message on error.
-    pub fn parse() -> Cli {
-        let mut cli = Cli {
+    /// The flag defaults every binary starts from (seed 42, everything
+    /// else off).
+    pub fn defaults() -> Cli {
+        Cli {
             seed: 42,
             runs: None,
             quick: false,
@@ -66,10 +84,18 @@ impl Cli {
             events: None,
             trace: None,
             profile: false,
+            profile_json: None,
+            metrics: None,
+            bench_report: None,
             fault_plan: None,
             pin: false,
             scenario: None,
-        };
+        }
+    }
+
+    /// Parses `std::env::args()`; exits with a usage message on error.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::defaults();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -112,6 +138,30 @@ impl Cli {
                     );
                 }
                 "--profile" => cli.profile = true,
+                "--profile-json" => {
+                    i += 1;
+                    cli.profile_json = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--profile-json needs a path"))
+                            .clone(),
+                    );
+                }
+                "--metrics" => {
+                    i += 1;
+                    cli.metrics = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--metrics needs a path"))
+                            .clone(),
+                    );
+                }
+                "--bench-report" => {
+                    i += 1;
+                    cli.bench_report = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--bench-report needs a path"))
+                            .clone(),
+                    );
+                }
                 "--pin" => {
                     cli.pin = true;
                     hourglass_engine::exec::pin::force_enable();
@@ -136,7 +186,9 @@ impl Cli {
                     eprintln!(
                         "usage: <bin> [--seed N] [--runs N] [--quick] [--smoke] \
                          [--json PATH] [--events PATH] [--trace PATH] [--profile] \
-                         [--pin] [--fault-plan io-flaky|torn-writes|bitflip] \
+                         [--profile-json PATH] [--metrics PATH] \
+                         [--bench-report PATH] [--pin] \
+                         [--fault-plan io-flaky|torn-writes|bitflip] \
                          [--scenario crossing|capped|bathtub|crunch|all]"
                     );
                     std::process::exit(0);
@@ -206,10 +258,90 @@ impl Cli {
     /// outputs — e.g. phase histograms — from the trace).
     pub fn trace_handle_with(&self, force: bool) -> TraceHandle {
         TraceHandle {
-            session: (force || self.trace.is_some() || self.profile).then(obs::TraceSession::start),
+            session: (force || self.trace.is_some() || self.profile || self.profile_json.is_some())
+                .then(obs::TraceSession::start),
             path: self.trace.clone(),
             profile: self.profile,
+            profile_json: self.profile_json.clone(),
         }
+    }
+
+    /// Starts a metrics session when `--metrics` was given. Call
+    /// [`MetricsHandle::finish`] once the measured work is done.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle::new(self.metrics.clone())
+    }
+
+    /// Writes the `bench_report` artifact when `--bench-report` was given.
+    pub fn maybe_write_bench_report(&self, report: &hm::bench_report::BenchReport) {
+        if let Some(path) = &self.bench_report {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("bench report written to {path}");
+            }
+        }
+    }
+}
+
+/// An optional metrics session tied to a figure binary's (or an embedding
+/// harness's) lifetime: collects the cross-layer registry families and
+/// exports the snapshot on [`MetricsHandle::finish`].
+pub struct MetricsHandle {
+    session: Option<hm::MetricsSession>,
+    path: Option<String>,
+}
+
+impl MetricsHandle {
+    /// Starts a session when `path` is set. A `.json` suffix selects the
+    /// deterministic sorted-key JSON export; anything else the Prometheus
+    /// text exposition.
+    pub fn new(path: Option<String>) -> MetricsHandle {
+        MetricsHandle {
+            session: path.is_some().then(hm::MetricsSession::start),
+            path,
+        }
+    }
+
+    /// Starts a collecting session with no export path (embedding
+    /// harnesses read the returned [`hm::Snapshot`] directly).
+    pub fn collecting() -> MetricsHandle {
+        MetricsHandle {
+            session: Some(hm::MetricsSession::start()),
+            path: None,
+        }
+    }
+
+    /// Whether a session is collecting.
+    pub fn active(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Ends the session, exports the snapshot (validating the Prometheus
+    /// exposition by parse-back before writing), and returns it (None when
+    /// inactive).
+    pub fn finish(self) -> Option<hm::Snapshot> {
+        let snapshot = self.session?.finish();
+        if let Some(path) = &self.path {
+            let (text, what) = if path.ends_with(".json") {
+                (snapshot.to_json(), "metrics json")
+            } else {
+                let text = snapshot.to_prom();
+                if let Err(e) = hm::prom::validate(&text) {
+                    eprintln!("warning: generated exposition failed validation: {e}");
+                }
+                (text, "metrics exposition")
+            };
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!(
+                    "{what} written to {path} ({} series)",
+                    snapshot.series.len()
+                );
+            }
+        }
+        Some(snapshot)
     }
 }
 
@@ -218,6 +350,7 @@ pub struct TraceHandle {
     session: Option<obs::TraceSession>,
     path: Option<String>,
     profile: bool,
+    profile_json: Option<String>,
 }
 
 impl TraceHandle {
@@ -247,6 +380,14 @@ impl TraceHandle {
         }
         if self.profile {
             println!("{}", obs::profile::profile_report(&trace, 20));
+        }
+        if let Some(path) = &self.profile_json {
+            let json = obs::profile::ProfileSummary::from_trace(&trace).to_json();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("profile json written to {path}");
+            }
         }
         Some(trace)
     }
@@ -315,20 +456,45 @@ mod tests {
     fn fault_plan_resolution() {
         let mut cli = Cli {
             seed: 7,
-            runs: None,
-            quick: false,
-            smoke: false,
-            json: None,
-            events: None,
-            trace: None,
-            profile: false,
             fault_plan: Some("io-flaky".into()),
-            pin: false,
-            scenario: None,
+            ..Cli::defaults()
         };
         let _plan = cli.resolve_fault_plan().expect("known plan resolves");
         cli.fault_plan = None;
         assert!(cli.resolve_fault_plan().is_none());
+    }
+
+    #[test]
+    fn metrics_handle_exports_both_formats() {
+        let dir = std::env::temp_dir().join(format!("hg_metrics_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        static TEST_FAMILY: hm::FamilyDesc = hm::FamilyDesc {
+            name: "bench_handle_test_total",
+            help: "MetricsHandle export test.",
+            kind: hm::MetricKind::Counter,
+            buckets: &[],
+            nondeterministic: false,
+        };
+        for (file, is_json) in [("m.prom", false), ("m.json", true)] {
+            let path = dir.join(file);
+            let handle = MetricsHandle::new(Some(path.to_string_lossy().into_owned()));
+            assert!(handle.active());
+            hm::add(&TEST_FAMILY, &[], 3);
+            let snapshot = handle.finish().expect("active handle yields a snapshot");
+            assert_eq!(snapshot.scalar("bench_handle_test_total", &[]), 3.0);
+            let text = std::fs::read_to_string(&path).expect("export written");
+            if is_json {
+                hm::json::parse(&text).expect("valid json");
+                hm::json::validate_snapshot(&text).expect("schema-valid");
+            } else {
+                hm::prom::validate(&text).expect("spec-compliant exposition");
+            }
+        }
+        // No path → no session: the registry stays disabled.
+        let inert = MetricsHandle::new(None);
+        assert!(!inert.active());
+        assert!(inert.finish().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -344,16 +510,7 @@ mod tests {
     fn scenario_flag_resolution() {
         let mut cli = Cli {
             seed: 7,
-            runs: None,
-            quick: false,
-            smoke: false,
-            json: None,
-            events: None,
-            trace: None,
-            profile: false,
-            fault_plan: None,
-            pin: false,
-            scenario: None,
+            ..Cli::defaults()
         };
         assert_eq!(cli.scenario_kinds(), vec![ScenarioKind::Crossing]);
         cli.scenario = Some("bathtub".into());

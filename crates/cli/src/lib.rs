@@ -9,7 +9,9 @@
 //! - `explain` — print a per-candidate expected-cost breakdown for one
 //!   decision instant;
 //! - `partition` — partition an edge-list file and report quality;
-//! - `run` — execute a graph application on the BSP engine.
+//! - `run` — execute a graph application on the BSP engine;
+//! - `bench-diff` — compare two `bench_report` JSON files and fail on a
+//!   performance regression (the CI perf gate).
 //!
 //! Parsing is hand-rolled (the workspace's dependency policy has no CLI
 //! crate); every subcommand is a pure function from parsed options to
@@ -31,6 +33,7 @@ use hourglass_core::{DecisionContext, Strategy};
 use hourglass_engine::apps::{color_count, coloring_is_proper, GraphColoring, PageRank, Sssp, Wcc};
 use hourglass_engine::{BspEngine, EngineConfig};
 use hourglass_graph::Graph;
+use hourglass_metrics as hm;
 use hourglass_obs as obs;
 use hourglass_partition::fennel::Fennel;
 use hourglass_partition::hash::HashPartitioner;
@@ -40,7 +43,7 @@ use hourglass_partition::quality::{edge_cut_fraction, imbalance};
 use hourglass_partition::{Balance, Partitioner};
 use hourglass_sim::job::{PaperJob, ReloadMode};
 use hourglass_sim::runner::{build_decision_candidates, derive_eviction_models, SimulationSetup};
-use hourglass_sim::{EventAggregate, Experiment, FaultPlan, TeeSink, TraceBridge};
+use hourglass_sim::{EventAggregate, Experiment, FaultPlan, MetricsBridge, TeeSink, TraceBridge};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -139,7 +142,8 @@ USAGE:
   hourglass market generate [--seed N] [--days D] --out FILE
   hourglass market stats [--market FILE | --seed N]
   hourglass simulate --job sssp|pagerank|gc [--slack PCT] [--strategy NAME]
-                     [--runs N] [--seed N] [--trace FILE]
+                     [--runs N] [--seed N] [--trace FILE] [--metrics FILE]
+                     [--profile-json FILE]
                      [--fault-plan io-flaky|torn-writes|bitflip]
                      (strategies: hourglass, spoton, proteus, spoton-dp,
                       proteus-dp, on-demand)
@@ -149,14 +153,24 @@ USAGE:
                       [--algorithm multilevel|fennel|ldg|hash] [--seed N]
   hourglass run --input EDGELIST --app pagerank|sssp|coloring|wcc
                 [--workers K] [--source V] [--iterations N]
-                [--trace FILE] [--profile] [--json FILE]
+                [--trace FILE] [--profile] [--profile-json FILE]
+                [--json FILE] [--metrics FILE]
+  hourglass bench-diff OLD NEW [--max-regression F] [--min-seconds F]
 
   --trace FILE writes a Chrome Trace Event JSON (open in Perfetto/chrome
-  //tracing); --profile prints a per-phase time breakdown; `run --json`
-  dumps per-superstep metrics (compute, delivery, barrier wait);
-  `simulate --fault-plan` injects a canned deterministic fault plan
-  (seeded from --seed) into the simulated checkpoint/reload I/O paths
-  and reports how many retries and degradations the runs absorbed.
+  //tracing); --profile prints a per-phase time breakdown and
+  --profile-json FILE exports it as JSON; `run --json` dumps
+  per-superstep metrics (compute, delivery, barrier wait);
+  --metrics FILE exports the cross-layer metrics registry snapshot
+  (Prometheus text exposition, or deterministic JSON when FILE ends in
+  .json); `simulate --fault-plan` injects a canned deterministic fault
+  plan (seeded from --seed) into the simulated checkpoint/reload I/O
+  paths and reports how many retries and degradations the runs absorbed;
+  `bench-diff` compares two bench_report JSON files (schema
+  hourglass-bench-report/v1, see results/README.md) and exits nonzero
+  when any phase slowed past --max-regression (default 0.20 = +20%;
+  phases under --min-seconds, default 0.01s, in both reports are noise
+  and never flagged).
 ";
 
 /// Dispatches a full command line (without argv[0]); returns the text to
@@ -172,6 +186,7 @@ pub fn dispatch(args: &[String]) -> Result<String> {
         Some("explain") => cmd_explain(&Options::parse(&args[1..])?),
         Some("partition") => cmd_partition(&Options::parse(&args[1..])?),
         Some("run") => cmd_run(&Options::parse(&args[1..])?),
+        Some("bench-diff") => cmd_bench_diff(&Options::parse(&args[1..])?),
         Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -261,12 +276,13 @@ fn parse_strategy(name: &str) -> Result<Box<dyn Strategy>> {
     })
 }
 
-/// Exports a finished trace: Chrome JSON to `path` (if any) and/or a text
-/// profile appended to `out`.
+/// Exports a finished trace: Chrome JSON to `path` (if any), a text
+/// profile appended to `out`, and/or the profile summary as JSON.
 fn export_trace(
     trace: &obs::Trace,
     path: Option<&str>,
     profile: bool,
+    profile_json: Option<&str>,
     out: &mut String,
 ) -> Result<()> {
     if let Some(path) = path {
@@ -281,7 +297,78 @@ fn export_trace(
     if profile {
         let _ = write!(out, "{}", obs::profile::profile_report(trace, 12));
     }
+    if let Some(path) = profile_json {
+        let json = obs::profile::ProfileSummary::from_trace(trace).to_json();
+        std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
+        let _ = writeln!(out, "profile json written to {path}");
+    }
     Ok(())
+}
+
+/// Exports a metrics snapshot: deterministic JSON when `path` ends in
+/// `.json`, otherwise the Prometheus text exposition (validated by
+/// parse-back before writing).
+fn export_metrics(snapshot: &hm::Snapshot, path: &str, out: &mut String) -> Result<()> {
+    let text = if path.ends_with(".json") {
+        snapshot.to_json()
+    } else {
+        let text = snapshot.to_prom();
+        hm::prom::validate(&text)
+            .map_err(|e| err(format!("generated exposition failed validation: {e}")))?;
+        text
+    };
+    std::fs::write(path, text).map_err(|e| err(format!("write {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "metrics written to {path} ({} series)",
+        snapshot.series.len()
+    );
+    Ok(())
+}
+
+/// `bench-diff OLD NEW`: the perf-regression gate over two standardized
+/// `bench_report` files. Returns `Err` (exit code 2) when a phase slowed
+/// past the threshold, so CI can gate on the exit status.
+fn cmd_bench_diff(opts: &Options) -> Result<String> {
+    let [old_path, new_path] = opts.positional() else {
+        return Err(err("usage: hourglass bench-diff OLD NEW"));
+    };
+    let cfg = hm::bench_report::DiffConfig {
+        max_regression: opts.get_or("max-regression", 0.20)?,
+        min_seconds: opts.get_or("min-seconds", 0.01)?,
+    };
+    if !cfg.max_regression.is_finite() || cfg.max_regression <= 0.0 {
+        return Err(err("--max-regression must be positive"));
+    }
+    let read = |path: &str| -> Result<hm::bench_report::BenchReport> {
+        let text = std::fs::read_to_string(path).map_err(|e| err(format!("read {path}: {e}")))?;
+        hm::bench_report::BenchReport::parse(&text).map_err(|e| err(format!("{path}: {e}")))
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    if old.bin != new.bin {
+        return Err(err(format!(
+            "reports come from different binaries: {:?} vs {:?}",
+            old.bin, new.bin
+        )));
+    }
+    let diff = hm::bench_report::diff(&old, &new, cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-diff {} vs {} ({}, threshold +{:.0}%, floor {}s)",
+        old_path,
+        new_path,
+        old.bin,
+        cfg.max_regression * 100.0,
+        cfg.min_seconds
+    );
+    let _ = write!(out, "{}", diff.render());
+    if diff.regressed() {
+        return Err(err(format!("{out}\nperformance regression detected")));
+    }
+    let _ = writeln!(out, "no regression");
+    Ok(out)
 }
 
 fn cmd_simulate(opts: &Options) -> Result<String> {
@@ -317,19 +404,37 @@ fn cmd_simulate(opts: &Options) -> Result<String> {
         .map_err(|e| err(e.to_string()))?;
     let trace_path = opts.get("trace");
     let profile = opts.has("profile");
-    let session = (trace_path.is_some() || profile).then(obs::TraceSession::start);
+    let profile_json = opts.get("profile-json");
+    let metrics_path = opts.get("metrics");
+    let session =
+        (trace_path.is_some() || profile || profile_json.is_some()).then(obs::TraceSession::start);
+    let metrics_session = metrics_path.is_some().then(hm::MetricsSession::start);
     let mut bridge = TraceBridge::new();
+    let mut mbridge = MetricsBridge::new(strategy.name());
     let mut agg = EventAggregate::new();
-    let mut tee = TeeSink {
+    let mut inner = TeeSink {
         first: &mut agg,
         second: &mut bridge,
+    };
+    let mut tee = TeeSink {
+        first: &mut inner,
+        second: &mut mbridge,
     };
     let summary = Experiment::new(runs, seed)
         .run_observed(&setup, &job, strategy.as_ref(), &mut tee)
         .map_err(|e| err(e.to_string()))?;
     let mut out = String::new();
     if let Some(session) = session {
-        export_trace(&session.finish(), trace_path, profile, &mut out)?;
+        export_trace(
+            &session.finish(),
+            trace_path,
+            profile,
+            profile_json,
+            &mut out,
+        )?;
+    }
+    if let (Some(session), Some(path)) = (metrics_session, metrics_path) {
+        export_metrics(&session.finish(), path, &mut out)?;
     }
     let _ = writeln!(
         out,
@@ -461,7 +566,11 @@ fn cmd_run(opts: &Options) -> Result<String> {
     let app = opts.get("app").unwrap_or("pagerank");
     let trace_path = opts.get("trace");
     let profile = opts.has("profile");
-    let session = (trace_path.is_some() || profile).then(obs::TraceSession::start);
+    let profile_json = opts.get("profile-json");
+    let metrics_path = opts.get("metrics");
+    let session =
+        (trace_path.is_some() || profile || profile_json.is_some()).then(obs::TraceSession::start);
+    let metrics_session = metrics_path.is_some().then(hm::MetricsSession::start);
     let mut out = String::new();
     let report = match app {
         "pagerank" => {
@@ -516,7 +625,16 @@ fn cmd_run(opts: &Options) -> Result<String> {
         other => return Err(err(format!("unknown app {other:?}"))),
     };
     if let Some(session) = session {
-        export_trace(&session.finish(), trace_path, profile, &mut out)?;
+        export_trace(
+            &session.finish(),
+            trace_path,
+            profile,
+            profile_json,
+            &mut out,
+        )?;
+    }
+    if let (Some(session), Some(path)) = (metrics_session, metrics_path) {
+        export_metrics(&session.finish(), path, &mut out)?;
     }
     let _ = writeln!(
         out,
@@ -716,6 +834,112 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "compute"));
         let steps = std::fs::read_to_string(&json).expect("json file");
         assert!(!steps.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_diff_gates_on_regressions() {
+        let dir = std::env::temp_dir().join(format!("hourglass-cli5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut base = hm::bench_report::BenchReport::new("perf_e2e");
+        base.config("seed", 42);
+        base.phase("load", 2.0);
+        base.phase("compute", 4.0);
+        base.counter("supersteps", 10.0);
+        let old = dir.join("old.json").to_str().expect("utf8").to_string();
+        std::fs::write(&old, base.to_json()).expect("write old");
+
+        // Identical reports: the gate passes.
+        let out = dispatch(&args(&format!("bench-diff {old} {old}"))).expect("same-report diff");
+        assert!(out.contains("no regression"), "unexpected output:\n{out}");
+
+        // An injected 20%+ slowdown in one phase trips the default gate...
+        let mut slow = base.clone();
+        for (name, secs) in &mut slow.phases {
+            if name == "compute" {
+                *secs *= 1.25;
+            }
+        }
+        let new = dir.join("new.json").to_str().expect("utf8").to_string();
+        std::fs::write(&new, slow.to_json()).expect("write new");
+        let e = dispatch(&args(&format!("bench-diff {old} {new}"))).expect_err("must regress");
+        assert!(
+            e.message.contains("REGRESSED") && e.message.contains("compute"),
+            "gate did not name the regressed phase:\n{}",
+            e.message
+        );
+
+        // ...and passes under an explicitly loosened threshold.
+        let out = dispatch(&args(&format!(
+            "bench-diff {old} {new} --max-regression 0.5"
+        )))
+        .expect("loose diff");
+        assert!(out.contains("no regression"));
+
+        // Malformed inputs and bad thresholds are rejected.
+        assert!(dispatch(&args(&format!("bench-diff {old}"))).is_err());
+        let junk = dir.join("junk.json").to_str().expect("utf8").to_string();
+        std::fs::write(&junk, "{}").expect("write junk");
+        assert!(dispatch(&args(&format!("bench-diff {old} {junk}"))).is_err());
+        assert!(dispatch(&args(&format!("bench-diff {old} {new} --max-regression 0"))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_exports_metrics_snapshot() {
+        let dir = std::env::temp_dir().join(format!("hourglass-cli6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let prom = dir.join("metrics.prom").to_str().expect("utf8").to_string();
+        let out = dispatch(&args(&format!(
+            "simulate --job pagerank --slack 60 --runs 3 --seed 5 --metrics {prom}"
+        )))
+        .expect("metered simulate");
+        assert!(out.contains("metrics written to"), "missing note:\n{out}");
+        let text = std::fs::read_to_string(&prom).expect("metrics file");
+        hm::prom::validate(&text).expect("spec-compliant exposition");
+        assert!(
+            text.contains("hourglass_sim_runs_total{strategy=\"Hourglass\"} 3"),
+            "runs series missing:\n{text}"
+        );
+
+        // The .json spelling produces the deterministic JSON export.
+        let json = dir.join("metrics.json").to_str().expect("utf8").to_string();
+        dispatch(&args(&format!(
+            "simulate --job pagerank --slack 60 --runs 3 --seed 5 --metrics {json}"
+        )))
+        .expect("metered simulate (json)");
+        let text = std::fs::read_to_string(&json).expect("json file");
+        hm::json::parse(&text).expect("parses");
+        hm::json::validate_snapshot(&text).expect("snapshot schema");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_exports_metrics_and_profile_json() {
+        let dir = std::env::temp_dir().join(format!("hourglass-cli7-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let edges = dir.join("g.txt");
+        let g = hourglass_graph::generators::erdos_renyi(120, 300, 3).expect("gen");
+        hourglass_graph::io::write_edge_list_file(&g, &edges).expect("write");
+        let edges_s = edges.to_str().expect("utf8").to_string();
+        let prom = dir.join("run.prom").to_str().expect("utf8").to_string();
+        let pjson = dir.join("profile.json").to_str().expect("utf8").to_string();
+        let out = dispatch(&args(&format!(
+            "run --input {edges_s} --app pagerank --iterations 3 --workers 2 \
+             --metrics {prom} --profile-json {pjson}"
+        )))
+        .expect("metered run");
+        assert!(out.contains("metrics written to"));
+        assert!(out.contains("profile json written to"));
+        let text = std::fs::read_to_string(&prom).expect("metrics file");
+        hm::prom::validate(&text).expect("spec-compliant exposition");
+        assert!(
+            text.contains("hourglass_engine_supersteps_total"),
+            "engine families missing:\n{text}"
+        );
+        let profile = std::fs::read_to_string(&pjson).expect("profile file");
+        assert!(profile.starts_with("{\"schema\":\"hourglass-profile/v1\""));
+        assert!(profile.contains("\"superstep\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

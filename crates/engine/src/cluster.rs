@@ -211,7 +211,7 @@ pub fn run_cluster<P: VertexProgram>(
                 barrier_wait_seconds += max_worker_seconds - done.compute_seconds;
             }
             obs::counter("messages", "engine", sent);
-            metrics.push(SuperstepMetrics {
+            let step_metrics = SuperstepMetrics {
                 superstep,
                 active_vertices: active,
                 messages: sent,
@@ -220,7 +220,9 @@ pub fn run_cluster<P: VertexProgram>(
                 total_worker_seconds,
                 delivery_seconds,
                 barrier_wait_seconds: barrier_wait_seconds.max(0.0),
-            });
+            };
+            crate::metrics::record_superstep(&step_metrics);
+            metrics.push(step_metrics);
             aggregates = next_aggregates;
             superstep += 1;
             if !any_alive {

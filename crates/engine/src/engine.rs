@@ -466,7 +466,7 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
             .sum::<f64>()
             .max(0.0);
         obs::counter("messages", "engine", total_messages);
-        self.metrics.push(SuperstepMetrics {
+        let step_metrics = SuperstepMetrics {
             superstep: self.superstep,
             active_vertices: active,
             messages: total_messages,
@@ -475,7 +475,9 @@ impl<'g, P: VertexProgram> BspEngine<'g, P> {
             total_worker_seconds,
             delivery_seconds,
             barrier_wait_seconds,
-        });
+        };
+        crate::metrics::record_superstep(&step_metrics);
+        self.metrics.push(step_metrics);
         self.prev_aggregates = next_aggregates;
         self.superstep += 1;
         Ok(self.is_done())

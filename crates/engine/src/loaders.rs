@@ -37,6 +37,7 @@ use hourglass_graph::io_binary::{
 };
 use hourglass_graph::io_mmap::MappedShards;
 use hourglass_graph::{Graph, VertexId};
+use hourglass_metrics as hm;
 use hourglass_obs as obs;
 use hourglass_partition::cluster::ClusteringDelta;
 use hourglass_partition::Partitioning;
@@ -944,6 +945,75 @@ impl LoadStats {
     }
 }
 
+/// Physical loads performed, by loader strategy.
+pub static M_LOADS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_loader_loads_total",
+    help: "Physical graph loads performed.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Raw store bytes parsed, by loader strategy.
+pub static M_BYTES_PARSED: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_loader_bytes_parsed_total",
+    help: "Raw store bytes parsed by the loaders.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Arcs shuffled between parsing and owning workers.
+pub static M_ARCS_EXCHANGED: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_loader_arcs_exchanged_total",
+    help: "Arcs moved between the parsing worker and the owning worker.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Input records dropped instead of loaded.
+pub static M_RECORDS_SKIPPED: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_loader_records_skipped_total",
+    help: "Input records dropped instead of loaded.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Transient shard-read faults retried away.
+pub static M_LOAD_RETRIES: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_loader_retries_total",
+    help: "Transient shard-read faults retried away during loading.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Accounted retry-backoff seconds (simulated, not slept).
+pub static M_LOAD_BACKOFF_SECONDS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_loader_backoff_seconds_total",
+    help: "Accounted (simulated) retry-backoff seconds during loading.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+
+/// Folds one physical load's accounting into the metrics registry,
+/// labelled by loader strategy. Every quantity here is derived from the
+/// input bytes — deterministic across schedulers.
+fn record_load(loader: &'static str, stats: &LoadStats) {
+    if !hm::enabled() {
+        return;
+    }
+    let labels: &[(&str, &str)] = &[("loader", loader)];
+    hm::add(&M_LOADS, labels, 1);
+    hm::add(&M_BYTES_PARSED, labels, stats.bytes_parsed);
+    hm::add(&M_ARCS_EXCHANGED, labels, stats.arcs_exchanged);
+    hm::add(&M_RECORDS_SKIPPED, labels, stats.lines_skipped);
+    hm::add(&M_LOAD_RETRIES, labels, stats.retries);
+    hm::addf(
+        &M_LOAD_BACKOFF_SECONDS,
+        labels,
+        stats.backoff_ns as f64 / 1e9,
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Physical loaders.
 // ---------------------------------------------------------------------------
@@ -993,6 +1063,7 @@ pub fn stream_load(
         lines_skipped: skipped + dropped,
         ..LoadStats::default()
     };
+    record_load("stream", &stats);
     (workers, stats)
 }
 
@@ -1050,6 +1121,7 @@ pub fn hash_load(store: &Datastore, partitioning: &Partitioning) -> (Vec<LoadedW
         lines_skipped: skipped + dropped,
         ..LoadStats::default()
     };
+    record_load("hash", &stats);
     (workers, stats)
 }
 
@@ -1285,6 +1357,7 @@ fn micro_load_faulty_impl(
         retries: fault_retries,
         backoff_ns: fault_backoff_ns,
     };
+    record_load("micro", &stats);
     Ok((workers, stats))
 }
 
@@ -1611,6 +1684,7 @@ pub fn delta_load_faulty(
         retries: fault_retries,
         backoff_ns: fault_backoff_ns,
     };
+    record_load("delta", &stats);
     Ok((workers, stats))
 }
 

@@ -1,6 +1,82 @@
 //! Per-superstep execution metrics.
 
+use hourglass_metrics as hm;
 use serde::{Deserialize, Serialize};
+
+/// Supersteps executed (both the in-process engine and the cluster
+/// harness record one increment per superstep).
+pub static M_SUPERSTEPS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_engine_supersteps_total",
+    help: "Supersteps executed.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Messages delivered between vertices (after combining).
+pub static M_MESSAGES: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_engine_messages_total",
+    help: "Messages delivered between vertices.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Messages that crossed worker boundaries.
+pub static M_REMOTE_MESSAGES: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_engine_remote_messages_total",
+    help: "Messages that crossed worker boundaries.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Vertices that executed `compute` in the most recent superstep.
+pub static M_ACTIVE_VERTICES: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_engine_active_vertices",
+    help: "Vertices active in the most recent superstep.",
+    kind: hm::MetricKind::Gauge,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Aggregate worker compute seconds (wall clock — nondeterministic).
+pub static M_COMPUTE_SECONDS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_engine_compute_seconds_total",
+    help: "Aggregate worker compute seconds (wall clock).",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: true,
+};
+/// Message-delivery seconds (wall clock — nondeterministic).
+pub static M_DELIVERY_SECONDS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_engine_delivery_seconds_total",
+    help: "Message delivery seconds (wall clock).",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: true,
+};
+/// Barrier-idle seconds lost to compute skew (wall clock).
+pub static M_BARRIER_SECONDS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_engine_barrier_wait_seconds_total",
+    help: "Worker seconds idle at superstep barriers (wall clock).",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: true,
+};
+
+/// Folds one superstep into the metrics registry. Logical counts go to
+/// deterministic families; the wall-clock phase timings are flagged
+/// nondeterministic. Called on the master thread by both engines, so the
+/// fold order is the superstep order.
+pub fn record_superstep(m: &SuperstepMetrics) {
+    if !hm::enabled() {
+        return;
+    }
+    hm::add(&M_SUPERSTEPS, &[], 1);
+    hm::add(&M_MESSAGES, &[], m.messages);
+    hm::add(&M_REMOTE_MESSAGES, &[], m.remote_messages);
+    hm::set(&M_ACTIVE_VERTICES, &[], m.active_vertices as f64);
+    hm::addf(&M_COMPUTE_SECONDS, &[], m.total_worker_seconds);
+    hm::addf(&M_DELIVERY_SECONDS, &[], m.delivery_seconds);
+    hm::addf(&M_BARRIER_SECONDS, &[], m.barrier_wait_seconds);
+}
 
 /// Metrics of one superstep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

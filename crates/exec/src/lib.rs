@@ -7,11 +7,12 @@
 //! literally the same closures, which is what makes "parallel matches
 //! sequential" a structural guarantee rather than a test-enforced one.
 //!
-//! The fork-join seam is also the tracing merge point: each task body is
-//! bracketed with `hourglass_obs` task scopes, and the spans a task
-//! recorded are appended to the caller's buffer in task-submission order
-//! on both paths — a traced parallel run collects the same span stream as
-//! a sequential one.
+//! The fork-join seam is also the observability merge point: each task
+//! body is bracketed with `hourglass_obs` and `hourglass_metrics` task
+//! scopes, and the spans and metric shards a task recorded are handed
+//! back to the caller in task-submission order on both paths — a traced
+//! (or metered) parallel run collects the same span stream and the same
+//! metric snapshot as a sequential one.
 
 // `deny` rather than `forbid`: the affinity syscalls in `pin` carry the
 // crate's only `unsafe`, under a scoped allow with a SAFETY argument.
@@ -20,6 +21,7 @@
 
 pub mod pin;
 
+use hourglass_metrics as metrics;
 use hourglass_obs as obs;
 
 /// Runs `tasks` to completion and returns their results in task order.
@@ -42,7 +44,9 @@ where
             .enumerate()
             .map(|(i, t)| {
                 let scope = obs::task_begin(i as u32);
+                let mscope = metrics::task_begin();
                 let r = t();
+                metrics::merge_task(metrics::task_end(mscope));
                 obs::merge_task(obs::task_end(scope));
                 r
             })
@@ -56,15 +60,17 @@ where
                 scope.spawn(move |_| {
                     pin::pin_task_thread(i);
                     let scope = obs::task_begin(i as u32);
+                    let mscope = metrics::task_begin();
                     let r = t();
-                    (r, obs::task_end(scope))
+                    (r, metrics::task_end(mscope), obs::task_end(scope))
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| {
-                let (r, spans) = h.join().expect("worker thread panicked");
+                let (r, shard, spans) = h.join().expect("worker thread panicked");
+                metrics::merge_task(shard);
                 obs::merge_task(spans);
                 r
             })
@@ -182,6 +188,45 @@ mod tests {
                 "parallel={parallel}"
             );
         }
+    }
+
+    #[test]
+    fn fork_join_merges_metric_shards_identically_on_both_paths() {
+        static EVENTS: metrics::FamilyDesc = metrics::FamilyDesc {
+            name: "exec_test_events_total",
+            help: "Per-task events.",
+            kind: metrics::MetricKind::Counter,
+            buckets: &[],
+            nondeterministic: false,
+        };
+        static SECONDS: metrics::FamilyDesc = metrics::FamilyDesc {
+            name: "exec_test_seconds_total",
+            help: "Per-task fractional work.",
+            kind: metrics::MetricKind::Counter,
+            buckets: &[],
+            nondeterministic: false,
+        };
+        let mut snaps = Vec::new();
+        for parallel in [false, true] {
+            let session = metrics::MetricsSession::start();
+            let tasks: Vec<_> = (0..6u64)
+                .map(|i| {
+                    move || {
+                        metrics::add(&EVENTS, &[], i);
+                        // Non-commutative f64 sums must still match:
+                        // merges happen in submission order on both paths.
+                        metrics::addf(&SECONDS, &[], 0.1 * (i as f64) + 1e-13);
+                    }
+                })
+                .collect();
+            fork_join(parallel, tasks);
+            snaps.push(session.finish());
+        }
+        assert!(
+            snaps[0].bit_eq(&snaps[1]),
+            "parallel metric snapshot must be bit-identical to sequential"
+        );
+        assert_eq!(snaps[0].scalar("exec_test_events_total", &[]), 15.0);
     }
 
     #[test]

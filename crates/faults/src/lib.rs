@@ -25,9 +25,40 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hourglass_metrics as hm;
 use serde::{Deserialize, Serialize};
 use std::io::Read;
 use std::sync::Mutex;
+
+/// Injected faults, labelled by injection site and fault kind. The
+/// injector is deterministic in `(plan seed, run index)`, so this family
+/// is deterministic too.
+pub static M_INJECTIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_faults_injections_total",
+    help: "Faults injected at the I/O seams.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+
+fn site_label(site: Site) -> &'static str {
+    match site {
+        Site::StorePut => "store_put",
+        Site::StoreGet => "store_get",
+        Site::StoreDelete => "store_delete",
+        Site::ShardRead => "shard_read",
+        Site::DirWrite => "dir_write",
+    }
+}
+
+fn kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Io(_) => "io",
+        FaultKind::TornWrite { .. } => "torn_write",
+        FaultKind::BitFlip { .. } => "bit_flip",
+        FaultKind::Delay { .. } => "delay",
+    }
+}
 
 /// SplitMix64: the deterministic hash every pseudo-random decision in this
 /// crate derives from.
@@ -419,6 +450,13 @@ impl FaultInjector {
             };
             if matches {
                 st.fired[ri] += 1;
+                if hm::enabled() {
+                    hm::add(
+                        &M_INJECTIONS,
+                        &[("site", site_label(site)), ("kind", kind_label(rule.kind))],
+                        1,
+                    );
+                }
                 return Some(rule.kind);
             }
         }

@@ -1,0 +1,392 @@
+//! Standardized benchmark reports and the perf-regression gate.
+//!
+//! The figure binaries (`perf_e2e`, `fig5_overall`, `fig6_loading`) emit
+//! one `bench_report` JSON per run: named timed phases plus deterministic
+//! counters and the configuration that produced them. `hourglass
+//! bench-diff OLD NEW` compares two reports phase by phase with
+//! configurable thresholds, which turns "makes a hot path measurably
+//! faster" into something CI can check against the baseline under
+//! `results/`. The schema is documented in `results/README.md`.
+
+use crate::json::{self, escape, fmt_f64, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema marker every report carries.
+pub const SCHEMA: &str = "hourglass-bench-report/v1";
+
+/// One standardized benchmark report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Emitting binary (`perf_e2e`, `fig5_overall`, `fig6_loading`).
+    pub bin: String,
+    /// Configuration that produced the run (seed, scale, flags) as
+    /// strings, so reports stay comparable across schema-free tweaks.
+    pub config: BTreeMap<String, String>,
+    /// Timed phases in execution order: `(name, wall seconds)`.
+    pub phases: Vec<(String, f64)>,
+    /// Deterministic counters (messages, bytes, supersteps, …) used to
+    /// check two reports actually did the same work.
+    pub counters: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    /// An empty report for `bin`.
+    pub fn new(bin: &str) -> BenchReport {
+        BenchReport {
+            bin: bin.to_string(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Records a configuration entry.
+    pub fn config(&mut self, key: &str, value: impl ToString) {
+        self.config.insert(key.to_string(), value.to_string());
+    }
+
+    /// Appends a timed phase.
+    pub fn phase(&mut self, name: &str, seconds: f64) {
+        self.phases.push((name.to_string(), seconds));
+    }
+
+    /// Records a deterministic counter.
+    pub fn counter(&mut self, name: &str, value: f64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Total wall seconds across phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Renders the report as sorted-key JSON (phases keep run order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bin\": \"{}\",", escape(&self.bin));
+        out.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": \"{}\"", escape(k), escape(v));
+        }
+        if !self.config.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", escape(k), fmt_f64(*v));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"phases\": [");
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"seconds\": {}}}",
+                escape(name),
+                fmt_f64(*secs)
+            );
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(out, "],\n  \"schema\": \"{SCHEMA}\"\n}}\n");
+        out
+    }
+
+    /// Parses a report, validating the schema marker.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let doc = json::parse(text)?;
+        if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+            return Err(format!(
+                "not a bench report: missing schema marker {SCHEMA:?}"
+            ));
+        }
+        let mut report = BenchReport::new(
+            doc.get("bin")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing bin")?,
+        );
+        if let Some(cfg) = doc.get("config").and_then(JsonValue::as_object) {
+            for (k, v) in cfg {
+                report.config.insert(
+                    k.clone(),
+                    v.as_str().map_or_else(
+                        || v.as_f64().map_or_else(String::new, |n| format!("{n}")),
+                        str::to_string,
+                    ),
+                );
+            }
+        }
+        if let Some(counters) = doc.get("counters").and_then(JsonValue::as_object) {
+            for (k, v) in counters {
+                report
+                    .counters
+                    .insert(k.clone(), v.as_f64().ok_or("non-numeric counter")?);
+            }
+        }
+        for phase in doc
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing phases")?
+        {
+            let name = phase
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("phase without name")?;
+            let secs = phase
+                .get("seconds")
+                .and_then(JsonValue::as_f64)
+                .ok_or("phase without seconds")?;
+            report.phases.push((name.to_string(), secs));
+        }
+        Ok(report)
+    }
+}
+
+/// Thresholds for the regression comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Maximum tolerated relative slowdown per phase (0.20 = +20%).
+    pub max_regression: f64,
+    /// Phases faster than this (in **both** reports) are ignored: their
+    /// relative noise dwarfs any signal.
+    pub min_seconds: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            max_regression: 0.20,
+            min_seconds: 0.01,
+        }
+    }
+}
+
+/// One phase's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDiff {
+    /// Phase name.
+    pub name: String,
+    /// Seconds in the old report.
+    pub old: f64,
+    /// Seconds in the new report.
+    pub new: f64,
+    /// Relative change (`new/old - 1`; +0.25 = 25% slower).
+    pub change: f64,
+    /// Below the `min_seconds` floor in both reports (informational only).
+    pub below_floor: bool,
+    /// Whether this phase breaches the regression threshold.
+    pub regressed: bool,
+}
+
+/// The full comparison of two reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diff {
+    /// Phase-by-phase comparison, in the new report's order.
+    pub phases: Vec<PhaseDiff>,
+    /// Phases present only in the new report.
+    pub added: Vec<String>,
+    /// Phases present only in the old report.
+    pub removed: Vec<String>,
+    /// Counters whose values differ between the reports (`name, old,
+    /// new`) — a hint the two runs did not do comparable work.
+    pub counter_drift: Vec<(String, f64, f64)>,
+}
+
+impl Diff {
+    /// Whether any comparable phase regressed past the threshold.
+    pub fn regressed(&self) -> bool {
+        self.phases.iter().any(|p| p.regressed)
+    }
+
+    /// Human-readable table of the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28}{:>12}{:>12}{:>10}  verdict",
+            "phase", "old (s)", "new (s)", "change"
+        );
+        for p in &self.phases {
+            let verdict = if p.regressed {
+                "REGRESSED"
+            } else if p.below_floor {
+                "ok (below floor)"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<28}{:>12.4}{:>12.4}{:>+9.1}%  {verdict}",
+                p.name,
+                p.old,
+                p.new,
+                p.change * 100.0
+            );
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "{name:<28} (new phase, not compared)");
+        }
+        for name in &self.removed {
+            let _ = writeln!(out, "{name:<28} (phase removed)");
+        }
+        for (name, old, new) in &self.counter_drift {
+            let _ = writeln!(out, "counter drift: {name} {old} -> {new}");
+        }
+        out
+    }
+}
+
+/// Compares two reports phase by phase.
+pub fn diff(old: &BenchReport, new: &BenchReport, cfg: DiffConfig) -> Diff {
+    let old_phases: BTreeMap<&str, f64> =
+        old.phases.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+    let new_names: BTreeMap<&str, ()> = new.phases.iter().map(|(n, _)| (n.as_str(), ())).collect();
+    let mut out = Diff::default();
+    for (name, new_secs) in &new.phases {
+        let Some(&old_secs) = old_phases.get(name.as_str()) else {
+            out.added.push(name.clone());
+            continue;
+        };
+        let below_floor = old_secs < cfg.min_seconds && *new_secs < cfg.min_seconds;
+        let change = if old_secs > 0.0 {
+            new_secs / old_secs - 1.0
+        } else if *new_secs > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        out.phases.push(PhaseDiff {
+            name: name.clone(),
+            old: old_secs,
+            new: *new_secs,
+            change,
+            below_floor,
+            regressed: !below_floor && change > cfg.max_regression,
+        });
+    }
+    for (name, _) in &old.phases {
+        if !new_names.contains_key(name.as_str()) {
+            out.removed.push(name.clone());
+        }
+    }
+    for (name, old_v) in &old.counters {
+        if let Some(new_v) = new.counters.get(name) {
+            if old_v != new_v {
+                out.counter_drift.push((name.clone(), *old_v, *new_v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("perf_e2e");
+        r.config("seed", 42);
+        r.config("smoke", true);
+        r.phase("generate", 0.8);
+        r.phase("load", 2.0);
+        r.phase("compute", 4.0);
+        r.phase("noise", 0.0001);
+        r.counter("supersteps", 10.0);
+        r.counter("messages_total", 123456.0);
+        r
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = sample();
+        let text = r.to_json();
+        let back = BenchReport::parse(&text).expect("parses");
+        assert_eq!(r, back);
+        // Writer is deterministic.
+        assert_eq!(text, back.to_json());
+        assert!(BenchReport::parse("{}").is_err(), "schema marker enforced");
+        assert!((r.total_seconds() - 6.8001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_reports_show_no_regression() {
+        let r = sample();
+        let d = diff(&r, &r, DiffConfig::default());
+        assert!(!d.regressed());
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        assert!(d.counter_drift.is_empty());
+        assert!(d.phases.iter().all(|p| p.change == 0.0));
+    }
+
+    #[test]
+    fn injected_slowdown_is_flagged() {
+        let old = sample();
+        let mut new = sample();
+        // A 25% slowdown in one phase must trip the default 20% gate.
+        for (name, secs) in &mut new.phases {
+            if name == "compute" {
+                *secs *= 1.25;
+            }
+        }
+        let d = diff(&old, &new, DiffConfig::default());
+        assert!(d.regressed());
+        let p = d
+            .phases
+            .iter()
+            .find(|p| p.name == "compute")
+            .expect("phase");
+        assert!(p.regressed);
+        assert!((p.change - 0.25).abs() < 1e-9);
+        // Other phases stay green, and the render names the culprit.
+        assert!(d.phases.iter().filter(|p| p.regressed).count() == 1);
+        assert!(d.render().contains("REGRESSED"));
+        // The same slowdown passes under a looser threshold.
+        let loose = diff(
+            &old,
+            &new,
+            DiffConfig {
+                max_regression: 0.5,
+                min_seconds: 0.01,
+            },
+        );
+        assert!(!loose.regressed());
+    }
+
+    #[test]
+    fn noise_floor_and_shape_changes() {
+        let old = sample();
+        let mut new = sample();
+        // A huge relative change below the floor is not a regression.
+        for (name, secs) in &mut new.phases {
+            if name == "noise" {
+                *secs *= 50.0;
+            }
+        }
+        new.phases.push(("extra".to_string(), 1.0));
+        new.phases.retain(|(n, _)| n != "generate");
+        new.counter("messages_total", 999.0);
+        let d = diff(&old, &new, DiffConfig::default());
+        assert!(!d.regressed());
+        assert_eq!(d.added, vec!["extra".to_string()]);
+        assert_eq!(d.removed, vec!["generate".to_string()]);
+        assert_eq!(d.counter_drift.len(), 1);
+        // But the same change above the floor is.
+        let mut slow = sample();
+        for (name, secs) in &mut slow.phases {
+            if name == "load" {
+                *secs *= 50.0;
+            }
+        }
+        assert!(diff(&old, &slow, DiffConfig::default()).regressed());
+    }
+}

@@ -1,0 +1,552 @@
+//! Deterministic sorted-key JSON snapshots, plus the minimal JSON reader
+//! the bench-report gate uses to parse them back.
+//!
+//! The writer is hand-rolled so output is byte-deterministic: object keys
+//! are emitted in sorted order, floats in Rust's shortest-round-trip
+//! form, and nothing depends on hash iteration order. The reader is a
+//! small recursive-descent parser over the same subset (objects, arrays,
+//! strings, numbers, booleans, null) — enough to parse anything the
+//! writers in this crate emit.
+
+use crate::{MetricKind, Snapshot, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON literal (control characters, quotes,
+/// backslashes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (non-finite values become strings,
+/// which keeps the document valid and the encoding deterministic).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v > 0.0 {
+        "\"Infinity\"".to_string()
+    } else {
+        "\"-Infinity\"".to_string()
+    }
+}
+
+/// Renders a snapshot as sorted-key JSON.
+///
+/// Shape:
+/// ```json
+/// {
+///   "schema": "hourglass-metrics/v1",
+///   "families": {
+///     "<name>": {
+///       "help": "...", "kind": "counter|gauge|histogram",
+///       "nondeterministic": false,
+///       "series": [
+///         {"labels": {"k": "v"}, "value": 3.0}
+///         // histograms instead carry buckets/counts/sum/count
+///       ]
+///     }
+///   }
+/// }
+/// ```
+pub fn write(snapshot: &Snapshot) -> String {
+    // Series are already sorted by (name, labels); group per family.
+    let mut families: BTreeMap<&str, Vec<&crate::SeriesSnapshot>> = BTreeMap::new();
+    for s in &snapshot.series {
+        families.entry(s.name).or_default().push(s);
+    }
+    let mut out = String::from("{\n  \"families\": {");
+    let mut first_family = true;
+    for (name, series) in &families {
+        if !first_family {
+            out.push(',');
+        }
+        first_family = false;
+        let head = series[0];
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\n      \"help\": \"{}\",\n      \"kind\": \"{}\",\n      \
+             \"nondeterministic\": {},\n      \"series\": [",
+            escape(name),
+            escape(head.help),
+            head.kind.as_str(),
+            head.nondeterministic,
+        );
+        let mut first_series = true;
+        for s in series {
+            if !first_series {
+                out.push(',');
+            }
+            first_series = false;
+            out.push_str("\n        {\"labels\": {");
+            // Label keys sorted for deterministic output; values are
+            // unique per key within one series.
+            let mut labels: Vec<_> = s.labels.iter().collect();
+            labels.sort();
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(v));
+            }
+            out.push('}');
+            match &s.value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    let _ = write!(out, ", \"value\": {}", fmt_f64(*v));
+                }
+                Value::Histogram { counts, sum } => {
+                    out.push_str(", \"buckets\": [");
+                    for (i, b) in s.buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&fmt_f64(*b));
+                    }
+                    out.push_str("], \"counts\": [");
+                    for (i, c) in counts.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    let _ = write!(
+                        out,
+                        "], \"count\": {}, \"sum\": {}",
+                        s.value.count(),
+                        fmt_f64(*sum)
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  },\n  \"schema\": \"hourglass-metrics/v1\"\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always read as `f64`).
+    Number(f64),
+    /// A string literal.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, key-sorted.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, `None` for other variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, `None` for other variants.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, `None` for other variants.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, `None` for other variants.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {lit:?} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        tok.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number {tok:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogate pairs are not emitted by our
+                            // writers; map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let len = match b {
+                        0x00..=0x7f => 0,
+                        0xc0..=0xdf => 1,
+                        0xe0..=0xef => 2,
+                        _ => 3,
+                    };
+                    let start = self.pos - 1;
+                    self.pos += len;
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .ok_or_else(|| "truncated UTF-8".to_string())?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut r = Reader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", r.pos));
+    }
+    Ok(v)
+}
+
+/// Validates that a metrics snapshot JSON document has the expected
+/// schema marker and per-family structure.
+pub fn validate_snapshot(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("hourglass-metrics/v1") {
+        return Err("missing or wrong schema marker".to_string());
+    }
+    let families = doc
+        .get("families")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing families object")?;
+    for (name, fam) in families {
+        let kind = fam
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{name}: missing kind"))?;
+        if !matches!(kind, "counter" | "gauge" | "histogram") {
+            return Err(format!("{name}: unknown kind {kind:?}"));
+        }
+        let series = fam
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{name}: missing series"))?;
+        for s in series {
+            if s.get("labels").and_then(JsonValue::as_object).is_none() {
+                return Err(format!("{name}: series without labels"));
+            }
+            let ok = match kind {
+                "histogram" => {
+                    s.get("counts").and_then(JsonValue::as_array).is_some()
+                        && s.get("sum").is_some()
+                }
+                _ => s.get("value").is_some(),
+            };
+            if !ok {
+                return Err(format!("{name}: series missing value payload"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rough check that the exporter used for [`MetricKind`] strings stays in
+/// sync with the validator's accepted set.
+pub fn kind_accepted(kind: MetricKind) -> bool {
+    matches!(kind.as_str(), "counter" | "gauge" | "histogram")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add, observe, FamilyDesc, MetricsSession};
+
+    static C: FamilyDesc = FamilyDesc {
+        name: "json_total",
+        help: "A \"quoted\" help.",
+        kind: MetricKind::Counter,
+        buckets: &[],
+        nondeterministic: false,
+    };
+    static H: FamilyDesc = FamilyDesc {
+        name: "json_seconds",
+        help: "Durations.",
+        kind: MetricKind::Histogram,
+        buckets: &[0.5, 2.0],
+        nondeterministic: true,
+    };
+
+    #[test]
+    fn snapshot_json_round_trips_and_validates() {
+        let session = MetricsSession::start();
+        add(&C, &[("b", "2"), ("a", "1")], 5);
+        observe(&H, &[], 0.7);
+        observe(&H, &[], 9.0);
+        let snap = session.finish();
+        let text = write(&snap);
+        validate_snapshot(&text).expect("snapshot validates");
+        let doc = parse(&text).expect("parses");
+        let fam = doc
+            .get("families")
+            .and_then(|f| f.get("json_total"))
+            .expect("family");
+        assert_eq!(fam.get("kind").and_then(JsonValue::as_str), Some("counter"));
+        let series = fam
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .expect("series");
+        assert_eq!(
+            series[0].get("value").and_then(JsonValue::as_f64),
+            Some(5.0)
+        );
+        // Label keys are sorted in the output regardless of call order.
+        let labels = series[0]
+            .get("labels")
+            .and_then(JsonValue::as_object)
+            .expect("labels");
+        let keys: Vec<&String> = labels.keys().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        let hist = doc
+            .get("families")
+            .and_then(|f| f.get("json_seconds"))
+            .expect("family");
+        assert_eq!(hist.get("nondeterministic"), Some(&JsonValue::Bool(true)));
+        let hs = hist
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .expect("series");
+        assert_eq!(
+            hs[0].get("counts"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Number(0.0),
+                JsonValue::Number(1.0),
+                JsonValue::Number(1.0),
+            ]))
+        );
+        assert_eq!(hs[0].get("count").and_then(JsonValue::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let mk = || {
+            let session = MetricsSession::start();
+            add(&C, &[("a", "x")], 1);
+            observe(&H, &[], 1.0);
+            session.finish()
+        };
+        assert_eq!(write(&mk()), write(&mk()));
+    }
+
+    #[test]
+    fn reader_handles_escapes_nesting_and_errors() {
+        let v = parse(r#"{"k": ["a\n\"b\\", -1.5e2, true, null, {"x": 3}]}"#).expect("parses");
+        let arr = v.get("k").and_then(JsonValue::as_array).expect("array");
+        assert_eq!(arr[0].as_str(), Some("a\n\"b\\"));
+        assert_eq!(arr[1].as_f64(), Some(-150.0));
+        assert_eq!(arr[2], JsonValue::Bool(true));
+        assert_eq!(arr[3], JsonValue::Null);
+        assert_eq!(arr[4].get("x").and_then(JsonValue::as_f64), Some(3.0));
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert_eq!(parse("\"\\u00e9\"").expect("unicode").as_str(), Some("é"));
+        assert!(kind_accepted(MetricKind::Counter));
+    }
+
+    #[test]
+    fn escape_and_float_formatting() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(12.0), "12");
+        assert_eq!(fmt_f64(f64::INFINITY), "\"Infinity\"");
+        assert_eq!(fmt_f64(f64::NAN), "\"NaN\"");
+    }
+}

@@ -1,0 +1,546 @@
+//! Prometheus text exposition: writer, parser and validator.
+//!
+//! The writer emits the snapshot in the text exposition format (version
+//! 0.0.4): one `# HELP` / `# TYPE` header per family followed by its
+//! series, histograms expanded into cumulative `_bucket{le=...}` samples
+//! plus `_sum` and `_count`. The parser reads the same format back into a
+//! flat sample list; [`validate`] combines both into the structural check
+//! the tests and the `--metrics` writers run on every exposition they
+//! produce (headers before samples, legal names, escaped labels,
+//! cumulative bucket monotonicity, `+Inf == _count`).
+
+use crate::{Snapshot, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed (or expected) sample line.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub struct Sample {
+    /// Sample name (family name, possibly with `_bucket`/`_sum`/`_count`
+    /// suffix for histograms).
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition: family headers and samples, in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    /// `(family, type, help)` per `# TYPE` header (help may be empty).
+    pub families: Vec<(String, String, String)>,
+    /// Every sample line.
+    pub samples: Vec<Sample>,
+}
+
+fn legal_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(impl AsRef<str>, impl AsRef<str>)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k.as_ref(), escape_label(v.as_ref())))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Renders a snapshot in the text exposition format.
+pub fn write(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+    for s in &snapshot.series {
+        if s.name != last_family {
+            if !s.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(s.help));
+            }
+            let _ = writeln!(out, "# TYPE {} {}", s.name, s.kind.as_str());
+            last_family = s.name;
+        }
+        match &s.value {
+            Value::Counter(v) | Value::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    s.name,
+                    label_block(&s.labels),
+                    fmt_value(*v)
+                );
+            }
+            Value::Histogram { counts, sum } => {
+                let mut cum = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cum += c;
+                    let bound = s
+                        .buckets
+                        .get(i)
+                        .copied()
+                        .map_or("+Inf".to_string(), fmt_value);
+                    let mut labels: Vec<(String, String)> = s
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect();
+                    labels.push(("le".to_string(), bound));
+                    let _ = writeln!(out, "{}_bucket{} {}", s.name, label_block(&labels), cum);
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    label_block(&s.labels),
+                    fmt_value(*sum)
+                );
+                let _ = writeln!(out, "{}_count{} {}", s.name, label_block(&s.labels), cum);
+            }
+        }
+    }
+    out
+}
+
+/// The flat sample list [`write`] produces for a snapshot — what a
+/// spec-compliant parse of the exposition must return, used by the
+/// round-trip tests as the expected multiset.
+pub fn flatten(snapshot: &Snapshot) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for s in &snapshot.series {
+        let base_labels: Vec<(String, String)> = s
+            .labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        match &s.value {
+            Value::Counter(v) | Value::Gauge(v) => out.push(Sample {
+                name: s.name.to_string(),
+                labels: base_labels,
+                value: *v,
+            }),
+            Value::Histogram { counts, sum } => {
+                let mut cum = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cum += c;
+                    let bound = s
+                        .buckets
+                        .get(i)
+                        .copied()
+                        .map_or("+Inf".to_string(), fmt_value);
+                    let mut labels = base_labels.clone();
+                    labels.push(("le".to_string(), bound));
+                    out.push(Sample {
+                        name: format!("{}_bucket", s.name),
+                        labels,
+                        value: cum as f64,
+                    });
+                }
+                out.push(Sample {
+                    name: format!("{}_sum", s.name),
+                    labels: base_labels.clone(),
+                    value: *sum,
+                });
+                out.push(Sample {
+                    name: format!("{}_count", s.name),
+                    labels: base_labels,
+                    value: cum as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn parse_labels(block: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let chars: Vec<char> = block.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Label name.
+        let start = i;
+        while i < chars.len() && chars[i] != '=' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Err(format!("line {line_no}: label without '='"));
+        }
+        let name: String = chars[start..i]
+            .iter()
+            .collect::<String>()
+            .trim()
+            .to_string();
+        if !legal_name(&name) || name.contains(':') {
+            return Err(format!("line {line_no}: illegal label name {name:?}"));
+        }
+        i += 1; // '='
+        if i >= chars.len() || chars[i] != '"' {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        i += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            if i >= chars.len() {
+                return Err(format!("line {line_no}: unterminated label value"));
+            }
+            match chars[i] {
+                '"' => {
+                    i += 1;
+                    break;
+                }
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('n') => value.push('\n'),
+                        other => {
+                            return Err(format!("line {line_no}: bad escape {other:?}"));
+                        }
+                    }
+                    i += 1;
+                }
+                c => {
+                    value.push(c);
+                    i += 1;
+                }
+            }
+        }
+        labels.push((name, value));
+        if i < chars.len() {
+            if chars[i] == ',' {
+                i += 1;
+            } else {
+                return Err(format!("line {line_no}: expected ',' between labels"));
+            }
+        }
+    }
+    Ok(labels)
+}
+
+fn parse_value(s: &str, line_no: usize) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|e| format!("line {line_no}: bad value {other:?}: {e}")),
+    }
+}
+
+/// Parses a text exposition into its headers and samples.
+pub fn parse(text: &str) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut helps: BTreeMap<String, String> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').map_or((rest, ""), |(n, h)| (n, h));
+            if !legal_name(name) {
+                return Err(format!("line {line_no}: illegal family name {name:?}"));
+            }
+            helps.insert(name.to_string(), help.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, typ) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: TYPE without a type"))?;
+            if !legal_name(name) {
+                return Err(format!("line {line_no}: illegal family name {name:?}"));
+            }
+            if !matches!(
+                typ,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {line_no}: unknown type {typ:?}"));
+            }
+            parsed.families.push((
+                name.to_string(),
+                typ.to_string(),
+                helps.get(name).cloned().unwrap_or_default(),
+            ));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // Plain comment.
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_part, rest) = match line.find(['{', ' ']) {
+            Some(i) => (&line[..i], &line[i..]),
+            None => return Err(format!("line {line_no}: sample without a value")),
+        };
+        if !legal_name(name_part) {
+            return Err(format!("line {line_no}: illegal sample name {name_part:?}"));
+        }
+        let (labels, value_part) = if let Some(body) = rest.strip_prefix('{') {
+            let end = body
+                .rfind('}')
+                .ok_or_else(|| format!("line {line_no}: unterminated label block"))?;
+            (parse_labels(&body[..end], line_no)?, body[end + 1..].trim())
+        } else {
+            (Vec::new(), rest.trim())
+        };
+        // An optional timestamp may follow the value; take the first token.
+        let value_tok = value_part
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+        parsed.samples.push(Sample {
+            name: name_part.to_string(),
+            labels,
+            value: parse_value(value_tok, line_no)?,
+        });
+    }
+    Ok(parsed)
+}
+
+/// Parses and structurally validates an exposition: every sample belongs
+/// to a family whose `# TYPE` header precedes it, histogram buckets are
+/// cumulative with a `+Inf` bucket equal to `_count`, and a `_sum` sample
+/// exists per histogram series.
+pub fn validate(text: &str) -> Result<(), String> {
+    let parsed = parse(text)?;
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    for (name, typ, _) in &parsed.families {
+        if types.insert(name.as_str(), typ.as_str()).is_some() {
+            return Err(format!("duplicate TYPE header for {name}"));
+        }
+    }
+    // Histogram accounting: (series labels sans `le`) -> (bounds, counts).
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let series_key = |labels: &[(String, String)]| -> String {
+        labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v};"))
+            .collect()
+    };
+    for s in &parsed.samples {
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                s.name
+                    .strip_suffix(suffix)
+                    .filter(|f| types.get(*f).copied() == Some("histogram"))
+            })
+            .unwrap_or(&s.name);
+        let Some(typ) = types.get(family) else {
+            return Err(format!("sample {} has no TYPE header", s.name));
+        };
+        if *typ == "histogram" {
+            let key = (family.to_string(), series_key(&s.labels));
+            if s.name.ends_with("_bucket") {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("bucket sample {} without le", s.name))?;
+                let bound = parse_value(&le.1, 0).map_err(|e| format!("bucket bound: {e}"))?;
+                buckets.entry(key).or_default().push((bound, s.value));
+            } else if s.name.ends_with("_sum") {
+                sums.insert(key, s.value);
+            } else if s.name.ends_with("_count") {
+                counts.insert(key, s.value);
+            }
+        } else if s.labels.iter().any(|(k, _)| k == "le") {
+            return Err(format!("non-histogram sample {} carries le", s.name));
+        }
+    }
+    for (key, series) in &buckets {
+        let mut last_bound = f64::NEG_INFINITY;
+        let mut last_cum = -1.0;
+        let mut has_inf = false;
+        for &(bound, cum) in series {
+            if bound <= last_bound {
+                return Err(format!("{}: bucket bounds not increasing", key.0));
+            }
+            if cum < last_cum {
+                return Err(format!("{}: bucket counts not cumulative", key.0));
+            }
+            last_bound = bound;
+            last_cum = cum;
+            if bound == f64::INFINITY {
+                has_inf = true;
+                if counts.get(key).copied() != Some(cum) {
+                    return Err(format!("{}: +Inf bucket != _count", key.0));
+                }
+            }
+        }
+        if !has_inf {
+            return Err(format!("{}: missing +Inf bucket", key.0));
+        }
+        if !sums.contains_key(key) {
+            return Err(format!("{}: missing _sum", key.0));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add, addf, observe, set, FamilyDesc, MetricKind, MetricsSession};
+
+    static HITS: FamilyDesc = FamilyDesc {
+        name: "prom_hits_total",
+        help: "Hits with a \"quoted\\slash\" help\nand newline.",
+        kind: MetricKind::Counter,
+        buckets: &[],
+        nondeterministic: false,
+    };
+    static LEVEL: FamilyDesc = FamilyDesc {
+        name: "prom_level",
+        help: "A level.",
+        kind: MetricKind::Gauge,
+        buckets: &[],
+        nondeterministic: false,
+    };
+    static LAT: FamilyDesc = FamilyDesc {
+        name: "prom_latency_seconds",
+        help: "Latency.",
+        kind: MetricKind::Histogram,
+        buckets: &[0.01, 0.1, 1.0],
+        nondeterministic: false,
+    };
+
+    fn sample_snapshot() -> Snapshot {
+        let session = MetricsSession::start();
+        add(&HITS, &[("path", "a\"b\\c\nd")], 3);
+        add(&HITS, &[("path", "plain")], 1);
+        set(&LEVEL, &[], -2.5);
+        observe(&LAT, &[("op", "load")], 0.005);
+        observe(&LAT, &[("op", "load")], 0.05);
+        observe(&LAT, &[("op", "load")], 50.0);
+        addf(&HITS, &[("path", "plain")], 0.25);
+        session.finish()
+    }
+
+    /// Emit → parse → the exact family/label/value multiset survives.
+    #[test]
+    fn exposition_round_trips() {
+        let snap = sample_snapshot();
+        let text = write(&snap);
+        validate(&text).expect("own output validates");
+        let parsed = parse(&text).expect("own output parses");
+        let mut expected = flatten(&snap);
+        let mut got = parsed.samples.clone();
+        let key = |s: &Sample| (s.name.clone(), s.labels.clone(), s.value.to_bits());
+        expected.sort_by_key(key);
+        got.sort_by_key(key);
+        assert_eq!(expected, got);
+        // Family headers are present with the right types.
+        let types: Vec<(String, String)> = parsed
+            .families
+            .iter()
+            .map(|(n, t, _)| (n.clone(), t.clone()))
+            .collect();
+        assert!(types.contains(&("prom_hits_total".into(), "counter".into())));
+        assert!(types.contains(&("prom_level".into(), "gauge".into())));
+        assert!(types.contains(&("prom_latency_seconds".into(), "histogram".into())));
+        // Help strings survive escaping.
+        let help = &parsed
+            .families
+            .iter()
+            .find(|(n, _, _)| n == "prom_hits_total")
+            .expect("family")
+            .2;
+        assert!(help.contains("\\\\slash") || help.contains("slash"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let snap = sample_snapshot();
+        let text = write(&snap);
+        let parsed = parse(&text).expect("parses");
+        let bucket_values: Vec<f64> = parsed
+            .samples
+            .iter()
+            .filter(|s| s.name == "prom_latency_seconds_bucket")
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(bucket_values, vec![1.0, 2.0, 2.0, 3.0]);
+        let count = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "prom_latency_seconds_count")
+            .expect("count");
+        assert_eq!(count.value, 3.0);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate("bad name 1\n").is_err());
+        assert!(validate("orphan_sample 1\n").is_err());
+        assert!(
+            validate("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 1\nh_sum 1\n").is_err(),
+            "+Inf bucket must equal _count"
+        );
+        assert!(
+            validate("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\nh_sum 1\n").is_err(),
+            "+Inf bucket is mandatory"
+        );
+        assert!(
+            validate("# TYPE c counter\nc{le=\"1\"} 2\n").is_err(),
+            "le is reserved for histograms"
+        );
+        assert!(validate("# TYPE c counter\nc{x=\"unterminated} 1\n").is_err());
+        // A correct minimal exposition passes.
+        validate(concat!(
+            "# HELP c help text\n",
+            "# TYPE c counter\n",
+            "c{x=\"a,b\",y=\"c\"} 12\n",
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"0.1\"} 1\n",
+            "h_bucket{le=\"+Inf\"} 2\n",
+            "h_sum 0.7\n",
+            "h_count 2\n",
+        ))
+        .expect("minimal exposition validates");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_timestamps() {
+        let parsed =
+            parse("# TYPE c counter\nc{k=\"a\\\"b\\\\c\\nd\"} 4 1234567890\n").expect("parses");
+        assert_eq!(parsed.samples.len(), 1);
+        assert_eq!(parsed.samples[0].labels[0].1, "a\"b\\c\nd");
+        assert_eq!(parsed.samples[0].value, 4.0);
+        assert_eq!(parse_value("+Inf", 1).expect("inf"), f64::INFINITY);
+        assert!(parse_value("NaN", 1).expect("nan").is_nan());
+    }
+}

@@ -1,0 +1,96 @@
+//! Enforces the "zero cost when off" contract: with no collector
+//! installed, every metrics entry point must record nothing and allocate
+//! nothing. A counting global allocator makes "allocates nothing"
+//! checkable; the file holds a single test so no concurrent test can
+//! allocate in the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+use hourglass_metrics as metrics;
+use metrics::{FamilyDesc, MetricKind};
+
+static COUNTER: FamilyDesc = FamilyDesc {
+    name: "noalloc_events_total",
+    help: "Events.",
+    kind: MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+static GAUGE: FamilyDesc = FamilyDesc {
+    name: "noalloc_level",
+    help: "Level.",
+    kind: MetricKind::Gauge,
+    buckets: &[],
+    nondeterministic: false,
+};
+static HIST: FamilyDesc = FamilyDesc {
+    name: "noalloc_seconds",
+    help: "Durations.",
+    kind: MetricKind::Histogram,
+    buckets: metrics::SECONDS_BUCKETS,
+    nondeterministic: false,
+};
+
+#[test]
+fn disabled_metrics_record_nothing_and_allocate_nothing() {
+    // Warm-up: exercise every path once with a collector installed so
+    // lazy state (thread-local shard capacity) is paid for before the
+    // measured window.
+    let session = metrics::MetricsSession::start();
+    for _ in 0..8 {
+        let scope = metrics::task_begin();
+        metrics::add(&COUNTER, &[("kind", "warmup")], 1);
+        metrics::addf(&COUNTER, &[], 0.5);
+        metrics::set(&GAUGE, &[], 2.0);
+        metrics::observe(&HIST, &[], 1e-4);
+        metrics::merge_task(metrics::task_end(scope));
+    }
+    let warm = session.finish();
+    assert!(!warm.series.is_empty());
+
+    metrics::with_metrics_disabled(|| {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..1_000u64 {
+            metrics::add(&COUNTER, &[("kind", "hot")], i);
+            metrics::addf(&COUNTER, &[], i as f64);
+            metrics::set(&GAUGE, &[], i as f64);
+            metrics::observe(&HIST, &[], i as f64 * 1e-6);
+            let scope = metrics::task_begin();
+            let shard = metrics::task_end(scope);
+            assert!(shard.is_empty());
+            metrics::merge_task(shard);
+            assert!(!metrics::enabled());
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(after - before, 0, "disabled metrics path must not allocate");
+    });
+
+    // And none of the disabled-window activity leaks into a later session.
+    let session = metrics::MetricsSession::start();
+    let snap = session.finish();
+    assert!(snap.series.is_empty(), "disabled path must record nothing");
+}

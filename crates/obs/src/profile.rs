@@ -96,6 +96,61 @@ impl ProfileSummary {
         summary
     }
 
+    /// Serializes the summary as deterministic JSON: objects keyed in
+    /// `BTreeMap` order, floats in Rust's shortest-roundtrip format. The
+    /// machine-readable twin of [`profile_report`], for `--profile-json`.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{\"schema\":\"hourglass-profile/v1\",\"phases\":{");
+        for (i, (name, s)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"cat\":\"{}\",\"count\":{},\"total_seconds\":{},\"self_seconds\":{},\"max_seconds\":{}}}",
+                esc(name),
+                esc(&s.cat),
+                s.count,
+                s.total_seconds,
+                s.self_seconds,
+                s.max_seconds
+            );
+        }
+        out.push_str("},\"category_seconds\":{");
+        for (i, (cat, secs)) in self.category_seconds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", esc(cat), secs);
+        }
+        out.push_str("},\"counter_totals\":{");
+        for (i, (name, total)) in self.counter_totals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", esc(name), total);
+        }
+        out.push_str("}}\n");
+        out
+    }
+
     /// Phase names ordered by total time, longest first.
     pub fn by_total(&self) -> Vec<(&str, &PhaseStats)> {
         let mut rows: Vec<(&str, &PhaseStats)> = self
@@ -232,6 +287,36 @@ mod tests {
         assert!(report.contains("messages"));
         assert!(report.contains("top 1 phases"));
         assert!(report.contains("2.0us"));
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_escaped() {
+        let mut args = Args::new();
+        args.push("value", 3);
+        let counter = SpanRecord {
+            name: "messages",
+            cat: "engine",
+            track: 0,
+            start_ns: 5,
+            end_ns: 5,
+            kind: RecordKind::Counter,
+            args,
+        };
+        let trace = Trace {
+            spans: vec![
+                span("superstep", "engine", 0, 0, 1_000_000_000),
+                span("compute", "engine", 0, 100_000_000, 400_000_000),
+                counter,
+            ],
+        };
+        let a = ProfileSummary::from_trace(&trace).to_json();
+        let b = ProfileSummary::from_trace(&trace).to_json();
+        assert_eq!(a, b, "JSON export must be deterministic");
+        assert!(a.starts_with("{\"schema\":\"hourglass-profile/v1\""));
+        assert!(a.contains("\"superstep\":{\"cat\":\"engine\",\"count\":1"));
+        assert!(a.contains("\"counter_totals\":{\"messages\":3}"));
+        assert!(a.contains("\"category_seconds\":{\"engine\":1}"));
+        assert!(a.ends_with("}\n"));
     }
 
     #[test]

@@ -76,9 +76,6 @@ pub enum SimEvent {
         /// True when the pick was forced to the last-resort configuration
         /// instead of asking the strategy.
         forced: bool,
-        /// Wall-clock decision latency in microseconds (measurement noise:
-        /// zero it before comparing event streams across runs).
-        latency_us: u64,
         /// Seconds left until the deadline (negative once missed).
         slack: f64,
     },
@@ -376,8 +373,6 @@ pub struct EventRecord {
     pub continuation: Option<bool>,
     /// Decide: pick was forced to the last-resort configuration.
     pub forced: Option<bool>,
-    /// Decide: wall-clock decision latency, microseconds.
-    pub latency_us: Option<u64>,
     /// Decide: seconds left until the deadline.
     pub slack: Option<f64>,
     /// SpikeWait: end of the wait step.
@@ -441,7 +436,6 @@ impl EventRecord {
             pick: None,
             continuation: None,
             forced: None,
-            latency_us: None,
             slack: None,
             resume_at: None,
             held: None,
@@ -484,13 +478,11 @@ impl EventRecord {
             SimEvent::Decide {
                 continuation,
                 forced,
-                latency_us,
                 slack,
                 ..
             } => {
                 r.continuation = Some(continuation);
                 r.forced = Some(forced);
-                r.latency_us = Some(latency_us);
                 r.slack = Some(slack);
             }
             SimEvent::SpikeWait {
@@ -582,7 +574,6 @@ impl EventRecord {
                 pick: need(self.pick, "pick", k)?,
                 continuation: need(self.continuation, "continuation", k)?,
                 forced: need(self.forced, "forced", k)?,
-                latency_us: need(self.latency_us, "latency_us", k)?,
                 slack: need(self.slack, "slack", k)?,
             },
             EventKind::SpikeWait => SimEvent::SpikeWait {
@@ -733,8 +724,6 @@ pub fn parse_jsonl<R: BufRead>(reader: R) -> Result<Vec<(u32, SimEvent)>> {
 
 /// Number of buckets in [`EventAggregate::slack_hist`].
 pub const SLACK_BUCKETS: usize = 12;
-/// Number of buckets in [`EventAggregate::latency_hist`].
-pub const LATENCY_BUCKETS: usize = 32;
 
 /// Streaming aggregation of an event log: per-strategy counters and
 /// histograms, computable either online (as an [`EventSink`]) or from a
@@ -781,9 +770,6 @@ pub struct EventAggregate {
     /// Histogram of slack consumption per run: `finish/deadline` in
     /// tenths; bucket 10 is exactly-missed-to-110%, bucket 11 the tail.
     pub slack_hist: [u64; SLACK_BUCKETS],
-    /// Power-of-two histogram of decision latency in microseconds
-    /// (bucket `i` holds latencies in `[2^(i-1), 2^i)`; bucket 0 is zero).
-    pub latency_hist: [u64; LATENCY_BUCKETS],
 }
 
 impl Default for EventAggregate {
@@ -808,7 +794,6 @@ impl Default for EventAggregate {
             total_dollars: 0.0,
             eviction_hist: vec![0; 9],
             slack_hist: [0; SLACK_BUCKETS],
-            latency_hist: [0; LATENCY_BUCKETS],
         }
     }
 }
@@ -858,31 +843,6 @@ impl EventAggregate {
         for (a, b) in self.slack_hist.iter_mut().zip(&other.slack_hist) {
             *a += b;
         }
-        for (a, b) in self.latency_hist.iter_mut().zip(&other.latency_hist) {
-            *a += b;
-        }
-    }
-
-    /// Mean decision latency in microseconds (zero when no decisions).
-    pub fn mean_latency_us(&self) -> f64 {
-        if self.decides == 0 {
-            return 0.0;
-        }
-        // Bucket midpoints: coarse, but latency is telemetry, not billing.
-        let total: f64 = self
-            .latency_hist
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| {
-                let mid = if i == 0 {
-                    0.0
-                } else {
-                    0.75 * (1u64 << i) as f64
-                };
-                mid * n as f64
-            })
-            .sum();
-        total / self.decides as f64
     }
 
     /// Mean evictions per run (zero when no runs completed).
@@ -895,17 +855,12 @@ impl EventAggregate {
     }
 }
 
-fn latency_bucket(us: u64) -> usize {
-    ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
-}
-
 impl EventSink for EventAggregate {
     fn record(&mut self, _run: u32, event: &SimEvent) {
         match *event {
             SimEvent::Decide {
                 continuation,
                 forced,
-                latency_us,
                 ..
             } => {
                 self.decides += 1;
@@ -915,7 +870,6 @@ impl EventSink for EventAggregate {
                 if forced {
                     self.forced += 1;
                 }
-                self.latency_hist[latency_bucket(latency_us)] += 1;
             }
             SimEvent::SpikeWait { .. } => self.spike_waits += 1,
             SimEvent::Acquire { .. } => self.acquires += 1,
@@ -987,7 +941,6 @@ mod tests {
                     pick: 3,
                     continuation: false,
                     forced: false,
-                    latency_us: 420,
                     slack: 7200.0,
                 },
             ),
@@ -1138,9 +1091,6 @@ mod tests {
         assert_eq!(agg.eviction_hist[1], 1);
         // finish/deadline ≈ 0.208 → bucket 2.
         assert_eq!(agg.slack_hist[2], 1);
-        // 420 µs → bucket ⌈log2⌉ = 9.
-        assert_eq!(agg.latency_hist[9], 1);
-        assert!(agg.mean_latency_us() > 0.0);
         assert!((agg.mean_evictions() - 1.0).abs() < 1e-12);
     }
 
@@ -1163,13 +1113,4 @@ mod tests {
         assert_eq!(merged, EventAggregate::from_events(&events));
     }
 
-    #[test]
-    fn latency_buckets_are_monotone() {
-        assert_eq!(latency_bucket(0), 0);
-        assert_eq!(latency_bucket(1), 1);
-        assert_eq!(latency_bucket(2), 2);
-        assert_eq!(latency_bucket(3), 2);
-        assert_eq!(latency_bucket(1024), 11);
-        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
-    }
 }

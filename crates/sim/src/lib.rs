@@ -17,6 +17,7 @@ pub mod bridge;
 pub mod events;
 pub mod experiment;
 pub mod job;
+pub mod metrics_bridge;
 pub mod recurring;
 pub mod replication;
 pub mod report;
@@ -25,6 +26,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use bridge::TraceBridge;
+pub use metrics_bridge::MetricsBridge;
 pub use events::{EventAggregate, EventSink, JsonlSink, NullSink, SimEvent, TeeSink, VecSink};
 pub use experiment::{Experiment, ExperimentSummary};
 pub use job::{ConfigPerf, JobDescription, ReloadMode};

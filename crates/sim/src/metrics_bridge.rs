@@ -1,0 +1,377 @@
+//! Folds decision-loop events into the cross-layer metrics registry.
+//!
+//! [`MetricsBridge`] is an [`EventSink`] that mirrors every [`SimEvent`]
+//! into `hourglass-metrics` families labelled by strategy. Everything it
+//! records derives from the event payloads (simulated time, simulated
+//! dollars), never from wall clocks, so the folded counters are a pure
+//! function of the event stream: a metered sweep produces bit-identical
+//! snapshots whether it ran sequentially or in parallel, and metering
+//! cannot perturb outcomes. Sweeps replay buffered per-run streams into
+//! the caller's sink in ascending run order, which fixes the fold order
+//! of the `f64` dollar sums.
+//!
+//! The one wall-clock quantity of the decision loop — strategy decision
+//! latency — deliberately does *not* flow through here; the runner
+//! reports it directly into the nondeterministic
+//! [`crate::runner::M_DECIDE_WALL_SECONDS`] family.
+
+use crate::events::{EventSink, Phase, SimEvent};
+use hourglass_metrics as hm;
+
+/// Strategy decisions folded from `Decide` events.
+pub static M_DECISIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_decisions_total",
+    help: "Strategy decisions taken.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Decisions that continued the held deployment.
+pub static M_CONTINUATIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_continuations_total",
+    help: "Decisions that continued the held deployment.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Decisions forced to the last-resort configuration.
+pub static M_FORCED_DECISIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_forced_decisions_total",
+    help: "Decisions forced to the last-resort configuration.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Spike-wait steps taken while the market sat above the bid.
+pub static M_SPIKE_WAITS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_spike_waits_total",
+    help: "Spot-request wait steps during market spikes.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Deployments acquired.
+pub static M_ACQUISITIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_acquisitions_total",
+    help: "Deployments acquired.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Delta migrations between still-live deployments.
+pub static M_MIGRATIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_migrations_total",
+    help: "Delta migrations between still-live deployments.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Evictions, labelled by the lifecycle phase they hit.
+pub static M_EVICTIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_evictions_total",
+    help: "Market evictions, by lifecycle phase.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Checkpoints landed.
+pub static M_CHECKPOINTS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_checkpoints_total",
+    help: "Checkpoints landed.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Fault-injected degradation events.
+pub static M_DEGRADATIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_degradations_total",
+    help: "Fault-injected degradations of modeled I/O.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Transient faults retried away across all degradations.
+pub static M_FAULT_RETRIES: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_fault_retries_total",
+    help: "Transient faults retried away in the modeled I/O.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Degradations that abandoned their fast recovery path.
+pub static M_FALLBACKS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_fallbacks_total",
+    help: "Degradations that fell back to a slower recovery path.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Online dollars billed, folded from `Bill` events.
+pub static M_BILLED_DOLLARS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_billed_dollars_total",
+    help: "Online dollars billed against the market.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Total dollars (online plus offline), folded from `Complete` events.
+pub static M_TOTAL_DOLLARS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_total_dollars_total",
+    help: "Total dollars including the offline phase.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Runs completed (one `Complete` event each).
+pub static M_RUNS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_runs_total",
+    help: "Simulated runs completed.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Runs that missed their deadline.
+pub static M_DEADLINE_MISSES: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_deadline_misses_total",
+    help: "Runs that missed their deadline.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Runs cut short by the trace horizon.
+pub static M_INCOMPLETE_RUNS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_incomplete_runs_total",
+    help: "Runs cut short by the trace horizon.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Deadline slack at completion (simulated seconds; negative = missed).
+pub static M_DEADLINE_SLACK: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_deadline_slack_seconds",
+    help: "Deadline slack remaining at completion (negative = missed).",
+    kind: hm::MetricKind::Histogram,
+    buckets: hm::SLACK_BUCKETS,
+    nondeterministic: false,
+};
+
+fn phase_label(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Setup => "setup",
+        Phase::Compute => "compute",
+        Phase::Wait => "wait",
+    }
+}
+
+/// An [`EventSink`] that folds every decision event into the metrics
+/// registry, labelled with the strategy under study.
+///
+/// Records nothing (and allocates nothing) when no
+/// [`hourglass_metrics::MetricsSession`] is active, so it is safe to wire
+/// unconditionally and gate only on `--metrics` at export time.
+#[derive(Debug, Clone)]
+pub struct MetricsBridge {
+    strategy: String,
+}
+
+impl MetricsBridge {
+    /// Creates a bridge labelling every family with `strategy`.
+    pub fn new(strategy: impl Into<String>) -> Self {
+        MetricsBridge {
+            strategy: strategy.into(),
+        }
+    }
+}
+
+impl EventSink for MetricsBridge {
+    fn record(&mut self, _run: u32, event: &SimEvent) {
+        if !hm::enabled() {
+            return;
+        }
+        let s = self.strategy.as_str();
+        let labels: &[(&str, &str)] = &[("strategy", s)];
+        match *event {
+            SimEvent::Decide {
+                continuation,
+                forced,
+                ..
+            } => {
+                hm::add(&M_DECISIONS, labels, 1);
+                if continuation {
+                    hm::add(&M_CONTINUATIONS, labels, 1);
+                }
+                if forced {
+                    hm::add(&M_FORCED_DECISIONS, labels, 1);
+                }
+            }
+            SimEvent::SpikeWait { .. } => hm::add(&M_SPIKE_WAITS, labels, 1),
+            SimEvent::Acquire { .. } => hm::add(&M_ACQUISITIONS, labels, 1),
+            SimEvent::Migrate { .. } => hm::add(&M_MIGRATIONS, labels, 1),
+            SimEvent::Evict { phase, .. } => {
+                hm::add(
+                    &M_EVICTIONS,
+                    &[("strategy", s), ("phase", phase_label(phase))],
+                    1,
+                );
+            }
+            SimEvent::Checkpoint { .. } => hm::add(&M_CHECKPOINTS, labels, 1),
+            SimEvent::Bill { cost, .. } => hm::addf(&M_BILLED_DOLLARS, labels, cost),
+            SimEvent::Degraded {
+                retries, fallback, ..
+            } => {
+                hm::add(&M_DEGRADATIONS, labels, 1);
+                hm::add(&M_FAULT_RETRIES, labels, retries as u64);
+                if fallback {
+                    hm::add(&M_FALLBACKS, labels, 1);
+                }
+            }
+            SimEvent::Complete {
+                finish_seconds,
+                deadline,
+                cost,
+                missed_deadline,
+                completed,
+                ..
+            } => {
+                hm::add(&M_RUNS, labels, 1);
+                if missed_deadline {
+                    hm::add(&M_DEADLINE_MISSES, labels, 1);
+                }
+                if !completed {
+                    hm::add(&M_INCOMPLETE_RUNS, labels, 1);
+                }
+                hm::addf(&M_TOTAL_DOLLARS, labels, cost);
+                hm::observe(&M_DEADLINE_SLACK, labels, deadline - finish_seconds);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{NullSink, TeeSink, VecSink};
+    use crate::job::{PaperJob, ReloadMode};
+    use crate::runner::{derive_eviction_models, SimulationSetup};
+    use crate::sweep::sweep_jobs;
+    use hourglass_cloud::tracegen;
+    use hourglass_core::strategies::HourglassStrategy;
+
+    fn swept_snapshot(parallel: bool) -> (hm::Snapshot, Vec<crate::runner::JobOutcome>) {
+        let market = tracegen::simulation_market(51).expect("market");
+        let history = tracegen::history_market(51).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(60.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts: Vec<f64> = (0..8).map(|i| i as f64 * 120_000.0).collect();
+        let session = hm::MetricsSession::start();
+        let mut bridge = MetricsBridge::new("hourglass");
+        let out = sweep_jobs(&setup, &job, &strategy, &starts, parallel, &mut bridge)
+            .expect("sweep");
+        (session.finish(), out)
+    }
+
+    /// The simulated-time families fold bit-identically whether the sweep
+    /// ran sequentially or in parallel; the wall-clock decide family is
+    /// the only nondeterministic one and is excluded from the comparison.
+    #[test]
+    fn metered_sweep_folds_deterministically() {
+        let (seq, out_seq) = swept_snapshot(false);
+        let (par, out_par) = swept_snapshot(true);
+        assert!(
+            seq.deterministic().bit_eq(&par.deterministic()),
+            "deterministic metric views must be bit-identical"
+        );
+        for (a, b) in out_seq.iter().zip(&out_par) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+        let labels = [("strategy", "hourglass")];
+        assert_eq!(
+            seq.scalar("hourglass_sim_runs_total", &labels),
+            out_seq.len() as f64
+        );
+        let total: f64 = out_seq.iter().map(|o| o.cost).sum();
+        let folded = seq.scalar("hourglass_sim_total_dollars_total", &labels);
+        assert!(
+            (folded - total).abs() < 1e-9,
+            "folded {folded} vs outcomes {total}"
+        );
+        let slack = seq
+            .get("hourglass_sim_deadline_slack_seconds", &labels)
+            .expect("slack histogram");
+        assert_eq!(slack.value.count(), out_seq.len() as u64);
+    }
+
+    /// Metering a sweep changes neither outcomes nor the event stream.
+    #[test]
+    fn metered_sweep_is_bit_identical_to_unmetered() {
+        let market = tracegen::simulation_market(52).expect("market");
+        let history = tracegen::history_market(52).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let starts = [0.0, 250_000.0, 700_000.0];
+
+        let mut plain_sink = VecSink::new();
+        let plain =
+            sweep_jobs(&setup, &job, &strategy, &starts, true, &mut plain_sink).expect("plain");
+
+        let session = hm::MetricsSession::start();
+        let mut bridge = MetricsBridge::new("hourglass");
+        let mut metered_sink = VecSink::new();
+        let mut tee = TeeSink {
+            first: &mut metered_sink,
+            second: &mut bridge,
+        };
+        let metered =
+            sweep_jobs(&setup, &job, &strategy, &starts, true, &mut tee).expect("metered");
+        let snapshot = session.finish();
+
+        assert_eq!(plain.len(), metered.len());
+        for (a, b) in plain.iter().zip(&metered) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+        }
+        assert_eq!(plain_sink.events, metered_sink.events);
+        assert!(!snapshot.series.is_empty(), "bridge folded nothing");
+    }
+
+    /// Without an active session the bridge records nothing.
+    #[test]
+    fn bridge_is_inert_without_session() {
+        hm::with_metrics_disabled(|| {
+            let mut bridge = MetricsBridge::new("noop");
+            bridge.record(
+                0,
+                &SimEvent::Evict {
+                    t: 10.0,
+                    work_left: 0.5,
+                    billed: 1.0,
+                    pick: 2,
+                    phase: Phase::Compute,
+                },
+            );
+        });
+        let session = hm::MetricsSession::start();
+        let snapshot = session.finish();
+        assert!(snapshot.series.is_empty());
+        // NullSink still satisfies the sink contract alongside the bridge.
+        let mut null = NullSink;
+        null.record(
+            0,
+            &SimEvent::Evict {
+                t: 10.0,
+                work_left: 0.5,
+                billed: 1.0,
+                pick: 2,
+                phase: Phase::Setup,
+            },
+        );
+    }
+}

@@ -9,10 +9,22 @@ use hourglass_cloud::eviction::{self, DynEviction, EvictionModel, LifetimeCapped
 use hourglass_cloud::{fit, InstanceType, Market, ResourceClass};
 use hourglass_core::{Candidate, CurrentDeployment, DecisionContext, Strategy};
 use hourglass_faults::{FaultHook, FaultPlan, Site};
+use hourglass_metrics as hm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Wall-clock strategy-decision latency. Real elapsed time on whatever
+/// machine ran the decision — explicitly nondeterministic, excluded from
+/// the bit-compared deterministic snapshot view.
+pub static M_DECIDE_WALL_SECONDS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_sim_decide_wall_seconds",
+    help: "Wall-clock strategy decision latency (nondeterministic).",
+    kind: hm::MetricKind::Histogram,
+    buckets: hm::SECONDS_BUCKETS,
+    nondeterministic: true,
+};
 
 /// Ground-truth lifetime process overlaid on the price-crossing evictions:
 /// a transient deployment dies at `min(price crossing, lifetime)`.
@@ -350,14 +362,19 @@ pub fn run_job_observed(
             }),
             save_retry_factor,
         };
-        let decide_started = Instant::now();
+        // Wall-clock decision latency is telemetry, not simulation state:
+        // it goes straight into a nondeterministic metrics family and
+        // never touches the (bit-compared) event stream.
+        let decide_started = hm::enabled().then(Instant::now);
         let (pick, forced) = if force_lrc {
             force_lrc = false;
             (job.lrc()?, true)
         } else {
             (strategy.decide(&ctx)?.pick, false)
         };
-        let latency_us = decide_started.elapsed().as_micros() as u64;
+        if let Some(started) = decide_started {
+            hm::observe(&M_DECIDE_WALL_SECONDS, &[], started.elapsed().as_secs_f64());
+        }
         let perf = &job.configs[pick];
         let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
 
@@ -370,7 +387,6 @@ pub fn run_job_observed(
             pick,
             continuation: continuing,
             forced,
-            latency_us,
             slack: job.deadline - (t - start),
         });
         if !continuing {
@@ -1320,11 +1336,6 @@ mod tests {
                 let mut sink = VecSink::new();
                 let out = run_job_observed(&setup, &job, &strategy, start, i, &mut sink)
                     .expect("faulted run");
-                for (_, e) in sink.events.iter_mut() {
-                    if let SimEvent::Decide { latency_us, .. } = e {
-                        *latency_us = 0;
-                    }
-                }
                 (out, sink.events)
             };
             let (a, ea) = run_once();

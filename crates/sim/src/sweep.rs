@@ -6,8 +6,8 @@
 //! the run list over [`hourglass_exec::fork_join`] worker threads and
 //! merges the per-run event streams back in ascending run order, so a
 //! parallel sweep produces **bit-identical** outcomes and event streams to
-//! a sequential one — the only permissible difference is the wall-clock
-//! `latency_us` stamped on `Decide` events.
+//! a sequential one. (Wall-clock decision latency lives in a
+//! nondeterministic `hourglass-metrics` family, not in the event stream.)
 
 use crate::events::{EventSink, SimEvent, VecSink};
 use crate::job::JobDescription;
@@ -47,8 +47,7 @@ fn merge<T>(chunks: Vec<ChunkResult<T>>, total: usize, sink: &mut dyn EventSink)
 /// run's index into `starts`.
 ///
 /// Sequential (`parallel = false`) and parallel sweeps produce
-/// bit-identical outcome vectors and event streams (modulo the wall-clock
-/// `latency_us` field of `Decide` events).
+/// bit-identical outcome vectors and event streams.
 pub fn sweep_jobs(
     setup: &SimulationSetup<'_>,
     job: &JobDescription,
@@ -120,14 +119,6 @@ mod tests {
     use hourglass_cloud::tracegen;
     use hourglass_core::strategies::HourglassStrategy;
 
-    fn zero_latency(events: &mut [(u32, SimEvent)]) {
-        for (_, e) in events.iter_mut() {
-            if let SimEvent::Decide { latency_us, .. } = e {
-                *latency_us = 0;
-            }
-        }
-    }
-
     #[test]
     fn parallel_sweep_is_bit_identical_to_sequential() {
         let market = tracegen::simulation_market(31).expect("market");
@@ -155,8 +146,6 @@ mod tests {
             assert_eq!(a.missed_deadline, b.missed_deadline);
             assert_eq!(a.completed, b.completed);
         }
-        zero_latency(&mut seq_sink.events);
-        zero_latency(&mut par_sink.events);
         assert_eq!(seq_sink.events, par_sink.events);
     }
 

@@ -14,6 +14,7 @@ pub use hourglass_core as core;
 pub use hourglass_engine as engine;
 pub use hourglass_faults as faults;
 pub use hourglass_graph as graph;
+pub use hourglass_metrics as metrics;
 pub use hourglass_obs as obs;
 pub use hourglass_partition as partition;
 pub use hourglass_sim as sim;

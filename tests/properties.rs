@@ -988,7 +988,7 @@ mod eviction_process_properties {
 
 // --- scenario determinism: parallel sweeps == sequential, per scenario ---
 mod scenario_determinism {
-    use hourglass::sim::{Experiment, ScenarioKind, SimEvent, VecSink};
+    use hourglass::sim::{Experiment, ScenarioKind, VecSink};
 
     /// Under every cell of the scenario matrix — including the sampled
     /// bathtub ground truth and the crunch-perturbed market — the parallel
@@ -1014,13 +1014,6 @@ mod scenario_determinism {
                 let summary = exp
                     .run_observed(&setup, &job, &strategy, &mut sink)
                     .expect("sweep");
-                // Wall-clock decision latency is the one legitimately
-                // nondeterministic field.
-                for (_, e) in sink.events.iter_mut() {
-                    if let SimEvent::Decide { latency_us, .. } = e {
-                        *latency_us = 0;
-                    }
-                }
                 (summary, sink.events)
             };
             let (par, par_events) = run(true);
@@ -1042,3 +1035,70 @@ mod scenario_determinism {
     }
 }
 // --- end scenario determinism ---
+
+// --- metrics determinism: metered sweeps == unmetered, seq == par ---
+mod metrics_determinism {
+    use hourglass::metrics as hm;
+    use hourglass::sim::job::{PaperJob, ReloadMode};
+    use hourglass::sim::{
+        derive_eviction_models, sweep_jobs, MetricsBridge, SimulationSetup, TeeSink, VecSink,
+    };
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Sequential and parallel metered sweeps fold bit-identical
+        /// deterministic metric snapshots, and metering changes neither
+        /// the outcomes nor the event stream relative to an unmetered
+        /// sweep of the same runs.
+        #[test]
+        fn metered_sweeps_fold_identical_deterministic_snapshots(
+            seed in 0u64..12,
+            runs in 4usize..10,
+        ) {
+            let market = hourglass::cloud::tracegen::simulation_market(seed).expect("market");
+            let history = hourglass::cloud::tracegen::history_market(seed).expect("market");
+            let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+            let setup = SimulationSetup::new(&market, &models);
+            let job = PaperJob::PageRank
+                .description(60.0, ReloadMode::Fast)
+                .expect("job");
+            let strategy = hourglass::core::strategies::HourglassStrategy::new();
+            let starts: Vec<f64> = (0..runs).map(|i| i as f64 * 110_000.0).collect();
+
+            // Unmetered reference.
+            let mut plain_sink = VecSink::new();
+            let plain = sweep_jobs(&setup, &job, &strategy, &starts, true, &mut plain_sink)
+                .expect("plain");
+
+            let mut metered = Vec::new();
+            for parallel in [false, true] {
+                let session = hm::MetricsSession::start();
+                let mut bridge = MetricsBridge::new("hourglass");
+                let mut events = VecSink::new();
+                let mut tee = TeeSink { first: &mut events, second: &mut bridge };
+                let out = sweep_jobs(&setup, &job, &strategy, &starts, parallel, &mut tee)
+                    .expect("metered");
+                // Metering must not perturb outcomes or the event stream.
+                prop_assert_eq!(out.len(), plain.len());
+                for (a, b) in out.iter().zip(&plain) {
+                    prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                    prop_assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+                }
+                prop_assert_eq!(&events.events, &plain_sink.events);
+                metered.push(session.finish());
+            }
+            prop_assert!(
+                metered[0].deterministic().bit_eq(&metered[1].deterministic()),
+                "sequential and parallel metric snapshots diverged"
+            );
+            let labels = [("strategy", "hourglass")];
+            prop_assert_eq!(
+                metered[0].scalar("hourglass_sim_runs_total", &labels),
+                runs as f64
+            );
+        }
+    }
+}
+// --- end metrics determinism ---
