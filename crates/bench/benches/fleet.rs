@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the multi-tenant fleet scheduler.
+//!
+//! Measures the event-queue scheduler end to end on the canned recurring
+//! workload: the shared fleet (warm handoffs + shard-cache hits) against
+//! per-job independent provisioning, and a capacity-capped fleet that
+//! exercises the simulated-time tenure ledger and sacrifice arbitration
+//! on every step. An acceptance check before the groups run asserts the
+//! shared fleet is strictly cheaper than independent provisioning at an
+//! equal-or-better deadline-miss rate — the property the scheduler
+//! exists for (`cargo bench --no-run` only compiles this file).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hourglass_cloud::tracegen;
+use hourglass_core::strategies::HourglassStrategy;
+use hourglass_sim::{
+    derive_eviction_models, run_fleet, FleetConfig, FleetWorkload, SimulationSetup,
+};
+
+const TENANTS: usize = 12;
+const RECURRENCES: usize = 3;
+
+struct Fixture {
+    market: hourglass_cloud::Market,
+    models: Vec<(hourglass_cloud::InstanceType, hourglass_cloud::DynEviction)>,
+    workload: FleetWorkload,
+}
+
+fn fixture() -> Fixture {
+    let market = tracegen::simulation_market(9).expect("market");
+    let history = tracegen::history_market(9).expect("market");
+    let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+    let workload = FleetWorkload::canned_recurring(TENANTS, RECURRENCES).expect("workload");
+    Fixture {
+        market,
+        models,
+        workload,
+    }
+}
+
+fn capacity_for(workload: &FleetWorkload) -> usize {
+    workload
+        .catalog
+        .iter()
+        .flat_map(|j| j.configs.iter())
+        .filter(|p| p.config.is_transient())
+        .map(|p| p.config.num_workers as usize)
+        .max()
+        .expect("transient config")
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let f = fixture();
+    let setup = SimulationSetup::new(&f.market, &f.models);
+    let strategy = HourglassStrategy::new();
+    let shared = FleetConfig::default();
+    let independent = FleetConfig {
+        share: false,
+        ..FleetConfig::default()
+    };
+    let capped = FleetConfig {
+        capacity: Some(capacity_for(&f.workload)),
+        ..FleetConfig::default()
+    };
+
+    // Acceptance: sharing must pay for itself on the canned workload.
+    let with = run_fleet(&setup, &f.workload, &strategy, &shared).expect("fleet");
+    let without = run_fleet(&setup, &f.workload, &strategy, &independent).expect("fleet");
+    assert!(
+        with.total_cost < without.total_cost,
+        "shared fleet (${:.2}) must undercut independent provisioning (${:.2})",
+        with.total_cost,
+        without.total_cost
+    );
+    assert!(with.missed_pct() <= without.missed_pct());
+    assert!(with.share_hits > 0);
+    eprintln!(
+        "fleet sharing saves {:.1}% over independent provisioning \
+         ({} runs, {} share hits)",
+        100.0 * (without.total_cost - with.total_cost) / without.total_cost,
+        with.runs,
+        with.share_hits
+    );
+
+    let mut group = c.benchmark_group("fleet_canned_12x3");
+    group.sample_size(10);
+    group.bench_function("shared", |b| {
+        b.iter(|| run_fleet(&setup, &f.workload, &strategy, &shared).expect("fleet"))
+    });
+    group.bench_function("independent", |b| {
+        b.iter(|| run_fleet(&setup, &f.workload, &strategy, &independent).expect("fleet"))
+    });
+    group.bench_function("capped_ledger", |b| {
+        b.iter(|| run_fleet(&setup, &f.workload, &strategy, &capped).expect("fleet"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -25,7 +25,11 @@
 //! - `--fault-plan <name>` — inject a canned deterministic fault plan
 //!   (`io-flaky`, `torn-writes` or `bitflip`, seeded from `--seed`) into
 //!   the simulated checkpoint/reload I/O paths (binaries that simulate;
-//!   others ignore it).
+//!   others ignore it);
+//! - `--tenants <n>` — tenant count for the fleet binaries (others
+//!   ignore it);
+//! - `--policy <name>` — fleet sacrifice policy (`ec-weighted`,
+//!   `deadline-slack` or `strict-priority`; fleet binaries honor it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,6 +73,11 @@ pub struct Cli {
     /// Market scenario to replay (`--scenario crossing|capped|bathtub|
     /// crunch|all`; binaries that simulate honor it, others ignore it).
     pub scenario: Option<String>,
+    /// Tenant count for fleet binaries (`--tenants`; others ignore it).
+    pub tenants: Option<usize>,
+    /// Fleet sacrifice policy (`--policy ec-weighted|deadline-slack|
+    /// strict-priority`; fleet binaries honor it, others ignore it).
+    pub policy: Option<String>,
 }
 
 impl Cli {
@@ -90,6 +99,8 @@ impl Cli {
             fault_plan: None,
             pin: false,
             scenario: None,
+            tenants: None,
+            policy: None,
         }
     }
 
@@ -182,6 +193,18 @@ impl Cli {
                             .clone(),
                     );
                 }
+                "--tenants" => {
+                    i += 1;
+                    cli.tenants = Some(parse_or_die(&args, i, "--tenants"));
+                }
+                "--policy" => {
+                    i += 1;
+                    cli.policy = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| die("--policy needs a policy name"))
+                            .clone(),
+                    );
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <bin> [--seed N] [--runs N] [--quick] [--smoke] \
@@ -189,7 +212,9 @@ impl Cli {
                          [--profile-json PATH] [--metrics PATH] \
                          [--bench-report PATH] [--pin] \
                          [--fault-plan io-flaky|torn-writes|bitflip] \
-                         [--scenario crossing|capped|bathtub|crunch|all]"
+                         [--scenario crossing|capped|bathtub|crunch|all] \
+                         [--tenants N] \
+                         [--policy ec-weighted|deadline-slack|strict-priority]"
                     );
                     std::process::exit(0);
                 }
@@ -232,6 +257,19 @@ impl Cli {
                     "unknown scenario {name:?} (known: crossing, capped, bathtub, crunch, all)"
                 ))
             })],
+        }
+    }
+
+    /// Resolves `--policy` into a [`hourglass_sim::SacrificePolicy`]
+    /// (default EC-weighted); exits on unknown names.
+    pub fn resolve_policy(&self) -> hourglass_sim::SacrificePolicy {
+        match self.policy.as_deref() {
+            None => hourglass_sim::SacrificePolicy::EcWeighted,
+            Some(name) => hourglass_sim::SacrificePolicy::parse(name).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown policy {name:?} (known: ec-weighted, deadline-slack, strict-priority)"
+                ))
+            }),
         }
     }
 

@@ -41,6 +41,7 @@ fn phase_code(phase: Phase) -> u64 {
         Phase::Setup => 0,
         Phase::Compute => 1,
         Phase::Wait => 2,
+        Phase::Preempted => 3,
     }
 }
 
@@ -205,6 +206,42 @@ impl EventSink for TraceBridge {
                 args.push("evictions", evictions as u64);
                 args.push("deployments", deployments as u64);
                 self.emit(track, "complete", RecordKind::Instant, t, t, args);
+            }
+            SimEvent::Admit {
+                t,
+                tenant,
+                seq,
+                accepted,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("tenant", tenant as u64);
+                args.push("seq", seq as u64);
+                args.push("accepted", accepted as u64);
+                self.emit(track, "admit", RecordKind::Instant, t, t, args);
+            }
+            SimEvent::Preempt {
+                t, victim, pick, ..
+            } => {
+                let mut args = Args::new();
+                args.push("victim", victim as u64);
+                args.push("pick", pick as u64);
+                self.emit(track, "preempt", RecordKind::Instant, t, t, args);
+            }
+            SimEvent::ShareHit {
+                t,
+                tenant,
+                pick,
+                warm,
+                saved_seconds,
+                ..
+            } => {
+                let mut args = Args::new();
+                args.push("tenant", tenant as u64);
+                args.push("pick", pick as u64);
+                args.push("warm", warm as u64);
+                args.push("saved_ms", (saved_seconds * 1e3) as u64);
+                self.emit(track, "share_hit", RecordKind::Instant, t, t, args);
             }
         }
     }

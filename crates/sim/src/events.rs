@@ -13,6 +13,7 @@
 
 use crate::{Result, SimError};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 /// Where in a deployment's lifecycle an eviction landed.
@@ -28,6 +29,9 @@ pub enum Phase {
     /// Evicted while held idle during a price-spike wait for a different
     /// configuration.
     Wait,
+    /// Sacrificed by the fleet scheduler to make room for another
+    /// tenant's deployment (always preceded by a [`SimEvent::Preempt`]).
+    Preempted,
 }
 
 /// Event kind discriminator (the `kind` column of the JSONL schema).
@@ -51,6 +55,12 @@ pub enum EventKind {
     Degraded,
     /// End of the run.
     Complete,
+    /// Fleet: a tenant job reached admission control.
+    Admit,
+    /// Fleet: the scheduler sacrificed a tenant's deployment.
+    Preempt,
+    /// Fleet: a job reused warm state from an earlier job of its tenant.
+    ShareHit,
 }
 
 /// One typed event of a simulated run.
@@ -221,6 +231,65 @@ pub enum SimEvent {
         /// Deployments acquired.
         deployments: usize,
     },
+    /// A tenant job reached the fleet scheduler's admission control
+    /// (fleet runs only).
+    Admit {
+        /// Absolute trace time (the job's arrival).
+        t: f64,
+        /// Work fraction remaining (always 1.0 at admission).
+        work_left: f64,
+        /// Online dollars billed to the tenant so far.
+        billed: f64,
+        /// Tenant the job belongs to.
+        tenant: u32,
+        /// Recurrence index of the job within the tenant's stream.
+        seq: usize,
+        /// True when the job was admitted; false when admission control
+        /// rejected it (e.g. the deadline is shorter than the job's
+        /// minimum makespan).
+        accepted: bool,
+        /// The job's deadline, relative to its arrival.
+        deadline: f64,
+    },
+    /// The fleet scheduler sacrificed a tenant's deployment to make room
+    /// for another tenant (fleet runs only; followed by a
+    /// [`SimEvent::Evict`] with [`Phase::Preempted`]).
+    Preempt {
+        /// Absolute trace time (the victim's current clock).
+        t: f64,
+        /// Work fraction the victim had remaining.
+        work_left: f64,
+        /// Online dollars the victim's job had billed so far.
+        billed: f64,
+        /// Tenant whose deployment was sacrificed.
+        victim: u32,
+        /// Configuration index the victim held.
+        pick: usize,
+    },
+    /// A job reused warm state left by an earlier job of the same tenant
+    /// (fleet runs only): either a still-held warm instance or the
+    /// tenant's clustered HGS2 shards cached in the datastore.
+    ShareHit {
+        /// Absolute trace time (the admitted job's arrival).
+        t: f64,
+        /// Work fraction remaining.
+        work_left: f64,
+        /// Online dollars billed to the tenant so far.
+        billed: f64,
+        /// Tenant reusing the warm state.
+        tenant: u32,
+        /// Configuration index the reuse is priced against (the warm
+        /// deployment, or the last-resort configuration for a
+        /// shard-cache-only hit).
+        pick: usize,
+        /// True when a still-warm instance was handed over (boot and load
+        /// skipped entirely); false when only the cached shards were
+        /// reused (the next load pays the reload path, not the first
+        /// text-store ingest).
+        warm: bool,
+        /// Nominal setup seconds the reuse saves the admitted job.
+        saved_seconds: f64,
+    },
 }
 
 impl SimEvent {
@@ -236,6 +305,9 @@ impl SimEvent {
             SimEvent::Bill { .. } => EventKind::Bill,
             SimEvent::Degraded { .. } => EventKind::Degraded,
             SimEvent::Complete { .. } => EventKind::Complete,
+            SimEvent::Admit { .. } => EventKind::Admit,
+            SimEvent::Preempt { .. } => EventKind::Preempt,
+            SimEvent::ShareHit { .. } => EventKind::ShareHit,
         }
     }
 
@@ -250,7 +322,10 @@ impl SimEvent {
             | SimEvent::Checkpoint { t, .. }
             | SimEvent::Bill { t, .. }
             | SimEvent::Degraded { t, .. }
-            | SimEvent::Complete { t, .. } => *t,
+            | SimEvent::Complete { t, .. }
+            | SimEvent::Admit { t, .. }
+            | SimEvent::Preempt { t, .. }
+            | SimEvent::ShareHit { t, .. } => *t,
         }
     }
 
@@ -265,7 +340,10 @@ impl SimEvent {
             | SimEvent::Checkpoint { billed, .. }
             | SimEvent::Bill { billed, .. }
             | SimEvent::Degraded { billed, .. }
-            | SimEvent::Complete { billed, .. } => *billed,
+            | SimEvent::Complete { billed, .. }
+            | SimEvent::Admit { billed, .. }
+            | SimEvent::Preempt { billed, .. }
+            | SimEvent::ShareHit { billed, .. } => *billed,
         }
     }
 
@@ -280,7 +358,10 @@ impl SimEvent {
             | SimEvent::Checkpoint { work_left, .. }
             | SimEvent::Bill { work_left, .. }
             | SimEvent::Degraded { work_left, .. }
-            | SimEvent::Complete { work_left, .. } => *work_left,
+            | SimEvent::Complete { work_left, .. }
+            | SimEvent::Admit { work_left, .. }
+            | SimEvent::Preempt { work_left, .. }
+            | SimEvent::ShareHit { work_left, .. } => *work_left,
         }
     }
 
@@ -294,8 +375,21 @@ impl SimEvent {
             | SimEvent::Evict { pick, .. }
             | SimEvent::Checkpoint { pick, .. }
             | SimEvent::Bill { pick, .. }
-            | SimEvent::Degraded { pick, .. } => Some(*pick),
-            SimEvent::Complete { .. } => None,
+            | SimEvent::Degraded { pick, .. }
+            | SimEvent::Preempt { pick, .. }
+            | SimEvent::ShareHit { pick, .. } => Some(*pick),
+            SimEvent::Complete { .. } | SimEvent::Admit { .. } => None,
+        }
+    }
+
+    /// Tenant the event names in its payload (fleet lifecycle events
+    /// only; stream-level attribution travels separately, see
+    /// [`EventSink::record_tenant`]).
+    pub fn tenant(&self) -> Option<u32> {
+        match self {
+            SimEvent::Admit { tenant, .. } | SimEvent::ShareHit { tenant, .. } => Some(*tenant),
+            SimEvent::Preempt { victim, .. } => Some(*victim),
+            _ => None,
         }
     }
 }
@@ -307,6 +401,16 @@ impl SimEvent {
 pub trait EventSink {
     /// Records one event of run `run`.
     fn record(&mut self, run: u32, event: &SimEvent);
+
+    /// Records one event of run `run` attributed to `tenant` (fleet
+    /// streams tag every event with the tenant it bills to). The default
+    /// forwards to [`EventSink::record`], dropping the tag, so
+    /// single-job sinks keep working unchanged; tenant-aware sinks
+    /// override it.
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        let _ = tenant;
+        self.record(run, event);
+    }
 }
 
 /// Discards every event (the un-observed entry points use this).
@@ -337,6 +441,41 @@ impl EventSink for VecSink {
     }
 }
 
+/// Buffers tenant-tagged events in arrival order — the fleet analogue of
+/// [`VecSink`]. Plain [`EventSink::record`] calls are stored untagged.
+#[derive(Debug, Clone, Default)]
+pub struct TaggedVecSink {
+    /// The recorded `(run, tenant, event)` triples.
+    pub events: Vec<(u32, Option<u32>, SimEvent)>,
+}
+
+impl TaggedVecSink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replays the buffer into another sink, preserving tenant tags.
+    pub fn replay(&self, sink: &mut dyn EventSink) {
+        for (run, tenant, event) in &self.events {
+            match tenant {
+                Some(tn) => sink.record_tenant(*run, *tn, event),
+                None => sink.record(*run, event),
+            }
+        }
+    }
+}
+
+impl EventSink for TaggedVecSink {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        self.events.push((run, None, event.clone()));
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        self.events.push((run, Some(tenant), event.clone()));
+    }
+}
+
 /// Broadcasts every event to two sinks (e.g. a JSONL file and an
 /// in-memory aggregate).
 pub struct TeeSink<'a> {
@@ -350,6 +489,11 @@ impl EventSink for TeeSink<'_> {
     fn record(&mut self, run: u32, event: &SimEvent) {
         self.first.record(run, event);
         self.second.record(run, event);
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        self.first.record_tenant(run, tenant, event);
+        self.second.record_tenant(run, tenant, event);
     }
 }
 
@@ -423,6 +567,19 @@ pub struct EventRecord {
     pub evictions: Option<usize>,
     /// Complete: deployments acquired.
     pub deployments: Option<usize>,
+    /// Tenant the event is attributed to (fleet streams; also the
+    /// admitted/sharing tenant for Admit/ShareHit).
+    pub tenant: Option<u32>,
+    /// Admit: recurrence index of the admitted job.
+    pub seq: Option<usize>,
+    /// Admit: the job passed admission control.
+    pub accepted: Option<bool>,
+    /// Preempt: tenant whose deployment was sacrificed.
+    pub victim: Option<u32>,
+    /// ShareHit: a still-warm instance was handed over (not just shards).
+    pub warm: Option<bool>,
+    /// ShareHit: nominal setup seconds the reuse saves.
+    pub saved_seconds: Option<f64>,
 }
 
 impl EventRecord {
@@ -461,6 +618,12 @@ impl EventRecord {
             completed: None,
             evictions: None,
             deployments: None,
+            tenant: None,
+            seq: None,
+            accepted: None,
+            victim: None,
+            warm: None,
+            saved_seconds: None,
         }
     }
 
@@ -553,6 +716,46 @@ impl EventRecord {
                 r.evictions = Some(evictions);
                 r.deployments = Some(deployments);
             }
+            SimEvent::Admit {
+                tenant,
+                seq,
+                accepted,
+                deadline,
+                ..
+            } => {
+                r.tenant = Some(tenant);
+                r.seq = Some(seq);
+                r.accepted = Some(accepted);
+                r.deadline = Some(deadline);
+            }
+            SimEvent::Preempt { victim, .. } => {
+                r.victim = Some(victim);
+            }
+            SimEvent::ShareHit {
+                tenant,
+                warm,
+                saved_seconds,
+                ..
+            } => {
+                r.tenant = Some(tenant);
+                r.warm = Some(warm);
+                r.saved_seconds = Some(saved_seconds);
+            }
+        }
+        r
+    }
+
+    /// Flattens a typed event together with its stream-level tenant
+    /// attribution (the [`EventSink::record_tenant`] tag). A tenant
+    /// already named by the event payload wins; fleet streams tag
+    /// consistently so the two always agree.
+    pub fn from_event_tagged(run: u32, tenant: Option<u32>, event: &SimEvent) -> Self {
+        let mut r = Self::from_event(run, event);
+        // The stream tag only fills in for events whose payload names no
+        // tenant (a `Preempt` carries its tenant as `victim`, not in the
+        // record's `tenant` field).
+        if event.tenant().is_none() {
+            r.tenant = tenant;
         }
         r
     }
@@ -647,8 +850,44 @@ impl EventRecord {
                 evictions: need(self.evictions, "evictions", k)?,
                 deployments: need(self.deployments, "deployments", k)?,
             },
+            EventKind::Admit => SimEvent::Admit {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                tenant: need(self.tenant, "tenant", k)?,
+                seq: need(self.seq, "seq", k)?,
+                accepted: need(self.accepted, "accepted", k)?,
+                deadline: need(self.deadline, "deadline", k)?,
+            },
+            EventKind::Preempt => SimEvent::Preempt {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                victim: need(self.victim, "victim", k)?,
+                pick: need(self.pick, "pick", k)?,
+            },
+            EventKind::ShareHit => SimEvent::ShareHit {
+                t: self.t,
+                work_left: self.work_left,
+                billed: self.billed,
+                tenant: need(self.tenant, "tenant", k)?,
+                pick: need(self.pick, "pick", k)?,
+                warm: need(self.warm, "warm", k)?,
+                saved_seconds: need(self.saved_seconds, "saved_seconds", k)?,
+            },
         };
         Ok((self.run, event))
+    }
+
+    /// Rebuilds the typed event together with its stream-level tenant
+    /// tag (see [`EventRecord::from_event_tagged`]).
+    pub fn into_event_tagged(self) -> Result<(u32, Option<u32>, SimEvent)> {
+        let tenant = self.tenant;
+        let (run, event) = self.into_event()?;
+        // Payload tenant wins (it is authoritative for `Preempt`, whose
+        // record keeps it under `victim`).
+        let tenant = event.tenant().or(tenant);
+        Ok((run, tenant, event))
     }
 }
 
@@ -690,19 +929,30 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write> EventSink for JsonlSink<W> {
-    fn record(&mut self, run: u32, event: &SimEvent) {
+impl<W: Write> JsonlSink<W> {
+    fn write_record(&mut self, record: &EventRecord) {
         if self.failed.is_some() {
             return;
         }
-        let record = EventRecord::from_event(run, event);
-        match serde_json::to_string(&record) {
+        match serde_json::to_string(record) {
             Ok(line) => match writeln!(self.out, "{line}") {
                 Ok(()) => self.lines += 1,
                 Err(e) => self.failed = Some(e.to_string()),
             },
             Err(e) => self.failed = Some(e.to_string()),
         }
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        let record = EventRecord::from_event(run, event);
+        self.write_record(&record);
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        let record = EventRecord::from_event_tagged(run, Some(tenant), event);
+        self.write_record(&record);
     }
 }
 
@@ -718,6 +968,23 @@ pub fn parse_jsonl<R: BufRead>(reader: R) -> Result<Vec<(u32, SimEvent)>> {
         let record: EventRecord = serde_json::from_str(line)
             .map_err(|e| SimError::InvalidParameter(format!("event log parse: {e}")))?;
         out.push(record.into_event()?);
+    }
+    Ok(out)
+}
+
+/// Parses a JSONL event log back into `(run, tenant, event)` triples,
+/// preserving the tenant attribution fleet streams write.
+pub fn parse_jsonl_tagged<R: BufRead>(reader: R) -> Result<Vec<(u32, Option<u32>, SimEvent)>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| SimError::InvalidParameter(format!("event log read: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record: EventRecord = serde_json::from_str(line)
+            .map_err(|e| SimError::InvalidParameter(format!("event log parse: {e}")))?;
+        out.push(record.into_event_tagged()?);
     }
     Ok(out)
 }
@@ -770,6 +1037,67 @@ pub struct EventAggregate {
     /// Histogram of slack consumption per run: `finish/deadline` in
     /// tenths; bucket 10 is exactly-missed-to-110%, bucket 11 the tail.
     pub slack_hist: [u64; SLACK_BUCKETS],
+    /// Fleet: jobs accepted by admission control.
+    pub admits: u64,
+    /// Fleet: jobs rejected by admission control.
+    pub rejects: u64,
+    /// Fleet: deployments sacrificed to another tenant.
+    pub preemptions: u64,
+    /// Fleet: warm-state reuses across jobs of a tenant.
+    pub share_hits: u64,
+    /// Fleet: per-tenant cost/SLO rollups, populated only by
+    /// tenant-tagged streams (see [`EventSink::record_tenant`]).
+    pub tenants: BTreeMap<u32, TenantAggregate>,
+}
+
+/// Per-tenant cost and deadline-SLO rollup within an [`EventAggregate`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantAggregate {
+    /// Jobs the tenant completed (one [`SimEvent::Complete`] each).
+    pub runs: u64,
+    /// Jobs that missed their deadline.
+    pub missed_deadlines: u64,
+    /// Jobs cut short by the trace horizon.
+    pub incomplete_runs: u64,
+    /// Dollars billed to the tenant across [`SimEvent::Bill`] events
+    /// (including warm-hold idle bills).
+    pub billed_dollars: f64,
+    /// Total dollars across the tenant's [`SimEvent::Complete`] events.
+    pub total_dollars: f64,
+    /// Evictions the tenant suffered (market and preemption).
+    pub evictions: u64,
+    /// Jobs accepted at admission.
+    pub admits: u64,
+    /// Jobs rejected at admission.
+    pub rejects: u64,
+    /// Times the tenant's deployment was sacrificed.
+    pub preemptions: u64,
+    /// Warm-state reuses the tenant enjoyed.
+    pub share_hits: u64,
+}
+
+impl TenantAggregate {
+    /// Deadline-miss rate over the tenant's completed jobs, in percent.
+    pub fn missed_pct(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.missed_deadlines as f64 / self.runs as f64 * 100.0
+        }
+    }
+
+    fn merge(&mut self, other: &TenantAggregate) {
+        self.runs += other.runs;
+        self.missed_deadlines += other.missed_deadlines;
+        self.incomplete_runs += other.incomplete_runs;
+        self.billed_dollars += other.billed_dollars;
+        self.total_dollars += other.total_dollars;
+        self.evictions += other.evictions;
+        self.admits += other.admits;
+        self.rejects += other.rejects;
+        self.preemptions += other.preemptions;
+        self.share_hits += other.share_hits;
+    }
 }
 
 impl Default for EventAggregate {
@@ -794,6 +1122,11 @@ impl Default for EventAggregate {
             total_dollars: 0.0,
             eviction_hist: vec![0; 9],
             slack_hist: [0; SLACK_BUCKETS],
+            admits: 0,
+            rejects: 0,
+            preemptions: 0,
+            share_hits: 0,
+            tenants: BTreeMap::new(),
         }
     }
 }
@@ -810,6 +1143,19 @@ impl EventAggregate {
         let mut agg = Self::new();
         for (run, e) in events {
             agg.record(*run, e);
+        }
+        agg
+    }
+
+    /// Folds a buffered tenant-tagged stream (the fleet replay path;
+    /// bit-identical to streaming through [`EventSink::record_tenant`]).
+    pub fn from_tagged_events(events: &[(u32, Option<u32>, SimEvent)]) -> Self {
+        let mut agg = Self::new();
+        for (run, tenant, e) in events {
+            match tenant {
+                Some(tn) => agg.record_tenant(*run, *tn, e),
+                None => agg.record(*run, e),
+            }
         }
         agg
     }
@@ -842,6 +1188,13 @@ impl EventAggregate {
         }
         for (a, b) in self.slack_hist.iter_mut().zip(&other.slack_hist) {
             *a += b;
+        }
+        self.admits += other.admits;
+        self.rejects += other.rejects;
+        self.preemptions += other.preemptions;
+        self.share_hits += other.share_hits;
+        for (tenant, stats) in &other.tenants {
+            self.tenants.entry(*tenant).or_default().merge(stats);
         }
     }
 
@@ -922,6 +1275,49 @@ impl EventSink for EventAggregate {
                 };
                 self.slack_hist[slot] += 1;
             }
+            SimEvent::Admit { accepted, .. } => {
+                if accepted {
+                    self.admits += 1;
+                } else {
+                    self.rejects += 1;
+                }
+            }
+            SimEvent::Preempt { .. } => self.preemptions += 1,
+            SimEvent::ShareHit { .. } => self.share_hits += 1,
+        }
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        self.record(run, event);
+        let t = self.tenants.entry(tenant).or_default();
+        match *event {
+            SimEvent::Bill { cost, .. } => t.billed_dollars += cost,
+            SimEvent::Evict { .. } => t.evictions += 1,
+            SimEvent::Complete {
+                cost,
+                missed_deadline,
+                completed,
+                ..
+            } => {
+                t.runs += 1;
+                if missed_deadline {
+                    t.missed_deadlines += 1;
+                }
+                if !completed {
+                    t.incomplete_runs += 1;
+                }
+                t.total_dollars += cost;
+            }
+            SimEvent::Admit { accepted, .. } => {
+                if accepted {
+                    t.admits += 1;
+                } else {
+                    t.rejects += 1;
+                }
+            }
+            SimEvent::Preempt { .. } => t.preemptions += 1,
+            SimEvent::ShareHit { .. } => t.share_hits += 1,
+            _ => {}
         }
     }
 }
@@ -1039,6 +1435,52 @@ mod tests {
                     deployments: 2,
                 },
             ),
+            (
+                1,
+                SimEvent::Admit {
+                    t: 1600.0,
+                    work_left: 1.0,
+                    billed: 0.0,
+                    tenant: 7,
+                    seq: 0,
+                    accepted: true,
+                    deadline: 7200.0,
+                },
+            ),
+            (
+                1,
+                SimEvent::Admit {
+                    t: 1600.0,
+                    work_left: 1.0,
+                    billed: 0.0,
+                    tenant: 8,
+                    seq: 0,
+                    accepted: false,
+                    deadline: 10.0,
+                },
+            ),
+            (
+                1,
+                SimEvent::ShareHit {
+                    t: 1600.0,
+                    work_left: 1.0,
+                    billed: 0.0,
+                    tenant: 7,
+                    pick: 3,
+                    warm: true,
+                    saved_seconds: 220.0,
+                },
+            ),
+            (
+                1,
+                SimEvent::Preempt {
+                    t: 1700.0,
+                    work_left: 0.4,
+                    billed: 0.8,
+                    victim: 7,
+                    pick: 3,
+                },
+            ),
         ]
     }
 
@@ -1092,6 +1534,79 @@ mod tests {
         // finish/deadline ≈ 0.208 → bucket 2.
         assert_eq!(agg.slack_hist[2], 1);
         assert!((agg.mean_evictions() - 1.0).abs() < 1e-12);
+        assert_eq!(agg.admits, 1);
+        assert_eq!(agg.rejects, 1);
+        assert_eq!(agg.preemptions, 1);
+        assert_eq!(agg.share_hits, 1);
+        // Untagged replay leaves the per-tenant rollups empty.
+        assert!(agg.tenants.is_empty());
+    }
+
+    #[test]
+    fn tagged_jsonl_round_trips_tenant_field() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = sample_events();
+        for (i, (run, e)) in events.iter().enumerate() {
+            // Alternate tagged/untagged records to cover both paths.
+            if i % 2 == 0 {
+                sink.record_tenant(*run, 42, e);
+            } else {
+                sink.record(*run, e);
+            }
+        }
+        let buf = sink.finish().expect("finish");
+        let parsed = parse_jsonl_tagged(&buf[..]).expect("parse");
+        assert_eq!(parsed.len(), events.len());
+        for (i, ((run, tenant, e), (run0, e0))) in parsed.iter().zip(&events).enumerate() {
+            assert_eq!(run, run0);
+            assert_eq!(e, e0);
+            // Fleet lifecycle events name a tenant in their payload; the
+            // payload tenant wins over the stream tag.
+            let expect = if let Some(tn) = e0.tenant() {
+                Some(tn)
+            } else if i % 2 == 0 {
+                Some(42)
+            } else {
+                None
+            };
+            assert_eq!(*tenant, expect);
+        }
+        // The untagged parser still accepts the same log.
+        let plain = parse_jsonl(&buf[..]).expect("parse untagged");
+        assert_eq!(plain, events);
+    }
+
+    #[test]
+    fn tenant_rollups_follow_tags() {
+        let tagged: Vec<(u32, Option<u32>, SimEvent)> = sample_events()
+            .into_iter()
+            .map(|(run, e)| {
+                let tenant = e.tenant().or(Some(7));
+                (run, tenant, e)
+            })
+            .collect();
+        let agg = EventAggregate::from_tagged_events(&tagged);
+        let t7 = agg.tenants.get(&7).expect("tenant 7");
+        assert_eq!(t7.runs, 1);
+        assert_eq!(t7.evictions, 1);
+        assert_eq!(t7.admits, 1);
+        assert_eq!(t7.preemptions, 1);
+        assert_eq!(t7.share_hits, 1);
+        assert!((t7.billed_dollars - 0.25).abs() < 1e-12);
+        assert!((t7.total_dollars - 2.5).abs() < 1e-12);
+        assert_eq!(t7.missed_pct(), 0.0);
+        let t8 = agg.tenants.get(&8).expect("tenant 8");
+        assert_eq!(t8.rejects, 1);
+        assert_eq!(t8.runs, 0);
+        // Online tagged aggregation matches the replay fold.
+        let mut online = EventAggregate::new();
+        for (run, tenant, e) in &tagged {
+            match tenant {
+                Some(tn) => online.record_tenant(*run, *tn, e),
+                None => online.record(*run, e),
+            }
+        }
+        assert_eq!(online, agg);
     }
 
     #[test]
@@ -1112,5 +1627,4 @@ mod tests {
         merged.merge(&EventAggregate::from_events(b));
         assert_eq!(merged, EventAggregate::from_events(&events));
     }
-
 }

@@ -1,0 +1,1151 @@
+//! Multi-tenant spot-fleet scheduling over the replayed market.
+//!
+//! The single-job runner provisions one deadline job at a time; the
+//! ROADMAP north-star is a service where many recurring tenant jobs
+//! compete for one shared pool of transient instances. This module
+//! rehosts the runner's decision loop (now [`crate::runner::JobActor`],
+//! one legacy loop iteration per `step`) under a discrete-event fleet
+//! scheduler that
+//!
+//! - **admits** a stream of tenant jobs (arrival time, deadline, graph,
+//!   recurrence), rejecting at admission any job whose minimum makespan
+//!   already exceeds its deadline (never-satisfiable work is refused,
+//!   not starved);
+//! - **shares** warm state across jobs of the same tenant: once a
+//!   tenant's clustered HGS2 shards are in the datastore, later jobs pay
+//!   the mapped reload instead of the text ingest
+//!   ([`crate::job::build_configs_cached`] prices the gap), and a
+//!   still-live deployment left over from a completed job is handed to
+//!   the tenant's next job when the idle gap costs less than a fresh
+//!   boot + reload (the fleet bills the gap to the tenant);
+//! - **arbitrates** capacity: an optional fleet-wide cap on concurrently
+//!   held transient workers, enforced through the actor's
+//!   [`crate::runner::CapacityControl`] seam against a *simulated-time*
+//!   tenure ledger (so machines are never double-booked at any sim
+//!   instant, even across actor-clock skew). A denied acquire waits in
+//!   bounded steps exactly like a price spike, and the scheduler picks a
+//!   victim deployment to sacrifice per the configured
+//!   [`SacrificePolicy`].
+//!
+//! **Determinism.** The scheduler always processes the earliest pending
+//! event: the next arrival, or the active actor with the smallest clock
+//! (ties broken by `(tenant, seq)`, arrivals before steps). Actors only
+//! move their clocks forward at step boundaries and bill strictly behind
+//! their clocks, so interleaving many actors never rolls one back, and a
+//! fleet run is a pure function of `(setup, workload, strategy, config)`.
+//! With sharing and the cap disabled, a fleet run *is* the independent
+//! composition of legacy [`crate::runner::run_job`] runs, event for
+//! event — the golden-trace tests pin this.
+
+use crate::events::{EventSink, NullSink, SimEvent};
+use crate::job::{build_configs_cached, JobDescription, DEFAULT_BOOT_SECONDS};
+use crate::runner::{CapacityControl, Held, JobActor, JobOutcome, SimulationSetup};
+use crate::{Result, SimError};
+use hourglass_core::Strategy;
+use hourglass_graph::datasets::Dataset;
+use std::collections::BTreeMap;
+
+/// Which tenant's deployment the fleet sacrifices when a capacity-denied
+/// acquire needs machines freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SacrificePolicy {
+    /// Sacrifice the deployment with the least expected remaining cost
+    /// (work left × execution time × hourly rate): the cheapest
+    /// deployment to redo.
+    EcWeighted,
+    /// Sacrifice the deployment whose job has the most deadline slack
+    /// left: it can best absorb a re-setup.
+    DeadlineSlack,
+    /// Sacrifice the highest tenant id: lower ids are strictly more
+    /// important.
+    StrictPriority,
+}
+
+impl SacrificePolicy {
+    /// Every policy, in CLI order.
+    pub const ALL: [SacrificePolicy; 3] = [
+        SacrificePolicy::EcWeighted,
+        SacrificePolicy::DeadlineSlack,
+        SacrificePolicy::StrictPriority,
+    ];
+
+    /// The policy's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SacrificePolicy::EcWeighted => "ec-weighted",
+            SacrificePolicy::DeadlineSlack => "deadline-slack",
+            SacrificePolicy::StrictPriority => "strict-priority",
+        }
+    }
+
+    /// Parses a CLI name back into a policy.
+    pub fn parse(s: &str) -> Option<SacrificePolicy> {
+        SacrificePolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// Fleet-level scheduling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Victim-selection policy for capacity-denied acquires.
+    pub policy: SacrificePolicy,
+    /// Fleet-wide cap on concurrently held transient workers
+    /// (`None` = unbounded, the legacy behaviour).
+    pub capacity: Option<usize>,
+    /// Share warm instances and cached shards across jobs of a tenant.
+    /// Disabled, a fleet run is the exact independent composition of
+    /// single-job runs.
+    pub share: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            policy: SacrificePolicy::EcWeighted,
+            capacity: None,
+            share: true,
+        }
+    }
+}
+
+/// One job arrival in a fleet workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetJob {
+    /// The tenant submitting the job.
+    pub tenant: u32,
+    /// Absolute trace time the job arrives (and may start).
+    pub arrival: f64,
+    /// Index into [`FleetWorkload::catalog`].
+    pub job: usize,
+}
+
+/// A stream of tenant jobs over a shared job-shape catalog.
+#[derive(Debug, Clone)]
+pub struct FleetWorkload {
+    /// The distinct job shapes tenants submit (deadline is relative to
+    /// each arrival).
+    pub catalog: Vec<JobDescription>,
+    /// Every arrival; order is irrelevant (the scheduler sorts by
+    /// `(arrival, tenant, submission index)`).
+    pub arrivals: Vec<FleetJob>,
+}
+
+impl FleetWorkload {
+    /// A canned recurring workload: `tenants` tenants, each submitting
+    /// `recurrences` PageRank-scale jobs over cached HGS2 shards, with
+    /// arrivals staggered across tenants and recurring at three deadline
+    /// windows. This is the workload the `fig_fleet` binary prices
+    /// sharing against independent provisioning on.
+    pub fn canned_recurring(tenants: usize, recurrences: usize) -> Result<FleetWorkload> {
+        if tenants == 0 || recurrences == 0 {
+            return Err(SimError::InvalidParameter(
+                "need at least one tenant and one recurrence".into(),
+            ));
+        }
+        let configs = build_configs_cached(1200.0, Dataset::Twitter, 0.25)?;
+        let mut job = JobDescription {
+            name: "FleetPageRank".into(),
+            deadline: 0.0,
+            t_boot: DEFAULT_BOOT_SECONDS,
+            configs,
+            offline_cost: 0.0,
+        };
+        job.deadline = job.min_makespan()? + 0.6 * 1200.0;
+        let period = 3.0 * job.deadline;
+        let stagger = 997.0;
+        let mut arrivals = Vec::with_capacity(tenants * recurrences);
+        for t in 0..tenants {
+            for i in 0..recurrences {
+                arrivals.push(FleetJob {
+                    tenant: t as u32,
+                    arrival: t as f64 * stagger + i as f64 * period,
+                    job: 0,
+                });
+            }
+        }
+        Ok(FleetWorkload {
+            catalog: vec![job],
+            arrivals,
+        })
+    }
+}
+
+/// Per-tenant rollup of a fleet run.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// The tenant.
+    pub tenant: u32,
+    /// Outcomes of the tenant's admitted jobs, in completion order.
+    pub jobs: Vec<JobOutcome>,
+    /// Jobs refused at admission.
+    pub rejected: usize,
+    /// Online dollars billed to this tenant, folded from `Bill` events
+    /// in fleet processing order.
+    pub billed: f64,
+    /// Total dollars (online + offline) across the tenant's jobs.
+    pub total_cost: f64,
+    /// Jobs that missed their deadline.
+    pub missed: usize,
+    /// Warm-state reuses (cached shards or a handed-over instance).
+    pub share_hits: usize,
+    /// Times one of this tenant's deployments was sacrificed.
+    pub preemptions: usize,
+}
+
+impl TenantOutcome {
+    fn new(tenant: u32) -> TenantOutcome {
+        TenantOutcome {
+            tenant,
+            jobs: Vec::new(),
+            rejected: 0,
+            billed: 0.0,
+            total_cost: 0.0,
+            missed: 0,
+            share_hits: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Fraction of admitted jobs that missed their deadline, in percent.
+    pub fn missed_pct(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            100.0 * self.missed as f64 / self.jobs.len() as f64
+        }
+    }
+}
+
+/// Outcome of a whole fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Per-tenant rollups, in tenant order.
+    pub tenants: Vec<TenantOutcome>,
+    /// The fleet's online ledger: per-tenant billed dollars folded in
+    /// tenant order. Bit-exactly the sum of [`TenantOutcome::billed`] by
+    /// construction — the invariant the fleet proptests pin.
+    pub ledger_total: f64,
+    /// Total dollars (online + offline) across every job.
+    pub total_cost: f64,
+    /// Admitted jobs completed or cut off at the horizon.
+    pub runs: usize,
+    /// Jobs that missed their deadline.
+    pub missed: usize,
+    /// Jobs refused at admission.
+    pub rejected: usize,
+    /// Deployments sacrificed by the scheduler.
+    pub preemptions: usize,
+    /// Warm-state reuses granted at admission.
+    pub share_hits: usize,
+}
+
+impl FleetOutcome {
+    /// Fraction of admitted jobs that missed their deadline, in percent.
+    pub fn missed_pct(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            100.0 * self.missed as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Re-tags an actor's untagged events with its tenant id, so every event
+/// reaches the caller's sink through `record_tenant`.
+struct TagTenant<'s> {
+    tenant: u32,
+    inner: &'s mut dyn EventSink,
+}
+
+impl EventSink for TagTenant<'_> {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        self.inner.record_tenant(run, self.tenant, event);
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        self.inner.record_tenant(run, tenant, event);
+    }
+}
+
+/// Accumulates per-tenant billed dollars (in processing order) on the way
+/// to the caller's sink.
+struct FleetTap<'s> {
+    inner: &'s mut dyn EventSink,
+    billed: BTreeMap<u32, f64>,
+}
+
+impl EventSink for FleetTap<'_> {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        self.inner.record(run, event);
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        if let SimEvent::Bill { cost, .. } = *event {
+            *self.billed.entry(tenant).or_insert(0.0) += cost;
+        }
+        self.inner.record_tenant(run, tenant, event);
+    }
+}
+
+/// The fleet-wide transient-capacity ledger an actor's acquire consults.
+///
+/// Tenures are accounted in *simulated* time, not scheduler-boundary
+/// state: one actor's step can span an interval (acquire at `t`, evict at
+/// `t + L`) that another actor — whose clock lags behind — later acquires
+/// inside. Counting only what is held at step boundaries would
+/// double-book machines across such skew, so the ledger keeps every
+/// tenure's simulated `[start, end)` interval, reconstructed from the
+/// actor's own `Acquire`/`Evict` events (see [`CapObserver`]). A request
+/// at time `t` counts every tenure still alive at `t`: the open ones plus
+/// the closed ones whose simulated end lies beyond `t`. Granting under
+/// that count keeps the concurrent-transient-workers total at or under
+/// the cap at *every* sim instant — the invariant the fleet proptests
+/// sweep — because any tenure overlapping an instant is, at the moment
+/// the last of them was granted, either still open or closed with an end
+/// past the grant time, and therefore counted.
+struct FleetCapacity {
+    cap: Option<usize>,
+    denied: bool,
+    /// Open tenures: transient workers → tenure count.
+    open: BTreeMap<usize, usize>,
+    /// Closed tenures: (simulated end, transient workers).
+    closed: Vec<(f64, usize)>,
+}
+
+impl FleetCapacity {
+    fn new(cap: Option<usize>) -> FleetCapacity {
+        FleetCapacity {
+            cap,
+            denied: false,
+            open: BTreeMap::new(),
+            closed: Vec::new(),
+        }
+    }
+
+    /// Uncapped fleets never track tenures (the legacy fast path).
+    fn enabled(&self) -> bool {
+        self.cap.is_some()
+    }
+
+    fn open_tenure(&mut self, workers: usize) {
+        if self.enabled() {
+            *self.open.entry(workers).or_insert(0) += 1;
+        }
+    }
+
+    fn close_tenure(&mut self, end: f64, workers: usize) {
+        if !self.enabled() {
+            return;
+        }
+        match self.open.get_mut(&workers) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                self.closed.push((end, workers));
+            }
+            _ => debug_assert!(false, "closing a tenure that was never opened"),
+        }
+    }
+
+    fn apply(&mut self, ops: Vec<CapOp>) {
+        for op in ops {
+            match op {
+                CapOp::Open(w) => self.open_tenure(w),
+                CapOp::Close(t, w) => self.close_tenure(t, w),
+            }
+        }
+    }
+
+    /// Transient workers committed at sim instant `t`.
+    fn alive_at(&self, t: f64) -> usize {
+        self.open.iter().map(|(w, c)| w * c).sum::<usize>()
+            + self
+                .closed
+                .iter()
+                .filter(|(end, _)| *end > t)
+                .map(|(_, w)| w)
+                .sum::<usize>()
+    }
+}
+
+impl CapacityControl for FleetCapacity {
+    fn request_transient(&mut self, t: f64, workers: usize, releasing: usize) -> Option<f64> {
+        let cap = self.cap?;
+        // `releasing` workers belong to the requester's own open tenure,
+        // which ends at `t` if this request is granted.
+        let others = self.alive_at(t).saturating_sub(releasing);
+        if others + workers <= cap {
+            None
+        } else {
+            // Denied: wait a bounded step, like a price spike. The
+            // scheduler sacrifices a victim right after this step, so the
+            // retry usually succeeds; on-demand picks never consult, which
+            // keeps an undersized cap from livelocking deadline-aware
+            // strategies (they bail to the last resort as slack burns).
+            self.denied = true;
+            Some(t + 60.0)
+        }
+    }
+}
+
+/// One deployment-tenure transition harvested from an actor's events.
+enum CapOp {
+    /// A transient deployment of this many workers came up.
+    Open(usize),
+    /// A transient deployment of this many workers went away at the given
+    /// simulated time.
+    Close(f64, usize),
+}
+
+/// Sink wrapper mirroring an actor's transient deployment transitions
+/// into capacity-ledger ops while forwarding every event unchanged. The
+/// scheduler drains the ops into [`FleetCapacity`] right after the step —
+/// no other actor consults the ledger in between, so the ledger is always
+/// current at consult time. With `configs` unset (uncapped fleet) it is a
+/// pure pass-through.
+struct CapObserver<'s, 'c> {
+    inner: &'s mut dyn EventSink,
+    configs: Option<&'c [crate::job::ConfigPerf]>,
+    ops: Vec<CapOp>,
+}
+
+impl CapObserver<'_, '_> {
+    fn observe(&mut self, event: &SimEvent) {
+        let Some(configs) = self.configs else { return };
+        let workers = |idx: usize| {
+            let c = &configs[idx].config;
+            c.is_transient().then_some(c.num_workers as usize)
+        };
+        match *event {
+            // A switch releases the old deployment at the acquire instant.
+            SimEvent::Acquire {
+                t, pick, released, ..
+            } => {
+                if let Some(w) = released.and_then(workers) {
+                    self.ops.push(CapOp::Close(t, w));
+                }
+                if let Some(w) = workers(pick) {
+                    self.ops.push(CapOp::Open(w));
+                }
+            }
+            SimEvent::Evict { t, pick, .. } => {
+                if let Some(w) = workers(pick) {
+                    self.ops.push(CapOp::Close(t, w));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl EventSink for CapObserver<'_, '_> {
+    fn record(&mut self, run: u32, event: &SimEvent) {
+        self.observe(event);
+        self.inner.record(run, event);
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        self.observe(event);
+        self.inner.record_tenant(run, tenant, event);
+    }
+}
+
+/// Warm state a tenant's completed jobs leave behind.
+#[derive(Default)]
+struct WarmState {
+    /// Clustered shards persist in the datastore: later jobs reload
+    /// instead of re-ingesting.
+    shards_cached: bool,
+    /// A still-live deployment handed over from the last completed job:
+    /// `(deployment, completion time, catalog index)`.
+    handoff: Option<(Held, f64, usize)>,
+}
+
+/// One admitted, unfinished job.
+struct Active<'a> {
+    tenant: u32,
+    seq: usize,
+    job_idx: usize,
+    deadline_abs: f64,
+    actor: JobActor<'a>,
+}
+
+fn actor_key(a: &Active<'_>) -> (f64, u32, usize) {
+    (a.actor.now(), a.tenant, a.seq)
+}
+
+fn cmp_actor(a: &Active<'_>, b: &Active<'_>) -> std::cmp::Ordering {
+    let (ta, xa, sa) = actor_key(a);
+    let (tb, xb, sb) = actor_key(b);
+    ta.partial_cmp(&tb)
+        .expect("finite clocks")
+        .then(xa.cmp(&xb))
+        .then(sa.cmp(&sb))
+}
+
+/// Picks the victim deployment for a capacity-denied acquire: an active
+/// actor other than `requester` holding a transient deployment, chosen by
+/// `policy` with deterministic tie-breaks. `None` when nobody else holds
+/// transient machines.
+fn select_victim(
+    active: &[Active<'_>],
+    requester: usize,
+    policy: SacrificePolicy,
+    workload: &FleetWorkload,
+    lrc_of: &[usize],
+) -> Option<usize> {
+    let mut best: Option<(f64, u32, usize, usize)> = None;
+    for (i, a) in active.iter().enumerate() {
+        if i == requester {
+            continue;
+        }
+        let Some(h) = a.actor.held() else { continue };
+        let job = &workload.catalog[a.job_idx];
+        let perf = &job.configs[h.idx];
+        if !perf.config.is_transient() {
+            continue;
+        }
+        // Smaller key = sacrificed first; ties break toward the higher
+        // (tenant, seq), so the latest job of the least-important tenant
+        // falls first under every policy.
+        let key = match policy {
+            SacrificePolicy::EcWeighted => {
+                a.actor.work_left() * perf.t_exec * perf.config.on_demand_rate() / 3600.0
+            }
+            SacrificePolicy::DeadlineSlack => {
+                let lrc = &job.configs[lrc_of[a.job_idx]];
+                -(a.deadline_abs - a.actor.now() - a.actor.work_left() * lrc.t_exec)
+            }
+            SacrificePolicy::StrictPriority => -(a.tenant as f64),
+        };
+        let cand = (key, a.tenant, a.seq, i);
+        best = Some(match best {
+            None => cand,
+            Some(b) => {
+                let better = cand.0 < b.0 || (cand.0 == b.0 && (cand.1, cand.2) > (b.1, b.2));
+                if better {
+                    cand
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.map(|(_, _, _, i)| i)
+}
+
+/// Runs a fleet workload to completion, discarding events.
+pub fn run_fleet(
+    setup: &SimulationSetup<'_>,
+    workload: &FleetWorkload,
+    strategy: &dyn Strategy,
+    config: &FleetConfig,
+) -> Result<FleetOutcome> {
+    run_fleet_observed(setup, workload, strategy, config, 0, &mut NullSink)
+}
+
+/// [`run_fleet`] with every event reported to `sink` through
+/// `record_tenant`, stamped with run index `run` (fleet sweeps use it to
+/// keep per-seed fleets apart) and the emitting job's tenant id.
+pub fn run_fleet_observed(
+    setup: &SimulationSetup<'_>,
+    workload: &FleetWorkload,
+    strategy: &dyn Strategy,
+    config: &FleetConfig,
+    run: u32,
+    sink: &mut dyn EventSink,
+) -> Result<FleetOutcome> {
+    for a in &workload.arrivals {
+        if a.job >= workload.catalog.len() {
+            return Err(SimError::InvalidParameter(format!(
+                "arrival references catalog entry {} of {}",
+                a.job,
+                workload.catalog.len()
+            )));
+        }
+        if !a.arrival.is_finite() || a.arrival < 0.0 {
+            return Err(SimError::InvalidParameter(format!(
+                "arrival time {} invalid",
+                a.arrival
+            )));
+        }
+    }
+    let horizon = setup.market.horizon();
+    // Admission order: (arrival, tenant, submission index). Each
+    // tenant's jobs get consecutive sequence numbers in this order.
+    let mut order: Vec<usize> = (0..workload.arrivals.len()).collect();
+    order.sort_by(|&x, &y| {
+        let (a, b) = (&workload.arrivals[x], &workload.arrivals[y]);
+        a.arrival
+            .partial_cmp(&b.arrival)
+            .expect("finite arrivals")
+            .then(a.tenant.cmp(&b.tenant))
+            .then(x.cmp(&y))
+    });
+    let mut seq_counter: BTreeMap<u32, usize> = BTreeMap::new();
+    struct Arrival {
+        tenant: u32,
+        seq: usize,
+        t: f64,
+        job_idx: usize,
+    }
+    let queue: Vec<Arrival> = order
+        .into_iter()
+        .map(|i| {
+            let a = &workload.arrivals[i];
+            let seq = seq_counter.entry(a.tenant).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            Arrival {
+                tenant: a.tenant,
+                seq: s,
+                t: a.arrival,
+                job_idx: a.job,
+            }
+        })
+        .collect();
+    let mut lrc_of = Vec::with_capacity(workload.catalog.len());
+    let mut makespan_of = Vec::with_capacity(workload.catalog.len());
+    for job in &workload.catalog {
+        lrc_of.push(job.lrc()?);
+        makespan_of.push(job.min_makespan()?);
+    }
+
+    let mut tap = FleetTap {
+        inner: sink,
+        billed: BTreeMap::new(),
+    };
+    let mut warm: BTreeMap<u32, WarmState> = BTreeMap::new();
+    let mut tenants: BTreeMap<u32, TenantOutcome> = BTreeMap::new();
+    let mut active: Vec<Active<'_>> = Vec::new();
+    let mut cap = FleetCapacity::new(config.capacity);
+    let mut next = 0usize;
+    let mut preemptions = 0usize;
+    let mut share_hits = 0usize;
+
+    loop {
+        let min_idx = (0..active.len()).min_by(|&x, &y| cmp_actor(&active[x], &active[y]));
+        let admit_now = match (queue.get(next), min_idx) {
+            (Some(q), Some(i)) => q.t <= active[i].actor.now(),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if admit_now {
+            let q = &queue[next];
+            next += 1;
+            let tout = tenants
+                .entry(q.tenant)
+                .or_insert_with(|| TenantOutcome::new(q.tenant));
+            let job = &workload.catalog[q.job_idx];
+            let accepted = q.t < horizon && makespan_of[q.job_idx] <= job.deadline + 1e-9;
+            let mut tag = TagTenant {
+                tenant: q.tenant,
+                inner: &mut tap,
+            };
+            tag.record(
+                run,
+                &SimEvent::Admit {
+                    t: q.t,
+                    work_left: 1.0,
+                    billed: 0.0,
+                    tenant: q.tenant,
+                    seq: q.seq,
+                    accepted,
+                    deadline: job.deadline,
+                },
+            );
+            if !accepted {
+                tout.rejected += 1;
+                continue;
+            }
+            // Warm-state reuse: a handed-over instance (when the idle gap
+            // undercuts a fresh boot + reload and the shape matches), else
+            // the shard cache alone.
+            let mut warm_held: Option<Held> = None;
+            let mut handoff_since: Option<f64> = None;
+            let mut cached = false;
+            if config.share {
+                let ws = warm.entry(q.tenant).or_default();
+                cached = ws.shards_cached;
+                if let Some((held, since, idx)) = ws.handoff.take() {
+                    let keep = job.t_boot + job.configs[held.idx].t_load_reload;
+                    // Adopt only when the idle gap costs less *in dollars*
+                    // than the fresh setup it replaces, priced on the same
+                    // config's trace. A time-gap rule is not enough: the
+                    // gap bills at whatever the market did while idling,
+                    // while a fresh acquire buys the setup window at the
+                    // (possibly deeply rebated) price ruling now. The held
+                    // instance is evicted the instant its market crosses
+                    // the bid, so `q.t` is never mid-spike and the fresh
+                    // window is priced fairly.
+                    let adopt = idx == q.job_idx && q.t - since <= keep + 1e-9 && {
+                        let perf = &job.configs[held.idx];
+                        let trace = setup.market.trace(perf.config.instance_type)?;
+                        let gap_cost = trace.cost_between(since, q.t.min(horizon))?;
+                        let fresh_cost =
+                            trace.cost_between(q.t.min(horizon), (q.t + keep).min(horizon))?;
+                        gap_cost <= fresh_cost + 1e-9
+                    };
+                    if adopt {
+                        warm_held = Some(held);
+                        handoff_since = Some(since);
+                    } else {
+                        // Discarded: the fleet lets the idle instance go
+                        // now (or its lifetime already ended mid-gap).
+                        let perf = &workload.catalog[idx].configs[held.idx];
+                        cap.close_tenure(held.dies_at.min(q.t), perf.config.num_workers as usize);
+                    }
+                }
+            }
+            if warm_held.is_some() || cached {
+                let saved = match warm_held {
+                    Some(h) => job.t_boot + job.configs[h.idx].t_load_reload,
+                    None => {
+                        let lrc = &job.configs[lrc_of[q.job_idx]];
+                        lrc.t_load_first - lrc.t_load_reload
+                    }
+                };
+                tag.record(
+                    run,
+                    &SimEvent::ShareHit {
+                        t: q.t,
+                        work_left: 1.0,
+                        billed: 0.0,
+                        tenant: q.tenant,
+                        pick: warm_held.map(|h| h.idx).unwrap_or(lrc_of[q.job_idx]),
+                        warm: warm_held.is_some(),
+                        saved_seconds: saved,
+                    },
+                );
+                tout.share_hits += 1;
+                share_hits += 1;
+            }
+            let mut actor = JobActor::new(setup, job, strategy, q.t, run)?
+                .with_lifetime_salt((q.tenant as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+                .with_warm_state(warm_held, cached);
+            if let Some(since) = handoff_since {
+                // The fleet kept the instance up through the gap: the
+                // tenant pays for the idle time (and eats a mid-gap
+                // eviction, losing the warmth but not the shard cache).
+                // The tenure stays open across the handoff; a mid-gap
+                // eviction closes it through the observer.
+                let mut obs = CapObserver {
+                    inner: &mut tag,
+                    configs: cap.enabled().then_some(&job.configs[..]),
+                    ops: Vec::new(),
+                };
+                actor.bill_idle_handoff(since, &mut obs)?;
+                let ops = obs.ops;
+                cap.apply(ops);
+            }
+            active.push(Active {
+                tenant: q.tenant,
+                seq: q.seq,
+                job_idx: q.job_idx,
+                deadline_abs: q.t + job.deadline,
+                actor,
+            });
+            continue;
+        }
+        let Some(idx) = min_idx else { break };
+        cap.denied = false;
+        let tenant = active[idx].tenant;
+        let step_configs = cap
+            .enabled()
+            .then(|| &workload.catalog[active[idx].job_idx].configs[..]);
+        let (done, ops) = {
+            let mut tag = TagTenant {
+                tenant,
+                inner: &mut tap,
+            };
+            let mut obs = CapObserver {
+                inner: &mut tag,
+                configs: step_configs,
+                ops: Vec::new(),
+            };
+            let done = active[idx].actor.step(&mut obs, &mut cap)?;
+            (done, obs.ops)
+        };
+        cap.apply(ops);
+        if done {
+            let a = active.swap_remove(idx);
+            let held = a.actor.held();
+            let finish_t = a.actor.now();
+            let outcome = a.actor.into_outcome();
+            let ws = warm.entry(tenant).or_default();
+            ws.shards_cached = true;
+            let mut stashed = false;
+            if config.share && outcome.completed {
+                if let Some(h) = held {
+                    let perf = &workload.catalog[a.job_idx].configs[h.idx];
+                    if perf.config.is_transient() && h.dies_at > finish_t {
+                        // The instance stays up (its tenure stays open)
+                        // awaiting the tenant's next job; a replaced
+                        // earlier handoff is let go now.
+                        if let Some((old, _, oidx)) = ws.handoff.replace((h, finish_t, a.job_idx)) {
+                            let operf = &workload.catalog[oidx].configs[old.idx];
+                            cap.close_tenure(
+                                old.dies_at.min(finish_t),
+                                operf.config.num_workers as usize,
+                            );
+                        }
+                        stashed = true;
+                    }
+                }
+            }
+            if !stashed {
+                if let Some(h) = held {
+                    let perf = &workload.catalog[a.job_idx].configs[h.idx];
+                    if perf.config.is_transient() {
+                        cap.close_tenure(finish_t, perf.config.num_workers as usize);
+                    }
+                }
+            }
+            let tout = tenants
+                .entry(tenant)
+                .or_insert_with(|| TenantOutcome::new(tenant));
+            tout.total_cost += outcome.cost;
+            if outcome.missed_deadline {
+                tout.missed += 1;
+            }
+            tout.jobs.push(outcome);
+        } else if cap.denied {
+            if let Some(v) = select_victim(&active, idx, config.policy, workload, &lrc_of) {
+                let vt = active[v].tenant;
+                let victim_configs = cap
+                    .enabled()
+                    .then(|| &workload.catalog[active[v].job_idx].configs[..]);
+                let ops = {
+                    let mut tag = TagTenant {
+                        tenant: vt,
+                        inner: &mut tap,
+                    };
+                    let mut obs = CapObserver {
+                        inner: &mut tag,
+                        configs: victim_configs,
+                        ops: Vec::new(),
+                    };
+                    active[v].actor.revoke(vt, &mut obs);
+                    obs.ops
+                };
+                cap.apply(ops);
+                tenants
+                    .entry(vt)
+                    .or_insert_with(|| TenantOutcome::new(vt))
+                    .preemptions += 1;
+                preemptions += 1;
+            }
+        }
+    }
+
+    for (t, b) in &tap.billed {
+        if let Some(tout) = tenants.get_mut(t) {
+            tout.billed = *b;
+        }
+    }
+    let tenants: Vec<TenantOutcome> = tenants.into_values().collect();
+    let ledger_total = tenants.iter().map(|t| t.billed).sum();
+    let total_cost = tenants.iter().map(|t| t.total_cost).sum();
+    let runs = tenants.iter().map(|t| t.jobs.len()).sum();
+    let missed = tenants.iter().map(|t| t.missed).sum();
+    let rejected = tenants.iter().map(|t| t.rejected).sum();
+    Ok(FleetOutcome {
+        tenants,
+        ledger_total,
+        total_cost,
+        runs,
+        missed,
+        rejected,
+        preemptions,
+        share_hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::VecSink;
+    use crate::events::{EventKind, TaggedVecSink};
+    use crate::job::{PaperJob, ReloadMode};
+    use crate::runner::{derive_eviction_models, run_job_observed};
+    use hourglass_cloud::tracegen;
+    use hourglass_core::strategies::HourglassStrategy;
+
+    fn fixture(
+        seed: u64,
+    ) -> (
+        hourglass_cloud::Market,
+        Vec<(hourglass_cloud::InstanceType, hourglass_cloud::DynEviction)>,
+    ) {
+        let market = tracegen::simulation_market(seed).expect("market");
+        let history = tracegen::history_market(seed).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        (market, models)
+    }
+
+    fn unshared() -> FleetConfig {
+        FleetConfig {
+            share: false,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in SacrificePolicy::ALL {
+            assert_eq!(SacrificePolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(SacrificePolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn one_tenant_fleet_matches_legacy_runner_event_for_event() {
+        let (market, models) = fixture(61);
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(60.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let start = 120_000.0;
+
+        let mut legacy_sink = VecSink::new();
+        let legacy =
+            run_job_observed(&setup, &job, &strategy, start, 0, &mut legacy_sink).expect("legacy");
+
+        let workload = FleetWorkload {
+            catalog: vec![job.clone()],
+            arrivals: vec![FleetJob {
+                tenant: 0,
+                arrival: start,
+                job: 0,
+            }],
+        };
+        let mut fleet_sink = TaggedVecSink::new();
+        let fleet = run_fleet_observed(
+            &setup,
+            &workload,
+            &strategy,
+            &unshared(),
+            0,
+            &mut fleet_sink,
+        )
+        .expect("fleet");
+
+        assert_eq!(fleet.runs, 1);
+        let out = &fleet.tenants[0].jobs[0];
+        assert_eq!(out.cost.to_bits(), legacy.cost.to_bits());
+        assert_eq!(out.online_cost.to_bits(), legacy.online_cost.to_bits());
+        assert_eq!(out.finish_time.to_bits(), legacy.finish_time.to_bits());
+        assert_eq!(out.evictions, legacy.evictions);
+        assert_eq!(out.deployments, legacy.deployments);
+        // The fleet stream, restricted to legacy event kinds, is the
+        // legacy stream exactly; the only extra is the Admit.
+        let legacy_kinds: Vec<(u32, SimEvent)> = fleet_sink
+            .events
+            .iter()
+            .filter(|(_, _, e)| {
+                !matches!(
+                    e.kind(),
+                    EventKind::Admit | EventKind::Preempt | EventKind::ShareHit
+                )
+            })
+            .map(|(run, _, e)| (*run, e.clone()))
+            .collect();
+        assert_eq!(legacy_kinds, legacy_sink.events);
+        let admits = fleet_sink
+            .events
+            .iter()
+            .filter(|(_, _, e)| e.kind() == EventKind::Admit)
+            .count();
+        assert_eq!(admits, 1);
+        // Billed ledger reconciles with the job outcome.
+        assert!((fleet.ledger_total - legacy.online_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsatisfiable_job_is_rejected_not_starved() {
+        let (market, models) = fixture(62);
+        let setup = SimulationSetup::new(&market, &models);
+        let mut job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        job.deadline = 1.0; // below min makespan: never satisfiable
+        let workload = FleetWorkload {
+            catalog: vec![job],
+            arrivals: vec![FleetJob {
+                tenant: 3,
+                arrival: 0.0,
+                job: 0,
+            }],
+        };
+        let strategy = HourglassStrategy::new();
+        let mut sink = TaggedVecSink::new();
+        let fleet = run_fleet_observed(&setup, &workload, &strategy, &unshared(), 0, &mut sink)
+            .expect("fleet");
+        assert_eq!(fleet.rejected, 1);
+        assert_eq!(fleet.runs, 0);
+        assert_eq!(fleet.tenants[0].rejected, 1);
+        let admit = sink
+            .events
+            .iter()
+            .find(|(_, _, e)| e.kind() == EventKind::Admit)
+            .expect("admit event");
+        assert!(matches!(
+            admit.2,
+            SimEvent::Admit {
+                accepted: false,
+                tenant: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sharing_undercuts_independent_runs_for_a_recurring_tenant() {
+        let (market, models) = fixture(63);
+        let setup = SimulationSetup::new(&market, &models);
+        let workload = FleetWorkload::canned_recurring(1, 4).expect("workload");
+        let strategy = HourglassStrategy::new();
+        let base = run_fleet(&setup, &workload, &strategy, &unshared()).expect("base");
+        let shared =
+            run_fleet(&setup, &workload, &strategy, &FleetConfig::default()).expect("shared");
+        assert_eq!(base.runs, 4);
+        assert_eq!(shared.runs, 4);
+        assert!(shared.share_hits >= 3, "later jobs must reuse warm state");
+        assert!(
+            shared.total_cost < base.total_cost,
+            "sharing {} must undercut independent {}",
+            shared.total_cost,
+            base.total_cost
+        );
+        assert!(shared.missed <= base.missed);
+    }
+
+    #[test]
+    fn capacity_cap_forces_deterministic_preemptions() {
+        let (market, models) = fixture(64);
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::PageRank
+            .description(80.0, ReloadMode::Fast)
+            .expect("job");
+        // Cap below two concurrent transient deployments' workers: with
+        // several tenants overlapping, somebody must be sacrificed.
+        let max_workers = job
+            .configs
+            .iter()
+            .filter(|c| c.config.is_transient())
+            .map(|c| c.config.num_workers as usize)
+            .max()
+            .expect("transient configs");
+        let workload = FleetWorkload {
+            catalog: vec![job],
+            arrivals: (0..4)
+                .map(|t| FleetJob {
+                    tenant: t,
+                    arrival: 100_000.0 + t as f64 * 10.0,
+                    job: 0,
+                })
+                .collect(),
+        };
+        let strategy = HourglassStrategy::new();
+        let config = FleetConfig {
+            capacity: Some(max_workers),
+            share: false,
+            ..FleetConfig::default()
+        };
+        let mut sink_a = TaggedVecSink::new();
+        let a = run_fleet_observed(&setup, &workload, &strategy, &config, 0, &mut sink_a)
+            .expect("fleet a");
+        let mut sink_b = TaggedVecSink::new();
+        let b = run_fleet_observed(&setup, &workload, &strategy, &config, 0, &mut sink_b)
+            .expect("fleet b");
+        assert_eq!(a.runs, 4);
+        assert_eq!(sink_a.events, sink_b.events, "fleet runs are replayable");
+        assert_eq!(a.preemptions, b.preemptions);
+        // Every Preempt names a victim that held a deployment: the stream
+        // shows an Acquire for that tenant before the Preempt, unresolved
+        // by any intervening eviction.
+        let mut deployed: std::collections::BTreeMap<u32, bool> = Default::default();
+        let mut preempts = 0;
+        for (_, tenant, e) in &sink_a.events {
+            let t = tenant.expect("fleet events are tenant-tagged");
+            match e.kind() {
+                EventKind::Acquire => {
+                    deployed.insert(t, true);
+                }
+                EventKind::Evict => {
+                    deployed.insert(t, false);
+                }
+                EventKind::Preempt => {
+                    preempts += 1;
+                    assert_eq!(deployed.get(&t), Some(&true), "victim {t} not deployed");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(preempts, a.preemptions);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_and_zero_slack_admit_deterministically() {
+        let (market, models) = fixture(65);
+        let setup = SimulationSetup::new(&market, &models);
+        let mut job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        // Zero slack: deadline exactly the minimum makespan — admitted.
+        job.deadline = job.min_makespan().expect("makespan");
+        let workload = FleetWorkload {
+            catalog: vec![job],
+            arrivals: (0..3)
+                .map(|t| FleetJob {
+                    tenant: 2 - t, // reversed submission order
+                    arrival: 50_000.0,
+                    job: 0,
+                })
+                .collect(),
+        };
+        let strategy = HourglassStrategy::new();
+        let mut sink = TaggedVecSink::new();
+        let fleet = run_fleet_observed(&setup, &workload, &strategy, &unshared(), 0, &mut sink)
+            .expect("fleet");
+        assert_eq!(fleet.rejected, 0, "zero slack is admitted");
+        assert_eq!(fleet.runs, 3);
+        // Admits come out in tenant order despite reversed submission.
+        let admit_tenants: Vec<u32> = sink
+            .events
+            .iter()
+            .filter(|(_, _, e)| e.kind() == EventKind::Admit)
+            .map(|(_, t, _)| t.expect("tagged"))
+            .collect();
+        assert_eq!(admit_tenants, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn workload_validation_rejects_bad_input() {
+        let (market, models) = fixture(66);
+        let setup = SimulationSetup::new(&market, &models);
+        let job = PaperJob::Sssp
+            .description(50.0, ReloadMode::Fast)
+            .expect("job");
+        let strategy = HourglassStrategy::new();
+        let bad_idx = FleetWorkload {
+            catalog: vec![job.clone()],
+            arrivals: vec![FleetJob {
+                tenant: 0,
+                arrival: 0.0,
+                job: 1,
+            }],
+        };
+        assert!(run_fleet(&setup, &bad_idx, &strategy, &unshared()).is_err());
+        let bad_arrival = FleetWorkload {
+            catalog: vec![job],
+            arrivals: vec![FleetJob {
+                tenant: 0,
+                arrival: -1.0,
+                job: 0,
+            }],
+        };
+        assert!(run_fleet(&setup, &bad_arrival, &strategy, &unshared()).is_err());
+        assert!(FleetWorkload::canned_recurring(0, 1).is_err());
+    }
+}

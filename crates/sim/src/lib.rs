@@ -16,6 +16,7 @@
 pub mod bridge;
 pub mod events;
 pub mod experiment;
+pub mod fleet;
 pub mod job;
 pub mod metrics_bridge;
 pub mod recurring;
@@ -26,10 +27,16 @@ pub mod scenario;
 pub mod sweep;
 
 pub use bridge::TraceBridge;
-pub use metrics_bridge::MetricsBridge;
-pub use events::{EventAggregate, EventSink, JsonlSink, NullSink, SimEvent, TeeSink, VecSink};
+pub use events::{
+    EventAggregate, EventSink, JsonlSink, NullSink, SimEvent, TaggedVecSink, TeeSink, VecSink,
+};
 pub use experiment::{Experiment, ExperimentSummary};
+pub use fleet::{
+    run_fleet, run_fleet_observed, FleetConfig, FleetJob, FleetOutcome, FleetWorkload,
+    SacrificePolicy, TenantOutcome,
+};
 pub use job::{ConfigPerf, JobDescription, ReloadMode};
+pub use metrics_bridge::MetricsBridge;
 pub use recurring::{run_recurring, run_recurring_observed, RecurringOutcome};
 pub use replication::run_job_replicated;
 pub use runner::{
@@ -37,7 +44,7 @@ pub use runner::{
     EvictionModelKind, JobOutcome, LifetimeGroundTruth, SimulationSetup,
 };
 pub use scenario::{Scenario, ScenarioKind};
-pub use sweep::{sweep_jobs, sweep_recurring};
+pub use sweep::{sweep_fleet, sweep_jobs, sweep_recurring};
 
 /// The deterministic fault-injection plans the runner accepts (re-exported
 /// so experiment drivers need no direct `hourglass-faults` dependency).

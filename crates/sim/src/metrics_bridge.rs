@@ -155,11 +155,61 @@ pub static M_DEADLINE_SLACK: hm::FamilyDesc = hm::FamilyDesc {
     nondeterministic: false,
 };
 
+/// Fleet admission decisions, labelled by outcome.
+pub static M_ADMISSIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_fleet_admissions_total",
+    help: "Fleet admission decisions, by outcome.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Deployments sacrificed by the fleet scheduler.
+pub static M_PREEMPTIONS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_fleet_preemptions_total",
+    help: "Deployments sacrificed by the fleet scheduler.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Warm-state share hits across jobs of the same tenant.
+pub static M_SHARE_HITS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_fleet_share_hits_total",
+    help: "Warm instance / cached shard reuses across tenant jobs.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Per-tenant online dollars billed (fleet runs only).
+pub static M_TENANT_BILLED: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_fleet_tenant_billed_dollars_total",
+    help: "Online dollars billed, by tenant.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Per-tenant completed runs (fleet runs only).
+pub static M_TENANT_RUNS: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_fleet_tenant_runs_total",
+    help: "Runs completed, by tenant.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+/// Per-tenant deadline misses (fleet runs only).
+pub static M_TENANT_MISSES: hm::FamilyDesc = hm::FamilyDesc {
+    name: "hourglass_fleet_tenant_deadline_misses_total",
+    help: "Deadline misses, by tenant.",
+    kind: hm::MetricKind::Counter,
+    buckets: &[],
+    nondeterministic: false,
+};
+
 fn phase_label(phase: Phase) -> &'static str {
     match phase {
         Phase::Setup => "setup",
         Phase::Compute => "compute",
         Phase::Wait => "wait",
+        Phase::Preempted => "preempted",
     }
 }
 
@@ -172,6 +222,9 @@ fn phase_label(phase: Phase) -> &'static str {
 #[derive(Debug, Clone)]
 pub struct MetricsBridge {
     strategy: String,
+    // Label strings are interned per tenant so per-tenant folds don't
+    // allocate on every event.
+    tenant_labels: std::collections::BTreeMap<u32, String>,
 }
 
 impl MetricsBridge {
@@ -179,6 +232,7 @@ impl MetricsBridge {
     pub fn new(strategy: impl Into<String>) -> Self {
         MetricsBridge {
             strategy: strategy.into(),
+            tenant_labels: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -243,6 +297,46 @@ impl EventSink for MetricsBridge {
                 hm::addf(&M_TOTAL_DOLLARS, labels, cost);
                 hm::observe(&M_DEADLINE_SLACK, labels, deadline - finish_seconds);
             }
+            SimEvent::Admit { accepted, .. } => {
+                let outcome = if accepted { "accepted" } else { "rejected" };
+                hm::add(&M_ADMISSIONS, &[("strategy", s), ("outcome", outcome)], 1);
+            }
+            SimEvent::Preempt { .. } => hm::add(&M_PREEMPTIONS, labels, 1),
+            SimEvent::ShareHit { warm, .. } => {
+                let kind = if warm {
+                    "warm_instance"
+                } else {
+                    "cached_shards"
+                };
+                hm::add(&M_SHARE_HITS, &[("strategy", s), ("kind", kind)], 1);
+            }
+        }
+    }
+
+    fn record_tenant(&mut self, run: u32, tenant: u32, event: &SimEvent) {
+        self.record(run, event);
+        if !hm::enabled() {
+            return;
+        }
+        self.tenant_labels
+            .entry(tenant)
+            .or_insert_with(|| tenant.to_string());
+        let tenant_label = self.tenant_labels[&tenant].as_str();
+        let labels: &[(&str, &str)] = &[
+            ("strategy", self.strategy.as_str()),
+            ("tenant", tenant_label),
+        ];
+        match *event {
+            SimEvent::Bill { cost, .. } => hm::addf(&M_TENANT_BILLED, labels, cost),
+            SimEvent::Complete {
+                missed_deadline, ..
+            } => {
+                hm::add(&M_TENANT_RUNS, labels, 1);
+                if missed_deadline {
+                    hm::add(&M_TENANT_MISSES, labels, 1);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -269,8 +363,8 @@ mod tests {
         let starts: Vec<f64> = (0..8).map(|i| i as f64 * 120_000.0).collect();
         let session = hm::MetricsSession::start();
         let mut bridge = MetricsBridge::new("hourglass");
-        let out = sweep_jobs(&setup, &job, &strategy, &starts, parallel, &mut bridge)
-            .expect("sweep");
+        let out =
+            sweep_jobs(&setup, &job, &strategy, &starts, parallel, &mut bridge).expect("sweep");
         (session.finish(), out)
     }
 

@@ -125,13 +125,16 @@ impl<'a> SimulationSetup<'a> {
 
     /// Absolute instant the deployment acquired at `acquire_at` dies from
     /// the ground-truth lifetime process (infinity when only price
-    /// crossings can evict it).
+    /// crossings can evict it). `salt` decorrelates draws across fleet
+    /// tenants sharing one run index; the single-job runner passes 0,
+    /// which leaves the historical mix untouched.
     fn lifetime_dies_at(
         &self,
         ty: InstanceType,
         acquire_at: f64,
         run: u32,
         deployment: usize,
+        salt: u64,
     ) -> Result<f64> {
         match self.lifetime {
             None => Ok(f64::INFINITY),
@@ -144,7 +147,8 @@ impl<'a> SimulationSetup<'a> {
                 // identical stream.
                 let mix = seed
                     ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ (deployment as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                    ^ (deployment as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                    ^ salt;
                 let mut rng = StdRng::seed_from_u64(mix);
                 let u: f64 = rng.gen();
                 Ok(match model.sample_next_eviction(0.0, u) {
@@ -237,238 +241,423 @@ pub struct JobOutcome {
 
 /// What the job currently holds.
 #[derive(Debug, Clone, Copy)]
-struct Held {
+pub(crate) struct Held {
     /// Index into `job.configs`.
-    idx: usize,
+    pub(crate) idx: usize,
     /// Absolute acquisition time.
-    acquired: f64,
+    pub(crate) acquired: f64,
     /// Absolute instant the ground-truth lifetime process revokes this
     /// deployment (infinity when only price crossings apply).
-    dies_at: f64,
+    pub(crate) dies_at: f64,
 }
 
-/// Per-run observation state: the sink events are reported to and the
-/// running billed-dollars total they are stamped with.
-struct Obs<'s> {
+/// Arbitration hook a [`JobActor`] consults right before committing a
+/// transient acquisition, so a fleet scheduler can enforce a shared
+/// capacity cap. On-demand deployments (the last-resort configuration)
+/// are never capacity-constrained.
+pub(crate) trait CapacityControl {
+    /// Asks to deploy `workers` transient machines at absolute time `t`,
+    /// releasing `releasing` transient machines of the currently held
+    /// deployment at the same instant. `None` grants the request;
+    /// `Some(until)` defers it — the actor waits (holding its current
+    /// deployment idle, billed) until `until` and re-decides.
+    fn request_transient(&mut self, t: f64, workers: usize, releasing: usize) -> Option<f64>;
+}
+
+/// Grants every request: the single-job runner's control, equivalent to
+/// an unbounded fleet.
+pub(crate) struct UnlimitedCapacity;
+
+impl CapacityControl for UnlimitedCapacity {
+    fn request_transient(&mut self, _t: f64, _workers: usize, _releasing: usize) -> Option<f64> {
+        None
+    }
+}
+
+/// The single-job decision loop rehosted as a steppable event-queue
+/// actor. One [`JobActor::step`] call executes exactly one iteration of
+/// the legacy `run_job_observed` loop — decide → maybe (re)deploy → one
+/// compute chunk — emitting the identical events in the identical order
+/// and performing the identical f64 operations, so the legacy driver
+/// below and the fleet scheduler replay bit-identical runs. The actor's
+/// clock `t` only moves forward at step boundaries, and every billed
+/// interval ends at or before the clock, so a fleet can interleave many
+/// actors in ascending-clock order without ever rolling one back.
+pub(crate) struct JobActor<'a> {
+    setup: &'a SimulationSetup<'a>,
+    job: &'a JobDescription,
+    strategy: &'a dyn Strategy,
+    start: f64,
     run: u32,
+    horizon: f64,
+    t: f64,
+    w: f64,
+    ledger: CostLedger,
+    held: Option<Held>,
+    first_load_done: bool,
+    evictions: usize,
+    deployments: usize,
+    events: usize,
+    force_lrc: bool,
+    last_stuck_pick: Option<usize>,
     billed: f64,
-    sink: &'s mut dyn EventSink,
+    hook: Option<FaultHook>,
+    save_retry_factor: f64,
+    lifetime_salt: u64,
+    outcome: Option<JobOutcome>,
 }
 
-impl Obs<'_> {
-    fn emit(&mut self, event: SimEvent) {
-        self.sink.record(self.run, &event);
-    }
-}
-
-/// Runs one job to completion over the market trace, starting at absolute
-/// trace time `start`.
-pub fn run_job(
-    setup: &SimulationSetup<'_>,
-    job: &JobDescription,
-    strategy: &dyn Strategy,
-    start: f64,
-) -> Result<JobOutcome> {
-    run_job_observed(setup, job, strategy, start, 0, &mut NullSink)
-}
-
-/// [`run_job`] with every decision-loop transition reported to `sink`,
-/// stamped with run index `run` (sweeps use it to keep interleaved runs
-/// apart; standalone callers can pass 0).
-pub fn run_job_observed(
-    setup: &SimulationSetup<'_>,
-    job: &JobDescription,
-    strategy: &dyn Strategy,
-    start: f64,
-    run: u32,
-    sink: &mut dyn EventSink,
-) -> Result<JobOutcome> {
-    if start < 0.0 || start >= setup.market.horizon() {
-        return Err(SimError::InvalidParameter(format!(
-            "start {start} outside market horizon"
-        )));
-    }
-    let horizon = setup.market.horizon();
-    let mut t = start;
-    let mut w = 1.0f64;
-    let mut ledger = CostLedger::new();
-    let mut held: Option<Held> = None;
-    let mut first_load_done = false;
-    let mut evictions = 0usize;
-    let mut deployments = 0usize;
-    let mut events = 0usize;
-    let mut force_lrc = false;
-    let mut last_stuck_pick: Option<usize> = None;
-    let mut obs = Obs {
-        run,
-        billed: 0.0,
-        sink,
-    };
-    // Fault state: one run-keyed hook per job, so interleaved sweep runs
-    // draw independent but individually reproducible fault streams.
-    let hook = setup
-        .fault_plan
-        .as_ref()
-        .map(|p| FaultHook::for_run(p, run));
-    // Flaky checkpoint stores stretch expected save time; strategies see
-    // it as the retry-tail inflation factor p/(1−p).
-    let save_retry_factor = setup
-        .fault_plan
-        .as_ref()
-        .map(|p| p.retry_factor(Site::StorePut))
-        .unwrap_or(0.0);
-
-    let outcome = loop {
-        events += 1;
-        if events > setup.max_events {
-            return Err(SimError::RunawayJob { events });
+impl<'a> JobActor<'a> {
+    /// Creates an actor for one job starting at absolute trace time
+    /// `start`, with events stamped with run index `run`.
+    pub(crate) fn new(
+        setup: &'a SimulationSetup<'a>,
+        job: &'a JobDescription,
+        strategy: &'a dyn Strategy,
+        start: f64,
+        run: u32,
+    ) -> Result<Self> {
+        if start < 0.0 || start >= setup.market.horizon() {
+            return Err(SimError::InvalidParameter(format!(
+                "start {start} outside market horizon"
+            )));
         }
-        if w <= 1e-9 {
-            let finish_time = t - start;
-            break JobOutcome {
-                cost: ledger.total() + job.offline_cost,
-                online_cost: ledger.total(),
+        // Fault state: one run-keyed hook per job, so interleaved sweep
+        // runs draw independent but individually reproducible fault
+        // streams.
+        let hook = setup
+            .fault_plan
+            .as_ref()
+            .map(|p| FaultHook::for_run(p, run));
+        // Flaky checkpoint stores stretch expected save time; strategies
+        // see it as the retry-tail inflation factor p/(1−p).
+        let save_retry_factor = setup
+            .fault_plan
+            .as_ref()
+            .map(|p| p.retry_factor(Site::StorePut))
+            .unwrap_or(0.0);
+        Ok(JobActor {
+            setup,
+            job,
+            strategy,
+            start,
+            run,
+            horizon: setup.market.horizon(),
+            t: start,
+            w: 1.0,
+            ledger: CostLedger::new(),
+            held: None,
+            first_load_done: false,
+            evictions: 0,
+            deployments: 0,
+            events: 0,
+            force_lrc: false,
+            last_stuck_pick: None,
+            billed: 0.0,
+            hook,
+            save_retry_factor,
+            lifetime_salt: 0,
+            outcome: None,
+        })
+    }
+
+    /// Seeds the actor with warm state shared from an earlier job of the
+    /// same tenant: `held` hands over a still-live deployment (boot and
+    /// load skipped when the first decision re-picks it), and
+    /// `shards_cached` marks the tenant's clustered shards as already in
+    /// the datastore, so even a cold acquire pays the reload path instead
+    /// of the first text-store ingest.
+    pub(crate) fn with_warm_state(mut self, held: Option<Held>, shards_cached: bool) -> Self {
+        self.held = held;
+        if shards_cached || self.held.is_some() {
+            self.first_load_done = true;
+        }
+        self
+    }
+
+    /// Decorrelates ground-truth lifetime draws across fleet tenants
+    /// sharing one run index (0 = the legacy single-job stream).
+    pub(crate) fn with_lifetime_salt(mut self, salt: u64) -> Self {
+        self.lifetime_salt = salt;
+        self
+    }
+
+    /// The actor's simulation clock (absolute trace time).
+    pub(crate) fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Work fraction remaining.
+    pub(crate) fn work_left(&self) -> f64 {
+        self.w
+    }
+
+    /// The held deployment, if any.
+    pub(crate) fn held(&self) -> Option<Held> {
+        self.held
+    }
+
+    /// Consumes the actor, returning the outcome of a finished run.
+    pub(crate) fn into_outcome(self) -> JobOutcome {
+        self.outcome.expect("actor stepped to completion")
+    }
+
+    fn emit(&self, sink: &mut dyn EventSink, event: SimEvent) {
+        sink.record(self.run, &event);
+    }
+
+    fn finish(&mut self, outcome: JobOutcome, sink: &mut dyn EventSink) {
+        self.emit(
+            sink,
+            SimEvent::Complete {
+                t: self.t,
+                work_left: self.w,
+                billed: self.billed,
+                finish_seconds: outcome.finish_time,
+                deadline: self.job.deadline,
+                cost: outcome.cost,
+                online_cost: outcome.online_cost,
+                missed_deadline: outcome.missed_deadline,
+                completed: outcome.completed,
+                evictions: outcome.evictions,
+                deployments: outcome.deployments,
+            },
+        );
+        self.outcome = Some(outcome);
+    }
+
+    /// Forcibly releases the held deployment at the actor's current clock
+    /// — the fleet scheduler sacrificing `victim`'s deployment to another
+    /// tenant. Billing needs no adjustment: every interval is billed
+    /// through the clock by the step that advanced it. The next step
+    /// re-decides and redeploys (or bails to the last resort).
+    pub(crate) fn revoke(&mut self, victim: u32, sink: &mut dyn EventSink) {
+        let Some(h) = self.held.take() else { return };
+        self.emit(
+            sink,
+            SimEvent::Preempt {
+                t: self.t,
+                work_left: self.w,
+                billed: self.billed,
+                victim,
+                pick: h.idx,
+            },
+        );
+        self.evictions += 1;
+        self.emit(
+            sink,
+            SimEvent::Evict {
+                t: self.t,
+                work_left: self.w,
+                billed: self.billed,
+                pick: h.idx,
+                phase: Phase::Preempted,
+            },
+        );
+    }
+
+    /// Bills a warm deployment handed over by the fleet across the idle
+    /// gap `[from, start)`, evicting it (warmth lost, shard cache kept)
+    /// if its market crosses the bid or its lifetime ends mid-gap.
+    pub(crate) fn bill_idle_handoff(&mut self, from: f64, sink: &mut dyn EventSink) -> Result<()> {
+        self.wait_on_held(from, self.start, sink)
+    }
+
+    /// Executes one iteration of the decision loop. Returns `true` when
+    /// the run finished (the outcome is stored and a
+    /// [`SimEvent::Complete`] was emitted).
+    pub(crate) fn step(
+        &mut self,
+        sink: &mut dyn EventSink,
+        ctrl: &mut dyn CapacityControl,
+    ) -> Result<bool> {
+        if self.outcome.is_some() {
+            return Ok(true);
+        }
+        self.events += 1;
+        if self.events > self.setup.max_events {
+            return Err(SimError::RunawayJob {
+                events: self.events,
+            });
+        }
+        if self.w <= 1e-9 {
+            let finish_time = self.t - self.start;
+            let outcome = JobOutcome {
+                cost: self.ledger.total() + self.job.offline_cost,
+                online_cost: self.ledger.total(),
                 finish_time,
-                missed_deadline: finish_time > job.deadline + 1e-6,
-                evictions,
-                deployments,
+                missed_deadline: finish_time > self.job.deadline + 1e-6,
+                evictions: self.evictions,
+                deployments: self.deployments,
                 completed: true,
             };
+            self.finish(outcome, sink);
+            return Ok(true);
         }
-        if t >= horizon {
+        if self.t >= self.horizon {
             // Ran off the end of the trace: report as incomplete.
-            break JobOutcome {
-                cost: ledger.total() + job.offline_cost,
-                online_cost: ledger.total(),
-                finish_time: t - start,
+            let outcome = JobOutcome {
+                cost: self.ledger.total() + self.job.offline_cost,
+                online_cost: self.ledger.total(),
+                finish_time: self.t - self.start,
                 missed_deadline: true,
-                evictions,
-                deployments,
+                evictions: self.evictions,
+                deployments: self.deployments,
                 completed: false,
             };
+            self.finish(outcome, sink);
+            return Ok(true);
         }
 
         // Decision point.
-        let candidates = build_candidates(setup, job, t, first_load_done, held.map(|h| h.idx))?;
+        let candidates = build_candidates(
+            self.setup,
+            self.job,
+            self.t,
+            self.first_load_done,
+            self.held.map(|h| h.idx),
+        )?;
         let ctx = DecisionContext {
-            now: t - start,
-            deadline: job.deadline,
-            work_left: w,
-            t_boot: job.t_boot,
+            now: self.t - self.start,
+            deadline: self.job.deadline,
+            work_left: self.w,
+            t_boot: self.job.t_boot,
             candidates: &candidates,
-            current: held.map(|h| CurrentDeployment {
+            current: self.held.map(|h| CurrentDeployment {
                 index: h.idx,
-                uptime: t - h.acquired,
+                uptime: self.t - h.acquired,
             }),
-            save_retry_factor,
+            save_retry_factor: self.save_retry_factor,
         };
         // Wall-clock decision latency is telemetry, not simulation state:
         // it goes straight into a nondeterministic metrics family and
         // never touches the (bit-compared) event stream.
         let decide_started = hm::enabled().then(Instant::now);
-        let (pick, forced) = if force_lrc {
-            force_lrc = false;
-            (job.lrc()?, true)
+        let (pick, forced) = if self.force_lrc {
+            self.force_lrc = false;
+            (self.job.lrc()?, true)
         } else {
-            (strategy.decide(&ctx)?.pick, false)
+            (self.strategy.decide(&ctx)?.pick, false)
         };
         if let Some(started) = decide_started {
             hm::observe(&M_DECIDE_WALL_SECONDS, &[], started.elapsed().as_secs_f64());
         }
-        let perf = &job.configs[pick];
+        let perf = self.job.configs[pick];
         let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
 
         // (Re)deploy if the pick differs from the held deployment.
-        let continuing = matches!(held, Some(h) if h.idx == pick);
-        obs.emit(SimEvent::Decide {
-            t,
-            work_left: w,
-            billed: obs.billed,
-            pick,
-            continuation: continuing,
-            forced,
-            slack: job.deadline - (t - start),
-        });
+        let continuing = matches!(self.held, Some(h) if h.idx == pick);
+        self.emit(
+            sink,
+            SimEvent::Decide {
+                t: self.t,
+                work_left: self.w,
+                billed: self.billed,
+                pick,
+                continuation: continuing,
+                forced,
+                slack: self.job.deadline - (self.t - self.start),
+            },
+        );
         if !continuing {
-            let mut acquire_at = t;
+            let mut acquire_at = self.t;
             if perf.config.is_transient() {
                 // Spot requests are fulfilled when the market clears at or
                 // below the bid. While the request is pending, the held
                 // deployment (if any) stays up — idle, but billed — so a
                 // strategy that re-picks it once the spike passes continues
                 // where it left off instead of paying a fresh boot + load.
-                let trace = setup.market.trace(perf.config.instance_type)?;
-                match trace.next_at_or_below(t, bid) {
-                    Some(ta) if ta <= t + 1e-9 => acquire_at = t,
+                let trace = self.setup.market.trace(perf.config.instance_type)?;
+                match trace.next_at_or_below(self.t, bid) {
+                    Some(ta) if ta <= self.t + 1e-9 => acquire_at = self.t,
                     Some(ta) => {
                         // Market is in a spike: wait in bounded steps,
                         // re-deciding each time so deadline-aware
                         // strategies can bail to the lrc as slack burns.
-                        let resume_at = ta.min(t + 300.0);
-                        obs.emit(SimEvent::SpikeWait {
-                            t,
-                            work_left: w,
-                            billed: obs.billed,
-                            pick,
-                            resume_at,
-                            held: held.map(|h| h.idx),
-                        });
-                        wait_on_held(
-                            &mut held,
-                            setup,
-                            job,
-                            &mut ledger,
-                            &mut evictions,
-                            w,
-                            t,
-                            resume_at,
-                            horizon,
-                            &mut obs,
-                        )?;
-                        t = resume_at;
-                        continue;
+                        let resume_at = ta.min(self.t + 300.0);
+                        self.emit(
+                            sink,
+                            SimEvent::SpikeWait {
+                                t: self.t,
+                                work_left: self.w,
+                                billed: self.billed,
+                                pick,
+                                resume_at,
+                                held: self.held.map(|h| h.idx),
+                            },
+                        );
+                        self.wait_on_held(self.t, resume_at, sink)?;
+                        self.t = resume_at;
+                        return Ok(false);
                     }
                     None => {
                         // Market never returns within the trace: fall back
                         // to the last-resort configuration.
-                        let resume_at = t + 60.0;
-                        obs.emit(SimEvent::SpikeWait {
-                            t,
-                            work_left: w,
-                            billed: obs.billed,
-                            pick,
-                            resume_at,
-                            held: held.map(|h| h.idx),
-                        });
-                        wait_on_held(
-                            &mut held,
-                            setup,
-                            job,
-                            &mut ledger,
-                            &mut evictions,
-                            w,
-                            t,
-                            resume_at,
-                            horizon,
-                            &mut obs,
-                        )?;
-                        t = resume_at;
-                        force_lrc = true;
-                        continue;
+                        let resume_at = self.t + 60.0;
+                        self.emit(
+                            sink,
+                            SimEvent::SpikeWait {
+                                t: self.t,
+                                work_left: self.w,
+                                billed: self.billed,
+                                pick,
+                                resume_at,
+                                held: self.held.map(|h| h.idx),
+                            },
+                        );
+                        self.wait_on_held(self.t, resume_at, sink)?;
+                        self.t = resume_at;
+                        self.force_lrc = true;
+                        return Ok(false);
                     }
+                }
+                // Fleet seam: the market clears, but the shared fleet may
+                // be out of machines. A deferred request behaves exactly
+                // like a spike wait — the held deployment idles, billed —
+                // so capacity pressure burns slack the same way price
+                // spikes do and deadline-aware strategies bail in time.
+                let releasing = match self.held {
+                    Some(h) if self.job.configs[h.idx].config.is_transient() => {
+                        self.job.configs[h.idx].config.num_workers as usize
+                    }
+                    _ => 0,
+                };
+                if let Some(until) =
+                    ctrl.request_transient(acquire_at, perf.config.num_workers as usize, releasing)
+                {
+                    self.emit(
+                        sink,
+                        SimEvent::SpikeWait {
+                            t: self.t,
+                            work_left: self.w,
+                            billed: self.billed,
+                            pick,
+                            resume_at: until,
+                            held: self.held.map(|h| h.idx),
+                        },
+                    );
+                    self.wait_on_held(self.t, until, sink)?;
+                    self.t = until;
+                    return Ok(false);
                 }
             }
             // The replacement is available now: only at this point is the
             // old deployment released (it was billed through `t` by the
             // compute/wait intervals that got us here).
-            let released = held.take().map(|h| h.idx);
-            deployments += 1;
+            let released = self.held.take().map(|h| h.idx);
+            self.deployments += 1;
             let dies_at = if perf.config.is_transient() {
-                setup.lifetime_dies_at(perf.config.instance_type, acquire_at, run, deployments)?
+                self.setup.lifetime_dies_at(
+                    perf.config.instance_type,
+                    acquire_at,
+                    self.run,
+                    self.deployments,
+                    self.lifetime_salt,
+                )?
             } else {
                 f64::INFINITY
             };
-            let full_load = if first_load_done {
+            let full_load = if self.first_load_done {
                 perf.t_load_reload
             } else {
                 perf.t_load_first
@@ -477,12 +666,12 @@ pub fn run_job_observed(
             // delta migration: only the rehomed micro-partitions are
             // re-shipped (§6.2). Recovery after an eviction (`released`
             // is `None`) pays the full reload from the datastore.
-            let migration = released.filter(|_| first_load_done).map(|from| {
-                let fraction = crate::job::delta_reload_fraction(&job.configs[from], perf);
+            let migration = released.filter(|_| self.first_load_done).map(|from| {
+                let fraction = crate::job::delta_reload_fraction(&self.job.configs[from], &perf);
                 (from, fraction, fraction * perf.t_load_reload)
             });
             let load_time = migration.map(|(_, _, d)| d).unwrap_or(full_load);
-            let mut setup_time = job.t_boot + load_time;
+            let mut setup_time = self.job.t_boot + load_time;
             // Fault seam: the (re)load's datastore reads. A fast reload
             // consults the shard-read site; the first load, the text
             // store. Transient faults stretch the setup by their retry
@@ -490,8 +679,8 @@ pub fn run_job_observed(
             // back to re-assembling from the text store (the full first
             // load, again) — wasted setup an eviction can land inside.
             let mut load_degraded: Option<(u32, bool, f64)> = None;
-            if let Some(hook) = hook.as_ref() {
-                let site = if first_load_done {
+            if let Some(hook) = self.hook.as_ref() {
+                let site = if self.first_load_done {
                     Site::ShardRead
                 } else {
                     Site::StoreGet
@@ -511,113 +700,109 @@ pub fn run_job_observed(
                     load_degraded = Some((c.retries, fallback, extra));
                 }
             }
-            obs.emit(SimEvent::Acquire {
-                t: acquire_at,
-                work_left: w,
-                billed: obs.billed,
-                pick,
-                setup_seconds: setup_time,
-                first_load: !first_load_done,
-                released,
-            });
-            if let Some((from, fraction, delta_seconds)) = migration {
-                obs.emit(SimEvent::Migrate {
+            self.emit(
+                sink,
+                SimEvent::Acquire {
                     t: acquire_at,
-                    work_left: w,
-                    billed: obs.billed,
+                    work_left: self.w,
+                    billed: self.billed,
                     pick,
-                    from,
-                    moved_fraction: fraction,
-                    delta_seconds,
-                    full_seconds: perf.t_load_reload,
-                });
+                    setup_seconds: setup_time,
+                    first_load: !self.first_load_done,
+                    released,
+                },
+            );
+            if let Some((from, fraction, delta_seconds)) = migration {
+                self.emit(
+                    sink,
+                    SimEvent::Migrate {
+                        t: acquire_at,
+                        work_left: self.w,
+                        billed: self.billed,
+                        pick,
+                        from,
+                        moved_fraction: fraction,
+                        delta_seconds,
+                        full_seconds: perf.t_load_reload,
+                    },
+                );
             }
             if let Some((retries, fallback, wasted)) = load_degraded {
-                obs.emit(SimEvent::Degraded {
-                    t: acquire_at,
-                    work_left: w,
-                    billed: obs.billed,
-                    pick,
-                    retries,
-                    fallback,
-                    wasted_seconds: wasted,
-                });
+                self.emit(
+                    sink,
+                    SimEvent::Degraded {
+                        t: acquire_at,
+                        work_left: self.w,
+                        billed: self.billed,
+                        pick,
+                        retries,
+                        fallback,
+                        wasted_seconds: wasted,
+                    },
+                );
             }
             let setup_end = acquire_at + setup_time;
             if perf.config.is_transient() {
-                let trace = setup.market.trace(perf.config.instance_type)?;
+                let trace = self.setup.market.trace(perf.config.instance_type)?;
                 let te = match trace.next_crossing_above(acquire_at, bid) {
                     Some(c) => c.min(dies_at),
                     None => dies_at,
                 };
-                if te < setup_end && te < horizon {
+                if te < setup_end && te < self.horizon {
                     // Evicted while booting/loading: no progress.
-                    bill(&mut ledger, setup, perf, pick, acquire_at, te, w, &mut obs)?;
-                    evictions += 1;
-                    obs.emit(SimEvent::Evict {
-                        t: te,
-                        work_left: w,
-                        billed: obs.billed,
-                        pick,
-                        phase: Phase::Setup,
-                    });
-                    t = te;
-                    continue;
+                    self.bill(&perf, pick, acquire_at, te, sink)?;
+                    self.evictions += 1;
+                    self.emit(
+                        sink,
+                        SimEvent::Evict {
+                            t: te,
+                            work_left: self.w,
+                            billed: self.billed,
+                            pick,
+                            phase: Phase::Setup,
+                        },
+                    );
+                    self.t = te;
+                    return Ok(false);
                 }
             }
-            if setup_end >= horizon {
-                bill(
-                    &mut ledger,
-                    setup,
-                    perf,
-                    pick,
-                    acquire_at,
-                    horizon,
-                    w,
-                    &mut obs,
-                )?;
-                t = horizon;
-                continue;
+            if setup_end >= self.horizon {
+                self.bill(&perf, pick, acquire_at, self.horizon, sink)?;
+                self.t = self.horizon;
+                return Ok(false);
             }
-            bill(
-                &mut ledger,
-                setup,
-                perf,
-                pick,
-                acquire_at,
-                setup_end,
-                w,
-                &mut obs,
-            )?;
-            held = Some(Held {
+            self.bill(&perf, pick, acquire_at, setup_end, sink)?;
+            self.held = Some(Held {
                 idx: pick,
                 acquired: acquire_at,
                 dies_at,
             });
-            first_load_done = true;
-            t = setup_end;
+            self.first_load_done = true;
+            self.t = setup_end;
         }
 
         // Compute phase.
         if !perf.config.is_transient() {
             // On-demand: run to completion (checkpointing disabled), then
             // store the output.
-            let end = t + w * perf.t_exec + perf.t_save;
-            let end_clamped = end.min(horizon);
-            bill(&mut ledger, setup, perf, pick, t, end_clamped, w, &mut obs)?;
-            if end > horizon {
-                t = horizon;
-                continue;
+            let end = self.t + self.w * perf.t_exec + perf.t_save;
+            let end_clamped = end.min(self.horizon);
+            self.bill(&perf, pick, self.t, end_clamped, sink)?;
+            if end > self.horizon {
+                self.t = self.horizon;
+                return Ok(false);
             }
-            t = end;
-            w = 0.0;
-            continue;
+            self.t = end;
+            self.w = 0.0;
+            return Ok(false);
         }
 
         // Transient: one checkpointed chunk.
-        let h = held.expect("transient compute requires a held deployment");
-        let eviction_model = setup.eviction_model(perf.config.instance_type)?;
-        let t_ckpt = setup.checkpoint_interval_override.unwrap_or_else(|| {
+        let h = self
+            .held
+            .expect("transient compute requires a held deployment");
+        let eviction_model = self.setup.eviction_model(perf.config.instance_type)?;
+        let t_ckpt = self.setup.checkpoint_interval_override.unwrap_or_else(|| {
             hourglass_core::checkpoint::daly_interval(perf.t_save, eviction_model.mttf())
         });
         // When the deployment continued, `t` has not moved since the
@@ -625,42 +810,48 @@ pub fn run_job_observed(
         let candidates2 = if continuing {
             candidates
         } else {
-            build_candidates(setup, job, t, first_load_done, Some(h.idx))?
+            build_candidates(
+                self.setup,
+                self.job,
+                self.t,
+                self.first_load_done,
+                Some(h.idx),
+            )?
         };
         let ctx2 = DecisionContext {
-            now: t - start,
-            deadline: job.deadline,
-            work_left: w,
-            t_boot: job.t_boot,
+            now: self.t - self.start,
+            deadline: self.job.deadline,
+            work_left: self.w,
+            t_boot: self.job.t_boot,
             candidates: &candidates2,
             current: Some(CurrentDeployment {
                 index: h.idx,
-                uptime: t - h.acquired,
+                uptime: self.t - h.acquired,
             }),
-            save_retry_factor,
+            save_retry_factor: self.save_retry_factor,
         };
-        let mut chunk = (w * perf.t_exec).min(t_ckpt);
-        if let Some(limit) = strategy.chunk_limit(&ctx2, pick) {
+        let mut chunk = (self.w * perf.t_exec).min(t_ckpt);
+        if let Some(limit) = self.strategy.chunk_limit(&ctx2, pick) {
             chunk = chunk.min(limit);
         }
         if chunk <= 0.0 {
             // The strategy's own chunk bound says no safe progress is
             // possible here; it must pick something else on the next
             // decision. Guard against livelock on a repeated unsafe pick.
-            if last_stuck_pick == Some(pick) {
-                force_lrc = true;
+            if self.last_stuck_pick == Some(pick) {
+                self.force_lrc = true;
             }
-            last_stuck_pick = Some(pick);
-            continue;
+            self.last_stuck_pick = Some(pick);
+            return Ok(false);
         }
-        last_stuck_pick = None;
-        let interval_end = t + chunk + perf.t_save;
-        let trace = setup.market.trace(perf.config.instance_type)?;
-        let eviction_time = match trace.next_crossing_above(t, bid) {
+        self.last_stuck_pick = None;
+        let interval_end = self.t + chunk + perf.t_save;
+        let trace = self.setup.market.trace(perf.config.instance_type)?;
+        let eviction_time = match trace.next_crossing_above(self.t, bid) {
             Some(c) => c.min(h.dies_at),
             None => h.dies_at,
         };
-        let evicted_at = (eviction_time < interval_end.min(horizon)).then_some(eviction_time);
+        let evicted_at = (eviction_time < interval_end.min(self.horizon)).then_some(eviction_time);
         match evicted_at {
             Some(te) => {
                 // §9 extension: a warning of at least t_save lets the
@@ -668,21 +859,24 @@ pub fn run_job_observed(
                 // the reclaim, so only the final t_save of the interval's
                 // progress is lost (without a warning the whole interval
                 // is).
-                if setup.eviction_warning >= perf.t_save {
-                    let computed = (te - perf.t_save - t).clamp(0.0, chunk);
-                    w = (w - computed / perf.t_exec).max(0.0);
+                if self.setup.eviction_warning >= perf.t_save {
+                    let computed = (te - perf.t_save - self.t).clamp(0.0, chunk);
+                    self.w = (self.w - computed / perf.t_exec).max(0.0);
                 }
-                bill(&mut ledger, setup, perf, pick, t, te, w, &mut obs)?;
-                evictions += 1;
-                held = None;
-                obs.emit(SimEvent::Evict {
-                    t: te,
-                    work_left: w,
-                    billed: obs.billed,
-                    pick,
-                    phase: Phase::Compute,
-                });
-                t = te;
+                self.bill(&perf, pick, self.t, te, sink)?;
+                self.evictions += 1;
+                self.held = None;
+                self.emit(
+                    sink,
+                    SimEvent::Evict {
+                        t: te,
+                        work_left: self.w,
+                        billed: self.billed,
+                        pick,
+                        phase: Phase::Compute,
+                    },
+                );
+                self.t = te;
             }
             None => {
                 // Fault seam: the checkpoint put. Transient failures are
@@ -690,169 +884,195 @@ pub fn run_job_observed(
                 // write models a reclaim landing mid-save (the chunk's
                 // progress is lost with the uncommitted epoch); exhausted
                 // retries lose the checkpoint but keep the deployment.
-                let consult = hook.as_ref().map(|h| h.consult(Site::StorePut));
+                let consult = self.hook.as_ref().map(|h| h.consult(Site::StorePut));
                 if let Some(fraction) = consult.as_ref().and_then(|c| c.torn) {
-                    let te = (t + chunk + fraction * perf.t_save).min(horizon);
-                    bill(&mut ledger, setup, perf, pick, t, te, w, &mut obs)?;
-                    evictions += 1;
-                    held = None;
-                    obs.emit(SimEvent::Degraded {
-                        t: te,
-                        work_left: w,
-                        billed: obs.billed,
-                        pick,
-                        retries: consult.map(|c| c.retries).unwrap_or(0),
-                        fallback: true,
-                        wasted_seconds: te - t,
-                    });
-                    obs.emit(SimEvent::Evict {
-                        t: te,
-                        work_left: w,
-                        billed: obs.billed,
-                        pick,
-                        phase: Phase::Compute,
-                    });
-                    t = te;
-                    continue;
+                    let te = (self.t + chunk + fraction * perf.t_save).min(self.horizon);
+                    self.bill(&perf, pick, self.t, te, sink)?;
+                    self.evictions += 1;
+                    self.held = None;
+                    self.emit(
+                        sink,
+                        SimEvent::Degraded {
+                            t: te,
+                            work_left: self.w,
+                            billed: self.billed,
+                            pick,
+                            retries: consult.map(|c| c.retries).unwrap_or(0),
+                            fallback: true,
+                            wasted_seconds: te - self.t,
+                        },
+                    );
+                    self.emit(
+                        sink,
+                        SimEvent::Evict {
+                            t: te,
+                            work_left: self.w,
+                            billed: self.billed,
+                            pick,
+                            phase: Phase::Compute,
+                        },
+                    );
+                    self.t = te;
+                    return Ok(false);
                 }
                 let save_extra = consult
                     .as_ref()
                     .map(|c| c.delay_ns as f64 / 1e9)
                     .unwrap_or(0.0);
                 let interval_end = interval_end + save_extra;
-                if interval_end >= horizon {
-                    bill(&mut ledger, setup, perf, pick, t, horizon, w, &mut obs)?;
-                    t = horizon;
-                    continue;
+                if interval_end >= self.horizon {
+                    self.bill(&perf, pick, self.t, self.horizon, sink)?;
+                    self.t = self.horizon;
+                    return Ok(false);
                 }
-                bill(&mut ledger, setup, perf, pick, t, interval_end, w, &mut obs)?;
+                self.bill(&perf, pick, self.t, interval_end, sink)?;
                 let checkpoint_lost = consult.as_ref().map(|c| c.exhausted).unwrap_or(false);
                 if checkpoint_lost {
                     // Every put attempt failed: the interval is billed but
                     // its progress never committed.
-                    obs.emit(SimEvent::Degraded {
-                        t: interval_end,
-                        work_left: w,
-                        billed: obs.billed,
-                        pick,
-                        retries: consult.map(|c| c.retries).unwrap_or(0),
-                        fallback: true,
-                        wasted_seconds: interval_end - t,
-                    });
-                    t = interval_end;
-                    continue;
+                    self.emit(
+                        sink,
+                        SimEvent::Degraded {
+                            t: interval_end,
+                            work_left: self.w,
+                            billed: self.billed,
+                            pick,
+                            retries: consult.map(|c| c.retries).unwrap_or(0),
+                            fallback: true,
+                            wasted_seconds: interval_end - self.t,
+                        },
+                    );
+                    self.t = interval_end;
+                    return Ok(false);
                 }
-                w = (w - chunk / perf.t_exec).max(0.0);
+                self.w = (self.w - chunk / perf.t_exec).max(0.0);
                 if let Some(c) = consult.filter(|c| c.retries > 0 || c.delay_ns > 0) {
-                    obs.emit(SimEvent::Degraded {
-                        t: interval_end,
-                        work_left: w,
-                        billed: obs.billed,
-                        pick,
-                        retries: c.retries,
-                        fallback: false,
-                        wasted_seconds: save_extra,
-                    });
+                    self.emit(
+                        sink,
+                        SimEvent::Degraded {
+                            t: interval_end,
+                            work_left: self.w,
+                            billed: self.billed,
+                            pick,
+                            retries: c.retries,
+                            fallback: false,
+                            wasted_seconds: save_extra,
+                        },
+                    );
                 }
-                obs.emit(SimEvent::Checkpoint {
-                    t: interval_end,
-                    work_left: w,
-                    billed: obs.billed,
-                    pick,
-                    chunk_seconds: chunk,
-                });
-                t = interval_end;
+                self.emit(
+                    sink,
+                    SimEvent::Checkpoint {
+                        t: interval_end,
+                        work_left: self.w,
+                        billed: self.billed,
+                        pick,
+                        chunk_seconds: chunk,
+                    },
+                );
+                self.t = interval_end;
             }
         }
-    };
-    obs.emit(SimEvent::Complete {
-        t,
-        work_left: w,
-        billed: obs.billed,
-        finish_seconds: outcome.finish_time,
-        deadline: job.deadline,
-        cost: outcome.cost,
-        online_cost: outcome.online_cost,
-        missed_deadline: outcome.missed_deadline,
-        completed: outcome.completed,
-        evictions: outcome.evictions,
-        deployments: outcome.deployments,
-    });
-    Ok(outcome)
-}
-
-/// Bills the held deployment while it sits idle through a spike wait on
-/// `[from, until)`, evicting it if its own market crosses the bid first.
-#[allow(clippy::too_many_arguments)]
-fn wait_on_held(
-    held: &mut Option<Held>,
-    setup: &SimulationSetup<'_>,
-    job: &JobDescription,
-    ledger: &mut CostLedger,
-    evictions: &mut usize,
-    w: f64,
-    from: f64,
-    until: f64,
-    horizon: f64,
-    obs: &mut Obs<'_>,
-) -> Result<()> {
-    let Some(h) = *held else { return Ok(()) };
-    let perf = &job.configs[h.idx];
-    let until = until.min(horizon);
-    if until <= from {
-        return Ok(());
+        Ok(false)
     }
-    if perf.config.is_transient() {
-        let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
-        let trace = setup.market.trace(perf.config.instance_type)?;
-        let eviction_time = match trace.next_crossing_above(from, bid) {
-            Some(c) => c.min(h.dies_at),
-            None => h.dies_at,
-        };
-        if let Some(te) = (eviction_time < until).then_some(eviction_time) {
-            // The idle deployment is reclaimed mid-wait. Nothing beyond
-            // the last checkpoint is lost (`w` already reflects it).
-            bill(ledger, setup, perf, h.idx, from, te, w, obs)?;
-            *evictions += 1;
-            *held = None;
-            obs.emit(SimEvent::Evict {
-                t: te,
-                work_left: w,
-                billed: obs.billed,
-                pick: h.idx,
-                phase: Phase::Wait,
-            });
+
+    /// Bills the held deployment while it sits idle through a wait on
+    /// `[from, until)`, evicting it if its own market crosses the bid
+    /// first.
+    fn wait_on_held(&mut self, from: f64, until: f64, sink: &mut dyn EventSink) -> Result<()> {
+        let Some(h) = self.held else { return Ok(()) };
+        let perf = self.job.configs[h.idx];
+        let until = until.min(self.horizon);
+        if until <= from {
             return Ok(());
         }
+        if perf.config.is_transient() {
+            let bid = perf.config.on_demand_rate() / perf.config.num_workers as f64;
+            let trace = self.setup.market.trace(perf.config.instance_type)?;
+            let eviction_time = match trace.next_crossing_above(from, bid) {
+                Some(c) => c.min(h.dies_at),
+                None => h.dies_at,
+            };
+            if let Some(te) = (eviction_time < until).then_some(eviction_time) {
+                // The idle deployment is reclaimed mid-wait. Nothing beyond
+                // the last checkpoint is lost (`w` already reflects it).
+                self.bill(&perf, h.idx, from, te, sink)?;
+                self.evictions += 1;
+                self.held = None;
+                self.emit(
+                    sink,
+                    SimEvent::Evict {
+                        t: te,
+                        work_left: self.w,
+                        billed: self.billed,
+                        pick: h.idx,
+                        phase: Phase::Wait,
+                    },
+                );
+                return Ok(());
+            }
+        }
+        self.bill(&perf, h.idx, from, until, sink)?;
+        Ok(())
     }
-    bill(ledger, setup, perf, h.idx, from, until, w, obs)?;
-    Ok(())
+
+    fn bill(
+        &mut self,
+        perf: &crate::job::ConfigPerf,
+        pick: usize,
+        from: f64,
+        to: f64,
+        sink: &mut dyn EventSink,
+    ) -> Result<()> {
+        if to > from {
+            let cost = self
+                .ledger
+                .bill(self.setup.market, &perf.config, from, to)?;
+            self.billed += cost;
+            self.emit(
+                sink,
+                SimEvent::Bill {
+                    t: from,
+                    to,
+                    work_left: self.w,
+                    billed: self.billed,
+                    pick,
+                    cost,
+                },
+            );
+        }
+        Ok(())
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn bill(
-    ledger: &mut CostLedger,
+/// Runs one job to completion over the market trace, starting at absolute
+/// trace time `start`.
+pub fn run_job(
     setup: &SimulationSetup<'_>,
-    perf: &crate::job::ConfigPerf,
-    pick: usize,
-    from: f64,
-    to: f64,
-    work_left: f64,
-    obs: &mut Obs<'_>,
-) -> Result<()> {
-    if to > from {
-        let cost = ledger.bill(setup.market, &perf.config, from, to)?;
-        obs.billed += cost;
-        obs.emit(SimEvent::Bill {
-            t: from,
-            to,
-            work_left,
-            billed: obs.billed,
-            pick,
-            cost,
-        });
-    }
-    Ok(())
+    job: &JobDescription,
+    strategy: &dyn Strategy,
+    start: f64,
+) -> Result<JobOutcome> {
+    run_job_observed(setup, job, strategy, start, 0, &mut NullSink)
+}
+
+/// [`run_job`] with every decision-loop transition reported to `sink`,
+/// stamped with run index `run` (sweeps use it to keep interleaved runs
+/// apart; standalone callers can pass 0). A thin driver over
+/// [`JobActor`]: it steps the actor to completion with unlimited
+/// capacity, which is the exact legacy single-job loop.
+pub fn run_job_observed(
+    setup: &SimulationSetup<'_>,
+    job: &JobDescription,
+    strategy: &dyn Strategy,
+    start: f64,
+    run: u32,
+    sink: &mut dyn EventSink,
+) -> Result<JobOutcome> {
+    let mut actor = JobActor::new(setup, job, strategy, start, run)?;
+    let mut ctrl = UnlimitedCapacity;
+    while !actor.step(sink, &mut ctrl)? {}
+    Ok(actor.into_outcome())
 }
 
 /// Builds the candidate set a strategy would see at absolute trace time

@@ -9,10 +9,12 @@
 //! a sequential one. (Wall-clock decision latency lives in a
 //! nondeterministic `hourglass-metrics` family, not in the event stream.)
 
-use crate::events::{EventSink, SimEvent, VecSink};
+use crate::events::{EventSink, SimEvent, TaggedVecSink, VecSink};
+use crate::fleet::{run_fleet_observed, FleetConfig, FleetOutcome, FleetWorkload};
 use crate::job::JobDescription;
 use crate::recurring::{run_recurring_observed, RecurringOutcome};
 use crate::runner::{run_job_observed, JobOutcome, SimulationSetup};
+use crate::scenario::{Scenario, ScenarioKind};
 use crate::Result;
 use hourglass_core::Strategy;
 use hourglass_exec::{chunk_ranges, fork_join};
@@ -108,6 +110,74 @@ pub fn sweep_recurring(
         })
         .collect();
     merge(fork_join(parallel, tasks), starts.len(), sink)
+}
+
+/// Replays one whole fleet run per entry of `seeds`, each over its own
+/// freshly built `kind` scenario (market, eviction models, ground
+/// truth), optionally fanning the fleets across threads. Fleet `i`'s
+/// events carry run index `i` plus tenant tags, which the merge
+/// preserves through `record_tenant`, so sequential and parallel sweeps
+/// produce bit-identical outcome vectors and tagged event streams.
+///
+/// `samples` is the Monte-Carlo sample count for the per-seed eviction
+/// models (tests use a few hundred; figures the scenario default).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_fleet(
+    kind: ScenarioKind,
+    seeds: &[u64],
+    workload: &FleetWorkload,
+    strategy: &dyn Strategy,
+    config: &FleetConfig,
+    samples: usize,
+    parallel: bool,
+    sink: &mut dyn EventSink,
+) -> Result<Vec<FleetOutcome>> {
+    type FleetChunk = (
+        Range<usize>,
+        Vec<(u32, Option<u32>, SimEvent)>,
+        Result<Vec<FleetOutcome>>,
+    );
+    let tasks: Vec<_> = chunk_ranges(seeds.len(), default_tasks())
+        .into_iter()
+        .map(|range| {
+            move || -> FleetChunk {
+                let mut local = TaggedVecSink::new();
+                let mut outcomes = Vec::with_capacity(range.len());
+                for i in range.clone() {
+                    let scenario = match Scenario::build(
+                        kind,
+                        seeds[i],
+                        crate::scenario::DEFAULT_WINDOW,
+                        samples,
+                    ) {
+                        Ok(s) => s,
+                        Err(e) => return (range, local.events, Err(e)),
+                    };
+                    let setup = scenario.setup();
+                    match run_fleet_observed(
+                        &setup, workload, strategy, config, i as u32, &mut local,
+                    ) {
+                        Ok(o) => outcomes.push(o),
+                        Err(e) => return (range, local.events, Err(e)),
+                    }
+                }
+                (range, local.events, Ok(outcomes))
+            }
+        })
+        .collect();
+    let chunks = fork_join(parallel, tasks);
+    let mut out = Vec::with_capacity(seeds.len());
+    for (_range, events, results) in chunks {
+        let results = results?;
+        for (run, tenant, event) in &events {
+            match tenant {
+                Some(t) => sink.record_tenant(*run, *t, event),
+                None => sink.record(*run, event),
+            }
+        }
+        out.extend(results);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

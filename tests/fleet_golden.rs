@@ -1,0 +1,355 @@
+//! Golden-trace equivalence: the fleet scheduler vs. the legacy runner.
+//!
+//! A fleet of one tenant with sharing and capacity off must be *exactly*
+//! the legacy `run_job`/`run_recurring` path — same outcome bits, same
+//! event stream once the fleet-only `Admit`/`Preempt`/`ShareHit` markers
+//! are stripped. A pinned aggregate of the canonical shared fleet trace
+//! guards the scheduler against silent behavioural drift.
+
+use hourglass::core::strategies::HourglassStrategy;
+use hourglass::sim::events::EventKind;
+use hourglass::sim::job::{JobDescription, PaperJob, ReloadMode};
+use hourglass::sim::{
+    derive_eviction_models, run_fleet_observed, run_job_observed, run_recurring_observed,
+    EventAggregate, FleetConfig, FleetJob, FleetWorkload, Scenario, ScenarioKind, SimEvent,
+    SimulationSetup, TaggedVecSink, VecSink,
+};
+
+fn fixture(
+    seed: u64,
+) -> (
+    hourglass::cloud::Market,
+    Vec<(
+        hourglass::cloud::InstanceType,
+        hourglass::cloud::DynEviction,
+    )>,
+) {
+    let market = hourglass::cloud::tracegen::simulation_market(seed).expect("market");
+    let history = hourglass::cloud::tracegen::history_market(seed).expect("market");
+    let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+    (market, models)
+}
+
+fn legacy_config() -> FleetConfig {
+    FleetConfig {
+        capacity: None,
+        share: false,
+        ..FleetConfig::default()
+    }
+}
+
+fn one_tenant_workload(job: JobDescription, arrivals: &[f64]) -> FleetWorkload {
+    FleetWorkload {
+        catalog: vec![job],
+        arrivals: arrivals
+            .iter()
+            .map(|&t| FleetJob {
+                tenant: 0,
+                arrival: t,
+                job: 0,
+            })
+            .collect(),
+    }
+}
+
+/// Strips the fleet-only event kinds, leaving the legacy runner's view.
+fn legacy_view(events: &[(u32, Option<u32>, SimEvent)]) -> Vec<(u32, SimEvent)> {
+    events
+        .iter()
+        .filter(|(_, _, e)| {
+            !matches!(
+                e.kind(),
+                EventKind::Admit | EventKind::Preempt | EventKind::ShareHit
+            )
+        })
+        .map(|(run, _, e)| (*run, e.clone()))
+        .collect()
+}
+
+fn assert_close(actual: f64, expected: f64, what: &str) {
+    let scale = expected.abs().max(1e-12);
+    assert!(
+        ((actual - expected) / scale).abs() < 1e-6,
+        "{what} drifted: actual {actual:.9}, pinned {expected:.9} \
+         (update the golden constants from this run if the change is intended)"
+    );
+}
+
+/// A one-tenant fleet replays a single legacy `run_job` event-for-event.
+#[test]
+fn one_tenant_fleet_is_the_legacy_single_job_runner() {
+    let (market, models) = fixture(77);
+    let setup = SimulationSetup::new(&market, &models);
+    let strategy = HourglassStrategy::new();
+    let job = PaperJob::GraphColoring
+        .description(50.0, ReloadMode::Fast)
+        .expect("job");
+    let start = 40_000.0;
+
+    let mut legacy_sink = VecSink::new();
+    let legacy =
+        run_job_observed(&setup, &job, &strategy, start, 0, &mut legacy_sink).expect("legacy");
+
+    let workload = one_tenant_workload(job, &[start]);
+    let mut fleet_sink = TaggedVecSink::new();
+    let fleet = run_fleet_observed(
+        &setup,
+        &workload,
+        &strategy,
+        &legacy_config(),
+        0,
+        &mut fleet_sink,
+    )
+    .expect("fleet");
+
+    assert_eq!(fleet.runs, 1);
+    assert_eq!(fleet.rejected, 0);
+    assert_eq!(fleet.preemptions, 0);
+    assert_eq!(fleet.share_hits, 0);
+    let out = &fleet.tenants[0].jobs[0];
+    assert_eq!(out.cost.to_bits(), legacy.cost.to_bits());
+    assert_eq!(out.online_cost.to_bits(), legacy.online_cost.to_bits());
+    assert_eq!(out.finish_time.to_bits(), legacy.finish_time.to_bits());
+    assert_eq!(out.missed_deadline, legacy.missed_deadline);
+    assert_eq!(out.completed, legacy.completed);
+    assert_eq!(out.evictions, legacy.evictions);
+    assert_eq!(out.deployments, legacy.deployments);
+    assert!(
+        fleet_sink.events.iter().all(|(_, t, _)| *t == Some(0)),
+        "every fleet event must carry the tenant tag"
+    );
+    assert_eq!(
+        legacy_view(&fleet_sink.events),
+        legacy_sink.events,
+        "one-tenant fleet stream diverged from the legacy runner"
+    );
+}
+
+/// A one-tenant fleet with arrivals on the period grid replays a legacy
+/// recurring chain event-for-event.
+#[test]
+fn one_tenant_fleet_is_the_legacy_recurring_chain() {
+    let (market, models) = fixture(78);
+    let setup = SimulationSetup::new(&market, &models);
+    let strategy = HourglassStrategy::new();
+    let job = PaperJob::PageRank
+        .description(60.0, ReloadMode::Fast)
+        .expect("job");
+    let (start, count) = (30_000.0, 3);
+    let period = job.deadline;
+
+    let mut legacy_sink = VecSink::new();
+    let legacy = run_recurring_observed(
+        &setup,
+        &job,
+        &strategy,
+        start,
+        period,
+        count,
+        0,
+        &mut legacy_sink,
+    )
+    .expect("legacy");
+
+    let arrivals: Vec<f64> = (0..count).map(|i| start + i as f64 * period).collect();
+    let workload = one_tenant_workload(job, &arrivals);
+    let mut fleet_sink = TaggedVecSink::new();
+    let fleet = run_fleet_observed(
+        &setup,
+        &workload,
+        &strategy,
+        &legacy_config(),
+        0,
+        &mut fleet_sink,
+    )
+    .expect("fleet");
+
+    assert_eq!(fleet.runs, count);
+    assert_eq!(
+        fleet.total_cost.to_bits(),
+        legacy.total_cost.to_bits(),
+        "chain cost diverged"
+    );
+    assert_eq!(fleet.missed, legacy.missed);
+    for (a, b) in fleet.tenants[0].jobs.iter().zip(&legacy.runs) {
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+        assert_eq!(a.completed, b.completed);
+    }
+    assert_eq!(
+        legacy_view(&fleet_sink.events),
+        legacy_sink.events,
+        "one-tenant fleet stream diverged from the legacy recurring chain"
+    );
+}
+
+/// The canonical shared fleet trace, pinned. Integer counters are exact;
+/// dollar totals allow 1e-6 relative drift (powf is not bit-stable across
+/// platforms). On mismatch the assert message carries the actual value so
+/// the constants can be regenerated deliberately.
+#[test]
+fn canonical_fleet_trace_matches_pinned_aggregate() {
+    let (market, models) = fixture(7);
+    let setup = SimulationSetup::new(&market, &models);
+    let strategy = HourglassStrategy::new();
+    let workload = FleetWorkload::canned_recurring(3, 2).expect("workload");
+    let mut sink = TaggedVecSink::new();
+    let fleet = run_fleet_observed(
+        &setup,
+        &workload,
+        &strategy,
+        &FleetConfig::default(),
+        0,
+        &mut sink,
+    )
+    .expect("fleet");
+    let agg = EventAggregate::from_tagged_events(&sink.events);
+
+    let counters = (
+        agg.admits,
+        agg.rejects,
+        agg.preemptions,
+        agg.share_hits,
+        agg.runs,
+        agg.acquires,
+        agg.evictions,
+        agg.missed_deadlines,
+        fleet.runs as u64,
+        fleet.rejected as u64,
+    );
+    let pinned = (6, 0, 0, 3, 6, 13, 1, 0, 6, 0);
+    assert_eq!(
+        counters, pinned,
+        "canonical fleet counters drifted (admits, rejects, preemptions, \
+         share_hits, runs, acquires, evictions, missed_deadlines, \
+         fleet_runs, fleet_rejected); update the pinned tuple deliberately"
+    );
+    // All four coincide for the canned workload: offline cost is zero, so
+    // the online spend is the whole bill.
+    assert_close(fleet.ledger_total, 15.008578802, "ledger_total");
+    assert_close(fleet.total_cost, 15.008578802, "total_cost");
+    assert_close(agg.billed_dollars, 15.008578802, "billed_dollars");
+    assert_close(agg.total_dollars, 15.008578802, "total_dollars");
+    // Bit-exactness holds per tenant (the global folds differ only in
+    // summation order, so they may sit 1 ulp apart).
+    for t in &fleet.tenants {
+        let ta = agg.tenants.get(&t.tenant).expect("tenant in aggregate");
+        assert_eq!(
+            ta.billed_dollars.to_bits(),
+            t.billed.to_bits(),
+            "tenant {}: stream fold and scheduler ledger must agree exactly",
+            t.tenant
+        );
+    }
+}
+
+/// A fleet event log survives the JSONL round trip with its tenant
+/// attribution intact: parse(serialize(stream)) returns the identical
+/// tagged triples and folds into the identical aggregate.
+#[test]
+fn fleet_event_log_round_trips_tenant_attribution() {
+    use hourglass::sim::events::parse_jsonl_tagged;
+    use hourglass::sim::{EventSink, JsonlSink};
+
+    let (market, models) = fixture(7);
+    let setup = SimulationSetup::new(&market, &models);
+    let strategy = HourglassStrategy::new();
+    let workload = FleetWorkload::canned_recurring(3, 2).expect("workload");
+    let mut sink = TaggedVecSink::new();
+    run_fleet_observed(
+        &setup,
+        &workload,
+        &strategy,
+        &FleetConfig::default(),
+        0,
+        &mut sink,
+    )
+    .expect("fleet");
+    assert!(!sink.events.is_empty());
+
+    let mut jsonl = JsonlSink::new(Vec::new());
+    for (run, tenant, event) in &sink.events {
+        jsonl.record_tenant(*run, tenant.expect("fleet events are tagged"), event);
+    }
+    let buf = jsonl.finish().expect("serialize");
+    let replayed = parse_jsonl_tagged(&buf[..]).expect("parse");
+    assert_eq!(
+        replayed, sink.events,
+        "tenant tags lost in the JSONL round trip"
+    );
+    assert_eq!(
+        EventAggregate::from_tagged_events(&replayed),
+        EventAggregate::from_tagged_events(&sink.events)
+    );
+}
+
+/// A market-wide crunch with a hard capacity cap: every tenant can be
+/// evicted at once, and the fleet must recover them in a deterministic
+/// order with nobody starved.
+#[test]
+fn crunch_evicting_the_whole_fleet_recovers_deterministically() {
+    let scenario = Scenario::build(ScenarioKind::Crunch, 17, 24.0 * 3600.0, 300).expect("scenario");
+    let setup = scenario.setup();
+    let strategy = HourglassStrategy::new();
+    let job = PaperJob::PageRank
+        .description(80.0, ReloadMode::Fast)
+        .expect("job");
+    let cap = job
+        .configs
+        .iter()
+        .filter(|p| p.config.is_transient())
+        .map(|p| p.config.num_workers as usize)
+        .max()
+        .expect("transient config");
+    let tenants = 4u32;
+    let workload = FleetWorkload {
+        catalog: vec![job],
+        arrivals: (0..tenants)
+            .map(|t| FleetJob {
+                tenant: t,
+                arrival: 40_000.0 + t as f64 * 500.0,
+                job: 0,
+            })
+            .collect(),
+    };
+    let config = FleetConfig {
+        capacity: Some(cap),
+        share: false,
+        ..FleetConfig::default()
+    };
+
+    let run = || {
+        let mut sink = TaggedVecSink::new();
+        let fleet =
+            run_fleet_observed(&setup, &workload, &strategy, &config, 0, &mut sink).expect("fleet");
+        (fleet, sink.events)
+    };
+    let (a, ea) = run();
+    let (b, eb) = run();
+    assert_eq!(ea, eb, "crunch recovery ordering is not deterministic");
+    assert_eq!(a.ledger_total.to_bits(), b.ledger_total.to_bits());
+
+    // Nobody is starved: every tenant's job runs to an outcome.
+    assert_eq!(a.runs, tenants as usize);
+    assert_eq!(a.rejected, 0);
+    for t in &a.tenants {
+        assert_eq!(t.jobs.len(), 1, "tenant {} lost its job", t.tenant);
+    }
+    // The cap plus the crunch actually bites: somebody was sacrificed,
+    // and each sacrificed tenant still reached completion afterwards.
+    assert!(
+        a.preemptions > 0,
+        "expected the capped crunch to force at least one preemption"
+    );
+    let agg = EventAggregate::from_tagged_events(&ea);
+    for (id, ta) in &agg.tenants {
+        if ta.preemptions > 0 {
+            let t = a
+                .tenants
+                .iter()
+                .find(|t| t.tenant == *id)
+                .expect("preempted tenant in outcome");
+            assert!(t.jobs[0].completed, "preempted tenant {id} never recovered");
+        }
+    }
+}

@@ -1102,3 +1102,240 @@ mod metrics_determinism {
     }
 }
 // --- end metrics determinism ---
+
+// --- fleet invariants: billing, capacity, preemption, determinism ---
+mod fleet_properties {
+    use hourglass::core::strategies::HourglassStrategy;
+    use hourglass::sim::job::{PaperJob, ReloadMode};
+    use hourglass::sim::{
+        derive_eviction_models, run_fleet_observed, sweep_fleet, EventAggregate, FleetConfig,
+        FleetJob, FleetWorkload, SacrificePolicy, ScenarioKind, SimEvent, SimulationSetup,
+        TaggedVecSink,
+    };
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn fixture(
+        seed: u64,
+    ) -> (
+        hourglass::cloud::Market,
+        Vec<(
+            hourglass::cloud::InstanceType,
+            hourglass::cloud::DynEviction,
+        )>,
+    ) {
+        let market = hourglass::cloud::tracegen::simulation_market(seed).expect("market");
+        let history = hourglass::cloud::tracegen::history_market(seed).expect("market");
+        let models = derive_eviction_models(&history, 86_400.0, 300, 5).expect("models");
+        (market, models)
+    }
+
+    /// Largest transient worker count across a catalog: a capacity cap at
+    /// this value admits any single deployment but forbids all overlap.
+    fn max_transient_workers(workload: &FleetWorkload) -> usize {
+        workload
+            .catalog
+            .iter()
+            .flat_map(|j| j.configs.iter())
+            .filter(|p| p.config.is_transient())
+            .map(|p| p.config.num_workers as usize)
+            .max()
+            .expect("catalog has a transient config")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Per-tenant billed dollars folded from the tagged event stream
+        /// agree bit-for-bit with each `TenantOutcome`, and the tenant
+        /// ledger sums exactly to the fleet ledger.
+        #[test]
+        fn tenant_billing_sums_to_the_fleet_ledger(
+            seed in 0u64..10,
+            tenants in 1usize..5,
+            recurrences in 1usize..4,
+            share in 0u8..2,
+            capped in 0u8..2,
+            pol in 0usize..3,
+        ) {
+            let (market, models) = fixture(seed);
+            let setup = SimulationSetup::new(&market, &models);
+            let strategy = HourglassStrategy::new();
+            let workload =
+                FleetWorkload::canned_recurring(tenants, recurrences).expect("workload");
+            let config = FleetConfig {
+                policy: SacrificePolicy::ALL[pol],
+                capacity: (capped == 1).then(|| max_transient_workers(&workload)),
+                share: share == 1,
+            };
+            let mut sink = TaggedVecSink::new();
+            let fleet = run_fleet_observed(&setup, &workload, &strategy, &config, 0, &mut sink)
+                .expect("fleet");
+            let mut sum = 0.0f64;
+            for t in &fleet.tenants {
+                sum += t.billed;
+            }
+            prop_assert_eq!(sum.to_bits(), fleet.ledger_total.to_bits());
+            let agg = EventAggregate::from_tagged_events(&sink.events);
+            for t in &fleet.tenants {
+                let ta = agg.tenants.get(&t.tenant).expect("tenant in aggregate");
+                prop_assert_eq!(
+                    ta.billed_dollars.to_bits(),
+                    t.billed.to_bits(),
+                    "tenant {}: stream fold diverged from the scheduler ledger",
+                    t.tenant
+                );
+                prop_assert_eq!(ta.runs as usize, t.jobs.len());
+            }
+            prop_assert_eq!(
+                agg.tenants.values().map(|t| t.preemptions as usize).sum::<usize>(),
+                fleet.preemptions
+            );
+        }
+
+        /// Under a capacity cap, the transient tenures reconstructed from
+        /// the tagged event stream never overlap beyond the cap at any
+        /// simulated instant, and every `Preempt` names a victim holding a
+        /// live transient deployment at that moment.
+        #[test]
+        fn capped_fleets_never_double_book_an_instance(
+            seed in 0u64..8,
+            tenants in 2usize..6,
+            gap in 1u64..6,
+            pol in 0usize..3,
+        ) {
+            let (market, models) = fixture(seed);
+            let setup = SimulationSetup::new(&market, &models);
+            let strategy = HourglassStrategy::new();
+            let job = PaperJob::PageRank
+                .description(80.0, ReloadMode::Fast)
+                .expect("job");
+            let workload = FleetWorkload {
+                catalog: vec![job],
+                arrivals: (0..tenants)
+                    .map(|t| FleetJob {
+                        tenant: t as u32,
+                        arrival: 50_000.0 + t as f64 * gap as f64 * 1_000.0,
+                        job: 0,
+                    })
+                    .collect(),
+            };
+            let cap = max_transient_workers(&workload);
+            let config = FleetConfig {
+                policy: SacrificePolicy::ALL[pol],
+                capacity: Some(cap),
+                share: false,
+            };
+            let mut sink = TaggedVecSink::new();
+            run_fleet_observed(&setup, &workload, &strategy, &config, 0, &mut sink)
+                .expect("fleet");
+
+            // One job per tenant, so the tenant id identifies the actor and
+            // per-tenant held state can be replayed from the stream alone.
+            let workers_of = |pick: usize| {
+                let c = &workload.catalog[0].configs[pick].config;
+                c.is_transient().then_some(c.num_workers as usize)
+            };
+            let mut held: BTreeMap<u32, usize> = BTreeMap::new();
+            // Signed worker deltas at simulated instants; releases sort
+            // before grants at equal times, matching the ledger's view of
+            // an atomic switch.
+            let mut deltas: Vec<(f64, i64)> = Vec::new();
+            for (_, tenant, event) in &sink.events {
+                let tn = tenant.expect("fleet events carry a tenant tag");
+                match event {
+                    SimEvent::Acquire {
+                        t, pick, released, ..
+                    } => {
+                        if let Some(w) = released.and_then(workers_of) {
+                            deltas.push((*t, -(w as i64)));
+                        }
+                        match workers_of(*pick) {
+                            Some(w) => {
+                                deltas.push((*t, w as i64));
+                                held.insert(tn, w);
+                            }
+                            None => {
+                                held.remove(&tn);
+                            }
+                        }
+                    }
+                    SimEvent::Evict { t, pick, .. } => {
+                        if let Some(w) = workers_of(*pick) {
+                            deltas.push((*t, -(w as i64)));
+                        }
+                        held.remove(&tn);
+                    }
+                    SimEvent::Complete { t, .. } => {
+                        if let Some(w) = held.remove(&tn) {
+                            deltas.push((*t, -(w as i64)));
+                        }
+                    }
+                    SimEvent::Preempt { victim, .. } => {
+                        prop_assert!(
+                            held.contains_key(victim),
+                            "preempted tenant {} held no transient deployment",
+                            victim
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            deltas.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite sim times")
+                    .then(a.1.cmp(&b.1))
+            });
+            let mut in_use = 0i64;
+            for (t, d) in deltas {
+                in_use += d;
+                prop_assert!(in_use >= 0, "negative occupancy at t={t}");
+                prop_assert!(
+                    in_use <= cap as i64,
+                    "double-booked at t={t}: {in_use} workers live under a cap of {cap}"
+                );
+            }
+        }
+
+        /// Parallel fleet sweeps replay the sequential event stream and
+        /// outcomes bit-for-bit under every scenario kind.
+        #[test]
+        fn fleet_sweeps_are_bit_identical_in_parallel(
+            seed in 0u64..12,
+            kind_idx in 0usize..4,
+        ) {
+            let kind = ScenarioKind::ALL[kind_idx];
+            let seeds = [seed, seed + 17];
+            let workload = FleetWorkload::canned_recurring(2, 2).expect("workload");
+            let strategy = HourglassStrategy::new();
+            let config = FleetConfig::default();
+            let run = |parallel: bool| {
+                let mut sink = TaggedVecSink::new();
+                let out = sweep_fleet(
+                    kind, &seeds, &workload, &strategy, &config, 250, parallel, &mut sink,
+                )
+                .expect("sweep");
+                (out, sink.events)
+            };
+            let (seq, seq_events) = run(false);
+            let (par, par_events) = run(true);
+            prop_assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                prop_assert_eq!(a.ledger_total.to_bits(), b.ledger_total.to_bits());
+                prop_assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits());
+                prop_assert_eq!(a.runs, b.runs);
+                prop_assert_eq!(a.missed, b.missed);
+                prop_assert_eq!(a.rejected, b.rejected);
+                prop_assert_eq!(a.preemptions, b.preemptions);
+                prop_assert_eq!(a.share_hits, b.share_hits);
+            }
+            prop_assert_eq!(
+                seq_events,
+                par_events,
+                "{}: parallel fleet stream diverged from sequential",
+                kind.name()
+            );
+        }
+    }
+}
+// --- end fleet invariants ---
